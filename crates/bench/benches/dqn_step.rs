@@ -1,0 +1,45 @@
+//! Criterion bench: DQN inference and one training step on the
+//! self-configuration network shape (15 → 64 → 64 → 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{DqnAgent, DqnConfig, LearningAgent, Transition};
+use std::hint::black_box;
+
+fn make_agent() -> DqnAgent {
+    let mut agent = DqnAgent::new(DqnConfig {
+        min_replay: 64,
+        ..DqnConfig::default().with_dims(15, 9)
+    });
+    let mut rng = StdRng::seed_from_u64(0);
+    for i in 0..256 {
+        let state: Vec<f32> = (0..15).map(|j| ((i + j) % 7) as f32 / 7.0).collect();
+        let next: Vec<f32> = (0..15).map(|j| ((i + j + 1) % 7) as f32 / 7.0).collect();
+        agent.observe(Transition {
+            state,
+            action: i % 9,
+            reward: (i % 3) as f32 - 1.0,
+            next_state: next,
+            done: i % 40 == 0,
+        });
+    }
+    // Prime Adam state.
+    agent.train_step(&mut rng);
+    agent
+}
+
+fn bench_dqn(c: &mut Criterion) {
+    let agent = make_agent();
+    let state: Vec<f32> = (0..15).map(|j| j as f32 / 15.0).collect();
+    c.bench_function("dqn_q_values", |b| b.iter(|| black_box(agent.q_values(&state))));
+
+    c.bench_function("dqn_train_step_batch32", |b| {
+        let mut agent = make_agent();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(agent.train_step(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_dqn);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: full-network cycles at several loads and mesh sizes —
+//! the figure that determines every experiment's wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use noc_sim::{SimConfig, Simulator, TrafficPattern};
+use std::hint::black_box;
+
+fn bench_network_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cycles");
+    for (name, width, rate) in
+        [("4x4@0.1", 4usize, 0.1), ("8x8@0.1", 8, 0.1), ("8x8@0.25", 8, 0.25)]
+    {
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let cfg = SimConfig::default()
+                .with_size(width, width)
+                .with_traffic(TrafficPattern::Uniform, rate);
+            let mut sim = Simulator::new(cfg).expect("valid config");
+            sim.run(500); // warm the network
+            b.iter(|| {
+                sim.run(100);
+                black_box(sim.stats().ejected_flits)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_cycles);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: one NocEnv control-epoch step (simulate 500 cycles +
+//! encode state + score reward) — the inner loop of DRL training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig};
+use noc_sim::{SimConfig, TrafficPattern};
+use rl::Environment;
+use std::hint::black_box;
+
+fn bench_env_epoch(c: &mut Criterion) {
+    let sim = SimConfig::default()
+        .with_size(4, 4)
+        .with_traffic(TrafficPattern::Uniform, 0.1)
+        .with_regions(2, 2);
+    let mut env = NocEnv::new(NocEnvConfig {
+        action_space: ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 },
+        sim,
+        epoch_cycles: 500,
+        epochs_per_episode: usize::MAX / 2, // never terminate inside the bench
+        reward: RewardConfig::default(),
+        traffic_menu: vec![],
+        seed: 0,
+    })
+    .expect("valid environment");
+    env.reset();
+    let mut action = 0usize;
+    c.bench_function("noc_env_epoch_4x4_500cycles", |b| {
+        b.iter(|| {
+            action = (action + 1) % env.num_actions();
+            black_box(env.step(action));
+        })
+    });
+}
+
+criterion_group!(benches, bench_env_epoch);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench: one router pipeline step (SA/VA/RC) under load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_sim::flit::{Packet, PacketId};
+use noc_sim::power::{EnergyMeter, PowerModel};
+use noc_sim::router::{Router, RouterCtx};
+use noc_sim::routing::RoutingAlgorithm;
+use noc_sim::topology::{NodeId, Port, Topology};
+use std::hint::black_box;
+
+fn loaded_router() -> (Router, Topology, PowerModel) {
+    let topo = Topology::mesh(8, 8);
+    let power = PowerModel::default_32nm();
+    let mut meter = EnergyMeter::new();
+    let mut r = Router::new(NodeId(27), 4, 4, false);
+    let mut ctx = RouterCtx {
+        topo: &topo,
+        routing: RoutingAlgorithm::Xy,
+        power: &power,
+        meter: &mut meter,
+        dynamic_scale: 1.0,
+    };
+    // Fill several input VCs with traffic crossing the router.
+    for (i, (port, dst)) in [
+        (Port::West, 31),
+        (Port::North, 59),
+        (Port::Local, 0),
+        (Port::East, 24),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let flits = Packet {
+            id: PacketId(i as u64),
+            src: NodeId(27),
+            dst: NodeId(*dst),
+            len_flits: 4,
+            created_at: 0,
+        }
+        .to_flits(0);
+        for mut f in flits {
+            f.vc = i % 4;
+            if r.can_accept(*port, f.vc) {
+                r.accept(*port, f, &mut ctx);
+            }
+        }
+    }
+    (r, topo, power)
+}
+
+fn bench_router_step(c: &mut Criterion) {
+    let (router, topo, power) = loaded_router();
+    c.bench_function("router_step_loaded", |b| {
+        b.iter_batched(
+            || router.clone(),
+            |mut r| {
+                let mut meter = EnergyMeter::new();
+                let mut ctx = RouterCtx {
+                    topo: &topo,
+                    routing: RoutingAlgorithm::Xy,
+                    power: &power,
+                    meter: &mut meter,
+                    dynamic_scale: 1.0,
+                };
+                black_box(r.step(&mut ctx));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let idle = Router::new(NodeId(0), 4, 4, false);
+    c.bench_function("router_step_idle", |b| {
+        b.iter_batched(
+            || idle.clone(),
+            |mut r| {
+                let mut meter = EnergyMeter::new();
+                let mut ctx = RouterCtx {
+                    topo: &topo,
+                    routing: RoutingAlgorithm::Xy,
+                    power: &power,
+                    meter: &mut meter,
+                    dynamic_scale: 1.0,
+                };
+                black_box(r.step(&mut ctx));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_router_step);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Utility: quick wall-clock sanity check of simulator speed.
+
+use noc_sim::*;
+fn main() {
+    let cfg = SimConfig::default().with_traffic(TrafficPattern::Uniform, 0.2);
+    let mut sim = Simulator::new(cfg).unwrap();
+    let t0 = std::time::Instant::now();
+    sim.run(20_000);
+    let dt = t0.elapsed();
+    println!("8x8 mesh @0.2: 20k cycles in {:?} ({:.1} kcycles/s), ejected {}",
+        dt, 20_000.0 / dt.as_secs_f64() / 1000.0, sim.stats().ejected_packets);
+}

@@ -1,0 +1,127 @@
+//! Table 4 — ablation study over the DRL design choices DESIGN.md calls out:
+//! Double-DQN vs vanilla, prioritized vs uniform replay, replay size, and
+//! the reward-weight trade-off.
+//!
+//! Each variant trains with a reduced budget (ablations compare variants
+//! against each other, not against the headline policy) and is evaluated on
+//! a fixed workload mix.
+
+use noc_bench::{configs, fmt, print_table, save_csv, save_markdown, train_or_load, Scale};
+use noc_selfconf::{run_controller, RewardConfig};
+use noc_sim::TrafficPattern;
+use rl::DqnConfig;
+
+struct Variant {
+    key: &'static str,
+    label: &'static str,
+    dqn: fn(DqnConfig) -> DqnConfig,
+    reward: fn() -> RewardConfig,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sim = configs::mesh8();
+    let episodes = scale.pick(80usize, 2);
+
+    let variants = [
+        Variant {
+            key: "ablate_default",
+            label: "double-DQN, uniform replay (default)",
+            dqn: |d| d,
+            reward: RewardConfig::default,
+        },
+        Variant {
+            key: "ablate_nodouble",
+            label: "vanilla DQN target",
+            dqn: |d| DqnConfig { double: false, ..d },
+            reward: RewardConfig::default,
+        },
+        Variant {
+            key: "ablate_prioritized",
+            label: "prioritized replay (α=0.6)",
+            dqn: |d| DqnConfig { prioritized_alpha: Some(0.6), ..d },
+            reward: RewardConfig::default,
+        },
+        Variant {
+            key: "ablate_smallreplay",
+            label: "replay 1k (vs 10k)",
+            dqn: |d| DqnConfig { replay_capacity: 1000, ..d },
+            reward: RewardConfig::default,
+        },
+        Variant {
+            key: "ablate_soft",
+            label: "soft target sync (τ=0.01)",
+            dqn: |d| DqnConfig { target_sync: rl::TargetSync::Soft { tau: 0.01 }, ..d },
+            reward: RewardConfig::default,
+        },
+        Variant {
+            key: "ablate_nstep3",
+            label: "3-step returns",
+            dqn: |d| DqnConfig { n_step: 3, ..d },
+            reward: RewardConfig::default,
+        },
+        Variant {
+            key: "ablate_energy_reward",
+            label: "energy-biased reward",
+            dqn: |d| d,
+            reward: RewardConfig::energy_biased,
+        },
+        Variant {
+            key: "ablate_latency_reward",
+            label: "latency-biased reward",
+            dqn: |d| d,
+            reward: RewardConfig::latency_biased,
+        },
+    ];
+
+    let eval_epochs = scale.pick(40usize, 3);
+    let epoch_cycles = scale.pick(500u64, 200);
+    let eval_workloads = [
+        ("uniform@0.10", TrafficPattern::Uniform, 0.10),
+        ("hotspot@0.10", configs::hotspot(), 0.10),
+    ];
+
+    let mut rows = Vec::new();
+    for v in &variants {
+        let mut env_cfg = configs::train_env(sim.clone(), 7);
+        env_cfg.reward = (v.reward)();
+        let mut train = configs::train_budget(scale, 7);
+        train.episodes = episodes;
+        let artifact =
+            train_or_load(v.key, env_cfg, (v.dqn)(configs::dqn_default(7)), train);
+        // Final-quarter training return.
+        let quarter = (artifact.curve.len() / 4).max(1);
+        let final_return: f64 = artifact.curve[artifact.curve.len() - quarter..]
+            .iter()
+            .map(|e| e.total_reward)
+            .sum::<f64>()
+            / quarter as f64;
+        for (wname, pattern, rate) in &eval_workloads {
+            let cfg = sim.clone().with_traffic(pattern.clone(), *rate);
+            let mut controller = artifact.controller();
+            let run = run_controller(&cfg, &mut controller, eval_epochs, epoch_cycles)
+                .expect("valid configuration");
+            rows.push(vec![
+                v.label.to_string(),
+                wname.to_string(),
+                fmt(final_return),
+                fmt(run.aggregate.avg_latency),
+                fmt(run.aggregate.energy_pj / 1e3),
+                fmt(run.aggregate.edp / 1e6),
+                fmt(run.aggregate.mean_level),
+            ]);
+        }
+    }
+    let headers = [
+        "variant",
+        "workload",
+        "final train return",
+        "avg latency",
+        "energy (nJ)",
+        "EDP (×10⁶)",
+        "mean level",
+    ];
+    let md = print_table("Table 4 — ablations", &headers, &rows);
+    save_csv("table4_ablation", &headers, &rows);
+    save_markdown("table4_ablation", &md);
+}

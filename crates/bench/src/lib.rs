@@ -1,0 +1,495 @@
+//! # noc-bench — the experiment harness
+//!
+//! One binary per table/figure of the evaluation (see DESIGN.md for the
+//! index) plus Criterion micro-benchmarks of the hot paths. This library
+//! holds what the binaries share: result formatting, artifact caching for
+//! trained policies, standard configurations, and a tiny thread-pool helper.
+
+#![warn(missing_docs)]
+
+use noc_selfconf::{
+    ActionSpace, DrlController, NocEnvConfig, StateEncoder, TabularController, TrainedPolicy,
+};
+use rl::{DqnAgent, DqnConfig, EpisodeStats, TabularConfig, TabularQ, TrainConfig};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::PathBuf;
+
+/// Scale of an experiment run. `EXPT_SCALE=quick` shrinks every budget so
+/// integration tests and smoke runs finish in seconds; the default `full`
+/// scale regenerates paper-quality curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-quality budgets (minutes).
+    Full,
+    /// Smoke-test budgets (seconds).
+    Quick,
+}
+
+impl Scale {
+    /// Read the scale from the `EXPT_SCALE` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("EXPT_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Pick `full` or `quick` depending on the scale.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Directory where experiment outputs (CSV, markdown, trained policies) are
+/// written: `results/` at the repository root, or `$EXPT_RESULTS`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("EXPT_RESULTS").map(PathBuf::from).unwrap_or_else(|_| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+    });
+    fs::create_dir_all(&dir).expect("results directory must be creatable");
+    dir
+}
+
+/// Render a markdown table to stdout and return it as a string.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n## {title}\n\n"));
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    print!("{out}");
+    out
+}
+
+/// Write rows as CSV into `results/<name>.csv`.
+pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut s = String::new();
+    s.push_str(&headers.join(","));
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    let path = results_dir().join(format!("{name}.csv"));
+    fs::write(&path, s).expect("CSV must be writable");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Write a markdown report into `results/<name>.md`.
+pub fn save_markdown(name: &str, content: &str) {
+    let path = results_dir().join(format!("{name}.md"));
+    fs::write(&path, content).expect("markdown must be writable");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Run `f(0..n)` on up to `threads` OS threads and collect results in order.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots = parking_lot::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                slots.lock()[i] = Some(v);
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+/// A cached trained-DQN artifact (policy weights + everything needed to
+/// rebuild the controller).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PolicyArtifact {
+    /// The DQN configuration the agent was built with.
+    pub dqn: DqnConfig,
+    /// Serialized online network.
+    pub policy_json: String,
+    /// The state encoder used in training.
+    pub encoder: StateEncoder,
+    /// The action space used in training.
+    pub action_space: ActionSpace,
+    /// The training curve (episode returns).
+    pub curve: Vec<EpisodeStats>,
+}
+
+impl PolicyArtifact {
+    /// Capture a trained policy.
+    pub fn from_policy(policy: &TrainedPolicy) -> Self {
+        PolicyArtifact {
+            dqn: policy.agent.config().clone(),
+            policy_json: policy.agent.policy_to_json().expect("policy serializes"),
+            encoder: policy.encoder.clone(),
+            action_space: policy.action_space.clone(),
+            curve: policy.curve.clone(),
+        }
+    }
+
+    /// Rebuild a deployable controller.
+    pub fn controller(&self) -> DrlController {
+        let mut agent = DqnAgent::new(self.dqn.clone());
+        agent.policy_from_json(&self.policy_json).expect("stored policy loads");
+        DrlController::new(agent, self.encoder.clone(), self.action_space.clone())
+    }
+}
+
+/// Train a DQN policy (or load it from `results/<key>.json` if present and
+/// `EXPT_RETRAIN` is unset). Returns the artifact.
+pub fn train_or_load(
+    key: &str,
+    env_cfg: NocEnvConfig,
+    dqn: DqnConfig,
+    train: TrainConfig,
+) -> PolicyArtifact {
+    let path = results_dir().join(format!("{key}.json"));
+    if std::env::var("EXPT_RETRAIN").is_err() {
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(artifact) = serde_json::from_slice::<PolicyArtifact>(&bytes) {
+                eprintln!("loaded cached policy {}", path.display());
+                return artifact;
+            }
+        }
+    }
+    eprintln!("training policy `{key}` ({} episodes)...", train.episodes);
+    let t0 = std::time::Instant::now();
+    let policy = noc_selfconf::train_drl(env_cfg, dqn, train).expect("training configuration");
+    eprintln!("trained `{key}` in {:.1?} ({} steps)", t0.elapsed(), policy.agent.train_steps());
+    let artifact = PolicyArtifact::from_policy(&policy);
+    fs::write(&path, serde_json::to_vec(&artifact).expect("artifact serializes"))
+        .expect("artifact must be writable");
+    artifact
+}
+
+/// A cached tabular-Q artifact.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TabularArtifact {
+    /// The trained agent (table included).
+    pub agent: TabularQ,
+    /// The state encoder used in training.
+    pub encoder: StateEncoder,
+    /// The action space used in training.
+    pub action_space: ActionSpace,
+    /// The training curve.
+    pub curve: Vec<EpisodeStats>,
+}
+
+impl TabularArtifact {
+    /// Rebuild a deployable controller.
+    pub fn controller(&self) -> TabularController {
+        TabularController::new(self.agent.clone(), self.encoder.clone(), self.action_space.clone())
+    }
+}
+
+/// Train the tabular baseline (or load from cache, as [`train_or_load`]).
+pub fn train_or_load_tabular(
+    key: &str,
+    env_cfg: NocEnvConfig,
+    tab: TabularConfig,
+    train: TrainConfig,
+) -> TabularArtifact {
+    let path = results_dir().join(format!("{key}.json"));
+    if std::env::var("EXPT_RETRAIN").is_err() {
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(artifact) = serde_json::from_slice::<TabularArtifact>(&bytes) {
+                eprintln!("loaded cached tabular policy {}", path.display());
+                return artifact;
+            }
+        }
+    }
+    eprintln!("training tabular `{key}` ({} episodes)...", train.episodes);
+    let (agent, curve, encoder, action_space) =
+        noc_selfconf::train_tabular(env_cfg, tab, train).expect("training configuration");
+    let artifact = TabularArtifact { agent, encoder, action_space, curve };
+    fs::write(&path, serde_json::to_vec(&artifact).expect("artifact serializes"))
+        .expect("artifact must be writable");
+    artifact
+}
+
+/// Standard experiment configurations shared by the binaries.
+pub mod configs {
+    use super::*;
+    use noc_sim::{NodeId, Phase, SimConfig, TrafficPattern, TrafficSpec};
+    use rl::Schedule;
+
+    /// The paper's mesh: 8×8, 4 VCs × 4 flits, 5-flit packets, 2×2 regions.
+    pub fn mesh8() -> SimConfig {
+        SimConfig::default()
+    }
+
+    /// The scalability mesh: 4×4 with 2×2 regions.
+    pub fn mesh4() -> SimConfig {
+        SimConfig::default().with_size(4, 4).with_regions(2, 2)
+    }
+
+    /// The patterns of the comparison figures.
+    pub fn comparison_patterns() -> Vec<(&'static str, TrafficPattern)> {
+        vec![
+            ("uniform", TrafficPattern::Uniform),
+            ("transpose", TrafficPattern::Transpose),
+            ("bitcomp", TrafficPattern::BitComplement),
+            ("hotspot", hotspot()),
+        ]
+    }
+
+    /// The hotspot pattern used throughout: 30 % of traffic to node 0.
+    pub fn hotspot() -> TrafficPattern {
+        TrafficPattern::Hotspot { hotspots: vec![NodeId(0)], fraction: 0.3 }
+    }
+
+    /// The bursty phase trace of Fig 7. Phases last 12 control epochs so
+    /// controllers have room to settle inside each regime.
+    pub fn phase_trace() -> TrafficSpec {
+        TrafficSpec::PhaseTrace {
+            phases: vec![
+                Phase { pattern: TrafficPattern::Uniform, rate: 0.03, cycles: 6000 },
+                Phase { pattern: TrafficPattern::Uniform, rate: 0.25, cycles: 6000 },
+                Phase { pattern: TrafficPattern::Transpose, rate: 0.12, cycles: 6000 },
+                Phase { pattern: TrafficPattern::Uniform, rate: 0.01, cycles: 6000 },
+            ],
+        }
+    }
+
+    /// The environment configuration used to train the deployed policies.
+    pub fn train_env(sim: SimConfig, seed: u64) -> NocEnvConfig {
+        let regions = sim.regions_x * sim.regions_y;
+        let levels = sim.vf_table.num_levels();
+        NocEnvConfig {
+            action_space: ActionSpace::PerRegionDelta { num_regions: regions, num_levels: levels },
+            sim,
+            epoch_cycles: 500,
+            epochs_per_episode: 40,
+            reward: noc_selfconf::RewardConfig::default(),
+            traffic_menu: noc_selfconf::standard_traffic_menu(),
+            seed,
+        }
+    }
+
+    /// The DQN hyper-parameters of Table 2.
+    pub fn dqn_default(seed: u64) -> DqnConfig {
+        DqnConfig::default().with_seed(seed)
+    }
+
+    /// The training budget, scaled.
+    pub fn train_budget(scale: Scale, seed: u64) -> TrainConfig {
+        TrainConfig {
+            episodes: scale.pick(250, 3),
+            max_steps: 40,
+            epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: scale.pick(7000, 60) },
+            train_per_step: 1,
+            seed,
+        }
+    }
+
+    /// The tabular baseline's configuration.
+    pub fn tabular_default() -> TabularConfig {
+        TabularConfig { bins: 3, alpha: 0.15, gamma: 0.95, ..TabularConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(f64::NAN), "—");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.42), "42.4");
+        assert_eq!(fmt(0.1234), "0.123");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(20, 4, |i| i * i);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(10, 1), 10);
+        assert_eq!(Scale::Quick.pick(10, 1), 1);
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let s = print_table("T", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+}
+
+/// The controller-comparison grid shared by Figs 4–6 and Table 3.
+pub mod comparison {
+    use super::*;
+    use noc_selfconf::{
+        run_controller, Controller, RunAggregate, StaticController, ThresholdController,
+    };
+    use noc_sim::{SimConfig, Simulator, TrafficPattern};
+
+    /// One grid point: a controller on a workload.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    pub struct ComparisonPoint {
+        /// Traffic pattern name.
+        pub pattern: String,
+        /// Offered injection rate (flits/node/cycle).
+        pub rate: f64,
+        /// Controller name.
+        pub controller: String,
+        /// Aggregate metrics of the run.
+        pub agg: RunAggregate,
+    }
+
+    /// A factory producing fresh instances of one controller flavor.
+    pub type ControllerFactory = Box<dyn FnMut() -> Box<dyn Controller> + Send>;
+
+    /// The controllers compared everywhere. Policies are trained (or loaded
+    /// from cache) for the given mesh key.
+    pub fn controllers_for(
+        sim: &SimConfig,
+        key_prefix: &str,
+        scale: Scale,
+    ) -> Vec<(&'static str, ControllerFactory)> {
+        let probe = Simulator::new(sim.clone()).expect("valid sim");
+        let caps = probe.network().region_capacity();
+        let nodes = probe.network().topology().num_nodes();
+        let drl = train_or_load(
+            &format!("{key_prefix}_drl"),
+            configs::train_env(sim.clone(), 7),
+            configs::dqn_default(7),
+            configs::train_budget(scale, 7),
+        );
+        let tab = train_or_load_tabular(
+            &format!("{key_prefix}_tabular"),
+            configs::train_env(sim.clone(), 8),
+            configs::tabular_default(),
+            configs::train_budget(scale, 8),
+        );
+        let drl = std::sync::Arc::new(drl);
+        let tab = std::sync::Arc::new(tab);
+        let caps2 = caps.clone();
+        vec![
+            ("static-max", Box::new(|| Box::new(StaticController::max()) as Box<dyn Controller>)),
+            ("static-min", Box::new(|| Box::new(StaticController::min()) as Box<dyn Controller>)),
+            (
+                "threshold",
+                Box::new(move || {
+                    Box::new(ThresholdController::new(caps2.clone(), nodes)) as Box<dyn Controller>
+                }),
+            ),
+            (
+                "tabular-q",
+                Box::new({
+                    let tab = tab.clone();
+                    move || Box::new(tab.controller()) as Box<dyn Controller>
+                }),
+            ),
+            (
+                "drl",
+                Box::new({
+                    let drl = drl.clone();
+                    move || Box::new(drl.controller()) as Box<dyn Controller>
+                }),
+            ),
+        ]
+    }
+
+    /// Injection rates of the comparison sweep.
+    pub fn sweep_rates(scale: Scale) -> Vec<f64> {
+        scale.pick(vec![0.02, 0.06, 0.10, 0.14, 0.18, 0.22], vec![0.05, 0.20])
+    }
+
+    /// Patterns of the comparison sweep.
+    pub fn sweep_patterns() -> Vec<(&'static str, TrafficPattern)> {
+        vec![
+            ("uniform", TrafficPattern::Uniform),
+            ("transpose", TrafficPattern::Transpose),
+            ("hotspot", configs::hotspot()),
+        ]
+    }
+
+    /// Run (or load from cache) the full comparison grid on the 8×8 mesh.
+    pub fn run_or_load(scale: Scale) -> Vec<ComparisonPoint> {
+        let tag = scale.pick("full", "quick");
+        let cache = results_dir().join(format!("comparison_{tag}.json"));
+        if std::env::var("EXPT_RERUN").is_err() {
+            if let Ok(bytes) = std::fs::read(&cache) {
+                if let Ok(points) = serde_json::from_slice::<Vec<ComparisonPoint>>(&bytes) {
+                    eprintln!("loaded cached comparison {}", cache.display());
+                    return points;
+                }
+            }
+        }
+        let sim = configs::mesh8();
+        let mut factories = controllers_for(&sim, "mesh8", scale);
+        let rates = sweep_rates(scale);
+        let patterns = sweep_patterns();
+        let epochs = scale.pick(40, 3);
+        let epoch_cycles = scale.pick(500, 200);
+
+        // Flatten the grid, then evaluate points in parallel per controller
+        // (controller factories are FnMut, so parallelize over the grid for
+        // each controller in turn).
+        let mut points = Vec::new();
+        for (name, factory) in factories.iter_mut() {
+            let mut grid: Vec<(String, f64, SimConfig)> = Vec::new();
+            for (pname, pattern) in &patterns {
+                for &rate in &rates {
+                    grid.push((
+                        pname.to_string(),
+                        rate,
+                        sim.clone().with_traffic(pattern.clone(), rate),
+                    ));
+                }
+            }
+            let controllers: Vec<parking_lot::Mutex<Box<dyn Controller>>> =
+                grid.iter().map(|_| parking_lot::Mutex::new(factory())).collect();
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let results = parallel_map(grid.len(), threads, |i| {
+                let (pname, rate, cfg) = &grid[i];
+                let mut c = controllers[i].lock();
+                let run = run_controller(cfg, c.as_mut(), epochs, epoch_cycles)
+                    .expect("valid configuration");
+                ComparisonPoint {
+                    pattern: pname.clone(),
+                    rate: *rate,
+                    controller: name.to_string(),
+                    agg: run.aggregate,
+                }
+            });
+            points.extend(results);
+            eprintln!("comparison: finished controller {name}");
+        }
+        std::fs::write(&cache, serde_json::to_vec(&points).expect("points serialize"))
+            .expect("cache must be writable");
+        points
+    }
+}

@@ -1,0 +1,323 @@
+//! Implementation of the `noc-cli` subcommands (library form so the logic is
+//! unit-testable without spawning processes).
+
+#![warn(missing_docs)]
+
+use noc_selfconf::{
+    run_controller, train_drl, DrlController, NocEnvConfig, StaticController,
+    ThresholdController,
+};
+use noc_sim::{PacketTrace, SimConfig, Simulator, TrafficPattern, TrafficSpec};
+use rl::{DqnAgent, DqnConfig, Schedule, TrainConfig};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+
+/// CLI-level error (message only; causes are rendered into it).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl From<noc_sim::SimError> for CliError {
+    fn from(e: noc_sim::SimError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Load a `SimConfig` from a JSON file, or the default when no path is given.
+pub fn load_config(path: Option<&str>) -> Result<SimConfig, CliError> {
+    match path {
+        Some(p) => {
+            let text = fs::read_to_string(p)?;
+            let cfg: SimConfig = serde_json::from_str(&text)?;
+            cfg.validate()?;
+            Ok(cfg)
+        }
+        None => Ok(SimConfig::default()),
+    }
+}
+
+/// `simulate`: one warmup/measure/drain run, human-readable report.
+pub fn cmd_simulate(config_path: Option<&str>) -> Result<(), CliError> {
+    let cfg = load_config(config_path)?;
+    let mut sim = Simulator::new(cfg)?;
+    let run = sim.run_classic(2000, 8000, 8000);
+    println!("cycles measured      : {}", run.window.cycles);
+    println!("avg packet latency   : {:.2} cycles", run.window.avg_packet_latency);
+    println!("avg network latency  : {:.2} cycles", run.window.avg_network_latency);
+    println!("avg hops             : {:.2}", run.window.avg_hops);
+    println!("throughput           : {:.4} flits/node/cycle", run.window.throughput);
+    println!("offered (accepted)   : {:.4} flits/node/cycle", run.window.injection_rate);
+    println!("energy               : {:.1} nJ", run.window.energy_pj / 1e3);
+    println!("  dynamic            : {:.1} nJ", run.window.dynamic_pj / 1e3);
+    println!("  leakage            : {:.1} nJ", run.window.leakage_pj / 1e3);
+    println!("EDP                  : {:.3}e6 pJ·cycles", run.window.edp() / 1e6);
+    println!("p95 latency (bucket) : {} cycles", sim.stats().latency_percentile(0.95));
+    println!("saturated            : {}", run.saturated);
+    let map = sim
+        .stats()
+        .utilization_heatmap(sim.config().width, sim.config().height);
+    if !map.is_empty() {
+        println!("link utilization (per router):\n{map}");
+    }
+    Ok(())
+}
+
+/// `sweep`: latency/throughput across an injection-rate range.
+pub fn cmd_sweep(rate0: f64, rate1: f64, steps: usize) -> Result<(), CliError> {
+    if steps < 2 || !(0.0..=1.0).contains(&rate0) || !(0.0..=1.0).contains(&rate1) {
+        return Err(CliError("sweep needs rates in [0,1] and >= 2 steps".into()));
+    }
+    println!("{:>8} {:>12} {:>12} {:>10}", "rate", "latency", "throughput", "saturated");
+    for i in 0..steps {
+        let rate = rate0 + (rate1 - rate0) * i as f64 / (steps - 1) as f64;
+        let cfg = SimConfig::default().with_traffic(TrafficPattern::Uniform, rate);
+        let mut sim = Simulator::new(cfg)?;
+        let run = sim.run_classic(1500, 5000, 5000);
+        println!(
+            "{:>8.3} {:>12.1} {:>12.4} {:>10}",
+            rate,
+            run.window.avg_packet_latency,
+            run.window.throughput,
+            if run.saturated { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}
+
+/// What `train` persists: the agent's network plus deployment metadata.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SavedPolicy {
+    /// DQN configuration (architecture).
+    pub dqn: DqnConfig,
+    /// Serialized weights.
+    pub policy_json: String,
+    /// State encoder for deployment.
+    pub encoder: noc_selfconf::StateEncoder,
+    /// Action space for deployment.
+    pub action_space: noc_selfconf::ActionSpace,
+}
+
+/// `train`: train a DQN self-configuration policy and save it as JSON.
+pub fn cmd_train(out_path: &str, episodes: usize) -> Result<(), CliError> {
+    let env_cfg = NocEnvConfig::default();
+    eprintln!("training on the default 8x8 environment for {episodes} episodes...");
+    let policy = train_drl(
+        env_cfg,
+        DqnConfig::default(),
+        TrainConfig {
+            episodes,
+            max_steps: 40,
+            epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: (episodes as u64) * 25 },
+            train_per_step: 1,
+            seed: 7,
+        },
+    )?;
+    let quarter = (policy.curve.len() / 4).max(1);
+    let late: f64 = policy.curve[policy.curve.len() - quarter..]
+        .iter()
+        .map(|e| e.total_reward)
+        .sum::<f64>()
+        / quarter as f64;
+    eprintln!("final mean episode return: {late:.2}");
+    let saved = SavedPolicy {
+        dqn: policy.agent.config().clone(),
+        policy_json: policy
+            .agent
+            .policy_to_json()
+            .map_err(|e| CliError(e.to_string()))?,
+        encoder: policy.encoder,
+        action_space: policy.action_space,
+    };
+    fs::write(out_path, serde_json::to_string(&saved)?)?;
+    println!("saved policy to {out_path}");
+    Ok(())
+}
+
+/// `evaluate`: run a saved policy against the baselines on the default mesh.
+pub fn cmd_evaluate(policy_path: &str) -> Result<(), CliError> {
+    let saved: SavedPolicy = serde_json::from_str(&fs::read_to_string(policy_path)?)?;
+    let mut agent = DqnAgent::new(saved.dqn);
+    agent
+        .policy_from_json(&saved.policy_json)
+        .map_err(|e| CliError(e.to_string()))?;
+    let cfg = SimConfig::default().with_traffic(TrafficPattern::Uniform, 0.12);
+    let probe = Simulator::new(cfg.clone())?;
+    let caps = probe.network().region_capacity();
+    let nodes = probe.network().topology().num_nodes();
+    let mut controllers: Vec<Box<dyn noc_selfconf::Controller>> = vec![
+        Box::new(StaticController::max()),
+        Box::new(StaticController::min()),
+        Box::new(ThresholdController::new(caps, nodes)),
+        Box::new(DrlController::new(agent, saved.encoder, saved.action_space)),
+    ];
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>10}",
+        "controller", "latency", "energy (nJ)", "EDP (e6)", "mean lvl"
+    );
+    for c in controllers.iter_mut() {
+        let run = run_controller(&cfg, c.as_mut(), 40, 500)?;
+        println!(
+            "{:>12} {:>10.1} {:>12.1} {:>12.2} {:>10.2}",
+            run.aggregate.controller,
+            run.aggregate.avg_latency,
+            run.aggregate.energy_pj / 1e3,
+            run.aggregate.edp / 1e6,
+            run.aggregate.mean_level
+        );
+    }
+    Ok(())
+}
+
+/// `replay`: drive the default mesh with a packet trace from a CSV file
+/// (`cycle,src,dst,len` per line) and report delivery statistics.
+pub fn cmd_replay(trace_path: &str, repeat_every: Option<u64>) -> Result<(), CliError> {
+    let text = fs::read_to_string(trace_path)?;
+    let trace = PacketTrace::from_csv(&text, repeat_every)?;
+    let n_events = trace.len();
+    let cfg = SimConfig::default().with_traffic_spec(TrafficSpec::Trace(trace));
+    let mut sim = Simulator::new(cfg)?;
+    // Run until the trace drains (or a generous bound for repeating traces).
+    let bound: u64 = if repeat_every.is_some() { 50_000 } else { 200_000 };
+    let mut idle_streak = 0u32;
+    for _ in 0..bound / 100 {
+        sim.run(100);
+        if repeat_every.is_none() {
+            if sim.network().in_flight() == 0 && sim.stats().offered_packets as usize >= n_events
+            {
+                idle_streak += 1;
+                if idle_streak > 2 {
+                    break;
+                }
+            } else {
+                idle_streak = 0;
+            }
+        }
+    }
+    let s = sim.stats();
+    println!("trace events         : {n_events}");
+    println!("packets delivered    : {}", s.ejected_packets);
+    println!("avg packet latency   : {:.2} cycles", s.avg_packet_latency());
+    println!("p95 latency (bucket) : {} cycles", s.latency_percentile(0.95));
+    println!("energy               : {:.1} nJ", s.energy.total_pj() / 1e3);
+    println!("cycles simulated     : {}", sim.cycle());
+    Ok(())
+}
+
+/// `default-config`: dump the default `SimConfig` as editable JSON.
+pub fn cmd_default_config() -> Result<(), CliError> {
+    println!("{}", serde_json::to_string_pretty(&SimConfig::default())?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_loads_when_no_path() {
+        let cfg = load_config(None).unwrap();
+        assert_eq!(cfg, SimConfig::default());
+    }
+
+    #[test]
+    fn config_roundtrips_through_json_file() {
+        let dir = std::env::temp_dir().join("noc_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cfg.json");
+        let cfg = SimConfig::default().with_size(4, 4).with_seed(5);
+        fs::write(&path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        let loaded = load_config(Some(path.to_str().unwrap())).unwrap();
+        assert_eq!(loaded, cfg);
+    }
+
+    #[test]
+    fn invalid_config_file_is_rejected() {
+        let dir = std::env::temp_dir().join("noc_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "{\"not\": \"a config\"}").unwrap();
+        assert!(load_config(Some(path.to_str().unwrap())).is_err());
+        assert!(load_config(Some("/nonexistent/file.json")).is_err());
+    }
+
+    #[test]
+    fn sweep_validates_arguments() {
+        assert!(cmd_sweep(0.5, 0.1, 1).is_err());
+        assert!(cmd_sweep(-0.1, 0.5, 3).is_err());
+    }
+
+    #[test]
+    fn replay_runs_a_csv_trace() {
+        let dir = std::env::temp_dir().join("noc_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        fs::write(&path, "# demo\n0,0,63,5\n10,5,9,3\n20,60,3,4\n").unwrap();
+        assert!(cmd_replay(path.to_str().unwrap(), None).is_ok());
+        assert!(cmd_replay("/nonexistent.csv", None).is_err());
+    }
+
+    #[test]
+    fn train_and_evaluate_roundtrip() {
+        // Micro budget: just proves the save/load/deploy chain.
+        let dir = std::env::temp_dir().join("noc_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        let env_cfg = NocEnvConfig {
+            sim: SimConfig::default().with_size(4, 4).with_regions(2, 2),
+            epoch_cycles: 100,
+            epochs_per_episode: 3,
+            traffic_menu: vec![],
+            ..NocEnvConfig::default()
+        };
+        let policy = train_drl(
+            env_cfg,
+            DqnConfig { hidden: vec![8], batch_size: 4, min_replay: 4, ..DqnConfig::default() },
+            TrainConfig {
+                episodes: 2,
+                max_steps: 3,
+                epsilon: Schedule::Constant(1.0),
+                train_per_step: 1,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let saved = SavedPolicy {
+            dqn: policy.agent.config().clone(),
+            policy_json: policy.agent.policy_to_json().unwrap(),
+            encoder: policy.encoder,
+            action_space: policy.action_space,
+        };
+        fs::write(&path, serde_json::to_string(&saved).unwrap()).unwrap();
+        // Reload and rebuild the controller.
+        let loaded: SavedPolicy =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        let mut agent = DqnAgent::new(loaded.dqn);
+        agent.policy_from_json(&loaded.policy_json).unwrap();
+        let mut controller =
+            DrlController::new(agent, loaded.encoder, loaded.action_space);
+        let cfg = SimConfig::default().with_size(4, 4).with_regions(2, 2);
+        let run = run_controller(&cfg, &mut controller, 3, 100).unwrap();
+        assert_eq!(run.epochs.len(), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! `noc-cli` — command-line front end for the self-configurable NoC stack.
+//!
+//! ```text
+//! noc-cli simulate [config.json]        run one warmup/measure/drain simulation
+//! noc-cli sweep <rate0> <rate1> <n>     latency-throughput sweep at n rates
+//! noc-cli train <out.json> [episodes]   train a DQN policy and save it
+//! noc-cli evaluate <policy.json>        run a saved policy vs the baselines
+//! noc-cli replay <trace.csv> [period]   replay a packet trace (CSV)
+//! noc-cli default-config                print the default SimConfig as JSON
+//! ```
+//!
+//! Argument parsing is intentionally dependency-free.
+
+use noc_cli::{cmd_default_config, cmd_evaluate, cmd_replay, cmd_simulate, cmd_sweep, cmd_train, CliError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
+        Some("simulate") => cmd_simulate(args.get(1).map(String::as_str)),
+        Some("sweep") => {
+            let parse = |i: usize, what: &str| {
+                args.get(i)
+                    .ok_or_else(|| CliError(format!("missing argument: {what}")))?
+                    .parse::<f64>()
+                    .map_err(|e| CliError(format!("bad {what}: {e}")))
+            };
+            match (parse(1, "rate0"), parse(2, "rate1"), parse(3, "steps")) {
+                (Ok(a), Ok(b), Ok(n)) => cmd_sweep(a, b, n as usize),
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
+            }
+        }
+        Some("train") => match args.get(1) {
+            Some(out) => {
+                let episodes =
+                    args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60usize);
+                cmd_train(out, episodes)
+            }
+            None => Err(CliError("train requires an output path".into())),
+        },
+        Some("evaluate") => match args.get(1) {
+            Some(path) => cmd_evaluate(path),
+            None => Err(CliError("evaluate requires a policy path".into())),
+        },
+        Some("replay") => match args.get(1) {
+            Some(path) => {
+                let period = args.get(2).and_then(|s| s.parse().ok());
+                cmd_replay(path, period)
+            }
+            None => Err(CliError("replay requires a trace path".into())),
+        },
+        Some("default-config") => cmd_default_config(),
+        _ => {
+            eprintln!(
+                "usage: noc-cli <simulate [config.json] | sweep <r0> <r1> <n> | \
+                 train <out.json> [episodes] | evaluate <policy.json> | \
+                 replay <trace.csv> [period] | default-config>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

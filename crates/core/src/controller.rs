@@ -1,0 +1,416 @@
+//! Runtime controllers: the trained DRL policy and every baseline the
+//! evaluation compares against.
+//!
+//! A controller sees the last epoch's telemetry and the current per-region
+//! V/F levels and returns the level vector for the next epoch (and
+//! optionally a routing choice).
+
+use crate::action::ActionSpace;
+use crate::state::StateEncoder;
+use noc_sim::{RoutingAlgorithm, WindowMetrics};
+use rl::{DqnAgent, TabularQ};
+use std::fmt;
+
+/// What a controller wants the next epoch to look like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlDecision {
+    /// Target V/F level per region.
+    pub levels: Vec<usize>,
+    /// Routing switch, if the controller manages routing.
+    pub routing: Option<RoutingAlgorithm>,
+}
+
+/// A runtime configuration policy. `Send` so experiment harnesses can
+/// evaluate controllers on worker threads.
+pub trait Controller: Send {
+    /// Short name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Decide the next configuration given the last epoch's telemetry and
+    /// the current per-region levels (`num_levels` entries are valid:
+    /// `0..num_levels`).
+    fn decide(
+        &mut self,
+        metrics: &WindowMetrics,
+        levels: &[usize],
+        num_levels: usize,
+    ) -> ControlDecision;
+}
+
+impl fmt::Debug for dyn Controller + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Controller({})", self.name())
+    }
+}
+
+/// Holds every region at one fixed level. `StaticController::max` is the
+/// performance baseline, `StaticController::min` the energy floor.
+#[derive(Debug, Clone)]
+pub struct StaticController {
+    name: String,
+    level: LevelChoice,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LevelChoice {
+    Max,
+    Min,
+    Fixed(usize),
+}
+
+impl StaticController {
+    /// Always run at the nominal (fastest) level.
+    pub fn max() -> Self {
+        StaticController { name: "static-max".into(), level: LevelChoice::Max }
+    }
+
+    /// Always run at the lowest level.
+    pub fn min() -> Self {
+        StaticController { name: "static-min".into(), level: LevelChoice::Min }
+    }
+
+    /// Always run at a fixed level index.
+    pub fn fixed(level: usize) -> Self {
+        StaticController { name: format!("static-{level}"), level: LevelChoice::Fixed(level) }
+    }
+}
+
+impl Controller for StaticController {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(
+        &mut self,
+        _metrics: &WindowMetrics,
+        levels: &[usize],
+        num_levels: usize,
+    ) -> ControlDecision {
+        let l = match self.level {
+            LevelChoice::Max => num_levels - 1,
+            LevelChoice::Min => 0,
+            LevelChoice::Fixed(l) => l.min(num_levels - 1),
+        };
+        ControlDecision { levels: vec![l; levels.len()], routing: None }
+    }
+}
+
+/// The classic reactive DVFS heuristic: per region, raise the level when
+/// buffer occupancy exceeds `high`, lower it when occupancy falls below
+/// `low` (hysteresis band in between holds). Because wormhole flow control
+/// pushes congestion back into the *source queues* rather than router
+/// buffers, the controller additionally jumps every region to the top level
+/// while the per-node source backlog exceeds `backlog_high` flits.
+///
+/// ```
+/// use noc_selfconf::{run_controller, ThresholdController};
+/// use noc_sim::{SimConfig, Simulator};
+///
+/// let cfg = SimConfig::default().with_size(4, 4).with_regions(2, 2);
+/// let net = Simulator::new(cfg.clone())?;
+/// let mut heuristic = ThresholdController::new(
+///     net.network().region_capacity(),
+///     net.network().topology().num_nodes(),
+/// );
+/// let run = run_controller(&cfg, &mut heuristic, 4, 100)?;
+/// assert_eq!(run.epochs.len(), 4);
+/// # Ok::<(), noc_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdController {
+    /// Occupancy fraction above which the region speeds up.
+    pub high: f64,
+    /// Occupancy fraction below which the region slows down.
+    pub low: f64,
+    /// Source backlog (flits per node) above which every region jumps to
+    /// the top level.
+    pub backlog_high: f64,
+    /// Buffer capacity per region (normalizer).
+    region_capacity: Vec<usize>,
+    /// Node count (normalizer for the backlog trigger).
+    num_nodes: usize,
+}
+
+impl ThresholdController {
+    /// Standard thresholds: raise above 10 % occupancy, lower below 2 %,
+    /// panic to maximum when source queues back up past 1 flit/node.
+    pub fn new(region_capacity: Vec<usize>, num_nodes: usize) -> Self {
+        ThresholdController {
+            high: 0.10,
+            low: 0.02,
+            backlog_high: 1.0,
+            region_capacity,
+            num_nodes: num_nodes.max(1),
+        }
+    }
+
+    /// Custom occupancy thresholds.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= low < high <= 1`.
+    pub fn with_thresholds(
+        region_capacity: Vec<usize>,
+        num_nodes: usize,
+        low: f64,
+        high: f64,
+    ) -> Self {
+        assert!(0.0 <= low && low < high && high <= 1.0, "need 0 <= low < high <= 1");
+        ThresholdController {
+            high,
+            low,
+            backlog_high: 1.0,
+            region_capacity,
+            num_nodes: num_nodes.max(1),
+        }
+    }
+}
+
+impl Controller for ThresholdController {
+    fn name(&self) -> &str {
+        "threshold"
+    }
+
+    fn decide(
+        &mut self,
+        metrics: &WindowMetrics,
+        levels: &[usize],
+        num_levels: usize,
+    ) -> ControlDecision {
+        // Saturation escape hatch: source queues backing up means the
+        // network is under-clocked regardless of buffer occupancy.
+        if metrics.avg_backlog / self.num_nodes as f64 > self.backlog_high {
+            return ControlDecision { levels: vec![num_levels - 1; levels.len()], routing: None };
+        }
+        let out = levels
+            .iter()
+            .enumerate()
+            .map(|(r, &l)| {
+                let cap = self.region_capacity.get(r).copied().unwrap_or(1).max(1) as f64;
+                let occ = metrics.region_occupancy.get(r).copied().unwrap_or(0.0) / cap;
+                if occ > self.high {
+                    (l + 1).min(num_levels - 1)
+                } else if occ < self.low {
+                    l.saturating_sub(1)
+                } else {
+                    l
+                }
+            })
+            .collect();
+        ControlDecision { levels: out, routing: None }
+    }
+}
+
+/// The trained deep-RL policy: encodes telemetry with the shared
+/// [`StateEncoder`], queries the DQN greedily, and translates the action
+/// through the [`ActionSpace`].
+#[derive(Debug)]
+pub struct DrlController {
+    agent: DqnAgent,
+    encoder: StateEncoder,
+    action_space: ActionSpace,
+    name: String,
+}
+
+impl DrlController {
+    /// Wrap a trained agent.
+    ///
+    /// # Panics
+    /// Panics if the agent's dimensions disagree with the encoder/action
+    /// space.
+    pub fn new(agent: DqnAgent, encoder: StateEncoder, action_space: ActionSpace) -> Self {
+        assert_eq!(agent.config().state_dim, encoder.state_dim(), "state dim mismatch");
+        assert_eq!(
+            agent.config().num_actions,
+            action_space.num_actions(),
+            "action count mismatch"
+        );
+        DrlController { agent, encoder, action_space, name: "drl".into() }
+    }
+
+    /// The wrapped agent (e.g. for checkpointing).
+    pub fn agent(&self) -> &DqnAgent {
+        &self.agent
+    }
+
+    /// The greedy action the policy would take for the given telemetry.
+    pub fn action_for(&self, metrics: &WindowMetrics, levels: &[usize]) -> usize {
+        let state = self.encoder.encode(metrics, levels);
+        self.agent.greedy_action(&state)
+    }
+}
+
+impl Controller for DrlController {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(
+        &mut self,
+        metrics: &WindowMetrics,
+        levels: &[usize],
+        _num_levels: usize,
+    ) -> ControlDecision {
+        let action = self.action_for(metrics, levels);
+        ControlDecision {
+            levels: self.action_space.levels_after(action, levels),
+            routing: self.action_space.routing_after(action),
+        }
+    }
+}
+
+/// The tabular Q-learning baseline wrapped as a controller.
+#[derive(Debug)]
+pub struct TabularController {
+    agent: TabularQ,
+    encoder: StateEncoder,
+    action_space: ActionSpace,
+}
+
+impl TabularController {
+    /// Wrap a trained tabular agent.
+    ///
+    /// # Panics
+    /// Panics if the agent's dimensions disagree with the encoder/action
+    /// space.
+    pub fn new(agent: TabularQ, encoder: StateEncoder, action_space: ActionSpace) -> Self {
+        assert_eq!(agent.config().state_dim, encoder.state_dim(), "state dim mismatch");
+        assert_eq!(
+            agent.config().num_actions,
+            action_space.num_actions(),
+            "action count mismatch"
+        );
+        TabularController { agent, encoder, action_space }
+    }
+}
+
+impl Controller for TabularController {
+    fn name(&self) -> &str {
+        "tabular-q"
+    }
+
+    fn decide(
+        &mut self,
+        metrics: &WindowMetrics,
+        levels: &[usize],
+        _num_levels: usize,
+    ) -> ControlDecision {
+        let state = self.encoder.encode(metrics, levels);
+        let action = self.agent.greedy_action(&state);
+        ControlDecision {
+            levels: self.action_space.levels_after(action, levels),
+            routing: self.action_space.routing_after(action),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with_occupancy(occ: Vec<f64>) -> WindowMetrics {
+        WindowMetrics {
+            cycles: 100,
+            injected_flits: 0,
+            ejected_flits: 0,
+            ejected_packets: 0,
+            latency_samples: 0,
+            avg_packet_latency: f64::NAN,
+            avg_network_latency: f64::NAN,
+            avg_hops: f64::NAN,
+            throughput: 0.0,
+            injection_rate: 0.0,
+            energy_pj: 0.0,
+            dynamic_pj: 0.0,
+            leakage_pj: 0.0,
+            avg_occupancy: occ.iter().sum(),
+            region_injected_flits: vec![0; occ.len()],
+            region_occupancy: occ,
+            avg_backlog: 0.0,
+        }
+    }
+
+    #[test]
+    fn static_controllers_pin_levels() {
+        let m = metrics_with_occupancy(vec![0.0; 4]);
+        let mut hi = StaticController::max();
+        let mut lo = StaticController::min();
+        let mut two = StaticController::fixed(2);
+        assert_eq!(hi.decide(&m, &[0, 1, 2, 3], 4).levels, vec![3; 4]);
+        assert_eq!(lo.decide(&m, &[0, 1, 2, 3], 4).levels, vec![0; 4]);
+        assert_eq!(two.decide(&m, &[0, 1, 2, 3], 4).levels, vec![2; 4]);
+        assert_eq!(hi.name(), "static-max");
+    }
+
+    #[test]
+    fn threshold_raises_on_congestion_and_lowers_when_idle() {
+        let mut c = ThresholdController::new(vec![100; 2], 16);
+        // Region 0 congested (40%), region 1 idle (1%).
+        let m = metrics_with_occupancy(vec![40.0, 1.0]);
+        let d = c.decide(&m, &[1, 2], 4);
+        assert_eq!(d.levels, vec![2, 1]);
+    }
+
+    #[test]
+    fn threshold_holds_inside_hysteresis_band() {
+        let mut c = ThresholdController::new(vec![100; 1], 16);
+        let m = metrics_with_occupancy(vec![5.0]); // between 2% and 10%
+        assert_eq!(c.decide(&m, &[2], 4).levels, vec![2]);
+    }
+
+    #[test]
+    fn threshold_saturates_at_bounds() {
+        let mut c = ThresholdController::new(vec![100; 1], 16);
+        let hot = metrics_with_occupancy(vec![90.0]);
+        assert_eq!(c.decide(&hot, &[3], 4).levels, vec![3]);
+        let cold = metrics_with_occupancy(vec![0.0]);
+        assert_eq!(c.decide(&cold, &[0], 4).levels, vec![0]);
+    }
+
+    #[test]
+    fn threshold_panics_to_max_on_backlog() {
+        let mut c = ThresholdController::new(vec![100; 2], 16);
+        let mut m = metrics_with_occupancy(vec![0.0, 0.0]);
+        m.avg_backlog = 100.0; // > 1 flit/node on 16 nodes
+        assert_eq!(c.decide(&m, &[0, 1], 4).levels, vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn bad_thresholds_panic() {
+        let _ = ThresholdController::with_thresholds(vec![1], 16, 0.5, 0.2);
+    }
+
+    #[test]
+    fn drl_controller_translates_actions() {
+        use rl::DqnConfig;
+        let encoder = StateEncoder::new(vec![100; 4], vec![4; 4], 4, 16);
+        let space = ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 };
+        let agent = DqnAgent::new(
+            DqnConfig::default().with_dims(encoder.state_dim(), space.num_actions()),
+        );
+        let mut c = DrlController::new(agent, encoder, space);
+        let m = metrics_with_occupancy(vec![1.0; 4]);
+        let d = c.decide(&m, &[2, 2, 2, 2], 4);
+        assert_eq!(d.levels.len(), 4);
+        assert!(d.levels.iter().all(|&l| l < 4));
+        // Deterministic: same input, same decision.
+        assert_eq!(d, c.decide(&m, &[2, 2, 2, 2], 4));
+        assert_eq!(c.name(), "drl");
+    }
+
+    #[test]
+    fn tabular_controller_translates_actions() {
+        use rl::TabularConfig;
+        let encoder = StateEncoder::new(vec![100; 4], vec![4; 4], 4, 16);
+        let space = ActionSpace::UniformLevel { num_levels: 4 };
+        let agent = TabularQ::new(TabularConfig {
+            state_dim: encoder.state_dim(),
+            num_actions: space.num_actions(),
+            ..TabularConfig::default()
+        });
+        let mut c = TabularController::new(agent, encoder, space);
+        let m = metrics_with_occupancy(vec![1.0; 4]);
+        let d = c.decide(&m, &[2, 2, 2, 2], 4);
+        assert_eq!(d.levels, vec![0; 4], "untrained table is greedy toward action 0");
+    }
+}

@@ -1,0 +1,52 @@
+//! # noc-selfconf — deep-RL self-configuration for NoCs
+//!
+//! The primary contribution of *Deep Reinforcement Learning for
+//! Self-Configurable NoC* (SOCC 2020), reproduced: a runtime agent that
+//! observes per-epoch NoC telemetry and reconfigures per-region DVFS levels
+//! (and optionally the routing algorithm) to trade latency against energy.
+//!
+//! * [`state`] — telemetry → observation vector.
+//! * [`action`] — discrete action → configuration change.
+//! * [`reward`] — the latency/energy/throughput objective.
+//! * [`mod@env`] — `NocEnv`, the Gym-style environment over the simulator.
+//! * [`controller`] — the DRL policy plus static / threshold / tabular
+//!   baselines behind one `Controller` trait.
+//! * [`training`] — training and controller-evaluation drivers.
+//!
+//! ```no_run
+//! use noc_selfconf::{train_drl, NocEnvConfig};
+//! use rl::{DqnConfig, TrainConfig};
+//!
+//! # fn main() -> Result<(), noc_sim::SimError> {
+//! let policy = train_drl(
+//!     NocEnvConfig::default(),
+//!     DqnConfig::default(),
+//!     TrainConfig { episodes: 150, max_steps: 40, ..TrainConfig::default() },
+//! )?;
+//! println!("trained for {} gradient steps", policy.agent.train_steps());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod action;
+pub mod controller;
+pub mod env;
+pub mod reward;
+pub mod state;
+pub mod training;
+
+pub use action::ActionSpace;
+pub use controller::{
+    ControlDecision, Controller, DrlController, StaticController, TabularController,
+    ThresholdController,
+};
+pub use env::{standard_traffic_menu, NocEnv, NocEnvConfig};
+pub use reward::RewardConfig;
+pub use state::StateEncoder;
+pub use training::{
+    aggregate_run, run_controller, train_drl, train_tabular, ControllerRun, RunAggregate,
+    TrainedPolicy,
+};

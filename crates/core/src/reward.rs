@@ -1,0 +1,236 @@
+//! The reward function: the latency/energy/throughput trade-off the agent
+//! optimizes.
+//!
+//! `r = w_t·throughput − w_l·latencỹ − w_e·energỹ − penalty·[latency > limit]`
+//!
+//! where `latencỹ` and `energỹ` are normalized to be O(1) at typical
+//! operating points, so the weights express the paper's intent directly:
+//! keep latency near the performance target while cutting energy.
+
+use noc_sim::WindowMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Reward weights and normalizers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Weight on normalized latency (cost).
+    pub latency_weight: f64,
+    /// Weight on normalized energy (cost).
+    pub energy_weight: f64,
+    /// Weight on accepted throughput (benefit).
+    pub throughput_weight: f64,
+    /// Latency (cycles) that maps to a normalized latency of 1.
+    pub latency_scale: f64,
+    /// Energy per node per cycle (pJ) that maps to a normalized energy of 1.
+    pub energy_scale: f64,
+    /// Hard latency constraint: exceeding it costs `violation_penalty`.
+    pub latency_limit: Option<f64>,
+    /// Extra cost when the latency limit is violated.
+    pub violation_penalty: f64,
+    /// Weight on normalized source backlog. Backlog measures *depth* of
+    /// saturation, giving the agent a recovery gradient when the latency
+    /// signal is already pinned at its cap.
+    pub backlog_weight: f64,
+    /// Backlog (flits per node) that maps to a normalized backlog of 1
+    /// (capped at 3).
+    pub backlog_scale: f64,
+}
+
+impl Default for RewardConfig {
+    /// Constraint-oriented defaults for the 8×8 configuration, calibrated
+    /// against the simulator's measured operating points (idle ≈ 1.4, mid
+    /// ≈ 4, burst ≈ 8 pJ/node/cycle at nominal V/F): energy dominates while
+    /// the latency constraint (80 cycles ≈ 3× zero-load) is met, and a harsh
+    /// violation penalty makes saturation strictly worse than running fast.
+    fn default() -> Self {
+        RewardConfig {
+            latency_weight: 0.5,
+            energy_weight: 1.0,
+            throughput_weight: 0.25,
+            latency_scale: 60.0,
+            energy_scale: 4.0,
+            latency_limit: Some(80.0),
+            violation_penalty: 4.0,
+            backlog_weight: 0.5,
+            backlog_scale: 10.0,
+        }
+    }
+}
+
+impl RewardConfig {
+    /// Energy-biased variant (for ablations): doubles the energy weight,
+    /// halves the latency weight, and relaxes the latency constraint.
+    pub fn energy_biased() -> Self {
+        RewardConfig {
+            energy_weight: 2.0,
+            latency_weight: 0.25,
+            latency_limit: Some(160.0),
+            violation_penalty: 2.0,
+            ..RewardConfig::default()
+        }
+    }
+
+    /// Latency-biased variant (for ablations): latency dominates and the
+    /// constraint tightens.
+    pub fn latency_biased() -> Self {
+        RewardConfig {
+            energy_weight: 0.3,
+            latency_weight: 2.0,
+            latency_limit: Some(50.0),
+            violation_penalty: 6.0,
+            ..RewardConfig::default()
+        }
+    }
+
+    /// Normalized latency for an epoch: `avg_latency / latency_scale`,
+    /// capped at 4. When no packet completed, a stalled network (buffers
+    /// occupied) reads as the cap — the worst signal the agent can receive —
+    /// while an idle network reads as 0.
+    pub fn normalized_latency(&self, m: &WindowMetrics) -> f64 {
+        if m.latency_samples > 0 {
+            (m.avg_packet_latency / self.latency_scale).min(4.0)
+        } else if m.avg_occupancy > 0.5 {
+            4.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Normalized energy: pJ per node per cycle over `energy_scale`.
+    pub fn normalized_energy(&self, m: &WindowMetrics, num_nodes: usize) -> f64 {
+        let per_node_cycle =
+            m.energy_pj / (m.cycles.max(1) as f64 * num_nodes.max(1) as f64);
+        per_node_cycle / self.energy_scale
+    }
+
+    /// Normalized source backlog: flits/node over `backlog_scale`, capped
+    /// at 3.
+    pub fn normalized_backlog(&self, m: &WindowMetrics, num_nodes: usize) -> f64 {
+        (m.avg_backlog / (num_nodes.max(1) as f64 * self.backlog_scale)).min(3.0)
+    }
+
+    /// Compute the epoch reward.
+    pub fn compute(&self, m: &WindowMetrics, num_nodes: usize) -> f64 {
+        let lat = self.normalized_latency(m);
+        let energy = self.normalized_energy(m, num_nodes);
+        let mut r = self.throughput_weight * m.throughput
+            - self.latency_weight * lat
+            - self.energy_weight * energy
+            - self.backlog_weight * self.normalized_backlog(m, num_nodes);
+        if let Some(limit) = self.latency_limit {
+            let violated = if m.latency_samples > 0 {
+                m.avg_packet_latency > limit
+            } else {
+                m.avg_occupancy > 0.5 // stalled counts as violating
+            };
+            if violated {
+                r -= self.violation_penalty;
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(latency: f64, energy_pj: f64, throughput: f64) -> WindowMetrics {
+        WindowMetrics {
+            cycles: 100,
+            injected_flits: 100,
+            ejected_flits: 100,
+            ejected_packets: 20,
+            latency_samples: 20,
+            avg_packet_latency: latency,
+            avg_network_latency: latency * 0.8,
+            avg_hops: 4.0,
+            throughput,
+            injection_rate: throughput,
+            energy_pj,
+            dynamic_pj: energy_pj * 0.7,
+            leakage_pj: energy_pj * 0.3,
+            avg_occupancy: 5.0,
+            region_occupancy: vec![5.0],
+            region_injected_flits: vec![100],
+            avg_backlog: 0.0,
+        }
+    }
+
+    #[test]
+    fn lower_latency_earns_more() {
+        let r = RewardConfig::default();
+        let fast = r.compute(&metrics(20.0, 1000.0, 0.1), 16);
+        let slow = r.compute(&metrics(80.0, 1000.0, 0.1), 16);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn lower_energy_earns_more() {
+        let r = RewardConfig::default();
+        let lean = r.compute(&metrics(30.0, 500.0, 0.1), 16);
+        let hungry = r.compute(&metrics(30.0, 5000.0, 0.1), 16);
+        assert!(lean > hungry);
+    }
+
+    #[test]
+    fn higher_throughput_earns_more() {
+        let r = RewardConfig::default();
+        let hi = r.compute(&metrics(30.0, 1000.0, 0.3), 16);
+        let lo = r.compute(&metrics(30.0, 1000.0, 0.05), 16);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn latency_violation_is_penalized() {
+        let r = RewardConfig::default();
+        let ok = r.compute(&metrics(79.0, 1000.0, 0.1), 16);
+        let bad = r.compute(&metrics(81.0, 1000.0, 0.1), 16);
+        // The marginal latency difference is tiny; the penalty dominates.
+        assert!(ok - bad > 3.5, "penalty should cost ~4: ok={ok}, bad={bad}");
+    }
+
+    #[test]
+    fn stalled_traffic_reads_as_violation() {
+        let r = RewardConfig::default();
+        let mut m = metrics(0.0, 1000.0, 0.0);
+        m.latency_samples = 0;
+        m.avg_occupancy = 100.0;
+        let stalled = r.compute(&m, 16);
+        m.avg_occupancy = 0.0;
+        let idle = r.compute(&m, 16);
+        assert!(idle > stalled, "a stalled network must score below an idle one");
+    }
+
+    #[test]
+    fn normalizers_are_sane() {
+        let r = RewardConfig::default();
+        let m = metrics(60.0, 6400.0, 0.1);
+        assert!((r.normalized_latency(&m) - 1.0).abs() < 1e-9);
+        // 6400 pJ / (100 cycles × 16 nodes) = 4 pJ/node/cycle = scale.
+        assert!((r.normalized_energy(&m, 16) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_backlog_scores_worse() {
+        let r = RewardConfig::default();
+        let shallow = metrics(70.0, 1000.0, 0.1);
+        let mut deep = shallow.clone();
+        deep.avg_backlog = 2000.0; // 125 flits/node on 16 nodes
+        assert!(r.compute(&shallow, 16) > r.compute(&deep, 16) + 1.0,
+            "deep saturation must cost via the backlog term");
+        // The term is capped: even absurd backlog stays finite.
+        deep.avg_backlog = 1e12;
+        assert!(r.compute(&deep, 16).is_finite());
+    }
+
+    #[test]
+    fn biased_variants_shift_tradeoff() {
+        let m_fast_hungry = metrics(20.0, 8000.0, 0.1);
+        let m_slow_lean = metrics(80.0, 800.0, 0.1);
+        let e = RewardConfig::energy_biased();
+        assert!(e.compute(&m_slow_lean, 16) > e.compute(&m_fast_hungry, 16));
+        let l = RewardConfig::latency_biased();
+        assert!(l.compute(&m_fast_hungry, 16) > l.compute(&m_slow_lean, 16));
+    }
+}

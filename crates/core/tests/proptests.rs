@@ -1,0 +1,135 @@
+//! Property-based tests of the self-configuration layer: action-space
+//! totality, encoder boundedness, reward monotonicity.
+
+use noc_selfconf::{ActionSpace, RewardConfig, StateEncoder};
+use noc_sim::{RoutingAlgorithm, WindowMetrics};
+use proptest::prelude::*;
+
+fn any_metrics(regions: usize) -> impl Strategy<Value = WindowMetrics> {
+    (
+        1u64..10_000,
+        0u64..100_000,
+        0u64..100_000,
+        0u64..5_000,
+        0.0f64..5_000.0,
+        0.0f64..1e7,
+        prop::collection::vec(0.0f64..1e4, regions),
+        prop::collection::vec(0u64..100_000, regions),
+        0.0f64..1e5,
+    )
+        .prop_map(
+            move |(cycles, injected, ejected, samples, lat, energy, occ, rinj, backlog)| {
+                WindowMetrics {
+                    cycles,
+                    injected_flits: injected,
+                    ejected_flits: ejected,
+                    ejected_packets: samples,
+                    latency_samples: samples,
+                    avg_packet_latency: if samples > 0 { lat } else { f64::NAN },
+                    avg_network_latency: if samples > 0 { lat * 0.8 } else { f64::NAN },
+                    avg_hops: 4.0,
+                    throughput: ejected as f64 / (cycles as f64 * 64.0),
+                    injection_rate: injected as f64 / (cycles as f64 * 64.0),
+                    energy_pj: energy,
+                    dynamic_pj: energy * 0.7,
+                    leakage_pj: energy * 0.3,
+                    avg_occupancy: occ.iter().sum(),
+                    region_occupancy: occ,
+                    region_injected_flits: rinj,
+                    avg_backlog: backlog,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `levels_after` is total over its action range and always produces
+    /// valid level indices, for every action-space flavor.
+    #[test]
+    fn action_spaces_are_total(
+        num_regions in 1usize..8,
+        num_levels in 2usize..6,
+        current in prop::collection::vec(0usize..6, 1..8),
+    ) {
+        let spaces = [
+            ActionSpace::UniformLevel { num_levels },
+            ActionSpace::PerRegionDelta { num_regions, num_levels },
+            ActionSpace::LevelAndRouting {
+                num_levels,
+                routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
+            },
+        ];
+        for space in spaces {
+            let cur: Vec<usize> = match &space {
+                ActionSpace::PerRegionDelta { num_regions, num_levels } => current
+                    .iter()
+                    .cycle()
+                    .take(*num_regions)
+                    .map(|&l| l % num_levels)
+                    .collect(),
+                _ => current.iter().map(|&l| l % num_levels).collect(),
+            };
+            for a in 0..space.num_actions() {
+                let next = space.levels_after(a, &cur);
+                prop_assert_eq!(next.len(), cur.len());
+                prop_assert!(next.iter().all(|&l| l < num_levels),
+                    "action {a} produced invalid level: {next:?}");
+                // Delta moves change levels by at most one step each, and
+                // either a single region or all regions in one direction.
+                if matches!(space, ActionSpace::PerRegionDelta { .. }) {
+                    let changed: Vec<_> = next.iter().zip(&cur)
+                        .filter(|(n, c)| n != c).collect();
+                    for (n, c) in &changed {
+                        prop_assert_eq!(n.abs_diff(**c), 1);
+                    }
+                    if changed.len() > 1 {
+                        // Global action: every change same direction.
+                        let up = changed.iter().filter(|(n, c)| n > c).count();
+                        prop_assert!(up == 0 || up == changed.len());
+                    }
+                }
+                // Descriptions never panic and are non-empty.
+                prop_assert!(!space.describe(a).is_empty());
+            }
+        }
+    }
+
+    /// The state encoder produces bounded, finite features for arbitrary
+    /// telemetry.
+    #[test]
+    fn encoder_bounded_over_arbitrary_metrics(
+        m in any_metrics(4),
+        levels in prop::collection::vec(0usize..4, 4),
+    ) {
+        let encoder = StateEncoder::new(vec![320; 4], vec![16; 4], 4, 64);
+        let s = encoder.encode(&m, &levels);
+        prop_assert_eq!(s.len(), encoder.state_dim());
+        prop_assert!(s.iter().all(|x| x.is_finite() && (0.0..=1.0).contains(x)),
+            "unbounded feature in {s:?}");
+    }
+
+    /// Reward is finite over arbitrary telemetry and monotone in each cost
+    /// axis: more latency never raises it, more energy never raises it, more
+    /// throughput never lowers it.
+    #[test]
+    fn reward_finite_and_monotone(m in any_metrics(4)) {
+        let r = RewardConfig::default();
+        let base = r.compute(&m, 64);
+        prop_assert!(base.is_finite());
+
+        if m.latency_samples > 0 {
+            let mut worse = m.clone();
+            worse.avg_packet_latency = m.avg_packet_latency * 1.5 + 10.0;
+            prop_assert!(r.compute(&worse, 64) <= base + 1e-9);
+        }
+        let mut hungrier = m.clone();
+        hungrier.energy_pj = m.energy_pj * 1.5 + 10.0;
+        prop_assert!(r.compute(&hungrier, 64) <= base + 1e-9);
+
+        let mut faster = m.clone();
+        faster.throughput += 0.1;
+        prop_assert!(r.compute(&faster, 64) >= base - 1e-9);
+    }
+}

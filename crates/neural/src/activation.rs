@@ -1,0 +1,97 @@
+//! Activation functions.
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (for output layers that regress values, e.g. Q-heads).
+    Linear,
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation element-wise.
+    pub fn apply(self, x: &mut Matrix) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Tanh => x.map_inplace(f32::tanh),
+            Activation::Sigmoid => x.map_inplace(|v| 1.0 / (1.0 + (-v).exp())),
+        }
+    }
+
+    /// The derivative evaluated from the *post-activation* value `y = f(x)`.
+    /// All supported activations admit this form, which avoids caching
+    /// pre-activation values.
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply_scalar(a: Activation, x: f32) -> f32 {
+        let mut m = Matrix::row(vec![x]);
+        a.apply(&mut m);
+        m.get(0, 0)
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(apply_scalar(Activation::Relu, -2.0), 0.0);
+        assert_eq!(apply_scalar(Activation::Relu, 3.0), 3.0);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_ranges() {
+        assert!((apply_scalar(Activation::Tanh, 100.0) - 1.0).abs() < 1e-6);
+        assert!((apply_scalar(Activation::Sigmoid, 100.0) - 1.0).abs() < 1e-6);
+        assert!(apply_scalar(Activation::Sigmoid, -100.0).abs() < 1e-6);
+        assert_eq!(apply_scalar(Activation::Sigmoid, 0.0), 0.5);
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(apply_scalar(Activation::Linear, -7.5), -7.5);
+    }
+
+    /// Numerical check: derivative_from_output matches (f(x+h)-f(x-h))/2h.
+    #[test]
+    fn derivatives_match_numerical() {
+        let h = 1e-3f32;
+        for a in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Linear] {
+            for &x in &[-1.5f32, -0.3, 0.4, 2.0] {
+                if a == Activation::Relu && x.abs() < 2.0 * h {
+                    continue; // kink
+                }
+                let y = apply_scalar(a, x);
+                let num = (apply_scalar(a, x + h) - apply_scalar(a, x - h)) / (2.0 * h);
+                let ana = a.derivative_from_output(y);
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "{a:?} at {x}: numerical {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+}

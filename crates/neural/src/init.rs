@@ -1,0 +1,64 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Weight initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Init {
+    /// Xavier/Glorot uniform: `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+    /// Suits tanh/sigmoid layers.
+    XavierUniform,
+    /// He uniform: `U(-√(6/fan_in), +√(6/fan_in))`. Suits ReLU layers.
+    HeUniform,
+    /// All zeros (biases, tests).
+    Zeros,
+}
+
+impl Init {
+    /// Sample one weight for a layer with the given fan-in/fan-out.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> f32 {
+        match self {
+            Init::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+                rng.gen_range(-limit..=limit)
+            }
+            Init::HeUniform => {
+                let limit = (6.0 / fan_in as f64).sqrt() as f32;
+                rng.gen_range(-limit..=limit)
+            }
+            Init::Zeros => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let limit_x = (6.0f64 / 96.0).sqrt() as f32;
+        let limit_h = (6.0f64 / 64.0).sqrt() as f32;
+        for _ in 0..1000 {
+            let x = Init::XavierUniform.sample(64, 32, &mut rng);
+            assert!(x.abs() <= limit_x);
+            let h = Init::HeUniform.sample(64, 32, &mut rng);
+            assert!(h.abs() <= limit_h);
+            assert_eq!(Init::Zeros.sample(64, 32, &mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn samples_are_spread_out() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vals: Vec<f32> = (0..500).map(|_| Init::XavierUniform.sample(10, 10, &mut rng)).collect();
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} should be near zero");
+        let distinct = vals.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct > 400, "values should not repeat");
+    }
+}

@@ -1,0 +1,120 @@
+//! Loss functions. Each returns the scalar loss and the gradient with
+//! respect to the prediction, averaged over the batch (rows).
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Supported losses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error: `mean((pred - target)²) / 2`.
+    Mse,
+    /// Huber loss with threshold `delta`: quadratic near zero, linear in the
+    /// tails. The standard DQN choice — bounds the TD-error gradient.
+    Huber {
+        /// Transition point between the quadratic and linear regimes.
+        delta: f32,
+    },
+}
+
+impl Loss {
+    /// Compute `(loss, dloss/dpred)` for a batch.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn compute(self, pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+        assert_eq!(
+            (pred.rows(), pred.cols()),
+            (target.rows(), target.cols()),
+            "loss shape mismatch"
+        );
+        let n = pred.rows() as f32;
+        let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+        let mut loss = 0.0f32;
+        for (i, (&p, &t)) in pred.as_slice().iter().zip(target.as_slice()).enumerate() {
+            let e = p - t;
+            let (l, g) = match self {
+                Loss::Mse => (0.5 * e * e, e),
+                Loss::Huber { delta } => {
+                    if e.abs() <= delta {
+                        (0.5 * e * e, e)
+                    } else {
+                        (delta * (e.abs() - 0.5 * delta), delta * e.signum())
+                    }
+                }
+            };
+            loss += l;
+            grad.as_mut_slice()[i] = g / n;
+        }
+        (loss / n, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_on_exact_prediction_is_zero() {
+        let p = Matrix::row(vec![1.0, 2.0]);
+        let (l, g) = Loss::Mse.compute(&p, &p.clone());
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = Matrix::row(vec![3.0]);
+        let t = Matrix::row(vec![1.0]);
+        let (l, g) = Loss::Mse.compute(&p, &t);
+        assert_eq!(l, 2.0); // 0.5 * 2²
+        assert_eq!(g.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_delta() {
+        let p = Matrix::row(vec![0.5]);
+        let t = Matrix::row(vec![0.0]);
+        let (l, g) = Loss::Huber { delta: 1.0 }.compute(&p, &t);
+        assert!((l - 0.125).abs() < 1e-7);
+        assert_eq!(g.as_slice(), &[0.5]);
+    }
+
+    #[test]
+    fn huber_gradient_is_clipped_outside_delta() {
+        let p = Matrix::row(vec![10.0, -10.0]);
+        let t = Matrix::row(vec![0.0, 0.0]);
+        let (_, g) = Loss::Huber { delta: 1.0 }.compute(&p, &t);
+        // Averaged over batch of 1 row => /1; two columns share the row.
+        assert_eq!(g.as_slice(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn batch_averaging_divides_gradient() {
+        let p = Matrix::from_vec(2, 1, vec![2.0, 2.0]);
+        let t = Matrix::from_vec(2, 1, vec![0.0, 0.0]);
+        let (l, g) = Loss::Mse.compute(&p, &t);
+        assert_eq!(l, 2.0); // (2 + 2) / 2
+        assert_eq!(g.as_slice(), &[1.0, 1.0]); // 2/2 each
+    }
+
+    /// Numerical gradient check for both losses.
+    #[test]
+    fn gradients_match_numerical() {
+        let h = 1e-3f32;
+        for loss in [Loss::Mse, Loss::Huber { delta: 1.0 }] {
+            for &x in &[-2.0f32, -0.4, 0.3, 1.7] {
+                let t = Matrix::row(vec![0.25]);
+                let (_, g) = loss.compute(&Matrix::row(vec![x]), &t);
+                let (lp, _) = loss.compute(&Matrix::row(vec![x + h]), &t);
+                let (lm, _) = loss.compute(&Matrix::row(vec![x - h]), &t);
+                let num = (lp - lm) / (2.0 * h);
+                assert!(
+                    (num - g.get(0, 0)).abs() < 1e-2,
+                    "{loss:?} at {x}: numerical {num} vs analytic {}",
+                    g.get(0, 0)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The multi-layer perceptron: a stack of [`Dense`] layers with a training
+//! loop, target-network synchronization helpers, and JSON (de)serialization.
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::layer::Dense;
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by model (de)serialization.
+#[derive(Debug)]
+pub struct ModelIoError(String);
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model serialization error: {}", self.0)
+    }
+}
+
+impl Error for ModelIoError {}
+
+/// A feed-forward multi-layer perceptron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an MLP with layer widths `dims` (e.g. `[in, 64, 64, out]`),
+    /// `hidden` activation on interior layers and `output` activation on the
+    /// last layer. Hidden layers use He init for ReLU and Xavier otherwise.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given.
+    pub fn new(dims: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hidden_init =
+            if hidden == Activation::Relu { Init::HeUniform } else { Init::XavierUniform };
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let last = i == dims.len() - 2;
+                let (act, init) = if last {
+                    (output, Init::XavierUniform)
+                } else {
+                    (hidden, hidden_init)
+                };
+                Dense::new(w[0], w[1], act, init, &mut rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").fan_in()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").fan_out()
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer stack (for tests and custom schedules).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Training-mode forward pass (caches activations).
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h, train);
+        }
+        h
+    }
+
+    /// Inference from a shared reference (no caches).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.forward_inference(&h);
+        }
+        h
+    }
+
+    /// Inference on a single input vector.
+    pub fn predict_one(&self, x: &[f32]) -> Vec<f32> {
+        self.predict(&Matrix::row(x.to_vec())).as_slice().to_vec()
+    }
+
+    /// Backpropagate `dL/dy` through the stack, accumulating gradients.
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Global L2 norm of all accumulated gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.layers.iter().map(|l| l.grad_sq_sum()).sum::<f32>().sqrt()
+    }
+
+    /// Clip gradients to a maximum global L2 norm. No-op when the norm is
+    /// already within the budget. Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let factor = max_norm / norm;
+            for l in &mut self.layers {
+                l.scale_grads(factor);
+            }
+        }
+        norm
+    }
+
+    /// Apply accumulated gradients via `opt`, then clear them.
+    pub fn apply_grads(&mut self, opt: &mut dyn Optimizer) {
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            // Pull gradients out first to satisfy the borrow checker.
+            let grads = l.grads().map(|(gw, gb)| (gw.to_vec(), gb.to_vec()));
+            if let Some((gw, gb)) = grads {
+                let (w, b) = l.params_mut();
+                opt.step(i * 2, w, &gw);
+                opt.step(i * 2 + 1, b, &gb);
+            }
+            l.zero_grad();
+        }
+    }
+
+    /// One supervised step on a batch: forward, loss, backward, update.
+    /// Returns the batch loss.
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        target: &Matrix,
+        loss: Loss,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        self.zero_grad();
+        let pred = self.forward(x, true);
+        let (l, grad) = loss.compute(&pred, target);
+        self.backward(&grad);
+        self.apply_grads(opt);
+        l
+    }
+
+    /// Copy all parameters from another MLP of identical architecture
+    /// (hard target-network sync).
+    ///
+    /// # Panics
+    /// Panics on architecture mismatch.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.copy_params_from(b);
+        }
+    }
+
+    /// Polyak soft update from another MLP: `θ ← τ·θ_other + (1-τ)·θ`.
+    ///
+    /// # Panics
+    /// Panics on architecture mismatch.
+    pub fn soft_update_from(&mut self, other: &Mlp, tau: f32) {
+        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.soft_update_from(b, tau);
+        }
+    }
+
+    /// Serialize parameters and architecture to JSON.
+    ///
+    /// # Errors
+    /// Returns an error if serialization fails.
+    pub fn to_json(&self) -> Result<String, ModelIoError> {
+        serde_json::to_string(self).map_err(|e| ModelIoError(e.to_string()))
+    }
+
+    /// Deserialize a model saved by [`Mlp::to_json`].
+    ///
+    /// # Errors
+    /// Returns an error if the JSON is malformed.
+    pub fn from_json(json: &str) -> Result<Mlp, ModelIoError> {
+        serde_json::from_str(json).map_err(|e| ModelIoError(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Sgd};
+
+    #[test]
+    fn shapes_flow_through_network() {
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Linear, 1);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        let y = net.predict(&Matrix::zeros(5, 4));
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+    }
+
+    #[test]
+    fn predict_matches_forward() {
+        let mut net = Mlp::new(&[3, 6, 2], Activation::Tanh, Activation::Linear, 2);
+        let x = Matrix::row(vec![0.1, -0.2, 0.5]);
+        assert_eq!(net.forward(&x, false), net.predict(&x));
+        assert_eq!(net.predict_one(&[0.1, -0.2, 0.5]), net.predict(&x).as_slice().to_vec());
+    }
+
+    /// The canonical sanity check: learn XOR.
+    #[test]
+    fn learns_xor() {
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, 3);
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let t = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..2000 {
+            final_loss = net.train_batch(&x, &t, Loss::Mse, &mut opt);
+        }
+        assert!(final_loss < 0.01, "XOR loss {final_loss} should reach < 0.01");
+        let y = net.predict(&x);
+        assert!(y.get(0, 0) < 0.2 && y.get(3, 0) < 0.2);
+        assert!(y.get(1, 0) > 0.8 && y.get(2, 0) > 0.8);
+    }
+
+    #[test]
+    fn learns_linear_regression_with_sgd() {
+        // y = 2a - b + 0.5
+        let mut net = Mlp::new(&[2, 1], Activation::Relu, Activation::Linear, 4);
+        let xs: Vec<f32> = (0..40).map(|i| (i as f32) / 20.0 - 1.0).collect();
+        let mut data = Vec::new();
+        let mut target = Vec::new();
+        for (i, &a) in xs.iter().enumerate() {
+            let b = xs[(i * 7 + 3) % xs.len()];
+            data.extend([a, b]);
+            target.push(2.0 * a - b + 0.5);
+        }
+        let x = Matrix::from_vec(40, 2, data);
+        let t = Matrix::from_vec(40, 1, target);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..500 {
+            net.train_batch(&x, &t, Loss::Mse, &mut opt);
+        }
+        let (w, b) = net.layers()[0].params();
+        assert!((w[0] - 2.0).abs() < 0.05, "w0 {}", w[0]);
+        assert!((w[1] + 1.0).abs() < 0.05, "w1 {}", w[1]);
+        assert!((b[0] - 0.5).abs() < 0.05, "b {}", b[0]);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_the_norm() {
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Linear, 8);
+        let x = Matrix::row(vec![1.0, -1.0]);
+        let t = Matrix::row(vec![100.0]); // huge error => huge gradients
+        net.zero_grad();
+        let pred = net.forward(&x, true);
+        let (_, grad) = Loss::Mse.compute(&pred, &t);
+        net.backward(&grad);
+        let before = net.grad_norm();
+        assert!(before > 1.0);
+        let reported = net.clip_grad_norm(1.0);
+        assert_eq!(reported, before);
+        assert!((net.grad_norm() - 1.0).abs() < 1e-3, "norm clipped to 1: {}", net.grad_norm());
+        // Clipping below the cap is a no-op.
+        let small = net.grad_norm();
+        net.clip_grad_norm(10.0);
+        assert!((net.grad_norm() - small).abs() < 1e-6);
+    }
+
+    #[test]
+    fn copy_and_soft_update_sync_parameters() {
+        let mut a = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, 5);
+        let b = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, 6);
+        assert_ne!(a, b);
+        let mut c = a.clone();
+        c.copy_params_from(&b);
+        assert_eq!(c, b);
+        // Soft update with tau=1 equals a hard copy.
+        a.soft_update_from(&b, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_predictions() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Linear, 9);
+        let json = net.to_json().unwrap();
+        let back = Mlp::from_json(&json).unwrap();
+        let x = Matrix::row(vec![0.3, 0.6, -0.9]);
+        assert_eq!(net.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Mlp::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Linear, 42);
+        let b = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Linear, 42);
+        assert_eq!(a, b);
+        let c = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Linear, 43);
+        assert_ne!(a, c);
+    }
+}

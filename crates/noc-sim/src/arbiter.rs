@@ -1,0 +1,114 @@
+//! Arbiters used in the router's allocation stages.
+
+use serde::{Deserialize, Serialize};
+
+/// A round-robin arbiter over `n` requesters.
+///
+/// Grants rotate: after requester `i` wins, requester `i + 1` has the highest
+/// priority next time, guaranteeing starvation freedom under persistent
+/// requests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRobinArbiter {
+    n: usize,
+    /// Index with the highest priority on the next arbitration.
+    next: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Create an arbiter over `n` requesters.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one requester");
+        RoundRobinArbiter { n, next: 0 }
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arbiter has zero requesters (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Grant one of the asserted requests, if any, and advance the priority
+    /// pointer past the winner.
+    ///
+    /// # Panics
+    /// Panics if `requests.len() != self.len()`.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector length mismatch");
+        for off in 0..self.n {
+            let i = (self.next + off) % self.n;
+            if requests[i] {
+                self.next = (i + 1) % self.n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Peek at who would win without updating the priority pointer.
+    pub fn peek(&self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector length mismatch");
+        (0..self.n).map(|off| (self.next + off) % self.n).find(|&i| requests[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_only_asserted_requests() {
+        let mut a = RoundRobinArbiter::new(4);
+        assert_eq!(a.grant(&[false, false, true, false]), Some(2));
+        assert_eq!(a.grant(&[false, false, false, false]), None);
+    }
+
+    #[test]
+    fn rotates_priority_after_grant() {
+        let mut a = RoundRobinArbiter::new(3);
+        let all = [true, true, true];
+        assert_eq!(a.grant(&all), Some(0));
+        assert_eq!(a.grant(&all), Some(1));
+        assert_eq!(a.grant(&all), Some(2));
+        assert_eq!(a.grant(&all), Some(0));
+    }
+
+    #[test]
+    fn no_starvation_under_persistent_contention() {
+        let mut a = RoundRobinArbiter::new(5);
+        let mut wins = [0usize; 5];
+        for _ in 0..100 {
+            let w = a.grant(&[true; 5]).unwrap();
+            wins[w] += 1;
+        }
+        assert!(wins.iter().all(|&w| w == 20), "unfair wins: {wins:?}");
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut a = RoundRobinArbiter::new(2);
+        assert_eq!(a.peek(&[true, true]), Some(0));
+        assert_eq!(a.peek(&[true, true]), Some(0));
+        assert_eq!(a.grant(&[true, true]), Some(0));
+        assert_eq!(a.peek(&[true, true]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requester")]
+    fn zero_requesters_panics() {
+        let _ = RoundRobinArbiter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_request_length_panics() {
+        let mut a = RoundRobinArbiter::new(3);
+        let _ = a.grant(&[true]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Simulation configuration.
+
+use crate::dvfs::{ThrottleEvent, VfTable};
+use crate::error::{SimError, SimResult};
+use crate::power::PowerModel;
+use crate::routing::RoutingAlgorithm;
+use crate::topology::{Topology, TopologyKind};
+use crate::traffic::{TrafficPattern, TrafficSpec};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a simulation run (Table 1 of the evaluation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Mesh or torus.
+    pub kind: TopologyKind,
+    /// Virtual channels per port.
+    pub num_vcs: usize,
+    /// Buffer depth per VC, in flits.
+    pub vc_depth: usize,
+    /// Packet length in flits.
+    pub packet_len: u32,
+    /// Routing algorithm.
+    pub routing: RoutingAlgorithm,
+    /// Traffic specification.
+    pub traffic: TrafficSpec,
+    /// DVFS level table.
+    pub vf_table: VfTable,
+    /// DVFS regions along x.
+    pub regions_x: usize,
+    /// DVFS regions along y.
+    pub regions_y: usize,
+    /// Power model coefficients.
+    pub power: PowerModel,
+    /// Forced-throttle (thermal emergency) injections.
+    #[serde(default)]
+    pub throttles: Vec<ThrottleEvent>,
+    /// RNG seed for traffic generation.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    /// The paper-style default: 8×8 mesh, 4 VCs × 4-flit buffers, 5-flit
+    /// packets, XY routing, uniform traffic at 0.10 flits/node/cycle,
+    /// four V/F levels over 2×2 regions.
+    fn default() -> Self {
+        SimConfig {
+            width: 8,
+            height: 8,
+            kind: TopologyKind::Mesh,
+            num_vcs: 4,
+            vc_depth: 4,
+            packet_len: 5,
+            routing: RoutingAlgorithm::Xy,
+            traffic: TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.10 },
+            vf_table: VfTable::four_level(),
+            regions_x: 2,
+            regions_y: 2,
+            power: PowerModel::default_32nm(),
+            throttles: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Set grid dimensions.
+    pub fn with_size(mut self, width: usize, height: usize) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Set the traffic to a stationary pattern at `rate` flits/node/cycle.
+    pub fn with_traffic(mut self, pattern: TrafficPattern, rate: f64) -> Self {
+        self.traffic = TrafficSpec::Stationary { pattern, rate };
+        self
+    }
+
+    /// Set an arbitrary traffic spec.
+    pub fn with_traffic_spec(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = spec;
+        self
+    }
+
+    /// Set the routing algorithm.
+    pub fn with_routing(mut self, routing: RoutingAlgorithm) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Inject forced-throttle (thermal emergency) events.
+    pub fn with_throttles(mut self, throttles: Vec<ThrottleEvent>) -> Self {
+        self.throttles = throttles;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the DVFS region grid.
+    pub fn with_regions(mut self, regions_x: usize, regions_y: usize) -> Self {
+        self.regions_x = regions_x;
+        self.regions_y = regions_y;
+        self
+    }
+
+    /// Set VC count and depth.
+    pub fn with_vcs(mut self, num_vcs: usize, vc_depth: usize) -> Self {
+        self.num_vcs = num_vcs;
+        self.vc_depth = vc_depth;
+        self
+    }
+
+    /// Set packet length in flits.
+    pub fn with_packet_len(mut self, packet_len: u32) -> Self {
+        self.packet_len = packet_len;
+        self
+    }
+
+    /// The topology described by this configuration.
+    pub fn topology(&self) -> Topology {
+        match self.kind {
+            TopologyKind::Mesh => Topology::mesh(self.width, self.height),
+            TopologyKind::Torus => Topology::torus(self.width, self.height),
+        }
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.width == 0 || self.height == 0 {
+            return Err(SimError::InvalidConfig("grid dimensions must be positive".into()));
+        }
+        if self.num_vcs == 0 || self.vc_depth == 0 {
+            return Err(SimError::InvalidConfig("VC count and depth must be positive".into()));
+        }
+        if self.packet_len == 0 {
+            return Err(SimError::InvalidConfig("packet length must be positive".into()));
+        }
+        if self.kind == TopologyKind::Torus && self.num_vcs < 2 {
+            return Err(SimError::InvalidConfig(
+                "torus requires >= 2 VCs for the dateline partition".into(),
+            ));
+        }
+        if !self.routing.supports(self.kind) {
+            return Err(SimError::InvalidConfig(format!(
+                "routing {:?} unsupported on {:?}",
+                self.routing, self.kind
+            )));
+        }
+        let topo = self.topology();
+        self.traffic.validate(&topo)?;
+        if self.regions_x == 0
+            || self.regions_y == 0
+            || self.regions_x > self.width
+            || self.regions_y > self.height
+        {
+            return Err(SimError::InvalidConfig(format!(
+                "invalid region grid {}x{}",
+                self.regions_x, self.regions_y
+            )));
+        }
+        for t in &self.throttles {
+            if t.region >= self.regions_x * self.regions_y {
+                return Err(SimError::RegionOutOfRange {
+                    region: t.region,
+                    regions: self.regions_x * self.regions_y,
+                });
+            }
+            if t.level >= self.vf_table.num_levels() {
+                return Err(SimError::VfLevelOutOfRange {
+                    level: t.level,
+                    levels: self.vf_table.num_levels(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SimConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = SimConfig::default()
+            .with_size(4, 4)
+            .with_traffic(TrafficPattern::Transpose, 0.2)
+            .with_routing(RoutingAlgorithm::OddEven)
+            .with_regions(2, 2)
+            .with_vcs(2, 8)
+            .with_packet_len(3)
+            .with_seed(99);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.width, 4);
+        assert_eq!(c.num_vcs, 2);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SimConfig::default().with_size(0, 4).validate().is_err());
+        assert!(SimConfig::default().with_vcs(0, 4).validate().is_err());
+        assert!(SimConfig::default().with_packet_len(0).validate().is_err());
+        assert!(SimConfig::default().with_regions(16, 1).validate().is_err());
+        // Transpose on a rectangle.
+        assert!(SimConfig::default()
+            .with_size(8, 4)
+            .with_traffic(TrafficPattern::Transpose, 0.1)
+            .validate()
+            .is_err());
+        // Torus routing on mesh.
+        assert!(SimConfig::default().with_routing(RoutingAlgorithm::TorusDor).validate().is_err());
+    }
+
+    #[test]
+    fn torus_needs_two_vcs() {
+        let mut c = SimConfig::default().with_vcs(1, 4).with_routing(RoutingAlgorithm::TorusDor);
+        c.kind = TopologyKind::Torus;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default().with_routing(RoutingAlgorithm::TorusDor);
+        c.kind = TopologyKind::Torus;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn throttle_validation() {
+        use crate::dvfs::ThrottleEvent;
+        let ok = SimConfig::default().with_throttles(vec![ThrottleEvent {
+            start: 0,
+            duration: 100,
+            region: 0,
+            level: 0,
+        }]);
+        assert!(ok.validate().is_ok());
+        let bad_region = SimConfig::default().with_throttles(vec![ThrottleEvent {
+            start: 0,
+            duration: 100,
+            region: 99,
+            level: 0,
+        }]);
+        assert!(bad_region.validate().is_err());
+        let bad_level = SimConfig::default().with_throttles(vec![ThrottleEvent {
+            start: 0,
+            duration: 100,
+            region: 0,
+            level: 99,
+        }]);
+        assert!(bad_level.validate().is_err());
+    }
+
+    #[test]
+    fn config_serializes_roundtrip() {
+        let c = SimConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,175 @@
+//! Packets and flits. Packets are segmented into flits at injection time;
+//! wormhole switching moves flits through the network and the tail flit
+//! releases resources behind it.
+
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique packet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The role a flit plays inside its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit; carries routing information.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit; releases the virtual channels held by the packet.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    Single,
+}
+
+impl FlitKind {
+    /// Whether this flit opens a packet (performs route computation and VC
+    /// allocation).
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::Single)
+    }
+
+    /// Whether this flit closes a packet (releases the channel).
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::Single)
+    }
+}
+
+/// One flow-control unit traversing the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub packet: PacketId,
+    /// Role within the packet.
+    pub kind: FlitKind,
+    /// Position within the packet, starting at 0 for the head.
+    pub seq: u32,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle at which the parent packet was created by the traffic source
+    /// (start of queuing delay).
+    pub created_at: u64,
+    /// Cycle at which the head flit entered the network (left the source
+    /// queue); used for network latency.
+    pub injected_at: u64,
+    /// Virtual channel currently occupied at the current input port.
+    pub vc: usize,
+    /// Number of router hops traversed so far.
+    pub hops: u32,
+    /// Virtual-channel class for dateline deadlock avoidance on tori: 0
+    /// before crossing a wrap-around link, 1 after. Always 0 on meshes.
+    pub vc_class: u8,
+}
+
+impl Flit {
+    /// Whether this flit opens its packet.
+    pub fn is_head(&self) -> bool {
+        self.kind.is_head()
+    }
+
+    /// Whether this flit closes its packet.
+    pub fn is_tail(&self) -> bool {
+        self.kind.is_tail()
+    }
+}
+
+/// A packet produced by a traffic source, waiting to be segmented into flits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Number of flits this packet is segmented into (>= 1).
+    pub len_flits: u32,
+    /// Cycle at which the packet was created by the traffic source.
+    pub created_at: u64,
+}
+
+impl Packet {
+    /// Segment the packet into its flit sequence, stamping `injected_at` with
+    /// the cycle the head flit leaves the source queue.
+    pub fn to_flits(&self, injected_at: u64) -> Vec<Flit> {
+        assert!(self.len_flits >= 1, "packet must contain at least one flit");
+        let n = self.len_flits;
+        (0..n)
+            .map(|i| {
+                let kind = if n == 1 {
+                    FlitKind::Single
+                } else if i == 0 {
+                    FlitKind::Head
+                } else if i == n - 1 {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                };
+                Flit {
+                    packet: self.id,
+                    kind,
+                    seq: i,
+                    src: self.src,
+                    dst: self.dst,
+                    created_at: self.created_at,
+                    injected_at,
+                    vc: 0,
+                    hops: 0,
+                    vc_class: 0,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(len: u32) -> Packet {
+        Packet { id: PacketId(7), src: NodeId(0), dst: NodeId(3), len_flits: len, created_at: 10 }
+    }
+
+    #[test]
+    fn single_flit_packet_is_single_kind() {
+        let flits = packet(1).to_flits(12);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::Single);
+        assert!(flits[0].is_head() && flits[0].is_tail());
+        assert_eq!(flits[0].injected_at, 12);
+        assert_eq!(flits[0].created_at, 10);
+    }
+
+    #[test]
+    fn multi_flit_packet_has_head_body_tail() {
+        let flits = packet(5).to_flits(11);
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Body);
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+        assert!(flits.iter().enumerate().all(|(i, f)| f.seq as usize == i));
+    }
+
+    #[test]
+    fn two_flit_packet_is_head_then_tail() {
+        let flits = packet(2).to_flits(0);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_panics() {
+        let _ = packet(0).to_flits(0);
+    }
+}

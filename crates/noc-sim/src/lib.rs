@@ -1,0 +1,70 @@
+//! # noc-sim — a cycle-level network-on-chip simulator
+//!
+//! The evaluation substrate for the *Deep Reinforcement Learning for
+//! Self-Configurable NoC* (SOCC 2020) reproduction. Everything is built from
+//! scratch: wormhole switching with virtual channels and credit-based flow
+//! control, seven routing algorithms, classic synthetic traffic patterns,
+//! per-region DVFS with an event-energy power model, and the warmup /
+//! measure / drain methodology.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use noc_sim::{SimConfig, Simulator, TrafficPattern};
+//!
+//! # fn main() -> Result<(), noc_sim::SimError> {
+//! let config = SimConfig::default()
+//!     .with_size(4, 4)
+//!     .with_traffic(TrafficPattern::Uniform, 0.1);
+//! let mut sim = Simulator::new(config)?;
+//! let summary = sim.run_classic(500, 2000, 2000);
+//! println!(
+//!     "avg latency {:.1} cycles at throughput {:.3} flits/node/cycle",
+//!     summary.window.avg_packet_latency, summary.window.throughput
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`topology`] — mesh/torus grids, ports, neighbor wiring.
+//! * [`flit`] — packets and their flit segmentation.
+//! * [`routing`] — XY/YX, three turn models, Odd-Even, torus DOR.
+//! * [`vc`] / [`arbiter`] / [`router`] — the three-stage VC router pipeline.
+//! * [`traffic`] — synthetic patterns and phase-changing traces.
+//! * [`dvfs`] / [`power`] — V/F levels, regions, clock gating, event energy.
+//! * [`network`] — the router grid, links, injection queues, cycle loop.
+//! * [`stats`] / [`sim`] — metrics and the simulation driver.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arbiter;
+pub mod config;
+pub mod dvfs;
+pub mod error;
+pub mod flit;
+pub mod network;
+pub mod power;
+pub mod router;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod trace;
+pub mod traffic;
+pub mod vc;
+
+pub use config::SimConfig;
+pub use dvfs::{ClockGate, RegionMap, ThrottleEvent, VfLevel, VfTable};
+pub use error::{SimError, SimResult};
+pub use flit::{Flit, FlitKind, Packet, PacketId};
+pub use network::Network;
+pub use power::{EnergyMeter, PowerEvent, PowerModel};
+pub use routing::RoutingAlgorithm;
+pub use sim::{RunSummary, Simulator};
+pub use stats::{StatsCollector, StatsSnapshot, WindowMetrics};
+pub use topology::{Coord, NodeId, Port, Topology, TopologyKind};
+pub use trace::{PacketTrace, TraceEvent};
+pub use traffic::{Phase, TrafficGenerator, TrafficPattern, TrafficSpec};

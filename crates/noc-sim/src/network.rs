@@ -1,0 +1,784 @@
+//! The network: a grid of routers, inter-router links, source (injection)
+//! queues, per-region DVFS state, and the global cycle loop.
+//!
+//! Event application is double-buffered: all routers compute their cycle
+//! first, then flit movements and credit returns are applied, so router
+//! evaluation order never matters and links have a one-cycle latency.
+
+use crate::config::SimConfig;
+use crate::dvfs::{ClockGate, RegionMap, ThrottleEvent, VfTable};
+use crate::error::{SimError, SimResult};
+use crate::flit::{Flit, Packet};
+use crate::power::{PowerEvent, PowerModel};
+use crate::router::{Router, RouterCtx, RouterEvent};
+use crate::routing::RoutingAlgorithm;
+use crate::stats::StatsCollector;
+use crate::topology::{NodeId, Port, Topology, TopologyKind};
+use crate::vc::OutputVcState;
+use std::collections::VecDeque;
+
+/// Per-node source queue with credit-tracked access to the router's `Local`
+/// input port.
+#[derive(Debug, Clone)]
+struct InjectionQueue {
+    /// Packets waiting to enter the network.
+    packets: VecDeque<Packet>,
+    /// Flits of the packet currently being injected, in order.
+    current: VecDeque<Flit>,
+    /// Upstream view of the router's Local-port input VCs.
+    vc_states: Vec<OutputVcState>,
+    /// VC claimed by the packet currently being injected.
+    current_vc: Option<usize>,
+}
+
+impl InjectionQueue {
+    fn new(num_vcs: usize, vc_depth: usize) -> Self {
+        InjectionQueue {
+            packets: VecDeque::new(),
+            current: VecDeque::new(),
+            vc_states: (0..num_vcs).map(|_| OutputVcState::new(vc_depth)).collect(),
+            current_vc: None,
+        }
+    }
+
+    /// Flits still waiting (queued packets plus the partially injected one).
+    fn backlog_flits(&self) -> usize {
+        self.current.len()
+            + self.packets.iter().map(|p| p.len_flits as usize).sum::<usize>()
+    }
+}
+
+/// A flit in transit on a link, to be delivered at the end of the cycle.
+#[derive(Debug, Clone)]
+struct Delivery {
+    to: NodeId,
+    in_port: Port,
+    flit: Flit,
+}
+
+/// A credit to return to an upstream sender.
+#[derive(Debug, Clone)]
+struct CreditReturn {
+    /// Router whose input buffer drained.
+    at: NodeId,
+    /// Input port the flit had arrived on.
+    in_port: Port,
+    vc: usize,
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    routing: RoutingAlgorithm,
+    routers: Vec<Router>,
+    inj: Vec<InjectionQueue>,
+    gates: Vec<ClockGate>,
+    power: PowerModel,
+    vf_table: VfTable,
+    regions: RegionMap,
+    /// Level requested per region (by the controller/agent).
+    region_levels: Vec<usize>,
+    /// Level actually in force per region (desired capped by any active
+    /// throttle emergency).
+    effective_levels: Vec<usize>,
+    /// Forced-throttle emergencies.
+    throttles: Vec<ThrottleEvent>,
+    /// Outgoing link count per node, for leakage accounting.
+    links_out: Vec<usize>,
+    cycle: u64,
+}
+
+impl Network {
+    /// Build an idle network from a validated configuration.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: &SimConfig) -> SimResult<Self> {
+        config.validate()?;
+        let topo = config.topology();
+        let vc_partition = config.kind == TopologyKind::Torus;
+        let routers = topo
+            .nodes()
+            .map(|n| Router::new(n, config.num_vcs, config.vc_depth, vc_partition))
+            .collect();
+        let inj = topo
+            .nodes()
+            .map(|_| InjectionQueue::new(config.num_vcs, config.vc_depth))
+            .collect();
+        let regions = RegionMap::new(&topo, config.regions_x, config.regions_y)?;
+        let max_level = config.vf_table.max_level();
+        let gates = topo
+            .nodes()
+            .map(|_| {
+                ClockGate::new(config.vf_table.levels()[max_level].freq_scale)
+            })
+            .collect();
+        let links_out = topo
+            .nodes()
+            .map(|n| {
+                Port::ALL
+                    .iter()
+                    .filter(|&&p| p != Port::Local && topo.neighbor(n, p).is_some())
+                    .count()
+            })
+            .collect();
+        Ok(Network {
+            topo,
+            routing: config.routing,
+            routers,
+            inj,
+            gates,
+            power: config.power,
+            vf_table: config.vf_table.clone(),
+            region_levels: vec![max_level; regions.num_regions()],
+            effective_levels: vec![max_level; regions.num_regions()],
+            throttles: config.throttles.clone(),
+            regions,
+            links_out,
+            cycle: 0,
+        })
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The DVFS region partition.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// The V/F level table.
+    pub fn vf_table(&self) -> &VfTable {
+        &self.vf_table
+    }
+
+    /// V/F level *requested* per region (what the controller set). The
+    /// level actually in force may be lower during a throttle emergency —
+    /// see [`Network::effective_region_levels`].
+    pub fn region_levels(&self) -> &[usize] {
+        &self.region_levels
+    }
+
+    /// V/F level actually in force per region (requested level capped by
+    /// any active throttle emergency).
+    pub fn effective_region_levels(&self) -> &[usize] {
+        &self.effective_levels
+    }
+
+    /// Whether any throttle emergency is active at the current cycle.
+    pub fn throttle_active(&self) -> bool {
+        self.throttles.iter().any(|t| t.active_at(self.cycle))
+    }
+
+    /// Current routing algorithm.
+    pub fn routing(&self) -> RoutingAlgorithm {
+        self.routing
+    }
+
+    /// Current global cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Set one region's V/F level.
+    ///
+    /// # Errors
+    /// Returns an error for out-of-range region or level indices.
+    pub fn set_region_level(&mut self, region: usize, level: usize) -> SimResult<()> {
+        if region >= self.region_levels.len() {
+            return Err(SimError::RegionOutOfRange {
+                region,
+                regions: self.region_levels.len(),
+            });
+        }
+        self.vf_table.level(level)?; // validate
+        self.region_levels[region] = level;
+        self.sync_effective_levels();
+        Ok(())
+    }
+
+    /// Recompute effective levels (requested ∧ throttles) and update clock
+    /// gates for regions whose effective level changed.
+    fn sync_effective_levels(&mut self) {
+        for region in 0..self.region_levels.len() {
+            let mut eff = self.region_levels[region];
+            for t in &self.throttles {
+                if t.region == region && t.active_at(self.cycle) {
+                    eff = eff.min(t.level);
+                }
+            }
+            if eff != self.effective_levels[region] {
+                self.effective_levels[region] = eff;
+                let vf = self.vf_table.level(eff).expect("effective level valid");
+                for node in self.regions.nodes_in(&self.topo, region) {
+                    self.gates[node.0].set_freq_scale(vf.freq_scale);
+                }
+            }
+        }
+    }
+
+    /// Set every region to the same V/F level.
+    ///
+    /// # Errors
+    /// Returns an error for an out-of-range level index.
+    pub fn set_all_levels(&mut self, level: usize) -> SimResult<()> {
+        for r in 0..self.region_levels.len() {
+            self.set_region_level(r, level)?;
+        }
+        Ok(())
+    }
+
+    /// Switch the routing algorithm at runtime (takes effect for subsequent
+    /// route computations; in-flight packets keep their assigned routes).
+    ///
+    /// # Errors
+    /// Returns an error if the algorithm does not support the topology.
+    pub fn set_routing(&mut self, routing: RoutingAlgorithm) -> SimResult<()> {
+        if !routing.supports(self.topo.kind()) {
+            return Err(SimError::InvalidConfig(format!(
+                "routing {:?} unsupported on {:?}",
+                routing,
+                self.topo.kind()
+            )));
+        }
+        self.routing = routing;
+        Ok(())
+    }
+
+    /// Offer freshly generated packets to their source queues.
+    pub fn offer(&mut self, packets: Vec<Packet>, stats: &mut StatsCollector) {
+        for p in packets {
+            stats.record_offered();
+            self.inj[p.src.0].packets.push_back(p);
+        }
+    }
+
+    /// Total flits buffered inside routers.
+    pub fn occupancy(&self) -> usize {
+        self.routers.iter().map(|r| r.occupancy()).sum()
+    }
+
+    /// Buffered flits per region.
+    pub fn region_occupancy(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.regions.num_regions()];
+        for r in &self.routers {
+            out[self.regions.region_of(&self.topo, r.id())] += r.occupancy();
+        }
+        out
+    }
+
+    /// Total buffer capacity per region (for normalizing occupancy).
+    pub fn region_capacity(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.regions.num_regions()];
+        for r in &self.routers {
+            out[self.regions.region_of(&self.topo, r.id())] += r.buffer_capacity();
+        }
+        out
+    }
+
+    /// Flits waiting in source queues.
+    pub fn backlog(&self) -> usize {
+        self.inj.iter().map(|q| q.backlog_flits()).sum()
+    }
+
+    /// Flits anywhere in the system (source queues + router buffers).
+    pub fn in_flight(&self) -> usize {
+        self.backlog() + self.occupancy()
+    }
+
+    fn dynamic_scale(&self, node: NodeId) -> f64 {
+        let region = self.regions.region_of(&self.topo, node);
+        let vf = self
+            .vf_table
+            .level(self.effective_levels[region])
+            .expect("region level validated on set");
+        vf.dynamic_scale(self.vf_table.nominal_voltage())
+    }
+
+    fn leakage_scale(&self, node: NodeId) -> f64 {
+        let region = self.regions.region_of(&self.topo, node);
+        let vf = self
+            .vf_table
+            .level(self.effective_levels[region])
+            .expect("region level validated on set");
+        vf.leakage_scale(self.vf_table.nominal_voltage())
+    }
+
+    /// Whether a mesh/torus hop from `from` via `port` crosses a wrap-around
+    /// (dateline) link.
+    fn crosses_dateline(&self, from: NodeId, port: Port) -> bool {
+        if self.topo.kind() != TopologyKind::Torus {
+            return false;
+        }
+        let c = self.topo.coord(from);
+        match port {
+            Port::East => c.x == self.topo.width() - 1,
+            Port::West => c.x == 0,
+            Port::South => c.y == self.topo.height() - 1,
+            Port::North => c.y == 0,
+            Port::Local => false,
+        }
+    }
+
+    /// Advance the network one global clock cycle.
+    pub fn step(&mut self, stats: &mut StatsCollector) {
+        if !self.throttles.is_empty() {
+            self.sync_effective_levels();
+        }
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut credits: Vec<CreditReturn> = Vec::new();
+
+        for i in 0..self.topo.num_nodes() {
+            let node = NodeId(i);
+            // Leakage accrues every global cycle regardless of clock gating;
+            // idle routers (empty buffers and source queue) may be power
+            // gated down to a fraction of nominal leakage.
+            let mut leak = self.leakage_scale(node);
+            if self.power.idle_leakage_fraction < 1.0
+                && self.routers[i].occupancy() == 0
+                && self.inj[i].backlog_flits() == 0
+            {
+                leak *= self.power.idle_leakage_fraction;
+            }
+            stats.energy.record_leakage(&self.power, self.links_out[i], leak);
+            if !self.gates[i].tick() {
+                continue; // clock-gated this cycle
+            }
+            let dynamic_scale = self.dynamic_scale(node);
+            let events = {
+                let mut ctx = RouterCtx {
+                    topo: &self.topo,
+                    routing: self.routing,
+                    power: &self.power,
+                    meter: &mut stats.energy,
+                    dynamic_scale,
+                };
+                self.routers[i].step(&mut ctx)
+            };
+            for ev in events {
+                match ev {
+                    RouterEvent::Forward { out_port, flit } => {
+                        let to = self
+                            .topo
+                            .neighbor(node, out_port)
+                            .expect("router forwarded off the edge");
+                        deliveries.push(Delivery { to, in_port: out_port.opposite(), flit });
+                        stats.record_forward(i, self.topo.num_nodes());
+                        stats.energy.record(
+                            &self.power,
+                            PowerEvent::LinkTraversal,
+                            dynamic_scale,
+                        );
+                    }
+                    RouterEvent::Eject { flit } => {
+                        stats.record_ejection(&flit, self.cycle);
+                    }
+                    RouterEvent::Credit { in_port, vc } => {
+                        credits.push(CreditReturn { at: node, in_port, vc });
+                    }
+                }
+            }
+            self.try_inject(node, stats);
+        }
+
+        // Apply buffered effects: link deliveries then credit returns.
+        for mut d in deliveries {
+            if self.crosses_dateline_rev(d.to, d.in_port) {
+                d.flit.vc_class = 1;
+            }
+            let scale = self.dynamic_scale(d.to);
+            let mut ctx = RouterCtx {
+                topo: &self.topo,
+                routing: self.routing,
+                power: &self.power,
+                meter: &mut stats.energy,
+                dynamic_scale: scale,
+            };
+            self.routers[d.to.0].accept(d.in_port, d.flit, &mut ctx);
+        }
+        for c in credits {
+            if c.in_port == Port::Local {
+                self.inj[c.at.0].vc_states[c.vc].credits += 1;
+            } else {
+                let upstream = self
+                    .topo
+                    .neighbor(c.at, c.in_port)
+                    .expect("credit toward a missing neighbor");
+                self.routers[upstream.0].return_credit(c.in_port.opposite(), c.vc);
+            }
+        }
+
+        let region_occ = self.region_occupancy();
+        let total_occ = region_occ.iter().sum();
+        stats.sample_occupancy(total_occ, &region_occ, self.backlog());
+        self.cycle += 1;
+    }
+
+    /// Dateline check phrased from the receiving side: the delivery into
+    /// `to` on `in_port` crossed a wrap link iff the sender-side check holds
+    /// for the reverse hop.
+    fn crosses_dateline_rev(&self, to: NodeId, in_port: Port) -> bool {
+        if self.topo.kind() != TopologyKind::Torus {
+            return false;
+        }
+        let from = self.topo.neighbor(to, in_port).expect("delivery from a missing neighbor");
+        self.crosses_dateline(from, in_port.opposite())
+    }
+
+    /// Try to move one flit from the node's source queue into the router's
+    /// Local input port, honoring VC ownership and credits.
+    fn try_inject(&mut self, node: NodeId, stats: &mut StatsCollector) {
+        let i = node.0;
+        let region = self.regions.region_of(&self.topo, node);
+        let is_torus = self.topo.kind() == TopologyKind::Torus;
+        let cycle = self.cycle;
+        let scale = self.dynamic_scale(node);
+
+        let injected: Option<(Flit, bool)> = {
+            let q = &mut self.inj[i];
+            if q.current.is_empty() {
+                match q.packets.pop_front() {
+                    Some(p) => {
+                        q.current = p.to_flits(cycle).into();
+                        q.current_vc = None;
+                    }
+                    None => return,
+                }
+            }
+            let head = q.current.front().expect("checked non-empty");
+            let vc = match q.current_vc {
+                Some(vc) => Some(vc),
+                None => {
+                    debug_assert!(head.is_head(), "mid-packet without an assigned VC");
+                    // Head flit: claim a free local-input VC. Injected packets
+                    // are dateline class 0, so claim from the class-0 range
+                    // on tori.
+                    let limit =
+                        if is_torus { q.vc_states.len() / 2 } else { q.vc_states.len() };
+                    match (0..limit).find(|&v| q.vc_states[v].is_free()) {
+                        Some(vc) => {
+                            q.vc_states[vc].owner = Some(head.packet);
+                            q.current_vc = Some(vc);
+                            Some(vc)
+                        }
+                        None => None,
+                    }
+                }
+            };
+            match vc {
+                Some(vc) if q.vc_states[vc].has_credit() => {
+                    let mut flit = q.current.pop_front().expect("checked non-empty");
+                    flit.vc = vc;
+                    q.vc_states[vc].credits -= 1;
+                    let is_tail = flit.is_tail();
+                    if is_tail {
+                        q.vc_states[vc].owner = None;
+                        q.current_vc = None;
+                    }
+                    Some((flit, is_tail))
+                }
+                _ => None,
+            }
+        };
+
+        if let Some((flit, is_tail)) = injected {
+            stats.record_injection(region, is_tail);
+            let mut ctx = RouterCtx {
+                topo: &self.topo,
+                routing: self.routing,
+                power: &self.power,
+                meter: &mut stats.energy,
+                dynamic_scale: scale,
+            };
+            self.routers[i].accept(Port::Local, flit, &mut ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::PacketId;
+    use crate::traffic::TrafficPattern;
+
+    fn small_config() -> SimConfig {
+        SimConfig::default()
+            .with_size(4, 4)
+            .with_traffic(TrafficPattern::Uniform, 0.1)
+            .with_regions(2, 2)
+    }
+
+    fn packet(id: u64, src: usize, dst: usize, len: u32, t: u64) -> Packet {
+        Packet { id: PacketId(id), src: NodeId(src), dst: NodeId(dst), len_flits: len, created_at: t }
+    }
+
+    #[test]
+    fn single_packet_is_delivered() {
+        let cfg = small_config();
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        net.offer(vec![packet(0, 0, 15, 5, 0)], &mut stats);
+        for _ in 0..200 {
+            net.step(&mut stats);
+            if stats.ejected_packets == 1 {
+                break;
+            }
+        }
+        assert_eq!(stats.ejected_packets, 1, "packet should be delivered");
+        assert_eq!(stats.ejected_flits, 5);
+        assert_eq!(stats.injected_flits, 5);
+        assert_eq!(net.in_flight(), 0);
+        // XY route (0,0)->(3,3) is 6 hops; tail latency covers pipeline depth.
+        assert!(stats.sum_hops as u32 >= 6);
+        assert!(stats.avg_packet_latency() >= 6.0);
+    }
+
+    #[test]
+    fn many_packets_all_delivered_xy() {
+        let cfg = small_config();
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        let mut id = 0;
+        for src in 0..16usize {
+            for dst in 0..16usize {
+                if src != dst {
+                    net.offer(vec![packet(id, src, dst, 3, 0)], &mut stats);
+                    id += 1;
+                }
+            }
+        }
+        for _ in 0..5000 {
+            net.step(&mut stats);
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(stats.ejected_packets, id, "all-to-all traffic must drain");
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn adaptive_routing_drains_all_to_all() {
+        for alg in [
+            RoutingAlgorithm::OddEven,
+            RoutingAlgorithm::WestFirst,
+            RoutingAlgorithm::NorthLast,
+            RoutingAlgorithm::NegativeFirst,
+            RoutingAlgorithm::Yx,
+        ] {
+            let cfg = small_config().with_routing(alg);
+            let mut net = Network::new(&cfg).unwrap();
+            let mut stats = StatsCollector::new(net.regions().num_regions());
+            let mut id = 0;
+            for src in 0..16usize {
+                for dst in 0..16usize {
+                    if src != dst {
+                        net.offer(vec![packet(id, src, dst, 4, 0)], &mut stats);
+                        id += 1;
+                    }
+                }
+            }
+            for _ in 0..8000 {
+                net.step(&mut stats);
+                if net.in_flight() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(stats.ejected_packets, id, "{alg:?} must drain all-to-all traffic");
+        }
+    }
+
+    #[test]
+    fn torus_dor_drains_all_to_all() {
+        let mut cfg = small_config().with_routing(RoutingAlgorithm::TorusDor);
+        cfg.kind = TopologyKind::Torus;
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        let mut id = 0;
+        for src in 0..16usize {
+            for dst in 0..16usize {
+                if src != dst {
+                    net.offer(vec![packet(id, src, dst, 4, 0)], &mut stats);
+                    id += 1;
+                }
+            }
+        }
+        for _ in 0..8000 {
+            net.step(&mut stats);
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(stats.ejected_packets, id, "torus must drain all-to-all traffic");
+    }
+
+    #[test]
+    fn low_vf_level_slows_delivery() {
+        let cfg = small_config();
+        let run = |level: usize| {
+            let mut net = Network::new(&cfg).unwrap();
+            net.set_all_levels(level).unwrap();
+            let mut stats = StatsCollector::new(net.regions().num_regions());
+            net.offer(vec![packet(0, 0, 15, 5, 0)], &mut stats);
+            for c in 0..2000 {
+                net.step(&mut stats);
+                if stats.ejected_packets == 1 {
+                    return c;
+                }
+            }
+            panic!("packet not delivered at level {level}");
+        };
+        let fast = run(3);
+        let slow = run(0);
+        assert!(
+            slow > fast * 2,
+            "0.4x frequency should be much slower: fast={fast}, slow={slow}"
+        );
+    }
+
+    #[test]
+    fn low_vf_level_saves_energy_per_flit() {
+        let cfg = small_config();
+        let run = |level: usize| {
+            let mut net = Network::new(&cfg).unwrap();
+            net.set_all_levels(level).unwrap();
+            let mut stats = StatsCollector::new(net.regions().num_regions());
+            net.offer(vec![packet(0, 0, 15, 5, 0)], &mut stats);
+            while stats.ejected_packets < 1 {
+                net.step(&mut stats);
+                assert!(net.cycle() < 5000);
+            }
+            stats.energy.dynamic_pj()
+        };
+        let hi = run(3);
+        let lo = run(0);
+        assert!(lo < hi * 0.5, "dynamic energy should scale with V²: hi={hi}, lo={lo}");
+    }
+
+    #[test]
+    fn region_levels_are_independent() {
+        let cfg = small_config();
+        let mut net = Network::new(&cfg).unwrap();
+        net.set_region_level(0, 0).unwrap();
+        net.set_region_level(3, 2).unwrap();
+        assert_eq!(net.region_levels(), &[0, 3, 3, 2]);
+        assert!(net.set_region_level(9, 0).is_err());
+        assert!(net.set_region_level(0, 9).is_err());
+    }
+
+    #[test]
+    fn routing_switch_validates_topology() {
+        let cfg = small_config();
+        let mut net = Network::new(&cfg).unwrap();
+        assert!(net.set_routing(RoutingAlgorithm::OddEven).is_ok());
+        assert_eq!(net.routing(), RoutingAlgorithm::OddEven);
+        assert!(net.set_routing(RoutingAlgorithm::TorusDor).is_err());
+    }
+
+    #[test]
+    fn occupancy_and_backlog_accounting() {
+        let cfg = small_config();
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        net.offer(vec![packet(0, 0, 15, 5, 0)], &mut stats);
+        assert_eq!(net.backlog(), 5);
+        assert_eq!(net.occupancy(), 0);
+        net.step(&mut stats);
+        assert_eq!(net.in_flight(), 5, "flits conserved between queue and buffers");
+        let cap: usize = net.region_capacity().iter().sum();
+        assert_eq!(cap, 16 * 5 * cfg.num_vcs * cfg.vc_depth);
+    }
+
+    #[test]
+    fn power_gating_cuts_idle_leakage() {
+        let mut cfg = small_config();
+        let run = |cfg: &SimConfig| {
+            let mut net = Network::new(cfg).unwrap();
+            let mut stats = StatsCollector::new(net.regions().num_regions());
+            for _ in 0..100 {
+                net.step(&mut stats); // fully idle network
+            }
+            stats.energy.leakage_pj()
+        };
+        let nominal = run(&cfg);
+        cfg.power = crate::power::PowerModel::with_power_gating();
+        let gated = run(&cfg);
+        assert!(
+            (gated - nominal * 0.2).abs() < nominal * 0.01,
+            "idle gated leakage {gated} should be ~20% of {nominal}"
+        );
+    }
+
+    #[test]
+    fn throttle_overrides_requested_level() {
+        use crate::dvfs::ThrottleEvent;
+        let cfg = small_config().with_throttles(vec![ThrottleEvent {
+            start: 50,
+            duration: 100,
+            region: 0,
+            level: 0,
+        }]);
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        assert_eq!(net.effective_region_levels(), &[3, 3, 3, 3]);
+        for _ in 0..60 {
+            net.step(&mut stats);
+        }
+        assert!(net.throttle_active());
+        assert_eq!(net.region_levels(), &[3, 3, 3, 3], "requested level unchanged");
+        assert_eq!(net.effective_region_levels(), &[0, 3, 3, 3], "region 0 throttled");
+        // The controller cannot override the emergency.
+        net.set_region_level(0, 3).unwrap();
+        net.step(&mut stats);
+        assert_eq!(net.effective_region_levels()[0], 0);
+        // After the window the requested level is restored.
+        for _ in 0..100 {
+            net.step(&mut stats);
+        }
+        assert!(!net.throttle_active());
+        assert_eq!(net.effective_region_levels(), &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn throttle_slows_the_region() {
+        use crate::dvfs::ThrottleEvent;
+        let run = |throttled: bool| {
+            let mut cfg = small_config();
+            if throttled {
+                cfg = cfg.with_throttles(vec![ThrottleEvent {
+                    start: 0,
+                    duration: 10_000,
+                    region: 0,
+                    level: 0,
+                }]);
+            }
+            let mut net = Network::new(&cfg).unwrap();
+            let mut stats = StatsCollector::new(net.regions().num_regions());
+            // Packet crossing region 0 (node 0 is in region 0).
+            net.offer(vec![packet(0, 0, 5, 5, 0)], &mut stats);
+            for c in 0..2000 {
+                net.step(&mut stats);
+                if stats.ejected_packets == 1 {
+                    return c;
+                }
+            }
+            panic!("packet not delivered");
+        };
+        assert!(run(true) > run(false) * 2, "throttled region must be much slower");
+    }
+
+    #[test]
+    fn energy_grows_every_cycle_from_leakage() {
+        let cfg = small_config();
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        net.step(&mut stats);
+        let e1 = stats.energy.leakage_pj();
+        net.step(&mut stats);
+        let e2 = stats.energy.leakage_pj();
+        assert!(e1 > 0.0 && e2 > e1);
+    }
+}

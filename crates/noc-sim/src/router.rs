@@ -1,0 +1,544 @@
+//! The wormhole virtual-channel router.
+//!
+//! A three-stage pipeline executed once per active (non-clock-gated) cycle,
+//! in reverse order so a flit takes one stage per cycle:
+//!
+//! 1. **SA/ST** — switch allocation + traversal: per output port, a
+//!    round-robin arbiter picks among input VCs whose packet was routed to
+//!    that port, holds a downstream VC, and has a credit. The winning flit
+//!    leaves through the crossbar (at most one flit per input port and per
+//!    output port per cycle).
+//! 2. **VA** — virtual-channel allocation: head flits that have a route claim
+//!    a free VC at the downstream input port.
+//! 3. **RC** — route computation: head flits at the front of a VC compute
+//!    their candidate output ports; adaptive algorithms pick the candidate
+//!    with the most free downstream credits.
+//!
+//! Flow control is credit-based: the router keeps, per output port and VC,
+//! the number of free slots in the downstream buffer and the packet that owns
+//! the VC; the network layer returns credits as downstream buffers drain.
+
+use crate::arbiter::RoundRobinArbiter;
+use crate::flit::Flit;
+use crate::power::{EnergyMeter, PowerEvent, PowerModel};
+use crate::routing::{route, RoutingAlgorithm};
+use crate::topology::{NodeId, Port, Topology};
+use crate::vc::{InputVc, OutputVcState};
+use serde::{Deserialize, Serialize};
+
+/// Effects of one router cycle, applied by the network layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterEvent {
+    /// A flit leaves through `out_port` toward the neighboring router.
+    Forward {
+        /// Output port the flit leaves through.
+        out_port: Port,
+        /// The departing flit (with `vc` set to the downstream VC).
+        flit: Flit,
+    },
+    /// A flit reaches its destination and leaves the network.
+    Eject {
+        /// The delivered flit.
+        flit: Flit,
+    },
+    /// A buffer slot freed on input port `in_port`, VC `vc`: the upstream
+    /// sender regains one credit.
+    Credit {
+        /// Input port whose buffer drained.
+        in_port: Port,
+        /// Virtual channel index.
+        vc: usize,
+    },
+}
+
+/// Per-cycle execution context handed to [`Router::step`].
+#[allow(missing_debug_implementations)]
+pub struct RouterCtx<'a> {
+    /// The network topology (for route computation).
+    pub topo: &'a Topology,
+    /// Routing algorithm in force this cycle.
+    pub routing: RoutingAlgorithm,
+    /// Event-energy model.
+    pub power: &'a PowerModel,
+    /// Energy accumulator.
+    pub meter: &'a mut EnergyMeter,
+    /// Dynamic energy multiplier for this router's current V/F level.
+    pub dynamic_scale: f64,
+}
+
+/// A single wormhole VC router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Router {
+    id: NodeId,
+    num_vcs: usize,
+    vc_depth: usize,
+    /// When true, VC allocation partitions VCs into two dateline classes
+    /// (tori). Requires `num_vcs >= 2`.
+    vc_partition: bool,
+    /// Input VC state, `[port][vc]`.
+    inputs: Vec<Vec<InputVc>>,
+    /// Upstream view of downstream VC state, `[port][vc]`. The `Local`
+    /// output (ejection) is modeled with infinite credits.
+    outputs: Vec<Vec<OutputVcState>>,
+    /// Switch arbiter per output port, over flattened `(in_port, vc)`.
+    sw_arb: Vec<RoundRobinArbiter>,
+    /// Rotation pointer per output port for fair VC allocation.
+    va_ptr: Vec<usize>,
+}
+
+impl Router {
+    /// Build an idle router.
+    ///
+    /// # Panics
+    /// Panics if `num_vcs == 0`, `vc_depth == 0`, or `vc_partition` is set
+    /// with fewer than two VCs.
+    pub fn new(id: NodeId, num_vcs: usize, vc_depth: usize, vc_partition: bool) -> Self {
+        assert!(num_vcs > 0, "router needs at least one VC");
+        assert!(vc_depth > 0, "VC depth must be positive");
+        assert!(!vc_partition || num_vcs >= 2, "VC partitioning requires >= 2 VCs");
+        let inputs = (0..Port::COUNT)
+            .map(|_| (0..num_vcs).map(|_| InputVc::new(vc_depth)).collect())
+            .collect();
+        let outputs = (0..Port::COUNT)
+            .map(|_| (0..num_vcs).map(|_| OutputVcState::new(vc_depth)).collect())
+            .collect();
+        let sw_arb =
+            (0..Port::COUNT).map(|_| RoundRobinArbiter::new(Port::COUNT * num_vcs)).collect();
+        Router {
+            id,
+            num_vcs,
+            vc_depth,
+            vc_partition,
+            inputs,
+            outputs,
+            sw_arb,
+            va_ptr: vec![0; Port::COUNT],
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of virtual channels per port.
+    pub fn num_vcs(&self) -> usize {
+        self.num_vcs
+    }
+
+    /// Buffer depth per VC, in flits.
+    pub fn vc_depth(&self) -> usize {
+        self.vc_depth
+    }
+
+    /// Total flits currently buffered across all input VCs.
+    pub fn occupancy(&self) -> usize {
+        self.inputs.iter().flatten().map(|vc| vc.buf.len()).sum()
+    }
+
+    /// Total buffering capacity across all input VCs.
+    pub fn buffer_capacity(&self) -> usize {
+        Port::COUNT * self.num_vcs * self.vc_depth
+    }
+
+    /// Whether input VC `(port, vc)` can accept a flit right now. Used by
+    /// the network layer to double-check flow control in debug builds.
+    pub fn can_accept(&self, port: Port, vc: usize) -> bool {
+        !self.inputs[port.index()][vc].buf.is_full()
+    }
+
+    /// Deposit a flit arriving on `port` into its VC buffer. Called by the
+    /// network layer for link deliveries and local injections.
+    ///
+    /// # Panics
+    /// Panics if the buffer is full (a flow-control violation).
+    pub fn accept(&mut self, port: Port, flit: Flit, ctx: &mut RouterCtx<'_>) {
+        ctx.meter.record(ctx.power, PowerEvent::BufferWrite, ctx.dynamic_scale);
+        self.inputs[port.index()][flit.vc].buf.push(flit);
+    }
+
+    /// Return one credit for output `(port, vc)` (downstream buffer drained
+    /// a flit).
+    pub fn return_credit(&mut self, port: Port, vc: usize) {
+        let s = &mut self.outputs[port.index()][vc];
+        debug_assert!(s.credits < self.vc_depth, "credit overflow on {port}/{vc}");
+        s.credits += 1;
+    }
+
+    /// Free slots the upstream view holds for output `(port, vc)`.
+    pub fn credits(&self, port: Port, vc: usize) -> usize {
+        self.outputs[port.index()][vc].credits
+    }
+
+    /// The VC indices a flit may claim at the next hop, honoring the dateline
+    /// partition on tori.
+    fn allowed_vcs(&self, flit: &Flit) -> std::ops::Range<usize> {
+        if self.vc_partition {
+            let half = self.num_vcs / 2;
+            if flit.vc_class == 0 {
+                0..half
+            } else {
+                half..self.num_vcs
+            }
+        } else {
+            0..self.num_vcs
+        }
+    }
+
+    /// Execute one active cycle: SA/ST, then VA, then RC. Returns the events
+    /// the network layer must apply (flit movements, ejections, credits).
+    pub fn step(&mut self, ctx: &mut RouterCtx<'_>) -> Vec<RouterEvent> {
+        if self.occupancy() == 0 {
+            return Vec::new(); // idle router: nothing to route, allocate, or move
+        }
+        let mut events = Vec::new();
+        self.switch_allocation(ctx, &mut events);
+        self.vc_allocation(ctx);
+        self.route_computation(ctx);
+        events
+    }
+
+    /// SA/ST: one flit per output port per cycle, one per input port per
+    /// cycle, round-robin among eligible input VCs.
+    fn switch_allocation(&mut self, ctx: &mut RouterCtx<'_>, events: &mut Vec<RouterEvent>) {
+        let v = self.num_vcs;
+        let mut input_port_used = [false; Port::COUNT];
+        // One reusable request vector over flattened (in_port, vc).
+        let mut requests = vec![false; Port::COUNT * v];
+        for out_port in Port::ALL {
+            let op = out_port.index();
+            requests.fill(false);
+            for in_port in Port::ALL {
+                let ip = in_port.index();
+                if input_port_used[ip] {
+                    continue;
+                }
+                for vc in 0..v {
+                    let ivc = &self.inputs[ip][vc];
+                    if !ivc.ready_for_switch() || ivc.route != Some(out_port) {
+                        continue;
+                    }
+                    let has_credit = if out_port == Port::Local {
+                        true // ejection sinks flits unconditionally
+                    } else {
+                        let ovc = ivc.out_vc.expect("ready_for_switch implies out_vc");
+                        self.outputs[op][ovc].has_credit()
+                    };
+                    if has_credit {
+                        requests[ip * v + vc] = true;
+                    }
+                }
+            }
+            let Some(win) = self.sw_arb[op].grant(&requests) else {
+                continue;
+            };
+            let (ip, vc) = (win / v, win % v);
+            input_port_used[ip] = true;
+            let in_port = Port::from_index(ip);
+            let ivc = &mut self.inputs[ip][vc];
+            let out_vc = ivc.out_vc.expect("granted VC has out_vc");
+            let mut flit = ivc.buf.pop().expect("granted VC has a flit");
+            let is_tail = flit.is_tail();
+            if is_tail {
+                ivc.release();
+            }
+            ctx.meter.record(ctx.power, PowerEvent::BufferRead, ctx.dynamic_scale);
+            ctx.meter.record(ctx.power, PowerEvent::SwitchArb, ctx.dynamic_scale);
+            ctx.meter.record(ctx.power, PowerEvent::Crossbar, ctx.dynamic_scale);
+            if out_port == Port::Local {
+                events.push(RouterEvent::Eject { flit });
+            } else {
+                flit.vc = out_vc;
+                flit.hops += 1;
+                let st = &mut self.outputs[op][out_vc];
+                debug_assert!(st.credits > 0, "SA granted without credit");
+                st.credits -= 1;
+                if is_tail {
+                    st.owner = None;
+                }
+                events.push(RouterEvent::Forward { out_port, flit });
+            }
+            events.push(RouterEvent::Credit { in_port, vc });
+        }
+    }
+
+    /// VA: head flits holding a route claim a free downstream VC.
+    fn vc_allocation(&mut self, ctx: &mut RouterCtx<'_>) {
+        let v = self.num_vcs;
+        for ip in 0..Port::COUNT {
+            for vc in 0..v {
+                if !self.inputs[ip][vc].awaiting_vc_alloc() {
+                    continue;
+                }
+                let out_port = self.inputs[ip][vc].route.expect("awaiting implies route");
+                let op = out_port.index();
+                if out_port == Port::Local {
+                    // Ejection needs no downstream VC; claim slot 0 nominally.
+                    self.inputs[ip][vc].out_vc = Some(0);
+                    ctx.meter.record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
+                    continue;
+                }
+                let flit = self.inputs[ip][vc].buf.front().expect("awaiting implies flit");
+                debug_assert!(flit.is_head(), "VA on a non-head flit");
+                let range = self.allowed_vcs(flit);
+                let packet = flit.packet;
+                let span = range.len();
+                let start = self.va_ptr[op] % span.max(1);
+                let granted = (0..span)
+                    .map(|off| range.start + (start + off) % span)
+                    .find(|&ovc| self.outputs[op][ovc].is_free());
+                if let Some(ovc) = granted {
+                    self.outputs[op][ovc].owner = Some(packet);
+                    self.inputs[ip][vc].out_vc = Some(ovc);
+                    self.va_ptr[op] = self.va_ptr[op].wrapping_add(1);
+                    ctx.meter.record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
+                }
+            }
+        }
+    }
+
+    /// RC: compute output-port candidates for head flits; adaptive
+    /// algorithms pick the candidate whose free VCs hold the most credits.
+    fn route_computation(&mut self, ctx: &mut RouterCtx<'_>) {
+        for ip in 0..Port::COUNT {
+            for vc in 0..self.num_vcs {
+                let ivc = &self.inputs[ip][vc];
+                if ivc.route.is_some() || ivc.buf.is_empty() {
+                    continue;
+                }
+                let flit = ivc.buf.front().expect("checked non-empty");
+                debug_assert!(
+                    flit.is_head(),
+                    "non-head flit at front of an unrouted VC: flow-control bug"
+                );
+                let cands = route(ctx.routing, ctx.topo, self.id, flit.src, flit.dst);
+                let chosen = if cands.len() == 1 {
+                    cands[0]
+                } else {
+                    let range = self.allowed_vcs(flit);
+                    *cands
+                        .iter()
+                        .max_by_key(|p| {
+                            self.outputs[p.index()][range.clone()]
+                                .iter()
+                                .filter(|s| s.is_free())
+                                .map(|s| s.credits)
+                                .sum::<usize>()
+                        })
+                        .expect("route returned no candidates")
+                };
+                self.inputs[ip][vc].route = Some(chosen);
+                ctx.meter.record(ctx.power, PowerEvent::RouteCompute, ctx.dynamic_scale);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, Packet, PacketId};
+
+    fn ctx_parts() -> (Topology, PowerModel) {
+        (Topology::mesh(4, 4), PowerModel::default_32nm())
+    }
+
+    fn make_flits(src: usize, dst: usize, len: u32) -> Vec<Flit> {
+        Packet {
+            id: PacketId(1),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            len_flits: len,
+            created_at: 0,
+        }
+        .to_flits(0)
+    }
+
+    /// Drive a lone router: inject a packet on the Local port addressed to a
+    /// neighbor and check it is forwarded east with pipeline latency 3
+    /// (RC, VA, SA on successive cycles).
+    #[test]
+    fn single_flit_traverses_pipeline_in_three_cycles() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(0), 2, 4, false);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        let flits = make_flits(0, 1, 1);
+        r.accept(Port::Local, flits[0].clone(), &mut ctx);
+
+        // Cycle 1: RC only.
+        let ev = r.step(&mut ctx);
+        assert!(ev.is_empty(), "no movement before VA: {ev:?}");
+        // Cycle 2: VA.
+        let ev = r.step(&mut ctx);
+        assert!(ev.is_empty(), "no movement before SA: {ev:?}");
+        // Cycle 3: SA/ST forwards the flit.
+        let ev = r.step(&mut ctx);
+        let fwd = ev.iter().find_map(|e| match e {
+            RouterEvent::Forward { out_port, flit } => Some((*out_port, flit.clone())),
+            _ => None,
+        });
+        let (port, flit) = fwd.expect("flit forwarded");
+        assert_eq!(port, Port::East);
+        assert_eq!(flit.hops, 1);
+        assert!(ev.iter().any(|e| matches!(e, RouterEvent::Credit { in_port: Port::Local, vc: 0 })));
+    }
+
+    #[test]
+    fn flit_at_destination_is_ejected() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(5), 2, 4, false);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        let mut flit = make_flits(0, 5, 1).remove(0);
+        flit.vc = 1;
+        r.accept(Port::West, flit, &mut ctx);
+        let mut ejected = false;
+        for _ in 0..3 {
+            for e in r.step(&mut ctx) {
+                if let RouterEvent::Eject { flit } = e {
+                    assert_eq!(flit.dst, NodeId(5));
+                    ejected = true;
+                }
+            }
+        }
+        assert!(ejected, "flit should eject within 3 cycles");
+    }
+
+    #[test]
+    fn credits_limit_outstanding_flits() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(0), 1, 2, false);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        // 5-flit packet; downstream buffer depth 2 and no credit returns.
+        for f in make_flits(0, 3, 5).into_iter().take(2) {
+            r.accept(Port::Local, f, &mut ctx);
+        }
+        let mut forwarded = 0;
+        for _ in 0..10 {
+            for e in r.step(&mut ctx) {
+                if matches!(e, RouterEvent::Forward { .. }) {
+                    forwarded += 1;
+                }
+            }
+        }
+        assert_eq!(forwarded, 2, "only vc_depth flits may be in flight without credits");
+        // Returning credits unblocks... nothing more is buffered, so verify
+        // credit accounting instead.
+        assert_eq!(r.credits(Port::East, 0), 0);
+        r.return_credit(Port::East, 0);
+        assert_eq!(r.credits(Port::East, 0), 1);
+    }
+
+    #[test]
+    fn tail_flit_releases_vc_ownership() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(0), 1, 4, false);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        for f in make_flits(0, 1, 2) {
+            r.accept(Port::Local, f, &mut ctx);
+        }
+        let mut tails = 0;
+        for _ in 0..8 {
+            for e in r.step(&mut ctx) {
+                if let RouterEvent::Forward { flit, .. } = e {
+                    if flit.kind == FlitKind::Tail {
+                        tails += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(tails, 1);
+        // After the tail left, the output VC is free for a new packet.
+        assert!(r.outputs[Port::East.index()][0].is_free());
+        assert!(r.inputs[Port::Local.index()][0].route.is_none());
+    }
+
+    #[test]
+    fn occupancy_tracks_buffered_flits() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(0), 2, 4, false);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        assert_eq!(r.occupancy(), 0);
+        for f in make_flits(0, 1, 3) {
+            r.accept(Port::Local, f, &mut ctx);
+        }
+        assert_eq!(r.occupancy(), 3);
+        assert_eq!(r.buffer_capacity(), 5 * 2 * 4);
+    }
+
+    #[test]
+    fn vc_partition_restricts_allocation() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(0), 4, 2, true);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        let mut flit = make_flits(0, 1, 1).remove(0);
+        flit.vc_class = 1;
+        r.accept(Port::Local, flit, &mut ctx);
+        r.step(&mut ctx); // RC
+        r.step(&mut ctx); // VA
+        let out_vc = r.inputs[Port::Local.index()][0].out_vc.expect("VC allocated");
+        assert!(out_vc >= 2, "class-1 flit must use the upper VC half, got {out_vc}");
+    }
+
+    #[test]
+    fn step_consumes_energy() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(0), 2, 4, false);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        let f = make_flits(0, 1, 1).remove(0);
+        r.accept(Port::Local, f, &mut ctx);
+        for _ in 0..3 {
+            r.step(&mut ctx);
+        }
+        assert!(meter.dynamic_pj() > 0.0);
+        assert!(meter.events() >= 4, "write + RC + VA + SA events expected");
+    }
+}

@@ -1,0 +1,494 @@
+//! Routing algorithms.
+//!
+//! Deterministic dimension-ordered routing (XY, YX), three turn-model
+//! algorithms (West-First, North-Last, Negative-First), the Odd-Even
+//! adaptive turn model (Chiu, 2000), and wrap-aware dimension-ordered
+//! routing for tori.
+//!
+//! Conventions: `x` grows east, `y` grows south, so `North` decreases `y`.
+//! All algorithms here are *minimal*: every candidate port reduces the
+//! distance to the destination, which also bounds worst-case hop count.
+
+use crate::topology::{Coord, NodeId, Port, Topology, TopologyKind};
+use serde::{Deserialize, Serialize};
+
+/// Selectable routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingAlgorithm {
+    /// Dimension-ordered: route fully in X, then in Y. Deadlock-free on mesh.
+    Xy,
+    /// Dimension-ordered: route fully in Y, then in X. Deadlock-free on mesh.
+    Yx,
+    /// Turn model: all westward hops are taken first; afterwards the packet
+    /// routes adaptively among the remaining minimal directions.
+    WestFirst,
+    /// Turn model: northward hops may only be taken last.
+    NorthLast,
+    /// Turn model: hops in negative directions (west, north) are taken first.
+    NegativeFirst,
+    /// Odd-Even adaptive turn model (Chiu, 2000). Restricts where east-north /
+    /// east-south and north-west / south-west turns may occur based on column
+    /// parity, giving deadlock freedom without virtual-channel partitioning.
+    OddEven,
+    /// Wrap-aware dimension-ordered routing for tori. Requires a dateline
+    /// virtual-channel partition for deadlock freedom (handled by the
+    /// router's VC allocator).
+    TorusDor,
+}
+
+impl RoutingAlgorithm {
+    /// Whether the algorithm may return more than one candidate port
+    /// (adaptive) or always exactly one (deterministic/oblivious).
+    pub fn is_adaptive(self) -> bool {
+        matches!(
+            self,
+            RoutingAlgorithm::WestFirst
+                | RoutingAlgorithm::NorthLast
+                | RoutingAlgorithm::NegativeFirst
+                | RoutingAlgorithm::OddEven
+        )
+    }
+
+    /// Whether this algorithm is valid on the given topology.
+    pub fn supports(self, kind: TopologyKind) -> bool {
+        match self {
+            RoutingAlgorithm::TorusDor => kind == TopologyKind::Torus,
+            _ => kind == TopologyKind::Mesh,
+        }
+    }
+}
+
+/// Signed offsets toward the destination: `(ex, ey)` where positive `ex`
+/// means the destination lies east and positive `ey` means south.
+fn offsets(cur: Coord, dst: Coord) -> (isize, isize) {
+    (dst.x as isize - cur.x as isize, dst.y as isize - cur.y as isize)
+}
+
+/// Compute the set of candidate output ports for a flit currently at `cur`,
+/// heading to `dst`, having entered the network at `src`.
+///
+/// Returns `vec![Port::Local]` when `cur == dst`. Otherwise, every returned
+/// port is a productive (distance-reducing) direction permitted by the
+/// algorithm; the list is never empty.
+///
+/// # Panics
+/// Panics if the algorithm does not support the topology kind (e.g. `TorusDor`
+/// on a mesh), or if any node id is out of range.
+pub fn route(
+    alg: RoutingAlgorithm,
+    topo: &Topology,
+    cur: NodeId,
+    src: NodeId,
+    dst: NodeId,
+) -> Vec<Port> {
+    assert!(
+        alg.supports(topo.kind()),
+        "routing algorithm {alg:?} does not support topology {:?}",
+        topo.kind()
+    );
+    if cur == dst {
+        return vec![Port::Local];
+    }
+    let c = topo.coord(cur);
+    let d = topo.coord(dst);
+    let s = topo.coord(src);
+    match alg {
+        RoutingAlgorithm::Xy => route_xy(c, d),
+        RoutingAlgorithm::Yx => route_yx(c, d),
+        RoutingAlgorithm::WestFirst => route_west_first(c, d),
+        RoutingAlgorithm::NorthLast => route_north_last(c, d),
+        RoutingAlgorithm::NegativeFirst => route_negative_first(c, d),
+        RoutingAlgorithm::OddEven => route_odd_even(c, s, d),
+        RoutingAlgorithm::TorusDor => route_torus_dor(topo, c, d),
+    }
+}
+
+fn x_port(ex: isize) -> Port {
+    if ex > 0 {
+        Port::East
+    } else {
+        Port::West
+    }
+}
+
+fn y_port(ey: isize) -> Port {
+    if ey > 0 {
+        Port::South
+    } else {
+        Port::North
+    }
+}
+
+fn route_xy(c: Coord, d: Coord) -> Vec<Port> {
+    let (ex, ey) = offsets(c, d);
+    if ex != 0 {
+        vec![x_port(ex)]
+    } else {
+        vec![y_port(ey)]
+    }
+}
+
+fn route_yx(c: Coord, d: Coord) -> Vec<Port> {
+    let (ex, ey) = offsets(c, d);
+    if ey != 0 {
+        vec![y_port(ey)]
+    } else {
+        vec![x_port(ex)]
+    }
+}
+
+/// West-First: a packet whose destination lies to the west must take all its
+/// west hops first (no turning into west later). Once no west hops remain,
+/// route adaptively among the minimal productive directions.
+fn route_west_first(c: Coord, d: Coord) -> Vec<Port> {
+    let (ex, ey) = offsets(c, d);
+    if ex < 0 {
+        return vec![Port::West];
+    }
+    let mut out = Vec::with_capacity(2);
+    if ex > 0 {
+        out.push(Port::East);
+    }
+    if ey != 0 {
+        out.push(y_port(ey));
+    }
+    out
+}
+
+/// North-Last: northward hops (decreasing `y`) may only be taken once no
+/// other productive direction remains, because no turn out of north is
+/// permitted.
+fn route_north_last(c: Coord, d: Coord) -> Vec<Port> {
+    let (ex, ey) = offsets(c, d);
+    let mut out = Vec::with_capacity(2);
+    if ex != 0 {
+        out.push(x_port(ex));
+    }
+    if ey > 0 {
+        out.push(Port::South);
+    }
+    if out.is_empty() {
+        // Only north remains.
+        out.push(Port::North);
+    }
+    out
+}
+
+/// Negative-First: hops in negative directions (west = -x, north = -y) must
+/// all be taken before any positive hop, because turns from positive into
+/// negative directions are prohibited.
+fn route_negative_first(c: Coord, d: Coord) -> Vec<Port> {
+    let (ex, ey) = offsets(c, d);
+    let mut neg = Vec::with_capacity(2);
+    if ex < 0 {
+        neg.push(Port::West);
+    }
+    if ey < 0 {
+        neg.push(Port::North);
+    }
+    if !neg.is_empty() {
+        return neg;
+    }
+    let mut pos = Vec::with_capacity(2);
+    if ex > 0 {
+        pos.push(Port::East);
+    }
+    if ey > 0 {
+        pos.push(Port::South);
+    }
+    pos
+}
+
+/// Odd-Even minimal adaptive routing (the `ROUTE` function of Chiu, 2000).
+///
+/// Column parity is taken on `x`. Restrictions:
+/// * EN/ES turns are forbidden in even columns — an eastbound packet may only
+///   turn north/south in odd columns (or in its source column);
+/// * NW/SW turns are forbidden in odd columns — a westbound packet may only
+///   turn west from north/south in even columns, which manifests here as
+///   "north/south moves while heading west are only offered in even columns".
+fn route_odd_even(c: Coord, s: Coord, d: Coord) -> Vec<Port> {
+    let (ex, ey) = offsets(c, d);
+    let mut out = Vec::with_capacity(2);
+    if ex == 0 {
+        // Same column: straight north/south.
+        out.push(y_port(ey));
+        return out;
+    }
+    if ex > 0 {
+        // Eastbound.
+        if ey == 0 {
+            out.push(Port::East);
+        } else {
+            // Turning off the east direction is an EN/ES turn, allowed only
+            // in odd columns or the source column.
+            if c.x % 2 == 1 || c.x == s.x {
+                out.push(y_port(ey));
+            }
+            // Continuing east is allowed unless the destination column is
+            // even and exactly one hop away (the final EN/ES turn would then
+            // land in an even column where it is forbidden).
+            if d.x % 2 == 1 || ex != 1 {
+                out.push(Port::East);
+            }
+            if out.is_empty() {
+                // Fallback that cannot occur for valid meshes, but keep the
+                // function total: take the vertical move.
+                out.push(y_port(ey));
+            }
+        }
+    } else {
+        // Westbound: west is always permitted.
+        out.push(Port::West);
+        // NW/SW turns later are only legal from even columns, so offer the
+        // vertical move only in even columns.
+        if ey != 0 && c.x.is_multiple_of(2) {
+            out.push(y_port(ey));
+        }
+    }
+    out
+}
+
+/// Wrap-aware dimension-ordered routing for the torus: route X first, then Y,
+/// choosing the direction with the fewer hops (ties go east/south).
+fn route_torus_dor(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
+    let w = topo.width() as isize;
+    let h = topo.height() as isize;
+    let (ex, ey) = offsets(c, d);
+    if ex != 0 {
+        let east_hops = ex.rem_euclid(w);
+        return if east_hops <= w - east_hops { vec![Port::East] } else { vec![Port::West] };
+    }
+    let south_hops = ey.rem_euclid(h);
+    if south_hops <= h - south_hops {
+        vec![Port::South]
+    } else {
+        vec![Port::North]
+    }
+}
+
+/// Walk a packet from `src` to `dst` by repeatedly applying the routing
+/// function and picking the candidate selected by `choose` (index into the
+/// candidate list). Returns the sequence of nodes visited, ending at `dst`.
+///
+/// This is a testing/analysis helper: it ignores contention and flow control.
+///
+/// # Panics
+/// Panics if the walk exceeds `4 * (width + height)` hops, which indicates a
+/// non-minimal or divergent routing function.
+pub fn walk_route<F>(
+    alg: RoutingAlgorithm,
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    mut choose: F,
+) -> Vec<NodeId>
+where
+    F: FnMut(&[Port]) -> usize,
+{
+    let mut path = vec![src];
+    let mut cur = src;
+    let bound = 4 * (topo.width() + topo.height()) + 4;
+    while cur != dst {
+        let cands = route(alg, topo, cur, src, dst);
+        assert!(!cands.is_empty(), "routing returned no candidates at {cur}");
+        let port = cands[choose(&cands).min(cands.len() - 1)];
+        assert_ne!(port, Port::Local, "local port before destination at {cur}");
+        cur = topo
+            .neighbor(cur, port)
+            .unwrap_or_else(|| panic!("routing sent flit off the edge at {cur} via {port}"));
+        path.push(cur);
+        assert!(path.len() <= bound, "routing walk exceeded {bound} hops ({alg:?})");
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MESH_ALGS: [RoutingAlgorithm; 6] = [
+        RoutingAlgorithm::Xy,
+        RoutingAlgorithm::Yx,
+        RoutingAlgorithm::WestFirst,
+        RoutingAlgorithm::NorthLast,
+        RoutingAlgorithm::NegativeFirst,
+        RoutingAlgorithm::OddEven,
+    ];
+
+    #[test]
+    fn local_delivery_at_destination() {
+        let t = Topology::mesh(4, 4);
+        for alg in MESH_ALGS {
+            assert_eq!(route(alg, &t, NodeId(5), NodeId(0), NodeId(5)), vec![Port::Local]);
+        }
+    }
+
+    #[test]
+    fn xy_routes_x_before_y() {
+        let t = Topology::mesh(4, 4);
+        // From (0,0) to (2,2): go east first.
+        assert_eq!(route(RoutingAlgorithm::Xy, &t, NodeId(0), NodeId(0), NodeId(10)), vec![
+            Port::East
+        ]);
+        // Aligned in x: go south.
+        assert_eq!(route(RoutingAlgorithm::Xy, &t, NodeId(2), NodeId(0), NodeId(10)), vec![
+            Port::South
+        ]);
+    }
+
+    #[test]
+    fn yx_routes_y_before_x() {
+        let t = Topology::mesh(4, 4);
+        assert_eq!(route(RoutingAlgorithm::Yx, &t, NodeId(0), NodeId(0), NodeId(10)), vec![
+            Port::South
+        ]);
+    }
+
+    #[test]
+    fn all_mesh_algorithms_reach_every_destination_minimally() {
+        let t = Topology::mesh(5, 4);
+        for alg in MESH_ALGS {
+            for src in t.nodes() {
+                for dst in t.nodes() {
+                    // Greedy-first choice.
+                    let path = walk_route(alg, &t, src, dst, |_| 0);
+                    assert_eq!(path.len() - 1, t.distance(src, dst), "{alg:?} {src}->{dst}");
+                    // Last-candidate choice (exercises the adaptive branch).
+                    let path = walk_route(alg, &t, src, dst, |c| c.len() - 1);
+                    assert_eq!(path.len() - 1, t.distance(src, dst), "{alg:?} {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_dor_reaches_every_destination_minimally() {
+        let t = Topology::torus(4, 4);
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                let path = walk_route(RoutingAlgorithm::TorusDor, &t, src, dst, |_| 0);
+                assert_eq!(path.len() - 1, t.distance(src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_takes_west_hops_first() {
+        let t = Topology::mesh(4, 4);
+        // From (3,0) to (0,2): must head west while any west hop remains.
+        let cands = route(RoutingAlgorithm::WestFirst, &t, NodeId(3), NodeId(3), NodeId(8));
+        assert_eq!(cands, vec![Port::West]);
+    }
+
+    #[test]
+    fn west_first_is_adaptive_when_no_west_hops() {
+        let t = Topology::mesh(4, 4);
+        // From (0,0) to (2,2): east and south both minimal and allowed.
+        let cands = route(RoutingAlgorithm::WestFirst, &t, NodeId(0), NodeId(0), NodeId(10));
+        assert!(cands.contains(&Port::East) && cands.contains(&Port::South));
+    }
+
+    #[test]
+    fn north_last_defers_north() {
+        let t = Topology::mesh(4, 4);
+        // From (0,2) to (2,0): north needed but east available -> east only.
+        let cands = route(RoutingAlgorithm::NorthLast, &t, NodeId(8), NodeId(8), NodeId(2));
+        assert_eq!(cands, vec![Port::East]);
+        // Aligned in x: now north is permitted.
+        let cands = route(RoutingAlgorithm::NorthLast, &t, NodeId(10), NodeId(8), NodeId(2));
+        assert_eq!(cands, vec![Port::North]);
+    }
+
+    #[test]
+    fn negative_first_takes_negative_hops_first() {
+        let t = Topology::mesh(4, 4);
+        // From (1,1) to (0,3): west (negative) before south (positive).
+        let cands = route(RoutingAlgorithm::NegativeFirst, &t, NodeId(5), NodeId(5), NodeId(12));
+        assert_eq!(cands, vec![Port::West]);
+        // From (0,1) to (2,3): only positive hops remain -> adaptive.
+        let cands = route(RoutingAlgorithm::NegativeFirst, &t, NodeId(4), NodeId(4), NodeId(14));
+        assert!(cands.contains(&Port::East) && cands.contains(&Port::South));
+    }
+
+    /// Track the direction of travel along a walk and assert odd-even's turn
+    /// restrictions are never violated.
+    #[test]
+    fn odd_even_never_takes_forbidden_turns() {
+        let t = Topology::mesh(6, 6);
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                for pick_last in [false, true] {
+                    let path =
+                        walk_route(RoutingAlgorithm::OddEven, &t, src, dst, |c| {
+                            if pick_last {
+                                c.len() - 1
+                            } else {
+                                0
+                            }
+                        });
+                    let mut prev_dir: Option<Port> = None;
+                    for win in path.windows(2) {
+                        let (a, b) = (t.coord(win[0]), t.coord(win[1]));
+                        let dir = if b.x > a.x {
+                            Port::East
+                        } else if b.x < a.x {
+                            Port::West
+                        } else if b.y < a.y {
+                            Port::North
+                        } else {
+                            Port::South
+                        };
+                        if let Some(p) = prev_dir {
+                            let col_even = a.x % 2 == 0;
+                            let en_es = p == Port::East
+                                && (dir == Port::North || dir == Port::South);
+                            let nw_sw = (p == Port::North || p == Port::South)
+                                && dir == Port::West;
+                            assert!(!en_es || !col_even, "EN/ES turn in even column at {a}");
+                            assert!(!nw_sw || col_even, "NW/SW turn in odd column at {a}");
+                        }
+                        prev_dir = Some(dir);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_always_productive() {
+        let t = Topology::mesh(5, 5);
+        for alg in MESH_ALGS {
+            for src in t.nodes() {
+                for dst in t.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    for p in route(alg, &t, src, src, dst) {
+                        let n = t.neighbor(src, p).expect("candidate off edge");
+                        assert_eq!(
+                            t.distance(n, dst) + 1,
+                            t.distance(src, dst),
+                            "{alg:?}: unproductive candidate {p} at {src} toward {dst}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn torus_dor_on_mesh_panics() {
+        let t = Topology::mesh(4, 4);
+        let _ = route(RoutingAlgorithm::TorusDor, &t, NodeId(0), NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn adaptivity_flags() {
+        assert!(!RoutingAlgorithm::Xy.is_adaptive());
+        assert!(RoutingAlgorithm::OddEven.is_adaptive());
+        assert!(RoutingAlgorithm::WestFirst.is_adaptive());
+        assert!(!RoutingAlgorithm::TorusDor.is_adaptive());
+    }
+}

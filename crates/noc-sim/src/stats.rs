@@ -1,0 +1,465 @@
+//! Run statistics: latency, throughput, energy, occupancy.
+//!
+//! All counters are monotone totals; callers take [`StatsSnapshot`]s and diff
+//! them to obtain per-epoch or per-measurement-window figures.
+
+use crate::flit::Flit;
+use crate::power::EnergyMeter;
+use serde::{Deserialize, Serialize};
+
+/// Serde adapter mapping non-finite floats to JSON `null` and back to NaN,
+/// so metrics containing NaN (e.g. "no latency samples") survive a JSON
+/// round-trip (plain `f64` fields fail to deserialize from `null`).
+pub mod serde_nan {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    /// Serialize a possibly non-finite float (`null` when non-finite).
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_some(v)
+        } else {
+            s.serialize_none()
+        }
+    }
+
+    /// Deserialize `null` back to NaN.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::NAN))
+    }
+}
+
+/// Upper edges (inclusive) of the latency histogram buckets, in cycles.
+/// The final bucket is open-ended.
+pub const LATENCY_BUCKETS: [u64; 12] =
+    [8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512, 1024];
+
+/// Monotone statistics accumulated over a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsCollector {
+    /// Packets offered by the traffic generator (entered a source queue).
+    pub offered_packets: u64,
+    /// Flits injected into the network (left a source queue).
+    pub injected_flits: u64,
+    /// Packets fully injected.
+    pub injected_packets: u64,
+    /// Flits ejected at their destination.
+    pub ejected_flits: u64,
+    /// Packets fully ejected (tail flit arrived).
+    pub ejected_packets: u64,
+    /// Packets counted toward latency sums (inside the latency window).
+    pub latency_samples: u64,
+    /// Σ packet latency (creation → tail ejection) over latency samples.
+    pub sum_packet_latency: f64,
+    /// Σ network latency (injection → tail ejection) over latency samples.
+    pub sum_network_latency: f64,
+    /// Σ hops of the tail flit over latency samples.
+    pub sum_hops: f64,
+    /// Max packet latency seen among latency samples.
+    pub max_packet_latency: u64,
+    /// Histogram of packet latency over latency samples; index `i` counts
+    /// latencies `<= LATENCY_BUCKETS[i]`, the last slot counts the rest.
+    pub latency_hist: Vec<u64>,
+    /// Σ over sampled cycles of total buffered flits (for mean occupancy).
+    pub sum_occupancy: f64,
+    /// Σ over sampled cycles of buffered flits per region.
+    pub sum_region_occupancy: Vec<f64>,
+    /// Flits injected per region (sources grouped by region).
+    pub region_injected_flits: Vec<u64>,
+    /// Σ over sampled cycles of flits waiting in source queues.
+    pub sum_backlog: f64,
+    /// Cycles sampled (denominator for the occupancy/backlog means).
+    pub sampled_cycles: u64,
+    /// Energy accumulated by routers and links.
+    pub energy: EnergyMeter,
+    /// Flits forwarded (link traversals) per node, for utilization maps.
+    /// Empty until the first forward is recorded.
+    pub node_forwarded: Vec<u64>,
+    /// Latency window: only packets with `created_at` in `[start, end)` feed
+    /// the latency sums. Defaults to all packets.
+    pub window: (u64, u64),
+}
+
+impl StatsCollector {
+    /// A collector for a network partitioned into `num_regions` regions.
+    pub fn new(num_regions: usize) -> Self {
+        StatsCollector {
+            offered_packets: 0,
+            injected_flits: 0,
+            injected_packets: 0,
+            ejected_flits: 0,
+            ejected_packets: 0,
+            latency_samples: 0,
+            sum_packet_latency: 0.0,
+            sum_network_latency: 0.0,
+            sum_hops: 0.0,
+            max_packet_latency: 0,
+            latency_hist: vec![0; LATENCY_BUCKETS.len() + 1],
+            sum_occupancy: 0.0,
+            sum_region_occupancy: vec![0.0; num_regions],
+            region_injected_flits: vec![0; num_regions],
+            sum_backlog: 0.0,
+            sampled_cycles: 0,
+            energy: EnergyMeter::new(),
+            node_forwarded: Vec::new(),
+            window: (0, u64::MAX),
+        }
+    }
+
+    /// Record a flit leaving `node` over an inter-router link.
+    pub fn record_forward(&mut self, node: usize, num_nodes: usize) {
+        if self.node_forwarded.len() < num_nodes {
+            self.node_forwarded.resize(num_nodes, 0);
+        }
+        self.node_forwarded[node] += 1;
+    }
+
+    /// Render an ASCII heat map of per-node link utilization for a
+    /// `width × height` grid: `.` for idle through `█` for the busiest
+    /// router. Returns an empty string if nothing was forwarded.
+    pub fn utilization_heatmap(&self, width: usize, height: usize) -> String {
+        let max = self.node_forwarded.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return String::new();
+        }
+        const RAMP: [char; 6] = ['.', '░', '▒', '▓', '█', '█'];
+        let mut out = String::new();
+        for y in 0..height {
+            for x in 0..width {
+                let v = self.node_forwarded.get(y * width + x).copied().unwrap_or(0);
+                let idx = (v as f64 / max as f64 * (RAMP.len() - 2) as f64).round() as usize;
+                out.push(RAMP[idx.min(RAMP.len() - 1)]);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Restrict latency accounting to packets created in `[start, end)`.
+    pub fn set_latency_window(&mut self, start: u64, end: u64) {
+        self.window = (start, end);
+    }
+
+    /// Record a flit ejecting at `cycle`. Tail flits complete their packet
+    /// and, if the packet was created inside the latency window, contribute
+    /// to the latency sums.
+    pub fn record_ejection(&mut self, flit: &Flit, cycle: u64) {
+        self.ejected_flits += 1;
+        if !flit.is_tail() {
+            return;
+        }
+        self.ejected_packets += 1;
+        let (ws, we) = self.window;
+        if flit.created_at < ws || flit.created_at >= we {
+            return;
+        }
+        self.latency_samples += 1;
+        let plat = cycle.saturating_sub(flit.created_at);
+        let nlat = cycle.saturating_sub(flit.injected_at);
+        self.sum_packet_latency += plat as f64;
+        self.sum_network_latency += nlat as f64;
+        self.sum_hops += flit.hops as f64;
+        self.max_packet_latency = self.max_packet_latency.max(plat);
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&b| plat <= b)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_hist[bucket] += 1;
+    }
+
+    /// Record one flit leaving a source queue into the network, attributed to
+    /// `region`.
+    pub fn record_injection(&mut self, region: usize, is_tail: bool) {
+        self.injected_flits += 1;
+        self.region_injected_flits[region] += 1;
+        if is_tail {
+            self.injected_packets += 1;
+        }
+    }
+
+    /// Record a packet being offered by the traffic generator.
+    pub fn record_offered(&mut self) {
+        self.offered_packets += 1;
+    }
+
+    /// Sample end-of-cycle occupancy figures.
+    pub fn sample_occupancy(&mut self, total: usize, per_region: &[usize], backlog: usize) {
+        debug_assert_eq!(per_region.len(), self.sum_region_occupancy.len());
+        self.sum_occupancy += total as f64;
+        for (acc, &v) in self.sum_region_occupancy.iter_mut().zip(per_region) {
+            *acc += v as f64;
+        }
+        self.sum_backlog += backlog as f64;
+        self.sampled_cycles += 1;
+    }
+
+    /// Mean packet latency over latency samples (NaN if no samples).
+    pub fn avg_packet_latency(&self) -> f64 {
+        self.sum_packet_latency / self.latency_samples as f64
+    }
+
+    /// Approximate latency percentile from the histogram (`p` in `[0, 1]`),
+    /// reported as the upper edge of the containing bucket.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.latency_hist.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return LATENCY_BUCKETS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Take a snapshot of all monotone counters for later diffing.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot(Box::new(self.clone()))
+    }
+}
+
+/// A frozen copy of the collector, used to compute per-window deltas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot(Box<StatsCollector>);
+
+/// Metrics of a simulation window (epoch or measurement phase), produced by
+/// diffing two snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Window length in cycles.
+    pub cycles: u64,
+    /// Flits injected during the window.
+    pub injected_flits: u64,
+    /// Flits ejected during the window.
+    pub ejected_flits: u64,
+    /// Packets ejected during the window.
+    pub ejected_packets: u64,
+    /// Latency samples completing during the window.
+    pub latency_samples: u64,
+    /// Mean packet latency (creation → ejection) among samples; NaN if none.
+    #[serde(with = "serde_nan")]
+    pub avg_packet_latency: f64,
+    /// Mean network latency (injection → ejection) among samples; NaN if none.
+    #[serde(with = "serde_nan")]
+    pub avg_network_latency: f64,
+    /// Mean hop count among samples; NaN if none.
+    #[serde(with = "serde_nan")]
+    pub avg_hops: f64,
+    /// Accepted throughput in flits per node per cycle.
+    pub throughput: f64,
+    /// Offered load actually injected, flits per node per cycle.
+    pub injection_rate: f64,
+    /// Total energy spent during the window (pJ).
+    pub energy_pj: f64,
+    /// Dynamic component of `energy_pj`.
+    pub dynamic_pj: f64,
+    /// Leakage component of `energy_pj`.
+    pub leakage_pj: f64,
+    /// Mean buffered flits per cycle network-wide.
+    pub avg_occupancy: f64,
+    /// Mean buffered flits per cycle per region.
+    pub region_occupancy: Vec<f64>,
+    /// Flits injected per region during the window.
+    pub region_injected_flits: Vec<u64>,
+    /// Mean flits waiting in source queues per cycle.
+    pub avg_backlog: f64,
+}
+
+impl WindowMetrics {
+    /// Diff two snapshots taken `cycles` apart on a network of `num_nodes`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the snapshots are out of order.
+    pub fn between(
+        earlier: &StatsSnapshot,
+        later: &StatsSnapshot,
+        num_nodes: usize,
+    ) -> WindowMetrics {
+        let (a, b) = (&earlier.0, &later.0);
+        debug_assert!(b.sampled_cycles >= a.sampled_cycles, "snapshots out of order");
+        let cycles = b.sampled_cycles - a.sampled_cycles;
+        let denom_cycles = cycles.max(1) as f64;
+        let samples = b.latency_samples - a.latency_samples;
+        let energy = b.energy.since(&a.energy);
+        let injected = b.injected_flits - a.injected_flits;
+        let ejected = b.ejected_flits - a.ejected_flits;
+        WindowMetrics {
+            cycles,
+            injected_flits: injected,
+            ejected_flits: ejected,
+            ejected_packets: b.ejected_packets - a.ejected_packets,
+            latency_samples: samples,
+            avg_packet_latency: (b.sum_packet_latency - a.sum_packet_latency) / samples as f64,
+            avg_network_latency: (b.sum_network_latency - a.sum_network_latency)
+                / samples as f64,
+            avg_hops: (b.sum_hops - a.sum_hops) / samples as f64,
+            throughput: ejected as f64 / (denom_cycles * num_nodes as f64),
+            injection_rate: injected as f64 / (denom_cycles * num_nodes as f64),
+            energy_pj: energy.total_pj(),
+            dynamic_pj: energy.dynamic_pj(),
+            leakage_pj: energy.leakage_pj(),
+            avg_occupancy: (b.sum_occupancy - a.sum_occupancy) / denom_cycles,
+            region_occupancy: b
+                .sum_region_occupancy
+                .iter()
+                .zip(&a.sum_region_occupancy)
+                .map(|(lb, la)| (lb - la) / denom_cycles)
+                .collect(),
+            region_injected_flits: b
+                .region_injected_flits
+                .iter()
+                .zip(&a.region_injected_flits)
+                .map(|(lb, la)| lb - la)
+                .collect(),
+            avg_backlog: (b.sum_backlog - a.sum_backlog) / denom_cycles,
+        }
+    }
+
+    /// Energy-delay product: window energy (pJ) × mean packet latency
+    /// (cycles). The figure of merit the paper optimizes.
+    pub fn edp(&self) -> f64 {
+        self.energy_pj * self.avg_packet_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, PacketId};
+    use crate::topology::NodeId;
+
+    fn tail_flit(created: u64, injected: u64, hops: u32) -> Flit {
+        Flit {
+            packet: PacketId(0),
+            kind: FlitKind::Tail,
+            seq: 4,
+            src: NodeId(0),
+            dst: NodeId(9),
+            created_at: created,
+            injected_at: injected,
+            vc: 0,
+            hops,
+            vc_class: 0,
+        }
+    }
+
+    #[test]
+    fn ejection_counts_and_latency() {
+        let mut s = StatsCollector::new(1);
+        s.record_ejection(&tail_flit(0, 5, 3), 20);
+        assert_eq!(s.ejected_packets, 1);
+        assert_eq!(s.latency_samples, 1);
+        assert_eq!(s.sum_packet_latency, 20.0);
+        assert_eq!(s.sum_network_latency, 15.0);
+        assert_eq!(s.max_packet_latency, 20);
+    }
+
+    #[test]
+    fn body_flits_do_not_complete_packets() {
+        let mut s = StatsCollector::new(1);
+        let mut f = tail_flit(0, 0, 1);
+        f.kind = FlitKind::Body;
+        s.record_ejection(&f, 10);
+        assert_eq!(s.ejected_flits, 1);
+        assert_eq!(s.ejected_packets, 0);
+    }
+
+    #[test]
+    fn latency_window_filters_samples() {
+        let mut s = StatsCollector::new(1);
+        s.set_latency_window(100, 200);
+        s.record_ejection(&tail_flit(50, 55, 2), 90); // before window
+        s.record_ejection(&tail_flit(150, 155, 2), 190); // inside
+        s.record_ejection(&tail_flit(250, 255, 2), 290); // after
+        assert_eq!(s.ejected_packets, 3);
+        assert_eq!(s.latency_samples, 1);
+        assert_eq!(s.sum_packet_latency, 40.0);
+    }
+
+    #[test]
+    fn histogram_buckets_latencies() {
+        let mut s = StatsCollector::new(1);
+        s.record_ejection(&tail_flit(0, 0, 1), 5); // bucket 0 (<=8)
+        s.record_ejection(&tail_flit(0, 0, 1), 100); // <=128 bucket
+        s.record_ejection(&tail_flit(0, 0, 1), 5000); // overflow bucket
+        assert_eq!(s.latency_hist[0], 1);
+        assert_eq!(s.latency_hist[7], 1);
+        assert_eq!(*s.latency_hist.last().unwrap(), 1);
+        assert_eq!(s.latency_percentile(0.30), 8);
+        assert_eq!(s.latency_percentile(0.60), 128);
+        assert_eq!(s.latency_percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn window_metrics_diff_snapshots() {
+        let mut s = StatsCollector::new(2);
+        s.record_injection(0, false);
+        s.record_injection(0, true);
+        s.sample_occupancy(4, &[3, 1], 2);
+        let a = s.snapshot();
+        for _ in 0..3 {
+            s.record_injection(1, true);
+        }
+        s.record_ejection(&tail_flit(0, 2, 4), 10);
+        s.sample_occupancy(6, &[2, 4], 0);
+        s.sample_occupancy(2, &[1, 1], 0);
+        let b = s.snapshot();
+        let w = WindowMetrics::between(&a, &b, 16);
+        assert_eq!(w.cycles, 2);
+        assert_eq!(w.injected_flits, 3);
+        assert_eq!(w.ejected_flits, 1);
+        assert_eq!(w.latency_samples, 1);
+        assert_eq!(w.avg_packet_latency, 10.0);
+        assert_eq!(w.avg_hops, 4.0);
+        assert!((w.avg_occupancy - 4.0).abs() < 1e-12);
+        assert_eq!(w.region_injected_flits, vec![0, 3]);
+        assert!((w.region_occupancy[1] - 2.5).abs() < 1e-12);
+        assert!((w.throughput - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_counts_build_a_heatmap() {
+        let mut s = StatsCollector::new(1);
+        assert_eq!(s.utilization_heatmap(2, 2), "");
+        for _ in 0..10 {
+            s.record_forward(0, 4);
+        }
+        s.record_forward(3, 4);
+        let map = s.utilization_heatmap(2, 2);
+        assert_eq!(map.lines().count(), 2);
+        assert!(map.starts_with('█'), "busiest node renders solid: {map}");
+        assert!(map.contains('.'), "idle nodes render dots");
+        assert_eq!(s.node_forwarded, vec![10, 0, 0, 1]);
+    }
+
+    #[test]
+    fn window_metrics_with_nan_roundtrip_json() {
+        let mut s = StatsCollector::new(1);
+        let a = s.snapshot();
+        s.sample_occupancy(0, &[0], 0);
+        let b = s.snapshot();
+        // No latency samples: avg fields are NaN.
+        let w = WindowMetrics::between(&a, &b, 4);
+        assert!(w.avg_packet_latency.is_nan());
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WindowMetrics = serde_json::from_str(&json).unwrap();
+        assert!(back.avg_packet_latency.is_nan());
+        assert!(back.avg_hops.is_nan());
+        assert_eq!(back.cycles, w.cycles);
+    }
+
+    #[test]
+    fn edp_multiplies_energy_and_latency() {
+        let mut s = StatsCollector::new(1);
+        let a = s.snapshot();
+        s.record_ejection(&tail_flit(0, 0, 1), 10);
+        s.sample_occupancy(0, &[0], 0);
+        let b = s.snapshot();
+        let w = WindowMetrics::between(&a, &b, 4);
+        assert_eq!(w.edp(), w.energy_pj * 10.0);
+    }
+}

@@ -1,0 +1,568 @@
+//! Synthetic traffic generation.
+//!
+//! Classic NoC patterns (uniform random, transpose, bit-complement,
+//! bit-reverse, shuffle, tornado, neighbor, hotspot) with Bernoulli packet
+//! injection, plus phase-changing traces that emulate application behavior
+//! (DESIGN.md substitution 1).
+
+use crate::error::{SimError, SimResult};
+use crate::flit::{Packet, PacketId};
+use crate::trace::PacketTrace;
+use crate::topology::{Coord, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A destination-selection pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Destination drawn uniformly among all other nodes.
+    Uniform,
+    /// `(x, y) → (y, x)`. Requires a square grid.
+    Transpose,
+    /// `(x, y) → (W-1-x, H-1-y)`.
+    BitComplement,
+    /// Node index bit-reversed. Requires a power-of-two node count.
+    BitReverse,
+    /// Node index rotated left by one bit. Requires a power-of-two node count.
+    Shuffle,
+    /// `x → (x + ⌈W/2⌉ - 1) mod W`, same row.
+    Tornado,
+    /// `(x, y) → ((x+1) mod W, y)`.
+    Neighbor,
+    /// With probability `fraction`, send to a uniformly chosen hotspot node;
+    /// otherwise uniform.
+    Hotspot {
+        /// The hotspot destinations.
+        hotspots: Vec<NodeId>,
+        /// Probability a packet targets a hotspot.
+        fraction: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Check the pattern is usable on the given topology.
+    ///
+    /// # Errors
+    /// Returns an error for patterns whose structural requirements the
+    /// topology does not meet.
+    pub fn validate(&self, topo: &Topology) -> SimResult<()> {
+        match self {
+            TrafficPattern::Transpose if topo.width() != topo.height() => Err(
+                SimError::InvalidConfig("transpose traffic requires a square grid".into()),
+            ),
+            TrafficPattern::BitReverse | TrafficPattern::Shuffle
+                if !topo.num_nodes().is_power_of_two() =>
+            {
+                Err(SimError::InvalidConfig(
+                    "bit-reverse/shuffle traffic requires a power-of-two node count".into(),
+                ))
+            }
+            TrafficPattern::Hotspot { hotspots, fraction } => {
+                if hotspots.is_empty() {
+                    return Err(SimError::InvalidConfig("hotspot list must not be empty".into()));
+                }
+                if !(0.0..=1.0).contains(fraction) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "hotspot fraction {fraction} outside [0, 1]"
+                    )));
+                }
+                for h in hotspots {
+                    if h.0 >= topo.num_nodes() {
+                        return Err(SimError::NodeOutOfRange {
+                            node: h.0,
+                            nodes: topo.num_nodes(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Pick a destination for a packet injected at `src`. May return `src`
+    /// itself for self-addressed patterns (e.g. transpose on the diagonal);
+    /// callers typically skip such packets.
+    pub fn destination(&self, topo: &Topology, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let n = topo.num_nodes();
+        let c = topo.coord(src);
+        let (w, h) = (topo.width(), topo.height());
+        match self {
+            TrafficPattern::Uniform => {
+                if n == 1 {
+                    return src; // degenerate topology: caller skips self-sends
+                }
+                // Uniform over the other n-1 nodes.
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= src.0 {
+                    d += 1;
+                }
+                NodeId(d)
+            }
+            TrafficPattern::Transpose => topo.node_at(Coord { x: c.y, y: c.x }),
+            TrafficPattern::BitComplement => {
+                topo.node_at(Coord { x: w - 1 - c.x, y: h - 1 - c.y })
+            }
+            TrafficPattern::BitReverse => {
+                let bits = n.trailing_zeros();
+                NodeId((src.0.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+            }
+            TrafficPattern::Shuffle => {
+                let bits = n.trailing_zeros();
+                let rotated = ((src.0 << 1) | (src.0 >> (bits - 1))) & (n - 1);
+                NodeId(rotated)
+            }
+            TrafficPattern::Tornado => {
+                let shift = w.div_ceil(2) - 1;
+                topo.node_at(Coord { x: (c.x + shift) % w, y: c.y })
+            }
+            TrafficPattern::Neighbor => topo.node_at(Coord { x: (c.x + 1) % w, y: c.y }),
+            TrafficPattern::Hotspot { hotspots, fraction } => {
+                if rng.gen::<f64>() < *fraction {
+                    hotspots[rng.gen_range(0..hotspots.len())]
+                } else {
+                    TrafficPattern::Uniform.destination(topo, src, rng)
+                }
+            }
+        }
+    }
+}
+
+/// One phase of a phase-changing trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Pattern in force during the phase.
+    pub pattern: TrafficPattern,
+    /// Injection rate in flits per node per cycle.
+    pub rate: f64,
+    /// Phase duration in cycles.
+    pub cycles: u64,
+}
+
+/// Traffic specification: either a stationary pattern at a fixed injection
+/// rate, or a cyclic schedule of phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficSpec {
+    /// A single stationary pattern.
+    Stationary {
+        /// Destination-selection pattern.
+        pattern: TrafficPattern,
+        /// Injection rate in flits per node per cycle.
+        rate: f64,
+    },
+    /// A repeating schedule of phases.
+    PhaseTrace {
+        /// The schedule, cycled indefinitely.
+        phases: Vec<Phase>,
+    },
+    /// An explicit packet schedule (trace-driven traffic). Packet lengths
+    /// come from the trace, not the generator's `packet_len`.
+    Trace(PacketTrace),
+}
+
+impl TrafficSpec {
+    /// Validate the spec against a topology.
+    ///
+    /// # Errors
+    /// Returns an error if rates are out of range, phases are empty or have
+    /// zero duration, or a contained pattern is invalid for the topology.
+    pub fn validate(&self, topo: &Topology) -> SimResult<()> {
+        let check_rate = |rate: f64| {
+            if !(0.0..=1.0).contains(&rate) {
+                Err(SimError::InvalidConfig(format!(
+                    "injection rate {rate} outside [0, 1] flits/node/cycle"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            TrafficSpec::Stationary { pattern, rate } => {
+                check_rate(*rate)?;
+                pattern.validate(topo)
+            }
+            TrafficSpec::PhaseTrace { phases } => {
+                if phases.is_empty() {
+                    return Err(SimError::InvalidTrace("phase trace has no phases".into()));
+                }
+                for p in phases {
+                    if p.cycles == 0 {
+                        return Err(SimError::InvalidTrace("phase with zero duration".into()));
+                    }
+                    check_rate(p.rate)?;
+                    p.pattern.validate(topo)?;
+                }
+                Ok(())
+            }
+            TrafficSpec::Trace(trace) => trace.validate(topo),
+        }
+    }
+
+    /// The `(pattern, rate)` in force at absolute cycle `t` for rate-based
+    /// specs (phase traces repeat). Returns `None` for [`TrafficSpec::Trace`],
+    /// which schedules explicit packets instead of sampling a rate.
+    pub fn at(&self, t: u64) -> Option<(&TrafficPattern, f64)> {
+        match self {
+            TrafficSpec::Stationary { pattern, rate } => Some((pattern, *rate)),
+            TrafficSpec::PhaseTrace { phases } => {
+                let total: u64 = phases.iter().map(|p| p.cycles).sum();
+                let mut pos = t % total;
+                for p in phases {
+                    if pos < p.cycles {
+                        return Some((&p.pattern, p.rate));
+                    }
+                    pos -= p.cycles;
+                }
+                unreachable!("phase lookup within total duration")
+            }
+            TrafficSpec::Trace(_) => None,
+        }
+    }
+}
+
+/// Generates packets cycle by cycle under a [`TrafficSpec`].
+///
+/// ```
+/// use noc_sim::{Topology, TrafficGenerator, TrafficPattern, TrafficSpec};
+///
+/// let topo = Topology::mesh(4, 4);
+/// let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Transpose, rate: 0.5 };
+/// let mut gen = TrafficGenerator::new(&topo, spec, 4, 42)?;
+/// let packets = gen.tick(&topo, 0);
+/// for p in &packets {
+///     assert_ne!(p.src, p.dst);
+/// }
+/// # Ok::<(), noc_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    spec: TrafficSpec,
+    packet_len: u32,
+    rng: StdRng,
+    next_id: u64,
+    generated: u64,
+}
+
+impl TrafficGenerator {
+    /// Build a generator.
+    ///
+    /// # Errors
+    /// Returns an error if the spec is invalid for the topology or
+    /// `packet_len == 0`.
+    pub fn new(topo: &Topology, spec: TrafficSpec, packet_len: u32, seed: u64) -> SimResult<Self> {
+        if packet_len == 0 {
+            return Err(SimError::InvalidConfig("packet length must be positive".into()));
+        }
+        spec.validate(topo)?;
+        Ok(TrafficGenerator {
+            spec,
+            packet_len,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            generated: 0,
+        })
+    }
+
+    /// Packet length in flits.
+    pub fn packet_len(&self) -> u32 {
+        self.packet_len
+    }
+
+    /// Total packets generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Replace the traffic spec at runtime (used by phase-less experiments
+    /// that steer traffic externally).
+    ///
+    /// # Errors
+    /// Returns an error if the new spec is invalid for the topology.
+    pub fn set_spec(&mut self, topo: &Topology, spec: TrafficSpec) -> SimResult<()> {
+        spec.validate(topo)?;
+        self.spec = spec;
+        Ok(())
+    }
+
+    /// Generate the packets created at cycle `t`. For rate-based specs,
+    /// each node flips a Bernoulli coin with probability `rate / packet_len`
+    /// so the *flit* injection rate matches the spec (self-addressed packets
+    /// are skipped). For trace-driven specs, the scheduled events are
+    /// emitted verbatim.
+    pub fn tick(&mut self, topo: &Topology, t: u64) -> Vec<Packet> {
+        if let TrafficSpec::Trace(trace) = &self.spec {
+            let mut out = Vec::new();
+            for e in trace.events_at(t) {
+                out.push(Packet {
+                    id: PacketId(self.next_id),
+                    src: e.src,
+                    dst: e.dst,
+                    len_flits: e.len_flits,
+                    created_at: t,
+                });
+                self.next_id += 1;
+                self.generated += 1;
+            }
+            return out;
+        }
+        let (pattern, rate) = {
+            let (p, r) = self.spec.at(t).expect("rate-based spec");
+            (p.clone(), r)
+        };
+        let p_packet = rate / self.packet_len as f64;
+        let mut out = Vec::new();
+        for src in topo.nodes() {
+            if self.rng.gen::<f64>() >= p_packet {
+                continue;
+            }
+            let dst = pattern.destination(topo, src, &mut self.rng);
+            if dst == src {
+                continue;
+            }
+            out.push(Packet {
+                id: PacketId(self.next_id),
+                src,
+                dst,
+                len_flits: self.packet_len,
+                created_at: t,
+            });
+            self.next_id += 1;
+            self.generated += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_on_single_node_returns_src() {
+        let t = Topology::mesh(1, 1);
+        let mut r = rng();
+        assert_eq!(TrafficPattern::Uniform.destination(&t, NodeId(0), &mut r), NodeId(0));
+        // And the generator therefore produces no packets.
+        let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.9 };
+        let mut g = TrafficGenerator::new(&t, spec, 1, 0).unwrap();
+        for c in 0..100 {
+            assert!(g.tick(&t, c).is_empty());
+        }
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = TrafficPattern::Uniform.destination(&t, NodeId(5), &mut r);
+            assert_ne!(d, NodeId(5));
+            assert!(d.0 < 16);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[TrafficPattern::Uniform.destination(&t, NodeId(0), &mut r).0] = true;
+        }
+        assert!(seen.iter().skip(1).all(|&s| s), "all non-self nodes should be hit");
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        // (1,2) = node 9 -> (2,1) = node 6.
+        assert_eq!(TrafficPattern::Transpose.destination(&t, NodeId(9), &mut r), NodeId(6));
+    }
+
+    #[test]
+    fn bit_complement_mirrors_grid() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        assert_eq!(TrafficPattern::BitComplement.destination(&t, NodeId(0), &mut r), NodeId(15));
+        assert_eq!(TrafficPattern::BitComplement.destination(&t, NodeId(5), &mut r), NodeId(10));
+    }
+
+    #[test]
+    fn bit_reverse_reverses_index_bits() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        // 16 nodes -> 4 bits; 0b0001 -> 0b1000 = 8.
+        assert_eq!(TrafficPattern::BitReverse.destination(&t, NodeId(1), &mut r), NodeId(8));
+        assert_eq!(TrafficPattern::BitReverse.destination(&t, NodeId(6), &mut r), NodeId(6));
+    }
+
+    #[test]
+    fn shuffle_rotates_index_bits() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        // 0b1000 -> 0b0001.
+        assert_eq!(TrafficPattern::Shuffle.destination(&t, NodeId(8), &mut r), NodeId(1));
+        // 0b0101 -> 0b1010.
+        assert_eq!(TrafficPattern::Shuffle.destination(&t, NodeId(5), &mut r), NodeId(10));
+    }
+
+    #[test]
+    fn tornado_shifts_half_row() {
+        let t = Topology::mesh(8, 8);
+        let mut r = rng();
+        // shift = ceil(8/2)-1 = 3: x=0 -> x=3, same row.
+        assert_eq!(TrafficPattern::Tornado.destination(&t, NodeId(0), &mut r), NodeId(3));
+    }
+
+    #[test]
+    fn neighbor_wraps_row() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        assert_eq!(TrafficPattern::Neighbor.destination(&t, NodeId(3), &mut r), NodeId(0));
+        assert_eq!(TrafficPattern::Neighbor.destination(&t, NodeId(0), &mut r), NodeId(1));
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let t = Topology::mesh(4, 4);
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot { hotspots: vec![NodeId(10)], fraction: 0.5 };
+        let hits = (0..2000)
+            .filter(|_| p.destination(&t, NodeId(0), &mut r) == NodeId(10))
+            .count();
+        // ~50% + small uniform contribution.
+        assert!((800..1300).contains(&hits), "hotspot hits {hits} outside expectation");
+    }
+
+    #[test]
+    fn pattern_validation_catches_mismatches() {
+        let rect = Topology::mesh(4, 3);
+        assert!(TrafficPattern::Transpose.validate(&rect).is_err());
+        assert!(TrafficPattern::BitReverse.validate(&rect).is_err());
+        assert!(TrafficPattern::Uniform.validate(&rect).is_ok());
+        let square = Topology::mesh(4, 4);
+        assert!(TrafficPattern::Transpose.validate(&square).is_ok());
+        assert!(TrafficPattern::Hotspot { hotspots: vec![], fraction: 0.5 }
+            .validate(&square)
+            .is_err());
+        assert!(TrafficPattern::Hotspot { hotspots: vec![NodeId(99)], fraction: 0.5 }
+            .validate(&square)
+            .is_err());
+        assert!(TrafficPattern::Hotspot { hotspots: vec![NodeId(0)], fraction: 1.5 }
+            .validate(&square)
+            .is_err());
+    }
+
+    #[test]
+    fn generator_matches_requested_rate() {
+        let t = Topology::mesh(4, 4);
+        let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.2 };
+        let mut g = TrafficGenerator::new(&t, spec, 4, 7).unwrap();
+        let cycles = 20_000u64;
+        let mut flits = 0u64;
+        for c in 0..cycles {
+            flits += g.tick(&t, c).iter().map(|p| p.len_flits as u64).sum::<u64>();
+        }
+        let rate = flits as f64 / (cycles as f64 * 16.0);
+        assert!((rate - 0.2).abs() < 0.01, "measured flit rate {rate}, wanted 0.2");
+    }
+
+    #[test]
+    fn phase_trace_switches_patterns() {
+        let t = Topology::mesh(4, 4);
+        let spec = TrafficSpec::PhaseTrace {
+            phases: vec![
+                Phase { pattern: TrafficPattern::Uniform, rate: 0.1, cycles: 100 },
+                Phase { pattern: TrafficPattern::Transpose, rate: 0.4, cycles: 50 },
+            ],
+        };
+        assert!(spec.validate(&t).is_ok());
+        assert_eq!(spec.at(0).unwrap().1, 0.1);
+        assert_eq!(spec.at(99).unwrap().1, 0.1);
+        assert_eq!(spec.at(100).unwrap().1, 0.4);
+        assert_eq!(spec.at(149).unwrap().1, 0.4);
+        // Wraps around.
+        assert_eq!(spec.at(150).unwrap().1, 0.1);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let t = Topology::mesh(4, 4);
+        assert!(TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 1.5 }
+            .validate(&t)
+            .is_err());
+        assert!(TrafficSpec::PhaseTrace { phases: vec![] }.validate(&t).is_err());
+        assert!(TrafficSpec::PhaseTrace {
+            phases: vec![Phase { pattern: TrafficPattern::Uniform, rate: 0.1, cycles: 0 }]
+        }
+        .validate(&t)
+        .is_err());
+        assert!(TrafficGenerator::new(
+            &t,
+            TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.1 },
+            0,
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_spec_emits_scheduled_packets() {
+        use crate::trace::{PacketTrace, TraceEvent};
+        let t = Topology::mesh(4, 4);
+        let trace = PacketTrace::new(
+            vec![
+                TraceEvent { cycle: 1, src: NodeId(0), dst: NodeId(5), len_flits: 3 },
+                TraceEvent { cycle: 1, src: NodeId(2), dst: NodeId(9), len_flits: 1 },
+                TraceEvent { cycle: 4, src: NodeId(7), dst: NodeId(0), len_flits: 2 },
+            ],
+            Some(10),
+        )
+        .unwrap();
+        let mut g = TrafficGenerator::new(&t, TrafficSpec::Trace(trace), 5, 0).unwrap();
+        assert!(g.tick(&t, 0).is_empty());
+        let at1 = g.tick(&t, 1);
+        assert_eq!(at1.len(), 2);
+        assert_eq!(at1[0].len_flits, 3, "trace length overrides packet_len");
+        assert_eq!(g.tick(&t, 4).len(), 1);
+        // Repeats at cycle 11.
+        assert_eq!(g.tick(&t, 11).len(), 2);
+        assert_eq!(g.generated(), 5);
+    }
+
+    #[test]
+    fn trace_spec_validates_topology() {
+        use crate::trace::{PacketTrace, TraceEvent};
+        let t = Topology::mesh(2, 2);
+        let trace = PacketTrace::new(
+            vec![TraceEvent { cycle: 0, src: NodeId(0), dst: NodeId(99), len_flits: 1 }],
+            None,
+        )
+        .unwrap();
+        assert!(TrafficSpec::Trace(trace).validate(&t).is_err());
+    }
+
+    #[test]
+    fn packet_ids_are_unique_and_monotone() {
+        let t = Topology::mesh(4, 4);
+        let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.5 };
+        let mut g = TrafficGenerator::new(&t, spec, 1, 3).unwrap();
+        let mut last = None;
+        for c in 0..100 {
+            for p in g.tick(&t, c) {
+                if let Some(l) = last {
+                    assert!(p.id.0 > l);
+                }
+                last = Some(p.id.0);
+            }
+        }
+        assert!(g.generated() > 0);
+    }
+}

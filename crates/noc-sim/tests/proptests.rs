@@ -1,0 +1,150 @@
+//! Property-based tests of the simulator's core invariants.
+
+use noc_sim::arbiter::RoundRobinArbiter;
+use noc_sim::dvfs::ClockGate;
+use noc_sim::flit::PacketId;
+use noc_sim::routing::walk_route;
+use noc_sim::{
+    NodeId, Packet, RoutingAlgorithm, SimConfig, Simulator, StatsCollector, Topology,
+    TopologyKind, TrafficPattern,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Torus DOR reaches every destination minimally on arbitrary torus
+    /// shapes (wrap-aware distance).
+    #[test]
+    fn torus_dor_minimal(w in 2usize..7, h in 2usize..7, src in 0usize..36, dst in 0usize..36) {
+        let topo = Topology::torus(w, h);
+        let n = topo.num_nodes();
+        let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+        let path = walk_route(RoutingAlgorithm::TorusDor, &topo, src, dst, |_| 0);
+        prop_assert_eq!(path.len() - 1, topo.distance(src, dst));
+    }
+
+    /// Round-robin arbitration is work-conserving (grants whenever any
+    /// request is up) and fair (over n consecutive all-up cycles, every
+    /// requester wins exactly once).
+    #[test]
+    fn arbiter_work_conserving_and_fair(n in 1usize..12, rounds in 1usize..5) {
+        let mut arb = RoundRobinArbiter::new(n);
+        let mut wins = vec![0usize; n];
+        for _ in 0..rounds * n {
+            let w = arb.grant(&vec![true; n]).expect("requests up => grant");
+            wins[w] += 1;
+        }
+        prop_assert!(wins.iter().all(|&w| w == rounds), "wins {wins:?}");
+    }
+
+    /// The clock gate activates round(N·f) times over N cycles for any
+    /// frequency scale.
+    #[test]
+    fn clock_gate_rate_is_exact(scale_pct in 1u32..=100, cycles in 100u64..2000) {
+        let scale = scale_pct as f64 / 100.0;
+        let mut g = ClockGate::new(scale);
+        let active = (0..cycles).filter(|_| g.tick()).count() as f64;
+        let expected = cycles as f64 * scale;
+        prop_assert!((active - expected).abs() <= 1.0,
+            "active {active} vs expected {expected}");
+    }
+
+    /// Torus networks with dateline VC partitioning drain all-to-all
+    /// traffic (no wrap-around credit deadlock) for random VC/buffer shapes.
+    #[test]
+    fn torus_drains_all_to_all(vcs in 1usize..3, depth in 1usize..4, plen in 1u32..5) {
+        let mut cfg = SimConfig::default()
+            .with_size(4, 4)
+            .with_regions(2, 2)
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .with_vcs(vcs * 2, depth) // partition needs an even VC count
+            .with_packet_len(plen)
+            .with_traffic(TrafficPattern::Uniform, 0.0);
+        cfg.kind = TopologyKind::Torus;
+        // Bypass the generator: offer a deterministic all-to-all batch
+        // directly at the network layer.
+        let mut net = noc_sim::Network::new(&cfg).expect("valid config");
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        let mut id = 0u64;
+        let mut packets = Vec::new();
+        for s in 0..16usize {
+            for d in 0..16usize {
+                if s != d {
+                    packets.push(Packet {
+                        id: PacketId(id),
+                        src: NodeId(s),
+                        dst: NodeId(d),
+                        len_flits: plen,
+                        created_at: 0,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        let total = packets.len() as u64;
+        net.offer(packets, &mut stats);
+        for _ in 0..30_000 {
+            if net.in_flight() == 0 {
+                break;
+            }
+            net.step(&mut stats);
+        }
+        prop_assert_eq!(net.in_flight(), 0, "torus deadlock: flits stuck");
+        prop_assert_eq!(stats.ejected_packets, total);
+        prop_assert_eq!(stats.ejected_flits, total * plen as u64);
+    }
+
+    /// Region occupancy always sums to total occupancy, and never exceeds
+    /// capacity, under random load.
+    #[test]
+    fn occupancy_accounting_consistent(rate in 0.05f64..0.4, seed in 0u64..50) {
+        let cfg = SimConfig::default()
+            .with_size(4, 4)
+            .with_regions(2, 2)
+            .with_traffic(TrafficPattern::Uniform, rate)
+            .with_seed(seed);
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        for _ in 0..10 {
+            sim.run(50);
+            let net = sim.network();
+            let region: usize = net.region_occupancy().iter().sum();
+            prop_assert_eq!(region, net.occupancy());
+            for (occ, cap) in net.region_occupancy().iter().zip(net.region_capacity()) {
+                prop_assert!(*occ <= cap);
+            }
+        }
+    }
+}
+
+/// Packet completion accounting under heavy load: each packet completes
+/// exactly once (its tail flit defines completion), so ejected flits are an
+/// exact multiple of the packet length.
+#[test]
+fn packets_complete_exactly_once() {
+    let cfg = SimConfig::default()
+        .with_size(4, 4)
+        .with_regions(2, 2)
+        .with_traffic(TrafficPattern::Uniform, 0.30)
+        .with_seed(9);
+    let mut sim = Simulator::new(cfg).expect("valid config");
+    sim.run(3000);
+    // Stop traffic and drain so every in-flight packet finishes.
+    sim.set_traffic(noc_sim::TrafficSpec::Stationary {
+        pattern: TrafficPattern::Uniform,
+        rate: 0.0,
+    })
+    .expect("valid spec");
+    for _ in 0..200 {
+        if sim.network().in_flight() == 0 {
+            break;
+        }
+        sim.run(50);
+    }
+    let s = sim.stats();
+    // Tail flits define completion: after draining, the flit count must
+    // equal packets × length exactly (5-flit packets).
+    assert!(s.ejected_packets > 100, "enough packets must complete");
+    assert_eq!(s.ejected_flits % 5, 0, "whole packets only");
+    assert_eq!(s.ejected_flits / 5, s.ejected_packets);
+}

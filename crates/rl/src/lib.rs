@@ -1,0 +1,41 @@
+//! # rl — a from-scratch reinforcement-learning stack
+//!
+//! The learning machinery of the *Self-Configurable NoC* reproduction:
+//! DQN and Double-DQN with uniform or prioritized replay and hard/soft
+//! target-network synchronization, a tabular Q-learning baseline, ε
+//! schedules, and episode-driven training/evaluation loops. Built entirely
+//! on the sibling [`neural`] crate.
+//!
+//! ```
+//! use rl::{ChainEnv, DqnAgent, DqnConfig, Schedule, TrainConfig};
+//!
+//! let mut env = ChainEnv::new(4, 0.01, 20);
+//! let mut agent = DqnAgent::new(
+//!     DqnConfig { hidden: vec![16], min_replay: 32, ..DqnConfig::default().with_dims(4, 2) },
+//! );
+//! let stats = rl::train(
+//!     &mut env,
+//!     &mut agent,
+//!     &TrainConfig { episodes: 5, max_steps: 20, ..TrainConfig::default() },
+//! );
+//! assert_eq!(stats.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dqn;
+pub mod env;
+pub mod prioritized;
+pub mod replay;
+pub mod schedule;
+pub mod tabular;
+pub mod trainer;
+
+pub use dqn::{argmax, DqnAgent, DqnConfig, TargetSync};
+pub use env::{ChainEnv, Environment, LearningAgent, Step};
+pub use prioritized::{PrioritizedBatch, PrioritizedReplay, SumTree};
+pub use replay::{ReplayBuffer, Transition};
+pub use schedule::Schedule;
+pub use tabular::{TabularConfig, TabularQ};
+pub use trainer::{evaluate, train, EpisodeStats, TrainConfig};

@@ -1,0 +1,102 @@
+//! Exploration and annealing schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar schedule over training steps.
+///
+/// ```
+/// use rl::Schedule;
+///
+/// let eps = Schedule::Linear { start: 1.0, end: 0.1, steps: 100 };
+/// assert_eq!(eps.value(0), 1.0);
+/// assert!((eps.value(50) - 0.55).abs() < 1e-12);
+/// assert_eq!(eps.value(1000), 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Constant value.
+    Constant(f64),
+    /// Linear interpolation from `start` to `end` over `steps`, then flat.
+    Linear {
+        /// Initial value.
+        start: f64,
+        /// Final value.
+        end: f64,
+        /// Steps over which to interpolate.
+        steps: u64,
+    },
+    /// Exponential decay `end + (start-end)·rateᵗ`.
+    Exponential {
+        /// Initial value.
+        start: f64,
+        /// Asymptotic value.
+        end: f64,
+        /// Per-step decay factor in `(0, 1)`.
+        rate: f64,
+    },
+}
+
+impl Schedule {
+    /// The schedule value at training step `t`.
+    pub fn value(&self, t: u64) -> f64 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { start, end, steps } => {
+                if steps == 0 || t >= steps {
+                    end
+                } else {
+                    start + (end - start) * (t as f64 / steps as f64)
+                }
+            }
+            Schedule::Exponential { start, end, rate } => end + (start - end) * rate.powf(t as f64),
+        }
+    }
+
+    /// The paper-style exploration schedule: ε from 1.0 to 0.05 linearly
+    /// over `steps`.
+    pub fn epsilon_default(steps: u64) -> Self {
+        Schedule::Linear { start: 1.0, end: 0.05, steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = Schedule::Constant(0.3);
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn linear_interpolates_then_clamps() {
+        let s = Schedule::Linear { start: 1.0, end: 0.0, steps: 10 };
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value(10), 0.0);
+        assert_eq!(s.value(100), 0.0);
+    }
+
+    #[test]
+    fn exponential_decays_toward_end() {
+        let s = Schedule::Exponential { start: 1.0, end: 0.1, rate: 0.9 };
+        assert_eq!(s.value(0), 1.0);
+        assert!(s.value(10) < s.value(5));
+        assert!((s.value(10_000) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_epsilon_matches_paper_style() {
+        let s = Schedule::epsilon_default(1000);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(2000) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_step_linear_is_end() {
+        let s = Schedule::Linear { start: 1.0, end: 0.2, steps: 0 };
+        assert_eq!(s.value(0), 0.2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # self-configurable-noc
+//!
+//! Umbrella crate for the reproduction of *Deep Reinforcement Learning for
+//! Self-Configurable NoC* (SOCC 2020). Re-exports the four member crates:
+//!
+//! * [`noc_sim`] — the cycle-level NoC simulator.
+//! * [`neural`] — the from-scratch neural-network library.
+//! * [`rl`] — DQN/Double-DQN, prioritized replay, tabular Q-learning.
+//! * [`noc_selfconf`] — the paper's contribution: the self-configuration
+//!   layer (state/action/reward, `NocEnv`, controllers).
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! ```
+//! use self_configurable_noc::noc_sim::{SimConfig, Simulator, TrafficPattern};
+//!
+//! # fn main() -> Result<(), self_configurable_noc::noc_sim::SimError> {
+//! let mut sim = Simulator::new(
+//!     SimConfig::default().with_size(4, 4).with_traffic(TrafficPattern::Uniform, 0.08),
+//! )?;
+//! let run = sim.run_classic(500, 2000, 2000);
+//! assert!(run.window.avg_packet_latency > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use neural;
+pub use noc_selfconf;
+pub use noc_sim;
+pub use rl;
