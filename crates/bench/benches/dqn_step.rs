@@ -32,7 +32,9 @@ fn make_agent() -> DqnAgent {
 fn bench_dqn(c: &mut Criterion) {
     let agent = make_agent();
     let state: Vec<f32> = (0..15).map(|j| j as f32 / 15.0).collect();
-    c.bench_function("dqn_q_values", |b| b.iter(|| black_box(agent.q_values(&state))));
+    c.bench_function("dqn_q_values", |b| {
+        b.iter(|| black_box(agent.q_values(&state)))
+    });
 
     c.bench_function("dqn_train_step_batch32", |b| {
         let mut agent = make_agent();

@@ -7,9 +7,11 @@ use std::hint::black_box;
 
 fn bench_network_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_cycles");
-    for (name, width, rate) in
-        [("4x4@0.1", 4usize, 0.1), ("8x8@0.1", 8, 0.1), ("8x8@0.25", 8, 0.25)]
-    {
+    for (name, width, rate) in [
+        ("4x4@0.1", 4usize, 0.1),
+        ("8x8@0.1", 8, 0.1),
+        ("8x8@0.25", 8, 0.25),
+    ] {
         group.throughput(Throughput::Elements(100));
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             let cfg = SimConfig::default()

@@ -13,7 +13,10 @@ fn bench_env_epoch(c: &mut Criterion) {
         .with_traffic(TrafficPattern::Uniform, 0.1)
         .with_regions(2, 2);
     let mut env = NocEnv::new(NocEnvConfig {
-        action_space: ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 },
+        action_space: ActionSpace::PerRegionDelta {
+            num_regions: 4,
+            num_levels: 4,
+        },
         sim,
         epoch_cycles: 500,
         epochs_per_episode: usize::MAX / 2, // never terminate inside the bench

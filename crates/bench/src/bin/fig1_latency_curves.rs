@@ -10,7 +10,9 @@ use noc_sim::Simulator;
 fn main() {
     let scale = Scale::from_env();
     let rates: Vec<f64> = scale.pick(
-        vec![0.005, 0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20, 0.24, 0.28, 0.33],
+        vec![
+            0.005, 0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20, 0.24, 0.28, 0.33,
+        ],
         vec![0.02, 0.10],
     );
     let (warmup, measure, drain) = scale.pick((2000, 8000, 8000), (300, 800, 800));
@@ -20,14 +22,25 @@ fn main() {
         .iter()
         .flat_map(|(name, _)| rates.iter().map(move |&r| (name.to_string(), r)))
         .collect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = noc_bench::default_threads();
     let results = parallel_map(grid.len(), threads, |i| {
         let (name, rate) = &grid[i];
-        let pattern = patterns.iter().find(|(n, _)| n == name).expect("pattern").1.clone();
-        let cfg = configs::mesh8().with_traffic(pattern, *rate).with_seed(100 + i as u64);
+        let pattern = patterns
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("pattern")
+            .1
+            .clone();
+        let cfg = configs::mesh8()
+            .with_traffic(pattern, *rate)
+            .with_seed(100 + i as u64);
         let mut sim = Simulator::new(cfg).expect("valid config");
         let summary = sim.run_classic(warmup, measure, drain);
-        (summary.window.avg_packet_latency, summary.window.throughput, summary.saturated)
+        (
+            summary.window.avg_packet_latency,
+            summary.window.throughput,
+            summary.saturated,
+        )
     });
 
     let mut rows = Vec::new();
@@ -41,8 +54,18 @@ fn main() {
             if saturated { "yes".into() } else { "no".into() },
         ]);
     }
-    let headers = ["pattern", "offered rate", "avg latency (cycles)", "throughput", "saturated"];
-    let md = print_table("Fig 1 — latency vs injection rate (XY routing)", &headers, &rows);
+    let headers = [
+        "pattern",
+        "offered rate",
+        "avg latency (cycles)",
+        "throughput",
+        "saturated",
+    ];
+    let md = print_table(
+        "Fig 1 — latency vs injection rate (XY routing)",
+        &headers,
+        &rows,
+    );
     save_csv("fig1_latency_curves", &headers, &rows);
     save_markdown("fig1_latency_curves", &md);
 
@@ -57,8 +80,16 @@ fn main() {
             .fold(f64::MAX, f64::min);
         sat_rows.push(vec![
             name.to_string(),
-            if sat == f64::MAX { "not reached".into() } else { format!("{sat:.3}") },
+            if sat == f64::MAX {
+                "not reached".into()
+            } else {
+                format!("{sat:.3}")
+            },
         ]);
     }
-    print_table("Fig 1b — observed saturation onset", &["pattern", "rate"], &sat_rows);
+    print_table(
+        "Fig 1b — observed saturation onset",
+        &["pattern", "rate"],
+        &sat_rows,
+    );
 }

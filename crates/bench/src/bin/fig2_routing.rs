@@ -10,8 +10,10 @@ use noc_sim::{RoutingAlgorithm, Simulator, TrafficPattern};
 
 fn main() {
     let scale = Scale::from_env();
-    let rates: Vec<f64> =
-        scale.pick(vec![0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.26], vec![0.05, 0.15]);
+    let rates: Vec<f64> = scale.pick(
+        vec![0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.26],
+        vec![0.05, 0.15],
+    );
     let (warmup, measure, drain) = scale.pick((2000, 8000, 8000), (300, 800, 800));
     let algorithms = [
         ("xy", RoutingAlgorithm::Xy),
@@ -28,11 +30,17 @@ fn main() {
     for (pname, pattern) in &patterns {
         for (aname, alg) in &algorithms {
             for &rate in &rates {
-                grid.push((pname.to_string(), aname.to_string(), *alg, pattern.clone(), rate));
+                grid.push((
+                    pname.to_string(),
+                    aname.to_string(),
+                    *alg,
+                    pattern.clone(),
+                    rate,
+                ));
             }
         }
     }
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = noc_bench::default_threads();
     let results = parallel_map(grid.len(), threads, |i| {
         let (_, _, alg, pattern, rate) = &grid[i];
         let cfg = configs::mesh8()
@@ -41,7 +49,11 @@ fn main() {
             .with_seed(200 + i as u64);
         let mut sim = Simulator::new(cfg).expect("valid config");
         let s = sim.run_classic(warmup, measure, drain);
-        (s.window.avg_packet_latency, s.window.throughput, s.saturated)
+        (
+            s.window.avg_packet_latency,
+            s.window.throughput,
+            s.saturated,
+        )
     });
 
     let mut rows = Vec::new();
@@ -56,8 +68,19 @@ fn main() {
             if sat { "yes".into() } else { "no".into() },
         ]);
     }
-    let headers = ["pattern", "routing", "offered rate", "avg latency", "throughput", "saturated"];
-    let md = print_table("Fig 2 — routing algorithms under adversarial traffic", &headers, &rows);
+    let headers = [
+        "pattern",
+        "routing",
+        "offered rate",
+        "avg latency",
+        "throughput",
+        "saturated",
+    ];
+    let md = print_table(
+        "Fig 2 — routing algorithms under adversarial traffic",
+        &headers,
+        &rows,
+    );
     save_csv("fig2_routing", &headers, &rows);
     save_markdown("fig2_routing", &md);
 }

@@ -5,8 +5,7 @@
 //! plateaus; the plateau beats the tabular baseline's.
 
 use noc_bench::{
-    configs, fmt, print_table, save_csv, save_markdown, train_or_load, train_or_load_tabular,
-    Scale,
+    configs, fmt, print_table, save_csv, save_markdown, train_or_load, train_or_load_tabular, Scale,
 };
 
 fn main() {
@@ -44,7 +43,8 @@ fn main() {
             fmt(smooth(&drl.curve, i)),
             fmt(d.epsilon),
             t.map(|t| fmt(t.total_reward)).unwrap_or_else(|| "—".into()),
-            t.map(|_| fmt(smooth(&tab.curve, i))).unwrap_or_else(|| "—".into()),
+            t.map(|_| fmt(smooth(&tab.curve, i)))
+                .unwrap_or_else(|| "—".into()),
         ]);
     }
     let headers = [
@@ -61,8 +61,11 @@ fn main() {
 
     // Convergence summary.
     let quarter = (drl.curve.len() / 4).max(1);
-    let early: f64 =
-        drl.curve[..quarter].iter().map(|e| e.total_reward).sum::<f64>() / quarter as f64;
+    let early: f64 = drl.curve[..quarter]
+        .iter()
+        .map(|e| e.total_reward)
+        .sum::<f64>()
+        / quarter as f64;
     let late: f64 = drl.curve[drl.curve.len() - quarter..]
         .iter()
         .map(|e| e.total_reward)

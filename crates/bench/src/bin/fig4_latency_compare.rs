@@ -24,7 +24,14 @@ fn main() {
         })
         .collect();
     rows.sort();
-    let headers = ["pattern", "rate", "controller", "avg latency", "throughput", "mean level"];
+    let headers = [
+        "pattern",
+        "rate",
+        "controller",
+        "avg latency",
+        "throughput",
+        "mean level",
+    ];
     let md = print_table("Fig 4 — latency comparison", &headers, &rows);
     save_csv("fig4_latency_compare", &headers, &rows);
     save_markdown("fig4_latency_compare", &md);

@@ -23,8 +23,14 @@ fn main() {
         })
         .collect();
     rows.sort();
-    let headers =
-        ["pattern", "rate", "controller", "energy (nJ)", "energy/flit (pJ)", "mean level"];
+    let headers = [
+        "pattern",
+        "rate",
+        "controller",
+        "energy (nJ)",
+        "energy/flit (pJ)",
+        "mean level",
+    ];
     let md = print_table("Fig 5 — energy comparison", &headers, &rows);
     save_csv("fig5_energy_compare", &headers, &rows);
     save_markdown("fig5_energy_compare", &md);
@@ -32,13 +38,17 @@ fn main() {
     // Savings vs static-max per (pattern, rate).
     let mut savings = Vec::new();
     for p in points.iter().filter(|p| p.controller == "drl") {
-        if let Some(base) = points.iter().find(|q| {
-            q.controller == "static-max" && q.pattern == p.pattern && q.rate == p.rate
-        }) {
+        if let Some(base) = points
+            .iter()
+            .find(|q| q.controller == "static-max" && q.pattern == p.pattern && q.rate == p.rate)
+        {
             savings.push(vec![
                 p.pattern.clone(),
                 format!("{:.3}", p.rate),
-                format!("{:.1}%", 100.0 * (1.0 - p.agg.energy_pj / base.agg.energy_pj)),
+                format!(
+                    "{:.1}%",
+                    100.0 * (1.0 - p.agg.energy_pj / base.agg.energy_pj)
+                ),
             ]);
         }
     }

@@ -29,8 +29,7 @@ fn main() {
 
     // Who wins per (pattern, rate)?
     let mut wins: BTreeMap<String, usize> = BTreeMap::new();
-    let mut keys: Vec<(String, f64)> =
-        points.iter().map(|p| (p.pattern.clone(), p.rate)).collect();
+    let mut keys: Vec<(String, f64)> = points.iter().map(|p| (p.pattern.clone(), p.rate)).collect();
     keys.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
     keys.dedup();
     let mut win_rows = Vec::new();
@@ -44,8 +43,14 @@ fn main() {
             win_rows.push(vec![pattern, format!("{rate:.3}"), best.controller.clone()]);
         }
     }
-    print_table("Fig 6b — lowest-EDP controller per point", &["pattern", "rate", "winner"], &win_rows);
-    let tally: Vec<Vec<String>> =
-        wins.into_iter().map(|(c, n)| vec![c, n.to_string()]).collect();
+    print_table(
+        "Fig 6b — lowest-EDP controller per point",
+        &["pattern", "rate", "winner"],
+        &win_rows,
+    );
+    let tally: Vec<Vec<String>> = wins
+        .into_iter()
+        .map(|(c, n)| vec![c, n.to_string()])
+        .collect();
     print_table("Fig 6c — win tally", &["controller", "wins"], &tally);
 }

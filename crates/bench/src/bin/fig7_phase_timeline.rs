@@ -27,8 +27,7 @@ fn main() {
         let run = run_controller(&sim, controller.as_mut(), epochs, epoch_cycles)
             .expect("valid configuration");
         for (i, (m, levels)) in run.epochs.iter().zip(&run.levels).enumerate() {
-            let mean_level =
-                levels.iter().map(|&l| l as f64).sum::<f64>() / levels.len() as f64;
+            let mean_level = levels.iter().map(|&l| l as f64).sum::<f64>() / levels.len() as f64;
             rows.push(vec![
                 name.to_string(),
                 i.to_string(),
@@ -46,14 +45,26 @@ fn main() {
             fmt(run.aggregate.mean_level),
         ]);
     }
-    let headers =
-        ["controller", "epoch", "mean level", "epoch latency", "power (pJ/cycle)", "inj rate"];
+    let headers = [
+        "controller",
+        "epoch",
+        "mean level",
+        "epoch latency",
+        "power (pJ/cycle)",
+        "inj rate",
+    ];
     let md = print_table("Fig 7 — phase-trace adaptation timeline", &headers, &rows);
     save_csv("fig7_phase_timeline", &headers, &rows);
     save_markdown("fig7_phase_timeline", &md);
     print_table(
         "Fig 7b — phase-trace aggregates",
-        &["controller", "avg latency", "energy (nJ)", "EDP (×10⁶)", "mean level"],
+        &[
+            "controller",
+            "avg latency",
+            "energy (nJ)",
+            "EDP (×10⁶)",
+            "mean level",
+        ],
         &summary,
     );
 }

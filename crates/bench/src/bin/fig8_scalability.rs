@@ -15,14 +15,16 @@ fn main() {
     let rate = 0.10;
 
     let mut rows = Vec::new();
-    for (mesh_name, sim, key) in
-        [("4x4", configs::mesh4(), "mesh4"), ("8x8", configs::mesh8(), "mesh8")]
-    {
+    for (mesh_name, sim, key) in [
+        ("4x4", configs::mesh4(), "mesh4"),
+        ("8x8", configs::mesh8(), "mesh8"),
+    ] {
         let mut factories = controllers_for(&sim, key, scale);
         for (cname, factory) in factories.iter_mut() {
-            for (pname, pattern) in
-                [("uniform", TrafficPattern::Uniform), ("hotspot", configs::hotspot())]
-            {
+            for (pname, pattern) in [
+                ("uniform", TrafficPattern::Uniform),
+                ("hotspot", configs::hotspot()),
+            ] {
                 let cfg = sim.clone().with_traffic(pattern, rate);
                 let mut controller = factory();
                 let run = run_controller(&cfg, controller.as_mut(), epochs, epoch_cycles)
@@ -38,9 +40,19 @@ fn main() {
             }
         }
     }
-    let headers =
-        ["mesh", "pattern", "controller", "avg latency", "energy (nJ)", "EDP (×10⁶)"];
-    let md = print_table("Fig 8 — scalability across mesh sizes (rate 0.10)", &headers, &rows);
+    let headers = [
+        "mesh",
+        "pattern",
+        "controller",
+        "avg latency",
+        "energy (nJ)",
+        "EDP (×10⁶)",
+    ];
+    let md = print_table(
+        "Fig 8 — scalability across mesh sizes (rate 0.10)",
+        &headers,
+        &rows,
+    );
     save_csv("fig8_scalability", &headers, &rows);
     save_markdown("fig8_scalability", &md);
 }

@@ -7,6 +7,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     sim.run(20_000);
     let dt = t0.elapsed();
-    println!("8x8 mesh @0.2: 20k cycles in {:?} ({:.1} kcycles/s), ejected {}",
-        dt, 20_000.0 / dt.as_secs_f64() / 1000.0, sim.stats().ejected_packets);
+    println!(
+        "8x8 mesh @0.2: 20k cycles in {:?} ({:.1} kcycles/s), ejected {}",
+        dt,
+        20_000.0 / dt.as_secs_f64() / 1000.0,
+        sim.stats().ejected_packets
+    );
 }

@@ -34,6 +34,10 @@ fn main() {
         ],
         vec!["Control epoch".into(), "500 cycles".into()],
     ];
-    let md = print_table("Table 1 — NoC configuration", &["Parameter", "Value"], &rows);
+    let md = print_table(
+        "Table 1 — NoC configuration",
+        &["Parameter", "Value"],
+        &rows,
+    );
     save_markdown("table1_config", &md);
 }

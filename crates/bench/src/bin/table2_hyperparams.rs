@@ -7,7 +7,10 @@ fn main() {
     let env = configs::train_env(configs::mesh8(), 7);
     let train = configs::train_budget(Scale::Full, 7);
     let rows = vec![
-        vec!["Network".into(), format!("MLP {:?} (ReLU hidden, linear head)", dqn.hidden)],
+        vec![
+            "Network".into(),
+            format!("MLP {:?} (ReLU hidden, linear head)", dqn.hidden),
+        ],
         vec![
             "State".into(),
             format!(
@@ -16,16 +19,31 @@ fn main() {
                 3 * env.sim.regions_x * env.sim.regions_y + 3
             ),
         ],
-        vec!["Actions".into(), format!("{} (per-region level ±1 / hold)", env.action_space.num_actions())],
+        vec![
+            "Actions".into(),
+            format!(
+                "{} (per-region level ±1 / hold)",
+                env.action_space.num_actions()
+            ),
+        ],
         vec!["Discount γ".into(), format!("{}", dqn.gamma)],
         vec!["Optimizer".into(), format!("Adam, lr {}", dqn.lr)],
         vec!["Loss".into(), format!("{:?}", dqn.loss)],
         vec!["Batch size".into(), dqn.batch_size.to_string()],
-        vec!["Replay".into(), format!("{} transitions (min {})", dqn.replay_capacity, dqn.min_replay)],
+        vec![
+            "Replay".into(),
+            format!(
+                "{} transitions (min {})",
+                dqn.replay_capacity, dqn.min_replay
+            ),
+        ],
         vec!["Target sync".into(), format!("{:?}", dqn.target_sync)],
         vec!["Double DQN".into(), dqn.double.to_string()],
         vec!["ε schedule".into(), format!("{:?}", train.epsilon)],
-        vec!["Episodes".into(), format!("{} × {} epochs", train.episodes, train.max_steps)],
+        vec![
+            "Episodes".into(),
+            format!("{} × {} epochs", train.episodes, train.max_steps),
+        ],
         vec!["Epoch".into(), format!("{} cycles", env.epoch_cycles)],
         vec![
             "Reward".into(),
@@ -39,6 +57,10 @@ fn main() {
             ),
         ],
     ];
-    let md = print_table("Table 2 — DRL hyper-parameters", &["Parameter", "Value"], &rows);
+    let md = print_table(
+        "Table 2 — DRL hyper-parameters",
+        &["Parameter", "Value"],
+        &rows,
+    );
     save_markdown("table2_hyperparams", &md);
 }

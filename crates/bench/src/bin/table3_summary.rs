@@ -15,7 +15,10 @@ fn main() {
         .iter()
         .copied()
         .min_by(|a, b| {
-            (a - 0.10).abs().partial_cmp(&(b - 0.10).abs()).expect("finite")
+            (a - 0.10)
+                .abs()
+                .partial_cmp(&(b - 0.10).abs())
+                .expect("finite")
         })
         .expect("rates non-empty");
 
@@ -28,7 +31,10 @@ fn main() {
             .iter()
             .find(|p| p.pattern == *pattern && p.rate == mid && p.controller == "static-max")
             .expect("baseline present");
-        for p in points.iter().filter(|p| p.pattern == *pattern && p.rate == mid) {
+        for p in points
+            .iter()
+            .filter(|p| p.pattern == *pattern && p.rate == mid)
+        {
             rows.push(vec![
                 pattern.clone(),
                 p.controller.clone(),
@@ -36,8 +42,14 @@ fn main() {
                 fmt(p.agg.throughput),
                 fmt(p.agg.energy_pj / 1e3),
                 fmt(p.agg.edp / 1e6),
-                format!("{:+.1}%", 100.0 * (p.agg.avg_latency / base.agg.avg_latency - 1.0)),
-                format!("{:+.1}%", 100.0 * (p.agg.energy_pj / base.agg.energy_pj - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (p.agg.avg_latency / base.agg.avg_latency - 1.0)
+                ),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (p.agg.energy_pj / base.agg.energy_pj - 1.0)
+                ),
                 format!("{:+.1}%", 100.0 * (p.agg.edp / base.agg.edp - 1.0)),
             ]);
         }

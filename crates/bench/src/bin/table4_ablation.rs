@@ -39,19 +39,28 @@ fn main() {
         Variant {
             key: "ablate_prioritized",
             label: "prioritized replay (α=0.6)",
-            dqn: |d| DqnConfig { prioritized_alpha: Some(0.6), ..d },
+            dqn: |d| DqnConfig {
+                prioritized_alpha: Some(0.6),
+                ..d
+            },
             reward: RewardConfig::default,
         },
         Variant {
             key: "ablate_smallreplay",
             label: "replay 1k (vs 10k)",
-            dqn: |d| DqnConfig { replay_capacity: 1000, ..d },
+            dqn: |d| DqnConfig {
+                replay_capacity: 1000,
+                ..d
+            },
             reward: RewardConfig::default,
         },
         Variant {
             key: "ablate_soft",
             label: "soft target sync (τ=0.01)",
-            dqn: |d| DqnConfig { target_sync: rl::TargetSync::Soft { tau: 0.01 }, ..d },
+            dqn: |d| DqnConfig {
+                target_sync: rl::TargetSync::Soft { tau: 0.01 },
+                ..d
+            },
             reward: RewardConfig::default,
         },
         Variant {
@@ -87,8 +96,7 @@ fn main() {
         env_cfg.reward = (v.reward)();
         let mut train = configs::train_budget(scale, 7);
         train.episodes = episodes;
-        let artifact =
-            train_or_load(v.key, env_cfg, (v.dqn)(configs::dqn_default(7)), train);
+        let artifact = train_or_load(v.key, env_cfg, (v.dqn)(configs::dqn_default(7)), train);
         // Final-quarter training return.
         let quarter = (artifact.curve.len() / 4).max(1);
         let final_return: f64 = artifact.curve[artifact.curve.len() - quarter..]

@@ -9,9 +9,7 @@
 //! odd-even routing and beats the DVFS-only policy's EDP; on uniform they
 //! tie (XY is already optimal there).
 
-use noc_bench::{
-    configs, fmt, print_table, save_csv, save_markdown, train_or_load, Scale,
-};
+use noc_bench::{configs, fmt, print_table, save_csv, save_markdown, train_or_load, Scale};
 use noc_selfconf::{run_controller, ActionSpace, NocEnvConfig, StaticController};
 use noc_sim::{RoutingAlgorithm, TrafficPattern};
 
@@ -27,7 +25,12 @@ fn main() {
     };
     let mut train = configs::train_budget(scale, 21);
     train.episodes = scale.pick(100, 2);
-    let joint = train_or_load("mesh8_joint_routing", env_cfg, configs::dqn_default(21), train);
+    let joint = train_or_load(
+        "mesh8_joint_routing",
+        env_cfg,
+        configs::dqn_default(21),
+        train,
+    );
 
     // The DVFS-only policy for comparison (shared cache with figs 4-6).
     let dvfs_only = train_or_load(
@@ -67,8 +70,14 @@ fn main() {
             ]);
         }
     }
-    let headers =
-        ["workload", "controller", "avg latency", "energy (nJ)", "EDP (×10⁶)", "mean level"];
+    let headers = [
+        "workload",
+        "controller",
+        "avg latency",
+        "energy (nJ)",
+        "EDP (×10⁶)",
+        "mean level",
+    ];
     let md = print_table(
         "Table 5 — joint DVFS + routing control (extension)",
         &headers,

@@ -47,9 +47,9 @@ impl Scale {
 /// Directory where experiment outputs (CSV, markdown, trained policies) are
 /// written: `results/` at the repository root, or `$EXPT_RESULTS`.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("EXPT_RESULTS").map(PathBuf::from).unwrap_or_else(|_| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
-    });
+    let dir = std::env::var("EXPT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
     fs::create_dir_all(&dir).expect("results directory must be creatable");
     dir
 }
@@ -101,30 +101,9 @@ pub fn fmt(v: f64) -> String {
     }
 }
 
-/// Run `f(0..n)` on up to `threads` OS threads and collect results in order.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let slots = parking_lot::Mutex::new(&mut out);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let v = f(i);
-                slots.lock()[i] = Some(v);
-            });
-        }
-    });
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
-}
+/// Run `f(0..n)` on up to `threads` OS threads and collect results in order
+/// (the workspace's shared pool primitive, re-exported from the core crate).
+pub use noc_selfconf::{default_threads, parallel_map};
 
 /// A cached trained-DQN artifact (policy weights + everything needed to
 /// rebuild the controller).
@@ -157,7 +136,9 @@ impl PolicyArtifact {
     /// Rebuild a deployable controller.
     pub fn controller(&self) -> DrlController {
         let mut agent = DqnAgent::new(self.dqn.clone());
-        agent.policy_from_json(&self.policy_json).expect("stored policy loads");
+        agent
+            .policy_from_json(&self.policy_json)
+            .expect("stored policy loads");
         DrlController::new(agent, self.encoder.clone(), self.action_space.clone())
     }
 }
@@ -182,10 +163,17 @@ pub fn train_or_load(
     eprintln!("training policy `{key}` ({} episodes)...", train.episodes);
     let t0 = std::time::Instant::now();
     let policy = noc_selfconf::train_drl(env_cfg, dqn, train).expect("training configuration");
-    eprintln!("trained `{key}` in {:.1?} ({} steps)", t0.elapsed(), policy.agent.train_steps());
+    eprintln!(
+        "trained `{key}` in {:.1?} ({} steps)",
+        t0.elapsed(),
+        policy.agent.train_steps()
+    );
     let artifact = PolicyArtifact::from_policy(&policy);
-    fs::write(&path, serde_json::to_vec(&artifact).expect("artifact serializes"))
-        .expect("artifact must be writable");
+    fs::write(
+        &path,
+        serde_json::to_vec(&artifact).expect("artifact serializes"),
+    )
+    .expect("artifact must be writable");
     artifact
 }
 
@@ -205,7 +193,11 @@ pub struct TabularArtifact {
 impl TabularArtifact {
     /// Rebuild a deployable controller.
     pub fn controller(&self) -> TabularController {
-        TabularController::new(self.agent.clone(), self.encoder.clone(), self.action_space.clone())
+        TabularController::new(
+            self.agent.clone(),
+            self.encoder.clone(),
+            self.action_space.clone(),
+        )
     }
 }
 
@@ -228,9 +220,17 @@ pub fn train_or_load_tabular(
     eprintln!("training tabular `{key}` ({} episodes)...", train.episodes);
     let (agent, curve, encoder, action_space) =
         noc_selfconf::train_tabular(env_cfg, tab, train).expect("training configuration");
-    let artifact = TabularArtifact { agent, encoder, action_space, curve };
-    fs::write(&path, serde_json::to_vec(&artifact).expect("artifact serializes"))
-        .expect("artifact must be writable");
+    let artifact = TabularArtifact {
+        agent,
+        encoder,
+        action_space,
+        curve,
+    };
+    fs::write(
+        &path,
+        serde_json::to_vec(&artifact).expect("artifact serializes"),
+    )
+    .expect("artifact must be writable");
     artifact
 }
 
@@ -262,7 +262,10 @@ pub mod configs {
 
     /// The hotspot pattern used throughout: 30 % of traffic to node 0.
     pub fn hotspot() -> TrafficPattern {
-        TrafficPattern::Hotspot { hotspots: vec![NodeId(0)], fraction: 0.3 }
+        TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(0)],
+            fraction: 0.3,
+        }
     }
 
     /// The bursty phase trace of Fig 7. Phases last 12 control epochs so
@@ -270,10 +273,26 @@ pub mod configs {
     pub fn phase_trace() -> TrafficSpec {
         TrafficSpec::PhaseTrace {
             phases: vec![
-                Phase { pattern: TrafficPattern::Uniform, rate: 0.03, cycles: 6000 },
-                Phase { pattern: TrafficPattern::Uniform, rate: 0.25, cycles: 6000 },
-                Phase { pattern: TrafficPattern::Transpose, rate: 0.12, cycles: 6000 },
-                Phase { pattern: TrafficPattern::Uniform, rate: 0.01, cycles: 6000 },
+                Phase {
+                    pattern: TrafficPattern::Uniform,
+                    rate: 0.03,
+                    cycles: 6000,
+                },
+                Phase {
+                    pattern: TrafficPattern::Uniform,
+                    rate: 0.25,
+                    cycles: 6000,
+                },
+                Phase {
+                    pattern: TrafficPattern::Transpose,
+                    rate: 0.12,
+                    cycles: 6000,
+                },
+                Phase {
+                    pattern: TrafficPattern::Uniform,
+                    rate: 0.01,
+                    cycles: 6000,
+                },
             ],
         }
     }
@@ -283,7 +302,10 @@ pub mod configs {
         let regions = sim.regions_x * sim.regions_y;
         let levels = sim.vf_table.num_levels();
         NocEnvConfig {
-            action_space: ActionSpace::PerRegionDelta { num_regions: regions, num_levels: levels },
+            action_space: ActionSpace::PerRegionDelta {
+                num_regions: regions,
+                num_levels: levels,
+            },
             sim,
             epoch_cycles: 500,
             epochs_per_episode: 40,
@@ -303,7 +325,11 @@ pub mod configs {
         TrainConfig {
             episodes: scale.pick(250, 3),
             max_steps: 40,
-            epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: scale.pick(7000, 60) },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: scale.pick(7000, 60),
+            },
             train_per_step: 1,
             seed,
         }
@@ -311,7 +337,12 @@ pub mod configs {
 
     /// The tabular baseline's configuration.
     pub fn tabular_default() -> TabularConfig {
-        TabularConfig { bins: 3, alpha: 0.15, gamma: 0.95, ..TabularConfig::default() }
+        TabularConfig {
+            bins: 3,
+            alpha: 0.15,
+            gamma: 0.95,
+            ..TabularConfig::default()
+        }
     }
 }
 
@@ -397,8 +428,14 @@ pub mod comparison {
         let tab = std::sync::Arc::new(tab);
         let caps2 = caps.clone();
         vec![
-            ("static-max", Box::new(|| Box::new(StaticController::max()) as Box<dyn Controller>)),
-            ("static-min", Box::new(|| Box::new(StaticController::min()) as Box<dyn Controller>)),
+            (
+                "static-max",
+                Box::new(|| Box::new(StaticController::max()) as Box<dyn Controller>),
+            ),
+            (
+                "static-min",
+                Box::new(|| Box::new(StaticController::min()) as Box<dyn Controller>),
+            ),
             (
                 "threshold",
                 Box::new(move || {
@@ -470,12 +507,14 @@ pub mod comparison {
                     ));
                 }
             }
-            let controllers: Vec<parking_lot::Mutex<Box<dyn Controller>>> =
-                grid.iter().map(|_| parking_lot::Mutex::new(factory())).collect();
-            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let controllers: Vec<std::sync::Mutex<Box<dyn Controller>>> = grid
+                .iter()
+                .map(|_| std::sync::Mutex::new(factory()))
+                .collect();
+            let threads = noc_selfconf::default_threads();
             let results = parallel_map(grid.len(), threads, |i| {
                 let (pname, rate, cfg) = &grid[i];
-                let mut c = controllers[i].lock();
+                let mut c = controllers[i].lock().expect("controller lock poisoned");
                 let run = run_controller(cfg, c.as_mut(), epochs, epoch_cycles)
                     .expect("valid configuration");
                 ComparisonPoint {
@@ -488,8 +527,11 @@ pub mod comparison {
             points.extend(results);
             eprintln!("comparison: finished controller {name}");
         }
-        std::fs::write(&cache, serde_json::to_vec(&points).expect("points serialize"))
-            .expect("cache must be writable");
+        std::fs::write(
+            &cache,
+            serde_json::to_vec(&points).expect("points serialize"),
+        )
+        .expect("cache must be writable");
         points
     }
 }

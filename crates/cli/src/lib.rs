@@ -4,10 +4,10 @@
 #![warn(missing_docs)]
 
 use noc_selfconf::{
-    run_controller, train_drl, DrlController, NocEnvConfig, StaticController,
+    run_controller, train_drl, DrlController, NocEnvConfig, StaticController, SweepGrid,
     ThresholdController,
 };
-use noc_sim::{PacketTrace, SimConfig, Simulator, TrafficPattern, TrafficSpec};
+use noc_sim::{PacketTrace, RoutingAlgorithm, SimConfig, Simulator, TrafficPattern, TrafficSpec};
 use rl::{DqnAgent, DqnConfig, Schedule, TrainConfig};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -63,16 +63,43 @@ pub fn cmd_simulate(config_path: Option<&str>) -> Result<(), CliError> {
     let mut sim = Simulator::new(cfg)?;
     let run = sim.run_classic(2000, 8000, 8000);
     println!("cycles measured      : {}", run.window.cycles);
-    println!("avg packet latency   : {:.2} cycles", run.window.avg_packet_latency);
-    println!("avg network latency  : {:.2} cycles", run.window.avg_network_latency);
+    println!(
+        "avg packet latency   : {:.2} cycles",
+        run.window.avg_packet_latency
+    );
+    println!(
+        "avg network latency  : {:.2} cycles",
+        run.window.avg_network_latency
+    );
     println!("avg hops             : {:.2}", run.window.avg_hops);
-    println!("throughput           : {:.4} flits/node/cycle", run.window.throughput);
-    println!("offered (accepted)   : {:.4} flits/node/cycle", run.window.injection_rate);
-    println!("energy               : {:.1} nJ", run.window.energy_pj / 1e3);
-    println!("  dynamic            : {:.1} nJ", run.window.dynamic_pj / 1e3);
-    println!("  leakage            : {:.1} nJ", run.window.leakage_pj / 1e3);
-    println!("EDP                  : {:.3}e6 pJ·cycles", run.window.edp() / 1e6);
-    println!("p95 latency (bucket) : {} cycles", sim.stats().latency_percentile(0.95));
+    println!(
+        "throughput           : {:.4} flits/node/cycle",
+        run.window.throughput
+    );
+    println!(
+        "offered (accepted)   : {:.4} flits/node/cycle",
+        run.window.injection_rate
+    );
+    println!(
+        "energy               : {:.1} nJ",
+        run.window.energy_pj / 1e3
+    );
+    println!(
+        "  dynamic            : {:.1} nJ",
+        run.window.dynamic_pj / 1e3
+    );
+    println!(
+        "  leakage            : {:.1} nJ",
+        run.window.leakage_pj / 1e3
+    );
+    println!(
+        "EDP                  : {:.3}e6 pJ·cycles",
+        run.window.edp() / 1e6
+    );
+    println!(
+        "p95 latency (bucket) : {} cycles",
+        sim.stats().latency_percentile(0.95)
+    );
     println!("saturated            : {}", run.saturated);
     let map = sim
         .stats()
@@ -88,7 +115,10 @@ pub fn cmd_sweep(rate0: f64, rate1: f64, steps: usize) -> Result<(), CliError> {
     if steps < 2 || !(0.0..=1.0).contains(&rate0) || !(0.0..=1.0).contains(&rate1) {
         return Err(CliError("sweep needs rates in [0,1] and >= 2 steps".into()));
     }
-    println!("{:>8} {:>12} {:>12} {:>10}", "rate", "latency", "throughput", "saturated");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "rate", "latency", "throughput", "saturated"
+    );
     for i in 0..steps {
         let rate = rate0 + (rate1 - rate0) * i as f64 / (steps - 1) as f64;
         let cfg = SimConfig::default().with_traffic(TrafficPattern::Uniform, rate);
@@ -101,6 +131,208 @@ pub fn cmd_sweep(rate0: f64, rate1: f64, steps: usize) -> Result<(), CliError> {
             run.window.throughput,
             if run.saturated { "yes" } else { "no" }
         );
+    }
+    Ok(())
+}
+
+/// Look up `s` in a `NAMED`-style table, or list the valid names.
+fn parse_named<T: Clone>(s: &str, what: &str, table: &[(&'static str, T)]) -> Result<T, CliError> {
+    table
+        .iter()
+        .find(|(n, _)| *n == s)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| {
+            let names: Vec<&str> = table.iter().map(|(n, _)| *n).collect();
+            CliError(format!(
+                "unknown {what} `{s}` (expected one of: {})",
+                names.join(", ")
+            ))
+        })
+}
+
+fn parse_pattern(s: &str) -> Result<TrafficPattern, CliError> {
+    parse_named(s, "traffic pattern", &TrafficPattern::NAMED)
+}
+
+fn parse_routing(s: &str) -> Result<RoutingAlgorithm, CliError> {
+    parse_named(s, "routing", &RoutingAlgorithm::NAMED)
+}
+
+fn parse_size(s: &str) -> Result<(usize, usize), CliError> {
+    let (w, h) = s
+        .split_once('x')
+        .ok_or_else(|| CliError(format!("bad size `{s}` (expected WxH, e.g. 8x8)")))?;
+    let parse = |v: &str| {
+        v.parse::<usize>()
+            .map_err(|e| CliError(format!("bad size `{s}`: {e}")))
+    };
+    Ok((parse(w)?, parse(h)?))
+}
+
+fn parse_list<T>(
+    value: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Result<T, CliError>,
+) -> Result<Vec<T>, CliError> {
+    let items: Result<Vec<T>, CliError> = value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s.trim()))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(CliError(format!("--{what} needs at least one value")));
+    }
+    Ok(items)
+}
+
+/// How `sweep-grid` should execute and where the report goes.
+#[derive(Debug)]
+pub struct SweepGridOptions {
+    /// The grid to run.
+    pub grid: SweepGrid,
+    /// Worker threads (`None` = one per available core).
+    pub threads: Option<usize>,
+    /// Run on the calling thread only (equivalent results, no pool).
+    pub serial: bool,
+    /// Write the JSON report here instead of stdout.
+    pub out: Option<String>,
+}
+
+/// Parse `sweep-grid` flags into a grid + execution options.
+///
+/// # Errors
+/// Returns a usage error for unknown flags or malformed values.
+pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliError> {
+    let mut opts = SweepGridOptions {
+        grid: SweepGrid::default(),
+        threads: None,
+        serial: false,
+        out: None,
+    };
+    const VALUE_FLAGS: [&str; 11] = [
+        "--sizes",
+        "--patterns",
+        "--rates",
+        "--routings",
+        "--levels",
+        "--warmup",
+        "--measure",
+        "--drain",
+        "--seed",
+        "--threads",
+        "--out",
+    ];
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--serial" {
+            opts.serial = true;
+            continue;
+        }
+        // Reject unknown flags before demanding a value, so `--bogus` as
+        // the last argument is diagnosed as unknown, not as missing a value.
+        if !VALUE_FLAGS.contains(&flag.as_str()) {
+            return Err(CliError(format!(
+                "unknown sweep-grid flag `{flag}` (expected {}, or --serial)",
+                VALUE_FLAGS.join(", ")
+            )));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+        match flag.as_str() {
+            "--sizes" => opts.grid.sizes = parse_list(value, "sizes", parse_size)?,
+            "--patterns" => {
+                opts.grid.patterns = parse_list(value, "patterns", parse_pattern)?;
+            }
+            "--rates" => {
+                opts.grid.rates = parse_list(value, "rates", |s| {
+                    s.parse::<f64>()
+                        .map_err(|e| CliError(format!("bad rate `{s}`: {e}")))
+                })?;
+            }
+            "--routings" => {
+                opts.grid.routings = parse_list(value, "routings", parse_routing)?;
+            }
+            "--levels" => {
+                opts.grid.levels = parse_list(value, "levels", |s| {
+                    if s == "none" {
+                        Ok(None)
+                    } else {
+                        s.parse::<usize>()
+                            .map(Some)
+                            .map_err(|e| CliError(format!("bad level `{s}`: {e}")))
+                    }
+                })?;
+            }
+            "--warmup" | "--measure" | "--drain" | "--seed" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad {flag} `{value}`: {e}")))?;
+                match flag.as_str() {
+                    "--warmup" => opts.grid.warmup = n,
+                    "--measure" => opts.grid.measure = n,
+                    "--drain" => opts.grid.drain = n,
+                    _ => opts.grid.base_seed = n,
+                }
+            }
+            "--threads" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --threads `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError("--threads must be at least 1".into()));
+                }
+                opts.threads = Some(n);
+            }
+            "--out" => opts.out = Some(value.clone()),
+            _ => unreachable!("flag membership checked above"),
+        }
+    }
+    if opts.serial && opts.threads.is_some() {
+        return Err(CliError("--serial and --threads conflict: pick one".into()));
+    }
+    if opts.grid.is_empty() {
+        return Err(CliError("sweep-grid: the grid is empty".into()));
+    }
+    Ok(opts)
+}
+
+/// `sweep-grid`: run a scenario grid in parallel and emit one aggregated
+/// JSON report (stdout, or `--out <file>`).
+///
+/// # Errors
+/// Returns an error for bad flags, invalid configurations, or IO failures.
+pub fn cmd_sweep_grid(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_sweep_grid_args(args)?;
+    let threads = opts.threads.unwrap_or_else(noc_selfconf::default_threads);
+    let report = if opts.serial {
+        opts.grid.run_serial()?
+    } else {
+        opts.grid.run(threads)?
+    };
+    // Human summary on stderr; stdout stays pure JSON for piping.
+    eprintln!(
+        "sweep-grid: {} scenarios on {} thread(s); {} saturated",
+        report.aggregate.num_scenarios, report.threads, report.aggregate.saturated_scenarios
+    );
+    for r in &report.scenarios {
+        eprintln!(
+            "  {:<28} latency {:>8.2}  throughput {:>7.4}  energy {:>10.1} nJ{}",
+            r.label,
+            r.metrics.avg_packet_latency,
+            r.metrics.throughput,
+            r.metrics.energy_pj / 1e3,
+            if r.saturated { "  [saturated]" } else { "" }
+        );
+    }
+    let json = serde_json::to_string_pretty(&report)?;
+    match &opts.out {
+        Some(path) => {
+            fs::write(path, json.as_bytes())?;
+            eprintln!("sweep-grid: report written to {path}");
+        }
+        None => println!("{json}"),
     }
     Ok(())
 }
@@ -128,7 +360,11 @@ pub fn cmd_train(out_path: &str, episodes: usize) -> Result<(), CliError> {
         TrainConfig {
             episodes,
             max_steps: 40,
-            epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: (episodes as u64) * 25 },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: (episodes as u64) * 25,
+            },
             train_per_step: 1,
             seed: 7,
         },
@@ -198,13 +434,16 @@ pub fn cmd_replay(trace_path: &str, repeat_every: Option<u64>) -> Result<(), Cli
     let cfg = SimConfig::default().with_traffic_spec(TrafficSpec::Trace(trace));
     let mut sim = Simulator::new(cfg)?;
     // Run until the trace drains (or a generous bound for repeating traces).
-    let bound: u64 = if repeat_every.is_some() { 50_000 } else { 200_000 };
+    let bound: u64 = if repeat_every.is_some() {
+        50_000
+    } else {
+        200_000
+    };
     let mut idle_streak = 0u32;
     for _ in 0..bound / 100 {
         sim.run(100);
         if repeat_every.is_none() {
-            if sim.network().in_flight() == 0 && sim.stats().offered_packets as usize >= n_events
-            {
+            if sim.network().in_flight() == 0 && sim.stats().offered_packets as usize >= n_events {
                 idle_streak += 1;
                 if idle_streak > 2 {
                     break;
@@ -217,8 +456,14 @@ pub fn cmd_replay(trace_path: &str, repeat_every: Option<u64>) -> Result<(), Cli
     let s = sim.stats();
     println!("trace events         : {n_events}");
     println!("packets delivered    : {}", s.ejected_packets);
-    println!("avg packet latency   : {:.2} cycles", s.avg_packet_latency());
-    println!("p95 latency (bucket) : {} cycles", s.latency_percentile(0.95));
+    println!(
+        "avg packet latency   : {:.2} cycles",
+        s.avg_packet_latency()
+    );
+    println!(
+        "p95 latency (bucket) : {} cycles",
+        s.latency_percentile(0.95)
+    );
     println!("energy               : {:.1} nJ", s.energy.total_pj() / 1e3);
     println!("cycles simulated     : {}", sim.cycle());
     Ok(())
@@ -267,6 +512,107 @@ mod tests {
         assert!(cmd_sweep(-0.1, 0.5, 3).is_err());
     }
 
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sweep_grid_args_build_the_grid() {
+        let opts = parse_sweep_grid_args(&strings(&[
+            "--sizes",
+            "4x4,8x8",
+            "--patterns",
+            "uniform,tornado",
+            "--rates",
+            "0.05,0.1,0.2",
+            "--routings",
+            "xy,oddeven",
+            "--levels",
+            "none,2",
+            "--warmup",
+            "100",
+            "--measure",
+            "400",
+            "--drain",
+            "300",
+            "--seed",
+            "9",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        let g = &opts.grid;
+        assert_eq!(g.sizes, vec![(4, 4), (8, 8)]);
+        assert_eq!(
+            g.patterns,
+            vec![TrafficPattern::Uniform, TrafficPattern::Tornado]
+        );
+        assert_eq!(g.rates, vec![0.05, 0.1, 0.2]);
+        assert_eq!(
+            g.routings,
+            vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven]
+        );
+        assert_eq!(g.levels, vec![None, Some(2)]);
+        assert_eq!(
+            (g.warmup, g.measure, g.drain, g.base_seed),
+            (100, 400, 300, 9)
+        );
+        assert_eq!(opts.threads, Some(3));
+        assert!(!opts.serial);
+        assert_eq!(g.len(), 2 * 2 * 3 * 2 * 2);
+    }
+
+    #[test]
+    fn sweep_grid_defaults_run_eight_scenarios() {
+        let opts = parse_sweep_grid_args(&[]).unwrap();
+        assert_eq!(opts.grid.len(), 8);
+        assert!(opts.out.is_none());
+    }
+
+    #[test]
+    fn sweep_grid_rejects_bad_flags() {
+        assert!(parse_sweep_grid_args(&strings(&["--sizes", "4by4"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--patterns", "mystery"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--routings", "zigzag"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--threads", "0"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--rates"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--bogus", "1"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--rates", ""])).is_err());
+    }
+
+    #[test]
+    fn sweep_grid_end_to_end_writes_a_report() {
+        let dir = std::env::temp_dir().join("noc_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep_report.json");
+        let path_str = path.to_str().unwrap().to_string();
+        cmd_sweep_grid(&strings(&[
+            "--sizes",
+            "4x4",
+            "--patterns",
+            "uniform",
+            "--rates",
+            "0.05,0.1",
+            "--routings",
+            "xy",
+            "--warmup",
+            "100",
+            "--measure",
+            "300",
+            "--drain",
+            "300",
+            "--threads",
+            "2",
+            "--out",
+            &path_str,
+        ]))
+        .unwrap();
+        let report: noc_selfconf::SweepReport =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(report.aggregate.num_scenarios, 2);
+    }
+
     #[test]
     fn replay_runs_a_csv_trace() {
         let dir = std::env::temp_dir().join("noc_cli_test");
@@ -292,7 +638,12 @@ mod tests {
         };
         let policy = train_drl(
             env_cfg,
-            DqnConfig { hidden: vec![8], batch_size: 4, min_replay: 4, ..DqnConfig::default() },
+            DqnConfig {
+                hidden: vec![8],
+                batch_size: 4,
+                min_replay: 4,
+                ..DqnConfig::default()
+            },
             TrainConfig {
                 episodes: 2,
                 max_steps: 3,
@@ -314,8 +665,7 @@ mod tests {
             serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
         let mut agent = DqnAgent::new(loaded.dqn);
         agent.policy_from_json(&loaded.policy_json).unwrap();
-        let mut controller =
-            DrlController::new(agent, loaded.encoder, loaded.action_space);
+        let mut controller = DrlController::new(agent, loaded.encoder, loaded.action_space);
         let cfg = SimConfig::default().with_size(4, 4).with_regions(2, 2);
         let run = run_controller(&cfg, &mut controller, 3, 100).unwrap();
         assert_eq!(run.epochs.len(), 3);

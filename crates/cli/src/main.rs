@@ -3,6 +3,7 @@
 //! ```text
 //! noc-cli simulate [config.json]        run one warmup/measure/drain simulation
 //! noc-cli sweep <rate0> <rate1> <n>     latency-throughput sweep at n rates
+//! noc-cli sweep-grid [flags]            parallel scenario grid -> one JSON report
 //! noc-cli train <out.json> [episodes]   train a DQN policy and save it
 //! noc-cli evaluate <policy.json>        run a saved policy vs the baselines
 //! noc-cli replay <trace.csv> [period]   replay a packet trace (CSV)
@@ -11,7 +12,10 @@
 //!
 //! Argument parsing is intentionally dependency-free.
 
-use noc_cli::{cmd_default_config, cmd_evaluate, cmd_replay, cmd_simulate, cmd_sweep, cmd_train, CliError};
+use noc_cli::{
+    cmd_default_config, cmd_evaluate, cmd_replay, cmd_simulate, cmd_sweep, cmd_sweep_grid,
+    cmd_train, CliError,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -32,8 +36,7 @@ fn main() -> ExitCode {
         }
         Some("train") => match args.get(1) {
             Some(out) => {
-                let episodes =
-                    args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60usize);
+                let episodes = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60usize);
                 cmd_train(out, episodes)
             }
             None => Err(CliError("train requires an output path".into())),
@@ -50,11 +53,16 @@ fn main() -> ExitCode {
             None => Err(CliError("replay requires a trace path".into())),
         },
         Some("default-config") => cmd_default_config(),
+        Some("sweep-grid") => cmd_sweep_grid(&args[1..]),
         _ => {
             eprintln!(
                 "usage: noc-cli <simulate [config.json] | sweep <r0> <r1> <n> | \
-                 train <out.json> [episodes] | evaluate <policy.json> | \
-                 replay <trace.csv> [period] | default-config>"
+                 sweep-grid [flags] | train <out.json> [episodes] | \
+                 evaluate <policy.json> | replay <trace.csv> [period] | default-config>\n\
+                 sweep-grid flags: --sizes 4x4,8x8  --patterns uniform,transpose  \
+                 --rates 0.05,0.10  --routings xy,oddeven  --levels none,0,3  \
+                 --warmup N  --measure N  --drain N  --seed N  --threads N  \
+                 --serial  --out report.json"
             );
             return ExitCode::from(2);
         }

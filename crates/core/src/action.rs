@@ -51,7 +51,10 @@ impl ActionSpace {
         match self {
             ActionSpace::UniformLevel { num_levels } => *num_levels,
             ActionSpace::PerRegionDelta { num_regions, .. } => 2 * num_regions + 3,
-            ActionSpace::LevelAndRouting { num_levels, routings } => num_levels * routings.len(),
+            ActionSpace::LevelAndRouting {
+                num_levels,
+                routings,
+            } => num_levels * routings.len(),
         }
     }
 
@@ -66,7 +69,10 @@ impl ActionSpace {
         assert!(action < self.num_actions(), "action {action} out of range");
         match self {
             ActionSpace::UniformLevel { .. } => vec![action; levels.len()],
-            ActionSpace::PerRegionDelta { num_regions, num_levels } => {
+            ActionSpace::PerRegionDelta {
+                num_regions,
+                num_levels,
+            } => {
                 assert_eq!(levels.len(), *num_regions, "level vector length mismatch");
                 let mut out = levels.to_vec();
                 if action == 2 * num_regions + 1 {
@@ -168,7 +174,10 @@ mod tests {
 
     #[test]
     fn per_region_delta_holds_raises_and_lowers() {
-        let a = ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 };
+        let a = ActionSpace::PerRegionDelta {
+            num_regions: 4,
+            num_levels: 4,
+        };
         assert_eq!(a.num_actions(), 11);
         let cur = vec![1, 1, 1, 1];
         assert_eq!(a.levels_after(0, &cur), cur, "action 0 holds");
@@ -176,13 +185,24 @@ mod tests {
         assert_eq!(a.levels_after(2, &cur), vec![0, 1, 1, 1], "lower region 0");
         assert_eq!(a.levels_after(7, &cur), vec![1, 1, 1, 2], "raise region 3");
         assert_eq!(a.levels_after(8, &cur), vec![1, 1, 1, 0], "lower region 3");
-        assert_eq!(a.levels_after(9, &[0, 3, 2, 1]), vec![1, 3, 3, 2], "raise all");
-        assert_eq!(a.levels_after(10, &[0, 3, 2, 1]), vec![0, 2, 1, 0], "lower all");
+        assert_eq!(
+            a.levels_after(9, &[0, 3, 2, 1]),
+            vec![1, 3, 3, 2],
+            "raise all"
+        );
+        assert_eq!(
+            a.levels_after(10, &[0, 3, 2, 1]),
+            vec![0, 2, 1, 0],
+            "lower all"
+        );
     }
 
     #[test]
     fn per_region_delta_saturates() {
-        let a = ActionSpace::PerRegionDelta { num_regions: 2, num_levels: 4 };
+        let a = ActionSpace::PerRegionDelta {
+            num_regions: 2,
+            num_levels: 4,
+        };
         assert_eq!(a.levels_after(1, &[3, 0]), vec![3, 0], "raise at max holds");
         assert_eq!(a.levels_after(4, &[3, 0]), vec![3, 0], "lower at min holds");
     }
@@ -206,7 +226,10 @@ mod tests {
             .with_traffic(TrafficPattern::Uniform, 0.1)
             .with_regions(2, 2);
         let mut sim = Simulator::new(cfg).unwrap();
-        let a = ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 };
+        let a = ActionSpace::PerRegionDelta {
+            num_regions: 4,
+            num_levels: 4,
+        };
         // Starts at max level (3).
         a.apply(2, &mut sim).unwrap(); // lower region 0
         assert_eq!(sim.region_levels(), &[2, 3, 3, 3]);
@@ -221,7 +244,10 @@ mod tests {
 
     #[test]
     fn descriptions_are_informative() {
-        let a = ActionSpace::PerRegionDelta { num_regions: 2, num_levels: 4 };
+        let a = ActionSpace::PerRegionDelta {
+            num_regions: 2,
+            num_levels: 4,
+        };
         assert_eq!(a.describe(0), "hold");
         assert_eq!(a.describe(3), "raise region 1");
         assert_eq!(a.describe(4), "lower region 1");

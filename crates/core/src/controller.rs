@@ -61,17 +61,26 @@ enum LevelChoice {
 impl StaticController {
     /// Always run at the nominal (fastest) level.
     pub fn max() -> Self {
-        StaticController { name: "static-max".into(), level: LevelChoice::Max }
+        StaticController {
+            name: "static-max".into(),
+            level: LevelChoice::Max,
+        }
     }
 
     /// Always run at the lowest level.
     pub fn min() -> Self {
-        StaticController { name: "static-min".into(), level: LevelChoice::Min }
+        StaticController {
+            name: "static-min".into(),
+            level: LevelChoice::Min,
+        }
     }
 
     /// Always run at a fixed level index.
     pub fn fixed(level: usize) -> Self {
-        StaticController { name: format!("static-{level}"), level: LevelChoice::Fixed(level) }
+        StaticController {
+            name: format!("static-{level}"),
+            level: LevelChoice::Fixed(level),
+        }
     }
 }
 
@@ -91,7 +100,10 @@ impl Controller for StaticController {
             LevelChoice::Min => 0,
             LevelChoice::Fixed(l) => l.min(num_levels - 1),
         };
-        ControlDecision { levels: vec![l; levels.len()], routing: None }
+        ControlDecision {
+            levels: vec![l; levels.len()],
+            routing: None,
+        }
     }
 }
 
@@ -154,7 +166,10 @@ impl ThresholdController {
         low: f64,
         high: f64,
     ) -> Self {
-        assert!(0.0 <= low && low < high && high <= 1.0, "need 0 <= low < high <= 1");
+        assert!(
+            0.0 <= low && low < high && high <= 1.0,
+            "need 0 <= low < high <= 1"
+        );
         ThresholdController {
             high,
             low,
@@ -179,7 +194,10 @@ impl Controller for ThresholdController {
         // Saturation escape hatch: source queues backing up means the
         // network is under-clocked regardless of buffer occupancy.
         if metrics.avg_backlog / self.num_nodes as f64 > self.backlog_high {
-            return ControlDecision { levels: vec![num_levels - 1; levels.len()], routing: None };
+            return ControlDecision {
+                levels: vec![num_levels - 1; levels.len()],
+                routing: None,
+            };
         }
         let out = levels
             .iter()
@@ -196,7 +214,10 @@ impl Controller for ThresholdController {
                 }
             })
             .collect();
-        ControlDecision { levels: out, routing: None }
+        ControlDecision {
+            levels: out,
+            routing: None,
+        }
     }
 }
 
@@ -218,13 +239,22 @@ impl DrlController {
     /// Panics if the agent's dimensions disagree with the encoder/action
     /// space.
     pub fn new(agent: DqnAgent, encoder: StateEncoder, action_space: ActionSpace) -> Self {
-        assert_eq!(agent.config().state_dim, encoder.state_dim(), "state dim mismatch");
+        assert_eq!(
+            agent.config().state_dim,
+            encoder.state_dim(),
+            "state dim mismatch"
+        );
         assert_eq!(
             agent.config().num_actions,
             action_space.num_actions(),
             "action count mismatch"
         );
-        DrlController { agent, encoder, action_space, name: "drl".into() }
+        DrlController {
+            agent,
+            encoder,
+            action_space,
+            name: "drl".into(),
+        }
     }
 
     /// The wrapped agent (e.g. for checkpointing).
@@ -273,13 +303,21 @@ impl TabularController {
     /// Panics if the agent's dimensions disagree with the encoder/action
     /// space.
     pub fn new(agent: TabularQ, encoder: StateEncoder, action_space: ActionSpace) -> Self {
-        assert_eq!(agent.config().state_dim, encoder.state_dim(), "state dim mismatch");
+        assert_eq!(
+            agent.config().state_dim,
+            encoder.state_dim(),
+            "state dim mismatch"
+        );
         assert_eq!(
             agent.config().num_actions,
             action_space.num_actions(),
             "action count mismatch"
         );
-        TabularController { agent, encoder, action_space }
+        TabularController {
+            agent,
+            encoder,
+            action_space,
+        }
     }
 }
 
@@ -384,10 +422,12 @@ mod tests {
     fn drl_controller_translates_actions() {
         use rl::DqnConfig;
         let encoder = StateEncoder::new(vec![100; 4], vec![4; 4], 4, 16);
-        let space = ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 };
-        let agent = DqnAgent::new(
-            DqnConfig::default().with_dims(encoder.state_dim(), space.num_actions()),
-        );
+        let space = ActionSpace::PerRegionDelta {
+            num_regions: 4,
+            num_levels: 4,
+        };
+        let agent =
+            DqnAgent::new(DqnConfig::default().with_dims(encoder.state_dim(), space.num_actions()));
         let mut c = DrlController::new(agent, encoder, space);
         let m = metrics_with_occupancy(vec![1.0; 4]);
         let d = c.decide(&m, &[2, 2, 2, 2], 4);
@@ -411,6 +451,10 @@ mod tests {
         let mut c = TabularController::new(agent, encoder, space);
         let m = metrics_with_occupancy(vec![1.0; 4]);
         let d = c.decide(&m, &[2, 2, 2, 2], 4);
-        assert_eq!(d.levels, vec![0; 4], "untrained table is greedy toward action 0");
+        assert_eq!(
+            d.levels,
+            vec![0; 4],
+            "untrained table is greedy toward action 0"
+        );
     }
 }

@@ -64,8 +64,14 @@ impl Default for NocEnvConfig {
 pub fn standard_traffic_menu() -> Vec<TrafficSpec> {
     let mut menu = Vec::new();
     for rate in [0.05, 0.12, 0.22] {
-        menu.push(TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate });
-        menu.push(TrafficSpec::Stationary { pattern: TrafficPattern::Transpose, rate });
+        menu.push(TrafficSpec::Stationary {
+            pattern: TrafficPattern::Uniform,
+            rate,
+        });
+        menu.push(TrafficSpec::Stationary {
+            pattern: TrafficPattern::Transpose,
+            rate,
+        });
         menu.push(TrafficSpec::Stationary {
             pattern: TrafficPattern::Hotspot {
                 hotspots: vec![noc_sim::NodeId(0)],
@@ -76,10 +82,26 @@ pub fn standard_traffic_menu() -> Vec<TrafficSpec> {
     }
     menu.push(TrafficSpec::PhaseTrace {
         phases: vec![
-            noc_sim::Phase { pattern: TrafficPattern::Uniform, rate: 0.03, cycles: 3000 },
-            noc_sim::Phase { pattern: TrafficPattern::Uniform, rate: 0.25, cycles: 3000 },
-            noc_sim::Phase { pattern: TrafficPattern::Transpose, rate: 0.12, cycles: 3000 },
-            noc_sim::Phase { pattern: TrafficPattern::Uniform, rate: 0.01, cycles: 3000 },
+            noc_sim::Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.03,
+                cycles: 3000,
+            },
+            noc_sim::Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.25,
+                cycles: 3000,
+            },
+            noc_sim::Phase {
+                pattern: TrafficPattern::Transpose,
+                rate: 0.12,
+                cycles: 3000,
+            },
+            noc_sim::Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.01,
+                cycles: 3000,
+            },
         ],
     });
     menu
@@ -134,7 +156,10 @@ impl NocEnv {
         let regions = sim.network().regions().num_regions();
         let levels = config.sim.vf_table.num_levels();
         match &config.action_space {
-            ActionSpace::PerRegionDelta { num_regions, num_levels } => {
+            ActionSpace::PerRegionDelta {
+                num_regions,
+                num_levels,
+            } => {
                 if *num_regions != regions || *num_levels != levels {
                     return Err(SimError::InvalidConfig(format!(
                         "action space expects {num_regions} regions / {num_levels} levels, \
@@ -229,7 +254,11 @@ impl Environment for NocEnv {
         self.episode += 1;
         self.epoch = 0;
         let mut cfg = self.config.sim.clone();
-        cfg.seed = self.config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(self.episode);
+        cfg.seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(self.episode);
         if !self.config.traffic_menu.is_empty() {
             let pick = self.rng.gen_range(0..self.config.traffic_menu.len());
             cfg.traffic = self.config.traffic_menu[pick].clone();
@@ -251,11 +280,17 @@ impl Environment for NocEnv {
             .expect("action space validated against simulator");
         let state = self.run_epoch_and_encode();
         let metrics = self.last_metrics.as_ref().expect("epoch just ran");
-        let reward =
-            self.config.reward.compute(metrics, self.sim.network().topology().num_nodes());
+        let reward = self
+            .config
+            .reward
+            .compute(metrics, self.sim.network().topology().num_nodes());
         self.last_reward = reward;
         self.epoch += 1;
-        Step { state, reward, done: self.epoch >= self.config.epochs_per_episode }
+        Step {
+            state,
+            reward,
+            done: self.epoch >= self.config.epochs_per_episode,
+        }
     }
 }
 
@@ -270,7 +305,10 @@ mod tests {
             .with_traffic(TrafficPattern::Uniform, 0.1)
             .with_regions(2, 2);
         NocEnv::new(NocEnvConfig {
-            action_space: ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 },
+            action_space: ActionSpace::PerRegionDelta {
+                num_regions: 4,
+                num_levels: 4,
+            },
             sim,
             epoch_cycles: 200,
             epochs_per_episode: 5,
@@ -329,7 +367,10 @@ mod tests {
             seen.extend(l.iter().copied());
         }
         assert!(seen.len() >= 3, "initial levels should vary: {seen:?}");
-        assert!(mixed, "exploring starts should produce mixed configurations");
+        assert!(
+            mixed,
+            "exploring starts should produce mixed configurations"
+        );
     }
 
     #[test]
@@ -339,14 +380,23 @@ mod tests {
             .with_traffic(TrafficPattern::Uniform, 0.1)
             .with_regions(2, 2);
         let mut env = NocEnv::new(NocEnvConfig {
-            action_space: ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 },
+            action_space: ActionSpace::PerRegionDelta {
+                num_regions: 4,
+                num_levels: 4,
+            },
             sim,
             epoch_cycles: 100,
             epochs_per_episode: 2,
             reward: RewardConfig::default(),
             traffic_menu: vec![
-                TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.02 },
-                TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.30 },
+                TrafficSpec::Stationary {
+                    pattern: TrafficPattern::Uniform,
+                    rate: 0.02,
+                },
+                TrafficSpec::Stationary {
+                    pattern: TrafficPattern::Uniform,
+                    rate: 0.30,
+                },
             ],
             seed: 1,
         })
@@ -359,14 +409,20 @@ mod tests {
         }
         let lo = rates.iter().cloned().fold(f64::MAX, f64::min);
         let hi = rates.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(hi > 4.0 * lo, "menu should produce distinct loads: {rates:?}");
+        assert!(
+            hi > 4.0 * lo,
+            "menu should produce distinct loads: {rates:?}"
+        );
     }
 
     #[test]
     fn mismatched_action_space_is_rejected() {
         let sim = SimConfig::default().with_size(4, 4).with_regions(2, 2);
         let bad = NocEnvConfig {
-            action_space: ActionSpace::PerRegionDelta { num_regions: 8, num_levels: 4 },
+            action_space: ActionSpace::PerRegionDelta {
+                num_regions: 8,
+                num_levels: 4,
+            },
             sim,
             ..NocEnvConfig::default()
         };
@@ -387,6 +443,9 @@ mod tests {
             env.step(0);
         }
         let high = env.last_metrics().unwrap().energy_pj;
-        assert!(low < high, "min level must burn less energy: {low} vs {high}");
+        assert!(
+            low < high,
+            "min level must burn less energy: {low} vs {high}"
+        );
     }
 }

@@ -12,6 +12,9 @@
 //! * [`controller`] — the DRL policy plus static / threshold / tabular
 //!   baselines behind one `Controller` trait.
 //! * [`training`] — training and controller-evaluation drivers.
+//! * [`sweep`] — the parallel scenario-sweep engine: cartesian grids of
+//!   configurations fanned out over a thread pool into one deterministic
+//!   aggregated report.
 //!
 //! ```no_run
 //! use noc_selfconf::{train_drl, NocEnvConfig};
@@ -34,8 +37,10 @@
 pub mod action;
 pub mod controller;
 pub mod env;
+pub mod par;
 pub mod reward;
 pub mod state;
+pub mod sweep;
 pub mod training;
 
 pub use action::ActionSpace;
@@ -44,8 +49,10 @@ pub use controller::{
     ThresholdController,
 };
 pub use env::{standard_traffic_menu, NocEnv, NocEnvConfig};
+pub use par::{default_threads, parallel_map};
 pub use reward::RewardConfig;
 pub use state::StateEncoder;
+pub use sweep::{Scenario, ScenarioResult, SweepAggregate, SweepGrid, SweepReport};
 pub use training::{
     aggregate_run, run_controller, train_drl, train_tabular, ControllerRun, RunAggregate,
     TrainedPolicy,

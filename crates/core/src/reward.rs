@@ -98,8 +98,7 @@ impl RewardConfig {
 
     /// Normalized energy: pJ per node per cycle over `energy_scale`.
     pub fn normalized_energy(&self, m: &WindowMetrics, num_nodes: usize) -> f64 {
-        let per_node_cycle =
-            m.energy_pj / (m.cycles.max(1) as f64 * num_nodes.max(1) as f64);
+        let per_node_cycle = m.energy_pj / (m.cycles.max(1) as f64 * num_nodes.max(1) as f64);
         per_node_cycle / self.energy_scale
     }
 
@@ -199,7 +198,10 @@ mod tests {
         let stalled = r.compute(&m, 16);
         m.avg_occupancy = 0.0;
         let idle = r.compute(&m, 16);
-        assert!(idle > stalled, "a stalled network must score below an idle one");
+        assert!(
+            idle > stalled,
+            "a stalled network must score below an idle one"
+        );
     }
 
     #[test]
@@ -217,8 +219,10 @@ mod tests {
         let shallow = metrics(70.0, 1000.0, 0.1);
         let mut deep = shallow.clone();
         deep.avg_backlog = 2000.0; // 125 flits/node on 16 nodes
-        assert!(r.compute(&shallow, 16) > r.compute(&deep, 16) + 1.0,
-            "deep saturation must cost via the backlog term");
+        assert!(
+            r.compute(&shallow, 16) > r.compute(&deep, 16) + 1.0,
+            "deep saturation must cost via the backlog term"
+        );
         // The term is capped: even absurd backlog stays finite.
         deep.avg_backlog = 1e12;
         assert!(r.compute(&deep, 16).is_finite());

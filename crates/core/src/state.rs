@@ -38,8 +38,15 @@ impl StateEncoder {
         num_nodes: usize,
     ) -> Self {
         assert!(!region_capacity.is_empty(), "need at least one region");
-        assert_eq!(region_capacity.len(), region_nodes.len(), "region vectors must align");
-        assert!(num_levels > 0 && num_nodes > 0, "levels and nodes must be positive");
+        assert_eq!(
+            region_capacity.len(),
+            region_nodes.len(),
+            "region vectors must align"
+        );
+        assert!(
+            num_levels > 0 && num_nodes > 0,
+            "levels and nodes must be positive"
+        );
         StateEncoder {
             num_regions: region_capacity.len(),
             num_levels,
@@ -67,7 +74,11 @@ impl StateEncoder {
     /// Panics if `levels.len() != num_regions` or the metrics were collected
     /// with a different region count.
     pub fn encode(&self, metrics: &WindowMetrics, levels: &[usize]) -> Vec<f32> {
-        assert_eq!(levels.len(), self.num_regions, "level vector length mismatch");
+        assert_eq!(
+            levels.len(),
+            self.num_regions,
+            "level vector length mismatch"
+        );
         assert_eq!(
             metrics.region_occupancy.len(),
             self.num_regions,

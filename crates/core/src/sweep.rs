@@ -1,0 +1,418 @@
+//! Parallel scenario-sweep engine.
+//!
+//! The ROADMAP's scale goal needs one command that answers "how does the
+//! NoC behave across *many* operating points?" — this module provides it.
+//! A [`SweepGrid`] is the cartesian product of topology sizes, traffic
+//! patterns, injection rates, routing algorithms, and (optionally) pinned
+//! DVFS levels. [`SweepGrid::run`] fans the scenarios out over a pool of
+//! OS threads, runs each through the classic warmup/measure/drain
+//! methodology, and folds every [`WindowMetrics`] into a single
+//! [`SweepReport`].
+//!
+//! Determinism is a hard guarantee, not a best effort:
+//!
+//! * each scenario derives its own RNG seed from the grid's `base_seed`
+//!   and the scenario's *index* via a SplitMix64 mix, so results do not
+//!   depend on which thread picks up which scenario;
+//! * results are written into their index slot, so report order is the
+//!   grid order regardless of completion order;
+//! * consequently `run` (any thread count) and [`SweepGrid::run_serial`]
+//!   produce identical reports, and serializing a report twice yields
+//!   byte-identical JSON. The sweep tests pin all three properties.
+//!
+//! ```no_run
+//! use noc_selfconf::sweep::SweepGrid;
+//!
+//! # fn main() -> Result<(), noc_sim::SimError> {
+//! let report = SweepGrid::default().run(4)?;
+//! println!("{} scenarios, peak throughput {:.3} at {}",
+//!     report.aggregate.num_scenarios,
+//!     report.aggregate.peak_throughput,
+//!     report.aggregate.peak_throughput_scenario);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::par::parallel_map;
+use noc_sim::{
+    RoutingAlgorithm, RunSummary, SimConfig, SimError, SimResult, Simulator, TrafficPattern,
+    WindowMetrics,
+};
+use serde::{Deserialize, Serialize};
+
+/// A cartesian grid of simulation scenarios.
+///
+/// Every axis is a list; the grid is the product of all of them, in
+/// row-major order with `sizes` slowest and `levels` fastest. The `base`
+/// config supplies everything the axes do not override (VC shape, packet
+/// length, power model, DVFS regions, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Template configuration for every scenario.
+    pub base: SimConfig,
+    /// Grid dimensions to sweep, as `(width, height)`.
+    pub sizes: Vec<(usize, usize)>,
+    /// Traffic patterns to sweep.
+    pub patterns: Vec<TrafficPattern>,
+    /// Injection rates to sweep, in flits/node/cycle.
+    pub rates: Vec<f64>,
+    /// Routing algorithms to sweep.
+    pub routings: Vec<RoutingAlgorithm>,
+    /// Pinned uniform DVFS levels to sweep (`None` = leave the base
+    /// config's levels untouched).
+    pub levels: Vec<Option<usize>>,
+    /// Warmup cycles before the measurement window.
+    pub warmup: u64,
+    /// Measurement-window cycles.
+    pub measure: u64,
+    /// Maximum drain cycles after the window.
+    pub drain: u64,
+    /// Root seed; each scenario's seed is mixed from this and its index.
+    pub base_seed: u64,
+}
+
+impl Default for SweepGrid {
+    /// A 2×2×2 grid (8 scenarios): 4×4 and 8×8 meshes, uniform and
+    /// transpose traffic, two rates, XY routing — small enough to finish
+    /// in seconds, broad enough to show latency/energy trends.
+    fn default() -> Self {
+        SweepGrid {
+            base: SimConfig::default(),
+            sizes: vec![(4, 4), (8, 8)],
+            patterns: vec![TrafficPattern::Uniform, TrafficPattern::Transpose],
+            rates: vec![0.05, 0.10],
+            routings: vec![RoutingAlgorithm::Xy],
+            levels: vec![None],
+            warmup: 500,
+            measure: 2000,
+            drain: 2000,
+            base_seed: 1,
+        }
+    }
+}
+
+/// One fully resolved point of the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Position in grid order (also the seed-mix input).
+    pub index: usize,
+    /// Human-readable identity, e.g. `8x8/transpose/r0.1/xy`.
+    pub label: String,
+    /// Pinned uniform DVFS level, if any.
+    pub level: Option<usize>,
+    /// The resolved simulator configuration (seed already mixed).
+    pub config: SimConfig,
+}
+
+/// Measured outcome of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Grid position.
+    pub index: usize,
+    /// Scenario identity (same format as [`Scenario::label`]).
+    pub label: String,
+    /// Seed the scenario ran with.
+    pub seed: u64,
+    /// Whether the source queues kept growing through the window.
+    pub saturated: bool,
+    /// Latency samples that never finished within the drain budget.
+    pub unfinished_packets: u64,
+    /// The measurement-window metrics.
+    pub metrics: WindowMetrics,
+}
+
+/// Cross-scenario summary statistics.
+///
+/// Latency figures skip saturated scenarios (their latency is unbounded
+/// and would poison the mean); counts record how much was skipped so the
+/// aggregate can't silently hide a saturated grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepAggregate {
+    /// Total scenarios run.
+    pub num_scenarios: usize,
+    /// Scenarios that saturated.
+    pub saturated_scenarios: usize,
+    /// Mean of `avg_packet_latency` over non-saturated scenarios with
+    /// latency samples.
+    #[serde(with = "noc_sim::stats::serde_nan")]
+    pub avg_packet_latency: f64,
+    /// Lowest scenario latency (cycles).
+    #[serde(with = "noc_sim::stats::serde_nan")]
+    pub min_latency: f64,
+    /// Scenario achieving `min_latency`.
+    pub min_latency_scenario: String,
+    /// Highest non-saturated scenario latency (cycles).
+    #[serde(with = "noc_sim::stats::serde_nan")]
+    pub max_latency: f64,
+    /// Scenario achieving `max_latency`.
+    pub max_latency_scenario: String,
+    /// Highest accepted throughput (flits/node/cycle) over all scenarios.
+    pub peak_throughput: f64,
+    /// Scenario achieving `peak_throughput`.
+    pub peak_throughput_scenario: String,
+    /// Total energy over all measurement windows (pJ).
+    pub total_energy_pj: f64,
+    /// Lowest energy-delay product (`avg_packet_latency · energy_pj`)
+    /// among non-saturated scenarios.
+    #[serde(with = "noc_sim::stats::serde_nan")]
+    pub best_edp: f64,
+    /// Scenario achieving `best_edp`.
+    pub best_edp_scenario: String,
+}
+
+/// The single serialized artifact a sweep produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The grid that was run (full provenance for the results).
+    pub grid: SweepGrid,
+    /// Thread count the sweep ran with. Not serialized: results are
+    /// independent of it, and keeping it out of the report preserves
+    /// byte-identity between parallel and serial runs.
+    #[serde(skip)]
+    pub threads: usize,
+    /// Per-scenario outcomes, in grid order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Cross-scenario summary.
+    pub aggregate: SweepAggregate,
+}
+
+/// SplitMix64 finalizer: decorrelates per-scenario seeds drawn from
+/// consecutive indices.
+fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SweepGrid {
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+            * self.patterns.len()
+            * self.rates.len()
+            * self.routings.len()
+            * self.levels.len()
+    }
+
+    /// Whether the grid is empty (any axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the grid into its scenario list, in grid order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut index = 0;
+        for &(w, h) in &self.sizes {
+            for pattern in &self.patterns {
+                for &rate in &self.rates {
+                    for &routing in &self.routings {
+                        for &level in &self.levels {
+                            let seed = mix_seed(self.base_seed, index as u64);
+                            let config = self
+                                .base
+                                .clone()
+                                .with_size(w, h)
+                                .with_traffic(pattern.clone(), rate)
+                                .with_routing(routing)
+                                .with_seed(seed);
+                            // Full-precision rate (f64 Display is the
+                            // shortest round-trip form), so close rates
+                            // never collide into one label.
+                            let mut label =
+                                format!("{w}x{h}/{}/r{rate}/{}", pattern.name(), routing.name());
+                            if let Some(l) = level {
+                                label.push_str(&format!("/L{l}"));
+                            }
+                            out.push(Scenario {
+                                index,
+                                label,
+                                level,
+                                config,
+                            });
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Check every scenario before any simulation runs, so a grid with an
+    /// invalid point fails in microseconds instead of after the valid
+    /// scenarios have burned their full simulation budgets.
+    ///
+    /// # Errors
+    /// Returns the first (in grid order) invalid scenario, with its label.
+    pub fn validate(&self) -> SimResult<()> {
+        self.validate_scenarios(&self.scenarios())
+    }
+
+    fn validate_scenarios(&self, scenarios: &[Scenario]) -> SimResult<()> {
+        let num_levels = self.base.vf_table.num_levels();
+        for scenario in scenarios {
+            scenario.config.validate().map_err(|e| {
+                // `InvalidConfig` prefixes its own Display; strip the inner
+                // copy so the wrapped message reads cleanly.
+                let msg = e.to_string();
+                let msg = msg.strip_prefix("invalid configuration: ").unwrap_or(&msg);
+                SimError::InvalidConfig(format!("scenario {}: {msg}", scenario.label))
+            })?;
+            if let Some(level) = scenario.level {
+                if level >= num_levels {
+                    return Err(SimError::VfLevelOutOfRange {
+                        level,
+                        levels: num_levels,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one scenario to completion.
+    fn run_scenario(&self, scenario: &Scenario) -> SimResult<ScenarioResult> {
+        let mut sim = Simulator::new(scenario.config.clone())?;
+        if let Some(level) = scenario.level {
+            sim.set_all_levels(level)?;
+        }
+        let RunSummary {
+            window,
+            unfinished_packets,
+            saturated,
+        } = sim.run_classic(self.warmup, self.measure, self.drain);
+        Ok(ScenarioResult {
+            index: scenario.index,
+            label: scenario.label.clone(),
+            seed: scenario.config.seed,
+            saturated,
+            unfinished_packets,
+            metrics: window,
+        })
+    }
+
+    /// Run the whole grid on `threads` OS threads.
+    ///
+    /// Results are identical for every `threads` value (including 1); see
+    /// the module docs for why.
+    ///
+    /// # Errors
+    /// Returns the first (in grid order) scenario configuration error.
+    pub fn run(&self, threads: usize) -> SimResult<SweepReport> {
+        let scenarios = self.scenarios();
+        self.validate_scenarios(&scenarios)?;
+        let results: SimResult<Vec<ScenarioResult>> = parallel_map(scenarios.len(), threads, |i| {
+            self.run_scenario(&scenarios[i])
+        })
+        .into_iter()
+        .collect();
+        Ok(self.report(results?, threads.clamp(1, scenarios.len().max(1))))
+    }
+
+    /// Run the whole grid on the calling thread.
+    ///
+    /// # Errors
+    /// Returns the first scenario configuration error.
+    pub fn run_serial(&self) -> SimResult<SweepReport> {
+        let scenarios = self.scenarios();
+        self.validate_scenarios(&scenarios)?;
+        let results: SimResult<Vec<ScenarioResult>> =
+            scenarios.iter().map(|s| self.run_scenario(s)).collect();
+        Ok(self.report(results?, 1))
+    }
+
+    fn report(&self, scenarios: Vec<ScenarioResult>, threads: usize) -> SweepReport {
+        let aggregate = aggregate(&scenarios);
+        SweepReport {
+            grid: self.clone(),
+            threads,
+            scenarios,
+            aggregate,
+        }
+    }
+}
+
+fn aggregate(results: &[ScenarioResult]) -> SweepAggregate {
+    let mut agg = SweepAggregate {
+        num_scenarios: results.len(),
+        saturated_scenarios: results.iter().filter(|r| r.saturated).count(),
+        avg_packet_latency: f64::NAN,
+        min_latency: f64::NAN,
+        min_latency_scenario: String::new(),
+        max_latency: f64::NAN,
+        max_latency_scenario: String::new(),
+        peak_throughput: 0.0,
+        peak_throughput_scenario: String::new(),
+        total_energy_pj: results.iter().map(|r| r.metrics.energy_pj).sum(),
+        best_edp: f64::NAN,
+        best_edp_scenario: String::new(),
+    };
+    let mut latency_sum = 0.0;
+    let mut latency_count = 0usize;
+    for r in results {
+        if r.metrics.throughput > agg.peak_throughput {
+            agg.peak_throughput = r.metrics.throughput;
+            agg.peak_throughput_scenario = r.label.clone();
+        }
+        let lat = r.metrics.avg_packet_latency;
+        if r.saturated || !lat.is_finite() {
+            continue;
+        }
+        latency_sum += lat;
+        latency_count += 1;
+        if agg.min_latency.is_nan() || lat < agg.min_latency {
+            agg.min_latency = lat;
+            agg.min_latency_scenario = r.label.clone();
+        }
+        if agg.max_latency.is_nan() || lat > agg.max_latency {
+            agg.max_latency = lat;
+            agg.max_latency_scenario = r.label.clone();
+        }
+        let edp = lat * r.metrics.energy_pj;
+        if agg.best_edp.is_nan() || edp < agg.best_edp {
+            agg.best_edp = edp;
+            agg.best_edp_scenario = r.label.clone();
+        }
+    }
+    if latency_count > 0 {
+        agg.avg_packet_latency = latency_sum / latency_count as f64;
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_and_seed_mix_are_stable() {
+        let grid = SweepGrid::default();
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 8);
+        assert_eq!(scenarios.len(), grid.len());
+        // Labels are unique and in row-major order.
+        assert_eq!(scenarios[0].label, "4x4/uniform/r0.05/xy");
+        assert_eq!(scenarios[7].label, "8x8/transpose/r0.1/xy");
+        // Seeds differ across scenarios but are reproducible.
+        let again = grid.scenarios();
+        for (a, b) in scenarios.iter().zip(&again) {
+            assert_eq!(a.config.seed, b.config.seed);
+        }
+        let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.config.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "seed mix must not collide on small grids");
+    }
+
+    #[test]
+    fn empty_axis_means_empty_grid() {
+        let grid = SweepGrid {
+            rates: vec![],
+            ..SweepGrid::default()
+        };
+        assert!(grid.is_empty());
+        assert_eq!(grid.scenarios().len(), 0);
+    }
+}

@@ -41,7 +41,12 @@ pub fn train_drl(
     let curve = rl::train(&mut env, &mut agent, &train);
     let encoder = env.encoder().clone();
     let action_space = env.config().action_space.clone();
-    Ok(TrainedPolicy { agent, curve, encoder, action_space })
+    Ok(TrainedPolicy {
+        agent,
+        curve,
+        encoder,
+        action_space,
+    })
 }
 
 /// Train the tabular Q-learning baseline on the same environment.
@@ -129,15 +134,15 @@ pub fn run_controller(
         epoch_metrics.push(last.clone());
     }
     let aggregate = aggregate_run(controller.name(), &epoch_metrics, &levels_trace);
-    Ok(ControllerRun { aggregate, epochs: epoch_metrics, levels: levels_trace })
+    Ok(ControllerRun {
+        aggregate,
+        epochs: epoch_metrics,
+        levels: levels_trace,
+    })
 }
 
 /// Fold per-epoch metrics into one comparison row.
-pub fn aggregate_run(
-    name: &str,
-    epochs: &[WindowMetrics],
-    levels: &[Vec<usize>],
-) -> RunAggregate {
+pub fn aggregate_run(name: &str, epochs: &[WindowMetrics], levels: &[Vec<usize>]) -> RunAggregate {
     let cycles: u64 = epochs.iter().map(|m| m.cycles).sum();
     let samples: u64 = epochs.iter().map(|m| m.latency_samples).sum();
     let lat_sum: f64 = epochs
@@ -145,18 +150,29 @@ pub fn aggregate_run(
         .filter(|m| m.latency_samples > 0)
         .map(|m| m.avg_packet_latency * m.latency_samples as f64)
         .sum();
-    let avg_latency = if samples > 0 { lat_sum / samples as f64 } else { f64::NAN };
+    let avg_latency = if samples > 0 {
+        lat_sum / samples as f64
+    } else {
+        f64::NAN
+    };
     let energy_pj: f64 = epochs.iter().map(|m| m.energy_pj).sum();
     let ejected: u64 = epochs.iter().map(|m| m.ejected_flits).sum();
     let throughput = if cycles > 0 {
-        epochs.iter().map(|m| m.throughput * m.cycles as f64).sum::<f64>() / cycles as f64
+        epochs
+            .iter()
+            .map(|m| m.throughput * m.cycles as f64)
+            .sum::<f64>()
+            / cycles as f64
     } else {
         0.0
     };
     let mean_level = if levels.is_empty() {
         f64::NAN
     } else {
-        levels.iter().flat_map(|v| v.iter().map(|&l| l as f64)).sum::<f64>()
+        levels
+            .iter()
+            .flat_map(|v| v.iter().map(|&l| l as f64))
+            .sum::<f64>()
             / levels.iter().map(|v| v.len()).sum::<usize>().max(1) as f64
     };
     RunAggregate {
@@ -165,7 +181,11 @@ pub fn aggregate_run(
         avg_latency,
         throughput,
         energy_pj,
-        energy_per_flit: if ejected > 0 { energy_pj / ejected as f64 } else { f64::NAN },
+        energy_per_flit: if ejected > 0 {
+            energy_pj / ejected as f64
+        } else {
+            f64::NAN
+        },
         edp: energy_pj * avg_latency,
         mean_level,
     }
@@ -188,7 +208,10 @@ mod tests {
 
     fn small_env_cfg() -> NocEnvConfig {
         NocEnvConfig {
-            action_space: ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 },
+            action_space: ActionSpace::PerRegionDelta {
+                num_regions: 4,
+                num_levels: 4,
+            },
             sim: small_sim(),
             epoch_cycles: 150,
             epochs_per_episode: 4,
@@ -215,8 +238,12 @@ mod tests {
     fn static_min_saves_energy_but_adds_latency() {
         let mut hi = StaticController::max();
         let mut lo = StaticController::min();
-        let a = run_controller(&small_sim(), &mut hi, 8, 200).unwrap().aggregate;
-        let b = run_controller(&small_sim(), &mut lo, 8, 200).unwrap().aggregate;
+        let a = run_controller(&small_sim(), &mut hi, 8, 200)
+            .unwrap()
+            .aggregate;
+        let b = run_controller(&small_sim(), &mut lo, 8, 200)
+            .unwrap()
+            .aggregate;
         assert!(b.energy_pj < a.energy_pj, "min level must burn less energy");
         assert!(
             b.avg_latency > a.avg_latency,
@@ -266,7 +293,10 @@ mod tests {
     fn train_tabular_smoke() {
         let (agent, curve, _, _) = train_tabular(
             small_env_cfg(),
-            TabularConfig { bins: 3, ..TabularConfig::default() },
+            TabularConfig {
+                bins: 3,
+                ..TabularConfig::default()
+            },
             TrainConfig {
                 episodes: 3,
                 max_steps: 4,

@@ -1,0 +1,156 @@
+//! Determinism and equivalence guarantees of the scenario-sweep engine.
+
+use noc_selfconf::{SweepGrid, SweepReport};
+use noc_sim::{RoutingAlgorithm, SimConfig, TrafficPattern};
+
+/// A fast grid: 8 scenarios on small meshes with short windows.
+fn quick_grid() -> SweepGrid {
+    SweepGrid {
+        base: SimConfig::default().with_regions(2, 2),
+        sizes: vec![(4, 4)],
+        patterns: vec![TrafficPattern::Uniform, TrafficPattern::Transpose],
+        rates: vec![0.05, 0.10],
+        routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
+        levels: vec![None],
+        warmup: 200,
+        measure: 500,
+        drain: 500,
+        base_seed: 7,
+    }
+}
+
+fn to_json(report: &SweepReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let grid = quick_grid();
+    let a = to_json(&grid.run(4).expect("valid grid"));
+    let b = to_json(&grid.run(4).expect("valid grid"));
+    assert_eq!(
+        a, b,
+        "same grid + seeds must reproduce the same report bytes"
+    );
+}
+
+#[test]
+fn parallel_equals_serial() {
+    let grid = quick_grid();
+    let parallel = grid.run(4).expect("valid grid");
+    let serial = grid.run_serial().expect("valid grid");
+    assert_eq!(
+        to_json(&parallel),
+        to_json(&serial),
+        "thread scheduling must not leak into results"
+    );
+    // Spot-check structured equality too, scenario by scenario.
+    assert_eq!(parallel.scenarios.len(), serial.scenarios.len());
+    for (p, s) in parallel.scenarios.iter().zip(&serial.scenarios) {
+        assert_eq!(
+            p, s,
+            "scenario {} diverged between parallel and serial",
+            p.label
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let grid = quick_grid();
+    let one = to_json(&grid.run(1).expect("valid grid"));
+    let three = to_json(&grid.run(3).expect("valid grid"));
+    let many = to_json(&grid.run(64).expect("valid grid"));
+    assert_eq!(one, three);
+    assert_eq!(
+        one, many,
+        "oversubscribed pools must still be deterministic"
+    );
+}
+
+#[test]
+fn different_base_seed_changes_results() {
+    let grid = quick_grid();
+    let other = SweepGrid {
+        base_seed: 8,
+        ..quick_grid()
+    };
+    let a = grid.run(2).expect("valid grid");
+    let b = other.run(2).expect("valid grid");
+    assert_ne!(
+        to_json(&a),
+        to_json(&b),
+        "the base seed must actually reach the per-scenario simulators"
+    );
+}
+
+#[test]
+fn report_shape_and_aggregate_are_consistent() {
+    let report = quick_grid().run(4).expect("valid grid");
+    assert_eq!(report.scenarios.len(), 8);
+    assert_eq!(report.aggregate.num_scenarios, 8);
+    // Grid order: indices are 0..n in order.
+    for (i, r) in report.scenarios.iter().enumerate() {
+        assert_eq!(r.index, i);
+        assert!(
+            r.metrics.cycles > 0,
+            "{}: empty measurement window",
+            r.label
+        );
+    }
+    // At these light loads nothing saturates and latency is meaningful.
+    assert_eq!(report.aggregate.saturated_scenarios, 0);
+    assert!(report.aggregate.avg_packet_latency.is_finite());
+    assert!(report.aggregate.min_latency <= report.aggregate.max_latency);
+    assert!(!report.aggregate.peak_throughput_scenario.is_empty());
+    assert!(report.aggregate.total_energy_pj > 0.0);
+    // The aggregate's extremes point at real scenarios.
+    assert!(report
+        .scenarios
+        .iter()
+        .any(|r| r.label == report.aggregate.min_latency_scenario));
+    assert!(report
+        .scenarios
+        .iter()
+        .any(|r| r.label == report.aggregate.best_edp_scenario));
+}
+
+#[test]
+fn report_roundtrips_through_json() {
+    let report = quick_grid().run(2).expect("valid grid");
+    let json = to_json(&report);
+    let back: SweepReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(to_json(&back), json, "JSON round-trip must be lossless");
+}
+
+#[test]
+fn dvfs_level_axis_is_applied() {
+    let grid = SweepGrid {
+        levels: vec![Some(0), Some(3)],
+        rates: vec![0.05],
+        patterns: vec![TrafficPattern::Uniform],
+        routings: vec![RoutingAlgorithm::Xy],
+        sizes: vec![(4, 4)],
+        ..quick_grid()
+    };
+    let report = grid.run(2).expect("valid grid");
+    assert_eq!(report.scenarios.len(), 2);
+    let low = &report.scenarios[0];
+    let high = &report.scenarios[1];
+    assert!(low.label.ends_with("/L0"), "label {}", low.label);
+    assert!(high.label.ends_with("/L3"), "label {}", high.label);
+    // The lowest V/F level must be slower and cheaper per flit than the
+    // highest (the monotonicity the DVFS model guarantees).
+    assert!(
+        low.metrics.avg_packet_latency > high.metrics.avg_packet_latency,
+        "L0 latency {} must exceed L3 latency {}",
+        low.metrics.avg_packet_latency,
+        high.metrics.avg_packet_latency
+    );
+    let per_flit =
+        |r: &noc_selfconf::ScenarioResult| r.metrics.energy_pj / r.metrics.ejected_flits as f64;
+    assert!(
+        per_flit(low) < per_flit(high),
+        "L0 energy/flit must undercut L3"
+    );
+}

@@ -79,7 +79,12 @@ mod tests {
     #[test]
     fn derivatives_match_numerical() {
         let h = 1e-3f32;
-        for a in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Linear] {
+        for a in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Linear,
+        ] {
             for &x in &[-1.5f32, -0.3, 0.4, 2.0] {
                 if a == Activation::Relu && x.abs() < 2.0 * h {
                     continue; // kink

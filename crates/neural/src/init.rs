@@ -55,7 +55,9 @@ mod tests {
     #[test]
     fn samples_are_spread_out() {
         let mut rng = StdRng::seed_from_u64(1);
-        let vals: Vec<f32> = (0..500).map(|_| Init::XavierUniform.sample(10, 10, &mut rng)).collect();
+        let vals: Vec<f32> = (0..500)
+            .map(|_| Init::XavierUniform.sample(10, 10, &mut rng))
+            .collect();
         let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean} should be near zero");
         let distinct = vals.windows(2).filter(|w| w[0] != w[1]).count();

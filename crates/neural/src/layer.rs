@@ -92,8 +92,14 @@ impl Dense {
     /// # Panics
     /// Panics if no training-mode forward pass preceded this call.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("backward without cached forward");
-        let output = self.output.as_ref().expect("backward without cached forward");
+        let input = self
+            .input
+            .as_ref()
+            .expect("backward without cached forward");
+        let output = self
+            .output
+            .as_ref()
+            .expect("backward without cached forward");
         // dz = grad_out ⊙ f'(y)
         let mut dz = grad_out.clone();
         let act = self.activation;
@@ -140,7 +146,9 @@ impl Dense {
 
     /// Accumulated gradients, if a backward pass ran: `(dW, db)`.
     pub fn grads(&self) -> Option<(&[f32], &[f32])> {
-        self.grad_w.as_ref().map(|g| (g.as_slice(), self.grad_b.as_slice()))
+        self.grad_w
+            .as_ref()
+            .map(|g| (g.as_slice(), self.grad_b.as_slice()))
     }
 
     /// Sum of squared gradient entries (0 if no backward pass ran).
@@ -251,7 +259,11 @@ mod tests {
             let lm = loss(&layer);
             layer.params_mut().0[i] = orig;
             let num = (lp - lm) / (2.0 * h);
-            assert!((num - gw[i]).abs() < 2e-2, "dW[{i}]: num {num} vs ana {}", gw[i]);
+            assert!(
+                (num - gw[i]).abs() < 2e-2,
+                "dW[{i}]: num {num} vs ana {}",
+                gw[i]
+            );
         }
         // Check bias gradients.
         for i in 0..2 {
@@ -262,7 +274,11 @@ mod tests {
             let lm = loss(&layer);
             layer.params_mut().1[i] = orig;
             let num = (lp - lm) / (2.0 * h);
-            assert!((num - gb[i]).abs() < 2e-2, "db[{i}]: num {num} vs ana {}", gb[i]);
+            assert!(
+                (num - gb[i]).abs() < 2e-2,
+                "db[{i}]: num {num} vs ana {}",
+                gb[i]
+            );
         }
         // Check input gradients.
         let base = loss(&layer);

@@ -35,6 +35,6 @@ pub use activation::Activation;
 pub use init::Init;
 pub use layer::Dense;
 pub use loss::Loss;
-pub use network::{ModelIoError, Mlp};
+pub use network::{Mlp, ModelIoError};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use tensor::Matrix;

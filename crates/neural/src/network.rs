@@ -39,10 +39,16 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two dims are given.
     pub fn new(dims: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
-        let hidden_init =
-            if hidden == Activation::Relu { Init::HeUniform } else { Init::XavierUniform };
+        let hidden_init = if hidden == Activation::Relu {
+            Init::HeUniform
+        } else {
+            Init::XavierUniform
+        };
         let layers = dims
             .windows(2)
             .enumerate()
@@ -124,7 +130,11 @@ impl Mlp {
 
     /// Global L2 norm of all accumulated gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.layers.iter().map(|l| l.grad_sq_sum()).sum::<f32>().sqrt()
+        self.layers
+            .iter()
+            .map(|l| l.grad_sq_sum())
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Clip gradients to a maximum global L2 norm. No-op when the norm is
@@ -177,7 +187,11 @@ impl Mlp {
     /// # Panics
     /// Panics on architecture mismatch.
     pub fn copy_params_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
             a.copy_params_from(b);
         }
@@ -188,7 +202,11 @@ impl Mlp {
     /// # Panics
     /// Panics on architecture mismatch.
     pub fn soft_update_from(&mut self, other: &Mlp, tau: f32) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
             a.soft_update_from(b, tau);
         }
@@ -231,7 +249,10 @@ mod tests {
         let mut net = Mlp::new(&[3, 6, 2], Activation::Tanh, Activation::Linear, 2);
         let x = Matrix::row(vec![0.1, -0.2, 0.5]);
         assert_eq!(net.forward(&x, false), net.predict(&x));
-        assert_eq!(net.predict_one(&[0.1, -0.2, 0.5]), net.predict(&x).as_slice().to_vec());
+        assert_eq!(
+            net.predict_one(&[0.1, -0.2, 0.5]),
+            net.predict(&x).as_slice().to_vec()
+        );
     }
 
     /// The canonical sanity check: learn XOR.
@@ -245,7 +266,10 @@ mod tests {
         for _ in 0..2000 {
             final_loss = net.train_batch(&x, &t, Loss::Mse, &mut opt);
         }
-        assert!(final_loss < 0.01, "XOR loss {final_loss} should reach < 0.01");
+        assert!(
+            final_loss < 0.01,
+            "XOR loss {final_loss} should reach < 0.01"
+        );
         let y = net.predict(&x);
         assert!(y.get(0, 0) < 0.2 && y.get(3, 0) < 0.2);
         assert!(y.get(1, 0) > 0.8 && y.get(2, 0) > 0.8);
@@ -288,7 +312,11 @@ mod tests {
         assert!(before > 1.0);
         let reported = net.clip_grad_norm(1.0);
         assert_eq!(reported, before);
-        assert!((net.grad_norm() - 1.0).abs() < 1e-3, "norm clipped to 1: {}", net.grad_norm());
+        assert!(
+            (net.grad_norm() - 1.0).abs() < 1e-3,
+            "norm clipped to 1: {}",
+            net.grad_norm()
+        );
         // Clipping below the cap is a no-op.
         let small = net.grad_norm();
         net.clip_grad_norm(10.0);

@@ -33,12 +33,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -51,7 +59,10 @@ impl Optimizer for Sgd {
             }
             return;
         }
-        let v = self.velocity.entry(slot).or_insert_with(|| vec![0.0; params.len()]);
+        let v = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| vec![0.0; params.len()]);
         assert_eq!(v.len(), params.len(), "slot reused with a different shape");
         for ((p, &g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
             *vi = self.momentum * *vi + g;
@@ -88,7 +99,13 @@ struct AdamSlot {
 impl Adam {
     /// Adam with standard hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, state: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
     }
 }
 
@@ -100,7 +117,11 @@ impl Optimizer for Adam {
             v: vec![0.0; params.len()],
             t: 0,
         });
-        assert_eq!(s.m.len(), params.len(), "slot reused with a different shape");
+        assert_eq!(
+            s.m.len(),
+            params.len(),
+            "slot reused with a different shape"
+        );
         s.t += 1;
         let bc1 = 1.0 - self.beta1.powi(s.t as i32);
         let bc2 = 1.0 - self.beta2.powi(s.t as i32);

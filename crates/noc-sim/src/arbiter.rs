@@ -54,7 +54,9 @@ impl RoundRobinArbiter {
     /// Peek at who would win without updating the priority pointer.
     pub fn peek(&self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n, "request vector length mismatch");
-        (0..self.n).map(|off| (self.next + off) % self.n).find(|&i| requests[i])
+        (0..self.n)
+            .map(|off| (self.next + off) % self.n)
+            .find(|&i| requests[i])
     }
 }
 

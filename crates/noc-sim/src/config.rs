@@ -55,7 +55,10 @@ impl Default for SimConfig {
             vc_depth: 4,
             packet_len: 5,
             routing: RoutingAlgorithm::Xy,
-            traffic: TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.10 },
+            traffic: TrafficSpec::Stationary {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.10,
+            },
             vf_table: VfTable::four_level(),
             regions_x: 2,
             regions_y: 2,
@@ -138,13 +141,19 @@ impl SimConfig {
     /// Returns the first violated constraint.
     pub fn validate(&self) -> SimResult<()> {
         if self.width == 0 || self.height == 0 {
-            return Err(SimError::InvalidConfig("grid dimensions must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "grid dimensions must be positive".into(),
+            ));
         }
         if self.num_vcs == 0 || self.vc_depth == 0 {
-            return Err(SimError::InvalidConfig("VC count and depth must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "VC count and depth must be positive".into(),
+            ));
         }
         if self.packet_len == 0 {
-            return Err(SimError::InvalidConfig("packet length must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "packet length must be positive".into(),
+            ));
         }
         if self.kind == TopologyKind::Torus && self.num_vcs < 2 {
             return Err(SimError::InvalidConfig(
@@ -225,12 +234,17 @@ mod tests {
             .validate()
             .is_err());
         // Torus routing on mesh.
-        assert!(SimConfig::default().with_routing(RoutingAlgorithm::TorusDor).validate().is_err());
+        assert!(SimConfig::default()
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .validate()
+            .is_err());
     }
 
     #[test]
     fn torus_needs_two_vcs() {
-        let mut c = SimConfig::default().with_vcs(1, 4).with_routing(RoutingAlgorithm::TorusDor);
+        let mut c = SimConfig::default()
+            .with_vcs(1, 4)
+            .with_routing(RoutingAlgorithm::TorusDor);
         c.kind = TopologyKind::Torus;
         assert!(c.validate().is_err());
         let mut c = SimConfig::default().with_routing(RoutingAlgorithm::TorusDor);

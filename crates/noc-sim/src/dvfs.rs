@@ -61,7 +61,9 @@ impl VfTable {
     /// increasing in frequency.
     pub fn new(levels: Vec<VfLevel>) -> SimResult<Self> {
         if levels.is_empty() {
-            return Err(SimError::InvalidConfig("V/F table must not be empty".into()));
+            return Err(SimError::InvalidConfig(
+                "V/F table must not be empty".into(),
+            ));
         }
         for l in &levels {
             if !(l.freq_scale > 0.0 && l.freq_scale <= 1.0) {
@@ -71,10 +73,16 @@ impl VfTable {
                 )));
             }
             if l.voltage <= 0.0 {
-                return Err(SimError::InvalidConfig(format!("non-positive voltage {}", l.voltage)));
+                return Err(SimError::InvalidConfig(format!(
+                    "non-positive voltage {}",
+                    l.voltage
+                )));
             }
         }
-        if levels.windows(2).any(|w| w[0].freq_scale >= w[1].freq_scale) {
+        if levels
+            .windows(2)
+            .any(|w| w[0].freq_scale >= w[1].freq_scale)
+        {
             return Err(SimError::InvalidConfig(
                 "V/F levels must be strictly increasing in frequency".into(),
             ));
@@ -86,10 +94,22 @@ impl VfTable {
     /// (0.6 V, 0.4×), (0.8 V, 0.6×), (1.0 V, 0.8×), (1.1 V, 1.0×).
     pub fn four_level() -> Self {
         VfTable::new(vec![
-            VfLevel { voltage: 0.6, freq_scale: 0.4 },
-            VfLevel { voltage: 0.8, freq_scale: 0.6 },
-            VfLevel { voltage: 1.0, freq_scale: 0.8 },
-            VfLevel { voltage: 1.1, freq_scale: 1.0 },
+            VfLevel {
+                voltage: 0.6,
+                freq_scale: 0.4,
+            },
+            VfLevel {
+                voltage: 0.8,
+                freq_scale: 0.6,
+            },
+            VfLevel {
+                voltage: 1.0,
+                freq_scale: 0.8,
+            },
+            VfLevel {
+                voltage: 1.1,
+                freq_scale: 1.0,
+            },
         ])
         .expect("built-in table is valid")
     }
@@ -97,8 +117,14 @@ impl VfTable {
     /// A two-level table (low / nominal), useful for tabular baselines.
     pub fn two_level() -> Self {
         VfTable::new(vec![
-            VfLevel { voltage: 0.7, freq_scale: 0.5 },
-            VfLevel { voltage: 1.1, freq_scale: 1.0 },
+            VfLevel {
+                voltage: 0.7,
+                freq_scale: 0.5,
+            },
+            VfLevel {
+                voltage: 1.1,
+                freq_scale: 1.0,
+            },
         ])
         .expect("built-in table is valid")
     }
@@ -116,7 +142,10 @@ impl VfTable {
         self.levels
             .get(idx)
             .copied()
-            .ok_or(SimError::VfLevelOutOfRange { level: idx, levels: self.levels.len() })
+            .ok_or(SimError::VfLevelOutOfRange {
+                level: idx,
+                levels: self.levels.len(),
+            })
     }
 
     /// Index of the nominal (fastest) level.
@@ -159,7 +188,9 @@ impl RegionMap {
     /// dimension.
     pub fn new(topo: &Topology, regions_x: usize, regions_y: usize) -> SimResult<Self> {
         if regions_x == 0 || regions_y == 0 {
-            return Err(SimError::InvalidConfig("region counts must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "region counts must be positive".into(),
+            ));
         }
         if regions_x > topo.width() || regions_y > topo.height() {
             return Err(SimError::InvalidConfig(format!(
@@ -168,7 +199,12 @@ impl RegionMap {
                 topo.height()
             )));
         }
-        Ok(RegionMap { regions_x, regions_y, width: topo.width(), height: topo.height() })
+        Ok(RegionMap {
+            regions_x,
+            regions_y,
+            width: topo.width(),
+            height: topo.height(),
+        })
     }
 
     /// Total number of regions.
@@ -186,7 +222,9 @@ impl RegionMap {
 
     /// All nodes belonging to `region`.
     pub fn nodes_in(&self, topo: &Topology, region: usize) -> Vec<NodeId> {
-        topo.nodes().filter(|&n| self.region_of(topo, n) == region).collect()
+        topo.nodes()
+            .filter(|&n| self.region_of(topo, n) == region)
+            .collect()
     }
 }
 
@@ -224,7 +262,10 @@ pub struct ClockGate {
 impl ClockGate {
     /// A gate running at the given relative frequency.
     pub fn new(freq_scale: f64) -> Self {
-        ClockGate { freq_scale, phase: 0.0 }
+        ClockGate {
+            freq_scale,
+            phase: 0.0,
+        }
     }
 
     /// Change the relative frequency (takes effect from the next tick).
@@ -279,11 +320,25 @@ mod tests {
     #[test]
     fn invalid_tables_rejected() {
         assert!(VfTable::new(vec![]).is_err());
-        assert!(VfTable::new(vec![VfLevel { voltage: 1.0, freq_scale: 1.5 }]).is_err());
-        assert!(VfTable::new(vec![VfLevel { voltage: -1.0, freq_scale: 0.5 }]).is_err());
+        assert!(VfTable::new(vec![VfLevel {
+            voltage: 1.0,
+            freq_scale: 1.5
+        }])
+        .is_err());
+        assert!(VfTable::new(vec![VfLevel {
+            voltage: -1.0,
+            freq_scale: 0.5
+        }])
+        .is_err());
         assert!(VfTable::new(vec![
-            VfLevel { voltage: 1.0, freq_scale: 0.8 },
-            VfLevel { voltage: 1.1, freq_scale: 0.8 },
+            VfLevel {
+                voltage: 1.0,
+                freq_scale: 0.8
+            },
+            VfLevel {
+                voltage: 1.1,
+                freq_scale: 0.8
+            },
         ])
         .is_err());
     }
@@ -293,7 +348,10 @@ mod tests {
         let t = VfTable::two_level();
         assert_eq!(
             t.level(5),
-            Err(SimError::VfLevelOutOfRange { level: 5, levels: 2 })
+            Err(SimError::VfLevelOutOfRange {
+                level: 5,
+                levels: 2
+            })
         );
     }
 
@@ -321,7 +379,9 @@ mod tests {
     fn region_nodes_in_is_consistent() {
         let topo = Topology::mesh(4, 4);
         let rm = RegionMap::new(&topo, 2, 1).unwrap();
-        let all: usize = (0..rm.num_regions()).map(|r| rm.nodes_in(&topo, r).len()).sum();
+        let all: usize = (0..rm.num_regions())
+            .map(|r| rm.nodes_in(&topo, r).len())
+            .sum();
         assert_eq!(all, topo.num_nodes());
     }
 
@@ -343,7 +403,12 @@ mod tests {
 
     #[test]
     fn throttle_event_window_is_half_open() {
-        let t = ThrottleEvent { start: 100, duration: 50, region: 0, level: 0 };
+        let t = ThrottleEvent {
+            start: 100,
+            duration: 50,
+            region: 0,
+            level: 0,
+        };
         assert!(!t.active_at(99));
         assert!(t.active_at(100));
         assert!(t.active_at(149));

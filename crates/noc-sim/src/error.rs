@@ -38,10 +38,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::NodeOutOfRange { node, nodes } => {
-                write!(f, "node {node} out of range for topology with {nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for topology with {nodes} nodes"
+                )
             }
             SimError::VfLevelOutOfRange { level, levels } => {
-                write!(f, "V/F level {level} out of range for table with {levels} levels")
+                write!(
+                    f,
+                    "V/F level {level} out of range for table with {levels} levels"
+                )
             }
             SimError::RegionOutOfRange { region, regions } => {
                 write!(f, "region {region} out of range for {regions} regions")
@@ -63,8 +69,14 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_informative() {
         let e = SimError::InvalidConfig("mesh width must be > 0".into());
-        assert_eq!(e.to_string(), "invalid configuration: mesh width must be > 0");
-        let e = SimError::NodeOutOfRange { node: 99, nodes: 64 };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: mesh width must be > 0"
+        );
+        let e = SimError::NodeOutOfRange {
+            node: 99,
+            nodes: 64,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("64"));
     }

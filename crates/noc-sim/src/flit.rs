@@ -136,7 +136,13 @@ mod tests {
     use super::*;
 
     fn packet(len: u32) -> Packet {
-        Packet { id: PacketId(7), src: NodeId(0), dst: NodeId(3), len_flits: len, created_at: 10 }
+        Packet {
+            id: PacketId(7),
+            src: NodeId(0),
+            dst: NodeId(3),
+            len_flits: len,
+            created_at: 10,
+        }
     }
 
     #[test]

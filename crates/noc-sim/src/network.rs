@@ -44,7 +44,11 @@ impl InjectionQueue {
     /// Flits still waiting (queued packets plus the partially injected one).
     fn backlog_flits(&self) -> usize {
         self.current.len()
-            + self.packets.iter().map(|p| p.len_flits as usize).sum::<usize>()
+            + self
+                .packets
+                .iter()
+                .map(|p| p.len_flits as usize)
+                .sum::<usize>()
     }
 }
 
@@ -110,9 +114,7 @@ impl Network {
         let max_level = config.vf_table.max_level();
         let gates = topo
             .nodes()
-            .map(|_| {
-                ClockGate::new(config.vf_table.levels()[max_level].freq_scale)
-            })
+            .map(|_| ClockGate::new(config.vf_table.levels()[max_level].freq_scale))
             .collect();
         let links_out = topo
             .nodes()
@@ -343,7 +345,9 @@ impl Network {
             {
                 leak *= self.power.idle_leakage_fraction;
             }
-            stats.energy.record_leakage(&self.power, self.links_out[i], leak);
+            stats
+                .energy
+                .record_leakage(&self.power, self.links_out[i], leak);
             if !self.gates[i].tick() {
                 continue; // clock-gated this cycle
             }
@@ -365,19 +369,25 @@ impl Network {
                             .topo
                             .neighbor(node, out_port)
                             .expect("router forwarded off the edge");
-                        deliveries.push(Delivery { to, in_port: out_port.opposite(), flit });
+                        deliveries.push(Delivery {
+                            to,
+                            in_port: out_port.opposite(),
+                            flit,
+                        });
                         stats.record_forward(i, self.topo.num_nodes());
-                        stats.energy.record(
-                            &self.power,
-                            PowerEvent::LinkTraversal,
-                            dynamic_scale,
-                        );
+                        stats
+                            .energy
+                            .record(&self.power, PowerEvent::LinkTraversal, dynamic_scale);
                     }
                     RouterEvent::Eject { flit } => {
                         stats.record_ejection(&flit, self.cycle);
                     }
                     RouterEvent::Credit { in_port, vc } => {
-                        credits.push(CreditReturn { at: node, in_port, vc });
+                        credits.push(CreditReturn {
+                            at: node,
+                            in_port,
+                            vc,
+                        });
                     }
                 }
             }
@@ -424,7 +434,10 @@ impl Network {
         if self.topo.kind() != TopologyKind::Torus {
             return false;
         }
-        let from = self.topo.neighbor(to, in_port).expect("delivery from a missing neighbor");
+        let from = self
+            .topo
+            .neighbor(to, in_port)
+            .expect("delivery from a missing neighbor");
         self.crosses_dateline(from, in_port.opposite())
     }
 
@@ -456,8 +469,11 @@ impl Network {
                     // Head flit: claim a free local-input VC. Injected packets
                     // are dateline class 0, so claim from the class-0 range
                     // on tori.
-                    let limit =
-                        if is_torus { q.vc_states.len() / 2 } else { q.vc_states.len() };
+                    let limit = if is_torus {
+                        q.vc_states.len() / 2
+                    } else {
+                        q.vc_states.len()
+                    };
                     match (0..limit).find(|&v| q.vc_states[v].is_free()) {
                         Some(vc) => {
                             q.vc_states[vc].owner = Some(head.packet);
@@ -512,7 +528,13 @@ mod tests {
     }
 
     fn packet(id: u64, src: usize, dst: usize, len: u32, t: u64) -> Packet {
-        Packet { id: PacketId(id), src: NodeId(src), dst: NodeId(dst), len_flits: len, created_at: t }
+        Packet {
+            id: PacketId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            len_flits: len,
+            created_at: t,
+        }
     }
 
     #[test]
@@ -587,7 +609,10 @@ mod tests {
                     break;
                 }
             }
-            assert_eq!(stats.ejected_packets, id, "{alg:?} must drain all-to-all traffic");
+            assert_eq!(
+                stats.ejected_packets, id,
+                "{alg:?} must drain all-to-all traffic"
+            );
         }
     }
 
@@ -612,7 +637,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(stats.ejected_packets, id, "torus must drain all-to-all traffic");
+        assert_eq!(
+            stats.ejected_packets, id,
+            "torus must drain all-to-all traffic"
+        );
     }
 
     #[test]
@@ -655,7 +683,10 @@ mod tests {
         };
         let hi = run(3);
         let lo = run(0);
-        assert!(lo < hi * 0.5, "dynamic energy should scale with V²: hi={hi}, lo={lo}");
+        assert!(
+            lo < hi * 0.5,
+            "dynamic energy should scale with V²: hi={hi}, lo={lo}"
+        );
     }
 
     #[test]
@@ -687,7 +718,11 @@ mod tests {
         assert_eq!(net.backlog(), 5);
         assert_eq!(net.occupancy(), 0);
         net.step(&mut stats);
-        assert_eq!(net.in_flight(), 5, "flits conserved between queue and buffers");
+        assert_eq!(
+            net.in_flight(),
+            5,
+            "flits conserved between queue and buffers"
+        );
         let cap: usize = net.region_capacity().iter().sum();
         assert_eq!(cap, 16 * 5 * cfg.num_vcs * cfg.vc_depth);
     }
@@ -728,8 +763,16 @@ mod tests {
             net.step(&mut stats);
         }
         assert!(net.throttle_active());
-        assert_eq!(net.region_levels(), &[3, 3, 3, 3], "requested level unchanged");
-        assert_eq!(net.effective_region_levels(), &[0, 3, 3, 3], "region 0 throttled");
+        assert_eq!(
+            net.region_levels(),
+            &[3, 3, 3, 3],
+            "requested level unchanged"
+        );
+        assert_eq!(
+            net.effective_region_levels(),
+            &[0, 3, 3, 3],
+            "region 0 throttled"
+        );
         // The controller cannot override the emergency.
         net.set_region_level(0, 3).unwrap();
         net.step(&mut stats);
@@ -767,7 +810,10 @@ mod tests {
             }
             panic!("packet not delivered");
         };
-        assert!(run(true) > run(false) * 2, "throttled region must be much slower");
+        assert!(
+            run(true) > run(false) * 2,
+            "throttled region must be much slower"
+        );
     }
 
     #[test]

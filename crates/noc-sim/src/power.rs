@@ -61,7 +61,10 @@ impl PowerModel {
     /// The default model with idle power gating enabled (gated routers leak
     /// at 20 % of nominal).
     pub fn with_power_gating() -> Self {
-        PowerModel { idle_leakage_fraction: 0.2, ..PowerModel::default_32nm() }
+        PowerModel {
+            idle_leakage_fraction: 0.2,
+            ..PowerModel::default_32nm()
+        }
     }
 }
 
@@ -160,7 +163,10 @@ impl EnergyMeter {
     /// Panics (debug builds) if `earlier` is not a prefix of `self` in event
     /// count, which indicates snapshots were taken out of order.
     pub fn since(&self, earlier: &EnergyMeter) -> EnergyMeter {
-        debug_assert!(self.events >= earlier.events, "energy snapshots out of order");
+        debug_assert!(
+            self.events >= earlier.events,
+            "energy snapshots out of order"
+        );
         EnergyMeter {
             dynamic_pj: self.dynamic_pj - earlier.dynamic_pj,
             leakage_pj: self.leakage_pj - earlier.leakage_pj,

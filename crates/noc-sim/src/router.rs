@@ -95,15 +95,19 @@ impl Router {
     pub fn new(id: NodeId, num_vcs: usize, vc_depth: usize, vc_partition: bool) -> Self {
         assert!(num_vcs > 0, "router needs at least one VC");
         assert!(vc_depth > 0, "VC depth must be positive");
-        assert!(!vc_partition || num_vcs >= 2, "VC partitioning requires >= 2 VCs");
+        assert!(
+            !vc_partition || num_vcs >= 2,
+            "VC partitioning requires >= 2 VCs"
+        );
         let inputs = (0..Port::COUNT)
             .map(|_| (0..num_vcs).map(|_| InputVc::new(vc_depth)).collect())
             .collect();
         let outputs = (0..Port::COUNT)
             .map(|_| (0..num_vcs).map(|_| OutputVcState::new(vc_depth)).collect())
             .collect();
-        let sw_arb =
-            (0..Port::COUNT).map(|_| RoundRobinArbiter::new(Port::COUNT * num_vcs)).collect();
+        let sw_arb = (0..Port::COUNT)
+            .map(|_| RoundRobinArbiter::new(Port::COUNT * num_vcs))
+            .collect();
         Router {
             id,
             num_vcs,
@@ -153,7 +157,8 @@ impl Router {
     /// # Panics
     /// Panics if the buffer is full (a flow-control violation).
     pub fn accept(&mut self, port: Port, flit: Flit, ctx: &mut RouterCtx<'_>) {
-        ctx.meter.record(ctx.power, PowerEvent::BufferWrite, ctx.dynamic_scale);
+        ctx.meter
+            .record(ctx.power, PowerEvent::BufferWrite, ctx.dynamic_scale);
         self.inputs[port.index()][flit.vc].buf.push(flit);
     }
 
@@ -242,9 +247,12 @@ impl Router {
             if is_tail {
                 ivc.release();
             }
-            ctx.meter.record(ctx.power, PowerEvent::BufferRead, ctx.dynamic_scale);
-            ctx.meter.record(ctx.power, PowerEvent::SwitchArb, ctx.dynamic_scale);
-            ctx.meter.record(ctx.power, PowerEvent::Crossbar, ctx.dynamic_scale);
+            ctx.meter
+                .record(ctx.power, PowerEvent::BufferRead, ctx.dynamic_scale);
+            ctx.meter
+                .record(ctx.power, PowerEvent::SwitchArb, ctx.dynamic_scale);
+            ctx.meter
+                .record(ctx.power, PowerEvent::Crossbar, ctx.dynamic_scale);
             if out_port == Port::Local {
                 events.push(RouterEvent::Eject { flit });
             } else {
@@ -275,10 +283,14 @@ impl Router {
                 if out_port == Port::Local {
                     // Ejection needs no downstream VC; claim slot 0 nominally.
                     self.inputs[ip][vc].out_vc = Some(0);
-                    ctx.meter.record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
+                    ctx.meter
+                        .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
                     continue;
                 }
-                let flit = self.inputs[ip][vc].buf.front().expect("awaiting implies flit");
+                let flit = self.inputs[ip][vc]
+                    .buf
+                    .front()
+                    .expect("awaiting implies flit");
                 debug_assert!(flit.is_head(), "VA on a non-head flit");
                 let range = self.allowed_vcs(flit);
                 let packet = flit.packet;
@@ -291,7 +303,8 @@ impl Router {
                     self.outputs[op][ovc].owner = Some(packet);
                     self.inputs[ip][vc].out_vc = Some(ovc);
                     self.va_ptr[op] = self.va_ptr[op].wrapping_add(1);
-                    ctx.meter.record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
+                    ctx.meter
+                        .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
                 }
             }
         }
@@ -328,7 +341,8 @@ impl Router {
                         .expect("route returned no candidates")
                 };
                 self.inputs[ip][vc].route = Some(chosen);
-                ctx.meter.record(ctx.power, PowerEvent::RouteCompute, ctx.dynamic_scale);
+                ctx.meter
+                    .record(ctx.power, PowerEvent::RouteCompute, ctx.dynamic_scale);
             }
         }
     }
@@ -387,7 +401,13 @@ mod tests {
         let (port, flit) = fwd.expect("flit forwarded");
         assert_eq!(port, Port::East);
         assert_eq!(flit.hops, 1);
-        assert!(ev.iter().any(|e| matches!(e, RouterEvent::Credit { in_port: Port::Local, vc: 0 })));
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            RouterEvent::Credit {
+                in_port: Port::Local,
+                vc: 0
+            }
+        )));
     }
 
     #[test]
@@ -441,7 +461,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(forwarded, 2, "only vc_depth flits may be in flight without credits");
+        assert_eq!(
+            forwarded, 2,
+            "only vc_depth flits may be in flight without credits"
+        );
         // Returning credits unblocks... nothing more is buffered, so verify
         // credit accounting instead.
         assert_eq!(r.credits(Port::East, 0), 0);
@@ -517,8 +540,13 @@ mod tests {
         r.accept(Port::Local, flit, &mut ctx);
         r.step(&mut ctx); // RC
         r.step(&mut ctx); // VA
-        let out_vc = r.inputs[Port::Local.index()][0].out_vc.expect("VC allocated");
-        assert!(out_vc >= 2, "class-1 flit must use the upper VC half, got {out_vc}");
+        let out_vc = r.inputs[Port::Local.index()][0]
+            .out_vc
+            .expect("VC allocated");
+        assert!(
+            out_vc >= 2,
+            "class-1 flit must use the upper VC half, got {out_vc}"
+        );
     }
 
     #[test]

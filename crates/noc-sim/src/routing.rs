@@ -37,6 +37,36 @@ pub enum RoutingAlgorithm {
 }
 
 impl RoutingAlgorithm {
+    /// Every algorithm paired with its canonical short name — the single
+    /// table behind [`RoutingAlgorithm::name`] and
+    /// [`RoutingAlgorithm::from_name`].
+    pub const NAMED: [(&'static str, RoutingAlgorithm); 7] = [
+        ("xy", RoutingAlgorithm::Xy),
+        ("yx", RoutingAlgorithm::Yx),
+        ("westfirst", RoutingAlgorithm::WestFirst),
+        ("northlast", RoutingAlgorithm::NorthLast),
+        ("negfirst", RoutingAlgorithm::NegativeFirst),
+        ("oddeven", RoutingAlgorithm::OddEven),
+        ("torusdor", RoutingAlgorithm::TorusDor),
+    ];
+
+    /// The algorithm's canonical short name.
+    pub fn name(self) -> &'static str {
+        Self::NAMED
+            .iter()
+            .find(|(_, a)| *a == self)
+            .map(|(n, _)| *n)
+            .expect("every algorithm is in NAMED")
+    }
+
+    /// Look up an algorithm by its canonical short name.
+    pub fn from_name(name: &str) -> Option<RoutingAlgorithm> {
+        Self::NAMED
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, a)| *a)
+    }
+
     /// Whether the algorithm may return more than one candidate port
     /// (adaptive) or always exactly one (deterministic/oblivious).
     pub fn is_adaptive(self) -> bool {
@@ -61,7 +91,10 @@ impl RoutingAlgorithm {
 /// Signed offsets toward the destination: `(ex, ey)` where positive `ex`
 /// means the destination lies east and positive `ey` means south.
 fn offsets(cur: Coord, dst: Coord) -> (isize, isize) {
-    (dst.x as isize - cur.x as isize, dst.y as isize - cur.y as isize)
+    (
+        dst.x as isize - cur.x as isize,
+        dst.y as isize - cur.y as isize,
+    )
 }
 
 /// Compute the set of candidate output ports for a flit currently at `cur`,
@@ -257,7 +290,11 @@ fn route_torus_dor(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
     let (ex, ey) = offsets(c, d);
     if ex != 0 {
         let east_hops = ex.rem_euclid(w);
-        return if east_hops <= w - east_hops { vec![Port::East] } else { vec![Port::West] };
+        return if east_hops <= w - east_hops {
+            vec![Port::East]
+        } else {
+            vec![Port::West]
+        };
     }
     let south_hops = ey.rem_euclid(h);
     if south_hops <= h - south_hops {
@@ -298,7 +335,10 @@ where
             .neighbor(cur, port)
             .unwrap_or_else(|| panic!("routing sent flit off the edge at {cur} via {port}"));
         path.push(cur);
-        assert!(path.len() <= bound, "routing walk exceeded {bound} hops ({alg:?})");
+        assert!(
+            path.len() <= bound,
+            "routing walk exceeded {bound} hops ({alg:?})"
+        );
     }
     path
 }
@@ -320,7 +360,10 @@ mod tests {
     fn local_delivery_at_destination() {
         let t = Topology::mesh(4, 4);
         for alg in MESH_ALGS {
-            assert_eq!(route(alg, &t, NodeId(5), NodeId(0), NodeId(5)), vec![Port::Local]);
+            assert_eq!(
+                route(alg, &t, NodeId(5), NodeId(0), NodeId(5)),
+                vec![Port::Local]
+            );
         }
     }
 
@@ -328,21 +371,24 @@ mod tests {
     fn xy_routes_x_before_y() {
         let t = Topology::mesh(4, 4);
         // From (0,0) to (2,2): go east first.
-        assert_eq!(route(RoutingAlgorithm::Xy, &t, NodeId(0), NodeId(0), NodeId(10)), vec![
-            Port::East
-        ]);
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &t, NodeId(0), NodeId(0), NodeId(10)),
+            vec![Port::East]
+        );
         // Aligned in x: go south.
-        assert_eq!(route(RoutingAlgorithm::Xy, &t, NodeId(2), NodeId(0), NodeId(10)), vec![
-            Port::South
-        ]);
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &t, NodeId(2), NodeId(0), NodeId(10)),
+            vec![Port::South]
+        );
     }
 
     #[test]
     fn yx_routes_y_before_x() {
         let t = Topology::mesh(4, 4);
-        assert_eq!(route(RoutingAlgorithm::Yx, &t, NodeId(0), NodeId(0), NodeId(10)), vec![
-            Port::South
-        ]);
+        assert_eq!(
+            route(RoutingAlgorithm::Yx, &t, NodeId(0), NodeId(0), NodeId(10)),
+            vec![Port::South]
+        );
     }
 
     #[test]
@@ -377,7 +423,13 @@ mod tests {
     fn west_first_takes_west_hops_first() {
         let t = Topology::mesh(4, 4);
         // From (3,0) to (0,2): must head west while any west hop remains.
-        let cands = route(RoutingAlgorithm::WestFirst, &t, NodeId(3), NodeId(3), NodeId(8));
+        let cands = route(
+            RoutingAlgorithm::WestFirst,
+            &t,
+            NodeId(3),
+            NodeId(3),
+            NodeId(8),
+        );
         assert_eq!(cands, vec![Port::West]);
     }
 
@@ -385,7 +437,13 @@ mod tests {
     fn west_first_is_adaptive_when_no_west_hops() {
         let t = Topology::mesh(4, 4);
         // From (0,0) to (2,2): east and south both minimal and allowed.
-        let cands = route(RoutingAlgorithm::WestFirst, &t, NodeId(0), NodeId(0), NodeId(10));
+        let cands = route(
+            RoutingAlgorithm::WestFirst,
+            &t,
+            NodeId(0),
+            NodeId(0),
+            NodeId(10),
+        );
         assert!(cands.contains(&Port::East) && cands.contains(&Port::South));
     }
 
@@ -393,10 +451,22 @@ mod tests {
     fn north_last_defers_north() {
         let t = Topology::mesh(4, 4);
         // From (0,2) to (2,0): north needed but east available -> east only.
-        let cands = route(RoutingAlgorithm::NorthLast, &t, NodeId(8), NodeId(8), NodeId(2));
+        let cands = route(
+            RoutingAlgorithm::NorthLast,
+            &t,
+            NodeId(8),
+            NodeId(8),
+            NodeId(2),
+        );
         assert_eq!(cands, vec![Port::East]);
         // Aligned in x: now north is permitted.
-        let cands = route(RoutingAlgorithm::NorthLast, &t, NodeId(10), NodeId(8), NodeId(2));
+        let cands = route(
+            RoutingAlgorithm::NorthLast,
+            &t,
+            NodeId(10),
+            NodeId(8),
+            NodeId(2),
+        );
         assert_eq!(cands, vec![Port::North]);
     }
 
@@ -404,10 +474,22 @@ mod tests {
     fn negative_first_takes_negative_hops_first() {
         let t = Topology::mesh(4, 4);
         // From (1,1) to (0,3): west (negative) before south (positive).
-        let cands = route(RoutingAlgorithm::NegativeFirst, &t, NodeId(5), NodeId(5), NodeId(12));
+        let cands = route(
+            RoutingAlgorithm::NegativeFirst,
+            &t,
+            NodeId(5),
+            NodeId(5),
+            NodeId(12),
+        );
         assert_eq!(cands, vec![Port::West]);
         // From (0,1) to (2,3): only positive hops remain -> adaptive.
-        let cands = route(RoutingAlgorithm::NegativeFirst, &t, NodeId(4), NodeId(4), NodeId(14));
+        let cands = route(
+            RoutingAlgorithm::NegativeFirst,
+            &t,
+            NodeId(4),
+            NodeId(4),
+            NodeId(14),
+        );
         assert!(cands.contains(&Port::East) && cands.contains(&Port::South));
     }
 
@@ -419,14 +501,13 @@ mod tests {
         for src in t.nodes() {
             for dst in t.nodes() {
                 for pick_last in [false, true] {
-                    let path =
-                        walk_route(RoutingAlgorithm::OddEven, &t, src, dst, |c| {
-                            if pick_last {
-                                c.len() - 1
-                            } else {
-                                0
-                            }
-                        });
+                    let path = walk_route(RoutingAlgorithm::OddEven, &t, src, dst, |c| {
+                        if pick_last {
+                            c.len() - 1
+                        } else {
+                            0
+                        }
+                    });
                     let mut prev_dir: Option<Port> = None;
                     for win in path.windows(2) {
                         let (a, b) = (t.coord(win[0]), t.coord(win[1]));
@@ -441,10 +522,9 @@ mod tests {
                         };
                         if let Some(p) = prev_dir {
                             let col_even = a.x % 2 == 0;
-                            let en_es = p == Port::East
-                                && (dir == Port::North || dir == Port::South);
-                            let nw_sw = (p == Port::North || p == Port::South)
-                                && dir == Port::West;
+                            let en_es =
+                                p == Port::East && (dir == Port::North || dir == Port::South);
+                            let nw_sw = (p == Port::North || p == Port::South) && dir == Port::West;
                             assert!(!en_es || !col_even, "EN/ES turn in even column at {a}");
                             assert!(!nw_sw || col_even, "NW/SW turn in odd column at {a}");
                         }
@@ -481,7 +561,13 @@ mod tests {
     #[should_panic(expected = "does not support")]
     fn torus_dor_on_mesh_panics() {
         let t = Topology::mesh(4, 4);
-        let _ = route(RoutingAlgorithm::TorusDor, &t, NodeId(0), NodeId(0), NodeId(1));
+        let _ = route(
+            RoutingAlgorithm::TorusDor,
+            &t,
+            NodeId(0),
+            NodeId(0),
+            NodeId(1),
+        );
     }
 
     #[test]

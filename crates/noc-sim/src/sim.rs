@@ -46,10 +46,19 @@ impl Simulator {
     pub fn new(config: SimConfig) -> SimResult<Self> {
         let network = Network::new(&config)?;
         let topo = network.topology().clone();
-        let traffic =
-            TrafficGenerator::new(&topo, config.traffic.clone(), config.packet_len, config.seed)?;
+        let traffic = TrafficGenerator::new(
+            &topo,
+            config.traffic.clone(),
+            config.packet_len,
+            config.seed,
+        )?;
         let stats = StatsCollector::new(network.regions().num_regions());
-        Ok(Simulator { config, network, traffic, stats })
+        Ok(Simulator {
+            config,
+            network,
+            traffic,
+            stats,
+        })
     }
 
     /// The configuration this simulator was built from.
@@ -175,7 +184,11 @@ impl Simulator {
         let saturated = growth > (self.config.packet_len as f64) * nodes as f64;
         let unfinished = window.injected_flits.saturating_sub(window.ejected_flits)
             / self.config.packet_len as u64;
-        RunSummary { window, unfinished_packets: unfinished, saturated }
+        RunSummary {
+            window,
+            unfinished_packets: unfinished,
+            saturated,
+        }
     }
 }
 
@@ -199,7 +212,10 @@ mod tests {
         let mut s = sim(0.05);
         let summary = s.run_classic(1000, 3000, 3000);
         assert!(!summary.saturated);
-        assert!(summary.window.latency_samples > 50, "should complete many packets");
+        assert!(
+            summary.window.latency_samples > 50,
+            "should complete many packets"
+        );
         // Zero-load latency on a 4x4 mesh is ~10-20 cycles; light load should
         // stay well under 60.
         assert!(
@@ -215,14 +231,21 @@ mod tests {
         let summary = s.run_classic(1000, 4000, 4000);
         assert!(!summary.saturated);
         let err = (summary.window.throughput - 0.10).abs() / 0.10;
-        assert!(err < 0.15, "throughput {} should track offered 0.10", summary.window.throughput);
+        assert!(
+            err < 0.15,
+            "throughput {} should track offered 0.10",
+            summary.window.throughput
+        );
     }
 
     #[test]
     fn heavy_load_saturates() {
         let mut s = sim(0.95);
         let summary = s.run_classic(500, 2000, 500);
-        assert!(summary.saturated, "0.95 flits/node/cycle must saturate a 4x4 mesh");
+        assert!(
+            summary.saturated,
+            "0.95 flits/node/cycle must saturate a 4x4 mesh"
+        );
     }
 
     #[test]
@@ -258,8 +281,11 @@ mod tests {
         s.set_region_level(1, 3).unwrap();
         assert_eq!(s.region_levels(), &[0, 3, 0, 0]);
         s.set_routing(RoutingAlgorithm::OddEven).unwrap();
-        s.set_traffic(TrafficSpec::Stationary { pattern: TrafficPattern::Transpose, rate: 0.2 })
-            .unwrap();
+        s.set_traffic(TrafficSpec::Stationary {
+            pattern: TrafficPattern::Transpose,
+            rate: 0.2,
+        })
+        .unwrap();
         s.run(100);
         assert!(s.stats().injected_flits > 0);
     }
@@ -269,7 +295,11 @@ mod tests {
         let run = || {
             let mut s = sim(0.15);
             s.run(2000);
-            (s.stats().injected_flits, s.stats().ejected_flits, s.stats().sum_packet_latency)
+            (
+                s.stats().injected_flits,
+                s.stats().ejected_flits,
+                s.stats().sum_packet_latency,
+            )
         };
         assert_eq!(run(), run(), "same seed must reproduce identical runs");
     }

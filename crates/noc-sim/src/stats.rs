@@ -30,8 +30,7 @@ pub mod serde_nan {
 
 /// Upper edges (inclusive) of the latency histogram buckets, in cycles.
 /// The final bucket is open-ended.
-pub const LATENCY_BUCKETS: [u64; 12] =
-    [8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512, 1024];
+pub const LATENCY_BUCKETS: [u64; 12] = [8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512, 1024];
 
 /// Monotone statistics accumulated over a simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -280,7 +279,10 @@ impl WindowMetrics {
         num_nodes: usize,
     ) -> WindowMetrics {
         let (a, b) = (&earlier.0, &later.0);
-        debug_assert!(b.sampled_cycles >= a.sampled_cycles, "snapshots out of order");
+        debug_assert!(
+            b.sampled_cycles >= a.sampled_cycles,
+            "snapshots out of order"
+        );
         let cycles = b.sampled_cycles - a.sampled_cycles;
         let denom_cycles = cycles.max(1) as f64;
         let samples = b.latency_samples - a.latency_samples;
@@ -294,8 +296,7 @@ impl WindowMetrics {
             ejected_packets: b.ejected_packets - a.ejected_packets,
             latency_samples: samples,
             avg_packet_latency: (b.sum_packet_latency - a.sum_packet_latency) / samples as f64,
-            avg_network_latency: (b.sum_network_latency - a.sum_network_latency)
-                / samples as f64,
+            avg_network_latency: (b.sum_network_latency - a.sum_network_latency) / samples as f64,
             avg_hops: (b.sum_hops - a.sum_hops) / samples as f64,
             throughput: ejected as f64 / (denom_cycles * num_nodes as f64),
             injection_rate: injected as f64 / (denom_cycles * num_nodes as f64),

@@ -61,7 +61,13 @@ pub enum Port {
 
 impl Port {
     /// All ports in fixed index order.
-    pub const ALL: [Port; 5] = [Port::North, Port::East, Port::South, Port::West, Port::Local];
+    pub const ALL: [Port; 5] = [
+        Port::North,
+        Port::East,
+        Port::South,
+        Port::West,
+        Port::Local,
+    ];
 
     /// Number of ports on a router.
     pub const COUNT: usize = 5;
@@ -143,8 +149,15 @@ impl Topology {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn mesh(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "topology dimensions must be positive");
-        Topology { kind: TopologyKind::Mesh, width, height }
+        assert!(
+            width > 0 && height > 0,
+            "topology dimensions must be positive"
+        );
+        Topology {
+            kind: TopologyKind::Mesh,
+            width,
+            height,
+        }
     }
 
     /// Create a torus of `width × height` routers.
@@ -152,8 +165,15 @@ impl Topology {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn torus(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "topology dimensions must be positive");
-        Topology { kind: TopologyKind::Torus, width, height }
+        assert!(
+            width > 0 && height > 0,
+            "topology dimensions must be positive"
+        );
+        Topology {
+            kind: TopologyKind::Torus,
+            width,
+            height,
+        }
     }
 
     /// Which kind of topology this is.
@@ -182,7 +202,10 @@ impl Topology {
     /// Panics if the node is out of range.
     pub fn coord(&self, node: NodeId) -> Coord {
         assert!(node.0 < self.num_nodes(), "node {node} out of range");
-        Coord { x: node.0 % self.width, y: node.0 / self.width }
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
     }
 
     /// Node id at a coordinate (row-major).
@@ -190,7 +213,10 @@ impl Topology {
     /// # Panics
     /// Panics if the coordinate is out of range.
     pub fn node_at(&self, c: Coord) -> NodeId {
-        assert!(c.x < self.width && c.y < self.height, "coordinate {c} out of range");
+        assert!(
+            c.x < self.width && c.y < self.height,
+            "coordinate {c} out of range"
+        );
         NodeId(c.y * self.width + c.x)
     }
 
@@ -280,8 +306,14 @@ mod tests {
     fn torus_wraps_around() {
         let t = Topology::torus(4, 4);
         let corner = t.node_at(Coord { x: 0, y: 0 });
-        assert_eq!(t.neighbor(corner, Port::North), Some(t.node_at(Coord { x: 0, y: 3 })));
-        assert_eq!(t.neighbor(corner, Port::West), Some(t.node_at(Coord { x: 3, y: 0 })));
+        assert_eq!(
+            t.neighbor(corner, Port::North),
+            Some(t.node_at(Coord { x: 0, y: 3 }))
+        );
+        assert_eq!(
+            t.neighbor(corner, Port::West),
+            Some(t.node_at(Coord { x: 3, y: 0 }))
+        );
     }
 
     #[test]

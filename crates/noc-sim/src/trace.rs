@@ -63,7 +63,10 @@ impl PacketTrace {
                 )));
             }
         }
-        Ok(PacketTrace { events, repeat_every })
+        Ok(PacketTrace {
+            events,
+            repeat_every,
+        })
     }
 
     /// The events, sorted by cycle.
@@ -90,7 +93,10 @@ impl PacketTrace {
         for e in &self.events {
             for node in [e.src, e.dst] {
                 if node.0 >= n {
-                    return Err(SimError::NodeOutOfRange { node: node.0, nodes: n });
+                    return Err(SimError::NodeOutOfRange {
+                        node: node.0,
+                        nodes: n,
+                    });
                 }
             }
         }
@@ -150,7 +156,10 @@ impl PacketTrace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("# cycle,src,dst,len\n");
         for e in &self.events {
-            out.push_str(&format!("{},{},{},{}\n", e.cycle, e.src.0, e.dst.0, e.len_flits));
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                e.cycle, e.src.0, e.dst.0, e.len_flits
+            ));
         }
         out
     }
@@ -161,7 +170,12 @@ mod tests {
     use super::*;
 
     fn ev(cycle: u64, src: usize, dst: usize) -> TraceEvent {
-        TraceEvent { cycle, src: NodeId(src), dst: NodeId(dst), len_flits: 2 }
+        TraceEvent {
+            cycle,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            len_flits: 2,
+        }
     }
 
     #[test]
@@ -204,8 +218,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let t =
-            PacketTrace::new(vec![ev(0, 0, 1), ev(3, 2, 0), ev(7, 1, 3)], Some(20)).unwrap();
+        let t = PacketTrace::new(vec![ev(0, 0, 1), ev(3, 2, 0), ev(7, 1, 3)], Some(20)).unwrap();
         let csv = t.to_csv();
         let back = PacketTrace::from_csv(&csv, Some(20)).unwrap();
         assert_eq!(t, back);
@@ -216,7 +229,13 @@ mod tests {
         let text = "# header\n\n0, 0, 1, 2\n5,3,2,1\n";
         let t = PacketTrace::from_csv(text, None).unwrap();
         assert_eq!(t.len(), 2);
-        assert!(PacketTrace::from_csv("0,0,1", None).is_err(), "missing field");
-        assert!(PacketTrace::from_csv("x,0,1,2", None).is_err(), "bad number");
+        assert!(
+            PacketTrace::from_csv("0,0,1", None).is_err(),
+            "missing field"
+        );
+        assert!(
+            PacketTrace::from_csv("x,0,1,2", None).is_err(),
+            "bad number"
+        );
     }
 }

@@ -7,8 +7,8 @@
 
 use crate::error::{SimError, SimResult};
 use crate::flit::{Packet, PacketId};
-use crate::trace::PacketTrace;
 use crate::topology::{Coord, NodeId, Topology};
+use crate::trace::PacketTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,46 @@ pub enum TrafficPattern {
 }
 
 impl TrafficPattern {
+    /// The dataless patterns paired with their canonical short names — the
+    /// single table behind [`TrafficPattern::name`] and
+    /// [`TrafficPattern::from_name`], so parsers and label printers cannot
+    /// drift apart.
+    pub const NAMED: [(&'static str, TrafficPattern); 7] = [
+        ("uniform", TrafficPattern::Uniform),
+        ("transpose", TrafficPattern::Transpose),
+        ("bitcomp", TrafficPattern::BitComplement),
+        ("bitrev", TrafficPattern::BitReverse),
+        ("shuffle", TrafficPattern::Shuffle),
+        ("tornado", TrafficPattern::Tornado),
+        ("neighbor", TrafficPattern::Neighbor),
+    ];
+
+    /// The pattern's canonical short name (hotspot patterns carry their
+    /// parameters, e.g. `hotspot2f0.30`, and are not parseable back).
+    pub fn name(&self) -> String {
+        match self {
+            TrafficPattern::Hotspot { hotspots, fraction } => {
+                // Node ids are part of the name: two hotspot patterns with
+                // different targets must never share a label.
+                let ids: Vec<String> = hotspots.iter().map(|n| n.0.to_string()).collect();
+                format!("hotspot{}f{fraction:.2}", ids.join("-"))
+            }
+            dataless => Self::NAMED
+                .iter()
+                .find(|(_, p)| p == dataless)
+                .map(|(n, _)| (*n).to_string())
+                .expect("every dataless pattern is in NAMED"),
+        }
+    }
+
+    /// Look up a dataless pattern by its canonical short name.
+    pub fn from_name(name: &str) -> Option<TrafficPattern> {
+        Self::NAMED
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p.clone())
+    }
+
     /// Check the pattern is usable on the given topology.
     ///
     /// # Errors
@@ -60,7 +100,9 @@ impl TrafficPattern {
             }
             TrafficPattern::Hotspot { hotspots, fraction } => {
                 if hotspots.is_empty() {
-                    return Err(SimError::InvalidConfig("hotspot list must not be empty".into()));
+                    return Err(SimError::InvalidConfig(
+                        "hotspot list must not be empty".into(),
+                    ));
                 }
                 if !(0.0..=1.0).contains(fraction) {
                     return Err(SimError::InvalidConfig(format!(
@@ -101,9 +143,10 @@ impl TrafficPattern {
                 NodeId(d)
             }
             TrafficPattern::Transpose => topo.node_at(Coord { x: c.y, y: c.x }),
-            TrafficPattern::BitComplement => {
-                topo.node_at(Coord { x: w - 1 - c.x, y: h - 1 - c.y })
-            }
+            TrafficPattern::BitComplement => topo.node_at(Coord {
+                x: w - 1 - c.x,
+                y: h - 1 - c.y,
+            }),
             TrafficPattern::BitReverse => {
                 let bits = n.trailing_zeros();
                 NodeId((src.0.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
@@ -115,9 +158,15 @@ impl TrafficPattern {
             }
             TrafficPattern::Tornado => {
                 let shift = w.div_ceil(2) - 1;
-                topo.node_at(Coord { x: (c.x + shift) % w, y: c.y })
+                topo.node_at(Coord {
+                    x: (c.x + shift) % w,
+                    y: c.y,
+                })
             }
-            TrafficPattern::Neighbor => topo.node_at(Coord { x: (c.x + 1) % w, y: c.y }),
+            TrafficPattern::Neighbor => topo.node_at(Coord {
+                x: (c.x + 1) % w,
+                y: c.y,
+            }),
             TrafficPattern::Hotspot { hotspots, fraction } => {
                 if rng.gen::<f64>() < *fraction {
                     hotspots[rng.gen_range(0..hotspots.len())]
@@ -252,7 +301,9 @@ impl TrafficGenerator {
     /// `packet_len == 0`.
     pub fn new(topo: &Topology, spec: TrafficSpec, packet_len: u32, seed: u64) -> SimResult<Self> {
         if packet_len == 0 {
-            return Err(SimError::InvalidConfig("packet length must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "packet length must be positive".into(),
+            ));
         }
         spec.validate(topo)?;
         Ok(TrafficGenerator {
@@ -346,9 +397,15 @@ mod tests {
     fn uniform_on_single_node_returns_src() {
         let t = Topology::mesh(1, 1);
         let mut r = rng();
-        assert_eq!(TrafficPattern::Uniform.destination(&t, NodeId(0), &mut r), NodeId(0));
+        assert_eq!(
+            TrafficPattern::Uniform.destination(&t, NodeId(0), &mut r),
+            NodeId(0)
+        );
         // And the generator therefore produces no packets.
-        let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.9 };
+        let spec = TrafficSpec::Stationary {
+            pattern: TrafficPattern::Uniform,
+            rate: 0.9,
+        };
         let mut g = TrafficGenerator::new(&t, spec, 1, 0).unwrap();
         for c in 0..100 {
             assert!(g.tick(&t, c).is_empty());
@@ -374,7 +431,10 @@ mod tests {
         for _ in 0..2000 {
             seen[TrafficPattern::Uniform.destination(&t, NodeId(0), &mut r).0] = true;
         }
-        assert!(seen.iter().skip(1).all(|&s| s), "all non-self nodes should be hit");
+        assert!(
+            seen.iter().skip(1).all(|&s| s),
+            "all non-self nodes should be hit"
+        );
         assert!(!seen[0]);
     }
 
@@ -383,15 +443,24 @@ mod tests {
         let t = Topology::mesh(4, 4);
         let mut r = rng();
         // (1,2) = node 9 -> (2,1) = node 6.
-        assert_eq!(TrafficPattern::Transpose.destination(&t, NodeId(9), &mut r), NodeId(6));
+        assert_eq!(
+            TrafficPattern::Transpose.destination(&t, NodeId(9), &mut r),
+            NodeId(6)
+        );
     }
 
     #[test]
     fn bit_complement_mirrors_grid() {
         let t = Topology::mesh(4, 4);
         let mut r = rng();
-        assert_eq!(TrafficPattern::BitComplement.destination(&t, NodeId(0), &mut r), NodeId(15));
-        assert_eq!(TrafficPattern::BitComplement.destination(&t, NodeId(5), &mut r), NodeId(10));
+        assert_eq!(
+            TrafficPattern::BitComplement.destination(&t, NodeId(0), &mut r),
+            NodeId(15)
+        );
+        assert_eq!(
+            TrafficPattern::BitComplement.destination(&t, NodeId(5), &mut r),
+            NodeId(10)
+        );
     }
 
     #[test]
@@ -399,8 +468,14 @@ mod tests {
         let t = Topology::mesh(4, 4);
         let mut r = rng();
         // 16 nodes -> 4 bits; 0b0001 -> 0b1000 = 8.
-        assert_eq!(TrafficPattern::BitReverse.destination(&t, NodeId(1), &mut r), NodeId(8));
-        assert_eq!(TrafficPattern::BitReverse.destination(&t, NodeId(6), &mut r), NodeId(6));
+        assert_eq!(
+            TrafficPattern::BitReverse.destination(&t, NodeId(1), &mut r),
+            NodeId(8)
+        );
+        assert_eq!(
+            TrafficPattern::BitReverse.destination(&t, NodeId(6), &mut r),
+            NodeId(6)
+        );
     }
 
     #[test]
@@ -408,9 +483,15 @@ mod tests {
         let t = Topology::mesh(4, 4);
         let mut r = rng();
         // 0b1000 -> 0b0001.
-        assert_eq!(TrafficPattern::Shuffle.destination(&t, NodeId(8), &mut r), NodeId(1));
+        assert_eq!(
+            TrafficPattern::Shuffle.destination(&t, NodeId(8), &mut r),
+            NodeId(1)
+        );
         // 0b0101 -> 0b1010.
-        assert_eq!(TrafficPattern::Shuffle.destination(&t, NodeId(5), &mut r), NodeId(10));
+        assert_eq!(
+            TrafficPattern::Shuffle.destination(&t, NodeId(5), &mut r),
+            NodeId(10)
+        );
     }
 
     #[test]
@@ -418,27 +499,42 @@ mod tests {
         let t = Topology::mesh(8, 8);
         let mut r = rng();
         // shift = ceil(8/2)-1 = 3: x=0 -> x=3, same row.
-        assert_eq!(TrafficPattern::Tornado.destination(&t, NodeId(0), &mut r), NodeId(3));
+        assert_eq!(
+            TrafficPattern::Tornado.destination(&t, NodeId(0), &mut r),
+            NodeId(3)
+        );
     }
 
     #[test]
     fn neighbor_wraps_row() {
         let t = Topology::mesh(4, 4);
         let mut r = rng();
-        assert_eq!(TrafficPattern::Neighbor.destination(&t, NodeId(3), &mut r), NodeId(0));
-        assert_eq!(TrafficPattern::Neighbor.destination(&t, NodeId(0), &mut r), NodeId(1));
+        assert_eq!(
+            TrafficPattern::Neighbor.destination(&t, NodeId(3), &mut r),
+            NodeId(0)
+        );
+        assert_eq!(
+            TrafficPattern::Neighbor.destination(&t, NodeId(0), &mut r),
+            NodeId(1)
+        );
     }
 
     #[test]
     fn hotspot_concentrates_traffic() {
         let t = Topology::mesh(4, 4);
         let mut r = rng();
-        let p = TrafficPattern::Hotspot { hotspots: vec![NodeId(10)], fraction: 0.5 };
+        let p = TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(10)],
+            fraction: 0.5,
+        };
         let hits = (0..2000)
             .filter(|_| p.destination(&t, NodeId(0), &mut r) == NodeId(10))
             .count();
         // ~50% + small uniform contribution.
-        assert!((800..1300).contains(&hits), "hotspot hits {hits} outside expectation");
+        assert!(
+            (800..1300).contains(&hits),
+            "hotspot hits {hits} outside expectation"
+        );
     }
 
     #[test]
@@ -449,29 +545,48 @@ mod tests {
         assert!(TrafficPattern::Uniform.validate(&rect).is_ok());
         let square = Topology::mesh(4, 4);
         assert!(TrafficPattern::Transpose.validate(&square).is_ok());
-        assert!(TrafficPattern::Hotspot { hotspots: vec![], fraction: 0.5 }
-            .validate(&square)
-            .is_err());
-        assert!(TrafficPattern::Hotspot { hotspots: vec![NodeId(99)], fraction: 0.5 }
-            .validate(&square)
-            .is_err());
-        assert!(TrafficPattern::Hotspot { hotspots: vec![NodeId(0)], fraction: 1.5 }
-            .validate(&square)
-            .is_err());
+        assert!(TrafficPattern::Hotspot {
+            hotspots: vec![],
+            fraction: 0.5
+        }
+        .validate(&square)
+        .is_err());
+        assert!(TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(99)],
+            fraction: 0.5
+        }
+        .validate(&square)
+        .is_err());
+        assert!(TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(0)],
+            fraction: 1.5
+        }
+        .validate(&square)
+        .is_err());
     }
 
     #[test]
     fn generator_matches_requested_rate() {
         let t = Topology::mesh(4, 4);
-        let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.2 };
+        let spec = TrafficSpec::Stationary {
+            pattern: TrafficPattern::Uniform,
+            rate: 0.2,
+        };
         let mut g = TrafficGenerator::new(&t, spec, 4, 7).unwrap();
         let cycles = 20_000u64;
         let mut flits = 0u64;
         for c in 0..cycles {
-            flits += g.tick(&t, c).iter().map(|p| p.len_flits as u64).sum::<u64>();
+            flits += g
+                .tick(&t, c)
+                .iter()
+                .map(|p| p.len_flits as u64)
+                .sum::<u64>();
         }
         let rate = flits as f64 / (cycles as f64 * 16.0);
-        assert!((rate - 0.2).abs() < 0.01, "measured flit rate {rate}, wanted 0.2");
+        assert!(
+            (rate - 0.2).abs() < 0.01,
+            "measured flit rate {rate}, wanted 0.2"
+        );
     }
 
     #[test]
@@ -479,8 +594,16 @@ mod tests {
         let t = Topology::mesh(4, 4);
         let spec = TrafficSpec::PhaseTrace {
             phases: vec![
-                Phase { pattern: TrafficPattern::Uniform, rate: 0.1, cycles: 100 },
-                Phase { pattern: TrafficPattern::Transpose, rate: 0.4, cycles: 50 },
+                Phase {
+                    pattern: TrafficPattern::Uniform,
+                    rate: 0.1,
+                    cycles: 100,
+                },
+                Phase {
+                    pattern: TrafficPattern::Transpose,
+                    rate: 0.4,
+                    cycles: 50,
+                },
             ],
         };
         assert!(spec.validate(&t).is_ok());
@@ -495,18 +618,30 @@ mod tests {
     #[test]
     fn invalid_specs_rejected() {
         let t = Topology::mesh(4, 4);
-        assert!(TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 1.5 }
+        assert!(TrafficSpec::Stationary {
+            pattern: TrafficPattern::Uniform,
+            rate: 1.5
+        }
+        .validate(&t)
+        .is_err());
+        assert!(TrafficSpec::PhaseTrace { phases: vec![] }
             .validate(&t)
             .is_err());
-        assert!(TrafficSpec::PhaseTrace { phases: vec![] }.validate(&t).is_err());
         assert!(TrafficSpec::PhaseTrace {
-            phases: vec![Phase { pattern: TrafficPattern::Uniform, rate: 0.1, cycles: 0 }]
+            phases: vec![Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.1,
+                cycles: 0
+            }]
         }
         .validate(&t)
         .is_err());
         assert!(TrafficGenerator::new(
             &t,
-            TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.1 },
+            TrafficSpec::Stationary {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.1
+            },
             0,
             1
         )
@@ -519,9 +654,24 @@ mod tests {
         let t = Topology::mesh(4, 4);
         let trace = PacketTrace::new(
             vec![
-                TraceEvent { cycle: 1, src: NodeId(0), dst: NodeId(5), len_flits: 3 },
-                TraceEvent { cycle: 1, src: NodeId(2), dst: NodeId(9), len_flits: 1 },
-                TraceEvent { cycle: 4, src: NodeId(7), dst: NodeId(0), len_flits: 2 },
+                TraceEvent {
+                    cycle: 1,
+                    src: NodeId(0),
+                    dst: NodeId(5),
+                    len_flits: 3,
+                },
+                TraceEvent {
+                    cycle: 1,
+                    src: NodeId(2),
+                    dst: NodeId(9),
+                    len_flits: 1,
+                },
+                TraceEvent {
+                    cycle: 4,
+                    src: NodeId(7),
+                    dst: NodeId(0),
+                    len_flits: 2,
+                },
             ],
             Some(10),
         )
@@ -542,7 +692,12 @@ mod tests {
         use crate::trace::{PacketTrace, TraceEvent};
         let t = Topology::mesh(2, 2);
         let trace = PacketTrace::new(
-            vec![TraceEvent { cycle: 0, src: NodeId(0), dst: NodeId(99), len_flits: 1 }],
+            vec![TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(99),
+                len_flits: 1,
+            }],
             None,
         )
         .unwrap();
@@ -552,7 +707,10 @@ mod tests {
     #[test]
     fn packet_ids_are_unique_and_monotone() {
         let t = Topology::mesh(4, 4);
-        let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.5 };
+        let spec = TrafficSpec::Stationary {
+            pattern: TrafficPattern::Uniform,
+            rate: 0.5,
+        };
         let mut g = TrafficGenerator::new(&t, spec, 1, 3).unwrap();
         let mut last = None;
         for c in 0..100 {

@@ -20,7 +20,10 @@ impl VcBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "VC buffer capacity must be positive");
-        VcBuffer { fifo: VecDeque::with_capacity(capacity), capacity }
+        VcBuffer {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Number of buffered flits.
@@ -54,7 +57,10 @@ impl VcBuffer {
     /// Panics if the buffer is full — callers must respect credits, so an
     /// overflow indicates a flow-control bug.
     pub fn push(&mut self, flit: Flit) {
-        assert!(!self.is_full(), "VC buffer overflow: flow-control violation");
+        assert!(
+            !self.is_full(),
+            "VC buffer overflow: flow-control violation"
+        );
         self.fifo.push_back(flit);
     }
 
@@ -80,7 +86,11 @@ pub struct InputVc {
 impl InputVc {
     /// A fresh idle VC with the given buffer capacity.
     pub fn new(capacity: usize) -> Self {
-        InputVc { buf: VcBuffer::new(capacity), route: None, out_vc: None }
+        InputVc {
+            buf: VcBuffer::new(capacity),
+            route: None,
+            out_vc: None,
+        }
     }
 
     /// Whether the VC currently has a route but no output VC (waiting in the
@@ -116,7 +126,10 @@ pub struct OutputVcState {
 impl OutputVcState {
     /// Initial state: unowned, all `depth` slots free.
     pub fn new(depth: usize) -> Self {
-        OutputVcState { owner: None, credits: depth }
+        OutputVcState {
+            owner: None,
+            credits: depth,
+        }
     }
 
     /// Whether a new packet may claim this VC.

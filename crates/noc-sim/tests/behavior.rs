@@ -14,8 +14,7 @@ fn base() -> SimConfig {
 /// inside the drain budget.
 #[test]
 fn classic_run_finishes_all_windowed_packets() {
-    let mut sim =
-        Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.05)).unwrap();
+    let mut sim = Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.05)).unwrap();
     let summary = sim.run_classic(500, 2000, 4000);
     assert_eq!(summary.unfinished_packets, 0, "light load must drain fully");
     assert!(!summary.saturated);
@@ -26,8 +25,7 @@ fn classic_run_finishes_all_windowed_packets() {
 /// comes from the measurement window only.
 #[test]
 fn drain_does_not_inflate_throughput() {
-    let mut sim =
-        Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.10)).unwrap();
+    let mut sim = Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.10)).unwrap();
     let summary = sim.run_classic(500, 2000, 4000);
     // Throughput can never exceed the offered rate by more than noise.
     assert!(
@@ -42,7 +40,9 @@ fn drain_does_not_inflate_throughput() {
 #[test]
 fn power_gating_saves_energy_without_changing_delivery() {
     let run = |gated: bool| {
-        let mut cfg = base().with_traffic(TrafficPattern::Neighbor, 0.02).with_seed(3);
+        let mut cfg = base()
+            .with_traffic(TrafficPattern::Neighbor, 0.02)
+            .with_seed(3);
         if gated {
             cfg.power = PowerModel::with_power_gating();
         }
@@ -52,7 +52,10 @@ fn power_gating_saves_energy_without_changing_delivery() {
     };
     let (flits_nominal, leak_nominal) = run(false);
     let (flits_gated, leak_gated) = run(true);
-    assert_eq!(flits_nominal, flits_gated, "gating must not affect delivery");
+    assert_eq!(
+        flits_nominal, flits_gated,
+        "gating must not affect delivery"
+    );
     assert!(
         leak_gated < leak_nominal * 0.9,
         "gating should cut leakage: {leak_gated} vs {leak_nominal}"
@@ -64,8 +67,16 @@ fn power_gating_saves_energy_without_changing_delivery() {
 fn phase_trace_modulates_load() {
     let spec = TrafficSpec::PhaseTrace {
         phases: vec![
-            Phase { pattern: TrafficPattern::Uniform, rate: 0.02, cycles: 1000 },
-            Phase { pattern: TrafficPattern::Uniform, rate: 0.30, cycles: 1000 },
+            Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.02,
+                cycles: 1000,
+            },
+            Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.30,
+                cycles: 1000,
+            },
         ],
     };
     let mut sim = Simulator::new(base().with_traffic_spec(spec)).unwrap();
@@ -88,16 +99,35 @@ fn phase_trace_modulates_load() {
 fn trace_driven_simulation_delivers_schedule() {
     let trace = PacketTrace::new(
         vec![
-            TraceEvent { cycle: 0, src: NodeId(0), dst: NodeId(15), len_flits: 5 },
-            TraceEvent { cycle: 10, src: NodeId(3), dst: NodeId(12), len_flits: 2 },
-            TraceEvent { cycle: 10, src: NodeId(12), dst: NodeId(3), len_flits: 2 },
-            TraceEvent { cycle: 50, src: NodeId(5), dst: NodeId(10), len_flits: 7 },
+            TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(15),
+                len_flits: 5,
+            },
+            TraceEvent {
+                cycle: 10,
+                src: NodeId(3),
+                dst: NodeId(12),
+                len_flits: 2,
+            },
+            TraceEvent {
+                cycle: 10,
+                src: NodeId(12),
+                dst: NodeId(3),
+                len_flits: 2,
+            },
+            TraceEvent {
+                cycle: 50,
+                src: NodeId(5),
+                dst: NodeId(10),
+                len_flits: 7,
+            },
         ],
         None,
     )
     .unwrap();
-    let mut sim =
-        Simulator::new(base().with_traffic_spec(TrafficSpec::Trace(trace))).unwrap();
+    let mut sim = Simulator::new(base().with_traffic_spec(TrafficSpec::Trace(trace))).unwrap();
     sim.run(600);
     let s = sim.stats();
     assert_eq!(s.offered_packets, 4);
@@ -110,14 +140,22 @@ fn trace_driven_simulation_delivers_schedule() {
 #[test]
 fn repeating_trace_sustains_load() {
     let trace = PacketTrace::new(
-        vec![TraceEvent { cycle: 0, src: NodeId(0), dst: NodeId(15), len_flits: 4 }],
+        vec![TraceEvent {
+            cycle: 0,
+            src: NodeId(0),
+            dst: NodeId(15),
+            len_flits: 4,
+        }],
         Some(50),
     )
     .unwrap();
-    let mut sim =
-        Simulator::new(base().with_traffic_spec(TrafficSpec::Trace(trace))).unwrap();
+    let mut sim = Simulator::new(base().with_traffic_spec(TrafficSpec::Trace(trace))).unwrap();
     sim.run(1000);
-    assert_eq!(sim.stats().offered_packets, 20, "one packet per 50-cycle period");
+    assert_eq!(
+        sim.stats().offered_packets,
+        20,
+        "one packet per 50-cycle period"
+    );
     assert!(sim.stats().ejected_packets >= 19);
 }
 
@@ -125,16 +163,18 @@ fn repeating_trace_sustains_load() {
 /// new packets use the new algorithm, nothing is lost.
 #[test]
 fn routing_switch_mid_flight_loses_nothing() {
-    let mut sim =
-        Simulator::new(base().with_traffic(TrafficPattern::Transpose, 0.15)).unwrap();
+    let mut sim = Simulator::new(base().with_traffic(TrafficPattern::Transpose, 0.15)).unwrap();
     sim.run(500);
     sim.set_routing(RoutingAlgorithm::OddEven).unwrap();
     sim.run(500);
     sim.set_routing(RoutingAlgorithm::NegativeFirst).unwrap();
     sim.run(500);
     // Stop and drain.
-    sim.set_traffic(TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.0 })
-        .unwrap();
+    sim.set_traffic(TrafficSpec::Stationary {
+        pattern: TrafficPattern::Uniform,
+        rate: 0.0,
+    })
+    .unwrap();
     for _ in 0..100 {
         if sim.network().in_flight() == 0 {
             break;
@@ -150,8 +190,7 @@ fn routing_switch_mid_flight_loses_nothing() {
 #[test]
 fn regional_slowdown_is_milder_than_global() {
     let latency_with = |setup: &dyn Fn(&mut Simulator)| {
-        let mut sim =
-            Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.08)).unwrap();
+        let mut sim = Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.08)).unwrap();
         setup(&mut sim);
         let m = sim.run_epoch(4000);
         m.avg_packet_latency
@@ -160,14 +199,16 @@ fn regional_slowdown_is_milder_than_global() {
     let one_slow = latency_with(&|s| s.set_region_level(0, 0).unwrap());
     let all_slow = latency_with(&|s| s.set_all_levels(0).unwrap());
     assert!(one_slow > all_fast, "slowing a region must cost latency");
-    assert!(all_slow > one_slow, "slowing everything must cost more: {all_slow} vs {one_slow}");
+    assert!(
+        all_slow > one_slow,
+        "slowing everything must cost more: {all_slow} vs {one_slow}"
+    );
 }
 
 /// The latency histogram percentiles are consistent with the mean.
 #[test]
 fn percentiles_bracket_the_mean() {
-    let mut sim =
-        Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.15)).unwrap();
+    let mut sim = Simulator::new(base().with_traffic(TrafficPattern::Uniform, 0.15)).unwrap();
     sim.run(5000);
     let s = sim.stats();
     let p50 = s.latency_percentile(0.5) as f64;
@@ -175,5 +216,8 @@ fn percentiles_bracket_the_mean() {
     let mean = s.avg_packet_latency();
     assert!(p99 >= p50);
     // The mean lies within the histogram's overall span.
-    assert!(mean <= p99 * 1.5 && mean >= 2.0, "mean {mean} vs p50 {p50} p99 {p99}");
+    assert!(
+        mean <= p99 * 1.5 && mean >= 2.0,
+        "mean {mean} vs p50 {p50} p99 {p99}"
+    );
 }

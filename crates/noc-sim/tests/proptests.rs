@@ -5,8 +5,8 @@ use noc_sim::dvfs::ClockGate;
 use noc_sim::flit::PacketId;
 use noc_sim::routing::walk_route;
 use noc_sim::{
-    NodeId, Packet, RoutingAlgorithm, SimConfig, Simulator, StatsCollector, Topology,
-    TopologyKind, TrafficPattern,
+    NodeId, Packet, RoutingAlgorithm, SimConfig, Simulator, StatsCollector, Topology, TopologyKind,
+    TrafficPattern,
 };
 use proptest::prelude::*;
 

@@ -164,9 +164,15 @@ impl DqnAgent {
     /// # Panics
     /// Panics if dimensions or batch parameters are zero.
     pub fn new(config: DqnConfig) -> Self {
-        assert!(config.state_dim > 0 && config.num_actions > 0, "dimensions must be positive");
+        assert!(
+            config.state_dim > 0 && config.num_actions > 0,
+            "dimensions must be positive"
+        );
         assert!(config.batch_size > 0, "batch size must be positive");
-        assert!(config.min_replay >= config.batch_size, "min_replay must cover one batch");
+        assert!(
+            config.min_replay >= config.batch_size,
+            "min_replay must cover one batch"
+        );
         let mut dims = vec![config.state_dim];
         dims.extend(&config.hidden);
         dims.push(config.num_actions);
@@ -174,7 +180,9 @@ impl DqnAgent {
         let mut target = online.clone();
         target.copy_params_from(&online);
         let replay = match config.prioritized_alpha {
-            Some(alpha) => Replay::Prioritized(PrioritizedReplay::new(config.replay_capacity, alpha)),
+            Some(alpha) => {
+                Replay::Prioritized(PrioritizedReplay::new(config.replay_capacity, alpha))
+            }
             None => Replay::Uniform(ReplayBuffer::new(config.replay_capacity)),
         };
         assert!(config.n_step >= 1, "n_step must be at least 1");
@@ -213,7 +221,11 @@ impl DqnAgent {
     /// # Panics
     /// Panics if `state.len() != config.state_dim`.
     pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
-        assert_eq!(state.len(), self.config.state_dim, "state dimension mismatch");
+        assert_eq!(
+            state.len(),
+            self.config.state_dim,
+            "state dimension mismatch"
+        );
         self.online.predict_one(state)
     }
 
@@ -249,22 +261,26 @@ impl DqnAgent {
         }
         let batch = self.config.batch_size;
         // Gather the batch (owned clones keep borrows simple).
-        let (transitions, indices, weights): (Vec<Transition>, Vec<usize>, Vec<f32>) =
-            match &self.replay {
-                Replay::Uniform(b) => {
-                    let sample = b.sample(batch, rng);
-                    (sample.into_iter().cloned().collect(), vec![], vec![1.0; batch])
-                }
-                Replay::Prioritized(b) => {
-                    let beta = 0.4
-                        + 0.6
-                            * (self.train_steps as f64 / self.config.beta_anneal_steps as f64)
-                                .min(1.0);
-                    let pb = b.sample(batch, beta, rng);
-                    let ts = pb.indices.iter().map(|&i| b.get(i).clone()).collect();
-                    (ts, pb.indices, pb.weights)
-                }
-            };
+        let (transitions, indices, weights): (Vec<Transition>, Vec<usize>, Vec<f32>) = match &self
+            .replay
+        {
+            Replay::Uniform(b) => {
+                let sample = b.sample(batch, rng);
+                (
+                    sample.into_iter().cloned().collect(),
+                    vec![],
+                    vec![1.0; batch],
+                )
+            }
+            Replay::Prioritized(b) => {
+                let beta = 0.4
+                    + 0.6
+                        * (self.train_steps as f64 / self.config.beta_anneal_steps as f64).min(1.0);
+                let pb = b.sample(batch, beta, rng);
+                let ts = pb.indices.iter().map(|&i| b.get(i).clone()).collect();
+                (ts, pb.indices, pb.weights)
+            }
+        };
 
         let sd = self.config.state_dim;
         let mut states = Matrix::zeros(batch, sd);
@@ -482,7 +498,10 @@ mod tests {
             counts[a.act(&[0.0, 0.0], 1.0, &mut rng)] += 1;
         }
         for c in counts {
-            assert!((800..1200).contains(&c), "uniform exploration expected: {counts:?}");
+            assert!(
+                (800..1200).contains(&c),
+                "uniform exploration expected: {counts:?}"
+            );
         }
     }
 
@@ -525,7 +544,11 @@ mod tests {
         }
         let q = a.q_values(&[1.0]);
         assert!(q[1] > q[0], "Q(s,1)={} must beat Q(s,0)={}", q[1], q[0]);
-        assert!((q[1] - 1.0).abs() < 0.25, "Q(s,1)={} should approach 1", q[1]);
+        assert!(
+            (q[1] - 1.0).abs() < 0.25,
+            "Q(s,1)={} should approach 1",
+            q[1]
+        );
         assert!(q[0].abs() < 0.25, "Q(s,0)={} should approach 0", q[0]);
     }
 
@@ -585,7 +608,10 @@ mod tests {
         let q1 = a.q_values(&s1);
         assert!(q1[1] > 0.7, "Q(s1,right)={} should approach 1", q1[1]);
         assert!(q0[1] > 0.5, "Q(s0,right)={} should approach γ·1=0.9", q0[1]);
-        assert!(q0[1] > q0[0], "bootstrapped value must prefer the good path");
+        assert!(
+            q0[1] > q0[0],
+            "bootstrapped value must prefer the good path"
+        );
     }
 
     #[test]
@@ -595,12 +621,13 @@ mod tests {
                 hidden: vec![16],
                 batch_size: 8,
                 min_replay: 16,
+                lr: 5e-3,
                 double,
                 ..DqnConfig::default().with_dims(1, 2)
             };
             let mut a = agent(cfg);
             let mut rng = StdRng::seed_from_u64(5);
-            for i in 0..100 {
+            for i in 0..300 {
                 a.observe(Transition {
                     state: vec![1.0],
                     action: i % 2,
@@ -639,7 +666,10 @@ mod tests {
             a.train_step(&mut rng);
         }
         let q = a.q_values(&[1.0]);
-        assert!(q[1] > q[0], "prioritized agent must learn the bandit: {q:?}");
+        assert!(
+            q[1] > q[0],
+            "prioritized agent must learn the bandit: {q:?}"
+        );
     }
 
     #[test]
@@ -668,7 +698,10 @@ mod tests {
         let online_q = a.online.predict_one(&[1.0]);
         let target_q = a.target.predict_one(&[1.0]);
         for (o, t) in online_q.iter().zip(&target_q) {
-            assert!((o - t).abs() < 0.2, "soft target should track online: {o} vs {t}");
+            assert!(
+                (o - t).abs() < 0.2,
+                "soft target should track online: {o} vs {t}"
+            );
         }
     }
 
@@ -792,7 +825,10 @@ mod tests {
             a.train_step(&mut rng);
         }
         let q = a.q_values(&[1.0]);
-        assert!(q.iter().all(|v| v.is_finite()), "clipped training must not diverge: {q:?}");
+        assert!(
+            q.iter().all(|v| v.is_finite()),
+            "clipped training must not diverge: {q:?}"
+        );
     }
 
     #[test]

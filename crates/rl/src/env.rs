@@ -61,7 +61,13 @@ impl ChainEnv {
     /// Panics if `n < 2`.
     pub fn new(n: usize, penalty: f64, max_steps: usize) -> Self {
         assert!(n >= 2, "chain needs at least 2 states");
-        ChainEnv { n, pos: 0, penalty, max_steps, steps: 0 }
+        ChainEnv {
+            n,
+            pos: 0,
+            penalty,
+            max_steps,
+            steps: 0,
+        }
     }
 
     fn obs(&self) -> Vec<f32> {
@@ -102,7 +108,11 @@ impl Environment for ChainEnv {
         let at_goal = self.pos == self.n - 1;
         let done = at_goal || self.steps >= self.max_steps;
         let reward = if at_goal { 1.0 } else { -self.penalty };
-        Step { state: self.obs(), reward, done }
+        Step {
+            state: self.obs(),
+            reward,
+            done,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ impl SumTree {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "sum tree capacity must be positive");
-        SumTree { nodes: vec![0.0; 2 * capacity - 1], capacity }
+        SumTree {
+            nodes: vec![0.0; 2 * capacity - 1],
+            capacity,
+        }
     }
 
     /// Number of leaves.
@@ -47,7 +50,10 @@ impl SumTree {
     /// Panics if `i >= capacity` or the priority is negative/non-finite.
     pub fn set(&mut self, i: usize, priority: f64) {
         assert!(i < self.capacity, "leaf index out of range");
-        assert!(priority.is_finite() && priority >= 0.0, "priority must be non-negative");
+        assert!(
+            priority.is_finite() && priority >= 0.0,
+            "priority must be non-negative"
+        );
         let mut idx = self.capacity - 1 + i;
         let delta = priority - self.nodes[idx];
         self.nodes[idx] = priority;
@@ -150,7 +156,10 @@ impl PrioritizedReplay {
     /// # Panics
     /// Panics if the buffer is empty.
     pub fn sample(&self, batch: usize, beta: f64, rng: &mut StdRng) -> PrioritizedBatch {
-        assert!(!self.data.is_empty(), "cannot sample from an empty replay buffer");
+        assert!(
+            !self.data.is_empty(),
+            "cannot sample from an empty replay buffer"
+        );
         let total = self.tree.total();
         let n = self.data.len() as f64;
         let mut indices = Vec::with_capacity(batch);
@@ -178,7 +187,11 @@ impl PrioritizedReplay {
     /// # Panics
     /// Panics if lengths differ or an index is stale (out of range).
     pub fn update_priorities(&mut self, indices: &[usize], td_errors: &[f32]) {
-        assert_eq!(indices.len(), td_errors.len(), "index/error length mismatch");
+        assert_eq!(
+            indices.len(),
+            td_errors.len(),
+            "index/error length mismatch"
+        );
         for (&i, &e) in indices.iter().zip(td_errors) {
             let p = (e.abs() as f64 + 1e-6).min(1e3);
             self.max_priority = self.max_priority.max(p);
@@ -193,7 +206,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(reward: f32) -> Transition {
-        Transition { state: vec![0.0], action: 0, reward, next_state: vec![0.0], done: false }
+        Transition {
+            state: vec![0.0],
+            action: 0,
+            reward,
+            next_state: vec![0.0],
+            done: false,
+        }
     }
 
     #[test]
@@ -232,7 +251,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let batch = b.sample(1000, 0.4, &mut rng);
         let hits = batch.indices.iter().filter(|&&i| i == 3).count();
-        assert!(hits > 900, "slot 3 should dominate sampling, got {hits}/1000");
+        assert!(
+            hits > 900,
+            "slot 3 should dominate sampling, got {hits}/1000"
+        );
     }
 
     #[test]
@@ -241,7 +263,10 @@ mod tests {
         for i in 0..8 {
             b.push(t(i as f32));
         }
-        b.update_priorities(&(0..8).collect::<Vec<_>>(), &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]);
+        b.update_priorities(
+            &(0..8).collect::<Vec<_>>(),
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let batch = b.sample(64, 0.5, &mut rng);
         assert!(batch.weights.iter().all(|&w| w > 0.0 && w <= 1.0 + 1e-6));
@@ -258,7 +283,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let batch = b.sample(4000, 1.0, &mut rng);
         let hits = batch.indices.iter().filter(|&&i| i == 1).count();
-        assert!((800..1200).contains(&hits), "alpha=0 must sample uniformly, got {hits}/4000");
+        assert!(
+            (800..1200).contains(&hits),
+            "alpha=0 must sample uniformly, got {hits}/4000"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        ReplayBuffer { data: Vec::with_capacity(capacity.min(1 << 20)), capacity, next: 0 }
+        ReplayBuffer {
+            data: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            next: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -67,8 +71,13 @@ impl ReplayBuffer {
     /// # Panics
     /// Panics if the buffer is empty.
     pub fn sample<'a>(&'a self, batch: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
-        assert!(!self.data.is_empty(), "cannot sample from an empty replay buffer");
-        (0..batch).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+        assert!(
+            !self.data.is_empty(),
+            "cannot sample from an empty replay buffer"
+        );
+        (0..batch)
+            .map(|_| &self.data[rng.gen_range(0..self.data.len())])
+            .collect()
     }
 
     /// Iterate over stored transitions (oldest-first is not guaranteed).
@@ -116,7 +125,10 @@ mod tests {
         for s in sample {
             seen[s.reward as usize] = true;
         }
-        assert!(seen.iter().all(|&x| x), "uniform sampling should hit every item");
+        assert!(
+            seen.iter().all(|&x| x),
+            "uniform sampling should hit every item"
+        );
     }
 
     #[test]

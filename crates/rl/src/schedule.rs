@@ -55,7 +55,11 @@ impl Schedule {
     /// The paper-style exploration schedule: ε from 1.0 to 0.05 linearly
     /// over `steps`.
     pub fn epsilon_default(steps: u64) -> Self {
-        Schedule::Linear { start: 1.0, end: 0.05, steps }
+        Schedule::Linear {
+            start: 1.0,
+            end: 0.05,
+            steps,
+        }
     }
 }
 
@@ -72,7 +76,11 @@ mod tests {
 
     #[test]
     fn linear_interpolates_then_clamps() {
-        let s = Schedule::Linear { start: 1.0, end: 0.0, steps: 10 };
+        let s = Schedule::Linear {
+            start: 1.0,
+            end: 0.0,
+            steps: 10,
+        };
         assert_eq!(s.value(0), 1.0);
         assert!((s.value(5) - 0.5).abs() < 1e-12);
         assert_eq!(s.value(10), 0.0);
@@ -81,7 +89,11 @@ mod tests {
 
     #[test]
     fn exponential_decays_toward_end() {
-        let s = Schedule::Exponential { start: 1.0, end: 0.1, rate: 0.9 };
+        let s = Schedule::Exponential {
+            start: 1.0,
+            end: 0.1,
+            rate: 0.9,
+        };
         assert_eq!(s.value(0), 1.0);
         assert!(s.value(10) < s.value(5));
         assert!((s.value(10_000) - 0.1).abs() < 1e-9);
@@ -96,7 +108,11 @@ mod tests {
 
     #[test]
     fn zero_step_linear_is_end() {
-        let s = Schedule::Linear { start: 1.0, end: 0.2, steps: 0 };
+        let s = Schedule::Linear {
+            start: 1.0,
+            end: 0.2,
+            steps: 0,
+        };
         assert_eq!(s.value(0), 0.2);
     }
 }

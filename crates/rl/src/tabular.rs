@@ -80,10 +80,17 @@ impl TabularQ {
     /// # Panics
     /// Panics if dimensions, bins, or bounds are degenerate.
     pub fn new(config: TabularConfig) -> Self {
-        assert!(config.state_dim > 0 && config.num_actions > 0, "dimensions must be positive");
+        assert!(
+            config.state_dim > 0 && config.num_actions > 0,
+            "dimensions must be positive"
+        );
         assert!(config.bins > 0, "need at least one bin");
         assert!(config.hi > config.lo, "hi must exceed lo");
-        TabularQ { config, table: HashMap::new(), updates: 0 }
+        TabularQ {
+            config,
+            table: HashMap::new(),
+            updates: 0,
+        }
     }
 
     /// The configuration.
@@ -116,7 +123,10 @@ impl TabularQ {
     /// Q-values of a (discretized) state; zeros for unvisited states.
     pub fn q_values(&self, state: &[f32]) -> Vec<f64> {
         let key = self.discretize(state);
-        self.table.get(&key).cloned().unwrap_or_else(|| vec![0.0; self.config.num_actions])
+        self.table
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.config.num_actions])
     }
 
     /// Greedy action.
@@ -184,12 +194,21 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(s: f32, a: usize, r: f32, s2: f32, done: bool) -> Transition {
-        Transition { state: vec![s], action: a, reward: r, next_state: vec![s2], done }
+        Transition {
+            state: vec![s],
+            action: a,
+            reward: r,
+            next_state: vec![s2],
+            done,
+        }
     }
 
     #[test]
     fn discretization_buckets_the_range() {
-        let q = TabularQ::new(TabularConfig { bins: 4, ..TabularConfig::default() });
+        let q = TabularQ::new(TabularConfig {
+            bins: 4,
+            ..TabularConfig::default()
+        });
         assert_eq!(q.discretize(&[0.0]), vec![0]);
         assert_eq!(q.discretize(&[0.3]), vec![1]);
         assert_eq!(q.discretize(&[0.6]), vec![2]);
@@ -201,7 +220,10 @@ mod tests {
 
     #[test]
     fn update_moves_q_toward_target() {
-        let mut q = TabularQ::new(TabularConfig { alpha: 0.5, ..TabularConfig::default() });
+        let mut q = TabularQ::new(TabularConfig {
+            alpha: 0.5,
+            ..TabularConfig::default()
+        });
         q.update(&t(0.0, 1, 1.0, 0.9, true));
         assert_eq!(q.q_values(&[0.0])[1], 0.5);
         q.update(&t(0.0, 1, 1.0, 0.9, true));
@@ -266,7 +288,10 @@ mod tests {
 
     #[test]
     fn state_count_grows_with_coverage() {
-        let mut q = TabularQ::new(TabularConfig { bins: 10, ..TabularConfig::default() });
+        let mut q = TabularQ::new(TabularConfig {
+            bins: 10,
+            ..TabularConfig::default()
+        });
         for i in 0..10 {
             q.update(&t(i as f32 / 10.0 + 0.05, 0, 0.0, 0.0, true));
         }

@@ -93,7 +93,11 @@ pub fn train(
             episode,
             total_reward,
             steps,
-            avg_loss: if losses.1 > 0 { losses.0 / losses.1 as f32 } else { 0.0 },
+            avg_loss: if losses.1 > 0 {
+                losses.0 / losses.1 as f32
+            } else {
+                0.0
+            },
             epsilon: eps,
         });
     }
@@ -147,7 +151,11 @@ mod tests {
         let config = TrainConfig {
             episodes: 120,
             max_steps: 30,
-            epsilon: Schedule::Linear { start: 1.0, end: 0.02, steps: 1500 },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.02,
+                steps: 1500,
+            },
             train_per_step: 1,
             seed: 11,
         };
@@ -162,7 +170,10 @@ mod tests {
         // Learning curve: late episodes beat early ones.
         let early: f64 = stats[..20].iter().map(|s| s.total_reward).sum::<f64>() / 20.0;
         let late: f64 = stats[100..].iter().map(|s| s.total_reward).sum::<f64>() / 20.0;
-        assert!(late > early, "reward should improve: early {early}, late {late}");
+        assert!(
+            late > early,
+            "reward should improve: early {early}, late {late}"
+        );
     }
 
     #[test]
@@ -181,13 +192,20 @@ mod tests {
         let config = TrainConfig {
             episodes: 200,
             max_steps: 30,
-            epsilon: Schedule::Linear { start: 1.0, end: 0.02, steps: 2000 },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.02,
+                steps: 2000,
+            },
             train_per_step: 0, // tabular learns in observe()
             seed: 5,
         };
         train(&mut env, &mut agent, &config);
         let avg = evaluate(&mut env, &mut agent, 10, 30, 2);
-        assert!(avg > 0.9 * env.optimal_return(), "tabular greedy return {avg}");
+        assert!(
+            avg > 0.9 * env.optimal_return(),
+            "tabular greedy return {avg}"
+        );
     }
 
     #[test]
@@ -201,14 +219,24 @@ mod tests {
         let config = TrainConfig {
             episodes: 30,
             max_steps: 10,
-            epsilon: Schedule::Linear { start: 1.0, end: 0.0, steps: 100 },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.0,
+                steps: 100,
+            },
             train_per_step: 0,
             seed: 0,
         };
         let stats = train(&mut env, &mut agent, &config);
         let first = stats.first().unwrap().epsilon;
         let last = stats.last().unwrap().epsilon;
-        assert!(first > last, "epsilon must decay: first {first}, last {last}");
-        assert!(last < 0.2, "epsilon should be mostly decayed by episode 30: {last}");
+        assert!(
+            first > last,
+            "epsilon must decay: first {first}, last {last}"
+        );
+        assert!(
+            last < 0.2,
+            "epsilon should be mostly decayed by episode 30: {last}"
+        );
     }
 }

@@ -6,15 +6,16 @@
 //! (training takes ~1–2 minutes; set `EPISODES=10` for a fast demo).
 
 use noc_selfconf::{
-    run_controller, train_drl, DrlController, NocEnvConfig, StaticController,
-    ThresholdController,
+    run_controller, train_drl, DrlController, NocEnvConfig, StaticController, ThresholdController,
 };
 use noc_sim::{SimConfig, SimError, Simulator, TrafficPattern};
 use rl::{DqnConfig, Schedule, TrainConfig};
 
 fn main() -> Result<(), SimError> {
-    let episodes: usize =
-        std::env::var("EPISODES").ok().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let episodes: usize = std::env::var("EPISODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     // Train on a 4×4 mesh (fast) over a menu of loads.
     let sim = SimConfig::default()
         .with_size(4, 4)
@@ -33,14 +34,21 @@ fn main() -> Result<(), SimError> {
         TrainConfig {
             episodes,
             max_steps: 30,
-            epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: (episodes * 20) as u64 },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: (episodes * 20) as u64,
+            },
             train_per_step: 1,
             seed: 42,
         },
     )?;
     let quarter = (policy.curve.len() / 4).max(1);
-    let early: f64 =
-        policy.curve[..quarter].iter().map(|e| e.total_reward).sum::<f64>() / quarter as f64;
+    let early: f64 = policy.curve[..quarter]
+        .iter()
+        .map(|e| e.total_reward)
+        .sum::<f64>()
+        / quarter as f64;
     let late: f64 = policy.curve[policy.curve.len() - quarter..]
         .iter()
         .map(|e| e.total_reward)
@@ -49,14 +57,21 @@ fn main() -> Result<(), SimError> {
     println!("  mean episode return: first quarter {early:.2} → last quarter {late:.2}");
 
     // Evaluate on a held-out workload: transpose at a rate not in the menu.
-    let eval = sim.clone().with_traffic(TrafficPattern::Transpose, 0.15).with_seed(999);
+    let eval = sim
+        .clone()
+        .with_traffic(TrafficPattern::Transpose, 0.15)
+        .with_seed(999);
     println!("\nevaluation on transpose @ 0.15 (unseen):");
     let caps = Simulator::new(eval.clone())?.network().region_capacity();
     let mut controllers: Vec<Box<dyn noc_selfconf::Controller>> = vec![
         Box::new(StaticController::max()),
         Box::new(StaticController::min()),
         Box::new(ThresholdController::new(caps, eval.width * eval.height)),
-        Box::new(DrlController::new(policy.agent, policy.encoder, policy.action_space)),
+        Box::new(DrlController::new(
+            policy.agent,
+            policy.encoder,
+            policy.action_space,
+        )),
     ];
     for controller in controllers.iter_mut() {
         let out = run_controller(&eval, controller.as_mut(), 40, 400)?;

@@ -11,10 +11,26 @@ fn main() -> Result<(), SimError> {
     // Idle → burst → transpose phase → near-idle, repeating.
     let trace = TrafficSpec::PhaseTrace {
         phases: vec![
-            Phase { pattern: TrafficPattern::Uniform, rate: 0.02, cycles: 3000 },
-            Phase { pattern: TrafficPattern::Uniform, rate: 0.25, cycles: 3000 },
-            Phase { pattern: TrafficPattern::Transpose, rate: 0.12, cycles: 3000 },
-            Phase { pattern: TrafficPattern::Uniform, rate: 0.01, cycles: 3000 },
+            Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.02,
+                cycles: 3000,
+            },
+            Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.25,
+                cycles: 3000,
+            },
+            Phase {
+                pattern: TrafficPattern::Transpose,
+                rate: 0.12,
+                cycles: 3000,
+            },
+            Phase {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.01,
+                cycles: 3000,
+            },
         ],
     };
     let config = SimConfig::default().with_traffic_spec(trace);
@@ -32,8 +48,7 @@ fn main() -> Result<(), SimError> {
             if i % 2 != 0 {
                 continue; // print every other epoch
             }
-            let mean_level =
-                levels.iter().map(|&l| l as f64).sum::<f64>() / levels.len() as f64;
+            let mean_level = levels.iter().map(|&l| l as f64).sum::<f64>() / levels.len() as f64;
             let bar_len = (mean_level * 4.0).round() as usize;
             println!(
                 "{:5} | {:8.3} | {:10.2} {}| {:7.1} | {:8.1}",

@@ -12,9 +12,18 @@ fn main() -> Result<(), SimError> {
     let mut sim = Simulator::new(config.clone())?;
     let run = sim.run_classic(2000, 6000, 6000);
     println!("— open-loop simulation (all routers at nominal V/F) —");
-    println!("  avg packet latency : {:8.1} cycles", run.window.avg_packet_latency);
-    println!("  throughput         : {:8.3} flits/node/cycle", run.window.throughput);
-    println!("  energy             : {:8.1} nJ", run.window.energy_pj / 1e3);
+    println!(
+        "  avg packet latency : {:8.1} cycles",
+        run.window.avg_packet_latency
+    );
+    println!(
+        "  throughput         : {:8.3} flits/node/cycle",
+        run.window.throughput
+    );
+    println!(
+        "  energy             : {:8.1} nJ",
+        run.window.energy_pj / 1e3
+    );
     println!("  saturated          : {}", run.saturated);
 
     // 2. The same workload under runtime controllers.

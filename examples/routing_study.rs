@@ -19,13 +19,19 @@ fn main() -> Result<(), SimError> {
         ("transpose", TrafficPattern::Transpose),
         (
             "hotspot",
-            TrafficPattern::Hotspot { hotspots: vec![noc_sim::NodeId(0)], fraction: 0.3 },
+            TrafficPattern::Hotspot {
+                hotspots: vec![noc_sim::NodeId(0)],
+                fraction: 0.3,
+            },
         ),
     ];
 
     for (pname, pattern) in &patterns {
         println!("\n=== {pname} @ 0.14 flits/node/cycle ===");
-        println!("{:<16} {:>10} {:>12} {:>10}", "routing", "latency", "throughput", "sat?");
+        println!(
+            "{:<16} {:>10} {:>12} {:>10}",
+            "routing", "latency", "throughput", "sat?"
+        );
         for alg in algorithms {
             let cfg = SimConfig::default()
                 .with_traffic(pattern.clone(), 0.14)

@@ -33,7 +33,11 @@ fn main() -> Result<(), SimError> {
             if i % 2 != 0 {
                 continue;
             }
-            let marker = if (8..20).contains(&i) { "  <-- emergency" } else { "" };
+            let marker = if (8..20).contains(&i) {
+                "  <-- emergency"
+            } else {
+                ""
+            };
             println!(
                 "{:5} | {:7.1} | {:14.1} | {:12.2}{marker}",
                 i,

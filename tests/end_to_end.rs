@@ -1,10 +1,10 @@
 //! Cross-crate integration tests: the full pipeline from traffic generation
 //! through the simulator, the RL stack, and the self-configuration layer.
 
+use noc_selfconf::ActionSpace;
 use noc_selfconf::{
     run_controller, train_drl, DrlController, NocEnvConfig, RewardConfig, StaticController,
 };
-use noc_selfconf::ActionSpace;
 use noc_sim::{SimConfig, Simulator, TrafficPattern, TrafficSpec};
 use rl::{DqnConfig, Schedule, TrainConfig};
 
@@ -17,14 +17,23 @@ fn small_sim() -> SimConfig {
 
 fn tiny_env(sim: SimConfig) -> NocEnvConfig {
     NocEnvConfig {
-        action_space: ActionSpace::PerRegionDelta { num_regions: 4, num_levels: 4 },
+        action_space: ActionSpace::PerRegionDelta {
+            num_regions: 4,
+            num_levels: 4,
+        },
         sim,
         epoch_cycles: 150,
         epochs_per_episode: 6,
         reward: RewardConfig::default(),
         traffic_menu: vec![
-            TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.05 },
-            TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.20 },
+            TrafficSpec::Stationary {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.05,
+            },
+            TrafficSpec::Stationary {
+                pattern: TrafficPattern::Uniform,
+                rate: 0.20,
+            },
         ],
         seed: 5,
     }
@@ -46,23 +55,32 @@ fn train_then_deploy_controller() {
         TrainConfig {
             episodes: 6,
             max_steps: 6,
-            epsilon: Schedule::Linear { start: 1.0, end: 0.1, steps: 20 },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.1,
+                steps: 20,
+            },
             train_per_step: 1,
             seed: 3,
         },
     )
     .expect("training runs");
-    assert!(policy.agent.train_steps() > 0, "agent must have learned something");
+    assert!(
+        policy.agent.train_steps() > 0,
+        "agent must have learned something"
+    );
 
-    let mut controller =
-        DrlController::new(policy.agent, policy.encoder, policy.action_space);
+    let mut controller = DrlController::new(policy.agent, policy.encoder, policy.action_space);
     let run = run_controller(&small_sim(), &mut controller, 8, 150).expect("deployment runs");
     assert_eq!(run.epochs.len(), 8);
     // Levels must always be valid indices.
     assert!(run.levels.iter().flatten().all(|&l| l < 4));
     // The network must actually move traffic under the learned policy.
     let delivered: u64 = run.epochs.iter().map(|m| m.ejected_flits).sum();
-    assert!(delivered > 100, "flits must flow under DRL control, got {delivered}");
+    assert!(
+        delivered > 100,
+        "flits must flow under DRL control, got {delivered}"
+    );
 }
 
 /// Flit conservation across the whole system: everything injected is either
@@ -73,9 +91,11 @@ fn flit_conservation_under_reconfiguration() {
     for (i, level) in [3usize, 0, 2, 1, 3].iter().enumerate() {
         sim.set_all_levels(*level).expect("level valid");
         if i % 2 == 0 {
-            sim.set_routing(noc_sim::RoutingAlgorithm::OddEven).expect("routing valid");
+            sim.set_routing(noc_sim::RoutingAlgorithm::OddEven)
+                .expect("routing valid");
         } else {
-            sim.set_routing(noc_sim::RoutingAlgorithm::Xy).expect("routing valid");
+            sim.set_routing(noc_sim::RoutingAlgorithm::Xy)
+                .expect("routing valid");
         }
         sim.run(400);
         let s = sim.stats();
@@ -88,8 +108,11 @@ fn flit_conservation_under_reconfiguration() {
         );
     }
     // Stop traffic and drain completely.
-    sim.set_traffic(TrafficSpec::Stationary { pattern: TrafficPattern::Uniform, rate: 0.0 })
-        .expect("valid spec");
+    sim.set_traffic(TrafficSpec::Stationary {
+        pattern: TrafficPattern::Uniform,
+        rate: 0.0,
+    })
+    .expect("valid spec");
     sim.set_all_levels(3).expect("level valid");
     for _ in 0..200 {
         if sim.network().in_flight() == 0 {
@@ -108,7 +131,12 @@ fn pipeline_is_deterministic() {
     let run_once = || {
         let policy = train_drl(
             tiny_env(small_sim()),
-            DqnConfig { hidden: vec![16], batch_size: 8, min_replay: 8, ..DqnConfig::default() },
+            DqnConfig {
+                hidden: vec![16],
+                batch_size: 8,
+                min_replay: 8,
+                ..DqnConfig::default()
+            },
             TrainConfig {
                 episodes: 3,
                 max_steps: 5,
@@ -132,8 +160,12 @@ fn baseline_ordering_holds() {
     let sim = small_sim();
     let mut max_c = StaticController::max();
     let mut min_c = StaticController::min();
-    let a = run_controller(&sim, &mut max_c, 10, 200).expect("runs").aggregate;
-    let b = run_controller(&sim, &mut min_c, 10, 200).expect("runs").aggregate;
+    let a = run_controller(&sim, &mut max_c, 10, 200)
+        .expect("runs")
+        .aggregate;
+    let b = run_controller(&sim, &mut min_c, 10, 200)
+        .expect("runs")
+        .aggregate;
     assert!(a.avg_latency < b.avg_latency, "max V/F must be faster");
     assert!(a.energy_pj > b.energy_pj, "max V/F must burn more energy");
 }
@@ -142,8 +174,8 @@ fn baseline_ordering_holds() {
 #[test]
 fn umbrella_reexports_work() {
     use self_configurable_noc::noc_sim::{SimConfig as C, Simulator as S, TrafficPattern as T};
-    let mut sim = S::new(C::default().with_size(4, 4).with_traffic(T::Uniform, 0.05))
-        .expect("valid config");
+    let mut sim =
+        S::new(C::default().with_size(4, 4).with_traffic(T::Uniform, 0.05)).expect("valid config");
     let m = sim.run_epoch(300);
     assert_eq!(m.cycles, 300);
 }

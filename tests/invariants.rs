@@ -1,9 +1,7 @@
 //! Property-based invariants across the workspace, checked with proptest.
 
 use noc_sim::routing::walk_route;
-use noc_sim::{
-    RoutingAlgorithm, SimConfig, Simulator, Topology, TrafficPattern, TrafficSpec,
-};
+use noc_sim::{RoutingAlgorithm, SimConfig, Simulator, Topology, TrafficPattern, TrafficSpec};
 use proptest::prelude::*;
 
 fn mesh_algorithms() -> impl Strategy<Value = RoutingAlgorithm> {

@@ -1,0 +1,131 @@
+//! # proptest (offline stand-in)
+//!
+//! A minimal re-implementation of the slice of proptest this workspace
+//! uses: the [`proptest!`] macro, range / tuple / `Just` / `prop_oneof!` /
+//! `prop::collection::vec` strategies, `prop_map`, `any::<T>()`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the panic from the failing
+//!   inputs directly (inputs are printed in the panic context by the
+//!   `prop_assert*` message where the test chooses to include them).
+//! * **Deterministic.** Each test derives its RNG seed from the test
+//!   function's name, so runs are reproducible without a persistence file.
+//! * `prop_assert!` and friends panic (like `assert!`) instead of
+//!   returning `TestCaseError`, which the std test harness reports
+//!   identically.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The whole crate, under the conventional `prop` alias
+    /// (`prop::collection::vec`, …).
+    pub use crate as prop;
+}
+
+/// Run a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ( $(&$strat,)* );
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _ in 0..__config.cases {
+                    // Strategy refs are `Copy`, so this destructuring leaves
+                    // `__strategies` reusable on the next iteration.
+                    let ( $($arg,)* ) = __strategies;
+                    let ( $($arg,)* ) =
+                        ( $($crate::strategy::Strategy::sample($arg, &mut __rng),)* );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__options.push(::std::boxed::Box::new($strategy));)+
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}

@@ -1,0 +1,262 @@
+//! Deserialization half of the stub data model.
+
+use crate::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Display;
+use std::hash::Hash;
+
+/// Errors producible by a [`Deserializer`] (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of [`Value`] trees (mirrors `serde::Deserializer`).
+///
+/// The stub model is fully self-describing and borrowed: a deserializer is
+/// just a handle on a `&'de Value`. `from_value` is a trait-level
+/// constructor so generic code (and the derive) can descend into child
+/// nodes without naming the concrete deserializer type.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// The value tree being read.
+    fn value(&self) -> &'de Value;
+
+    /// Build a deserializer over a child node.
+    fn from_value(v: &'de Value) -> Self;
+}
+
+/// Types reconstructible from the [`Value`] data model (mirrors
+/// `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Read `Self` out of the deserializer.
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.value();
+                let n = v.as_u64().ok_or_else(|| {
+                    D::Error::custom(format!(
+                        "expected unsigned integer, got {v}"
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.value();
+                let n = v.as_i64().ok_or_else(|| {
+                    D::Error::custom(format!("expected integer, got {v}"))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.value();
+        v.as_f64()
+            .ok_or_else(|| D::Error::custom(format!("expected number, got {v}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.value();
+        v.as_bool()
+            .ok_or_else(|| D::Error::custom(format!("expected bool, got {v}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.value();
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| D::Error::custom(format!("expected string, got {v}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.value();
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(D::Error::custom(format!("expected null, got {v}")))
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.value();
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(D::from_value(v)).map(Some)
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.value();
+        let items = v
+            .as_seq()
+            .ok_or_else(|| D::Error::custom(format!("expected array, got {v}")))?;
+        items
+            .iter()
+            .map(|x| T::deserialize(D::from_value(x)))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::deserialize(d)
+            .map(Vec::into_iter)
+            .map(VecDeque::from_iter)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                let v = d.value();
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| De::Error::custom(format!("expected array, got {v}")))?;
+                if items.len() != $len {
+                    return Err(De::Error::custom(format!(
+                        "expected array of length {}, got {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(De::from_value(&items[$n]))?,)+))
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+fn map_entries<'de, D: Deserializer<'de>>(d: &D) -> Result<&'de [(String, Value)], D::Error> {
+    let v = d.value();
+    v.as_map()
+        .ok_or_else(|| D::Error::custom(format!("expected object, got {v}")))
+}
+
+use crate::ser::MapKey;
+
+fn parse_key<'de, D: Deserializer<'de>, K: MapKey>(k: &str) -> Result<K, D::Error> {
+    K::from_key(k).ok_or_else(|| D::Error::custom(format!("invalid map key `{k}`")))
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: MapKey + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = map_entries(&d)?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((parse_key::<D, K>(k)?, V::deserialize(D::from_value(v))?)))
+            .collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: MapKey + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = map_entries(&d)?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((parse_key::<D, K>(k)?, V::deserialize(D::from_value(v))?)))
+            .collect()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(d.value().clone())
+    }
+}
+
+/// Convenience mirror of `serde::de::DeserializeOwned`: satisfied by every
+/// stub `Deserialize` impl in this workspace (all are owned).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// Some derived code deserializes map-keyed collections generically; the
+// helper lives here so the derive doesn't need to special-case key types.
+#[doc(hidden)]
+pub fn __collect_pairs<'de, K, V, D, C>(d: D) -> Result<C, D::Error>
+where
+    D: Deserializer<'de>,
+    K: Deserialize<'de> + Eq + Hash + Ord,
+    V: Deserialize<'de>,
+    C: FromIterator<(K, V)>,
+{
+    let v = d.value();
+    let items = v
+        .as_seq()
+        .ok_or_else(|| Error::custom(format!("expected entry list, got {v}")))?;
+    items
+        .iter()
+        .map(|pair| <(K, V)>::deserialize(D::from_value(pair)))
+        .collect()
+}

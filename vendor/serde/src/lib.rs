@@ -1,0 +1,139 @@
+//! # serde (offline stand-in)
+//!
+//! A minimal, dependency-free re-implementation of the slice of serde this
+//! workspace uses, built around an owned JSON-like [`Value`] tree instead of
+//! serde's zero-copy visitor machinery. The build container has no network
+//! access, so the real crates.io `serde` cannot be fetched; this crate is a
+//! drop-in local path dependency.
+//!
+//! Supported surface:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs (named, tuple, unit) and
+//!   enums (unit, newtype, tuple, and struct variants), via the sibling
+//!   [`serde_derive`] stub.
+//! * Field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, and `#[serde(with = "module")]`.
+//! * Hand-written `with`-modules in the real serde style: generic over
+//!   [`Serializer`] / [`Deserializer`] with `serialize_some`,
+//!   `serialize_none`, and `T::deserialize(d)`.
+//!
+//! The data model is [`Value`]; `serde_json` (also vendored) renders it to
+//! text. Map entries preserve insertion order so derived serialization is
+//! deterministic — the sweep engine depends on byte-identical reports.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::{from_value, to_value, DeError, SerError, ValueDeserializer, ValueSerializer};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+///
+/// A JSON-compatible tree; maps preserve insertion order (derive emits
+/// fields in declaration order), which keeps rendered output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a u64 (accepts any non-negative integer representation).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an f64 (any numeric representation widens).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object (entry list in insertion order).
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::value::render(self, false))
+    }
+}

@@ -1,0 +1,266 @@
+//! Serialization half of the stub data model.
+
+use crate::value::{to_value, SerError};
+use crate::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Display;
+
+/// Errors producible by a [`Serializer`] (mirrors `serde::ser::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A sink for the [`Value`] data model (mirrors `serde::Serializer`).
+///
+/// Unlike real serde there is one method per *tree*, not per scalar: a
+/// `Serialize` impl builds a [`Value`] (usually via [`to_value`]) and hands
+/// it over with [`Serializer::serialize_value`]. The `serialize_some` /
+/// `serialize_none` pair exists so hand-written `with`-modules from the
+/// real serde idiom (e.g. NaN ↔ `null` adapters) compile unchanged.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Accept a fully built value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize `Some(value)`; the stub model has no dedicated option
+    /// representation, so this forwards to the inner value.
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize `None` as null.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    /// Serialize a unit value as null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// Types convertible into the [`Value`] data model (mirrors
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// Feed `self` into the serializer.
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>;
+}
+
+fn fail<S: Serializer>(s: S, v: Result<Value, SerError>) -> Result<S::Ok, S::Error> {
+    match v {
+        Ok(v) => s.serialize_value(v),
+        Err(e) => Err(S::Error::custom(e)),
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let n = *self as i64;
+                if n >= 0 {
+                    s.serialize_value(Value::U64(n as u64))
+                } else {
+                    s.serialize_value(Value::I64(n))
+                }
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+fn seq_value<'a, T: Serialize + 'a, I: Iterator<Item = &'a T>>(
+    items: I,
+) -> Result<Value, SerError> {
+    let vs: Result<Vec<Value>, SerError> = items.map(|x| to_value(x)).collect();
+    Ok(Value::Seq(vs?))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        fail(s, seq_value(self.iter()))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        fail(s, seq_value(self.iter()))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        fail(s, seq_value(self.iter()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        fail(s, seq_value(self.iter()))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let build = || -> Result<Value, SerError> {
+                    Ok(Value::Seq(vec![$(to_value(&self.$n)?),+]))
+                };
+                fail(s, build())
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Map keys renderable as JSON object keys (strings and integers, which
+/// serde_json stringifies).
+pub trait MapKey {
+    /// The JSON object key for this value.
+    fn to_key(&self) -> String;
+    /// Parse a value back out of a JSON object key.
+    fn from_key(key: &str) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Option<Self> {
+        Some(key.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Option<Self> {
+                key.parse().ok()
+            }
+        }
+    )*};
+}
+
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let build = || -> Result<Value, SerError> {
+            // Sort keys so HashMap iteration order can't leak into output.
+            let mut entries: Vec<(String, &V)> =
+                self.iter().map(|(k, v)| (k.to_key(), v)).collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, to_value(v)?)))
+                .collect::<Result<Vec<_>, SerError>>()
+                .map(Value::Map)
+        };
+        fail(s, build())
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let build = || -> Result<Value, SerError> {
+            let mut entries = Vec::with_capacity(self.len());
+            for (k, v) in self {
+                entries.push((k.to_key(), to_value(v)?));
+            }
+            Ok(Value::Map(entries))
+        };
+        fail(s, build())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}

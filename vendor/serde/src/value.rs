@@ -1,0 +1,201 @@
+//! Concrete serializer/deserializer over the [`Value`] tree, plus the
+//! `to_value` / `from_value` entry points and JSON text rendering shared
+//! with the vendored `serde_json`.
+
+use crate::de::{Deserialize, Deserializer, Error as DeErrorTrait};
+use crate::ser::{Error as SerErrorTrait, Serialize, Serializer};
+use crate::Value;
+use std::fmt;
+
+/// Error produced when building a [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(pub String);
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl SerErrorTrait for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// Error produced when reading a [`Value`] tree back into a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeErrorTrait for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// The one concrete [`Serializer`]: collects into an owned [`Value`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, SerError> {
+        Ok(v)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Value, SerError> {
+        v.serialize(ValueSerializer)
+    }
+}
+
+/// The one concrete [`Deserializer`]: a borrowed handle on a [`Value`].
+#[derive(Debug, Clone, Copy)]
+pub struct ValueDeserializer<'de> {
+    v: &'de Value,
+}
+
+impl<'de> ValueDeserializer<'de> {
+    /// Wrap a value node.
+    pub fn new(v: &'de Value) -> Self {
+        ValueDeserializer { v }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+    type Error = DeError;
+
+    fn value(&self) -> &'de Value {
+        self.v
+    }
+
+    fn from_value(v: &'de Value) -> Self {
+        ValueDeserializer { v }
+    }
+}
+
+/// Serialize any value into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(x: &T) -> Result<Value, SerError> {
+    x.serialize(ValueSerializer)
+}
+
+/// Deserialize any type out of a [`Value`] node.
+pub fn from_value<'de, T: Deserialize<'de>>(v: &'de Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer::new(v))
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; `serde_nan`-style adapters are expected
+        // to map non-finite floats to null *before* rendering, but stay
+        // total here rather than panic.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{x}");
+    out.push_str(&s);
+    // serde_json renders integral floats as "1.0", keeping the type
+    // round-trippable; match that.
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn render_into(out: &mut String, v: &Value, pretty: bool, depth: usize) {
+    const INDENT: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => render_f64(out, *x),
+        Value::Str(s) => escape_into(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&INDENT.repeat(depth + 1));
+                }
+                render_into(out, item, pretty, depth + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&INDENT.repeat(depth + 1));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render_into(out, item, pretty, depth + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Render a value tree as JSON text (compact or pretty, 2-space indent).
+pub fn render(v: &Value, pretty: bool) -> String {
+    let mut out = String::new();
+    render_into(&mut out, v, pretty, 0);
+    out
+}

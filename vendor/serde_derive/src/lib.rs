@@ -1,0 +1,666 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub.
+//!
+//! The build container has no network access, so `syn`/`quote` are not
+//! available; the item is parsed directly from the `proc_macro` token
+//! stream and the impl is generated as a string. Supported shapes match
+//! what the workspace actually derives:
+//!
+//! * structs with named fields, tuple structs (newtype included), unit
+//!   structs;
+//! * enums with unit, newtype, tuple, and struct variants;
+//! * field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`.
+//!
+//! Generics and container-level serde attributes are intentionally not
+//! supported (nothing in the workspace needs them) and produce a compile
+//! error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consume one `#[...]` attribute if present, merging any `serde(...)`
+    /// contents into `attrs`.
+    fn eat_attr(&mut self, attrs: &mut FieldAttrs) -> bool {
+        if !matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            return false;
+        }
+        self.pos += 1;
+        match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = Cursor::new(g.stream());
+                if inner.eat_ident("serde") {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        parse_serde_args(args.stream(), attrs);
+                    }
+                }
+                true
+            }
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        }
+    }
+
+    fn skip_attrs(&mut self, attrs: &mut FieldAttrs) {
+        while self.eat_attr(attrs) {}
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consume tokens until a comma at zero angle-bracket depth (the end of
+    /// a type in a field list); stops before the comma.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    let s = lit.trim();
+    let s = s.strip_prefix('"').unwrap_or(s);
+    let s = s.strip_suffix('"').unwrap_or(s);
+    s.to_string()
+}
+
+fn parse_serde_args(args: TokenStream, attrs: &mut FieldAttrs) {
+    let mut c = Cursor::new(args);
+    while let Some(t) = c.next() {
+        let TokenTree::Ident(key) = t else { continue };
+        match key.to_string().as_str() {
+            "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+            "default" => {
+                if c.eat_punct('=') {
+                    match c.next() {
+                        Some(TokenTree::Literal(l)) => {
+                            attrs.default = Some(Some(strip_quotes(&l.to_string())));
+                        }
+                        other => panic!("serde_derive: bad default attribute: {other:?}"),
+                    }
+                } else {
+                    attrs.default = Some(None);
+                }
+            }
+            "with" => {
+                if !c.eat_punct('=') {
+                    panic!("serde_derive: `with` requires a value");
+                }
+                match c.next() {
+                    Some(TokenTree::Literal(l)) => {
+                        attrs.with = Some(strip_quotes(&l.to_string()));
+                    }
+                    other => panic!("serde_derive: bad with attribute: {other:?}"),
+                }
+            }
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        c.skip_attrs(&mut attrs);
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident();
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        c.skip_attrs(&mut attrs);
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        c.skip_type();
+        c.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        c.skip_attrs(&mut attrs);
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            // Discriminant: consume until the separating comma.
+            while let Some(t) = c.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                c.pos += 1;
+            }
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let mut container_attrs = FieldAttrs::default();
+    c.skip_attrs(&mut container_attrs);
+    c.skip_visibility();
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive: expected `struct` or `enum`, got {:?}",
+            c.peek()
+        );
+    };
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored stub");
+    }
+    if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: malformed struct body: {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Expression producing `serde::Value` for one field (inside the build
+/// closure, where `?` carries `serde::SerError`).
+fn ser_field_expr(access: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::serialize({access}, serde::ValueSerializer)?"),
+        None => format!("serde::to_value({access})?"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let expr = ser_field_expr(&format!("&self.{}", f.name), &f.attrs);
+                b.push_str(&format!(
+                    "__m.push((\"{n}\".to_string(), {expr}));\n",
+                    n = f.name
+                ));
+            }
+            b.push_str("::std::result::Result::Ok(serde::Value::Map(__m))\n");
+            (name, b)
+        }
+        Item::TupleStruct { name, arity } => {
+            let b = if *arity == 1 {
+                // Already a `Result<Value, SerError>`; returning it directly
+                // keeps clippy's needless_question_mark out of expansions.
+                "serde::to_value(&self.0)\n".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::to_value(&self.{i})?"))
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok(serde::Value::Seq(vec![{}]))\n",
+                    items.join(", ")
+                )
+            };
+            (name, b)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            "::std::result::Result::Ok(serde::Value::Null)\n".to_string(),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> =
+                            (0..*arity).map(|i| format!("ref __f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "serde::to_value(__f0)?".to_string()
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("serde::to_value(__f{i})?"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bs}) => serde::Value::Map(vec![(\"{vn}\"\
+                             .to_string(), {inner})]),\n",
+                            bs = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("ref {}", f.name)).collect();
+                        let mut inner = String::from(
+                            "{ let mut __vm: ::std::vec::Vec<(::std::string::String, \
+                             serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            let expr = ser_field_expr(&f.name.clone(), &f.attrs);
+                            inner.push_str(&format!(
+                                "__vm.push((\"{n}\".to_string(), {expr}));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("serde::Value::Map(__vm) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bs} }} => serde::Value::Map(vec![(\"{vn}\"\
+                             .to_string(), {inner})]),\n",
+                            bs = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            let b =
+                format!("let __v = match *self {{\n{arms}}};\n::std::result::Result::Ok(__v)\n");
+            (name, b)
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         let __build = || -> ::std::result::Result<serde::Value, serde::SerError> {{\n\
+         {body}\
+         }};\n\
+         match __build() {{\n\
+         ::std::result::Result::Ok(__v) => __s.serialize_value(__v),\n\
+         ::std::result::Result::Err(__e) => ::std::result::Result::Err(\
+         <__S::Error as serde::ser::Error>::custom(__e)),\n\
+         }}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Expression reading one named field out of `__m` (a `&[(String, Value)]`),
+/// inside `deserialize` where errors are `__D::Error`.
+fn de_named_field_expr(container: &str, f: &Field) -> String {
+    let n = &f.name;
+    if f.attrs.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let present = match &f.attrs.with {
+        Some(path) => format!(
+            "{path}::deserialize(serde::ValueDeserializer::new(__x))\
+             .map_err(|__e| <__D::Error as serde::de::Error>::custom(__e))?"
+        ),
+        None => "serde::from_value(__x)\
+                 .map_err(|__e| <__D::Error as serde::de::Error>::custom(__e))?"
+            .to_string(),
+    };
+    let missing = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+             \"{container}: missing field `{n}`\"))"
+        ),
+    };
+    format!(
+        "match __get(__m, \"{n}\") {{\n\
+         ::std::option::Option::Some(__x) => {present},\n\
+         ::std::option::Option::None => {missing},\n\
+         }}"
+    )
+}
+
+const GET_HELPER: &str = "fn __get<'__a>(m: &'__a [(::std::string::String, serde::Value)], \
+                          k: &str) -> ::std::option::Option<&'__a serde::Value> {\n\
+                          m.iter().find(|e| e.0 == k).map(|e| &e.1)\n}\n";
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{}: {},\n", f.name, de_named_field_expr(name, f)));
+            }
+            let b = format!(
+                "let __v = __d.value();\n\
+                 let __m = __v.as_map().ok_or_else(|| <__D::Error as serde::de::Error>\
+                 ::custom(\"{name}: expected object\"))?;\n\
+                 {GET_HELPER}\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n"
+            );
+            (name, b)
+        }
+        Item::TupleStruct { name, arity } => {
+            let b = if *arity == 1 {
+                format!(
+                    "let __v = __d.value();\n\
+                     ::std::result::Result::Ok({name}(serde::from_value(__v)\
+                     .map_err(|__e| <__D::Error as serde::de::Error>::custom(__e))?))\n"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "serde::from_value(&__items[{i}])\
+                             .map_err(|__e| <__D::Error as serde::de::Error>::custom(__e))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __v = __d.value();\n\
+                     let __items = __v.as_seq().ok_or_else(|| <__D::Error as \
+                     serde::de::Error>::custom(\"{name}: expected array\"))?;\n\
+                     if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(<__D::Error as serde::de::Error>\
+                     ::custom(\"{name}: wrong tuple arity\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({}))\n",
+                    items.join(", ")
+                )
+            };
+            (name, b)
+        }
+        Item::UnitStruct { name } => {
+            let b = format!("::std::result::Result::Ok({name})\n");
+            (name, b)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // serde also accepts {"Variant": null} for unit variants.
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let expr = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                 serde::from_value(__inner).map_err(|__e| <__D::Error as \
+                                 serde::de::Error>::custom(__e))?))\n"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "serde::from_value(&__items[{i}]).map_err(|__e| \
+                                         <__D::Error as serde::de::Error>::custom(__e))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __items = __inner.as_seq().ok_or_else(|| \
+                                 <__D::Error as serde::de::Error>::custom(\
+                                 \"{name}::{vn}: expected array\"))?;\n\
+                                 if __items.len() != {arity} {{ return \
+                                 ::std::result::Result::Err(<__D::Error as \
+                                 serde::de::Error>::custom(\"{name}::{vn}: wrong arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}\n",
+                                items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {expr},\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{}: {},\n",
+                                f.name,
+                                de_named_field_expr(&format!("{name}::{vn}"), f)
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| <__D::Error as \
+                             serde::de::Error>::custom(\"{name}::{vn}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            let b = format!(
+                "let __v = __d.value();\n\
+                 {GET_HELPER}\
+                 let _ = __get;\n\
+                 match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>\
+                 ::custom(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __inner) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>\
+                 ::custom(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>\
+                 ::custom(format!(\"{name}: expected variant, got {{__other}}\"))),\n\
+                 }}\n"
+            );
+            (name, b)
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

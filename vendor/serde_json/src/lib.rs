@@ -1,0 +1,300 @@
+//! # serde_json (offline stand-in)
+//!
+//! JSON text ⇄ the vendored serde [`Value`] tree. Implements the entry
+//! points this workspace calls — [`to_string`], [`to_string_pretty`],
+//! [`to_vec`], [`from_str`], [`from_slice`] — plus a recursive-descent
+//! parser covering the full JSON grammar (escapes and `\uXXXX` included).
+//!
+//! Rendering is deterministic: derived maps preserve field declaration
+//! order and `HashMap`s are serialized key-sorted by the vendored serde,
+//! so equal inputs always produce byte-identical output (the sweep
+//! engine's report determinism rests on this).
+
+#![warn(missing_docs)]
+
+use serde::ser::Serialize;
+use serde::value::render;
+use serde::Deserialize;
+pub use serde::Value;
+use std::fmt;
+
+/// Error raised by JSON (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = serde::to_value(value).map_err(|e| Error(e.to_string()))?;
+    Ok(render(&v, false))
+}
+
+/// Serialize a value to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = serde::to_value(value).map_err(|e| Error(e.to_string()))?;
+    Ok(render(&v, true))
+}
+
+/// Serialize a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T> {
+    let v = parse(s)?;
+    serde::from_value(&v).map_err(|e| Error(e.to_string()))
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        chars: s.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        let got = self.bump()?;
+        if got != c {
+            return Err(Error(format!(
+                "expected `{c}`, got `{got}` at offset {}",
+                self.pos - 1
+            )));
+        }
+        Ok(())
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<()> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self
+            .peek()
+            .ok_or_else(|| Error("unexpected end of input".into()))?
+        {
+            'n' => {
+                self.keyword("null")?;
+                Ok(Value::Null)
+            }
+            't' => {
+                self.keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            'f' => {
+                self.keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            '"' => self.string().map(Value::Str),
+            '[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => continue,
+                        ']' => return Ok(Value::Seq(items)),
+                        c => return Err(Error(format!("expected `,` or `]`, got `{c}`"))),
+                    }
+                }
+            }
+            '{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    entries.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => continue,
+                        '}' => return Ok(Value::Map(entries)),
+                        c => return Err(Error(format!("expected `,` or `}}`, got `{c}`"))),
+                    }
+                }
+            }
+            c if c == '-' || c.is_ascii_digit() => self.number(),
+            c => Err(Error(format!(
+                "unexpected character `{c}` at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump()?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| {
+                                    Error(format!("invalid unicode escape digit `{c}`"))
+                                })?;
+                        }
+                        // Surrogate pairs: join a high surrogate with the
+                        // following `\uXXXX` low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let mut low = 0u32;
+                            for _ in 0..4 {
+                                let c = self.bump()?;
+                                low = low * 16
+                                    + c.to_digit(16).ok_or_else(|| {
+                                        Error(format!("invalid unicode escape digit `{c}`"))
+                                    })?;
+                            }
+                            let joined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(joined)
+                        } else {
+                            char::from_u32(code)
+                        };
+                        out.push(c.ok_or_else(|| Error("invalid unicode escape".into()))?);
+                    }
+                    c => return Err(Error(format!("invalid escape `\\{c}`"))),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let v: Vec<f64> = from_str("[1.5, 2.0, -3.25]").unwrap();
+        assert_eq!(v, vec![1.5, 2.0, -3.25]);
+        assert_eq!(to_string(&v).unwrap(), "[1.5,2.0,-3.25]");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parse(r#"{"a": [1, {"b": "x\ny"}], "c": null, "d": true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_seq()).map(|s| s.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn integral_floats_keep_point() {
+        assert_eq!(to_string(&vec![1.0f64]).unwrap(), "[1.0]");
+        let back: Vec<f64> = from_str("[1.0]").unwrap();
+        assert_eq!(back, vec![1.0]);
+    }
+}
