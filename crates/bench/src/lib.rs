@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use noc_selfconf::{
     ActionSpace, DrlController, NocEnvConfig, StateEncoder, TabularController, TrainedPolicy,
 };
@@ -46,11 +48,22 @@ impl Scale {
 
 /// Directory where experiment outputs (CSV, markdown, trained policies) are
 /// written: `results/` at the repository root, or `$EXPT_RESULTS`.
+///
+/// # Panics
+/// Panics with the offending path and OS error when the directory cannot be
+/// created — a swallowed error here surfaces later as a baffling "No such
+/// file" from some unrelated artifact write, which is undiagnosable in CI
+/// logs.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("EXPT_RESULTS")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
-    fs::create_dir_all(&dir).expect("results directory must be creatable");
+    fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        panic!(
+            "cannot create results directory `{}` (set $EXPT_RESULTS to relocate it): {e}",
+            dir.display()
+        )
+    });
     dir
 }
 

@@ -1,0 +1,716 @@
+//! Machine-readable performance tracking: the `noc-cli bench` subsystem.
+//!
+//! The ROADMAP's north star is a system that runs "as fast as the hardware
+//! allows" — which is unfalsifiable without machine-readable perf history.
+//! This module provides it:
+//!
+//! * [`run_suite`] executes a fixed set of timed workloads (cycle-level
+//!   simulation on several mesh/pattern points, batched DQN training steps,
+//!   full `NocEnv` control epochs, and a parallel sweep-grid fan-out),
+//!   repeats each one `repeats` times, and records the **median** and
+//!   **interquartile range** of the wall-clock cost plus derived rates
+//!   (cycles/sec, flits/sec, steps/sec, ...).
+//! * [`BenchReport`] serializes to a deterministic-schema JSON artifact,
+//!   conventionally named `BENCH_<git-sha>.json`, so perf history can be
+//!   diffed across commits.
+//! * [`compare`] diffs two reports workload-by-workload and flags median
+//!   regressions beyond a tolerance — the CI perf gate.
+//!
+//! Wall-clock numbers are inherently machine-dependent; reports record the
+//! median of several repeats to tame scheduler noise, and the CI gate uses a
+//! generous (30 %) tolerance so only genuine regressions trip it.
+
+use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
+use noc_sim::{RoutingAlgorithm, SimConfig, Simulator, TrafficPattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{DqnAgent, DqnConfig, Environment, LearningAgent, Transition};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Version stamped into every report; bump on schema changes so `compare`
+/// can refuse apples-to-oranges diffs.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Default regression tolerance of the CI gate: a workload regresses when
+/// its median wall-clock grows by more than this fraction.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Budget knobs for one suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchSuiteConfig {
+    /// Repeats per workload (median/IQR are taken over these).
+    pub repeats: usize,
+    /// Simulated cycles per simulator-workload repeat.
+    pub sim_cycles: u64,
+    /// Warmup cycles before a simulator workload is timed.
+    pub sim_warmup: u64,
+    /// DQN training steps per repeat.
+    pub dqn_steps: usize,
+    /// Batched Q-value evaluations per repeat.
+    pub dqn_predicts: usize,
+    /// `NocEnv` control epochs per repeat.
+    pub env_epochs: usize,
+    /// Measurement-window cycles of the sweep-grid workload.
+    pub sweep_measure: u64,
+}
+
+impl BenchSuiteConfig {
+    /// Paper-quality budgets (a few minutes).
+    pub fn full() -> Self {
+        BenchSuiteConfig {
+            repeats: 7,
+            sim_cycles: 20_000,
+            sim_warmup: 500,
+            dqn_steps: 300,
+            dqn_predicts: 2_000,
+            env_epochs: 10,
+            sweep_measure: 1_000,
+        }
+    }
+
+    /// Smoke budgets (a few seconds) — `noc-cli bench --quick` and CI.
+    pub fn quick() -> Self {
+        BenchSuiteConfig {
+            repeats: 3,
+            sim_cycles: 3_000,
+            sim_warmup: 200,
+            dqn_steps: 50,
+            dqn_predicts: 300,
+            env_epochs: 3,
+            sweep_measure: 300,
+        }
+    }
+}
+
+/// One measured workload of the suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Stable identifier, e.g. `sim/8x8/uniform/r0.10` — the key `compare`
+    /// matches on.
+    pub name: String,
+    /// Human-readable scenario metadata (mesh, pattern, budget, batch, ...).
+    pub params: String,
+    /// Number of timed repeats.
+    pub repeats: usize,
+    /// Median wall-clock per repeat, nanoseconds.
+    pub median_ns: u64,
+    /// Interquartile range of the repeat wall-clocks, nanoseconds.
+    pub iqr_ns: u64,
+    /// Work units executed per repeat.
+    pub units: u64,
+    /// What one unit is ("cycles", "train_steps", "epochs", ...).
+    pub unit: String,
+    /// Units per second at the median repeat.
+    pub units_per_sec: f64,
+    /// Flits delivered per second (simulator workloads only).
+    pub flits_per_sec: Option<f64>,
+}
+
+/// The serialized artifact: one suite run on one commit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Git commit the binary was built from (`unknown` outside a checkout).
+    pub git_sha: String,
+    /// Suite scale the run used (`quick` or `full`).
+    pub mode: String,
+    /// The budget knobs the run used.
+    pub config: BenchSuiteConfig,
+    /// Per-workload measurements, in fixed suite order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl BenchReport {
+    /// Conventional artifact file name for this report.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.git_sha)
+    }
+
+    /// Render a human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>10} {:>14} {:>14}",
+            "workload", "median", "iqr", "rate", "flits/sec"
+        );
+        for w in &self.workloads {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>10} {:>14} {:>14}",
+                w.name,
+                fmt_ns(w.median_ns),
+                fmt_ns(w.iqr_ns),
+                format!("{:.0} {}/s", w.units_per_sec, short_unit(&w.unit)),
+                w.flits_per_sec
+                    .map_or_else(|| "—".to_string(), |f| format!("{f:.0}")),
+            );
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn short_unit(unit: &str) -> &str {
+    match unit {
+        "cycles" => "cyc",
+        "train_steps" => "step",
+        "predict_batches" => "batch",
+        "epochs" => "epoch",
+        "scenarios" => "scen",
+        other => other,
+    }
+}
+
+/// Median and interquartile range of raw samples (in place sort).
+pub fn median_iqr(samples: &mut [u64]) -> (u64, u64) {
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    samples.sort_unstable();
+    let n = samples.len();
+    let median = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    };
+    // Quartiles via floor-of-rank on the sorted samples — a coarse but
+    // monotonic spread estimate that needs no interpolation; for n <= 2 the
+    // IQR collapses to 0.
+    let q1 = samples[(n - 1) / 4];
+    let q3 = samples[(3 * (n - 1)) / 4];
+    (median, q3.saturating_sub(q1))
+}
+
+/// The git commit of the working tree, or `unknown`.
+pub fn detect_git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Run `body` `repeats` times; the body times its own measured region (so
+/// per-repeat setup/warmup stays outside the sample) and returns
+/// `(elapsed_ns, units, flits)`. Returns `(median_ns, iqr_ns, units,
+/// flits)`, with `units`/`flits` from the last repeat (workloads are
+/// deterministic, so every repeat does identical work).
+fn timed<F>(repeats: usize, mut body: F) -> (u64, u64, u64, Option<u64>)
+where
+    F: FnMut() -> (u64, u64, Option<u64>),
+{
+    let mut samples = Vec::with_capacity(repeats);
+    let mut units = 0;
+    let mut flits = None;
+    for _ in 0..repeats {
+        let (dt, u, f) = body();
+        samples.push(dt.max(1)); // guard div-by-zero on sub-ns clocks
+        units = u;
+        flits = f;
+    }
+    let (median, iqr) = median_iqr(&mut samples);
+    (median, iqr, units, flits)
+}
+
+fn push_result(
+    out: &mut Vec<WorkloadResult>,
+    name: &str,
+    params: String,
+    unit: &str,
+    repeats: usize,
+    measured: (u64, u64, u64, Option<u64>),
+) {
+    let (median_ns, iqr_ns, units, flits) = measured;
+    let secs = median_ns as f64 / 1e9;
+    out.push(WorkloadResult {
+        name: name.to_string(),
+        params,
+        repeats,
+        median_ns,
+        iqr_ns,
+        units,
+        unit: unit.to_string(),
+        units_per_sec: units as f64 / secs,
+        flits_per_sec: flits.map(|f| f as f64 / secs),
+    });
+}
+
+/// Run the full suite at the given budgets. `mode` is recorded verbatim in
+/// the report (`"quick"` / `"full"` from the CLI).
+pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> BenchReport {
+    assert!(config.repeats > 0, "bench suite needs at least one repeat");
+    let mut workloads = Vec::new();
+
+    // --- Cycle-level simulator throughput across mesh sizes and patterns.
+    let sim_points: &[(usize, TrafficPattern, f64)] = &[
+        (4, TrafficPattern::Uniform, 0.10),
+        (4, TrafficPattern::Transpose, 0.10),
+        (8, TrafficPattern::Uniform, 0.10),
+        (8, TrafficPattern::Transpose, 0.10),
+        (8, TrafficPattern::Uniform, 0.25),
+    ];
+    for (width, pattern, rate) in sim_points {
+        let name = format!("sim/{width}x{width}/{}/r{rate:.2}", pattern.name());
+        let params = format!(
+            "{width}x{width} mesh, {} traffic at {rate} flits/node/cycle, \
+             {} warmup + {} timed cycles",
+            pattern.name(),
+            config.sim_warmup,
+            config.sim_cycles
+        );
+        let cfg = SimConfig::default()
+            .with_size(*width, *width)
+            .with_traffic(pattern.clone(), *rate);
+        let measured = timed(config.repeats, || {
+            // Fresh simulator per repeat so repeats are identical work;
+            // construction and warmup stay outside the timed region.
+            let mut sim = Simulator::new(cfg.clone()).expect("valid bench config");
+            sim.run(config.sim_warmup);
+            let flits0 = sim.stats().ejected_flits;
+            let t0 = Instant::now();
+            sim.run(config.sim_cycles);
+            let dt = t0.elapsed().as_nanos() as u64;
+            let flits = sim.stats().ejected_flits - flits0;
+            (dt, config.sim_cycles, Some(flits))
+        });
+        push_result(
+            &mut workloads,
+            &name,
+            params,
+            "cycles",
+            config.repeats,
+            measured,
+        );
+    }
+
+    // --- Batched DQN forward/backward (the training inner loop).
+    {
+        let mut agent = bench_agent();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Prime replay + Adam state outside the timed region.
+        agent.train_step(&mut rng);
+        let steps = config.dqn_steps as u64;
+        let measured = timed(config.repeats, || {
+            let t0 = Instant::now();
+            for _ in 0..steps {
+                agent.train_step(&mut rng);
+            }
+            (t0.elapsed().as_nanos() as u64, steps, None)
+        });
+        push_result(
+            &mut workloads,
+            "dqn/train_step/batch32",
+            format!(
+                "15-64-64-9 MLP, batch 32, double-DQN, {} train steps per repeat",
+                config.dqn_steps
+            ),
+            "train_steps",
+            config.repeats,
+            measured,
+        );
+
+        let states: Vec<Vec<f32>> = (0..32)
+            .map(|i| (0..15).map(|j| ((i * 3 + j) % 11) as f32 / 11.0).collect())
+            .collect();
+        let batches = config.dqn_predicts as u64;
+        let measured = timed(config.repeats, || {
+            let mut acc = 0.0f32;
+            let t0 = Instant::now();
+            for _ in 0..batches {
+                let q = agent.q_values_batch(&states);
+                acc += q.get(0, 0);
+            }
+            let dt = t0.elapsed().as_nanos() as u64;
+            std::hint::black_box(acc);
+            (dt, batches, None)
+        });
+        push_result(
+            &mut workloads,
+            "dqn/predict/batch32",
+            format!(
+                "15-64-64-9 MLP, 32-state batched Q evaluation, {} batches per repeat",
+                config.dqn_predicts
+            ),
+            "predict_batches",
+            config.repeats,
+            measured,
+        );
+    }
+
+    // --- Full NocEnv control epoch (simulate + encode + reward).
+    {
+        let sim = SimConfig::default()
+            .with_size(4, 4)
+            .with_traffic(TrafficPattern::Uniform, 0.1)
+            .with_regions(2, 2);
+        let mut env = NocEnv::new(NocEnvConfig {
+            action_space: ActionSpace::PerRegionDelta {
+                num_regions: 4,
+                num_levels: 4,
+            },
+            sim,
+            epoch_cycles: 500,
+            epochs_per_episode: usize::MAX / 2, // never terminates mid-bench
+            reward: RewardConfig::default(),
+            traffic_menu: vec![],
+            seed: 0,
+        })
+        .expect("valid bench environment");
+        env.reset();
+        let epochs = config.env_epochs as u64;
+        let mut action = 0usize;
+        let measured = timed(config.repeats, || {
+            let t0 = Instant::now();
+            for _ in 0..epochs {
+                action = (action + 1) % env.num_actions();
+                std::hint::black_box(env.step(action));
+            }
+            (t0.elapsed().as_nanos() as u64, epochs, None)
+        });
+        push_result(
+            &mut workloads,
+            "env/epoch/4x4",
+            format!(
+                "4x4 mesh, 2x2 regions, 500-cycle epochs, {} epochs per repeat",
+                config.env_epochs
+            ),
+            "epochs",
+            config.repeats,
+            measured,
+        );
+    }
+
+    // --- Sweep-grid fan-out (the parallel scenario engine end to end).
+    {
+        let grid = SweepGrid {
+            sizes: vec![(4, 4), (8, 8)],
+            patterns: vec![TrafficPattern::Uniform],
+            rates: vec![0.05, 0.10],
+            routings: vec![RoutingAlgorithm::Xy],
+            levels: vec![None],
+            warmup: config.sweep_measure / 4,
+            measure: config.sweep_measure,
+            drain: config.sweep_measure,
+            base_seed: 7,
+            ..SweepGrid::default()
+        };
+        let threads = noc_selfconf::default_threads();
+        let scenarios = grid.len() as u64;
+        let measured = timed(config.repeats, || {
+            let t0 = Instant::now();
+            let report = grid.run(threads).expect("valid bench grid");
+            let dt = t0.elapsed().as_nanos() as u64;
+            std::hint::black_box(report.aggregate.num_scenarios);
+            (dt, scenarios, None)
+        });
+        push_result(
+            &mut workloads,
+            "sweep/fanout/4scenarios",
+            format!(
+                "4x4+8x8 uniform at 0.05/0.10, {} measure cycles, {threads} threads",
+                config.sweep_measure
+            ),
+            "scenarios",
+            config.repeats,
+            measured,
+        );
+    }
+
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        git_sha,
+        mode: mode.to_string(),
+        config,
+        workloads,
+    }
+}
+
+/// The standard bench agent: the self-configuration network shape with a
+/// replay buffer pre-filled deterministically.
+fn bench_agent() -> DqnAgent {
+    let mut agent = DqnAgent::new(DqnConfig {
+        min_replay: 64,
+        ..DqnConfig::default().with_dims(15, 9)
+    });
+    for i in 0..256usize {
+        let state: Vec<f32> = (0..15).map(|j| ((i + j) % 7) as f32 / 7.0).collect();
+        let next: Vec<f32> = (0..15).map(|j| ((i + j + 1) % 7) as f32 / 7.0).collect();
+        agent.observe(Transition {
+            state,
+            action: i % 9,
+            reward: (i % 3) as f32 - 1.0,
+            next_state: next,
+            done: i % 40 == 0,
+        });
+    }
+    agent
+}
+
+/// One workload's delta between two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchDelta {
+    /// Workload identifier.
+    pub name: String,
+    /// Baseline median, nanoseconds.
+    pub old_median_ns: u64,
+    /// Candidate median, nanoseconds.
+    pub new_median_ns: u64,
+    /// `(new - old) / old`; positive means slower.
+    pub delta_frac: f64,
+    /// Whether the delta exceeds the comparison tolerance.
+    pub regression: bool,
+}
+
+/// Outcome of diffing two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Tolerance the comparison used.
+    pub tolerance: f64,
+    /// Per-workload deltas, in baseline order.
+    pub deltas: Vec<BenchDelta>,
+    /// Baseline workloads absent from the candidate (treated as failures:
+    /// a silently dropped workload must force a baseline refresh).
+    pub missing_in_new: Vec<String>,
+    /// Candidate workloads absent from the baseline (informational).
+    pub missing_in_old: Vec<String>,
+}
+
+impl Comparison {
+    /// Number of gate failures (regressions + dropped workloads).
+    pub fn failures(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regression).count() + self.missing_in_new.len()
+    }
+
+    /// Render the delta table plus a verdict line.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}  verdict",
+            "workload", "old median", "new median", "delta"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>12} {:>+8.1}%  {}",
+                d.name,
+                fmt_ns(d.old_median_ns),
+                fmt_ns(d.new_median_ns),
+                d.delta_frac * 100.0,
+                if d.regression { "REGRESSION" } else { "ok" },
+            );
+        }
+        for name in &self.missing_in_new {
+            let _ = writeln!(out, "{name:<28} MISSING from candidate report");
+        }
+        for name in &self.missing_in_old {
+            let _ = writeln!(out, "{name:<28} new workload (no baseline)");
+        }
+        let _ = writeln!(
+            out,
+            "{} workload(s) compared, {} failure(s) at {:.0}% tolerance",
+            self.deltas.len(),
+            self.failures(),
+            self.tolerance * 100.0
+        );
+        out
+    }
+}
+
+/// Diff `new` against the `old` baseline: a workload regresses when its
+/// median wall-clock grew by more than `tolerance` (fractional).
+///
+/// # Errors
+/// Returns an error when the schema versions or suite budgets differ —
+/// medians from different budgets (e.g. a `full` run vs a `quick`
+/// baseline) share workload names but time different amounts of work, so
+/// diffing them would report enormous phantom regressions.
+pub fn compare(old: &BenchReport, new: &BenchReport, tolerance: f64) -> Result<Comparison, String> {
+    if old.schema_version != new.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline v{} vs candidate v{} — refresh the baseline",
+            old.schema_version, new.schema_version
+        ));
+    }
+    if old.config != new.config {
+        return Err(format!(
+            "suite-budget mismatch: baseline ran `{}` budgets, candidate ran `{}` \
+             ({:?} vs {:?}) — rerun with matching flags or refresh the baseline",
+            old.mode, new.mode, old.config, new.config
+        ));
+    }
+    let mut deltas = Vec::new();
+    let mut missing_in_new = Vec::new();
+    for ow in &old.workloads {
+        match new.workloads.iter().find(|nw| nw.name == ow.name) {
+            Some(nw) => {
+                let delta_frac =
+                    (nw.median_ns as f64 - ow.median_ns as f64) / (ow.median_ns as f64).max(1.0);
+                deltas.push(BenchDelta {
+                    name: ow.name.clone(),
+                    old_median_ns: ow.median_ns,
+                    new_median_ns: nw.median_ns,
+                    delta_frac,
+                    regression: delta_frac > tolerance,
+                });
+            }
+            None => missing_in_new.push(ow.name.clone()),
+        }
+    }
+    let missing_in_old = new
+        .workloads
+        .iter()
+        .filter(|nw| !old.workloads.iter().any(|ow| ow.name == nw.name))
+        .map(|nw| nw.name.clone())
+        .collect();
+    Ok(Comparison {
+        tolerance,
+        deltas,
+        missing_in_new,
+        missing_in_old,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchSuiteConfig {
+        BenchSuiteConfig {
+            repeats: 3,
+            sim_cycles: 40,
+            sim_warmup: 10,
+            dqn_steps: 2,
+            dqn_predicts: 2,
+            env_epochs: 1,
+            sweep_measure: 40,
+        }
+    }
+
+    #[test]
+    fn median_iqr_matches_hand_computation() {
+        assert_eq!(median_iqr(&mut [5]), (5, 0));
+        assert_eq!(median_iqr(&mut [3, 1]), (2, 0));
+        // Sorted [1, 5, 9]: q1 = s[0] = 1, q3 = s[(3*2)/4] = s[1] = 5.
+        assert_eq!(median_iqr(&mut [9, 1, 5]), (5, 4));
+        // 1..=8: median 4.5 -> 4 (integer), q1 = s[1] = 2, q3 = s[5] = 6.
+        assert_eq!(median_iqr(&mut [8, 7, 6, 5, 4, 3, 2, 1]), (4, 4));
+    }
+
+    #[test]
+    fn suite_runs_and_serializes_deterministically() {
+        let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
+        assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(report.file_name(), "BENCH_deadbeef.json");
+        assert_eq!(report.workloads.len(), 9);
+        for w in &report.workloads {
+            assert!(w.median_ns > 0, "{} must take time", w.name);
+            assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);
+        }
+        // Simulator workloads report flit throughput; others do not.
+        assert!(report
+            .workloads
+            .iter()
+            .filter(|w| w.name.starts_with("sim/"))
+            .all(|w| w.flits_per_sec.is_some()));
+        assert!(report
+            .workloads
+            .iter()
+            .filter(|w| !w.name.starts_with("sim/"))
+            .all(|w| w.flits_per_sec.is_none()));
+        // Schema stability: JSON round-trips to byte-identical JSON.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+        // The summary table renders every workload.
+        let table = report.render_table();
+        for w in &report.workloads {
+            assert!(table.contains(&w.name));
+        }
+    }
+
+    #[test]
+    fn self_comparison_reports_zero_failures() {
+        let report = run_suite(tiny_config(), "tiny", "cafe".into());
+        let cmp = compare(&report, &report, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), 0);
+        assert_eq!(cmp.deltas.len(), report.workloads.len());
+        assert!(cmp.deltas.iter().all(|d| d.delta_frac == 0.0));
+        assert!(cmp.render_table().contains("0 failure(s)"));
+    }
+
+    #[test]
+    fn slowdowns_beyond_tolerance_are_regressions() {
+        let old = run_suite(tiny_config(), "tiny", "old".into());
+        let mut new = old.clone();
+        for w in &mut new.workloads {
+            w.median_ns *= 2; // +100% >> 30%
+        }
+        let cmp = compare(&old, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), old.workloads.len());
+        assert!(cmp.render_table().contains("REGRESSION"));
+        // Speedups never trip the gate.
+        let cmp = compare(&new, &old, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), 0);
+    }
+
+    #[test]
+    fn dropped_workloads_fail_the_gate() {
+        let old = run_suite(tiny_config(), "tiny", "old".into());
+        let mut new = old.clone();
+        let dropped = new.workloads.remove(0);
+        let cmp = compare(&old, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), 1);
+        assert_eq!(cmp.missing_in_new, vec![dropped.name.clone()]);
+        assert!(cmp.render_table().contains("MISSING"));
+        // A workload only the candidate has is informational, not a failure.
+        let cmp = compare(&new, &old, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), 0);
+        assert_eq!(cmp.missing_in_old, vec![dropped.name]);
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_an_error() {
+        let old = run_suite(tiny_config(), "tiny", "old".into());
+        let mut new = old.clone();
+        new.schema_version += 1;
+        assert!(compare(&old, &new, DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn suite_budget_mismatch_is_an_error() {
+        // A full-budget candidate against a quick-budget baseline times
+        // different work under the same workload names; the diff must be
+        // refused, not reported as a phantom regression.
+        let old = run_suite(tiny_config(), "tiny", "old".into());
+        let mut new = old.clone();
+        new.config.sim_cycles *= 10;
+        new.mode = "full".into();
+        let err = compare(&old, &new, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("budget mismatch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn detect_git_sha_returns_something() {
+        let sha = detect_git_sha();
+        assert!(!sha.is_empty());
+    }
+}

@@ -337,6 +337,167 @@ pub fn cmd_sweep_grid(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parsed `bench` flags.
+#[derive(Debug)]
+pub struct BenchOptions {
+    /// Use the quick (smoke) suite budgets instead of the full ones.
+    pub quick: bool,
+    /// Override the suite's repeat count.
+    pub repeats: Option<usize>,
+    /// Write the report here (default: `BENCH_<git-sha>.json`).
+    pub out: Option<String>,
+    /// Baseline report to compare against.
+    pub compare: Option<String>,
+    /// Candidate report to compare (skips running the suite).
+    pub against: Option<String>,
+    /// Fractional regression tolerance for `--compare`.
+    pub tolerance: f64,
+    /// Git SHA to stamp into the report (default: auto-detected).
+    pub sha: Option<String>,
+    /// Suite budget override (tests use tiny budgets; not CLI-reachable).
+    pub suite: Option<noc_bench::report::BenchSuiteConfig>,
+}
+
+/// Parse `bench` flags.
+///
+/// # Errors
+/// Returns a usage error for unknown flags or malformed values.
+pub fn parse_bench_args(args: &[String]) -> Result<BenchOptions, CliError> {
+    let mut opts = BenchOptions {
+        quick: false,
+        repeats: None,
+        out: None,
+        compare: None,
+        against: None,
+        tolerance: noc_bench::report::DEFAULT_TOLERANCE,
+        sha: None,
+        suite: None,
+    };
+    const VALUE_FLAGS: [&str; 6] = [
+        "--repeats",
+        "--out",
+        "--compare",
+        "--against",
+        "--tolerance",
+        "--sha",
+    ];
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--quick" {
+            opts.quick = true;
+            continue;
+        }
+        if !VALUE_FLAGS.contains(&flag.as_str()) {
+            return Err(CliError(format!(
+                "unknown bench flag `{flag}` (expected {}, or --quick)",
+                VALUE_FLAGS.join(", ")
+            )));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+        match flag.as_str() {
+            "--repeats" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --repeats `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError("--repeats must be at least 1".into()));
+                }
+                opts.repeats = Some(n);
+            }
+            "--out" => opts.out = Some(value.clone()),
+            "--compare" => opts.compare = Some(value.clone()),
+            "--against" => opts.against = Some(value.clone()),
+            "--tolerance" => {
+                let t: f64 = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --tolerance `{value}`: {e}")))?;
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(CliError("--tolerance must be positive".into()));
+                }
+                opts.tolerance = t;
+            }
+            "--sha" => opts.sha = Some(value.clone()),
+            _ => unreachable!("flag membership checked above"),
+        }
+    }
+    if opts.against.is_some() && opts.compare.is_none() {
+        return Err(CliError("--against requires --compare".into()));
+    }
+    Ok(opts)
+}
+
+fn load_bench_report(path: &str) -> Result<noc_bench::report::BenchReport, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read bench report `{path}`: {e}")))?;
+    serde_json::from_str(&text)
+        .map_err(|e| CliError(format!("malformed bench report `{path}`: {e}")))
+}
+
+/// Execute parsed `bench` options: run the suite (or load `--against`),
+/// write the report, and apply the `--compare` gate.
+///
+/// # Errors
+/// Returns an error for IO failures or when the comparison finds
+/// regressions (so the process exits non-zero — the CI gate).
+pub fn run_bench(opts: &BenchOptions) -> Result<(), CliError> {
+    use noc_bench::report::{compare, detect_git_sha, run_suite, BenchSuiteConfig};
+
+    let new_report = match &opts.against {
+        Some(path) => {
+            eprintln!("bench: comparing {path} (no suite run)");
+            load_bench_report(path)?
+        }
+        None => {
+            let mode = if opts.quick { "quick" } else { "full" };
+            let mut suite = opts.suite.unwrap_or_else(|| {
+                if opts.quick {
+                    BenchSuiteConfig::quick()
+                } else {
+                    BenchSuiteConfig::full()
+                }
+            });
+            if let Some(r) = opts.repeats {
+                suite.repeats = r;
+            }
+            let sha = opts.sha.clone().unwrap_or_else(detect_git_sha);
+            eprintln!(
+                "bench: running the {mode} suite ({} repeats per workload)...",
+                suite.repeats
+            );
+            let report = run_suite(suite, mode, sha);
+            eprint!("{}", report.render_table());
+            let path = opts.out.clone().unwrap_or_else(|| report.file_name());
+            fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+            eprintln!("bench: report written to {path}");
+            report
+        }
+    };
+
+    if let Some(baseline_path) = &opts.compare {
+        let baseline = load_bench_report(baseline_path)?;
+        let cmp = compare(&baseline, &new_report, opts.tolerance).map_err(CliError)?;
+        println!("{}", cmp.render_table());
+        let failures = cmp.failures();
+        if failures > 0 {
+            return Err(CliError(format!(
+                "bench: {failures} perf failure(s) vs {baseline_path} \
+                 (>{:.0}% median slowdown or dropped workload)",
+                opts.tolerance * 100.0
+            )));
+        }
+        eprintln!("bench: no regressions vs {baseline_path}");
+    }
+    Ok(())
+}
+
+/// `bench`: run the timed workload suite, emit `BENCH_<sha>.json`, and
+/// optionally gate against a baseline report.
+pub fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    run_bench(&parse_bench_args(args)?)
+}
+
 /// What `train` persists: the agent's network plus deployment metadata.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct SavedPolicy {
@@ -611,6 +772,111 @@ mod tests {
             serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(report.scenarios.len(), 2);
         assert_eq!(report.aggregate.num_scenarios, 2);
+    }
+
+    #[test]
+    fn bench_args_parse_and_validate() {
+        let opts = parse_bench_args(&strings(&[
+            "--quick",
+            "--repeats",
+            "5",
+            "--out",
+            "b.json",
+            "--compare",
+            "old.json",
+            "--tolerance",
+            "0.5",
+            "--sha",
+            "abc123",
+        ]))
+        .unwrap();
+        assert!(opts.quick);
+        assert_eq!(opts.repeats, Some(5));
+        assert_eq!(opts.out.as_deref(), Some("b.json"));
+        assert_eq!(opts.compare.as_deref(), Some("old.json"));
+        assert_eq!(opts.tolerance, 0.5);
+        assert_eq!(opts.sha.as_deref(), Some("abc123"));
+
+        let default = parse_bench_args(&[]).unwrap();
+        assert!(!default.quick);
+        assert_eq!(default.tolerance, noc_bench::report::DEFAULT_TOLERANCE);
+
+        assert!(parse_bench_args(&strings(&["--bogus"])).is_err());
+        assert!(parse_bench_args(&strings(&["--repeats", "0"])).is_err());
+        assert!(parse_bench_args(&strings(&["--repeats"])).is_err());
+        assert!(parse_bench_args(&strings(&["--tolerance", "-0.1"])).is_err());
+        assert!(parse_bench_args(&strings(&["--tolerance", "nope"])).is_err());
+        // --against without --compare has nothing to diff.
+        assert!(parse_bench_args(&strings(&["--against", "new.json"])).is_err());
+    }
+
+    #[test]
+    fn bench_compare_gate_passes_and_fails() {
+        use noc_bench::report::{run_suite, BenchSuiteConfig};
+        let dir = std::env::temp_dir().join("noc_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let tiny = BenchSuiteConfig {
+            repeats: 1,
+            sim_cycles: 30,
+            sim_warmup: 10,
+            dqn_steps: 1,
+            dqn_predicts: 1,
+            env_epochs: 1,
+            sweep_measure: 30,
+        };
+        let report = run_suite(tiny, "tiny", "t".into());
+        let base = dir.join("bench_base.json");
+        fs::write(&base, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+        let base_str = base.to_str().unwrap().to_string();
+
+        // Self-comparison (file vs file, no suite run): zero regressions.
+        let opts = BenchOptions {
+            quick: true,
+            repeats: None,
+            out: None,
+            compare: Some(base_str.clone()),
+            against: Some(base_str.clone()),
+            tolerance: 0.3,
+            sha: None,
+            suite: None,
+        };
+        run_bench(&opts).expect("self-comparison must pass the gate");
+
+        // A uniformly slower candidate fails the gate.
+        let mut slow = report.clone();
+        for w in &mut slow.workloads {
+            w.median_ns *= 10;
+        }
+        let cand = dir.join("bench_slow.json");
+        fs::write(&cand, serde_json::to_string_pretty(&slow).unwrap()).unwrap();
+        let opts = BenchOptions {
+            against: Some(cand.to_str().unwrap().to_string()),
+            compare: Some(base_str.clone()),
+            ..opts
+        };
+        let err = run_bench(&opts).expect_err("10x slowdown must fail the gate");
+        assert!(err.0.contains("perf failure"), "unexpected error: {err}");
+
+        // Running the (tiny) suite and gating against the fresh baseline
+        // exercises the run+write+compare path end to end.
+        let out = dir.join("bench_fresh.json");
+        let opts = BenchOptions {
+            quick: true,
+            repeats: None,
+            out: Some(out.to_str().unwrap().to_string()),
+            compare: None,
+            against: None,
+            tolerance: 0.3,
+            sha: Some("testsha".into()),
+            suite: Some(tiny),
+        };
+        run_bench(&opts).expect("suite run must succeed");
+        let written: noc_bench::report::BenchReport =
+            serde_json::from_str(&fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(written.git_sha, "testsha");
+        assert_eq!(written.workloads.len(), report.workloads.len());
+
+        assert!(load_bench_report("/nonexistent/bench.json").is_err());
     }
 
     #[test]

@@ -123,6 +123,60 @@ fn report_roundtrips_through_json() {
     assert_eq!(to_json(&back), json, "JSON round-trip must be lossless");
 }
 
+/// Golden pin of the cycle-accurate simulation results, captured from the
+/// tree *before* the cycle-loop optimizations (scratch buffers in
+/// `Network::step`, O(1) occupancy/backlog counters, cached per-region DVFS
+/// scales). The optimizations must be pure refactors: any drift in these
+/// numbers means simulated behavior changed, not just speed.
+///
+/// To refresh after an *intentional* behavior change:
+/// `cargo run --release -p cli -- sweep-grid --sizes 4x4 \
+///    --patterns uniform,transpose --rates 0.08 --routings xy \
+///    --warmup 200 --measure 600 --drain 600 --seed 42 --serial --out g.json`
+/// and copy the per-scenario fields below from `g.json`.
+#[test]
+fn optimized_cycle_loop_reproduces_golden_metrics() {
+    let grid = SweepGrid {
+        base: SimConfig::default(),
+        sizes: vec![(4, 4)],
+        patterns: vec![TrafficPattern::Uniform, TrafficPattern::Transpose],
+        rates: vec![0.08],
+        routings: vec![RoutingAlgorithm::Xy],
+        levels: vec![None],
+        warmup: 200,
+        measure: 600,
+        drain: 600,
+        base_seed: 42,
+    };
+    let report = grid.run_serial().expect("valid grid");
+    assert_eq!(report.scenarios.len(), 2);
+
+    let uni = &report.scenarios[0];
+    assert_eq!(uni.label, "4x4/uniform/r0.08/xy");
+    assert_eq!(uni.seed, 12058926934050108962);
+    assert!(!uni.saturated);
+    assert_eq!(uni.metrics.avg_packet_latency, 15.6625);
+    assert_eq!(uni.metrics.throughput, 0.08177083333333333);
+    assert_eq!(uni.metrics.energy_pj, 22826.25000000159);
+    assert_eq!(uni.metrics.injected_flits, 1012);
+    assert_eq!(uni.metrics.ejected_flits, 1025);
+
+    let tra = &report.scenarios[1];
+    assert_eq!(tra.label, "4x4/transpose/r0.08/xy");
+    assert_eq!(tra.seed, 13679457532755275413);
+    assert!(!tra.saturated);
+    assert_eq!(tra.metrics.avg_packet_latency, 18.52173913043478);
+    assert_eq!(tra.metrics.throughput, 0.060833333333333336);
+    assert_eq!(tra.metrics.energy_pj, 23796.550000001527);
+    assert_eq!(tra.metrics.injected_flits, 805);
+    assert_eq!(tra.metrics.ejected_flits, 820);
+
+    // The same grid run in parallel must serialize to the same bytes (the
+    // scratch buffers live per-Network, so thread reuse cannot alias them).
+    let parallel = grid.run(4).expect("valid grid");
+    assert_eq!(to_json(&parallel), to_json(&report));
+}
+
 #[test]
 fn dvfs_level_axis_is_applied() {
     let grid = SweepGrid {

@@ -101,11 +101,25 @@ impl Mlp {
 
     /// Inference from a shared reference (no caches).
     pub fn predict(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for l in &self.layers {
+        let (first, rest) = self.layers.split_first().expect("non-empty");
+        let mut h = first.forward_inference(x);
+        for l in rest {
             h = l.forward_inference(&h);
         }
         h
+    }
+
+    /// Batched inference over per-sample state slices: packs the rows into
+    /// one matrix and runs a single forward pass, so a replay batch costs
+    /// one matrix multiply per layer instead of one per sample (the
+    /// [`Mlp::predict_one`] path).
+    ///
+    /// Row `i` of the result is the network's output for `states[i]`.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or the rows have unequal lengths.
+    pub fn predict_batch<S: AsRef<[f32]>>(&self, states: &[S]) -> Matrix {
+        self.predict(&Matrix::from_rows(states))
     }
 
     /// Inference on a single input vector.

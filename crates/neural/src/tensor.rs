@@ -41,6 +41,23 @@ impl Matrix {
         Matrix::from_vec(1, n, data)
     }
 
+    /// Pack equal-length rows into one matrix (single allocation, one
+    /// `memcpy` per row) — the batch-assembly primitive for inference.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows<S: AsRef<[f32]>>(rows: &[S]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].as_ref().len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            let row = row.as_ref();
+            assert_eq!(row.len(), cols, "from_rows rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(rows.len(), cols, data)
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -1,0 +1,76 @@
+//! Property tests pinning the batched-inference fast path to the
+//! per-sample reference path: `predict_batch` must be exactly (bitwise)
+//! row-equivalent to `predict_one`, for any architecture and input, because
+//! both run the same f32 operations in the same order — only the packing
+//! differs.
+
+use neural::{Activation, Matrix, Mlp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `predict_batch` row `i` is bitwise-identical to `predict_one` of
+    /// state `i`, across architectures, activations, batch sizes, and seeds.
+    #[test]
+    fn predict_batch_matches_rowwise_predict_one(
+        in_dim in 1usize..6,
+        hidden in 1usize..12,
+        out_dim in 1usize..5,
+        seed in 0u64..1000,
+        act_idx in 0usize..3,
+        rows in prop::collection::vec(
+            prop::collection::vec(-3.0f32..3.0, 1..6),
+            1..9,
+        ),
+    ) {
+        let act = [Activation::Relu, Activation::Tanh, Activation::Sigmoid][act_idx];
+        let net = Mlp::new(&[in_dim, hidden, out_dim], act, Activation::Linear, seed);
+        // Re-shape the generated rows to the sampled input width.
+        let states: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| (0..in_dim).map(|j| r[j % r.len()]).collect())
+            .collect();
+        let batch = net.predict_batch(&states);
+        prop_assert_eq!(batch.rows(), states.len());
+        prop_assert_eq!(batch.cols(), out_dim);
+        for (i, s) in states.iter().enumerate() {
+            let one = net.predict_one(s);
+            prop_assert_eq!(
+                batch.row_slice(i),
+                one.as_slice(),
+                "row {} diverges from predict_one",
+                i
+            );
+        }
+    }
+
+    /// `Matrix::from_rows` packs row-major without reordering.
+    #[test]
+    fn from_rows_is_row_major(
+        rows in prop::collection::vec(
+            prop::collection::vec(-10.0f32..10.0, 3..4),
+            1..8,
+        ),
+    ) {
+        let m = Matrix::from_rows(&rows);
+        prop_assert_eq!(m.rows(), rows.len());
+        prop_assert_eq!(m.cols(), 3);
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(m.row_slice(i), r.as_slice());
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "equal length")]
+fn from_rows_rejects_ragged_rows() {
+    let _ = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0]]);
+}
+
+#[test]
+#[should_panic(expected = "at least one row")]
+fn from_rows_rejects_empty() {
+    let rows: Vec<Vec<f32>> = vec![];
+    let _ = Matrix::from_rows(&rows);
+}

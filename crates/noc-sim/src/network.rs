@@ -23,6 +23,9 @@ use std::collections::VecDeque;
 struct InjectionQueue {
     /// Packets waiting to enter the network.
     packets: VecDeque<Packet>,
+    /// Total flits across `packets`, maintained on push/pop so backlog
+    /// sampling is O(1) per queue even when the queue is saturated.
+    queued_flits: usize,
     /// Flits of the packet currently being injected, in order.
     current: VecDeque<Flit>,
     /// Upstream view of the router's Local-port input VCs.
@@ -35,20 +38,39 @@ impl InjectionQueue {
     fn new(num_vcs: usize, vc_depth: usize) -> Self {
         InjectionQueue {
             packets: VecDeque::new(),
+            queued_flits: 0,
             current: VecDeque::new(),
             vc_states: (0..num_vcs).map(|_| OutputVcState::new(vc_depth)).collect(),
             current_vc: None,
         }
     }
 
+    /// Enqueue a packet for injection.
+    fn push_packet(&mut self, p: Packet) {
+        self.queued_flits += p.len_flits as usize;
+        self.packets.push_back(p);
+    }
+
+    /// Dequeue the next packet to inject.
+    fn pop_packet(&mut self) -> Option<Packet> {
+        let p = self.packets.pop_front();
+        if let Some(p) = &p {
+            self.queued_flits -= p.len_flits as usize;
+        }
+        p
+    }
+
     /// Flits still waiting (queued packets plus the partially injected one).
     fn backlog_flits(&self) -> usize {
-        self.current.len()
-            + self
-                .packets
+        debug_assert_eq!(
+            self.queued_flits,
+            self.packets
                 .iter()
                 .map(|p| p.len_flits as usize)
-                .sum::<usize>()
+                .sum::<usize>(),
+            "queued-flit counter out of sync with the packet queue"
+        );
+        self.current.len() + self.queued_flits
     }
 }
 
@@ -90,7 +112,30 @@ pub struct Network {
     throttles: Vec<ThrottleEvent>,
     /// Outgoing link count per node, for leakage accounting.
     links_out: Vec<usize>,
+    /// Region index per node (precomputed once; the cycle loop needs it for
+    /// every node every cycle).
+    region_by_node: Vec<usize>,
+    /// Dynamic-energy multiplier per region at its current effective level,
+    /// recomputed only when an effective level changes.
+    region_dynamic_scale: Vec<f64>,
+    /// Leakage multiplier per region at its current effective level.
+    region_leakage_scale: Vec<f64>,
     cycle: u64,
+    /// Reusable per-cycle buffers. [`Network::step`] used to allocate fresh
+    /// `Vec`s for link deliveries, credit returns, router events, and the
+    /// region-occupancy sample every cycle; hoisting them here removes four
+    /// allocations per simulated cycle from the hottest loop in the system.
+    scratch: StepScratch,
+}
+
+/// Scratch buffers reused across [`Network::step`] calls (drained at the end
+/// of every cycle, so only capacity persists).
+#[derive(Debug, Default)]
+struct StepScratch {
+    deliveries: Vec<Delivery>,
+    credits: Vec<CreditReturn>,
+    events: Vec<RouterEvent>,
+    region_occ: Vec<usize>,
 }
 
 impl Network {
@@ -125,6 +170,11 @@ impl Network {
                     .count()
             })
             .collect();
+        let region_by_node: Vec<usize> =
+            topo.nodes().map(|n| regions.region_of(&topo, n)).collect();
+        let max_vf = config.vf_table.levels()[max_level];
+        let nominal = config.vf_table.nominal_voltage();
+        let num_regions = regions.num_regions();
         Ok(Network {
             topo,
             routing: config.routing,
@@ -133,12 +183,16 @@ impl Network {
             gates,
             power: config.power,
             vf_table: config.vf_table.clone(),
-            region_levels: vec![max_level; regions.num_regions()],
-            effective_levels: vec![max_level; regions.num_regions()],
+            region_levels: vec![max_level; num_regions],
+            effective_levels: vec![max_level; num_regions],
             throttles: config.throttles.clone(),
             regions,
             links_out,
+            region_by_node,
+            region_dynamic_scale: vec![max_vf.dynamic_scale(nominal); num_regions],
+            region_leakage_scale: vec![max_vf.leakage_scale(nominal); num_regions],
             cycle: 0,
+            scratch: StepScratch::default(),
         })
     }
 
@@ -215,8 +269,13 @@ impl Network {
             if eff != self.effective_levels[region] {
                 self.effective_levels[region] = eff;
                 let vf = self.vf_table.level(eff).expect("effective level valid");
-                for node in self.regions.nodes_in(&self.topo, region) {
-                    self.gates[node.0].set_freq_scale(vf.freq_scale);
+                let nominal = self.vf_table.nominal_voltage();
+                self.region_dynamic_scale[region] = vf.dynamic_scale(nominal);
+                self.region_leakage_scale[region] = vf.leakage_scale(nominal);
+                for (node, &r) in self.region_by_node.iter().enumerate() {
+                    if r == region {
+                        self.gates[node].set_freq_scale(vf.freq_scale);
+                    }
                 }
             }
         }
@@ -254,7 +313,7 @@ impl Network {
     pub fn offer(&mut self, packets: Vec<Packet>, stats: &mut StatsCollector) {
         for p in packets {
             stats.record_offered();
-            self.inj[p.src.0].packets.push_back(p);
+            self.inj[p.src.0].push_packet(p);
         }
     }
 
@@ -265,11 +324,19 @@ impl Network {
 
     /// Buffered flits per region.
     pub fn region_occupancy(&self) -> Vec<usize> {
-        let mut out = vec![0usize; self.regions.num_regions()];
-        for r in &self.routers {
-            out[self.regions.region_of(&self.topo, r.id())] += r.occupancy();
-        }
+        let mut out = Vec::new();
+        self.region_occupancy_into(&mut out);
         out
+    }
+
+    /// Fill `out` with buffered flits per region (allocation-free variant of
+    /// [`Network::region_occupancy`] for the cycle loop).
+    fn region_occupancy_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.resize(self.regions.num_regions(), 0);
+        for (i, r) in self.routers.iter().enumerate() {
+            out[self.region_by_node[i]] += r.occupancy();
+        }
     }
 
     /// Total buffer capacity per region (for normalizing occupancy).
@@ -292,21 +359,11 @@ impl Network {
     }
 
     fn dynamic_scale(&self, node: NodeId) -> f64 {
-        let region = self.regions.region_of(&self.topo, node);
-        let vf = self
-            .vf_table
-            .level(self.effective_levels[region])
-            .expect("region level validated on set");
-        vf.dynamic_scale(self.vf_table.nominal_voltage())
+        self.region_dynamic_scale[self.region_by_node[node.0]]
     }
 
     fn leakage_scale(&self, node: NodeId) -> f64 {
-        let region = self.regions.region_of(&self.topo, node);
-        let vf = self
-            .vf_table
-            .level(self.effective_levels[region])
-            .expect("region level validated on set");
-        vf.leakage_scale(self.vf_table.nominal_voltage())
+        self.region_leakage_scale[self.region_by_node[node.0]]
     }
 
     /// Whether a mesh/torus hop from `from` via `port` crosses a wrap-around
@@ -330,8 +387,13 @@ impl Network {
         if !self.throttles.is_empty() {
             self.sync_effective_levels();
         }
-        let mut deliveries: Vec<Delivery> = Vec::new();
-        let mut credits: Vec<CreditReturn> = Vec::new();
+        // Borrow the reusable per-cycle buffers out of `self` for the cycle
+        // (they are drained before being returned, so only their capacity
+        // carries over between cycles).
+        let mut deliveries = std::mem::take(&mut self.scratch.deliveries);
+        let mut credits = std::mem::take(&mut self.scratch.credits);
+        let mut events = std::mem::take(&mut self.scratch.events);
+        debug_assert!(deliveries.is_empty() && credits.is_empty() && events.is_empty());
 
         for i in 0..self.topo.num_nodes() {
             let node = NodeId(i);
@@ -352,7 +414,8 @@ impl Network {
                 continue; // clock-gated this cycle
             }
             let dynamic_scale = self.dynamic_scale(node);
-            let events = {
+            events.clear();
+            {
                 let mut ctx = RouterCtx {
                     topo: &self.topo,
                     routing: self.routing,
@@ -360,9 +423,9 @@ impl Network {
                     meter: &mut stats.energy,
                     dynamic_scale,
                 };
-                self.routers[i].step(&mut ctx)
-            };
-            for ev in events {
+                self.routers[i].step_into(&mut ctx, &mut events);
+            }
+            for ev in events.drain(..) {
                 match ev {
                     RouterEvent::Forward { out_port, flit } => {
                         let to = self
@@ -395,7 +458,7 @@ impl Network {
         }
 
         // Apply buffered effects: link deliveries then credit returns.
-        for mut d in deliveries {
+        for mut d in deliveries.drain(..) {
             if self.crosses_dateline_rev(d.to, d.in_port) {
                 d.flit.vc_class = 1;
             }
@@ -409,7 +472,7 @@ impl Network {
             };
             self.routers[d.to.0].accept(d.in_port, d.flit, &mut ctx);
         }
-        for c in credits {
+        for c in credits.drain(..) {
             if c.in_port == Port::Local {
                 self.inj[c.at.0].vc_states[c.vc].credits += 1;
             } else {
@@ -421,9 +484,15 @@ impl Network {
             }
         }
 
-        let region_occ = self.region_occupancy();
+        let mut region_occ = std::mem::take(&mut self.scratch.region_occ);
+        self.region_occupancy_into(&mut region_occ);
         let total_occ = region_occ.iter().sum();
         stats.sample_occupancy(total_occ, &region_occ, self.backlog());
+        self.scratch.region_occ = region_occ;
+
+        self.scratch.deliveries = deliveries;
+        self.scratch.credits = credits;
+        self.scratch.events = events;
         self.cycle += 1;
     }
 
@@ -453,7 +522,7 @@ impl Network {
         let injected: Option<(Flit, bool)> = {
             let q = &mut self.inj[i];
             if q.current.is_empty() {
-                match q.packets.pop_front() {
+                match q.pop_packet() {
                     Some(p) => {
                         q.current = p.to_flits(cycle).into();
                         q.current_vc = None;

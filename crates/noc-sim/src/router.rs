@@ -67,7 +67,7 @@ pub struct RouterCtx<'a> {
 }
 
 /// A single wormhole VC router.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Router {
     id: NodeId,
     num_vcs: usize,
@@ -84,6 +84,58 @@ pub struct Router {
     sw_arb: Vec<RoundRobinArbiter>,
     /// Rotation pointer per output port for fair VC allocation.
     va_ptr: Vec<usize>,
+    /// Scratch request vector for switch allocation, kept across cycles so
+    /// the hot loop never allocates. Always left empty between cycles, so it
+    /// is invisible to `PartialEq` and serialization.
+    #[serde(skip)]
+    sw_requests: Vec<bool>,
+    /// Buffered-flit count, maintained on accept/pop so [`Router::occupancy`]
+    /// is O(1) — the cycle loop samples it several times per router per
+    /// cycle. Derivable state: deserialization rebuilds it from the buffers
+    /// (see the manual `Deserialize` impl) rather than trusting the wire.
+    #[serde(skip)]
+    occ: usize,
+}
+
+// Deserialization is written by hand (over a derive-backed shadow struct)
+// so the occupancy counter is always recomputed from the deserialized
+// buffers. Trusting a stored counter — or defaulting it to zero for
+// snapshots that predate the field — would desynchronize it from the
+// buffers and stall the router: `step_into` short-circuits on
+// `occupancy() == 0`.
+impl<'de> serde::Deserialize<'de> for Router {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Shadow {
+            id: NodeId,
+            num_vcs: usize,
+            vc_depth: usize,
+            vc_partition: bool,
+            inputs: Vec<Vec<InputVc>>,
+            outputs: Vec<Vec<OutputVcState>>,
+            sw_arb: Vec<RoundRobinArbiter>,
+            va_ptr: Vec<usize>,
+        }
+        let s = Shadow::deserialize(d)?;
+        let occ = s
+            .inputs
+            .iter()
+            .flatten()
+            .map(|vc| vc.buf.len())
+            .sum::<usize>();
+        Ok(Router {
+            id: s.id,
+            num_vcs: s.num_vcs,
+            vc_depth: s.vc_depth,
+            vc_partition: s.vc_partition,
+            inputs: s.inputs,
+            outputs: s.outputs,
+            sw_arb: s.sw_arb,
+            va_ptr: s.va_ptr,
+            sw_requests: Vec::new(),
+            occ,
+        })
+    }
 }
 
 impl Router {
@@ -117,6 +169,8 @@ impl Router {
             outputs,
             sw_arb,
             va_ptr: vec![0; Port::COUNT],
+            sw_requests: Vec::new(),
+            occ: 0,
         }
     }
 
@@ -137,7 +191,16 @@ impl Router {
 
     /// Total flits currently buffered across all input VCs.
     pub fn occupancy(&self) -> usize {
-        self.inputs.iter().flatten().map(|vc| vc.buf.len()).sum()
+        debug_assert_eq!(
+            self.occ,
+            self.inputs
+                .iter()
+                .flatten()
+                .map(|vc| vc.buf.len())
+                .sum::<usize>(),
+            "occupancy counter out of sync with the buffers"
+        );
+        self.occ
     }
 
     /// Total buffering capacity across all input VCs.
@@ -160,6 +223,7 @@ impl Router {
         ctx.meter
             .record(ctx.power, PowerEvent::BufferWrite, ctx.dynamic_scale);
         self.inputs[port.index()][flit.vc].buf.push(flit);
+        self.occ += 1;
     }
 
     /// Return one credit for output `(port, vc)` (downstream buffer drained
@@ -193,14 +257,21 @@ impl Router {
     /// Execute one active cycle: SA/ST, then VA, then RC. Returns the events
     /// the network layer must apply (flit movements, ejections, credits).
     pub fn step(&mut self, ctx: &mut RouterCtx<'_>) -> Vec<RouterEvent> {
-        if self.occupancy() == 0 {
-            return Vec::new(); // idle router: nothing to route, allocate, or move
-        }
         let mut events = Vec::new();
-        self.switch_allocation(ctx, &mut events);
+        self.step_into(ctx, &mut events);
+        events
+    }
+
+    /// Allocation-free variant of [`Router::step`]: appends this cycle's
+    /// events to a caller-owned buffer. The network layer's cycle loop calls
+    /// this with one scratch buffer reused across all routers and cycles.
+    pub fn step_into(&mut self, ctx: &mut RouterCtx<'_>, events: &mut Vec<RouterEvent>) {
+        if self.occupancy() == 0 {
+            return; // idle router: nothing to route, allocate, or move
+        }
+        self.switch_allocation(ctx, events);
         self.vc_allocation(ctx);
         self.route_computation(ctx);
-        events
     }
 
     /// SA/ST: one flit per output port per cycle, one per input port per
@@ -208,8 +279,11 @@ impl Router {
     fn switch_allocation(&mut self, ctx: &mut RouterCtx<'_>, events: &mut Vec<RouterEvent>) {
         let v = self.num_vcs;
         let mut input_port_used = [false; Port::COUNT];
-        // One reusable request vector over flattened (in_port, vc).
-        let mut requests = vec![false; Port::COUNT * v];
+        // One reusable request vector over flattened (in_port, vc), borrowed
+        // from the router's scratch storage (allocates on the first active
+        // cycle only).
+        let mut requests = std::mem::take(&mut self.sw_requests);
+        requests.resize(Port::COUNT * v, false);
         for out_port in Port::ALL {
             let op = out_port.index();
             requests.fill(false);
@@ -243,6 +317,7 @@ impl Router {
             let ivc = &mut self.inputs[ip][vc];
             let out_vc = ivc.out_vc.expect("granted VC has out_vc");
             let mut flit = ivc.buf.pop().expect("granted VC has a flit");
+            self.occ -= 1;
             let is_tail = flit.is_tail();
             if is_tail {
                 ivc.release();
@@ -268,6 +343,10 @@ impl Router {
             }
             events.push(RouterEvent::Credit { in_port, vc });
         }
+        // Return the scratch vector empty so it never affects equality or
+        // serialization.
+        requests.clear();
+        self.sw_requests = requests;
     }
 
     /// VA: head flits holding a route claim a free downstream VC.
@@ -366,6 +445,49 @@ mod tests {
             created_at: 0,
         }
         .to_flits(0)
+    }
+
+    /// Serialization round-trip of a loaded router rebuilds the occupancy
+    /// counter from the buffers (it is never trusted from the wire), so a
+    /// deserialized router keeps routing its buffered flits.
+    #[test]
+    fn deserialized_router_recomputes_occupancy() {
+        let (topo, power) = ctx_parts();
+        let mut meter = EnergyMeter::new();
+        let mut r = Router::new(NodeId(0), 2, 4, false);
+        let mut ctx = RouterCtx {
+            topo: &topo,
+            routing: RoutingAlgorithm::Xy,
+            power: &power,
+            meter: &mut meter,
+            dynamic_scale: 1.0,
+        };
+        for f in make_flits(0, 1, 3) {
+            r.accept(Port::Local, f, &mut ctx);
+        }
+        assert_eq!(r.occupancy(), 3);
+        let json = serde_json::to_string(&r).expect("router serializes");
+        let back: Router = serde_json::from_str(&json).expect("router deserializes");
+        assert_eq!(
+            back.occupancy(),
+            3,
+            "counter must be rebuilt, not defaulted"
+        );
+        assert_eq!(back, r);
+        // The restored router still routes: three cycles later the head flit
+        // is forwarded, which is impossible with a stale zero counter.
+        let mut back = back;
+        let mut events = Vec::new();
+        for _ in 0..3 {
+            events.clear();
+            back.step_into(&mut ctx, &mut events);
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, RouterEvent::Forward { .. })),
+            "deserialized router must make progress: {events:?}"
+        );
     }
 
     /// Drive a lone router: inject a packet on the Local port addressed to a

@@ -234,6 +234,22 @@ impl DqnAgent {
         argmax(&self.q_values(state))
     }
 
+    /// Q-values for a batch of observations via one batched forward pass
+    /// (row `i` holds the Q-values of `states[i]`) — one matrix multiply
+    /// per layer for the whole batch instead of one per state.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or any state has the wrong dimension.
+    pub fn q_values_batch<S: AsRef<[f32]>>(&self, states: &[S]) -> Matrix {
+        assert!(
+            states
+                .iter()
+                .all(|s| s.as_ref().len() == self.config.state_dim),
+            "state dimension mismatch"
+        );
+        self.online.predict_batch(states)
+    }
+
     /// Serialize the online network to JSON (for checkpointing).
     ///
     /// # Errors
@@ -282,15 +298,16 @@ impl DqnAgent {
             }
         };
 
-        let sd = self.config.state_dim;
-        let mut states = Matrix::zeros(batch, sd);
-        let mut next_states = Matrix::zeros(batch, sd);
-        for (i, t) in transitions.iter().enumerate() {
-            states.as_mut_slice()[i * sd..(i + 1) * sd].copy_from_slice(&t.state);
-            next_states.as_mut_slice()[i * sd..(i + 1) * sd].copy_from_slice(&t.next_state);
-        }
+        let states: Vec<&[f32]> = transitions.iter().map(|t| t.state.as_slice()).collect();
+        let next_states: Vec<&[f32]> = transitions
+            .iter()
+            .map(|t| t.next_state.as_slice())
+            .collect();
+        let states = Matrix::from_rows(&states);
+        let next_states = Matrix::from_rows(&next_states);
 
-        // Bootstrap targets.
+        // Bootstrap targets: one batched forward pass per network over the
+        // whole replay batch (packed once, shared by both networks).
         let q_next_target = self.target.predict(&next_states);
         let q_next_online = if self.config.double {
             Some(self.online.predict(&next_states))
