@@ -19,6 +19,7 @@ fn loaded_router() -> (Router, Topology, PowerModel) {
         power: &power,
         meter: &mut meter,
         dynamic_scale: 1.0,
+        faults: None,
     };
     // Fill several input VCs with traffic crossing the router.
     for (i, (port, dst)) in [
@@ -61,6 +62,7 @@ fn bench_router_step(c: &mut Criterion) {
                     power: &power,
                     meter: &mut meter,
                     dynamic_scale: 1.0,
+                    faults: None,
                 };
                 black_box(r.step(&mut ctx));
             },
@@ -80,6 +82,7 @@ fn bench_router_step(c: &mut Criterion) {
                     power: &power,
                     meter: &mut meter,
                     dynamic_scale: 1.0,
+                    faults: None,
                 };
                 black_box(r.step(&mut ctx));
             },

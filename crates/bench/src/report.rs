@@ -21,7 +21,7 @@
 //! generous (30 %) tolerance so only genuine regressions trip it.
 
 use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
-use noc_sim::{RoutingAlgorithm, SimConfig, Simulator, TrafficPattern};
+use noc_sim::{FaultPlan, RoutingAlgorithm, SimConfig, Simulator, Topology, TrafficPattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{DqnAgent, DqnConfig, Environment, LearningAgent, Transition};
@@ -294,6 +294,40 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
             &mut workloads,
             &name,
             params,
+            "cycles",
+            config.repeats,
+            measured,
+        );
+    }
+
+    // --- Degraded fabric: the fault path (liveness filter in route
+    // computation, adaptive rerouting, drop accounting) on an 8x8 mesh with
+    // four permanent link faults, so the perf trajectory tracks faulted
+    // operation alongside the healthy-mesh workloads above.
+    {
+        let plan = FaultPlan::random_links(&Topology::mesh(8, 8), 4, 0xFA17, 0, None);
+        let cfg = SimConfig::default()
+            .with_traffic(TrafficPattern::Uniform, 0.10)
+            .with_routing(RoutingAlgorithm::OddEven)
+            .with_faults(plan);
+        let measured = timed(config.repeats, || {
+            let mut sim = Simulator::new(cfg.clone()).expect("valid bench config");
+            sim.run(config.sim_warmup);
+            let flits0 = sim.stats().ejected_flits;
+            let t0 = Instant::now();
+            sim.run(config.sim_cycles);
+            let dt = t0.elapsed().as_nanos() as u64;
+            let flits = sim.stats().ejected_flits - flits0;
+            (dt, config.sim_cycles, Some(flits))
+        });
+        push_result(
+            &mut workloads,
+            "sim/8x8/uniform/r0.10/faults4",
+            format!(
+                "8x8 mesh, odd-even routing, 4 permanent link faults, uniform traffic \
+                 at 0.1 flits/node/cycle, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
             "cycles",
             config.repeats,
             measured,
@@ -619,7 +653,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 9);
+        assert_eq!(report.workloads.len(), 10);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);

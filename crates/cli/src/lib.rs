@@ -100,6 +100,13 @@ pub fn cmd_simulate(config_path: Option<&str>) -> Result<(), CliError> {
         "p95 latency (bucket) : {} cycles",
         sim.stats().latency_percentile(0.95)
     );
+    if run.window.dropped_packets > 0 || run.window.avg_dead_links > 0.0 {
+        println!(
+            "dropped (faults)     : {} packets / {} flits",
+            run.window.dropped_packets, run.window.dropped_flits
+        );
+        println!("mean dead links      : {:.1}", run.window.avg_dead_links);
+    }
     println!("saturated            : {}", run.saturated);
     let map = sim
         .stats()
@@ -210,12 +217,13 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         serial: false,
         out: None,
     };
-    const VALUE_FLAGS: [&str; 11] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--sizes",
         "--patterns",
         "--rates",
         "--routings",
         "--levels",
+        "--faults",
         "--warmup",
         "--measure",
         "--drain",
@@ -265,6 +273,12 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
                     }
                 })?;
             }
+            "--faults" => {
+                opts.grid.faults = parse_list(value, "faults", |s| {
+                    s.parse::<usize>()
+                        .map_err(|e| CliError(format!("bad fault count `{s}`: {e}")))
+                })?;
+            }
             "--warmup" | "--measure" | "--drain" | "--seed" => {
                 let n: u64 = value
                     .parse()
@@ -299,7 +313,8 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
 }
 
 /// `sweep-grid`: run a scenario grid in parallel and emit one aggregated
-/// JSON report (stdout, or `--out <file>`).
+/// JSON report (stdout, or `--out <file>`). The `--faults` axis sweeps
+/// seeded-random permanent link-fault counts (0 = pristine fabric).
 ///
 /// # Errors
 /// Returns an error for bad flags, invalid configurations, or IO failures.
@@ -317,8 +332,13 @@ pub fn cmd_sweep_grid(args: &[String]) -> Result<(), CliError> {
         report.aggregate.num_scenarios, report.threads, report.aggregate.saturated_scenarios
     );
     for r in &report.scenarios {
+        let dropped = if r.metrics.dropped_packets > 0 {
+            format!("  [dropped {}]", r.metrics.dropped_packets)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "  {:<28} latency {:>8.2}  throughput {:>7.4}  energy {:>10.1} nJ{}",
+            "  {:<28} latency {:>8.2}  throughput {:>7.4}  energy {:>10.1} nJ{}{dropped}",
             r.label,
             r.metrics.avg_packet_latency,
             r.metrics.throughput,
@@ -554,6 +574,17 @@ pub fn cmd_train(out_path: &str, episodes: usize) -> Result<(), CliError> {
 /// `evaluate`: run a saved policy against the baselines on the default mesh.
 pub fn cmd_evaluate(policy_path: &str) -> Result<(), CliError> {
     let saved: SavedPolicy = serde_json::from_str(&fs::read_to_string(policy_path)?)?;
+    // Reject stale artifacts cleanly: a policy trained against an older
+    // observation layout (e.g. before the fault-degradation feature) has a
+    // network whose input width no longer matches the encoder.
+    if saved.dqn.state_dim != saved.encoder.state_dim() {
+        return Err(CliError(format!(
+            "policy `{policy_path}` is incompatible: its network takes {} inputs but the \
+             saved encoder now produces {} features — retrain with `noc-cli train`",
+            saved.dqn.state_dim,
+            saved.encoder.state_dim()
+        )));
+    }
     let mut agent = DqnAgent::new(saved.dqn);
     agent
         .policy_from_json(&saved.policy_json)
@@ -690,6 +721,8 @@ mod tests {
             "xy,oddeven",
             "--levels",
             "none,2",
+            "--faults",
+            "0,1",
             "--warmup",
             "100",
             "--measure",
@@ -714,13 +747,14 @@ mod tests {
             vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven]
         );
         assert_eq!(g.levels, vec![None, Some(2)]);
+        assert_eq!(g.faults, vec![0, 1]);
         assert_eq!(
             (g.warmup, g.measure, g.drain, g.base_seed),
             (100, 400, 300, 9)
         );
         assert_eq!(opts.threads, Some(3));
         assert!(!opts.serial);
-        assert_eq!(g.len(), 2 * 2 * 3 * 2 * 2);
+        assert_eq!(g.len(), 2 * 2 * 3 * 2 * 2 * 2);
     }
 
     #[test]
@@ -736,6 +770,7 @@ mod tests {
         assert!(parse_sweep_grid_args(&strings(&["--patterns", "mystery"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--routings", "zigzag"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--threads", "0"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--faults", "one"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--rates"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--bogus", "1"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--rates", ""])).is_err());

@@ -63,8 +63,8 @@ fn main() -> ExitCode {
                  evaluate <policy.json> | replay <trace.csv> [period] | default-config>\n\
                  sweep-grid flags: --sizes 4x4,8x8  --patterns uniform,transpose  \
                  --rates 0.05,0.10  --routings xy,oddeven  --levels none,0,3  \
-                 --warmup N  --measure N  --drain N  --seed N  --threads N  \
-                 --serial  --out report.json\n\
+                 --faults 0,1,2  --warmup N  --measure N  --drain N  --seed N  \
+                 --threads N  --serial  --out report.json\n\
                  bench flags: --quick  --repeats N  --out bench.json  \
                  --compare baseline.json  --against candidate.json  \
                  --tolerance 0.30  --sha SHA"

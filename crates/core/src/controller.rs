@@ -351,6 +351,9 @@ mod tests {
             injected_flits: 0,
             ejected_flits: 0,
             ejected_packets: 0,
+            dropped_flits: 0,
+            dropped_packets: 0,
+            avg_dead_links: 0.0,
             latency_samples: 0,
             avg_packet_latency: f64::NAN,
             avg_network_latency: f64::NAN,

@@ -322,8 +322,51 @@ mod tests {
     #[test]
     fn dimensions_are_consistent() {
         let env = small_env();
-        assert_eq!(env.state_dim(), 3 * 4 + 3);
+        assert_eq!(env.state_dim(), 3 * 4 + 4);
         assert_eq!(env.num_actions(), 11);
+    }
+
+    #[test]
+    fn observation_exposes_fabric_degradation() {
+        use noc_sim::{FaultEvent, FaultPlan, FaultTarget, NodeId, Port};
+        let faulted = |plan: FaultPlan| {
+            let sim = SimConfig::default()
+                .with_size(4, 4)
+                .with_traffic(TrafficPattern::Uniform, 0.05)
+                .with_regions(2, 2)
+                .with_faults(plan);
+            let mut env = NocEnv::new(NocEnvConfig {
+                action_space: ActionSpace::PerRegionDelta {
+                    num_regions: 4,
+                    num_levels: 4,
+                },
+                sim,
+                epoch_cycles: 100,
+                epochs_per_episode: 2,
+                reward: RewardConfig::default(),
+                traffic_menu: vec![],
+                seed: 3,
+            })
+            .unwrap();
+            *env.reset().last().unwrap()
+        };
+        let healthy = faulted(FaultPlan::empty());
+        assert_eq!(healthy, 0.0, "healthy fabric reads zero degradation");
+        let degraded = faulted(
+            FaultPlan::new(vec![FaultEvent {
+                start: 0,
+                duration: None,
+                target: FaultTarget::Link {
+                    node: NodeId(5),
+                    port: Port::East,
+                },
+            }])
+            .unwrap(),
+        );
+        assert!(
+            degraded > 0.0,
+            "the controller must observe the dead link: {degraded}"
+        );
     }
 
     #[test]

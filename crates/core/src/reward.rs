@@ -140,6 +140,9 @@ mod tests {
             injected_flits: 100,
             ejected_flits: 100,
             ejected_packets: 20,
+            dropped_flits: 0,
+            dropped_packets: 0,
+            avg_dead_links: 0.0,
             latency_samples: 20,
             avg_packet_latency: latency,
             avg_network_latency: latency * 0.8,

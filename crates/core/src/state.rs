@@ -2,9 +2,10 @@
 //! the agent consumes.
 //!
 //! Per region: normalized buffer occupancy, observed injection rate, and the
-//! current V/F level. Globally: normalized latency, accepted throughput, and
-//! source-queue backlog. All features are scaled into `[0, 1]` so one MLP
-//! architecture works across mesh sizes and loads.
+//! current V/F level. Globally: normalized latency, accepted throughput,
+//! source-queue backlog, and fabric degradation (mean dead links, so the
+//! controller can react to faults). All features are scaled into `[0, 1]` so
+//! one MLP architecture works across mesh sizes and loads.
 
 use noc_sim::WindowMetrics;
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,14 @@ pub struct StateEncoder {
     pub latency_scale: f64,
     /// Backlog (flits per node) mapped to feature value 1.0.
     pub backlog_scale: f64,
+    /// Mean directed dead links mapped to feature value 1.0 (degraded-fabric
+    /// signal; policies saved before fault support default to 8.0).
+    #[serde(default = "default_fault_scale")]
+    pub fault_scale: f64,
+}
+
+fn default_fault_scale() -> f64 {
+    8.0
 }
 
 impl StateEncoder {
@@ -55,6 +64,7 @@ impl StateEncoder {
             region_nodes,
             latency_scale: 60.0,
             backlog_scale: 20.0,
+            fault_scale: default_fault_scale(),
         }
     }
 
@@ -63,9 +73,9 @@ impl StateEncoder {
         self.num_regions
     }
 
-    /// Dimensionality of the produced observation: `3·regions + 3`.
+    /// Dimensionality of the produced observation: `3·regions + 4`.
     pub fn state_dim(&self) -> usize {
-        3 * self.num_regions + 3
+        3 * self.num_regions + 4
     }
 
     /// Encode one epoch.
@@ -117,6 +127,10 @@ impl StateEncoder {
         out.push(metrics.throughput.clamp(0.0, 1.0) as f32);
         let backlog = metrics.avg_backlog / (self.num_nodes as f64 * self.backlog_scale);
         out.push(backlog.clamp(0.0, 1.0) as f32);
+        // Fabric degradation: 0 on a healthy mesh, saturating at
+        // `fault_scale` mean dead links.
+        let faults = metrics.avg_dead_links / self.fault_scale;
+        out.push(faults.clamp(0.0, 1.0) as f32);
         out
     }
 }
@@ -131,6 +145,9 @@ mod tests {
             injected_flits: 160,
             ejected_flits: 150,
             ejected_packets: 30,
+            dropped_flits: 0,
+            dropped_packets: 0,
+            avg_dead_links: 0.0,
             latency_samples: 30,
             avg_packet_latency: 30.0,
             avg_network_latency: 25.0,
@@ -154,9 +171,23 @@ mod tests {
     #[test]
     fn state_dim_matches_layout() {
         let e = encoder();
-        assert_eq!(e.state_dim(), 15);
+        assert_eq!(e.state_dim(), 16);
         let s = e.encode(&metrics(4), &[0, 1, 2, 3]);
-        assert_eq!(s.len(), 15);
+        assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn fault_feature_tracks_dead_links() {
+        let e = encoder();
+        let mut m = metrics(4);
+        let s = e.encode(&m, &[0; 4]);
+        assert_eq!(*s.last().unwrap(), 0.0, "healthy fabric reads zero");
+        m.avg_dead_links = 4.0; // scale 8 -> 0.5
+        let s = e.encode(&m, &[0; 4]);
+        assert!((s.last().unwrap() - 0.5).abs() < 1e-6);
+        m.avg_dead_links = 1e9;
+        let s = e.encode(&m, &[0; 4]);
+        assert_eq!(*s.last().unwrap(), 1.0, "feature saturates");
     }
 
     #[test]

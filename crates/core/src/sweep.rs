@@ -3,8 +3,10 @@
 //! The ROADMAP's scale goal needs one command that answers "how does the
 //! NoC behave across *many* operating points?" — this module provides it.
 //! A [`SweepGrid`] is the cartesian product of topology sizes, traffic
-//! patterns, injection rates, routing algorithms, and (optionally) pinned
-//! DVFS levels. [`SweepGrid::run`] fans the scenarios out over a pool of
+//! patterns, injection rates, routing algorithms, (optionally) pinned
+//! DVFS levels, and link-fault counts (seeded-random permanent faults, so
+//! degraded-fabric operation sweeps alongside everything else).
+//! [`SweepGrid::run`] fans the scenarios out over a pool of
 //! OS threads, runs each through the classic warmup/measure/drain
 //! methodology, and folds every [`WindowMetrics`] into a single
 //! [`SweepReport`].
@@ -35,8 +37,8 @@
 
 use crate::par::parallel_map;
 use noc_sim::{
-    RoutingAlgorithm, RunSummary, SimConfig, SimError, SimResult, Simulator, TrafficPattern,
-    WindowMetrics,
+    FaultPlan, RoutingAlgorithm, RunSummary, SimConfig, SimError, SimResult, Simulator,
+    TrafficPattern, WindowMetrics,
 };
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +63,12 @@ pub struct SweepGrid {
     /// Pinned uniform DVFS levels to sweep (`None` = leave the base
     /// config's levels untouched).
     pub levels: Vec<Option<usize>>,
+    /// Fault axis: numbers of seeded-random permanent link faults to sweep
+    /// (`0` = pristine fabric). Each faulted scenario draws its fault set
+    /// deterministically from the scenario seed, so reports stay
+    /// byte-identical across reruns and thread counts.
+    #[serde(default = "default_fault_axis")]
+    pub faults: Vec<usize>,
     /// Warmup cycles before the measurement window.
     pub warmup: u64,
     /// Measurement-window cycles.
@@ -83,12 +91,18 @@ impl Default for SweepGrid {
             rates: vec![0.05, 0.10],
             routings: vec![RoutingAlgorithm::Xy],
             levels: vec![None],
+            faults: default_fault_axis(),
             warmup: 500,
             measure: 2000,
             drain: 2000,
             base_seed: 1,
         }
     }
+}
+
+/// The default fault axis: a single pristine-fabric point.
+fn default_fault_axis() -> Vec<usize> {
+    vec![0]
 }
 
 /// One fully resolved point of the grid.
@@ -193,6 +207,7 @@ impl SweepGrid {
             * self.rates.len()
             * self.routings.len()
             * self.levels.len()
+            * self.faults.len()
     }
 
     /// Whether the grid is empty (any axis empty).
@@ -209,29 +224,50 @@ impl SweepGrid {
                 for &rate in &self.rates {
                     for &routing in &self.routings {
                         for &level in &self.levels {
-                            let seed = mix_seed(self.base_seed, index as u64);
-                            let config = self
-                                .base
-                                .clone()
-                                .with_size(w, h)
-                                .with_traffic(pattern.clone(), rate)
-                                .with_routing(routing)
-                                .with_seed(seed);
-                            // Full-precision rate (f64 Display is the
-                            // shortest round-trip form), so close rates
-                            // never collide into one label.
-                            let mut label =
-                                format!("{w}x{h}/{}/r{rate}/{}", pattern.name(), routing.name());
-                            if let Some(l) = level {
-                                label.push_str(&format!("/L{l}"));
+                            for &faults in &self.faults {
+                                let seed = mix_seed(self.base_seed, index as u64);
+                                let mut config = self
+                                    .base
+                                    .clone()
+                                    .with_size(w, h)
+                                    .with_traffic(pattern.clone(), rate)
+                                    .with_routing(routing)
+                                    .with_seed(seed);
+                                if faults > 0 {
+                                    // The fault draw is salted off the
+                                    // scenario seed so it is decorrelated
+                                    // from traffic yet fully reproducible.
+                                    let plan = FaultPlan::random_links(
+                                        &config.topology(),
+                                        faults,
+                                        mix_seed(seed, 0xFA),
+                                        0,
+                                        None,
+                                    );
+                                    config = config.with_faults(plan);
+                                }
+                                // Full-precision rate (f64 Display is the
+                                // shortest round-trip form), so close rates
+                                // never collide into one label.
+                                let mut label = format!(
+                                    "{w}x{h}/{}/r{rate}/{}",
+                                    pattern.name(),
+                                    routing.name()
+                                );
+                                if let Some(l) = level {
+                                    label.push_str(&format!("/L{l}"));
+                                }
+                                if faults > 0 {
+                                    label.push_str(&format!("/f{faults}"));
+                                }
+                                out.push(Scenario {
+                                    index,
+                                    label,
+                                    level,
+                                    config,
+                                });
+                                index += 1;
                             }
-                            out.push(Scenario {
-                                index,
-                                label,
-                                level,
-                                config,
-                            });
-                            index += 1;
                         }
                     }
                 }
@@ -404,6 +440,32 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 8, "seed mix must not collide on small grids");
+    }
+
+    #[test]
+    fn fault_axis_expands_and_labels_scenarios() {
+        let grid = SweepGrid {
+            sizes: vec![(4, 4)],
+            patterns: vec![TrafficPattern::Uniform],
+            rates: vec![0.05],
+            routings: vec![RoutingAlgorithm::Xy],
+            levels: vec![None],
+            faults: vec![0, 2],
+            ..SweepGrid::default()
+        };
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(scenarios[0].label, "4x4/uniform/r0.05/xy");
+        assert!(scenarios[0].config.fault_plan.is_empty());
+        assert_eq!(scenarios[1].label, "4x4/uniform/r0.05/xy/f2");
+        assert_eq!(scenarios[1].config.fault_plan.len(), 2);
+        assert!(grid.validate().is_ok());
+        // The fault draw is reproducible.
+        assert_eq!(
+            scenarios[1].config.fault_plan,
+            grid.scenarios()[1].config.fault_plan
+        );
     }
 
     #[test]

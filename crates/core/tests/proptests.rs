@@ -1,8 +1,12 @@
 //! Property-based tests of the self-configuration layer: action-space
-//! totality, encoder boundedness, reward monotonicity.
+//! totality, encoder boundedness, reward monotonicity, and the zero-cost
+//! guarantee of the fault-injection hook.
 
-use noc_selfconf::{ActionSpace, RewardConfig, StateEncoder};
-use noc_sim::{RoutingAlgorithm, WindowMetrics};
+use noc_selfconf::{ActionSpace, RewardConfig, StateEncoder, SweepGrid};
+use noc_sim::{
+    FaultEvent, FaultPlan, FaultTarget, NodeId, Port, RoutingAlgorithm, SimConfig, TrafficPattern,
+    WindowMetrics,
+};
 use proptest::prelude::*;
 
 fn any_metrics(regions: usize) -> impl Strategy<Value = WindowMetrics> {
@@ -24,6 +28,9 @@ fn any_metrics(regions: usize) -> impl Strategy<Value = WindowMetrics> {
                     injected_flits: injected,
                     ejected_flits: ejected,
                     ejected_packets: samples,
+                    dropped_flits: 0,
+                    dropped_packets: 0,
+                    avg_dead_links: 0.0,
                     latency_samples: samples,
                     avg_packet_latency: if samples > 0 { lat } else { f64::NAN },
                     avg_network_latency: if samples > 0 { lat * 0.8 } else { f64::NAN },
@@ -108,6 +115,58 @@ proptest! {
         prop_assert_eq!(s.len(), encoder.state_dim());
         prop_assert!(s.iter().all(|x| x.is_finite() && (0.0..=1.0).contains(x)),
             "unbounded feature in {s:?}");
+    }
+
+    /// A no-op `FaultPlan` costs nothing semantically: sweeping a grid whose
+    /// base config carries an explicitly-set empty plan — or a plan whose
+    /// only event starts beyond the simulated horizon — produces a
+    /// `SweepReport` byte-identical to the fault-free run, at every thread
+    /// count. This pins the fault hook out of the healthy-fabric path.
+    #[test]
+    fn noop_fault_plan_is_byte_identical_to_fault_free(
+        base_seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let grid = |plan: FaultPlan| SweepGrid {
+            base: SimConfig::default().with_regions(2, 2).with_faults(plan),
+            sizes: vec![(4, 4)],
+            patterns: vec![TrafficPattern::Uniform],
+            rates: vec![0.08],
+            routings: vec![RoutingAlgorithm::OddEven],
+            levels: vec![None],
+            faults: vec![0],
+            warmup: 100,
+            measure: 300,
+            drain: 300,
+            base_seed,
+        };
+        let json = |g: &SweepGrid, threads: usize| {
+            serde_json::to_string_pretty(&g.run(threads).expect("valid grid"))
+                .expect("report serializes")
+        };
+        // An explicitly-set empty plan IS the default plan, so the whole
+        // report (grid provenance included) must match bytewise.
+        let fault_free = json(&grid(FaultPlan::empty()), threads);
+        let baseline = json(&grid(SimConfig::default().fault_plan.clone()), 1);
+        prop_assert_eq!(&fault_free, &baseline);
+
+        // A plan whose only event never activates within the horizon leaves
+        // different provenance but must leave every result untouched.
+        let dormant = FaultPlan::new(vec![FaultEvent {
+            start: 1_000_000, // far beyond warmup+measure+drain
+            duration: None,
+            target: FaultTarget::Link { node: NodeId(0), port: Port::East },
+        }]).expect("valid plan");
+        let dormant_report = grid(dormant).run(threads).expect("valid grid");
+        let free_report = grid(FaultPlan::empty()).run(1).expect("valid grid");
+        let results = |r: &noc_selfconf::SweepReport| {
+            format!(
+                "{}\n{}",
+                serde_json::to_string_pretty(&r.scenarios).expect("scenarios serialize"),
+                serde_json::to_string_pretty(&r.aggregate).expect("aggregate serializes"),
+            )
+        };
+        prop_assert_eq!(results(&dormant_report), results(&free_report));
     }
 
     /// Reward is finite over arbitrary telemetry and monotone in each cost

@@ -12,6 +12,7 @@ fn quick_grid() -> SweepGrid {
         rates: vec![0.05, 0.10],
         routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
         levels: vec![None],
+        faults: vec![0],
         warmup: 200,
         measure: 500,
         drain: 500,
@@ -66,6 +67,42 @@ fn thread_count_does_not_change_results() {
         one, many,
         "oversubscribed pools must still be deterministic"
     );
+}
+
+/// The sweep determinism guarantee extends to faulted scenarios: a grid
+/// with a fault axis is byte-identical across reruns and thread counts.
+#[test]
+fn fault_axis_is_deterministic_across_thread_counts() {
+    let grid = SweepGrid {
+        patterns: vec![TrafficPattern::Uniform],
+        routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
+        rates: vec![0.08],
+        faults: vec![0, 1, 3],
+        ..quick_grid()
+    };
+    assert_eq!(grid.len(), 6);
+    let serial = to_json(&grid.run_serial().expect("valid grid"));
+    let rerun = to_json(&grid.run_serial().expect("valid grid"));
+    assert_eq!(serial, rerun, "faulted reruns must be byte-identical");
+    for threads in [1, 3, 8] {
+        let parallel = to_json(&grid.run(threads).expect("valid grid"));
+        assert_eq!(
+            serial, parallel,
+            "faulted grid diverged at {threads} threads"
+        );
+    }
+    // The faulted points actually drop traffic (the axis is live).
+    let report = grid.run(2).expect("valid grid");
+    assert!(report
+        .scenarios
+        .iter()
+        .filter(|s| s.label.contains("/f"))
+        .any(|s| s.metrics.dropped_packets > 0));
+    assert!(report
+        .scenarios
+        .iter()
+        .filter(|s| !s.label.contains("/f"))
+        .all(|s| s.metrics.dropped_packets == 0));
 }
 
 #[test]
@@ -143,6 +180,7 @@ fn optimized_cycle_loop_reproduces_golden_metrics() {
         rates: vec![0.08],
         routings: vec![RoutingAlgorithm::Xy],
         levels: vec![None],
+        faults: vec![0],
         warmup: 200,
         measure: 600,
         drain: 600,
@@ -173,6 +211,84 @@ fn optimized_cycle_loop_reproduces_golden_metrics() {
 
     // The same grid run in parallel must serialize to the same bytes (the
     // scratch buffers live per-Network, so thread reuse cannot alias them).
+    let parallel = grid.run(4).expect("valid grid");
+    assert_eq!(to_json(&parallel), to_json(&report));
+}
+
+/// Golden pin of degraded-mode behavior: a 4×4 mesh at uniform 0.10 with one
+/// permanent link fault (5 -> 6), under deterministic XY and adaptive
+/// odd-even routing. Future routing or fault-handling changes cannot
+/// silently shift faulted-fabric metrics past this test: any drift in drops,
+/// deliveries, latency, or energy is a behavior change that must be made
+/// deliberately.
+///
+/// To refresh after an *intentional* change, rerun this grid (serial) and
+/// copy the per-scenario fields from the report; the values were captured
+/// when the fault subsystem landed.
+#[test]
+fn faulted_golden_metrics_are_pinned() {
+    use noc_sim::{FaultEvent, FaultPlan, FaultTarget, NodeId, Port};
+    let plan = FaultPlan::new(vec![FaultEvent {
+        start: 0,
+        duration: None,
+        target: FaultTarget::Link {
+            node: NodeId(5),
+            port: Port::East,
+        },
+    }])
+    .expect("valid fault plan");
+    let grid = SweepGrid {
+        base: SimConfig::default().with_faults(plan),
+        sizes: vec![(4, 4)],
+        patterns: vec![TrafficPattern::Uniform],
+        rates: vec![0.10],
+        routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
+        levels: vec![None],
+        faults: vec![0],
+        warmup: 200,
+        measure: 600,
+        drain: 600,
+        base_seed: 42,
+    };
+    let report = grid.run_serial().expect("valid grid");
+    assert_eq!(report.scenarios.len(), 2);
+
+    // Deterministic XY cannot route around the dead link: packets whose
+    // minimal path needs it are dropped.
+    let xy = &report.scenarios[0];
+    assert_eq!(xy.label, "4x4/uniform/r0.1/xy");
+    assert_eq!(xy.seed, 12058926934050108962);
+    assert!(!xy.saturated);
+    assert_eq!(xy.metrics.avg_packet_latency, 16.123456790123456);
+    assert_eq!(xy.metrics.throughput, 0.08427083333333334);
+    assert_eq!(xy.metrics.energy_pj, 37925.60000000088);
+    assert_eq!(xy.metrics.injected_flits, 1981);
+    assert_eq!(xy.metrics.ejected_flits, 1668);
+    assert_eq!(xy.metrics.dropped_flits, 305);
+    assert_eq!(xy.metrics.dropped_packets, 61);
+    assert_eq!(xy.metrics.avg_dead_links, 2.0);
+
+    // Adaptive odd-even reroutes around the fault; a small residue of
+    // packets still hits positions with no legal alternative turn.
+    let oe = &report.scenarios[1];
+    assert_eq!(oe.label, "4x4/uniform/r0.1/oddeven");
+    assert_eq!(oe.seed, 13679457532755275413);
+    assert!(!oe.saturated);
+    assert_eq!(oe.metrics.avg_packet_latency, 16.46961325966851);
+    assert_eq!(oe.metrics.throughput, 0.09447916666666667);
+    assert_eq!(oe.metrics.energy_pj, 21783.900000001508);
+    assert_eq!(oe.metrics.injected_flits, 1058);
+    assert_eq!(oe.metrics.ejected_flits, 1002);
+    assert_eq!(oe.metrics.dropped_flits, 75);
+    assert_eq!(oe.metrics.dropped_packets, 15);
+    assert_eq!(oe.metrics.avg_dead_links, 2.0);
+    assert!(
+        oe.metrics.dropped_packets < xy.metrics.dropped_packets,
+        "adaptive routing must save traffic a deterministic algorithm loses"
+    );
+
+    // Faulted grids keep the engine's determinism guarantee: parallel
+    // execution serializes to the same bytes as the serial run.
     let parallel = grid.run(4).expect("valid grid");
     assert_eq!(to_json(&parallel), to_json(&report));
 }

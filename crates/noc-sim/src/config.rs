@@ -2,6 +2,7 @@
 
 use crate::dvfs::{ThrottleEvent, VfTable};
 use crate::error::{SimError, SimResult};
+use crate::fault::FaultPlan;
 use crate::power::PowerModel;
 use crate::routing::RoutingAlgorithm;
 use crate::topology::{Topology, TopologyKind};
@@ -38,6 +39,10 @@ pub struct SimConfig {
     /// Forced-throttle (thermal emergency) injections.
     #[serde(default)]
     pub throttles: Vec<ThrottleEvent>,
+    /// Timed link/router failures the network applies at cycle boundaries.
+    /// Defaults to the empty plan (a pristine fabric).
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
     /// RNG seed for traffic generation.
     pub seed: u64,
 }
@@ -64,6 +69,7 @@ impl Default for SimConfig {
             regions_y: 2,
             power: PowerModel::default_32nm(),
             throttles: Vec::new(),
+            fault_plan: FaultPlan::empty(),
             seed: 1,
         }
     }
@@ -98,6 +104,12 @@ impl SimConfig {
     /// Inject forced-throttle (thermal emergency) events.
     pub fn with_throttles(mut self, throttles: Vec<ThrottleEvent>) -> Self {
         self.throttles = throttles;
+        self
+    }
+
+    /// Inject a fault plan (timed link/router failures).
+    pub fn with_faults(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
         self
     }
 
@@ -168,6 +180,7 @@ impl SimConfig {
         }
         let topo = self.topology();
         self.traffic.validate(&topo)?;
+        self.fault_plan.validate(&topo)?;
         if self.regions_x == 0
             || self.regions_y == 0
             || self.regions_x > self.width
@@ -276,6 +289,36 @@ mod tests {
             level: 99,
         }]);
         assert!(bad_level.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        use crate::fault::{FaultEvent, FaultPlan, FaultTarget};
+        use crate::topology::{NodeId, Port};
+        let plan = |node, port| {
+            FaultPlan::new(vec![FaultEvent {
+                start: 0,
+                duration: None,
+                target: FaultTarget::Link {
+                    node: NodeId(node),
+                    port,
+                },
+            }])
+            .unwrap()
+        };
+        assert!(SimConfig::default()
+            .with_faults(plan(0, Port::East))
+            .validate()
+            .is_ok());
+        // Node 0 of an 8x8 mesh has no west neighbor.
+        assert!(SimConfig::default()
+            .with_faults(plan(0, Port::West))
+            .validate()
+            .is_err());
+        assert!(SimConfig::default()
+            .with_faults(plan(999, Port::East))
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! Deterministic fault injection: timed link-down and router-down events.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s — permanent or
+//! transient failures of a link or a whole router — that the [`Network`]
+//! applies at cycle boundaries. Plans are JSON round-trippable (they live
+//! inside [`SimConfig`](crate::SimConfig)) and, like
+//! [`PacketTrace`](crate::PacketTrace), loadable from and storable to a
+//! simple CSV format (`start,duration,kind,node,port` per line, `#`
+//! comments allowed). [`FaultPlan::random_links`] draws a seeded-random set
+//! of link faults so scenario sweeps can explore fault *rates* without
+//! hand-writing plans.
+//!
+//! Semantics (see DESIGN.md §8 for the full story):
+//!
+//! * a **link fault** takes the wire down in *both* directions;
+//! * a **router fault** takes every incident link down and silences the
+//!   router itself — flits inside it are lost, packets offered at its
+//!   source queue are dropped, and it consumes no energy while dead;
+//! * faults take effect only at cycle boundaries, where the network purges
+//!   every packet severed by a newly dead component and counts it in the
+//!   [`StatsCollector`](crate::StatsCollector) drop bucket;
+//! * transient faults heal at `start + duration`; the purge keeps credit
+//!   and VC bookkeeping consistent so a healed fabric resumes cleanly.
+//!
+//! [`Network`]: crate::Network
+
+use crate::error::{SimError, SimResult};
+use crate::topology::{NodeId, Port, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The component a fault takes down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// The (bidirectional) link between `node` and its neighbor via `port`.
+    Link {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// The cardinal port identifying the link from `node`'s side.
+        port: Port,
+    },
+    /// An entire router, with every link incident to it.
+    Router {
+        /// The failing router.
+        node: NodeId,
+    },
+}
+
+/// One timed fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle at which the fault takes effect.
+    pub start: u64,
+    /// Fault length in cycles; `None` is permanent.
+    pub duration: Option<u64>,
+    /// What fails.
+    pub target: FaultTarget,
+}
+
+impl FaultEvent {
+    /// Whether the fault is in force at `cycle`.
+    pub fn active_at(&self, cycle: u64) -> bool {
+        cycle >= self.start
+            && match self.duration {
+                Some(d) => cycle < self.start.saturating_add(d),
+                None => true,
+            }
+    }
+}
+
+/// A deterministic fault schedule, applied by the network at cycle
+/// boundaries. The default plan is empty (a pristine fabric).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Events sorted by start cycle.
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no component ever fails.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from events (sorted internally by start cycle).
+    ///
+    /// # Errors
+    /// Returns an error for a zero-duration event or a link fault naming the
+    /// `Local` port (processing-element links cannot fail independently of
+    /// their router).
+    pub fn new(mut events: Vec<FaultEvent>) -> SimResult<Self> {
+        for e in &events {
+            if e.duration == Some(0) {
+                return Err(SimError::InvalidTrace(format!(
+                    "zero-duration fault at cycle {}",
+                    e.start
+                )));
+            }
+            if let FaultTarget::Link {
+                port: Port::Local, ..
+            } = e.target
+            {
+                return Err(SimError::InvalidTrace(format!(
+                    "link fault on the Local port at cycle {} (fail the router instead)",
+                    e.start
+                )));
+            }
+        }
+        events.sort_by_key(|e| e.start);
+        Ok(FaultPlan { events })
+    }
+
+    /// Draw `count` distinct permanent-or-transient link faults uniformly at
+    /// random (seeded, deterministic) over the topology's undirected links,
+    /// all starting at `start` with the given `duration`. `count` is capped
+    /// at the number of links in the topology.
+    ///
+    /// # Panics
+    /// Panics if `duration == Some(0)` — the same degenerate event
+    /// [`FaultPlan::new`] rejects.
+    pub fn random_links(
+        topo: &Topology,
+        count: usize,
+        seed: u64,
+        start: u64,
+        duration: Option<u64>,
+    ) -> Self {
+        // Undirected links, each named once from its west/north endpoint.
+        let mut links: Vec<(NodeId, Port)> = Vec::new();
+        for node in topo.nodes() {
+            for port in [Port::East, Port::South] {
+                if topo.neighbor(node, port).is_some() {
+                    links.push((node, port));
+                }
+            }
+        }
+        let count = count.min(links.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher-Yates: the first `count` entries end up a uniform
+        // sample without replacement.
+        for k in 0..count {
+            let pick = rng.gen_range(k..links.len());
+            links.swap(k, pick);
+        }
+        let mut events: Vec<FaultEvent> = links[..count]
+            .iter()
+            .map(|&(node, port)| FaultEvent {
+                start,
+                duration,
+                target: FaultTarget::Link { node, port },
+            })
+            .collect();
+        // Stable order independent of the draw order, so plans are
+        // byte-identical for identical (topo, count, seed) inputs. All
+        // events share `start`, so `new`'s stable sort preserves it.
+        events.sort_by_key(|e| match e.target {
+            FaultTarget::Link { node, port } => (node.0, port.index()),
+            FaultTarget::Router { node } => (node.0, usize::MAX),
+        });
+        FaultPlan::new(events).expect("random_links draws only valid link events")
+    }
+
+    /// The events, sorted by start cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check every event references components inside the topology.
+    ///
+    /// # Errors
+    /// Returns the first out-of-range node or a link fault on a port with no
+    /// neighbor (a mesh edge).
+    pub fn validate(&self, topo: &Topology) -> SimResult<()> {
+        let n = topo.num_nodes();
+        for e in &self.events {
+            let node = match e.target {
+                FaultTarget::Link { node, .. } | FaultTarget::Router { node } => node,
+            };
+            if node.0 >= n {
+                return Err(SimError::NodeOutOfRange {
+                    node: node.0,
+                    nodes: n,
+                });
+            }
+            if let FaultTarget::Link { node, port } = e.target {
+                if topo.neighbor(node, port).is_none() {
+                    return Err(SimError::InvalidTrace(format!(
+                        "link fault at cycle {}: {node} has no link via {port}",
+                        e.start
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The cycles at which the active fault set changes (event starts and
+    /// ends), sorted and deduplicated. The network recomputes link state
+    /// exactly at these boundaries.
+    pub fn boundaries(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.events.len() * 2);
+        for e in &self.events {
+            out.push(e.start);
+            if let Some(d) = e.duration {
+                out.push(e.start.saturating_add(d));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Parse the CSV format: one `start,duration,kind,node,port` per line.
+    /// `duration` is a cycle count or `perm`; `kind` is `link` or `router`;
+    /// `port` is `north`/`east`/`south`/`west` for links and `-` for
+    /// routers. Blank lines and lines starting with `#` are skipped.
+    ///
+    /// # Errors
+    /// Returns an error describing the first malformed line.
+    pub fn from_csv(text: &str) -> SimResult<Self> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |what: &str| {
+                SimError::InvalidTrace(format!("line {}: {what}: `{line}`", lineno + 1))
+            };
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != 5 {
+                return Err(bad("expected `start,duration,kind,node,port`"));
+            }
+            let start: u64 = fields[0].parse().map_err(|_| bad("bad start cycle"))?;
+            let duration = match fields[1] {
+                "perm" => None,
+                d => Some(d.parse::<u64>().map_err(|_| bad("bad duration"))?),
+            };
+            let node = NodeId(fields[3].parse().map_err(|_| bad("bad node"))?);
+            let target = match fields[2] {
+                "link" => FaultTarget::Link {
+                    node,
+                    port: parse_port(fields[4]).ok_or_else(|| bad("bad port"))?,
+                },
+                "router" => {
+                    if fields[4] != "-" {
+                        return Err(bad("router faults take `-` for the port field"));
+                    }
+                    FaultTarget::Router { node }
+                }
+                _ => return Err(bad("kind must be `link` or `router`")),
+            };
+            events.push(FaultEvent {
+                start,
+                duration,
+                target,
+            });
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Render the CSV format parsed by [`FaultPlan::from_csv`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("# start,duration,kind,node,port\n");
+        for e in &self.events {
+            let duration = match e.duration {
+                Some(d) => d.to_string(),
+                None => "perm".to_string(),
+            };
+            match e.target {
+                FaultTarget::Link { node, port } => {
+                    out.push_str(&format!(
+                        "{},{duration},link,{},{}\n",
+                        e.start,
+                        node.0,
+                        port_name(port)
+                    ));
+                }
+                FaultTarget::Router { node } => {
+                    out.push_str(&format!("{},{duration},router,{},-\n", e.start, node.0));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_port(s: &str) -> Option<Port> {
+    match s {
+        "north" => Some(Port::North),
+        "east" => Some(Port::East),
+        "south" => Some(Port::South),
+        "west" => Some(Port::West),
+        _ => None,
+    }
+}
+
+fn port_name(p: Port) -> &'static str {
+    match p {
+        Port::North => "north",
+        Port::East => "east",
+        Port::South => "south",
+        Port::West => "west",
+        Port::Local => "local",
+    }
+}
+
+/// The instantaneous liveness of every link and router, recomputed by the
+/// network whenever the active fault set changes. Routers consult it during
+/// route computation to exclude dead output ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkState {
+    /// Outgoing-link liveness per node, indexed by [`Port::index`]. The
+    /// `Local` slot is always up for live routers.
+    up: Vec<[bool; Port::COUNT]>,
+    /// Router liveness per node.
+    router_up: Vec<bool>,
+    /// Directed dead links (a bidirectional link fault counts twice), only
+    /// counting wires that exist in the topology.
+    dead_links: usize,
+}
+
+impl LinkState {
+    /// A fully healthy fabric of `num_nodes` routers.
+    pub fn healthy(num_nodes: usize) -> Self {
+        LinkState {
+            up: vec![[true; Port::COUNT]; num_nodes],
+            router_up: vec![true; num_nodes],
+            dead_links: 0,
+        }
+    }
+
+    /// Whether the directed link leaving `node` via `port` is up. `Local`
+    /// tracks the router's own liveness.
+    pub fn is_link_up(&self, node: NodeId, port: Port) -> bool {
+        self.up[node.0][port.index()]
+    }
+
+    /// Whether the router at `node` is alive.
+    pub fn is_router_up(&self, node: NodeId) -> bool {
+        self.router_up[node.0]
+    }
+
+    /// Number of directed dead links (each bidirectional link fault
+    /// contributes two).
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links
+    }
+
+    /// Whether any component is currently down.
+    pub fn any_faults(&self) -> bool {
+        self.dead_links > 0 || self.router_up.iter().any(|&u| !u)
+    }
+
+    fn take_link_down(&mut self, topo: &Topology, node: NodeId, port: Port) {
+        if let Some(peer) = topo.neighbor(node, port) {
+            for (n, p) in [(node, port), (peer, port.opposite())] {
+                let slot = &mut self.up[n.0][p.index()];
+                if *slot {
+                    *slot = false;
+                    self.dead_links += 1;
+                }
+            }
+        }
+    }
+
+    /// Rebuild liveness from the plan's events active at `cycle`.
+    pub fn recompute(&mut self, topo: &Topology, plan: &FaultPlan, cycle: u64) {
+        for row in &mut self.up {
+            *row = [true; Port::COUNT];
+        }
+        self.router_up.fill(true);
+        self.dead_links = 0;
+        for e in plan.events() {
+            if !e.active_at(cycle) {
+                continue;
+            }
+            match e.target {
+                FaultTarget::Link { node, port } => self.take_link_down(topo, node, port),
+                FaultTarget::Router { node } => {
+                    if self.router_up[node.0] {
+                        self.router_up[node.0] = false;
+                        self.up[node.0][Port::Local.index()] = false;
+                        for port in [Port::North, Port::East, Port::South, Port::West] {
+                            self.take_link_down(topo, node, port);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(start: u64, duration: Option<u64>, node: usize, port: Port) -> FaultEvent {
+        FaultEvent {
+            start,
+            duration,
+            target: FaultTarget::Link {
+                node: NodeId(node),
+                port,
+            },
+        }
+    }
+
+    #[test]
+    fn events_sort_and_activate() {
+        let plan = FaultPlan::new(vec![
+            link(50, Some(10), 0, Port::East),
+            link(5, None, 1, Port::South),
+        ])
+        .unwrap();
+        assert_eq!(plan.events()[0].start, 5);
+        assert!(plan.events()[0].active_at(5));
+        assert!(
+            plan.events()[0].active_at(1_000_000),
+            "permanent faults persist"
+        );
+        assert!(!plan.events()[1].active_at(49));
+        assert!(plan.events()[1].active_at(59));
+        assert!(!plan.events()[1].active_at(60), "transient faults heal");
+        assert_eq!(plan.boundaries(), vec![5, 50, 60]);
+    }
+
+    #[test]
+    fn degenerate_events_rejected() {
+        assert!(FaultPlan::new(vec![link(0, Some(0), 0, Port::East)]).is_err());
+        assert!(FaultPlan::new(vec![link(0, None, 0, Port::Local)]).is_err());
+    }
+
+    #[test]
+    fn validate_checks_topology() {
+        let topo = Topology::mesh(2, 2);
+        assert!(FaultPlan::new(vec![link(0, None, 0, Port::East)])
+            .unwrap()
+            .validate(&topo)
+            .is_ok());
+        // Node out of range.
+        assert!(FaultPlan::new(vec![link(0, None, 9, Port::East)])
+            .unwrap()
+            .validate(&topo)
+            .is_err());
+        // Mesh edge: node 0 has no west neighbor.
+        assert!(FaultPlan::new(vec![link(0, None, 0, Port::West)])
+            .unwrap()
+            .validate(&topo)
+            .is_err());
+        // Routers only need a valid node.
+        let router = FaultPlan::new(vec![FaultEvent {
+            start: 0,
+            duration: None,
+            target: FaultTarget::Router { node: NodeId(3) },
+        }])
+        .unwrap();
+        assert!(router.validate(&topo).is_ok());
+    }
+
+    #[test]
+    fn csv_roundtrip_identity() {
+        let plan = FaultPlan::new(vec![
+            link(0, None, 5, Port::East),
+            link(100, Some(50), 2, Port::North),
+            FaultEvent {
+                start: 30,
+                duration: None,
+                target: FaultTarget::Router { node: NodeId(7) },
+            },
+        ])
+        .unwrap();
+        let csv = plan.to_csv();
+        let back = FaultPlan::from_csv(&csv).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_csv(), csv, "store -> load -> store is the identity");
+    }
+
+    #[test]
+    fn csv_parsing_is_strict_but_tolerant_of_comments() {
+        let text = "# header\n\n 0, perm, link, 5, east \n10,20,router,3,-\n";
+        let plan = FaultPlan::from_csv(text).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(
+            FaultPlan::from_csv("0,perm,link,5").is_err(),
+            "missing field"
+        );
+        assert!(
+            FaultPlan::from_csv("x,perm,link,5,east").is_err(),
+            "bad start"
+        );
+        assert!(FaultPlan::from_csv("0,perm,link,5,up").is_err(), "bad port");
+        assert!(FaultPlan::from_csv("0,perm,core,5,-").is_err(), "bad kind");
+        assert!(
+            FaultPlan::from_csv("0,perm,router,5,east").is_err(),
+            "router rows take `-`"
+        );
+        assert!(
+            FaultPlan::from_csv("0,0,link,5,east").is_err(),
+            "zero duration"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let plan = FaultPlan::new(vec![link(3, Some(9), 1, Port::South)]).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn random_links_are_deterministic_and_distinct() {
+        let topo = Topology::mesh(4, 4);
+        let a = FaultPlan::random_links(&topo, 5, 42, 0, None);
+        let b = FaultPlan::random_links(&topo, 5, 42, 0, None);
+        assert_eq!(a, b, "same seed must draw the same plan");
+        assert_eq!(a.len(), 5);
+        let mut targets: Vec<_> = a
+            .events()
+            .iter()
+            .map(|e| match e.target {
+                FaultTarget::Link { node, port } => (node.0, port.index()),
+                FaultTarget::Router { .. } => unreachable!("random_links draws links"),
+            })
+            .collect();
+        targets.dedup();
+        assert_eq!(targets.len(), 5, "links drawn without replacement");
+        assert!(a.validate(&topo).is_ok());
+        let c = FaultPlan::random_links(&topo, 5, 43, 0, None);
+        assert_ne!(a, c, "different seeds draw different plans");
+        // Count is capped at the number of links (24 undirected on 4x4).
+        assert_eq!(FaultPlan::random_links(&topo, 1_000, 1, 0, None).len(), 24);
+    }
+
+    #[test]
+    fn link_state_tracks_faults_and_heals() {
+        let topo = Topology::mesh(4, 4);
+        let plan = FaultPlan::new(vec![
+            link(10, Some(20), 5, Port::East),
+            FaultEvent {
+                start: 10,
+                duration: None,
+                target: FaultTarget::Router { node: NodeId(0) },
+            },
+        ])
+        .unwrap();
+        let mut ls = LinkState::healthy(16);
+        assert!(!ls.any_faults());
+        ls.recompute(&topo, &plan, 15);
+        assert!(ls.any_faults());
+        assert!(!ls.is_link_up(NodeId(5), Port::East));
+        assert!(!ls.is_link_up(NodeId(6), Port::West), "both directions die");
+        assert!(!ls.is_router_up(NodeId(0)));
+        assert!(!ls.is_link_up(NodeId(0), Port::East));
+        assert!(!ls.is_link_up(NodeId(1), Port::West));
+        assert!(!ls.is_link_up(NodeId(4), Port::North));
+        // link 5<->6 (2 directed) + router 0's two incident links (4 directed).
+        assert_eq!(ls.dead_link_count(), 6);
+        // The transient link heals; the permanent router fault does not.
+        ls.recompute(&topo, &plan, 30);
+        assert!(ls.is_link_up(NodeId(5), Port::East));
+        assert!(!ls.is_router_up(NodeId(0)));
+        assert_eq!(ls.dead_link_count(), 4);
+    }
+}

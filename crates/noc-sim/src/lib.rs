@@ -34,6 +34,7 @@
 //! * [`vc`] / [`arbiter`] / [`router`] — the three-stage VC router pipeline.
 //! * [`traffic`] — synthetic patterns and phase-changing traces.
 //! * [`dvfs`] / [`power`] — V/F levels, regions, clock gating, event energy.
+//! * [`fault`] — timed link/router failures, fault-aware rerouting support.
 //! * [`network`] — the router grid, links, injection queues, cycle loop.
 //! * [`stats`] / [`sim`] — metrics and the simulation driver.
 
@@ -44,6 +45,7 @@ pub mod arbiter;
 pub mod config;
 pub mod dvfs;
 pub mod error;
+pub mod fault;
 pub mod flit;
 pub mod network;
 pub mod power;
@@ -59,6 +61,7 @@ pub mod vc;
 pub use config::SimConfig;
 pub use dvfs::{ClockGate, RegionMap, ThrottleEvent, VfLevel, VfTable};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultEvent, FaultPlan, FaultTarget, LinkState};
 pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use network::Network;
 pub use power::{EnergyMeter, PowerEvent, PowerModel};

@@ -8,14 +8,15 @@
 use crate::config::SimConfig;
 use crate::dvfs::{ClockGate, RegionMap, ThrottleEvent, VfTable};
 use crate::error::{SimError, SimResult};
-use crate::flit::{Flit, Packet};
+use crate::fault::{FaultPlan, LinkState};
+use crate::flit::{Flit, Packet, PacketId};
 use crate::power::{PowerEvent, PowerModel};
 use crate::router::{Router, RouterCtx, RouterEvent};
 use crate::routing::RoutingAlgorithm;
 use crate::stats::StatsCollector;
 use crate::topology::{NodeId, Port, Topology, TopologyKind};
 use crate::vc::OutputVcState;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Per-node source queue with credit-tracked access to the router's `Local`
 /// input port.
@@ -120,6 +121,17 @@ pub struct Network {
     region_dynamic_scale: Vec<f64>,
     /// Leakage multiplier per region at its current effective level.
     region_leakage_scale: Vec<f64>,
+    /// Timed link/router failures (empty on a pristine fabric).
+    fault_plan: FaultPlan,
+    /// Cycles at which the active fault set changes, sorted ascending.
+    fault_boundaries: Vec<u64>,
+    /// Next unapplied entry of `fault_boundaries`.
+    next_fault_boundary: usize,
+    /// Instantaneous link/router liveness under the plan.
+    link_state: LinkState,
+    /// Whether the plan has any events — gates every fault code path so a
+    /// fault-free simulation pays nothing.
+    has_faults: bool,
     cycle: u64,
     /// Reusable per-cycle buffers. [`Network::step`] used to allocate fresh
     /// `Vec`s for link deliveries, credit returns, router events, and the
@@ -175,6 +187,10 @@ impl Network {
         let max_vf = config.vf_table.levels()[max_level];
         let nominal = config.vf_table.nominal_voltage();
         let num_regions = regions.num_regions();
+        let fault_plan = config.fault_plan.clone();
+        let fault_boundaries = fault_plan.boundaries();
+        let has_faults = !fault_plan.is_empty();
+        let link_state = LinkState::healthy(topo.num_nodes());
         Ok(Network {
             topo,
             routing: config.routing,
@@ -191,6 +207,11 @@ impl Network {
             region_by_node,
             region_dynamic_scale: vec![max_vf.dynamic_scale(nominal); num_regions],
             region_leakage_scale: vec![max_vf.leakage_scale(nominal); num_regions],
+            fault_plan,
+            fault_boundaries,
+            next_fault_boundary: 0,
+            link_state,
+            has_faults,
             cycle: 0,
             scratch: StepScratch::default(),
         })
@@ -232,6 +253,17 @@ impl Network {
     /// Current routing algorithm.
     pub fn routing(&self) -> RoutingAlgorithm {
         self.routing
+    }
+
+    /// Instantaneous link/router liveness under the configured fault plan
+    /// (all up on a fabric without faults).
+    pub fn faults(&self) -> &LinkState {
+        &self.link_state
+    }
+
+    /// The configured fault plan (empty on a pristine fabric).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// Current global cycle.
@@ -387,6 +419,9 @@ impl Network {
         if !self.throttles.is_empty() {
             self.sync_effective_levels();
         }
+        if self.has_faults {
+            self.apply_fault_boundaries(stats);
+        }
         // Borrow the reusable per-cycle buffers out of `self` for the cycle
         // (they are drained before being returned, so only their capacity
         // carries over between cycles).
@@ -397,6 +432,12 @@ impl Network {
 
         for i in 0..self.topo.num_nodes() {
             let node = NodeId(i);
+            if self.has_faults && !self.link_state.is_router_up(node) {
+                // A dead router does nothing and consumes nothing; traffic
+                // offered at its source queue is unreachable and dropped.
+                self.drop_source_queue(i, stats);
+                continue;
+            }
             // Leakage accrues every global cycle regardless of clock gating;
             // idle routers (empty buffers and source queue) may be power
             // gated down to a fraction of nominal leakage.
@@ -422,6 +463,11 @@ impl Network {
                     power: &self.power,
                     meter: &mut stats.energy,
                     dynamic_scale,
+                    faults: if self.has_faults {
+                        Some(&self.link_state)
+                    } else {
+                        None
+                    },
                 };
                 self.routers[i].step_into(&mut ctx, &mut events);
             }
@@ -432,6 +478,10 @@ impl Network {
                             .topo
                             .neighbor(node, out_port)
                             .expect("router forwarded off the edge");
+                        debug_assert!(
+                            !self.has_faults || self.link_state.is_link_up(node, out_port),
+                            "delivery scheduled across a dead link"
+                        );
                         deliveries.push(Delivery {
                             to,
                             in_port: out_port.opposite(),
@@ -452,6 +502,9 @@ impl Network {
                             vc,
                         });
                     }
+                    RouterEvent::Drop { flit } => {
+                        stats.record_drop(&flit);
+                    }
                 }
             }
             self.try_inject(node, stats);
@@ -469,6 +522,7 @@ impl Network {
                 power: &self.power,
                 meter: &mut stats.energy,
                 dynamic_scale: scale,
+                faults: None,
             };
             self.routers[d.to.0].accept(d.in_port, d.flit, &mut ctx);
         }
@@ -487,7 +541,12 @@ impl Network {
         let mut region_occ = std::mem::take(&mut self.scratch.region_occ);
         self.region_occupancy_into(&mut region_occ);
         let total_occ = region_occ.iter().sum();
-        stats.sample_occupancy(total_occ, &region_occ, self.backlog());
+        stats.sample_occupancy(
+            total_occ,
+            &region_occ,
+            self.backlog(),
+            self.link_state.dead_link_count(),
+        );
         self.scratch.region_occ = region_occ;
 
         self.scratch.deliveries = deliveries;
@@ -577,8 +636,121 @@ impl Network {
                 power: &self.power,
                 meter: &mut stats.energy,
                 dynamic_scale: scale,
+                faults: None,
             };
             self.routers[i].accept(Port::Local, flit, &mut ctx);
+        }
+    }
+
+    /// Apply every fault boundary reached by the current cycle: rebuild the
+    /// link state and purge packets severed by newly dead components.
+    fn apply_fault_boundaries(&mut self, stats: &mut StatsCollector) {
+        let mut crossed = false;
+        while self.next_fault_boundary < self.fault_boundaries.len()
+            && self.fault_boundaries[self.next_fault_boundary] <= self.cycle
+        {
+            self.next_fault_boundary += 1;
+            crossed = true;
+        }
+        if crossed {
+            self.link_state
+                .recompute(&self.topo, &self.fault_plan, self.cycle);
+            self.purge_condemned(stats);
+        }
+    }
+
+    /// Remove every packet severed by the current fault set, network-wide,
+    /// and count it as dropped.
+    ///
+    /// A packet is condemned when it is mid-transmission across a dead link
+    /// (the upstream router's output-VC ownership names it) or has flits
+    /// buffered inside a dead router. Purging walks every router, removes
+    /// the condemned packets' flits, releases the VCs they held along their
+    /// whole path, and restores the credits those flits consumed, so the
+    /// surviving traffic — and any later heal of a transient fault — sees
+    /// consistent flow-control state. Routes that point into a dead link but
+    /// have not yet committed downstream are cleared for re-routing instead
+    /// of condemned.
+    fn purge_condemned(&mut self, stats: &mut StatsCollector) {
+        let n = self.topo.num_nodes();
+        let mut condemned: BTreeSet<PacketId> = BTreeSet::new();
+        for i in 0..n {
+            let node = NodeId(i);
+            if !self.link_state.is_router_up(node) {
+                self.routers[i].condemn_all(&mut condemned);
+                if let Some(f) = self.inj[i].current.front() {
+                    // Mid-injection at a dying router: the whole packet goes.
+                    condemned.insert(f.packet);
+                }
+            } else {
+                for port in [Port::North, Port::East, Port::South, Port::West] {
+                    if self.topo.neighbor(node, port).is_some()
+                        && !self.link_state.is_link_up(node, port)
+                    {
+                        self.routers[i].condemn_output_owners(port, &mut condemned);
+                    }
+                }
+            }
+        }
+
+        // Sweep: drop condemned flits everywhere (collecting the credits to
+        // restore), and clear uncommitted routes into dead links.
+        let mut restored: Vec<(usize, Port, usize)> = Vec::new();
+        let mut dropped_flits = 0u64;
+        for i in 0..n {
+            let node = NodeId(i);
+            let link_state = &self.link_state;
+            dropped_flits += self.routers[i].purge_and_reroute(
+                &condemned,
+                |p| !link_state.is_link_up(node, p),
+                |in_port, vc| restored.push((i, in_port, vc)),
+            );
+        }
+        for (node, in_port, vc) in restored {
+            if in_port == Port::Local {
+                self.inj[node].vc_states[vc].credits += 1;
+            } else if let Some(up) = self.topo.neighbor(NodeId(node), in_port) {
+                self.routers[up.0].return_credit(in_port.opposite(), vc);
+            }
+        }
+
+        // Source queues: a condemned packet caught mid-injection loses its
+        // not-yet-injected flits too, and frees its claimed local VC.
+        if !condemned.is_empty() {
+            for q in &mut self.inj {
+                let pid = match q.current.front() {
+                    Some(f) => f.packet,
+                    None => continue,
+                };
+                if !condemned.contains(&pid) {
+                    continue;
+                }
+                dropped_flits += q.current.len() as u64;
+                q.current.clear();
+                if let Some(vc) = q.current_vc.take() {
+                    q.vc_states[vc].owner = None;
+                }
+            }
+        }
+        stats.record_purged(condemned.len() as u64, dropped_flits);
+    }
+
+    /// Drop everything waiting at a dead router's source queue: queued
+    /// packets and any mid-injection remnant that never reached the network.
+    fn drop_source_queue(&mut self, i: usize, stats: &mut StatsCollector) {
+        let q = &mut self.inj[i];
+        while let Some(p) = q.pop_packet() {
+            stats.record_source_drop(1, p.len_flits as u64);
+        }
+        if !q.current.is_empty() {
+            // Possible only for a packet that had injected nothing when the
+            // router died (otherwise the boundary purge already cleared it),
+            // so it still counts as a whole dropped packet.
+            stats.record_source_drop(1, q.current.len() as u64);
+            q.current.clear();
+            if let Some(vc) = q.current_vc.take() {
+                q.vc_states[vc].owner = None;
+            }
         }
     }
 }
@@ -883,6 +1055,160 @@ mod tests {
             run(true) > run(false) * 2,
             "throttled region must be much slower"
         );
+    }
+
+    fn link_fault(start: u64, duration: Option<u64>, node: usize, port: Port) -> crate::FaultPlan {
+        crate::FaultPlan::new(vec![crate::FaultEvent {
+            start,
+            duration,
+            target: crate::FaultTarget::Link {
+                node: NodeId(node),
+                port,
+            },
+        }])
+        .unwrap()
+    }
+
+    #[test]
+    fn xy_drops_packets_that_need_a_dead_link() {
+        // XY from 0 to 3 must go east along row 0; kill link 1<->2.
+        let cfg = small_config().with_faults(link_fault(0, None, 1, Port::East));
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        net.offer(vec![packet(0, 0, 3, 5, 0)], &mut stats);
+        for _ in 0..300 {
+            net.step(&mut stats);
+            if net.in_flight() == 0 && stats.injected_flits == 5 {
+                break;
+            }
+        }
+        assert_eq!(stats.ejected_packets, 0, "no route around a dead XY link");
+        assert_eq!(stats.dropped_packets, 1);
+        assert_eq!(stats.dropped_flits, 5);
+        assert_eq!(net.in_flight(), 0, "dropped packets must drain, not wedge");
+        assert!(stats.sum_dead_links > 0.0, "telemetry sees the dead link");
+    }
+
+    #[test]
+    fn adaptive_routing_reroutes_around_a_dead_link() {
+        // West-First from 0 to 15 may route south first; kill link 1<->2 on
+        // row 0 — a minimal alternative exists, so the packet is delivered.
+        let cfg = small_config()
+            .with_routing(RoutingAlgorithm::WestFirst)
+            .with_faults(link_fault(0, None, 1, Port::East));
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        net.offer(vec![packet(0, 0, 15, 5, 0)], &mut stats);
+        for _ in 0..300 {
+            net.step(&mut stats);
+            if stats.ejected_packets == 1 {
+                break;
+            }
+        }
+        assert_eq!(stats.ejected_packets, 1, "adaptive routing must reroute");
+        assert_eq!(stats.dropped_packets, 0);
+    }
+
+    #[test]
+    fn mid_packet_link_death_purges_the_severed_packet() {
+        // Let the packet start crossing 0->1, then kill the link mid-flight:
+        // the whole packet (both halves) is purged and counted dropped, and
+        // the fabric keeps working for later traffic on other routes.
+        let cfg = small_config().with_faults(link_fault(8, None, 0, Port::East));
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        net.offer(vec![packet(0, 0, 3, 8, 0)], &mut stats);
+        for _ in 0..400 {
+            net.step(&mut stats);
+        }
+        assert_eq!(stats.ejected_packets, 0);
+        assert_eq!(stats.dropped_packets, 1);
+        assert_eq!(
+            stats.dropped_flits, 8,
+            "every flit of the severed packet is accounted for"
+        );
+        assert_eq!(net.in_flight(), 0);
+        // The fabric still delivers traffic that avoids the dead link.
+        net.offer(vec![packet(1, 4, 7, 5, 400)], &mut stats);
+        for _ in 0..300 {
+            net.step(&mut stats);
+            if stats.ejected_packets == 1 {
+                break;
+            }
+        }
+        assert_eq!(stats.ejected_packets, 1, "surviving fabric must still work");
+    }
+
+    #[test]
+    fn transient_fault_heals_and_traffic_resumes() {
+        let cfg = small_config().with_faults(link_fault(0, Some(100), 1, Port::East));
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        // During the fault: XY traffic across it drops.
+        net.offer(vec![packet(0, 0, 3, 5, 0)], &mut stats);
+        for _ in 0..100 {
+            net.step(&mut stats);
+        }
+        assert_eq!(stats.dropped_packets, 1);
+        assert!(!net.faults().is_link_up(NodeId(1), Port::East));
+        // After healing: the same route works again.
+        net.offer(vec![packet(1, 0, 3, 5, 100)], &mut stats);
+        for _ in 0..300 {
+            net.step(&mut stats);
+            if stats.ejected_packets == 1 {
+                break;
+            }
+        }
+        assert!(
+            net.faults().is_link_up(NodeId(1), Port::East),
+            "link healed"
+        );
+        assert_eq!(stats.ejected_packets, 1, "healed link must carry traffic");
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn router_fault_drops_traffic_from_and_to_it() {
+        let plan = crate::FaultPlan::new(vec![crate::FaultEvent {
+            start: 0,
+            duration: None,
+            target: crate::FaultTarget::Router { node: NodeId(5) },
+        }])
+        .unwrap();
+        let cfg = small_config().with_faults(plan);
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        // One packet from the dead router, one to it, one unrelated.
+        net.offer(
+            vec![
+                packet(0, 5, 3, 5, 0),
+                packet(1, 0, 5, 5, 0),
+                packet(2, 12, 15, 5, 0),
+            ],
+            &mut stats,
+        );
+        for _ in 0..500 {
+            net.step(&mut stats);
+            if net.in_flight() == 0 && stats.ejected_packets == 1 {
+                break;
+            }
+        }
+        assert_eq!(
+            stats.ejected_packets, 1,
+            "only the unrelated packet arrives"
+        );
+        assert_eq!(stats.dropped_packets, 2);
+        assert_eq!(net.in_flight(), 0);
+        assert!(!net.faults().is_router_up(NodeId(5)));
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        // An empty plan must be byte-for-byte the default configuration, so
+        // the fault hook cannot perturb healthy-fabric results.
+        let cfg = small_config();
+        let with_empty = small_config().with_faults(crate::FaultPlan::empty());
+        assert_eq!(cfg, with_empty);
     }
 
     #[test]

@@ -19,12 +19,14 @@
 //! the VC; the network layer returns credits as downstream buffers drain.
 
 use crate::arbiter::RoundRobinArbiter;
-use crate::flit::Flit;
+use crate::fault::LinkState;
+use crate::flit::{Flit, PacketId};
 use crate::power::{EnergyMeter, PowerEvent, PowerModel};
-use crate::routing::{route, RoutingAlgorithm};
+use crate::routing::{route, route_live, RoutingAlgorithm};
 use crate::topology::{NodeId, Port, Topology};
 use crate::vc::{InputVc, OutputVcState};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Effects of one router cycle, applied by the network layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +51,12 @@ pub enum RouterEvent {
         /// Virtual channel index.
         vc: usize,
     },
+    /// A flit of an unroutable packet is discarded (fault handling). The
+    /// network layer counts it toward the drop/unreachable statistics.
+    Drop {
+        /// The discarded flit.
+        flit: Flit,
+    },
 }
 
 /// Per-cycle execution context handed to [`Router::step`].
@@ -64,6 +72,10 @@ pub struct RouterCtx<'a> {
     pub meter: &'a mut EnergyMeter,
     /// Dynamic energy multiplier for this router's current V/F level.
     pub dynamic_scale: f64,
+    /// Link/router liveness under the active fault set. `None` means the
+    /// simulation runs without a fault plan (the common case) and route
+    /// computation skips the liveness filter entirely.
+    pub faults: Option<&'a LinkState>,
 }
 
 /// A single wormhole VC router.
@@ -269,9 +281,42 @@ impl Router {
         if self.occupancy() == 0 {
             return; // idle router: nothing to route, allocate, or move
         }
+        if ctx.faults.is_some() {
+            self.drain_dropped(events);
+        }
         self.switch_allocation(ctx, events);
         self.vc_allocation(ctx);
         self.route_computation(ctx);
+    }
+
+    /// Discard buffered flits of packets marked `dropping` (unroutable under
+    /// the active fault set), returning a credit per discarded flit so the
+    /// upstream sender keeps feeding the remainder of the packet. The tail
+    /// flit releases the VC.
+    fn drain_dropped(&mut self, events: &mut Vec<RouterEvent>) {
+        for ip in 0..Port::COUNT {
+            for vc in 0..self.num_vcs {
+                let ivc = &mut self.inputs[ip][vc];
+                if !ivc.dropping {
+                    continue;
+                }
+                let mut removed = 0;
+                while let Some(flit) = ivc.buf.pop() {
+                    removed += 1;
+                    let is_tail = flit.is_tail();
+                    events.push(RouterEvent::Drop { flit });
+                    events.push(RouterEvent::Credit {
+                        in_port: Port::from_index(ip),
+                        vc,
+                    });
+                    if is_tail {
+                        ivc.release();
+                        break;
+                    }
+                }
+                self.occ -= removed;
+            }
+        }
     }
 
     /// SA/ST: one flit per output port per cycle, one per input port per
@@ -331,6 +376,10 @@ impl Router {
             if out_port == Port::Local {
                 events.push(RouterEvent::Eject { flit });
             } else {
+                debug_assert!(
+                    ctx.faults.is_none_or(|ls| ls.is_link_up(self.id, out_port)),
+                    "SA forwarded into a dead link (boundary purge missed a route)"
+                );
                 flit.vc = out_vc;
                 flit.hops += 1;
                 let st = &mut self.outputs[op][out_vc];
@@ -391,11 +440,13 @@ impl Router {
 
     /// RC: compute output-port candidates for head flits; adaptive
     /// algorithms pick the candidate whose free VCs hold the most credits.
+    /// Under an active fault set, dead output links are excluded; a packet
+    /// with no live candidate is marked for dropping instead of wedging.
     fn route_computation(&mut self, ctx: &mut RouterCtx<'_>) {
         for ip in 0..Port::COUNT {
             for vc in 0..self.num_vcs {
                 let ivc = &self.inputs[ip][vc];
-                if ivc.route.is_some() || ivc.buf.is_empty() {
+                if ivc.dropping || ivc.route.is_some() || ivc.buf.is_empty() {
                     continue;
                 }
                 let flit = ivc.buf.front().expect("checked non-empty");
@@ -403,7 +454,20 @@ impl Router {
                     flit.is_head(),
                     "non-head flit at front of an unrouted VC: flow-control bug"
                 );
-                let cands = route(ctx.routing, ctx.topo, self.id, flit.src, flit.dst);
+                let packet = flit.packet;
+                let cands = match ctx.faults {
+                    Some(ls) => route_live(ctx.routing, ctx.topo, ls, self.id, flit.src, flit.dst),
+                    None => route(ctx.routing, ctx.topo, self.id, flit.src, flit.dst),
+                };
+                if cands.is_empty() {
+                    // Every minimal permitted direction is dead: the packet
+                    // is unroutable. Discard it (drain stage) rather than
+                    // letting it wedge the network.
+                    let ivc = &mut self.inputs[ip][vc];
+                    ivc.dropping = true;
+                    ivc.owner = Some(packet);
+                    continue;
+                }
                 let chosen = if cands.len() == 1 {
                     cands[0]
                 } else {
@@ -419,11 +483,103 @@ impl Router {
                         })
                         .expect("route returned no candidates")
                 };
-                self.inputs[ip][vc].route = Some(chosen);
+                let ivc = &mut self.inputs[ip][vc];
+                ivc.route = Some(chosen);
+                ivc.owner = Some(packet);
                 ctx.meter
                     .record(ctx.power, PowerEvent::RouteCompute, ctx.dynamic_scale);
             }
         }
+    }
+
+    /// Record the owners of this router's output VCs on `port` (packets
+    /// mid-transmission across that link) into `out`. Fault handling calls
+    /// this for every newly dead outgoing link: those packets are severed
+    /// and must be condemned network-wide.
+    pub(crate) fn condemn_output_owners(&self, port: Port, out: &mut BTreeSet<PacketId>) {
+        for ovc in &self.outputs[port.index()] {
+            if let Some(pid) = ovc.owner {
+                out.insert(pid);
+            }
+        }
+    }
+
+    /// Record every packet with a flit buffered here or holding one of this
+    /// router's output claims into `out` — used when the router itself dies.
+    pub(crate) fn condemn_all(&self, out: &mut BTreeSet<PacketId>) {
+        for port_vcs in &self.inputs {
+            for ivc in port_vcs {
+                for flit in ivc.buf.iter() {
+                    out.insert(flit.packet);
+                }
+            }
+        }
+        for port_vcs in &self.outputs {
+            for ovc in port_vcs {
+                if let Some(pid) = ovc.owner {
+                    out.insert(pid);
+                }
+            }
+        }
+    }
+
+    /// Purge condemned packets and clear routes into dead links.
+    ///
+    /// * Flits of condemned packets are removed from every input VC;
+    ///   `credit(in_port, vc)` is invoked once per removed flit so the
+    ///   network can restore the upstream sender's credit.
+    /// * Input VCs owned by a condemned packet are released, dropping the
+    ///   downstream output-VC claim they held.
+    /// * Routes that point into a dead link but have not yet claimed a
+    ///   downstream VC are cleared so RC can re-route the packet around the
+    ///   fault next cycle.
+    ///
+    /// Returns the number of flits removed.
+    pub(crate) fn purge_and_reroute(
+        &mut self,
+        condemned: &BTreeSet<PacketId>,
+        dead: impl Fn(Port) -> bool,
+        mut credit: impl FnMut(Port, usize),
+    ) -> u64 {
+        let mut removed = 0u64;
+        for ip in 0..Port::COUNT {
+            let in_port = Port::from_index(ip);
+            for vc in 0..self.num_vcs {
+                if !condemned.is_empty() {
+                    let ivc = &mut self.inputs[ip][vc];
+                    let mut purged = 0;
+                    for pid in condemned {
+                        purged += ivc.purge_packet(*pid);
+                    }
+                    for _ in 0..purged {
+                        credit(in_port, vc);
+                    }
+                    removed += purged as u64;
+                    let owner_condemned = ivc.owner.is_some_and(|o| condemned.contains(&o));
+                    if owner_condemned {
+                        let claim = match (ivc.route, ivc.out_vc) {
+                            (Some(route), Some(out_vc)) if route != Port::Local => {
+                                Some((route, out_vc))
+                            }
+                            _ => None,
+                        };
+                        ivc.release();
+                        if let Some((route, out_vc)) = claim {
+                            self.outputs[route.index()][out_vc].owner = None;
+                        }
+                    }
+                }
+                let ivc = &mut self.inputs[ip][vc];
+                if let Some(route) = ivc.route {
+                    if route != Port::Local && dead(route) && ivc.out_vc.is_none() {
+                        // Not yet committed downstream: let RC re-route.
+                        ivc.route = None;
+                    }
+                }
+            }
+        }
+        self.occ -= removed as usize;
+        removed
     }
 }
 
@@ -461,6 +617,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         for f in make_flits(0, 1, 3) {
             r.accept(Port::Local, f, &mut ctx);
@@ -504,6 +661,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         let flits = make_flits(0, 1, 1);
         r.accept(Port::Local, flits[0].clone(), &mut ctx);
@@ -543,6 +701,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         let mut flit = make_flits(0, 5, 1).remove(0);
         flit.vc = 1;
@@ -570,6 +729,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         // 5-flit packet; downstream buffer depth 2 and no credit returns.
         for f in make_flits(0, 3, 5).into_iter().take(2) {
@@ -605,6 +765,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         for f in make_flits(0, 1, 2) {
             r.accept(Port::Local, f, &mut ctx);
@@ -636,6 +797,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         assert_eq!(r.occupancy(), 0);
         for f in make_flits(0, 1, 3) {
@@ -656,6 +818,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         let mut flit = make_flits(0, 1, 1).remove(0);
         flit.vc_class = 1;
@@ -682,6 +845,7 @@ mod tests {
             power: &power,
             meter: &mut meter,
             dynamic_scale: 1.0,
+            faults: None,
         };
         let f = make_flits(0, 1, 1).remove(0);
         r.accept(Port::Local, f, &mut ctx);

@@ -9,6 +9,7 @@
 //! All algorithms here are *minimal*: every candidate port reduces the
 //! distance to the destination, which also bounds worst-case hop count.
 
+use crate::fault::LinkState;
 use crate::topology::{Coord, NodeId, Port, Topology, TopologyKind};
 use serde::{Deserialize, Serialize};
 
@@ -304,6 +305,31 @@ fn route_torus_dor(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
     }
 }
 
+/// Fault-aware variant of [`route`]: compute the algorithm's candidate
+/// ports, then exclude any whose output link is currently dead. Because the
+/// surviving set is a subset of the turns the algorithm already permits, the
+/// deadlock-freedom argument of each turn model carries over unchanged.
+///
+/// Unlike [`route`], the result **may be empty**: the packet is unroutable
+/// under the current fault set (every minimal permitted direction is dead)
+/// and the router must drop it rather than wedge. `Local` delivery at the
+/// destination is never filtered.
+///
+/// # Panics
+/// Panics if the algorithm does not support the topology kind.
+pub fn route_live(
+    alg: RoutingAlgorithm,
+    topo: &Topology,
+    faults: &LinkState,
+    cur: NodeId,
+    src: NodeId,
+    dst: NodeId,
+) -> Vec<Port> {
+    let mut cands = route(alg, topo, cur, src, dst);
+    cands.retain(|&p| p == Port::Local || faults.is_link_up(cur, p));
+    cands
+}
+
 /// Walk a packet from `src` to `dst` by repeatedly applying the routing
 /// function and picking the candidate selected by `choose` (index into the
 /// candidate list). Returns the sequence of nodes visited, ending at `dst`.
@@ -568,6 +594,58 @@ mod tests {
             NodeId(0),
             NodeId(1),
         );
+    }
+
+    #[test]
+    fn route_live_excludes_dead_ports_and_reports_unroutable() {
+        use crate::fault::{FaultEvent, FaultPlan, FaultTarget, LinkState};
+        let t = Topology::mesh(4, 4);
+        // Kill the link east out of (0,0).
+        let plan = FaultPlan::new(vec![FaultEvent {
+            start: 0,
+            duration: None,
+            target: FaultTarget::Link {
+                node: NodeId(0),
+                port: Port::East,
+            },
+        }])
+        .unwrap();
+        let mut ls = LinkState::healthy(16);
+        ls.recompute(&t, &plan, 0);
+        // West-First from (0,0) to (2,2) offers east+south; east is dead, so
+        // only south survives — a minimal alternative exists.
+        let cands = route_live(
+            RoutingAlgorithm::WestFirst,
+            &t,
+            &ls,
+            NodeId(0),
+            NodeId(0),
+            NodeId(10),
+        );
+        assert_eq!(cands, vec![Port::South]);
+        // XY from (0,0) to (1,0) has only the dead port: unroutable.
+        let cands = route_live(
+            RoutingAlgorithm::Xy,
+            &t,
+            &ls,
+            NodeId(0),
+            NodeId(0),
+            NodeId(1),
+        );
+        assert!(
+            cands.is_empty(),
+            "dead-only candidate set must come back empty"
+        );
+        // Local delivery at the destination is never filtered.
+        let cands = route_live(
+            RoutingAlgorithm::Xy,
+            &t,
+            &ls,
+            NodeId(0),
+            NodeId(4),
+            NodeId(0),
+        );
+        assert_eq!(cands, vec![Port::Local]);
     }
 
     #[test]

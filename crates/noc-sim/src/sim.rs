@@ -22,7 +22,8 @@ pub struct RunSummary {
     /// Metrics of the measurement window (latency restricted to packets
     /// created inside it; the drain phase lets those packets finish).
     pub window: WindowMetrics,
-    /// Latency samples that never finished within the drain budget.
+    /// Packets neither delivered nor dropped within the drain budget
+    /// (estimated from the flit imbalance).
     pub unfinished_packets: u64,
     /// Whether the run is considered saturated: source backlog kept growing
     /// through the measurement window.
@@ -182,7 +183,13 @@ impl Simulator {
         // over the window.
         let growth = backlog_at_end as f64 - backlog_at_start as f64;
         let saturated = growth > (self.config.packet_len as f64) * nodes as f64;
-        let unfinished = window.injected_flits.saturating_sub(window.ejected_flits)
+        // Dropped flits (fault handling) are terminal, not unfinished. The
+        // drop counter can also cover flits that never injected (dead-source
+        // packets), so saturate rather than underflow.
+        let unfinished = window
+            .injected_flits
+            .saturating_sub(window.ejected_flits)
+            .saturating_sub(window.dropped_flits)
             / self.config.packet_len as u64;
         RunSummary {
             window,

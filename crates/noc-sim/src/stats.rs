@@ -45,6 +45,17 @@ pub struct StatsCollector {
     pub ejected_flits: u64,
     /// Packets fully ejected (tail flit arrived).
     pub ejected_packets: u64,
+    /// Flits discarded by fault handling (unroutable packets, flits severed
+    /// by a dying link or router, and packets offered at dead sources).
+    /// Always zero on a healthy fabric.
+    pub dropped_flits: u64,
+    /// Packets discarded by fault handling. A dropped packet is terminal:
+    /// exactly one of `ejected_packets`/`dropped_packets` accounts for every
+    /// packet that leaves the system.
+    pub dropped_packets: u64,
+    /// Σ over sampled cycles of directed dead links (fault telemetry; the
+    /// mean feeds the RL observation).
+    pub sum_dead_links: f64,
     /// Packets counted toward latency sums (inside the latency window).
     pub latency_samples: u64,
     /// Σ packet latency (creation → tail ejection) over latency samples.
@@ -87,6 +98,9 @@ impl StatsCollector {
             injected_packets: 0,
             ejected_flits: 0,
             ejected_packets: 0,
+            dropped_flits: 0,
+            dropped_packets: 0,
+            sum_dead_links: 0.0,
             latency_samples: 0,
             sum_packet_latency: 0.0,
             sum_network_latency: 0.0,
@@ -181,14 +195,47 @@ impl StatsCollector {
         self.offered_packets += 1;
     }
 
-    /// Sample end-of-cycle occupancy figures.
-    pub fn sample_occupancy(&mut self, total: usize, per_region: &[usize], backlog: usize) {
+    /// Record one discarded flit of an unroutable packet (fault handling).
+    /// The packet itself is counted once, when its tail flit is dropped —
+    /// never earlier, so a packet whose drop is cut short by a fault purge
+    /// (which counts it instead) cannot be counted twice.
+    pub fn record_drop(&mut self, flit: &Flit) {
+        self.dropped_flits += 1;
+        if flit.is_tail() {
+            self.dropped_packets += 1;
+        }
+    }
+
+    /// Record a fault-boundary purge: `packets` condemned packets with
+    /// `flits` buffered flits discarded network-wide.
+    pub fn record_purged(&mut self, packets: u64, flits: u64) {
+        self.dropped_packets += packets;
+        self.dropped_flits += flits;
+    }
+
+    /// Record a packet discarded at its source (dead router or flits that
+    /// never entered the network).
+    pub fn record_source_drop(&mut self, packets: u64, flits: u64) {
+        self.dropped_packets += packets;
+        self.dropped_flits += flits;
+    }
+
+    /// Sample end-of-cycle occupancy figures plus the current directed
+    /// dead-link count.
+    pub fn sample_occupancy(
+        &mut self,
+        total: usize,
+        per_region: &[usize],
+        backlog: usize,
+        dead_links: usize,
+    ) {
         debug_assert_eq!(per_region.len(), self.sum_region_occupancy.len());
         self.sum_occupancy += total as f64;
         for (acc, &v) in self.sum_region_occupancy.iter_mut().zip(per_region) {
             *acc += v as f64;
         }
         self.sum_backlog += backlog as f64;
+        self.sum_dead_links += dead_links as f64;
         self.sampled_cycles += 1;
     }
 
@@ -237,6 +284,12 @@ pub struct WindowMetrics {
     pub ejected_flits: u64,
     /// Packets ejected during the window.
     pub ejected_packets: u64,
+    /// Flits discarded by fault handling during the window.
+    pub dropped_flits: u64,
+    /// Packets discarded by fault handling during the window.
+    pub dropped_packets: u64,
+    /// Mean directed dead links per sampled cycle (0 on a healthy fabric).
+    pub avg_dead_links: f64,
     /// Latency samples completing during the window.
     pub latency_samples: u64,
     /// Mean packet latency (creation → ejection) among samples; NaN if none.
@@ -294,6 +347,9 @@ impl WindowMetrics {
             injected_flits: injected,
             ejected_flits: ejected,
             ejected_packets: b.ejected_packets - a.ejected_packets,
+            dropped_flits: b.dropped_flits - a.dropped_flits,
+            dropped_packets: b.dropped_packets - a.dropped_packets,
+            avg_dead_links: (b.sum_dead_links - a.sum_dead_links) / denom_cycles,
             latency_samples: samples,
             avg_packet_latency: (b.sum_packet_latency - a.sum_packet_latency) / samples as f64,
             avg_network_latency: (b.sum_network_latency - a.sum_network_latency) / samples as f64,
@@ -400,14 +456,14 @@ mod tests {
         let mut s = StatsCollector::new(2);
         s.record_injection(0, false);
         s.record_injection(0, true);
-        s.sample_occupancy(4, &[3, 1], 2);
+        s.sample_occupancy(4, &[3, 1], 2, 0);
         let a = s.snapshot();
         for _ in 0..3 {
             s.record_injection(1, true);
         }
         s.record_ejection(&tail_flit(0, 2, 4), 10);
-        s.sample_occupancy(6, &[2, 4], 0);
-        s.sample_occupancy(2, &[1, 1], 0);
+        s.sample_occupancy(6, &[2, 4], 0, 0);
+        s.sample_occupancy(2, &[1, 1], 0, 0);
         let b = s.snapshot();
         let w = WindowMetrics::between(&a, &b, 16);
         assert_eq!(w.cycles, 2);
@@ -441,7 +497,7 @@ mod tests {
     fn window_metrics_with_nan_roundtrip_json() {
         let mut s = StatsCollector::new(1);
         let a = s.snapshot();
-        s.sample_occupancy(0, &[0], 0);
+        s.sample_occupancy(0, &[0], 0, 0);
         let b = s.snapshot();
         // No latency samples: avg fields are NaN.
         let w = WindowMetrics::between(&a, &b, 4);
@@ -458,7 +514,7 @@ mod tests {
         let mut s = StatsCollector::new(1);
         let a = s.snapshot();
         s.record_ejection(&tail_flit(0, 0, 1), 10);
-        s.sample_occupancy(0, &[0], 0);
+        s.sample_occupancy(0, &[0], 0, 0);
         let b = s.snapshot();
         let w = WindowMetrics::between(&a, &b, 4);
         assert_eq!(w.edp(), w.energy_pj * 10.0);

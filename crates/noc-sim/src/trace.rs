@@ -238,4 +238,49 @@ mod tests {
             "bad number"
         );
     }
+
+    #[test]
+    fn csv_skips_comments_and_blank_lines_anywhere() {
+        let text =
+            "# leading comment\n\n0,0,1,2\n\n   \n# interior comment\n5,3,2,1\n\n# trailing\n";
+        let t = PacketTrace::from_csv(text, None).unwrap();
+        assert_eq!(t.len(), 2);
+        // A comment marker after leading whitespace still comments the line.
+        let t = PacketTrace::from_csv("   # indented comment\n0,0,1,2\n", None).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn csv_tolerates_trailing_and_interior_whitespace() {
+        let text = "0 , 0 , 1 , 2   \r\n5,3,2,1\t\n";
+        let t = PacketTrace::from_csv(text, None).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].len_flits, 2);
+        assert_eq!(t.events()[1].cycle, 5);
+    }
+
+    #[test]
+    fn csv_unsorted_events_are_sorted_on_load() {
+        let text = "9,0,1,2\n0,1,2,3\n4,2,3,1\n";
+        let t = PacketTrace::from_csv(text, None).unwrap();
+        let cycles: Vec<u64> = t.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 4, 9], "events sort by cycle on load");
+        // Querying by cycle works after the sort.
+        assert_eq!(t.events_at(4).len(), 1);
+    }
+
+    #[test]
+    fn csv_store_load_store_is_the_identity() {
+        // Start from a deliberately unsorted, whitespace-laden source.
+        let source = "# demo\n  7, 1, 3, 2 \n0,0,1,5\n\n3,2,0,1\n";
+        let t = PacketTrace::from_csv(source, Some(20)).unwrap();
+        let stored = t.to_csv();
+        let reloaded = PacketTrace::from_csv(&stored, Some(20)).unwrap();
+        assert_eq!(reloaded, t);
+        assert_eq!(
+            reloaded.to_csv(),
+            stored,
+            "store -> load -> store must be byte-identical"
+        );
+    }
 }

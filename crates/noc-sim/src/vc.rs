@@ -68,6 +68,11 @@ impl VcBuffer {
     pub fn pop(&mut self) -> Option<Flit> {
         self.fifo.pop_front()
     }
+
+    /// Iterate over the buffered flits in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.fifo.iter()
+    }
 }
 
 /// One input virtual channel: its buffer plus the per-packet routing state
@@ -81,6 +86,14 @@ pub struct InputVc {
     pub route: Option<Port>,
     /// Downstream VC index granted by VC allocation.
     pub out_vc: Option<usize>,
+    /// Packet occupying this VC, recorded at route computation. Fault
+    /// handling uses it to find and release every VC a condemned packet
+    /// holds along its path.
+    pub owner: Option<PacketId>,
+    /// When true, the occupying packet was found unroutable (every candidate
+    /// output link dead): its flits are discarded as they arrive until the
+    /// tail releases the VC.
+    pub dropping: bool,
 }
 
 impl InputVc {
@@ -90,6 +103,8 @@ impl InputVc {
             buf: VcBuffer::new(capacity),
             route: None,
             out_vc: None,
+            owner: None,
+            dropping: false,
         }
     }
 
@@ -105,10 +120,22 @@ impl InputVc {
         self.route.is_some() && self.out_vc.is_some() && !self.buf.is_empty()
     }
 
-    /// Clear per-packet state after the tail flit departs.
+    /// Clear per-packet state after the tail flit departs (or the packet is
+    /// dropped).
     pub fn release(&mut self) {
         self.route = None;
         self.out_vc = None;
+        self.owner = None;
+        self.dropping = false;
+    }
+
+    /// Remove every flit of `packet` from the buffer, in order, returning
+    /// how many were removed. Fault handling uses this to purge condemned
+    /// packets; normal operation never removes flits out of FIFO order.
+    pub fn purge_packet(&mut self, packet: PacketId) -> usize {
+        let before = self.buf.fifo.len();
+        self.buf.fifo.retain(|f| f.packet != packet);
+        before - self.buf.fifo.len()
     }
 }
 
@@ -195,6 +222,20 @@ mod tests {
         assert!(vc.ready_for_switch());
         vc.release();
         assert!(vc.route.is_none() && vc.out_vc.is_none());
+    }
+
+    #[test]
+    fn purge_removes_only_the_named_packet() {
+        let mut vc = InputVc::new(4);
+        vc.buf.push(flit(0, FlitKind::Head));
+        vc.buf.push(flit(1, FlitKind::Tail));
+        let mut other = flit(0, FlitKind::Single);
+        other.packet = PacketId(2);
+        vc.buf.push(other);
+        assert_eq!(vc.purge_packet(PacketId(1)), 2);
+        assert_eq!(vc.buf.len(), 1);
+        assert_eq!(vc.buf.front().unwrap().packet, PacketId(2));
+        assert_eq!(vc.purge_packet(PacketId(1)), 0);
     }
 
     #[test]

@@ -147,7 +147,7 @@ fn pipeline_is_deterministic() {
         )
         .expect("training runs");
         let returns: Vec<f64> = policy.curve.iter().map(|e| e.total_reward).collect();
-        let q = policy.agent.q_values(&[0.5; 15]);
+        let q = policy.agent.q_values(&[0.5; 16]);
         (returns, q)
     };
     assert_eq!(run_once(), run_once());
