@@ -250,7 +250,10 @@ pub fn train_or_load_tabular(
 /// Standard experiment configurations shared by the binaries.
 pub mod configs {
     use super::*;
-    use noc_sim::{NodeId, Phase, SimConfig, TrafficPattern, TrafficSpec};
+    use noc_sim::{
+        InjectionProcess, NodeId, SimConfig, TrafficPattern, TrafficSpec, WorkloadPhase,
+        WorkloadSpec,
+    };
     use rl::Schedule;
 
     /// The paper's mesh: 8×8, 4 VCs × 4 flits, 5-flit packets, 2×2 regions.
@@ -282,32 +285,23 @@ pub mod configs {
     }
 
     /// The bursty phase trace of Fig 7. Phases last 12 control epochs so
-    /// controllers have room to settle inside each regime.
+    /// controllers have room to settle inside each regime; the third regime
+    /// uses a bursty on/off process at the same mean load the old Bernoulli
+    /// phase carried.
     pub fn phase_trace() -> TrafficSpec {
-        TrafficSpec::PhaseTrace {
-            phases: vec![
-                Phase {
-                    pattern: TrafficPattern::Uniform,
-                    rate: 0.03,
-                    cycles: 6000,
+        TrafficSpec::Workload(WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.03, 6000),
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.25, 6000),
+            WorkloadPhase::new(
+                TrafficPattern::Transpose,
+                InjectionProcess::Bursty {
+                    rate_on: 0.24,
+                    switch: 0.02,
                 },
-                Phase {
-                    pattern: TrafficPattern::Uniform,
-                    rate: 0.25,
-                    cycles: 6000,
-                },
-                Phase {
-                    pattern: TrafficPattern::Transpose,
-                    rate: 0.12,
-                    cycles: 6000,
-                },
-                Phase {
-                    pattern: TrafficPattern::Uniform,
-                    rate: 0.01,
-                    cycles: 6000,
-                },
-            ],
-        }
+                6000,
+            ),
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.01, 6000),
+        ]))
     }
 
     /// The environment configuration used to train the deployed policies.

@@ -21,7 +21,10 @@
 //! generous (30 %) tolerance so only genuine regressions trip it.
 
 use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
-use noc_sim::{FaultPlan, RoutingAlgorithm, SimConfig, Simulator, Topology, TrafficPattern};
+use noc_sim::{
+    FaultPlan, InjectionProcess, RoutingAlgorithm, SimConfig, Simulator, Topology, TrafficPattern,
+    WorkloadSpec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{DqnAgent, DqnConfig, Environment, LearningAgent, Transition};
@@ -327,6 +330,45 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
                 "8x8 mesh, odd-even routing, 4 permanent link faults, uniform traffic \
                  at 0.1 flits/node/cycle, {} warmup + {} timed cycles",
                 config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+    }
+
+    // --- Bursty workload: the composable-workload path (per-node on/off
+    // process state, phase lookup) on an 8x8 mesh at the same mean load as
+    // the uniform r0.10 point, so the perf trajectory tracks non-Bernoulli
+    // injection alongside the classic workloads.
+    {
+        let workload = WorkloadSpec::stationary(
+            TrafficPattern::Uniform,
+            InjectionProcess::Bursty {
+                rate_on: 0.2,
+                switch: 0.02,
+            },
+        );
+        let cfg = SimConfig::default().with_workload(workload.clone());
+        let measured = timed(config.repeats, || {
+            let mut sim = Simulator::new(cfg.clone()).expect("valid bench config");
+            sim.run(config.sim_warmup);
+            let flits0 = sim.stats().ejected_flits;
+            let t0 = Instant::now();
+            sim.run(config.sim_cycles);
+            let dt = t0.elapsed().as_nanos() as u64;
+            let flits = sim.stats().ejected_flits - flits0;
+            (dt, config.sim_cycles, Some(flits))
+        });
+        push_result(
+            &mut workloads,
+            "sim/8x8/uniform/bursty",
+            format!(
+                "8x8 mesh, bursty on/off uniform traffic ({}, mean 0.1 \
+                 flits/node/cycle), {} warmup + {} timed cycles",
+                workload.label(),
+                config.sim_warmup,
+                config.sim_cycles
             ),
             "cycles",
             config.repeats,
@@ -653,7 +695,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 10);
+        assert_eq!(report.workloads.len(), 11);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);

@@ -7,7 +7,9 @@ use noc_selfconf::{
     run_controller, train_drl, DrlController, NocEnvConfig, StaticController, SweepGrid,
     ThresholdController,
 };
-use noc_sim::{PacketTrace, RoutingAlgorithm, SimConfig, Simulator, TrafficPattern, TrafficSpec};
+use noc_sim::{
+    PacketTrace, RoutingAlgorithm, SimConfig, Simulator, TrafficPattern, TrafficSpec, WorkloadSpec,
+};
 use rl::{DqnAgent, DqnConfig, Schedule, TrainConfig};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -158,7 +160,13 @@ fn parse_named<T: Clone>(s: &str, what: &str, table: &[(&'static str, T)]) -> Re
 }
 
 fn parse_pattern(s: &str) -> Result<TrafficPattern, CliError> {
-    parse_named(s, "traffic pattern", &TrafficPattern::NAMED)
+    // The canonical grammar also covers parameterized hotspot labels
+    // (`hotspot5-6f0.3`), which a `NAMED` lookup cannot.
+    TrafficPattern::parse(s).map_err(|e| CliError(e.to_string()))
+}
+
+fn parse_workload(s: &str) -> Result<WorkloadSpec, CliError> {
+    WorkloadSpec::parse(s).map_err(|e| CliError(e.to_string()))
 }
 
 fn parse_routing(s: &str) -> Result<RoutingAlgorithm, CliError> {
@@ -217,13 +225,14 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         serial: false,
         out: None,
     };
-    const VALUE_FLAGS: [&str; 12] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--sizes",
         "--patterns",
         "--rates",
         "--routings",
         "--levels",
         "--faults",
+        "--workloads",
         "--warmup",
         "--measure",
         "--drain",
@@ -279,6 +288,9 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
                         .map_err(|e| CliError(format!("bad fault count `{s}`: {e}")))
                 })?;
             }
+            "--workloads" => {
+                opts.grid.workloads = parse_list(value, "workloads", parse_workload)?;
+            }
             "--warmup" | "--measure" | "--drain" | "--seed" => {
                 let n: u64 = value
                     .parse()
@@ -314,7 +326,9 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
 
 /// `sweep-grid`: run a scenario grid in parallel and emit one aggregated
 /// JSON report (stdout, or `--out <file>`). The `--faults` axis sweeps
-/// seeded-random permanent link-fault counts (0 = pristine fabric).
+/// seeded-random permanent link-fault counts (0 = pristine fabric); the
+/// `--workloads` axis adds explicit workload specs (canonical `ph[…]`
+/// labels) alongside the `--patterns` × `--rates` points.
 ///
 /// # Errors
 /// Returns an error for bad flags, invalid configurations, or IO failures.
@@ -355,6 +369,74 @@ pub fn cmd_sweep_grid(args: &[String]) -> Result<(), CliError> {
         None => println!("{json}"),
     }
     Ok(())
+}
+
+/// `workload`: parse and describe canonical workload labels.
+///
+/// * `workload parse <label>` — validate a label, then print its canonical
+///   form and the JSON spec it denotes (stdout stays machine-readable).
+/// * `workload describe <label>` — human-readable phase table with mean
+///   rates and schedule length.
+///
+/// # Errors
+/// Returns a usage error for unknown subcommands or malformed labels.
+pub fn cmd_workload(args: &[String]) -> Result<(), CliError> {
+    let usage = || {
+        CliError(
+            "usage: noc-cli workload <parse|describe> <label>   (label grammar: \
+             ph[<pattern>:<process>[@cycles]|…], processes: bern<rate>, \
+             burst<rate_on>x<switch>, pulse<rate>x<period>x<on>)"
+                .into(),
+        )
+    };
+    let (sub, label) = match (args.first(), args.get(1)) {
+        (Some(sub), Some(label)) if args.len() == 2 => (sub.as_str(), label.as_str()),
+        _ => return Err(usage()),
+    };
+    let spec = parse_workload(label)?;
+    match sub {
+        "parse" => {
+            eprintln!("workload: canonical label {}", spec.label());
+            println!("{}", serde_json::to_string_pretty(&spec)?);
+            Ok(())
+        }
+        "describe" => {
+            println!("workload {}", spec.label());
+            println!(
+                "{:>2}  {:<18} {:<20} {:>10} {:>10}",
+                "#", "pattern", "process", "cycles", "mean rate"
+            );
+            for (i, p) in spec.phases.iter().enumerate() {
+                let cycles = if p.cycles == 0 {
+                    "forever".to_string()
+                } else {
+                    p.cycles.to_string()
+                };
+                println!(
+                    "{i:>2}  {:<18} {:<20} {cycles:>10} {:>10.4}",
+                    p.pattern.name(),
+                    p.process.label(),
+                    p.process.mean_rate()
+                );
+            }
+            let total: u64 = spec.phases.iter().map(|p| p.cycles).sum();
+            if spec.phases.last().map(|p| p.cycles) == Some(0) {
+                if total == 0 {
+                    println!("schedule: stationary (the single phase holds forever)");
+                } else {
+                    println!("schedule: runs {total} cycles, then holds the final phase");
+                }
+            } else {
+                println!("schedule: repeats every {total} cycles");
+            }
+            println!(
+                "long-run mean rate: {:.4} flits/node/cycle",
+                spec.mean_rate()
+            );
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
 }
 
 /// Parsed `bench` flags.
@@ -758,6 +840,79 @@ mod tests {
     }
 
     #[test]
+    fn sweep_grid_workloads_flag_parses_the_grammar() {
+        use noc_sim::{InjectionProcess, WorkloadPhase};
+        let opts = parse_sweep_grid_args(&strings(&[
+            "--workloads",
+            "ph[uniform:burst0.3x0.05],ph[uniform:bern0.02@400|tornado:pulse0.3x100x40@400]",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.grid.workloads,
+            vec![
+                WorkloadSpec::stationary(
+                    TrafficPattern::Uniform,
+                    InjectionProcess::Bursty {
+                        rate_on: 0.3,
+                        switch: 0.05
+                    }
+                ),
+                WorkloadSpec::new(vec![
+                    WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.02, 400),
+                    WorkloadPhase::new(
+                        TrafficPattern::Tornado,
+                        InjectionProcess::Periodic {
+                            rate: 0.3,
+                            period: 100,
+                            on: 40
+                        },
+                        400
+                    ),
+                ]),
+            ]
+        );
+        // Two extra traffic points per size/routing/level/fault combination.
+        assert_eq!(opts.grid.len(), 2 * (2 * 2 + 2));
+        assert!(parse_sweep_grid_args(&strings(&["--workloads", "ph[oops]"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--workloads", "uniform:bern0.1"])).is_err());
+    }
+
+    #[test]
+    fn hotspot_patterns_parse_from_the_cli() {
+        use noc_sim::NodeId;
+        let opts =
+            parse_sweep_grid_args(&strings(&["--patterns", "uniform,hotspot5-6f0.3"])).unwrap();
+        assert_eq!(
+            opts.grid.patterns,
+            vec![
+                TrafficPattern::Uniform,
+                TrafficPattern::Hotspot {
+                    hotspots: vec![NodeId(5), NodeId(6)],
+                    fraction: 0.3
+                }
+            ]
+        );
+        assert!(parse_sweep_grid_args(&strings(&["--patterns", "hotspotf0.3"])).is_err());
+    }
+
+    #[test]
+    fn workload_subcommand_parses_and_describes() {
+        let label = "ph[uniform:bern0.05@400|tornado:burst0.3x0.05@400]".to_string();
+        assert!(cmd_workload(&[strings(&["parse"]), vec![label.clone()]].concat()).is_ok());
+        assert!(cmd_workload(&[strings(&["describe"]), vec![label.clone()]].concat()).is_ok());
+        // Stationary + hold-forever labels describe cleanly too.
+        assert!(cmd_workload(&strings(&[
+            "describe",
+            "ph[hotspot0-5f0.25:pulse0.4x100x20]"
+        ]))
+        .is_ok());
+        assert!(cmd_workload(&strings(&["parse"])).is_err());
+        assert!(cmd_workload(&strings(&["parse", "ph[oops]"])).is_err());
+        assert!(cmd_workload(&strings(&["frobnicate", &label])).is_err());
+        assert!(cmd_workload(&strings(&["parse", &label, "extra"])).is_err());
+    }
+
+    #[test]
     fn sweep_grid_defaults_run_eight_scenarios() {
         let opts = parse_sweep_grid_args(&[]).unwrap();
         assert_eq!(opts.grid.len(), 8);
@@ -791,6 +946,8 @@ mod tests {
             "0.05,0.1",
             "--routings",
             "xy",
+            "--workloads",
+            "ph[uniform:burst0.2x0.02]",
             "--warmup",
             "100",
             "--measure",
@@ -805,8 +962,13 @@ mod tests {
         .unwrap();
         let report: noc_selfconf::SweepReport =
             serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(report.scenarios.len(), 2);
-        assert_eq!(report.aggregate.num_scenarios, 2);
+        assert_eq!(report.scenarios.len(), 3);
+        assert_eq!(report.aggregate.num_scenarios, 3);
+        // The workload point carries its canonical label as the report key.
+        assert_eq!(
+            report.scenarios[2].label,
+            "4x4/ph[uniform:burst0.2x0.02]/xy"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! noc-cli simulate [config.json]        run one warmup/measure/drain simulation
 //! noc-cli sweep <rate0> <rate1> <n>     latency-throughput sweep at n rates
 //! noc-cli sweep-grid [flags]            parallel scenario grid -> one JSON report
+//! noc-cli workload <parse|describe> <l> validate/describe a workload label
 //! noc-cli bench [flags]                 timed perf suite -> BENCH_<sha>.json
 //! noc-cli train <out.json> [episodes]   train a DQN policy and save it
 //! noc-cli evaluate <policy.json>        run a saved policy vs the baselines
@@ -15,7 +16,7 @@
 
 use noc_cli::{
     cmd_bench, cmd_default_config, cmd_evaluate, cmd_replay, cmd_simulate, cmd_sweep,
-    cmd_sweep_grid, cmd_train, CliError,
+    cmd_sweep_grid, cmd_train, cmd_workload, CliError,
 };
 use std::process::ExitCode;
 
@@ -55,16 +56,21 @@ fn main() -> ExitCode {
         },
         Some("default-config") => cmd_default_config(),
         Some("sweep-grid") => cmd_sweep_grid(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
                 "usage: noc-cli <simulate [config.json] | sweep <r0> <r1> <n> | \
-                 sweep-grid [flags] | bench [flags] | train <out.json> [episodes] | \
-                 evaluate <policy.json> | replay <trace.csv> [period] | default-config>\n\
+                 sweep-grid [flags] | workload <parse|describe> <label> | bench [flags] | \
+                 train <out.json> [episodes] | evaluate <policy.json> | \
+                 replay <trace.csv> [period] | default-config>\n\
                  sweep-grid flags: --sizes 4x4,8x8  --patterns uniform,transpose  \
                  --rates 0.05,0.10  --routings xy,oddeven  --levels none,0,3  \
-                 --faults 0,1,2  --warmup N  --measure N  --drain N  --seed N  \
+                 --faults 0,1,2  --workloads 'ph[uniform:burst0.3x0.05]'  \
+                 --warmup N  --measure N  --drain N  --seed N  \
                  --threads N  --serial  --out report.json\n\
+                 workload labels: ph[<pattern>:<process>[@cycles]|...] with processes \
+                 bern<rate>, burst<rate_on>x<switch>, pulse<rate>x<period>x<on>\n\
                  bench flags: --quick  --repeats N  --out bench.json  \
                  --compare baseline.json  --against candidate.json  \
                  --tolerance 0.30  --sha SHA"

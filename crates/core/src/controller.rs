@@ -348,6 +348,10 @@ mod tests {
     fn metrics_with_occupancy(occ: Vec<f64>) -> WindowMetrics {
         WindowMetrics {
             cycles: 100,
+            offered_packets: 0,
+            injection_burstiness: 0.0,
+            phase_cycles: vec![],
+            phase_offered_packets: vec![],
             injected_flits: 0,
             ejected_flits: 0,
             ejected_packets: 0,

@@ -10,7 +10,10 @@
 use crate::action::ActionSpace;
 use crate::reward::RewardConfig;
 use crate::state::StateEncoder;
-use noc_sim::{SimConfig, SimError, SimResult, Simulator, TrafficPattern, TrafficSpec};
+use noc_sim::{
+    InjectionProcess, SimConfig, SimError, SimResult, Simulator, TrafficPattern, TrafficSpec,
+    WorkloadPhase, WorkloadSpec,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rl::{Environment, Step};
@@ -60,50 +63,44 @@ impl Default for NocEnvConfig {
 }
 
 /// The traffic menu used by the paper-style training runs: three patterns ×
-/// three rates plus one bursty phase trace.
+/// three rates (Bernoulli), a bursty on/off workload, and one phase-changing
+/// workload with a bursty regime — so the policy sees workload shifts and
+/// clumped arrivals during training, not just stationary loads.
 pub fn standard_traffic_menu() -> Vec<TrafficSpec> {
     let mut menu = Vec::new();
     for rate in [0.05, 0.12, 0.22] {
-        menu.push(TrafficSpec::Stationary {
-            pattern: TrafficPattern::Uniform,
-            rate,
-        });
-        menu.push(TrafficSpec::Stationary {
-            pattern: TrafficPattern::Transpose,
-            rate,
-        });
-        menu.push(TrafficSpec::Stationary {
-            pattern: TrafficPattern::Hotspot {
+        menu.push(TrafficSpec::stationary(TrafficPattern::Uniform, rate));
+        menu.push(TrafficSpec::stationary(TrafficPattern::Transpose, rate));
+        menu.push(TrafficSpec::stationary(
+            TrafficPattern::Hotspot {
                 hotspots: vec![noc_sim::NodeId(0)],
                 fraction: 0.3,
             },
             rate,
-        });
+        ));
     }
-    menu.push(TrafficSpec::PhaseTrace {
-        phases: vec![
-            noc_sim::Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.03,
-                cycles: 3000,
+    // Bursty on/off uniform at the mid load (mean rate_on/2 = 0.12).
+    menu.push(TrafficSpec::Workload(WorkloadSpec::stationary(
+        TrafficPattern::Uniform,
+        InjectionProcess::Bursty {
+            rate_on: 0.24,
+            switch: 0.02,
+        },
+    )));
+    // Idle → burst → bursty transpose → near-idle, repeating.
+    menu.push(TrafficSpec::Workload(WorkloadSpec::new(vec![
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.03, 3000),
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.25, 3000),
+        WorkloadPhase::new(
+            TrafficPattern::Transpose,
+            InjectionProcess::Bursty {
+                rate_on: 0.24,
+                switch: 0.02,
             },
-            noc_sim::Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.25,
-                cycles: 3000,
-            },
-            noc_sim::Phase {
-                pattern: TrafficPattern::Transpose,
-                rate: 0.12,
-                cycles: 3000,
-            },
-            noc_sim::Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.01,
-                cycles: 3000,
-            },
-        ],
-    });
+            3000,
+        ),
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.01, 3000),
+    ])));
     menu
 }
 
@@ -322,7 +319,7 @@ mod tests {
     #[test]
     fn dimensions_are_consistent() {
         let env = small_env();
-        assert_eq!(env.state_dim(), 3 * 4 + 4);
+        assert_eq!(env.state_dim(), 3 * 4 + 5);
         assert_eq!(env.num_actions(), 11);
     }
 
@@ -366,6 +363,44 @@ mod tests {
         assert!(
             degraded > 0.0,
             "the controller must observe the dead link: {degraded}"
+        );
+    }
+
+    #[test]
+    fn observation_exposes_workload_burstiness() {
+        let with_spec = |spec: TrafficSpec| {
+            let sim = SimConfig::default()
+                .with_size(4, 4)
+                .with_regions(2, 2)
+                .with_traffic_spec(spec);
+            let mut env = NocEnv::new(NocEnvConfig {
+                action_space: ActionSpace::PerRegionDelta {
+                    num_regions: 4,
+                    num_levels: 4,
+                },
+                sim,
+                epoch_cycles: 2000,
+                epochs_per_episode: 2,
+                reward: RewardConfig::default(),
+                traffic_menu: vec![],
+                seed: 3,
+            })
+            .unwrap();
+            let s = env.reset();
+            s[s.len() - 2] // burstiness feature (degradation is last)
+        };
+        let bern = with_spec(TrafficSpec::stationary(TrafficPattern::Uniform, 0.12));
+        let bursty = with_spec(TrafficSpec::Workload(WorkloadSpec::stationary(
+            TrafficPattern::Uniform,
+            InjectionProcess::Bursty {
+                rate_on: 0.24,
+                switch: 0.02,
+            },
+        )));
+        assert!(
+            bursty > 1.2 * bern,
+            "the controller must observe the workload's burstiness: \
+             bursty {bursty} vs bernoulli {bern}"
         );
     }
 
@@ -432,14 +467,8 @@ mod tests {
             epochs_per_episode: 2,
             reward: RewardConfig::default(),
             traffic_menu: vec![
-                TrafficSpec::Stationary {
-                    pattern: TrafficPattern::Uniform,
-                    rate: 0.02,
-                },
-                TrafficSpec::Stationary {
-                    pattern: TrafficPattern::Uniform,
-                    rate: 0.30,
-                },
+                TrafficSpec::stationary(TrafficPattern::Uniform, 0.02),
+                TrafficSpec::stationary(TrafficPattern::Uniform, 0.30),
             ],
             seed: 1,
         })

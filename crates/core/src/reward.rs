@@ -137,6 +137,10 @@ mod tests {
     fn metrics(latency: f64, energy_pj: f64, throughput: f64) -> WindowMetrics {
         WindowMetrics {
             cycles: 100,
+            offered_packets: 0,
+            injection_burstiness: 0.0,
+            phase_cycles: vec![],
+            phase_offered_packets: vec![],
             injected_flits: 100,
             ejected_flits: 100,
             ejected_packets: 20,

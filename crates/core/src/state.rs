@@ -3,9 +3,11 @@
 //!
 //! Per region: normalized buffer occupancy, observed injection rate, and the
 //! current V/F level. Globally: normalized latency, accepted throughput,
-//! source-queue backlog, and fabric degradation (mean dead links, so the
-//! controller can react to faults). All features are scaled into `[0, 1]` so
-//! one MLP architecture works across mesh sizes and loads.
+//! source-queue backlog, injection burstiness (index of dispersion of the
+//! offered process, so the controller can observe workload shifts and
+//! bursty phases), and fabric degradation (mean dead links, so it can react
+//! to faults). All features are scaled into `[0, 1]` so one MLP
+//! architecture works across mesh sizes and loads.
 
 use noc_sim::WindowMetrics;
 use serde::{Deserialize, Serialize};
@@ -29,9 +31,19 @@ pub struct StateEncoder {
     /// signal; policies saved before fault support default to 8.0).
     #[serde(default = "default_fault_scale")]
     pub fault_scale: f64,
+    /// Injection burstiness (index of dispersion of block-aggregated offered
+    /// packets) mapped to feature value 1.0. Bernoulli traffic sits near
+    /// `1/burst_scale`; bursty on/off phases push toward saturation.
+    /// Policies saved before workload support default to 8.0.
+    #[serde(default = "default_burst_scale")]
+    pub burst_scale: f64,
 }
 
 fn default_fault_scale() -> f64 {
+    8.0
+}
+
+fn default_burst_scale() -> f64 {
     8.0
 }
 
@@ -65,6 +77,7 @@ impl StateEncoder {
             latency_scale: 60.0,
             backlog_scale: 20.0,
             fault_scale: default_fault_scale(),
+            burst_scale: default_burst_scale(),
         }
     }
 
@@ -73,9 +86,9 @@ impl StateEncoder {
         self.num_regions
     }
 
-    /// Dimensionality of the produced observation: `3·regions + 4`.
+    /// Dimensionality of the produced observation: `3·regions + 5`.
     pub fn state_dim(&self) -> usize {
-        3 * self.num_regions + 4
+        3 * self.num_regions + 5
     }
 
     /// Encode one epoch.
@@ -127,6 +140,10 @@ impl StateEncoder {
         out.push(metrics.throughput.clamp(0.0, 1.0) as f32);
         let backlog = metrics.avg_backlog / (self.num_nodes as f64 * self.backlog_scale);
         out.push(backlog.clamp(0.0, 1.0) as f32);
+        // Injection burstiness: the workload-shift observable. Memoryless
+        // traffic reads low; bursty/pulsed phases push toward 1.
+        let burst = metrics.injection_burstiness / self.burst_scale;
+        out.push(burst.clamp(0.0, 1.0) as f32);
         // Fabric degradation: 0 on a healthy mesh, saturating at
         // `fault_scale` mean dead links.
         let faults = metrics.avg_dead_links / self.fault_scale;
@@ -142,6 +159,10 @@ mod tests {
     fn metrics(regions: usize) -> WindowMetrics {
         WindowMetrics {
             cycles: 100,
+            offered_packets: 32,
+            injection_burstiness: 0.0,
+            phase_cycles: vec![100],
+            phase_offered_packets: vec![32],
             injected_flits: 160,
             ejected_flits: 150,
             ejected_packets: 30,
@@ -171,9 +192,24 @@ mod tests {
     #[test]
     fn state_dim_matches_layout() {
         let e = encoder();
-        assert_eq!(e.state_dim(), 16);
+        assert_eq!(e.state_dim(), 17);
         let s = e.encode(&metrics(4), &[0, 1, 2, 3]);
-        assert_eq!(s.len(), 16);
+        assert_eq!(s.len(), 17);
+    }
+
+    #[test]
+    fn burstiness_feature_tracks_workload_dispersion() {
+        let e = encoder();
+        let mut m = metrics(4);
+        let s = e.encode(&m, &[0; 4]);
+        // Burstiness sits just before the fault feature.
+        assert_eq!(s[15], 0.0, "smooth traffic reads zero");
+        m.injection_burstiness = 4.0; // scale 8 -> 0.5
+        let s = e.encode(&m, &[0; 4]);
+        assert!((s[15] - 0.5).abs() < 1e-6);
+        m.injection_burstiness = 1e9;
+        let s = e.encode(&m, &[0; 4]);
+        assert_eq!(s[15], 1.0, "feature saturates");
     }
 
     #[test]

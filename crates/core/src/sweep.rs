@@ -3,9 +3,13 @@
 //! The ROADMAP's scale goal needs one command that answers "how does the
 //! NoC behave across *many* operating points?" — this module provides it.
 //! A [`SweepGrid`] is the cartesian product of topology sizes, traffic
-//! patterns, injection rates, routing algorithms, (optionally) pinned
-//! DVFS levels, and link-fault counts (seeded-random permanent faults, so
-//! degraded-fabric operation sweeps alongside everything else).
+//! points, routing algorithms, (optionally) pinned DVFS levels, and
+//! link-fault counts (seeded-random permanent faults, so degraded-fabric
+//! operation sweeps alongside everything else). Traffic points come from
+//! two axes: the classic `patterns` × `rates` product (single-phase
+//! Bernoulli workloads) and the `workloads` list of explicit
+//! [`WorkloadSpec`]s (bursty, pulsed, phase-changing), labeled with the
+//! canonical workload grammar so report keys parse back to their specs.
 //! [`SweepGrid::run`] fans the scenarios out over a pool of
 //! OS threads, runs each through the classic warmup/measure/drain
 //! methodology, and folds every [`WindowMetrics`] into a single
@@ -38,7 +42,7 @@
 use crate::par::parallel_map;
 use noc_sim::{
     FaultPlan, RoutingAlgorithm, RunSummary, SimConfig, SimError, SimResult, Simulator,
-    TrafficPattern, WindowMetrics,
+    TrafficPattern, WindowMetrics, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +73,14 @@ pub struct SweepGrid {
     /// byte-identical across reruns and thread counts.
     #[serde(default = "default_fault_axis")]
     pub faults: Vec<usize>,
+    /// Explicit workload specs swept alongside the `patterns` × `rates`
+    /// points (which remain single-phase Bernoulli workloads). Each entry
+    /// is one extra traffic point per size/routing/level/fault combination,
+    /// labeled with its canonical [`WorkloadSpec::label`]. Empty (the
+    /// default, and the value old serialized grids deserialize to) leaves
+    /// the grid exactly as before.
+    #[serde(default)]
+    pub workloads: Vec<WorkloadSpec>,
     /// Warmup cycles before the measurement window.
     pub warmup: u64,
     /// Measurement-window cycles.
@@ -92,6 +104,7 @@ impl Default for SweepGrid {
             routings: vec![RoutingAlgorithm::Xy],
             levels: vec![None],
             faults: default_fault_axis(),
+            workloads: Vec::new(),
             warmup: 500,
             measure: 2000,
             drain: 2000,
@@ -200,17 +213,40 @@ fn mix_seed(base: u64, index: u64) -> u64 {
 }
 
 impl SweepGrid {
+    /// The grid's traffic points, in axis order: the `patterns` × `rates`
+    /// product (pattern-major, as single-phase Bernoulli workloads labeled
+    /// `<pattern>/r<rate>`), then the explicit `workloads` (labeled with the
+    /// canonical workload grammar).
+    fn traffic_points(&self) -> Vec<(String, WorkloadSpec)> {
+        let mut points =
+            Vec::with_capacity(self.patterns.len() * self.rates.len() + self.workloads.len());
+        for pattern in &self.patterns {
+            for &rate in &self.rates {
+                // Full-precision rate (f64 Display is the shortest
+                // round-trip form), so close rates never collide into one
+                // label.
+                points.push((
+                    format!("{}/r{rate}", pattern.name()),
+                    WorkloadSpec::bernoulli(pattern.clone(), rate),
+                ));
+            }
+        }
+        for workload in &self.workloads {
+            points.push((workload.label(), workload.clone()));
+        }
+        points
+    }
+
     /// Number of scenarios the grid expands to.
     pub fn len(&self) -> usize {
         self.sizes.len()
-            * self.patterns.len()
-            * self.rates.len()
+            * (self.patterns.len() * self.rates.len() + self.workloads.len())
             * self.routings.len()
             * self.levels.len()
             * self.faults.len()
     }
 
-    /// Whether the grid is empty (any axis empty).
+    /// Whether the grid is empty (no traffic point or another axis empty).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -219,55 +255,47 @@ impl SweepGrid {
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
         let mut index = 0;
+        let traffic_points = self.traffic_points();
         for &(w, h) in &self.sizes {
-            for pattern in &self.patterns {
-                for &rate in &self.rates {
-                    for &routing in &self.routings {
-                        for &level in &self.levels {
-                            for &faults in &self.faults {
-                                let seed = mix_seed(self.base_seed, index as u64);
-                                let mut config = self
-                                    .base
-                                    .clone()
-                                    .with_size(w, h)
-                                    .with_traffic(pattern.clone(), rate)
-                                    .with_routing(routing)
-                                    .with_seed(seed);
-                                if faults > 0 {
-                                    // The fault draw is salted off the
-                                    // scenario seed so it is decorrelated
-                                    // from traffic yet fully reproducible.
-                                    let plan = FaultPlan::random_links(
-                                        &config.topology(),
-                                        faults,
-                                        mix_seed(seed, 0xFA),
-                                        0,
-                                        None,
-                                    );
-                                    config = config.with_faults(plan);
-                                }
-                                // Full-precision rate (f64 Display is the
-                                // shortest round-trip form), so close rates
-                                // never collide into one label.
-                                let mut label = format!(
-                                    "{w}x{h}/{}/r{rate}/{}",
-                                    pattern.name(),
-                                    routing.name()
+            for (traffic_label, workload) in &traffic_points {
+                for &routing in &self.routings {
+                    for &level in &self.levels {
+                        for &faults in &self.faults {
+                            let seed = mix_seed(self.base_seed, index as u64);
+                            let mut config = self
+                                .base
+                                .clone()
+                                .with_size(w, h)
+                                .with_workload(workload.clone())
+                                .with_routing(routing)
+                                .with_seed(seed);
+                            if faults > 0 {
+                                // The fault draw is salted off the
+                                // scenario seed so it is decorrelated
+                                // from traffic yet fully reproducible.
+                                let plan = FaultPlan::random_links(
+                                    &config.topology(),
+                                    faults,
+                                    mix_seed(seed, 0xFA),
+                                    0,
+                                    None,
                                 );
-                                if let Some(l) = level {
-                                    label.push_str(&format!("/L{l}"));
-                                }
-                                if faults > 0 {
-                                    label.push_str(&format!("/f{faults}"));
-                                }
-                                out.push(Scenario {
-                                    index,
-                                    label,
-                                    level,
-                                    config,
-                                });
-                                index += 1;
+                                config = config.with_faults(plan);
                             }
+                            let mut label = format!("{w}x{h}/{traffic_label}/{}", routing.name());
+                            if let Some(l) = level {
+                                label.push_str(&format!("/L{l}"));
+                            }
+                            if faults > 0 {
+                                label.push_str(&format!("/f{faults}"));
+                            }
+                            out.push(Scenario {
+                                index,
+                                label,
+                                level,
+                                config,
+                            });
+                            index += 1;
                         }
                     }
                 }
@@ -469,6 +497,53 @@ mod tests {
     }
 
     #[test]
+    fn workload_axis_expands_and_labels_scenarios() {
+        use noc_sim::InjectionProcess;
+        let bursty = WorkloadSpec::stationary(
+            TrafficPattern::Uniform,
+            InjectionProcess::Bursty {
+                rate_on: 0.2,
+                switch: 0.02,
+            },
+        );
+        let phased = WorkloadSpec::new(vec![
+            noc_sim::WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.05, 400),
+            noc_sim::WorkloadPhase::bernoulli(TrafficPattern::Transpose, 0.2, 400),
+        ]);
+        let grid = SweepGrid {
+            sizes: vec![(4, 4)],
+            patterns: vec![TrafficPattern::Uniform],
+            rates: vec![0.05],
+            routings: vec![RoutingAlgorithm::Xy],
+            levels: vec![None],
+            faults: vec![0],
+            workloads: vec![bursty.clone(), phased],
+            ..SweepGrid::default()
+        };
+        assert_eq!(grid.len(), 3);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 3);
+        // Pattern × rate points keep their pre-workload labels and order.
+        assert_eq!(scenarios[0].label, "4x4/uniform/r0.05/xy");
+        assert_eq!(scenarios[1].label, "4x4/ph[uniform:burst0.2x0.02]/xy");
+        assert_eq!(
+            scenarios[2].label,
+            "4x4/ph[uniform:bern0.05@400|transpose:bern0.2@400]/xy"
+        );
+        // Report keys parse back to the specs that produced them — the
+        // no-drift guarantee.
+        let spec_of = |label: &str| {
+            WorkloadSpec::parse(label.split('/').nth(1).unwrap()).expect("label parses")
+        };
+        assert_eq!(spec_of(&scenarios[1].label), bursty);
+        assert_eq!(
+            scenarios[1].config.traffic,
+            noc_sim::TrafficSpec::Workload(bursty)
+        );
+        assert!(grid.validate().is_ok());
+    }
+
+    #[test]
     fn empty_axis_means_empty_grid() {
         let grid = SweepGrid {
             rates: vec![],
@@ -476,5 +551,14 @@ mod tests {
         };
         assert!(grid.is_empty());
         assert_eq!(grid.scenarios().len(), 0);
+        // A workloads-only grid (no pattern × rate points) is not empty.
+        let grid = SweepGrid {
+            patterns: vec![],
+            rates: vec![],
+            workloads: vec![WorkloadSpec::bernoulli(TrafficPattern::Uniform, 0.05)],
+            ..SweepGrid::default()
+        };
+        assert!(!grid.is_empty());
+        assert_eq!(grid.len(), 2, "two sizes x one workload");
     }
 }

@@ -285,7 +285,7 @@ mod tests {
         .unwrap();
         assert_eq!(policy.curve.len(), 3);
         assert!(policy.agent.train_steps() > 0);
-        assert_eq!(policy.encoder.state_dim(), 16);
+        assert_eq!(policy.encoder.state_dim(), 17);
         assert_eq!(policy.action_space.num_actions(), 11);
     }
 

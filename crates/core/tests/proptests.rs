@@ -25,6 +25,10 @@ fn any_metrics(regions: usize) -> impl Strategy<Value = WindowMetrics> {
             move |(cycles, injected, ejected, samples, lat, energy, occ, rinj, backlog)| {
                 WindowMetrics {
                     cycles,
+                    offered_packets: injected / 5,
+                    injection_burstiness: lat % 7.9,
+                    phase_cycles: vec![cycles],
+                    phase_offered_packets: vec![injected / 5],
                     injected_flits: injected,
                     ejected_flits: ejected,
                     ejected_packets: samples,
@@ -135,6 +139,7 @@ proptest! {
             routings: vec![RoutingAlgorithm::OddEven],
             levels: vec![None],
             faults: vec![0],
+            workloads: vec![],
             warmup: 100,
             measure: 300,
             drain: 300,

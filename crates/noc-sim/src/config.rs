@@ -6,7 +6,7 @@ use crate::fault::FaultPlan;
 use crate::power::PowerModel;
 use crate::routing::RoutingAlgorithm;
 use crate::topology::{Topology, TopologyKind};
-use crate::traffic::{TrafficPattern, TrafficSpec};
+use crate::traffic::{TrafficPattern, TrafficSpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of a simulation run (Table 1 of the evaluation).
@@ -60,10 +60,7 @@ impl Default for SimConfig {
             vc_depth: 4,
             packet_len: 5,
             routing: RoutingAlgorithm::Xy,
-            traffic: TrafficSpec::Stationary {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.10,
-            },
+            traffic: TrafficSpec::stationary(TrafficPattern::Uniform, 0.10),
             vf_table: VfTable::four_level(),
             regions_x: 2,
             regions_y: 2,
@@ -83,9 +80,16 @@ impl SimConfig {
         self
     }
 
-    /// Set the traffic to a stationary pattern at `rate` flits/node/cycle.
+    /// Set the traffic to a stationary Bernoulli pattern at `rate`
+    /// flits/node/cycle (the legacy pairing).
     pub fn with_traffic(mut self, pattern: TrafficPattern, rate: f64) -> Self {
-        self.traffic = TrafficSpec::Stationary { pattern, rate };
+        self.traffic = TrafficSpec::stationary(pattern, rate);
+        self
+    }
+
+    /// Set the traffic to a composable workload spec.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.traffic = TrafficSpec::Workload(workload);
         self
     }
 

@@ -32,7 +32,8 @@
 //! * [`flit`] — packets and their flit segmentation.
 //! * [`routing`] — XY/YX, three turn models, Odd-Even, torus DOR.
 //! * [`vc`] / [`arbiter`] / [`router`] — the three-stage VC router pipeline.
-//! * [`traffic`] — synthetic patterns and phase-changing traces.
+//! * [`traffic`] — composable workloads: phase schedules binding patterns
+//!   to injection processes (Bernoulli, bursty, pulsed), plus traces.
 //! * [`dvfs`] / [`power`] — V/F levels, regions, clock gating, event energy.
 //! * [`fault`] — timed link/router failures, fault-aware rerouting support.
 //! * [`network`] — the router grid, links, injection queues, cycle loop.
@@ -70,4 +71,6 @@ pub use sim::{RunSummary, Simulator};
 pub use stats::{StatsCollector, StatsSnapshot, WindowMetrics};
 pub use topology::{Coord, NodeId, Port, Topology, TopologyKind};
 pub use trace::{PacketTrace, TraceEvent};
-pub use traffic::{Phase, TrafficGenerator, TrafficPattern, TrafficSpec};
+pub use traffic::{
+    InjectionProcess, TrafficGenerator, TrafficPattern, TrafficSpec, WorkloadPhase, WorkloadSpec,
+};

@@ -119,11 +119,15 @@ impl Simulator {
         self.traffic.set_spec(self.network.topology(), spec)
     }
 
-    /// Advance one cycle: generate traffic, then step the network.
+    /// Advance one cycle: generate traffic, then step the network. The
+    /// offered-packet count and the workload phase in force are recorded so
+    /// window metrics can report burstiness and per-phase buckets.
     pub fn step(&mut self) {
         let t = self.network.cycle();
         let topo = self.network.topology().clone();
         let packets = self.traffic.tick(&topo, t);
+        self.stats
+            .record_cycle_offered(self.traffic.current_phase(), packets.len() as u64);
         self.network.offer(packets, &mut self.stats);
         self.network.step(&mut self.stats);
     }
@@ -288,13 +292,62 @@ mod tests {
         s.set_region_level(1, 3).unwrap();
         assert_eq!(s.region_levels(), &[0, 3, 0, 0]);
         s.set_routing(RoutingAlgorithm::OddEven).unwrap();
-        s.set_traffic(TrafficSpec::Stationary {
-            pattern: TrafficPattern::Transpose,
-            rate: 0.2,
-        })
-        .unwrap();
+        s.set_traffic(TrafficSpec::stationary(TrafficPattern::Transpose, 0.2))
+            .unwrap();
         s.run(100);
         assert!(s.stats().injected_flits > 0);
+    }
+
+    #[test]
+    fn epoch_metrics_carry_phase_buckets_and_burstiness() {
+        use crate::traffic::{InjectionProcess, WorkloadPhase, WorkloadSpec};
+        let spec = TrafficSpec::Workload(WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.05, 300),
+            WorkloadPhase::new(
+                TrafficPattern::Uniform,
+                InjectionProcess::Bursty {
+                    rate_on: 0.4,
+                    switch: 0.02,
+                },
+                300,
+            ),
+        ]));
+        let mut s = Simulator::new(
+            SimConfig::default()
+                .with_size(4, 4)
+                .with_regions(2, 2)
+                .with_traffic_spec(spec),
+        )
+        .unwrap();
+        let m = s.run_epoch(600);
+        assert_eq!(m.phase_cycles, vec![300, 300]);
+        assert_eq!(
+            m.phase_offered_packets.iter().sum::<u64>(),
+            m.offered_packets
+        );
+        assert!(
+            m.phase_offered_packets[1] > m.phase_offered_packets[0],
+            "the bursty phase offers ~4x the load: {:?}",
+            m.phase_offered_packets
+        );
+        // The second epoch repeats the schedule and sees both phases again.
+        let m2 = s.run_epoch(600);
+        assert_eq!(m2.phase_cycles, vec![300, 300]);
+        // Bursty traffic reads as burstier than a pure-Bernoulli epoch.
+        let mut bern = Simulator::new(
+            SimConfig::default()
+                .with_size(4, 4)
+                .with_regions(2, 2)
+                .with_traffic(TrafficPattern::Uniform, 0.12),
+        )
+        .unwrap();
+        let mb = bern.run_epoch(600);
+        assert!(
+            m.injection_burstiness > 1.5 * mb.injection_burstiness,
+            "bursty {} vs bernoulli {}",
+            m.injection_burstiness,
+            mb.injection_burstiness
+        );
     }
 
     #[test]

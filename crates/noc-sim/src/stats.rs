@@ -32,6 +32,13 @@ pub mod serde_nan {
 /// The final bucket is open-ended.
 pub const LATENCY_BUCKETS: [u64; 12] = [8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512, 1024];
 
+/// Block length (cycles) of the injection-burstiness estimator: offered
+/// packets are aggregated per block, and the index of dispersion of the
+/// block counts is the burstiness metric. Long enough that bursty sources'
+/// temporal correlation inflates block variance, short enough that a
+/// control epoch (≥ a few hundred cycles) completes many blocks.
+pub const BURST_BLOCK_CYCLES: u64 = 32;
+
 /// Monotone statistics accumulated over a simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsCollector {
@@ -56,6 +63,33 @@ pub struct StatsCollector {
     /// Σ over sampled cycles of directed dead links (fault telemetry; the
     /// mean feeds the RL observation).
     pub sum_dead_links: f64,
+    /// Σ of per-block offered-packet counts over completed
+    /// [`BURST_BLOCK_CYCLES`]-cycle blocks. Block aggregation makes temporal
+    /// clumping visible: per-cycle counts of independent on/off sources have
+    /// near-Bernoulli marginals, but their autocorrelation inflates the
+    /// variance of multi-cycle block counts.
+    #[serde(default)]
+    pub sum_block_offered: f64,
+    /// Σ of squared per-block offered-packet counts (second moment behind
+    /// the injection-burstiness metric).
+    #[serde(default)]
+    pub sum_block_offered_sq: f64,
+    /// Completed burstiness blocks.
+    #[serde(default)]
+    pub completed_blocks: u64,
+    /// Packets offered in the current partial block (not yet in the sums).
+    #[serde(default)]
+    pub block_acc: u64,
+    /// Cycles accumulated into the current partial block.
+    #[serde(default)]
+    pub block_fill: u64,
+    /// Cycles spent in each workload phase (index = phase position in the
+    /// spec; empty for trace-driven traffic).
+    #[serde(default)]
+    pub phase_cycles: Vec<u64>,
+    /// Packets offered during each workload phase.
+    #[serde(default)]
+    pub phase_offered_packets: Vec<u64>,
     /// Packets counted toward latency sums (inside the latency window).
     pub latency_samples: u64,
     /// Σ packet latency (creation → tail ejection) over latency samples.
@@ -101,6 +135,13 @@ impl StatsCollector {
             dropped_flits: 0,
             dropped_packets: 0,
             sum_dead_links: 0.0,
+            sum_block_offered: 0.0,
+            sum_block_offered_sq: 0.0,
+            completed_blocks: 0,
+            block_acc: 0,
+            block_fill: 0,
+            phase_cycles: Vec::new(),
+            phase_offered_packets: Vec::new(),
             latency_samples: 0,
             sum_packet_latency: 0.0,
             sum_network_latency: 0.0,
@@ -195,6 +236,31 @@ impl StatsCollector {
         self.offered_packets += 1;
     }
 
+    /// Record one cycle of the offered process: `packets` offered this
+    /// cycle, attributed to workload phase `phase` (`None` for trace-driven
+    /// traffic). Feeds the burstiness block moments and the per-phase
+    /// buckets; the simulation driver calls this once per cycle.
+    pub fn record_cycle_offered(&mut self, phase: Option<usize>, packets: u64) {
+        self.block_acc += packets;
+        self.block_fill += 1;
+        if self.block_fill == BURST_BLOCK_CYCLES {
+            let b = self.block_acc as f64;
+            self.sum_block_offered += b;
+            self.sum_block_offered_sq += b * b;
+            self.completed_blocks += 1;
+            self.block_acc = 0;
+            self.block_fill = 0;
+        }
+        if let Some(p) = phase {
+            if self.phase_cycles.len() <= p {
+                self.phase_cycles.resize(p + 1, 0);
+                self.phase_offered_packets.resize(p + 1, 0);
+            }
+            self.phase_cycles[p] += 1;
+            self.phase_offered_packets[p] += packets;
+        }
+    }
+
     /// Record one discarded flit of an unroutable packet (fault handling).
     /// The packet itself is counted once, when its tail flit is dropped —
     /// never earlier, so a packet whose drop is cut short by a fault purge
@@ -278,6 +344,24 @@ pub struct StatsSnapshot(Box<StatsCollector>);
 pub struct WindowMetrics {
     /// Window length in cycles.
     pub cycles: u64,
+    /// Packets offered by the traffic generator during the window.
+    #[serde(default)]
+    pub offered_packets: u64,
+    /// Index of dispersion (variance / mean) of offered packets aggregated
+    /// over [`BURST_BLOCK_CYCLES`]-cycle blocks: ≈1 for memoryless Bernoulli
+    /// traffic, well above 1 when arrivals clump (bursty/pulsed workloads),
+    /// 0 when nothing was offered. The load-independent burstiness
+    /// observable the RL state encoder exposes. Blocks straddling a window
+    /// boundary count toward the window in which they complete.
+    #[serde(default)]
+    pub injection_burstiness: f64,
+    /// Cycles spent in each workload phase during the window (index = phase
+    /// position in the spec; empty for trace-driven traffic).
+    #[serde(default)]
+    pub phase_cycles: Vec<u64>,
+    /// Packets offered during each workload phase during the window.
+    #[serde(default)]
+    pub phase_offered_packets: Vec<u64>,
     /// Flits injected during the window.
     pub injected_flits: u64,
     /// Flits ejected during the window.
@@ -342,8 +426,32 @@ impl WindowMetrics {
         let energy = b.energy.since(&a.energy);
         let injected = b.injected_flits - a.injected_flits;
         let ejected = b.ejected_flits - a.ejected_flits;
+        let offered = b.offered_packets - a.offered_packets;
+        // Burstiness: index of dispersion of per-block offered counts over
+        // the window's completed blocks.
+        let blocks = b.completed_blocks - a.completed_blocks;
+        let bsum = b.sum_block_offered - a.sum_block_offered;
+        let burstiness = if blocks > 0 && bsum > 0.0 {
+            let mean = bsum / blocks as f64;
+            let ex2 = (b.sum_block_offered_sq - a.sum_block_offered_sq) / blocks as f64;
+            (ex2 - mean * mean).max(0.0) / mean
+        } else {
+            0.0
+        };
+        // Phase buckets grow on demand, so the later snapshot's vectors may
+        // be longer; missing earlier entries diff against zero.
+        let diff_grown = |bv: &[u64], av: &[u64]| -> Vec<u64> {
+            bv.iter()
+                .enumerate()
+                .map(|(i, &x)| x - av.get(i).copied().unwrap_or(0))
+                .collect()
+        };
         WindowMetrics {
             cycles,
+            offered_packets: offered,
+            injection_burstiness: burstiness,
+            phase_cycles: diff_grown(&b.phase_cycles, &a.phase_cycles),
+            phase_offered_packets: diff_grown(&b.phase_offered_packets, &a.phase_offered_packets),
             injected_flits: injected,
             ejected_flits: ejected,
             ejected_packets: b.ejected_packets - a.ejected_packets,
@@ -507,6 +615,52 @@ mod tests {
         assert!(back.avg_packet_latency.is_nan());
         assert!(back.avg_hops.is_nan());
         assert_eq!(back.cycles, w.cycles);
+    }
+
+    #[test]
+    fn offered_cycles_feed_burstiness_and_phase_buckets() {
+        let block = BURST_BLOCK_CYCLES;
+        let mut s = StatsCollector::new(1);
+        let a = s.snapshot();
+        // Constant offering: one packet every cycle for two full blocks.
+        // Every block count equals `block`, so dispersion is zero.
+        for _ in 0..2 * block {
+            s.record_offered();
+            s.record_cycle_offered(Some(0), 1);
+            s.sample_occupancy(0, &[0], 0, 0);
+        }
+        let b = s.snapshot();
+        let w = WindowMetrics::between(&a, &b, 4);
+        assert_eq!(w.offered_packets, 2 * block);
+        assert_eq!(w.injection_burstiness, 0.0);
+        assert_eq!(w.phase_cycles, vec![2 * block]);
+        assert_eq!(w.phase_offered_packets, vec![2 * block]);
+
+        // Clumped offering in a later phase: all 2·block packets land in the
+        // first block, the second is silent. Block counts {2·block, 0}:
+        // mean = block, variance = block² → dispersion = block.
+        for i in 0..2 * block {
+            let n = if i == 0 { 2 * block } else { 0 };
+            for _ in 0..n {
+                s.record_offered();
+            }
+            s.record_cycle_offered(Some(1), n);
+            s.sample_occupancy(0, &[0], 0, 0);
+        }
+        let c = s.snapshot();
+        let w = WindowMetrics::between(&b, &c, 4);
+        assert_eq!(w.offered_packets, 2 * block);
+        assert!((w.injection_burstiness - block as f64).abs() < 1e-9);
+        // The phase-1 bucket appeared after the earlier snapshot; it diffs
+        // against zero.
+        assert_eq!(w.phase_cycles, vec![0, 2 * block]);
+        assert_eq!(w.phase_offered_packets, vec![0, 2 * block]);
+
+        // No offering recorded: burstiness reads zero, not NaN.
+        let d = s.snapshot();
+        let w = WindowMetrics::between(&c, &d, 4);
+        assert_eq!(w.injection_burstiness, 0.0);
+        assert_eq!(w.offered_packets, 0);
     }
 
     #[test]

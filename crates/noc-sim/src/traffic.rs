@@ -1,9 +1,21 @@
-//! Synthetic traffic generation.
+//! Synthetic traffic generation: the composable workload subsystem.
 //!
-//! Classic NoC patterns (uniform random, transpose, bit-complement,
-//! bit-reverse, shuffle, tornado, neighbor, hotspot) with Bernoulli packet
-//! injection, plus phase-changing traces that emulate application behavior
-//! (DESIGN.md substitution 1).
+//! Application traffic is described by a [`WorkloadSpec`]: an ordered list of
+//! [`WorkloadPhase`]s, each binding a destination-selection
+//! [`TrafficPattern`] (uniform random, transpose, bit-complement,
+//! bit-reverse, shuffle, tornado, neighbor, hotspot) to an
+//! [`InjectionProcess`] (memoryless Bernoulli, two-state bursty on/off, or
+//! periodic pulse) for a number of cycles. Phase schedules repeat
+//! cyclically; a final phase with `cycles == 0` holds forever instead.
+//!
+//! Every spec has a canonical, round-trippable label (see
+//! [`WorkloadSpec::label`]), e.g.
+//! `ph[uniform:bern0.1@5000|tornado:burst0.3x0.05@5000]`, which is the same
+//! grammar the sweep engine, CLI, and reports use — labels cannot drift from
+//! the specs they name because both directions share one table.
+//!
+//! Trace-driven traffic (explicit packet schedules) lives alongside the
+//! rate-based workloads in [`TrafficSpec`].
 
 use crate::error::{SimError, SimResult};
 use crate::flit::{Packet, PacketId};
@@ -55,15 +67,17 @@ impl TrafficPattern {
         ("neighbor", TrafficPattern::Neighbor),
     ];
 
-    /// The pattern's canonical short name (hotspot patterns carry their
-    /// parameters, e.g. `hotspot2f0.30`, and are not parseable back).
+    /// The pattern's canonical short name. Hotspot patterns carry their
+    /// parameters (`hotspot5-6f0.3`: nodes 5 and 6, fraction 0.3) in the
+    /// shortest `f64` form that round-trips, so [`TrafficPattern::from_name`]
+    /// parses every emitted name back to an equal pattern.
     pub fn name(&self) -> String {
         match self {
             TrafficPattern::Hotspot { hotspots, fraction } => {
                 // Node ids are part of the name: two hotspot patterns with
                 // different targets must never share a label.
                 let ids: Vec<String> = hotspots.iter().map(|n| n.0.to_string()).collect();
-                format!("hotspot{}f{fraction:.2}", ids.join("-"))
+                format!("hotspot{}f{fraction}", ids.join("-"))
             }
             dataless => Self::NAMED
                 .iter()
@@ -73,12 +87,66 @@ impl TrafficPattern {
         }
     }
 
-    /// Look up a dataless pattern by its canonical short name.
+    /// Parse a canonical pattern name: a dataless name from
+    /// [`TrafficPattern::NAMED`], or a parameterized hotspot label
+    /// (`hotspot<id>-<id>-...f<fraction>`). Inverse of
+    /// [`TrafficPattern::name`].
     pub fn from_name(name: &str) -> Option<TrafficPattern> {
+        if let Some(rest) = name.strip_prefix("hotspot") {
+            // `<ids>f<fraction>`: ids are '-'-separated integers, so the
+            // first 'f' unambiguously starts the fraction.
+            let (ids, fraction) = rest.split_once('f')?;
+            let hotspots = ids
+                .split('-')
+                .map(|s| s.parse::<usize>().ok().map(NodeId))
+                .collect::<Option<Vec<NodeId>>>()?;
+            let fraction = fraction.parse::<f64>().ok()?;
+            return Some(TrafficPattern::Hotspot { hotspots, fraction });
+        }
         Self::NAMED
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, p)| p.clone())
+    }
+
+    /// Parse a canonical pattern name ([`TrafficPattern::from_name`]) with a
+    /// diagnostic listing the valid grammar — the one error message the CLI
+    /// and the workload grammar share. The parsed pattern is shape-checked.
+    ///
+    /// # Errors
+    /// Returns an error for unknown names or out-of-range parameters.
+    pub fn parse(name: &str) -> SimResult<TrafficPattern> {
+        let pattern = Self::from_name(name).ok_or_else(|| {
+            let names: Vec<&str> = Self::NAMED.iter().map(|(n, _)| *n).collect();
+            SimError::InvalidConfig(format!(
+                "unknown traffic pattern `{name}` (expected one of: {}, or \
+                 hotspot<id>-<id>f<fraction>)",
+                names.join(", ")
+            ))
+        })?;
+        pattern.shape_check()?;
+        Ok(pattern)
+    }
+
+    /// Topology-independent parameter checks (hotspot list non-empty,
+    /// fraction in range).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn shape_check(&self) -> SimResult<()> {
+        if let TrafficPattern::Hotspot { hotspots, fraction } = self {
+            if hotspots.is_empty() {
+                return Err(SimError::InvalidConfig(
+                    "hotspot list must not be empty".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(fraction) {
+                return Err(SimError::InvalidConfig(format!(
+                    "hotspot fraction {fraction} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Check the pattern is usable on the given topology.
@@ -87,6 +155,7 @@ impl TrafficPattern {
     /// Returns an error for patterns whose structural requirements the
     /// topology does not meet.
     pub fn validate(&self, topo: &Topology) -> SimResult<()> {
+        self.shape_check()?;
         match self {
             TrafficPattern::Transpose if topo.width() != topo.height() => Err(
                 SimError::InvalidConfig("transpose traffic requires a square grid".into()),
@@ -98,17 +167,7 @@ impl TrafficPattern {
                     "bit-reverse/shuffle traffic requires a power-of-two node count".into(),
                 ))
             }
-            TrafficPattern::Hotspot { hotspots, fraction } => {
-                if hotspots.is_empty() {
-                    return Err(SimError::InvalidConfig(
-                        "hotspot list must not be empty".into(),
-                    ));
-                }
-                if !(0.0..=1.0).contains(fraction) {
-                    return Err(SimError::InvalidConfig(format!(
-                        "hotspot fraction {fraction} outside [0, 1]"
-                    )));
-                }
+            TrafficPattern::Hotspot { hotspots, .. } => {
                 for h in hotspots {
                     if h.0 >= topo.num_nodes() {
                         return Err(SimError::NodeOutOfRange {
@@ -178,94 +237,464 @@ impl TrafficPattern {
     }
 }
 
-/// One phase of a phase-changing trace.
+/// How packets are offered over time at each source node. All rates are in
+/// flits per node per cycle; the generator converts them to per-cycle packet
+/// probabilities by dividing by the packet length.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Phase {
-    /// Pattern in force during the phase.
-    pub pattern: TrafficPattern,
-    /// Injection rate in flits per node per cycle.
-    pub rate: f64,
-    /// Phase duration in cycles.
-    pub cycles: u64,
-}
-
-/// Traffic specification: either a stationary pattern at a fixed injection
-/// rate, or a cyclic schedule of phases.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum TrafficSpec {
-    /// A single stationary pattern.
-    Stationary {
-        /// Destination-selection pattern.
-        pattern: TrafficPattern,
-        /// Injection rate in flits per node per cycle.
+pub enum InjectionProcess {
+    /// Memoryless injection: every node flips one coin per cycle. The
+    /// classic open-loop model (label `bern<rate>`).
+    Bernoulli {
+        /// Mean injection rate, flits/node/cycle.
         rate: f64,
     },
-    /// A repeating schedule of phases.
-    PhaseTrace {
-        /// The schedule, cycled indefinitely.
-        phases: Vec<Phase>,
+    /// Two-state on/off Markov-modulated Bernoulli (label
+    /// `burst<rate_on>x<switch>`): each node is independently ON (injecting
+    /// at `rate_on`) or OFF (silent) and flips state with probability
+    /// `switch` per cycle. Mean sojourn in each state is `1/switch` cycles;
+    /// the duty cycle is 50 %, so the long-run mean rate is `rate_on / 2`.
+    Bursty {
+        /// Injection rate while ON, flits/node/cycle.
+        rate_on: f64,
+        /// Per-cycle probability of flipping ON↔OFF.
+        switch: f64,
     },
-    /// An explicit packet schedule (trace-driven traffic). Packet lengths
-    /// come from the trace, not the generator's `packet_len`.
-    Trace(PacketTrace),
+    /// Deterministic periodic pulse (label `pulse<rate>x<period>x<on>`):
+    /// inject at `rate` during the first `on` cycles of every `period`-cycle
+    /// window of the phase, silent otherwise. All nodes pulse in lockstep —
+    /// the worst-case synchronized burst.
+    Periodic {
+        /// Injection rate inside the pulse, flits/node/cycle.
+        rate: f64,
+        /// Pulse period in cycles.
+        period: u64,
+        /// Pulse width in cycles (`0 < on <= period`).
+        on: u64,
+    },
 }
 
-impl TrafficSpec {
-    /// Validate the spec against a topology.
+impl InjectionProcess {
+    /// Canonical label, e.g. `bern0.1`, `burst0.3x0.05`, `pulse0.4x100x20`.
+    /// Rates render in the shortest `f64` form that round-trips, so
+    /// [`InjectionProcess::parse`] inverts this exactly.
+    pub fn label(&self) -> String {
+        match self {
+            InjectionProcess::Bernoulli { rate } => format!("bern{rate}"),
+            InjectionProcess::Bursty { rate_on, switch } => format!("burst{rate_on}x{switch}"),
+            InjectionProcess::Periodic { rate, period, on } => {
+                format!("pulse{rate}x{period}x{on}")
+            }
+        }
+    }
+
+    /// Parse a canonical process label (inverse of
+    /// [`InjectionProcess::label`]). The parsed process is range-checked.
     ///
     /// # Errors
-    /// Returns an error if rates are out of range, phases are empty or have
-    /// zero duration, or a contained pattern is invalid for the topology.
-    pub fn validate(&self, topo: &Topology) -> SimResult<()> {
-        let check_rate = |rate: f64| {
+    /// Returns an error for unknown process names, malformed numbers, or
+    /// out-of-range parameters.
+    pub fn parse(s: &str) -> SimResult<InjectionProcess> {
+        let bad = |why: String| SimError::InvalidConfig(format!("injection process `{s}`: {why}"));
+        let num = |v: &str, what: &str| {
+            v.parse::<f64>()
+                .map_err(|e| bad(format!("bad {what} `{v}`: {e}")))
+        };
+        let int = |v: &str, what: &str| {
+            v.parse::<u64>()
+                .map_err(|e| bad(format!("bad {what} `{v}`: {e}")))
+        };
+        let process = if let Some(rest) = s.strip_prefix("bern") {
+            InjectionProcess::Bernoulli {
+                rate: num(rest, "rate")?,
+            }
+        } else if let Some(rest) = s.strip_prefix("burst") {
+            let (rate_on, switch) = rest
+                .split_once('x')
+                .ok_or_else(|| bad("expected burst<rate_on>x<switch>".into()))?;
+            InjectionProcess::Bursty {
+                rate_on: num(rate_on, "rate_on")?,
+                switch: num(switch, "switch")?,
+            }
+        } else if let Some(rest) = s.strip_prefix("pulse") {
+            let mut it = rest.splitn(3, 'x');
+            let (rate, period, on) = match (it.next(), it.next(), it.next()) {
+                (Some(r), Some(p), Some(o)) => (r, p, o),
+                _ => return Err(bad("expected pulse<rate>x<period>x<on>".into())),
+            };
+            InjectionProcess::Periodic {
+                rate: num(rate, "rate")?,
+                period: int(period, "period")?,
+                on: int(on, "on")?,
+            }
+        } else {
+            return Err(bad("expected bern…, burst…, or pulse…".into()));
+        };
+        process.validate().map_err(|e| bad(e.to_string()))?;
+        Ok(process)
+    }
+
+    /// Check parameter ranges (topology-independent).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> SimResult<()> {
+        let check_rate = |rate: f64, what: &str| {
             if !(0.0..=1.0).contains(&rate) {
                 Err(SimError::InvalidConfig(format!(
-                    "injection rate {rate} outside [0, 1] flits/node/cycle"
+                    "{what} {rate} outside [0, 1] flits/node/cycle"
                 )))
             } else {
                 Ok(())
             }
         };
         match self {
-            TrafficSpec::Stationary { pattern, rate } => {
-                check_rate(*rate)?;
-                pattern.validate(topo)
-            }
-            TrafficSpec::PhaseTrace { phases } => {
-                if phases.is_empty() {
-                    return Err(SimError::InvalidTrace("phase trace has no phases".into()));
-                }
-                for p in phases {
-                    if p.cycles == 0 {
-                        return Err(SimError::InvalidTrace("phase with zero duration".into()));
-                    }
-                    check_rate(p.rate)?;
-                    p.pattern.validate(topo)?;
+            InjectionProcess::Bernoulli { rate } => check_rate(*rate, "injection rate"),
+            InjectionProcess::Bursty { rate_on, switch } => {
+                check_rate(*rate_on, "burst on-rate")?;
+                if !(*switch > 0.0 && *switch <= 1.0) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "burst switch probability {switch} outside (0, 1]"
+                    )));
                 }
                 Ok(())
             }
-            TrafficSpec::Trace(trace) => trace.validate(topo),
+            InjectionProcess::Periodic { rate, period, on } => {
+                check_rate(*rate, "pulse rate")?;
+                if *period == 0 || *on == 0 || on > period {
+                    return Err(SimError::InvalidConfig(format!(
+                        "pulse window {on}/{period} needs 0 < on <= period"
+                    )));
+                }
+                Ok(())
+            }
         }
     }
 
-    /// The `(pattern, rate)` in force at absolute cycle `t` for rate-based
-    /// specs (phase traces repeat). Returns `None` for [`TrafficSpec::Trace`],
-    /// which schedules explicit packets instead of sampling a rate.
-    pub fn at(&self, t: u64) -> Option<(&TrafficPattern, f64)> {
+    /// Long-run mean injection rate, flits/node/cycle.
+    pub fn mean_rate(&self) -> f64 {
         match self {
-            TrafficSpec::Stationary { pattern, rate } => Some((pattern, *rate)),
-            TrafficSpec::PhaseTrace { phases } => {
-                let total: u64 = phases.iter().map(|p| p.cycles).sum();
-                let mut pos = t % total;
-                for p in phases {
-                    if pos < p.cycles {
-                        return Some((&p.pattern, p.rate));
-                    }
-                    pos -= p.cycles;
-                }
-                unreachable!("phase lookup within total duration")
+            InjectionProcess::Bernoulli { rate } => *rate,
+            // Symmetric two-state chain: half the time ON.
+            InjectionProcess::Bursty { rate_on, .. } => rate_on * 0.5,
+            InjectionProcess::Periodic { rate, period, on } => {
+                rate * (*on as f64) / (*period as f64)
             }
+        }
+    }
+}
+
+/// One phase of a workload: a destination pattern driven by an injection
+/// process for `cycles` cycles (`0` = hold forever; only valid on the final
+/// phase).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPhase {
+    /// Destination-selection pattern in force during the phase.
+    pub pattern: TrafficPattern,
+    /// Injection process in force during the phase.
+    pub process: InjectionProcess,
+    /// Phase duration in cycles; `0` means the phase holds forever once
+    /// reached (the stationary case).
+    pub cycles: u64,
+}
+
+impl WorkloadPhase {
+    /// A phase binding `pattern` to `process` for `cycles` cycles.
+    pub fn new(pattern: TrafficPattern, process: InjectionProcess, cycles: u64) -> Self {
+        WorkloadPhase {
+            pattern,
+            process,
+            cycles,
+        }
+    }
+
+    /// A Bernoulli phase at `rate` flits/node/cycle (the legacy pairing).
+    pub fn bernoulli(pattern: TrafficPattern, rate: f64, cycles: u64) -> Self {
+        WorkloadPhase::new(pattern, InjectionProcess::Bernoulli { rate }, cycles)
+    }
+
+    /// Canonical phase label: `<pattern>:<process>` with `@<cycles>`
+    /// appended for bounded phases.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}:{}", self.pattern.name(), self.process.label());
+        if self.cycles > 0 {
+            s.push_str(&format!("@{}", self.cycles));
+        }
+        s
+    }
+}
+
+/// A composable workload: ordered [`WorkloadPhase`]s. If every phase is
+/// bounded the schedule repeats cyclically; a final phase with `cycles == 0`
+/// holds forever instead. A single unbounded phase is the stationary case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The phase schedule, in order.
+    pub phases: Vec<WorkloadPhase>,
+}
+
+impl WorkloadSpec {
+    /// A workload from an explicit phase list.
+    pub fn new(phases: Vec<WorkloadPhase>) -> Self {
+        WorkloadSpec { phases }
+    }
+
+    /// A stationary workload: one unbounded phase of `pattern` × `process`.
+    pub fn stationary(pattern: TrafficPattern, process: InjectionProcess) -> Self {
+        WorkloadSpec::new(vec![WorkloadPhase::new(pattern, process, 0)])
+    }
+
+    /// The legacy pairing: a stationary Bernoulli workload at `rate`
+    /// flits/node/cycle.
+    pub fn bernoulli(pattern: TrafficPattern, rate: f64) -> Self {
+        WorkloadSpec::stationary(pattern, InjectionProcess::Bernoulli { rate })
+    }
+
+    /// Canonical label: phase labels joined with `|` inside `ph[…]`, e.g.
+    /// `ph[uniform:bern0.1@5000|tornado:burst0.3x0.05@5000]`.
+    /// [`WorkloadSpec::parse`] inverts this exactly; sweep scenario labels,
+    /// CLI flags, and report keys all use this one grammar.
+    pub fn label(&self) -> String {
+        let phases: Vec<String> = self.phases.iter().map(WorkloadPhase::label).collect();
+        format!("ph[{}]", phases.join("|"))
+    }
+
+    /// Parse a canonical workload label (inverse of [`WorkloadSpec::label`]).
+    /// The parsed spec is shape-checked (non-empty, ranges, `@0`/missing
+    /// duration only on the final phase); topology fit is checked later by
+    /// [`WorkloadSpec::validate`].
+    ///
+    /// # Errors
+    /// Returns an error describing the first malformed phase.
+    pub fn parse(s: &str) -> SimResult<WorkloadSpec> {
+        let inner = s
+            .strip_prefix("ph[")
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| {
+                SimError::InvalidConfig(format!(
+                    "workload `{s}`: expected ph[<phase>|<phase>|…], e.g. \
+                     ph[uniform:bern0.1@5000|tornado:burst0.3x0.05@5000]"
+                ))
+            })?;
+        let mut phases = Vec::new();
+        for part in inner.split('|') {
+            let (pattern, rest) = part.split_once(':').ok_or_else(|| {
+                SimError::InvalidConfig(format!(
+                    "workload phase `{part}`: expected <pattern>:<process>[@cycles]"
+                ))
+            })?;
+            let pattern = TrafficPattern::parse(pattern)?;
+            let (process, cycles) = match rest.split_once('@') {
+                Some((process, cycles)) => {
+                    let cycles: u64 = cycles.parse().map_err(|e| {
+                        SimError::InvalidConfig(format!(
+                            "workload phase `{part}`: bad duration `{cycles}`: {e}"
+                        ))
+                    })?;
+                    (process, cycles)
+                }
+                None => (rest, 0),
+            };
+            let process = InjectionProcess::parse(process)?;
+            phases.push(WorkloadPhase::new(pattern, process, cycles));
+        }
+        let spec = WorkloadSpec::new(phases);
+        spec.shape_check()?;
+        Ok(spec)
+    }
+
+    /// Topology-independent structural checks: at least one phase, valid
+    /// process and pattern parameters, and zero-duration (unbounded) phases
+    /// only in final position.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn shape_check(&self) -> SimResult<()> {
+        if self.phases.is_empty() {
+            return Err(SimError::InvalidTrace("workload has no phases".into()));
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.cycles == 0 && i + 1 != self.phases.len() {
+                return Err(SimError::InvalidTrace(format!(
+                    "phase {i} has zero duration but is not the final phase"
+                )));
+            }
+            p.process.validate()?;
+            p.pattern.shape_check()?;
+        }
+        Ok(())
+    }
+
+    /// Validate the workload against a topology.
+    ///
+    /// # Errors
+    /// Returns an error if the shape check fails or a phase pattern does not
+    /// fit the topology.
+    pub fn validate(&self, topo: &Topology) -> SimResult<()> {
+        self.shape_check()?;
+        for p in &self.phases {
+            p.pattern.validate(topo)?;
+        }
+        Ok(())
+    }
+
+    /// The phase in force at absolute cycle `t`: its index, the phase, and
+    /// the offset into it. Bounded schedules repeat; an unbounded final
+    /// phase absorbs all remaining time.
+    ///
+    /// # Panics
+    /// Panics on an empty phase list (rejected by validation).
+    pub fn phase_at(&self, t: u64) -> (usize, &WorkloadPhase, u64) {
+        let last = self.phases.len() - 1;
+        let mut pos = if self.phases[last].cycles == 0 {
+            t // terminal hold: no wrap-around
+        } else {
+            let total: u64 = self.phases.iter().map(|p| p.cycles).sum();
+            t % total
+        };
+        for (i, p) in self.phases.iter().enumerate() {
+            if i == last || pos < p.cycles {
+                return (i, p, pos);
+            }
+            pos -= p.cycles;
+        }
+        unreachable!("phase lookup within total duration")
+    }
+
+    /// Long-run mean injection rate: cycle-weighted over one schedule
+    /// period, or the final phase's rate when it holds forever.
+    pub fn mean_rate(&self) -> f64 {
+        match self.phases.last() {
+            Some(last) if last.cycles == 0 => last.process.mean_rate(),
+            _ => {
+                let total: u64 = self.phases.iter().map(|p| p.cycles).sum();
+                if total == 0 {
+                    return 0.0;
+                }
+                self.phases
+                    .iter()
+                    .map(|p| p.process.mean_rate() * p.cycles as f64)
+                    .sum::<f64>()
+                    / total as f64
+            }
+        }
+    }
+}
+
+/// Traffic specification: a rate-based [`WorkloadSpec`] or an explicit
+/// packet schedule (trace-driven traffic).
+///
+/// Serialization note: this enum has hand-written serde impls so legacy
+/// configuration files keep loading. The pre-workload variants
+/// `Stationary {pattern, rate}` and `PhaseTrace {phases: [{pattern, rate,
+/// cycles}]}` deserialize into the equivalent single-/multi-phase Bernoulli
+/// [`WorkloadSpec`] with byte-identical simulation behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficSpec {
+    /// A rate-based workload (phases of pattern × injection process).
+    Workload(WorkloadSpec),
+    /// An explicit packet schedule (trace-driven traffic). Packet lengths
+    /// come from the trace, not the generator's `packet_len`.
+    Trace(PacketTrace),
+}
+
+impl TrafficSpec {
+    /// The legacy pairing: a stationary Bernoulli workload of `pattern` at
+    /// `rate` flits/node/cycle.
+    pub fn stationary(pattern: TrafficPattern, rate: f64) -> Self {
+        TrafficSpec::Workload(WorkloadSpec::bernoulli(pattern, rate))
+    }
+
+    /// The workload spec, if this is rate-based traffic.
+    pub fn workload(&self) -> Option<&WorkloadSpec> {
+        match self {
+            TrafficSpec::Workload(w) => Some(w),
             TrafficSpec::Trace(_) => None,
+        }
+    }
+
+    /// Validate the spec against a topology.
+    ///
+    /// # Errors
+    /// Returns an error if the workload or trace is invalid for the
+    /// topology.
+    pub fn validate(&self, topo: &Topology) -> SimResult<()> {
+        match self {
+            TrafficSpec::Workload(w) => w.validate(topo),
+            TrafficSpec::Trace(trace) => trace.validate(topo),
+        }
+    }
+}
+
+impl serde::Serialize for TrafficSpec {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let build = || -> Result<serde::Value, serde::SerError> {
+            let (tag, inner) = match self {
+                TrafficSpec::Workload(w) => ("Workload", serde::to_value(w)?),
+                TrafficSpec::Trace(t) => ("Trace", serde::to_value(t)?),
+            };
+            Ok(serde::Value::Map(vec![(tag.to_string(), inner)]))
+        };
+        match build() {
+            Ok(v) => s.serialize_value(v),
+            Err(e) => Err(<S::Error as serde::ser::Error>::custom(e)),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for TrafficSpec {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let fail = |msg: String| <D::Error as serde::de::Error>::custom(msg);
+        let v = d.value();
+        let entries = v
+            .as_map()
+            .filter(|m| m.len() == 1)
+            .ok_or_else(|| fail("TrafficSpec: expected a single-variant object".into()))?;
+        let (tag, inner) = &entries[0];
+        fn field<'a, E: serde::de::Error>(
+            obj: &'a serde::Value,
+            tag: &str,
+            key: &str,
+        ) -> Result<&'a serde::Value, E> {
+            obj.get(key)
+                .ok_or_else(|| E::custom(format!("TrafficSpec::{tag}: missing field `{key}`")))
+        }
+        let field = |obj, key| field::<D::Error>(obj, tag, key);
+        match tag.as_str() {
+            "Workload" => Ok(TrafficSpec::Workload(
+                serde::from_value(inner).map_err(|e| fail(e.to_string()))?,
+            )),
+            "Trace" => Ok(TrafficSpec::Trace(
+                serde::from_value(inner).map_err(|e| fail(e.to_string()))?,
+            )),
+            // Legacy (pre-workload) forms, kept loadable forever: the
+            // equivalent Bernoulli workloads reproduce them byte-for-byte.
+            "Stationary" => {
+                let pattern: TrafficPattern =
+                    serde::from_value(field(inner, "pattern")?).map_err(|e| fail(e.to_string()))?;
+                let rate: f64 =
+                    serde::from_value(field(inner, "rate")?).map_err(|e| fail(e.to_string()))?;
+                Ok(TrafficSpec::Workload(WorkloadSpec::bernoulli(
+                    pattern, rate,
+                )))
+            }
+            "PhaseTrace" => {
+                let phases = field(inner, "phases")?
+                    .as_seq()
+                    .ok_or_else(|| fail("TrafficSpec::PhaseTrace: `phases` must be a list".into()))?
+                    .iter()
+                    .map(|p| {
+                        let pattern: TrafficPattern = serde::from_value(field(p, "pattern")?)
+                            .map_err(|e| fail(e.to_string()))?;
+                        let rate: f64 = serde::from_value(field(p, "rate")?)
+                            .map_err(|e| fail(e.to_string()))?;
+                        let cycles: u64 = serde::from_value(field(p, "cycles")?)
+                            .map_err(|e| fail(e.to_string()))?;
+                        Ok(WorkloadPhase::bernoulli(pattern, rate, cycles))
+                    })
+                    .collect::<Result<Vec<WorkloadPhase>, D::Error>>()?;
+                Ok(TrafficSpec::Workload(WorkloadSpec::new(phases)))
+            }
+            other => Err(fail(format!("TrafficSpec: unknown variant `{other}`"))),
         }
     }
 }
@@ -276,7 +705,7 @@ impl TrafficSpec {
 /// use noc_sim::{Topology, TrafficGenerator, TrafficPattern, TrafficSpec};
 ///
 /// let topo = Topology::mesh(4, 4);
-/// let spec = TrafficSpec::Stationary { pattern: TrafficPattern::Transpose, rate: 0.5 };
+/// let spec = TrafficSpec::stationary(TrafficPattern::Transpose, 0.5);
 /// let mut gen = TrafficGenerator::new(&topo, spec, 4, 42)?;
 /// let packets = gen.tick(&topo, 0);
 /// for p in &packets {
@@ -291,6 +720,11 @@ pub struct TrafficGenerator {
     rng: StdRng,
     next_id: u64,
     generated: u64,
+    /// Phase the generator last ticked in (`None` before the first tick and
+    /// for trace-driven specs); phase entry resets per-node process state.
+    cur_phase: Option<usize>,
+    /// Per-node ON/OFF state for bursty phases.
+    burst_on: Vec<bool>,
 }
 
 impl TrafficGenerator {
@@ -312,6 +746,8 @@ impl TrafficGenerator {
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
             generated: 0,
+            cur_phase: None,
+            burst_on: Vec::new(),
         })
     }
 
@@ -325,61 +761,115 @@ impl TrafficGenerator {
         self.generated
     }
 
-    /// Replace the traffic spec at runtime (used by phase-less experiments
-    /// that steer traffic externally).
+    /// The workload phase in force at cycle `t` (`None` for trace-driven
+    /// specs).
+    pub fn phase_index(&self, t: u64) -> Option<usize> {
+        match &self.spec {
+            TrafficSpec::Workload(w) => Some(w.phase_at(t).0),
+            TrafficSpec::Trace(_) => None,
+        }
+    }
+
+    /// The workload phase the last [`TrafficGenerator::tick`] ran in
+    /// (`None` before the first tick and for trace-driven specs). Drives
+    /// the per-phase stat buckets without a second schedule lookup.
+    pub fn current_phase(&self) -> Option<usize> {
+        self.cur_phase
+    }
+
+    /// Replace the traffic spec at runtime (used by experiments that steer
+    /// traffic externally). Per-node process state resets.
     ///
     /// # Errors
     /// Returns an error if the new spec is invalid for the topology.
     pub fn set_spec(&mut self, topo: &Topology, spec: TrafficSpec) -> SimResult<()> {
         spec.validate(topo)?;
         self.spec = spec;
+        self.cur_phase = None;
+        self.burst_on.clear();
         Ok(())
     }
 
     /// Generate the packets created at cycle `t`. For rate-based specs,
-    /// each node flips a Bernoulli coin with probability `rate / packet_len`
-    /// so the *flit* injection rate matches the spec (self-addressed packets
-    /// are skipped). For trace-driven specs, the scheduled events are
-    /// emitted verbatim.
+    /// each node samples its phase's injection process with per-packet
+    /// probability `rate / packet_len`, so the *flit* injection rate matches
+    /// the spec (self-addressed packets are skipped). For trace-driven
+    /// specs, the scheduled events are emitted verbatim.
     pub fn tick(&mut self, topo: &Topology, t: u64) -> Vec<Packet> {
-        if let TrafficSpec::Trace(trace) = &self.spec {
-            let mut out = Vec::new();
-            for e in trace.events_at(t) {
-                out.push(Packet {
-                    id: PacketId(self.next_id),
-                    src: e.src,
-                    dst: e.dst,
-                    len_flits: e.len_flits,
-                    created_at: t,
-                });
-                self.next_id += 1;
-                self.generated += 1;
-            }
-            return out;
-        }
-        let (pattern, rate) = {
-            let (p, r) = self.spec.at(t).expect("rate-based spec");
-            (p.clone(), r)
-        };
-        let p_packet = rate / self.packet_len as f64;
+        // Disjoint field borrows: the phase stays borrowed from `spec`
+        // across the node loop while `rng`/`burst_on` mutate, so the hot
+        // path never clones the phase (hotspot patterns carry a Vec).
+        let TrafficGenerator {
+            spec,
+            packet_len,
+            rng,
+            next_id,
+            generated,
+            cur_phase,
+            burst_on,
+        } = self;
         let mut out = Vec::new();
+        let (index, phase, offset) = match spec {
+            TrafficSpec::Trace(trace) => {
+                for e in trace.events_at(t) {
+                    out.push(Packet {
+                        id: PacketId(*next_id),
+                        src: e.src,
+                        dst: e.dst,
+                        len_flits: e.len_flits,
+                        created_at: t,
+                    });
+                    *next_id += 1;
+                    *generated += 1;
+                }
+                return out;
+            }
+            TrafficSpec::Workload(w) => w.phase_at(t),
+        };
+        if *cur_phase != Some(index) {
+            *cur_phase = Some(index);
+            // Phase entry (re-)initializes per-node process state. This
+            // consumes RNG draws only for processes that need state (bursty
+            // ON/OFF), so stateless phases — Bernoulli in particular — keep
+            // the exact draw sequence of the pre-workload generator.
+            if let InjectionProcess::Bursty { .. } = phase.process {
+                burst_on.clear();
+                for _ in 0..topo.num_nodes() {
+                    let on = rng.gen::<f64>() < 0.5;
+                    burst_on.push(on);
+                }
+            }
+        }
+        let plen = *packet_len as f64;
         for src in topo.nodes() {
-            if self.rng.gen::<f64>() >= p_packet {
+            let inject = match &phase.process {
+                InjectionProcess::Bernoulli { rate } => rng.gen::<f64>() < rate / plen,
+                InjectionProcess::Bursty { rate_on, switch } => {
+                    if rng.gen::<f64>() < *switch {
+                        burst_on[src.0] = !burst_on[src.0];
+                    }
+                    burst_on[src.0] && rng.gen::<f64>() < rate_on / plen
+                }
+                InjectionProcess::Periodic { rate, period, on } => {
+                    offset % period < *on && rng.gen::<f64>() < rate / plen
+                }
+            };
+            if !inject {
                 continue;
             }
-            let dst = pattern.destination(topo, src, &mut self.rng);
+            let dst = phase.pattern.destination(topo, src, rng);
             if dst == src {
                 continue;
             }
             out.push(Packet {
-                id: PacketId(self.next_id),
+                id: PacketId(*next_id),
                 src,
                 dst,
-                len_flits: self.packet_len,
+                len_flits: *packet_len,
                 created_at: t,
             });
-            self.next_id += 1;
-            self.generated += 1;
+            *next_id += 1;
+            *generated += 1;
         }
         out
     }
@@ -402,10 +892,7 @@ mod tests {
             NodeId(0)
         );
         // And the generator therefore produces no packets.
-        let spec = TrafficSpec::Stationary {
-            pattern: TrafficPattern::Uniform,
-            rate: 0.9,
-        };
+        let spec = TrafficSpec::stationary(TrafficPattern::Uniform, 0.9);
         let mut g = TrafficGenerator::new(&t, spec, 1, 0).unwrap();
         for c in 0..100 {
             assert!(g.tick(&t, c).is_empty());
@@ -538,6 +1025,31 @@ mod tests {
     }
 
     #[test]
+    fn pattern_names_roundtrip() {
+        for (name, pattern) in TrafficPattern::NAMED {
+            assert_eq!(pattern.name(), name);
+            assert_eq!(TrafficPattern::from_name(name), Some(pattern));
+        }
+        // Hotspot labels carry their parameters and parse back (the former
+        // name/from_name asymmetry).
+        let p = TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(5), NodeId(6)],
+            fraction: 0.3,
+        };
+        assert_eq!(p.name(), "hotspot5-6f0.3");
+        assert_eq!(TrafficPattern::from_name(&p.name()), Some(p));
+        let single = TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(0)],
+            fraction: 0.125,
+        };
+        assert_eq!(TrafficPattern::from_name(&single.name()), Some(single));
+        assert_eq!(TrafficPattern::from_name("hotspot"), None);
+        assert_eq!(TrafficPattern::from_name("hotspotf0.5"), None);
+        assert_eq!(TrafficPattern::from_name("hotspot1-xf0.5"), None);
+        assert_eq!(TrafficPattern::from_name("mystery"), None);
+    }
+
+    #[test]
     fn pattern_validation_catches_mismatches() {
         let rect = Topology::mesh(4, 3);
         assert!(TrafficPattern::Transpose.validate(&rect).is_err());
@@ -566,12 +1078,159 @@ mod tests {
     }
 
     #[test]
+    fn process_labels_roundtrip() {
+        let processes = [
+            InjectionProcess::Bernoulli { rate: 0.1 },
+            InjectionProcess::Bernoulli { rate: 0.0 },
+            InjectionProcess::Bursty {
+                rate_on: 0.3,
+                switch: 0.05,
+            },
+            InjectionProcess::Periodic {
+                rate: 0.4,
+                period: 100,
+                on: 20,
+            },
+        ];
+        for p in processes {
+            let label = p.label();
+            assert_eq!(InjectionProcess::parse(&label).unwrap(), p, "{label}");
+        }
+        assert_eq!(
+            InjectionProcess::Bursty {
+                rate_on: 0.3,
+                switch: 0.05
+            }
+            .label(),
+            "burst0.3x0.05"
+        );
+        assert!(InjectionProcess::parse("bern1.5").is_err());
+        assert!(InjectionProcess::parse("burst0.3").is_err());
+        assert!(InjectionProcess::parse("pulse0.3x100").is_err());
+        assert!(InjectionProcess::parse("pulse0.3x100x200").is_err());
+        assert!(InjectionProcess::parse("burst0.3x0").is_err());
+        assert!(InjectionProcess::parse("poisson0.1").is_err());
+    }
+
+    #[test]
+    fn process_mean_rates() {
+        assert_eq!(InjectionProcess::Bernoulli { rate: 0.2 }.mean_rate(), 0.2);
+        assert_eq!(
+            InjectionProcess::Bursty {
+                rate_on: 0.3,
+                switch: 0.05
+            }
+            .mean_rate(),
+            0.15
+        );
+        assert_eq!(
+            InjectionProcess::Periodic {
+                rate: 0.4,
+                period: 100,
+                on: 25
+            }
+            .mean_rate(),
+            0.1
+        );
+    }
+
+    #[test]
+    fn workload_labels_roundtrip() {
+        let spec = WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 5000),
+            WorkloadPhase::new(
+                TrafficPattern::Tornado,
+                InjectionProcess::Bursty {
+                    rate_on: 0.3,
+                    switch: 0.05,
+                },
+                5000,
+            ),
+            WorkloadPhase::new(
+                TrafficPattern::Hotspot {
+                    hotspots: vec![NodeId(0), NodeId(12)],
+                    fraction: 0.3,
+                },
+                InjectionProcess::Periodic {
+                    rate: 0.4,
+                    period: 200,
+                    on: 50,
+                },
+                0,
+            ),
+        ]);
+        let label = spec.label();
+        assert_eq!(
+            label,
+            "ph[uniform:bern0.1@5000|tornado:burst0.3x0.05@5000|\
+             hotspot0-12f0.3:pulse0.4x200x50]"
+        );
+        assert_eq!(WorkloadSpec::parse(&label).unwrap(), spec);
+
+        // Stationary specs have an unbounded single phase and no `@`.
+        let stationary = WorkloadSpec::bernoulli(TrafficPattern::Uniform, 0.1);
+        assert_eq!(stationary.label(), "ph[uniform:bern0.1]");
+        assert_eq!(
+            WorkloadSpec::parse(&stationary.label()).unwrap(),
+            stationary
+        );
+
+        assert!(WorkloadSpec::parse("uniform:bern0.1").is_err());
+        assert!(WorkloadSpec::parse("ph[]").is_err());
+        assert!(WorkloadSpec::parse("ph[uniform]").is_err());
+        assert!(WorkloadSpec::parse("ph[mystery:bern0.1]").is_err());
+        // Unbounded phases are only legal in final position.
+        assert!(WorkloadSpec::parse("ph[uniform:bern0.1|tornado:bern0.2@100]").is_err());
+        // Out-of-range hotspot parameters are caught at parse time, not
+        // deferred to topology validation.
+        assert!(WorkloadSpec::parse("ph[hotspot0f1.5:bern0.1]").is_err());
+        assert!(TrafficPattern::parse("hotspot0f1.5").is_err());
+        assert!(TrafficPattern::parse("hotspot0f0.5").is_ok());
+        assert!(TrafficPattern::parse("mystery").is_err());
+    }
+
+    #[test]
+    fn workload_mean_rate_is_cycle_weighted() {
+        let spec = WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 300),
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.4, 100),
+        ]);
+        assert!((spec.mean_rate() - 0.175).abs() < 1e-12);
+        // A terminal hold dominates the long run.
+        let held = WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.4, 100),
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 0),
+        ]);
+        assert_eq!(held.mean_rate(), 0.1);
+    }
+
+    #[test]
+    fn phase_lookup_cycles_and_holds() {
+        let cyclic = WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 100),
+            WorkloadPhase::bernoulli(TrafficPattern::Transpose, 0.4, 50),
+        ]);
+        assert_eq!(cyclic.phase_at(0).0, 0);
+        assert_eq!(cyclic.phase_at(99).0, 0);
+        assert_eq!(cyclic.phase_at(100).0, 1);
+        assert_eq!(cyclic.phase_at(149).0, 1);
+        assert_eq!(cyclic.phase_at(150).0, 0, "bounded schedules repeat");
+        assert_eq!(cyclic.phase_at(150).2, 0, "offset resets on wrap");
+
+        let held = WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 100),
+            WorkloadPhase::bernoulli(TrafficPattern::Transpose, 0.4, 0),
+        ]);
+        assert_eq!(held.phase_at(99).0, 0);
+        assert_eq!(held.phase_at(100).0, 1);
+        assert_eq!(held.phase_at(1_000_000).0, 1, "terminal phase holds");
+        assert_eq!(held.phase_at(1_000_100).2, 1_000_000);
+    }
+
+    #[test]
     fn generator_matches_requested_rate() {
         let t = Topology::mesh(4, 4);
-        let spec = TrafficSpec::Stationary {
-            pattern: TrafficPattern::Uniform,
-            rate: 0.2,
-        };
+        let spec = TrafficSpec::stationary(TrafficPattern::Uniform, 0.2);
         let mut g = TrafficGenerator::new(&t, spec, 4, 7).unwrap();
         let cycles = 20_000u64;
         let mut flits = 0u64;
@@ -589,63 +1248,194 @@ mod tests {
         );
     }
 
+    /// Measure a generator's mean flit rate and the index of dispersion
+    /// (variance/mean) of offered flits aggregated over 32-cycle blocks —
+    /// the same estimator the stats layer uses, which makes the temporal
+    /// clumping of bursty sources visible.
+    fn offered_stats(spec: TrafficSpec, cycles: u64) -> (f64, f64) {
+        const BLOCK: u64 = 32;
+        let t = Topology::mesh(4, 4);
+        let mut g = TrafficGenerator::new(&t, spec, 4, 7).unwrap();
+        let mut total = 0u64;
+        let mut acc = 0u64;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let blocks = cycles / BLOCK;
+        for c in 0..blocks * BLOCK {
+            let flits: u64 = g.tick(&t, c).iter().map(|p| p.len_flits as u64).sum();
+            total += flits;
+            acc += flits;
+            if (c + 1) % BLOCK == 0 {
+                sum += acc as f64;
+                sum_sq += (acc * acc) as f64;
+                acc = 0;
+            }
+        }
+        let mean = sum / blocks as f64;
+        let var = sum_sq / blocks as f64 - mean * mean;
+        (
+            total as f64 / (blocks as f64 * BLOCK as f64 * 16.0),
+            var / mean,
+        )
+    }
+
+    #[test]
+    fn bursty_process_matches_mean_rate_but_is_burstier() {
+        let bern = TrafficSpec::stationary(TrafficPattern::Uniform, 0.2);
+        let bursty = TrafficSpec::Workload(WorkloadSpec::stationary(
+            TrafficPattern::Uniform,
+            InjectionProcess::Bursty {
+                rate_on: 0.4,
+                switch: 0.02,
+            },
+        ));
+        let (bern_rate, bern_disp) = offered_stats(bern, 40_000);
+        let (bursty_rate, bursty_disp) = offered_stats(bursty, 40_000);
+        assert!(
+            (bursty_rate - 0.2).abs() < 0.02,
+            "bursty mean rate {bursty_rate}, wanted ~0.2"
+        );
+        assert!((bern_rate - 0.2).abs() < 0.01);
+        assert!(
+            bursty_disp > 1.5 * bern_disp,
+            "on/off bursts must clump arrivals: dispersion {bursty_disp} \
+             vs Bernoulli {bern_disp}"
+        );
+    }
+
+    #[test]
+    fn periodic_process_pulses_in_lockstep() {
+        let spec = TrafficSpec::Workload(WorkloadSpec::stationary(
+            TrafficPattern::Uniform,
+            InjectionProcess::Periodic {
+                rate: 0.8,
+                period: 100,
+                on: 25,
+            },
+        ));
+        let t = Topology::mesh(4, 4);
+        let mut g = TrafficGenerator::new(&t, spec, 4, 7).unwrap();
+        let mut on_window = 0u64;
+        let mut off_window = 0u64;
+        for c in 0..10_000 {
+            let n = g.tick(&t, c).len() as u64;
+            if c % 100 < 25 {
+                on_window += n;
+            } else {
+                off_window += n;
+            }
+        }
+        assert_eq!(off_window, 0, "no packets outside the pulse");
+        assert!(on_window > 500, "pulses must carry the traffic");
+    }
+
     #[test]
     fn phase_trace_switches_patterns() {
         let t = Topology::mesh(4, 4);
-        let spec = TrafficSpec::PhaseTrace {
-            phases: vec![
-                Phase {
-                    pattern: TrafficPattern::Uniform,
-                    rate: 0.1,
-                    cycles: 100,
-                },
-                Phase {
-                    pattern: TrafficPattern::Transpose,
-                    rate: 0.4,
-                    cycles: 50,
-                },
-            ],
-        };
+        let spec = WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 100),
+            WorkloadPhase::bernoulli(TrafficPattern::Transpose, 0.4, 50),
+        ]);
         assert!(spec.validate(&t).is_ok());
-        assert_eq!(spec.at(0).unwrap().1, 0.1);
-        assert_eq!(spec.at(99).unwrap().1, 0.1);
-        assert_eq!(spec.at(100).unwrap().1, 0.4);
-        assert_eq!(spec.at(149).unwrap().1, 0.4);
+        let rate_at = |t: u64| spec.phase_at(t).1.process.mean_rate();
+        assert_eq!(rate_at(0), 0.1);
+        assert_eq!(rate_at(99), 0.1);
+        assert_eq!(rate_at(100), 0.4);
+        assert_eq!(rate_at(149), 0.4);
         // Wraps around.
-        assert_eq!(spec.at(150).unwrap().1, 0.1);
+        assert_eq!(rate_at(150), 0.1);
     }
 
     #[test]
     fn invalid_specs_rejected() {
         let t = Topology::mesh(4, 4);
-        assert!(TrafficSpec::Stationary {
-            pattern: TrafficPattern::Uniform,
-            rate: 1.5
-        }
-        .validate(&t)
-        .is_err());
-        assert!(TrafficSpec::PhaseTrace { phases: vec![] }
+        assert!(TrafficSpec::stationary(TrafficPattern::Uniform, 1.5)
             .validate(&t)
             .is_err());
-        assert!(TrafficSpec::PhaseTrace {
-            phases: vec![Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.1,
-                cycles: 0
-            }]
-        }
+        assert!(WorkloadSpec::new(vec![]).validate(&t).is_err());
+        // Zero duration anywhere but last is invalid.
+        assert!(WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 0),
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 10),
+        ])
+        .validate(&t)
+        .is_err());
+        assert!(WorkloadSpec::stationary(
+            TrafficPattern::Uniform,
+            InjectionProcess::Bursty {
+                rate_on: 0.2,
+                switch: 0.0
+            }
+        )
+        .validate(&t)
+        .is_err());
+        assert!(WorkloadSpec::stationary(
+            TrafficPattern::Uniform,
+            InjectionProcess::Periodic {
+                rate: 0.2,
+                period: 10,
+                on: 11
+            }
+        )
         .validate(&t)
         .is_err());
         assert!(TrafficGenerator::new(
             &t,
-            TrafficSpec::Stationary {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.1
-            },
+            TrafficSpec::stationary(TrafficPattern::Uniform, 0.1),
             0,
             1
         )
         .is_err());
+    }
+
+    #[test]
+    fn legacy_spec_json_deserializes_into_workloads() {
+        // Pre-workload serialized forms must keep loading, as the
+        // equivalent Bernoulli workloads.
+        let stationary = r#"{"Stationary":{"pattern":"Uniform","rate":0.1}}"#;
+        let spec: TrafficSpec = serde_json::from_str(stationary).unwrap();
+        assert_eq!(spec, TrafficSpec::stationary(TrafficPattern::Uniform, 0.1));
+
+        let phased = r#"{"PhaseTrace":{"phases":[
+            {"pattern":"Uniform","rate":0.05,"cycles":100},
+            {"pattern":"Transpose","rate":0.2,"cycles":50}]}}"#;
+        let spec: TrafficSpec = serde_json::from_str(phased).unwrap();
+        assert_eq!(
+            spec,
+            TrafficSpec::Workload(WorkloadSpec::new(vec![
+                WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.05, 100),
+                WorkloadPhase::bernoulli(TrafficPattern::Transpose, 0.2, 50),
+            ]))
+        );
+
+        assert!(serde_json::from_str::<TrafficSpec>(r#"{"Mystery":{}}"#).is_err());
+        assert!(serde_json::from_str::<TrafficSpec>(r#"{"Stationary":{"rate":0.1}}"#).is_err());
+    }
+
+    #[test]
+    fn traffic_spec_serializes_roundtrip() {
+        let specs = [
+            TrafficSpec::stationary(TrafficPattern::Uniform, 0.1),
+            TrafficSpec::Workload(WorkloadSpec::new(vec![
+                WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.05, 100),
+                WorkloadPhase::new(
+                    TrafficPattern::Hotspot {
+                        hotspots: vec![NodeId(3)],
+                        fraction: 0.25,
+                    },
+                    InjectionProcess::Bursty {
+                        rate_on: 0.3,
+                        switch: 0.05,
+                    },
+                    0,
+                ),
+            ])),
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: TrafficSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+        }
     }
 
     #[test]
@@ -678,6 +1468,7 @@ mod tests {
         .unwrap();
         let mut g = TrafficGenerator::new(&t, TrafficSpec::Trace(trace), 5, 0).unwrap();
         assert!(g.tick(&t, 0).is_empty());
+        assert_eq!(g.phase_index(0), None, "trace specs have no phases");
         let at1 = g.tick(&t, 1);
         assert_eq!(at1.len(), 2);
         assert_eq!(at1[0].len_flits, 3, "trace length overrides packet_len");
@@ -707,10 +1498,7 @@ mod tests {
     #[test]
     fn packet_ids_are_unique_and_monotone() {
         let t = Topology::mesh(4, 4);
-        let spec = TrafficSpec::Stationary {
-            pattern: TrafficPattern::Uniform,
-            rate: 0.5,
-        };
+        let spec = TrafficSpec::stationary(TrafficPattern::Uniform, 0.5);
         let mut g = TrafficGenerator::new(&t, spec, 1, 3).unwrap();
         let mut last = None;
         for c in 0..100 {

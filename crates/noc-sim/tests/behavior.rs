@@ -2,8 +2,8 @@
 //! power gating under traffic, phase traces, and reconfiguration timing.
 
 use noc_sim::{
-    NodeId, PacketTrace, Phase, PowerModel, RoutingAlgorithm, SimConfig, Simulator, TraceEvent,
-    TrafficPattern, TrafficSpec,
+    InjectionProcess, NodeId, PacketTrace, PowerModel, RoutingAlgorithm, SimConfig, Simulator,
+    TraceEvent, TrafficPattern, TrafficSpec, WorkloadPhase, WorkloadSpec,
 };
 
 fn base() -> SimConfig {
@@ -65,20 +65,10 @@ fn power_gating_saves_energy_without_changing_delivery() {
 /// Phase traces actually modulate the observed injection rate over time.
 #[test]
 fn phase_trace_modulates_load() {
-    let spec = TrafficSpec::PhaseTrace {
-        phases: vec![
-            Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.02,
-                cycles: 1000,
-            },
-            Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.30,
-                cycles: 1000,
-            },
-        ],
-    };
+    let spec = TrafficSpec::Workload(WorkloadSpec::new(vec![
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.02, 1000),
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.30, 1000),
+    ]));
     let mut sim = Simulator::new(base().with_traffic_spec(spec)).unwrap();
     let quiet = sim.run_epoch(1000);
     let burst = sim.run_epoch(1000);
@@ -91,6 +81,39 @@ fn phase_trace_modulates_load() {
     );
     // The trace repeats.
     assert!(quiet2.injection_rate < burst.injection_rate * 0.5);
+}
+
+/// A bursty on/off workload delivers the same mean load as its Bernoulli
+/// equivalent but with visibly clumped arrivals — the observable the RL
+/// state encoder keys on.
+#[test]
+fn bursty_workload_is_observably_burstier() {
+    let run = |spec: TrafficSpec| {
+        let mut sim = Simulator::new(base().with_traffic_spec(spec)).unwrap();
+        sim.run_epoch(6000)
+    };
+    let bern = run(TrafficSpec::stationary(TrafficPattern::Uniform, 0.2));
+    let bursty = run(TrafficSpec::Workload(WorkloadSpec::stationary(
+        TrafficPattern::Uniform,
+        InjectionProcess::Bursty {
+            rate_on: 0.4,
+            switch: 0.01,
+        },
+    )));
+    // Same long-run mean (rate_on/2 = 0.2) within sampling noise...
+    assert!(
+        (bursty.injection_rate - bern.injection_rate).abs() < 0.05,
+        "bursty mean {} should track bernoulli {}",
+        bursty.injection_rate,
+        bern.injection_rate
+    );
+    // ...but a much larger index of dispersion.
+    assert!(
+        bursty.injection_burstiness > 1.5 * bern.injection_burstiness,
+        "bursty dispersion {} vs bernoulli {}",
+        bursty.injection_burstiness,
+        bern.injection_burstiness
+    );
 }
 
 /// Trace-driven traffic delivers exactly the scheduled packets, with the
@@ -170,11 +193,8 @@ fn routing_switch_mid_flight_loses_nothing() {
     sim.set_routing(RoutingAlgorithm::NegativeFirst).unwrap();
     sim.run(500);
     // Stop and drain.
-    sim.set_traffic(TrafficSpec::Stationary {
-        pattern: TrafficPattern::Uniform,
-        rate: 0.0,
-    })
-    .unwrap();
+    sim.set_traffic(TrafficSpec::stationary(TrafficPattern::Uniform, 0.0))
+        .unwrap();
     for _ in 0..100 {
         if sim.network().in_flight() == 0 {
             break;

@@ -50,11 +50,8 @@ fn assert_delivers_or_drops(mut cfg: SimConfig, what: &str) {
     let mut sim = Simulator::new(cfg).expect("valid faulted config");
     sim.run(2_000);
     // Stop offering new packets, then drain within a hard budget.
-    sim.set_traffic(TrafficSpec::Stationary {
-        pattern: TrafficPattern::Uniform,
-        rate: 0.0,
-    })
-    .expect("valid spec");
+    sim.set_traffic(TrafficSpec::stationary(TrafficPattern::Uniform, 0.0))
+        .expect("valid spec");
     let mut budget = 4_000u64;
     while sim.network().in_flight() > 0 {
         assert!(budget > 0, "{what}: network wedged with flits in flight");

@@ -5,10 +5,58 @@ use noc_sim::dvfs::ClockGate;
 use noc_sim::flit::PacketId;
 use noc_sim::routing::walk_route;
 use noc_sim::{
-    NodeId, Packet, RoutingAlgorithm, SimConfig, Simulator, StatsCollector, Topology, TopologyKind,
-    TrafficPattern,
+    InjectionProcess, NodeId, Packet, RoutingAlgorithm, SimConfig, Simulator, StatsCollector,
+    Topology, TopologyKind, TrafficPattern, WorkloadPhase, WorkloadSpec,
 };
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw an arbitrary *valid* workload spec: 1–4 phases over every pattern
+/// flavor (hotspot parameters included) and every injection process, with
+/// full-range `f64` parameters and an optional unbounded final phase.
+fn arb_workload(seed: u64) -> WorkloadSpec {
+    let mut r = StdRng::seed_from_u64(seed);
+    let n = r.gen_range(1usize..5);
+    let phases = (0..n)
+        .map(|i| {
+            let pattern = if r.gen_range(0usize..8) < 7 {
+                TrafficPattern::NAMED[r.gen_range(0usize..7)].1.clone()
+            } else {
+                TrafficPattern::Hotspot {
+                    hotspots: (0..r.gen_range(1usize..4))
+                        .map(|_| NodeId(r.gen_range(0usize..64)))
+                        .collect(),
+                    fraction: r.gen_range(0.0f64..=1.0),
+                }
+            };
+            let process = match r.gen_range(0usize..3) {
+                0 => InjectionProcess::Bernoulli {
+                    rate: r.gen_range(0.0f64..=1.0),
+                },
+                1 => InjectionProcess::Bursty {
+                    rate_on: r.gen_range(0.0f64..=1.0),
+                    switch: r.gen_range(0.001f64..=1.0),
+                },
+                _ => {
+                    let period = r.gen_range(1u64..10_000);
+                    InjectionProcess::Periodic {
+                        rate: r.gen_range(0.0f64..=1.0),
+                        period,
+                        on: r.gen_range(1u64..=period),
+                    }
+                }
+            };
+            let cycles = if i + 1 == n && r.gen::<bool>() {
+                0 // unbounded terminal hold
+            } else {
+                r.gen_range(1u64..100_000)
+            };
+            WorkloadPhase::new(pattern, process, cycles)
+        })
+        .collect();
+    WorkloadSpec::new(phases)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -95,6 +143,39 @@ proptest! {
         prop_assert_eq!(stats.ejected_flits, total * plen as u64);
     }
 
+    /// The canonical workload grammar is lossless: spec → label → parse is
+    /// the identity (and hence label → parse → label too), for arbitrary
+    /// valid specs with full-range `f64` parameters. This is the guarantee
+    /// that sweep labels, CLI flags, and report keys cannot drift from the
+    /// specs they name.
+    #[test]
+    fn workload_label_grammar_roundtrips(seed in 0u64..1_000_000) {
+        let spec = arb_workload(seed);
+        prop_assert!(spec.shape_check().is_ok(), "generator must emit valid specs");
+        let label = spec.label();
+        let parsed = WorkloadSpec::parse(&label)
+            .unwrap_or_else(|e| panic!("`{label}` failed to parse: {e}"));
+        prop_assert_eq!(&parsed, &spec, "parse must invert label: {}", label);
+        prop_assert_eq!(parsed.label(), label);
+    }
+
+    /// Workload specs survive a serde JSON round-trip exactly, including the
+    /// legacy-compatible `TrafficSpec` wrapper.
+    #[test]
+    fn workload_spec_json_roundtrips(seed in 0u64..1_000_000) {
+        let spec = arb_workload(seed);
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let back: WorkloadSpec = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("{json}: {e}"));
+        prop_assert_eq!(&back, &spec);
+
+        let wrapped = noc_sim::TrafficSpec::Workload(spec);
+        let json = serde_json::to_string(&wrapped).expect("traffic spec serializes");
+        let back: noc_sim::TrafficSpec = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("{json}: {e}"));
+        prop_assert_eq!(back, wrapped);
+    }
+
     /// Region occupancy always sums to total occupancy, and never exceeds
     /// capacity, under random load.
     #[test]
@@ -130,10 +211,10 @@ fn packets_complete_exactly_once() {
     let mut sim = Simulator::new(cfg).expect("valid config");
     sim.run(3000);
     // Stop traffic and drain so every in-flight packet finishes.
-    sim.set_traffic(noc_sim::TrafficSpec::Stationary {
-        pattern: TrafficPattern::Uniform,
-        rate: 0.0,
-    })
+    sim.set_traffic(noc_sim::TrafficSpec::stationary(
+        TrafficPattern::Uniform,
+        0.0,
+    ))
     .expect("valid spec");
     for _ in 0..200 {
         if sim.network().in_flight() == 0 {

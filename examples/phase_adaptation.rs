@@ -5,34 +5,26 @@
 //! Run with: `cargo run --release --example phase_adaptation`
 
 use noc_selfconf::{run_controller, StaticController, ThresholdController};
-use noc_sim::{Phase, SimConfig, SimError, Simulator, TrafficPattern, TrafficSpec};
+use noc_sim::{
+    InjectionProcess, SimConfig, SimError, Simulator, TrafficPattern, TrafficSpec, WorkloadPhase,
+    WorkloadSpec,
+};
 
 fn main() -> Result<(), SimError> {
-    // Idle → burst → transpose phase → near-idle, repeating.
-    let trace = TrafficSpec::PhaseTrace {
-        phases: vec![
-            Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.02,
-                cycles: 3000,
+    // Idle → burst → bursty transpose phase → near-idle, repeating.
+    let trace = TrafficSpec::Workload(WorkloadSpec::new(vec![
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.02, 3000),
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.25, 3000),
+        WorkloadPhase::new(
+            TrafficPattern::Transpose,
+            InjectionProcess::Bursty {
+                rate_on: 0.24,
+                switch: 0.02,
             },
-            Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.25,
-                cycles: 3000,
-            },
-            Phase {
-                pattern: TrafficPattern::Transpose,
-                rate: 0.12,
-                cycles: 3000,
-            },
-            Phase {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.01,
-                cycles: 3000,
-            },
-        ],
-    };
+            3000,
+        ),
+        WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.01, 3000),
+    ]));
     let config = SimConfig::default().with_traffic_spec(trace);
     let caps = Simulator::new(config.clone())?.network().region_capacity();
     let nodes = config.width * config.height;

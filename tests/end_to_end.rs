@@ -26,14 +26,8 @@ fn tiny_env(sim: SimConfig) -> NocEnvConfig {
         epochs_per_episode: 6,
         reward: RewardConfig::default(),
         traffic_menu: vec![
-            TrafficSpec::Stationary {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.05,
-            },
-            TrafficSpec::Stationary {
-                pattern: TrafficPattern::Uniform,
-                rate: 0.20,
-            },
+            TrafficSpec::stationary(TrafficPattern::Uniform, 0.05),
+            TrafficSpec::stationary(TrafficPattern::Uniform, 0.20),
         ],
         seed: 5,
     }
@@ -108,11 +102,8 @@ fn flit_conservation_under_reconfiguration() {
         );
     }
     // Stop traffic and drain completely.
-    sim.set_traffic(TrafficSpec::Stationary {
-        pattern: TrafficPattern::Uniform,
-        rate: 0.0,
-    })
-    .expect("valid spec");
+    sim.set_traffic(TrafficSpec::stationary(TrafficPattern::Uniform, 0.0))
+        .expect("valid spec");
     sim.set_all_levels(3).expect("level valid");
     for _ in 0..200 {
         if sim.network().in_flight() == 0 {
@@ -147,7 +138,7 @@ fn pipeline_is_deterministic() {
         )
         .expect("training runs");
         let returns: Vec<f64> = policy.curve.iter().map(|e| e.total_reward).collect();
-        let q = policy.agent.q_values(&[0.5; 16]);
+        let q = policy.agent.q_values(&[0.5; 17]);
         (returns, q)
     };
     assert_eq!(run_once(), run_once());

@@ -97,10 +97,7 @@ proptest! {
             .with_seed(seed);
         let mut sim = Simulator::new(cfg).expect("valid config");
         sim.run(500);
-        sim.set_traffic(TrafficSpec::Stationary {
-            pattern: TrafficPattern::Uniform,
-            rate: 0.0,
-        }).expect("valid spec");
+        sim.set_traffic(TrafficSpec::stationary(TrafficPattern::Uniform, 0.0)).expect("valid spec");
         let mut drained = false;
         for _ in 0..100 {
             sim.run(100);
