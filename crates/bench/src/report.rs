@@ -5,7 +5,8 @@
 //! This module provides it:
 //!
 //! * [`run_suite`] executes a fixed set of timed workloads (cycle-level
-//!   simulation on several mesh/pattern points, batched DQN training steps,
+//!   simulation on several mesh/pattern points plus torus and faulted-fabric
+//!   scenarios, batched DQN training steps,
 //!   full `NocEnv` control epochs, and a parallel sweep-grid fan-out),
 //!   repeats each one `repeats` times, and records the **median** and
 //!   **interquartile range** of the wall-clock cost plus derived rates
@@ -22,8 +23,8 @@
 
 use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
 use noc_sim::{
-    FaultPlan, InjectionProcess, RoutingAlgorithm, SimConfig, Simulator, Topology, TrafficPattern,
-    WorkloadSpec,
+    FaultPlan, InjectionProcess, RoutingAlgorithm, SimConfig, Simulator, Topology, TopologyKind,
+    TrafficPattern, WorkloadSpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -297,6 +298,69 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
             &mut workloads,
             &name,
             params,
+            "cycles",
+            config.repeats,
+            measured,
+        );
+    }
+
+    // --- Torus fabric: the wrap-aware scenario family (dateline VC
+    // partitioning, wrap-link traversal, torus routing) at the same size
+    // and load as the 8x8 mesh point, so mesh-vs-torus cost stays visible
+    // in the perf history. One dimension-ordered point and one
+    // minimal-adaptive point under link faults (the adaptive fault path).
+    {
+        let cfg = SimConfig::default()
+            .with_topology(TopologyKind::Torus)
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .with_traffic(TrafficPattern::Uniform, 0.10);
+        let measured = timed(config.repeats, || {
+            let mut sim = Simulator::new(cfg.clone()).expect("valid bench config");
+            sim.run(config.sim_warmup);
+            let flits0 = sim.stats().ejected_flits;
+            let t0 = Instant::now();
+            sim.run(config.sim_cycles);
+            let dt = t0.elapsed().as_nanos() as u64;
+            let flits = sim.stats().ejected_flits - flits0;
+            (dt, config.sim_cycles, Some(flits))
+        });
+        push_result(
+            &mut workloads,
+            "sim/8x8/torus/uniform/r0.10",
+            format!(
+                "8x8 torus, torus-DOR routing, uniform traffic at 0.1 \
+                 flits/node/cycle, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        let plan = FaultPlan::random_links(&Topology::torus(8, 8), 2, 0x70F5, 0, None);
+        let cfg = SimConfig::default()
+            .with_topology(TopologyKind::Torus)
+            .with_routing(RoutingAlgorithm::TorusMinAdaptive)
+            .with_traffic(TrafficPattern::Uniform, 0.10)
+            .with_faults(plan);
+        let measured = timed(config.repeats, || {
+            let mut sim = Simulator::new(cfg.clone()).expect("valid bench config");
+            sim.run(config.sim_warmup);
+            let flits0 = sim.stats().ejected_flits;
+            let t0 = Instant::now();
+            sim.run(config.sim_cycles);
+            let dt = t0.elapsed().as_nanos() as u64;
+            let flits = sim.stats().ejected_flits - flits0;
+            (dt, config.sim_cycles, Some(flits))
+        });
+        push_result(
+            &mut workloads,
+            "sim/8x8/torus/uniform/r0.10/faults2",
+            format!(
+                "8x8 torus, minimal-adaptive routing, 2 permanent link faults, \
+                 uniform traffic at 0.1 flits/node/cycle, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
             "cycles",
             config.repeats,
             measured,
@@ -695,7 +759,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 11);
+        assert_eq!(report.workloads.len(), 13);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);

@@ -8,7 +8,8 @@ use noc_selfconf::{
     ThresholdController,
 };
 use noc_sim::{
-    PacketTrace, RoutingAlgorithm, SimConfig, Simulator, TrafficPattern, TrafficSpec, WorkloadSpec,
+    FaultPlan, PacketTrace, RoutingAlgorithm, RunSummary, SimConfig, Simulator, TopologyKind,
+    TrafficPattern, TrafficSpec, WorkloadSpec,
 };
 use rl::{DqnAgent, DqnConfig, Schedule, TrainConfig};
 use serde::{Deserialize, Serialize};
@@ -59,11 +60,8 @@ pub fn load_config(path: Option<&str>) -> Result<SimConfig, CliError> {
     }
 }
 
-/// `simulate`: one warmup/measure/drain run, human-readable report.
-pub fn cmd_simulate(config_path: Option<&str>) -> Result<(), CliError> {
-    let cfg = load_config(config_path)?;
-    let mut sim = Simulator::new(cfg)?;
-    let run = sim.run_classic(2000, 8000, 8000);
+/// Print the human-readable report of a finished classic run.
+fn print_run_summary(sim: &Simulator, run: &RunSummary) {
     println!("cycles measured      : {}", run.window.cycles);
     println!(
         "avg packet latency   : {:.2} cycles",
@@ -100,7 +98,7 @@ pub fn cmd_simulate(config_path: Option<&str>) -> Result<(), CliError> {
     );
     println!(
         "p95 latency (bucket) : {} cycles",
-        sim.stats().latency_percentile(0.95)
+        sim.stats().latency_percentile_display(0.95)
     );
     if run.window.dropped_packets > 0 || run.window.avg_dead_links > 0.0 {
         println!(
@@ -116,6 +114,14 @@ pub fn cmd_simulate(config_path: Option<&str>) -> Result<(), CliError> {
     if !map.is_empty() {
         println!("link utilization (per router):\n{map}");
     }
+}
+
+/// `simulate`: one warmup/measure/drain run, human-readable report.
+pub fn cmd_simulate(config_path: Option<&str>) -> Result<(), CliError> {
+    let cfg = load_config(config_path)?;
+    let mut sim = Simulator::new(cfg)?;
+    let run = sim.run_classic(2000, 8000, 8000);
+    print_run_summary(&sim, &run);
     Ok(())
 }
 
@@ -173,6 +179,10 @@ fn parse_routing(s: &str) -> Result<RoutingAlgorithm, CliError> {
     parse_named(s, "routing", &RoutingAlgorithm::NAMED)
 }
 
+fn parse_topology(s: &str) -> Result<TopologyKind, CliError> {
+    parse_named(s, "topology", &TopologyKind::NAMED)
+}
+
 fn parse_size(s: &str) -> Result<(usize, usize), CliError> {
     let (w, h) = s
         .split_once('x')
@@ -225,8 +235,9 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         serial: false,
         out: None,
     };
-    const VALUE_FLAGS: [&str; 13] = [
+    const VALUE_FLAGS: [&str; 14] = [
         "--sizes",
+        "--topologies",
         "--patterns",
         "--rates",
         "--routings",
@@ -259,6 +270,9 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
             .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
         match flag.as_str() {
             "--sizes" => opts.grid.sizes = parse_list(value, "sizes", parse_size)?,
+            "--topologies" => {
+                opts.grid.topologies = parse_list(value, "topologies", parse_topology)?;
+            }
             "--patterns" => {
                 opts.grid.patterns = parse_list(value, "patterns", parse_pattern)?;
             }
@@ -325,10 +339,13 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
 }
 
 /// `sweep-grid`: run a scenario grid in parallel and emit one aggregated
-/// JSON report (stdout, or `--out <file>`). The `--faults` axis sweeps
-/// seeded-random permanent link-fault counts (0 = pristine fabric); the
-/// `--workloads` axis adds explicit workload specs (canonical `ph[…]`
-/// labels) alongside the `--patterns` × `--rates` points.
+/// JSON report (stdout, or `--out <file>`). The `--topologies` axis sweeps
+/// topology kinds (`mesh,torus` — each routing is mapped to its counterpart
+/// on the other family, and torus scenarios carry a `/t:torus` label
+/// segment); the `--faults` axis sweeps seeded-random permanent link-fault
+/// counts (0 = pristine fabric); the `--workloads` axis adds explicit
+/// workload specs (canonical `ph[…]` labels) alongside the `--patterns` ×
+/// `--rates` points.
 ///
 /// # Errors
 /// Returns an error for bad flags, invalid configurations, or IO failures.
@@ -368,6 +385,178 @@ pub fn cmd_sweep_grid(args: &[String]) -> Result<(), CliError> {
         }
         None => println!("{json}"),
     }
+    Ok(())
+}
+
+/// Parsed `run` flags: a fully resolved configuration plus window budgets.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// The simulator configuration the run uses.
+    pub config: SimConfig,
+    /// Warmup cycles before the measurement window.
+    pub warmup: u64,
+    /// Measurement-window cycles.
+    pub measure: u64,
+    /// Maximum drain cycles after the window.
+    pub drain: u64,
+}
+
+/// Parse `run` flags into a resolved configuration.
+///
+/// Starts from the default `SimConfig` (or `--config <file>`), then applies
+/// the scenario flags. The routing is mapped through
+/// [`RoutingAlgorithm::for_topology`] at the end, so `--topology torus`
+/// works with the default (or any mesh) routing: `xy` runs as `torusdor`,
+/// the adaptive mesh algorithms as `torusmin` — and vice versa on meshes.
+///
+/// # Errors
+/// Returns a usage error for unknown flags, malformed values, or the
+/// `--workload` vs `--pattern`/`--rate` conflict.
+pub fn parse_run_args(args: &[String]) -> Result<RunOptions, CliError> {
+    const VALUE_FLAGS: [&str; 12] = [
+        "--config",
+        "--topology",
+        "--size",
+        "--routing",
+        "--pattern",
+        "--rate",
+        "--workload",
+        "--faults",
+        "--seed",
+        "--warmup",
+        "--measure",
+        "--drain",
+    ];
+    // Collect (flag, value) pairs first so --config loads before overrides
+    // regardless of argument order.
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !VALUE_FLAGS.contains(&flag.as_str()) {
+            return Err(CliError(format!(
+                "unknown run flag `{flag}` (expected {})",
+                VALUE_FLAGS.join(", ")
+            )));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+        pairs.push((flag.as_str(), value.as_str()));
+    }
+    let mut config = match pairs.iter().find(|(f, _)| *f == "--config") {
+        Some((_, path)) => load_config(Some(path))?,
+        None => SimConfig::default(),
+    };
+    let (mut warmup, mut measure, mut drain) = (1000u64, 4000u64, 4000u64);
+    let mut pattern: Option<TrafficPattern> = None;
+    let mut rate: Option<f64> = None;
+    let mut workload: Option<WorkloadSpec> = None;
+    let mut faults: Option<usize> = None;
+    for (flag, value) in pairs {
+        match flag {
+            "--config" => {} // already applied
+            "--topology" => config = config.with_topology(parse_topology(value)?),
+            "--size" => {
+                let (w, h) = parse_size(value)?;
+                config = config.with_size(w, h);
+            }
+            "--routing" => config = config.with_routing(parse_routing(value)?),
+            "--pattern" => pattern = Some(parse_pattern(value)?),
+            "--rate" => {
+                rate = Some(
+                    value
+                        .parse::<f64>()
+                        .map_err(|e| CliError(format!("bad --rate `{value}`: {e}")))?,
+                );
+            }
+            "--workload" => workload = Some(parse_workload(value)?),
+            "--faults" => {
+                faults = Some(
+                    value
+                        .parse()
+                        .map_err(|e| CliError(format!("bad --faults `{value}`: {e}")))?,
+                );
+            }
+            "--seed" | "--warmup" | "--measure" | "--drain" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad {flag} `{value}`: {e}")))?;
+                match flag {
+                    "--seed" => config = config.with_seed(n),
+                    "--warmup" => warmup = n,
+                    "--measure" => measure = n,
+                    _ => drain = n,
+                }
+            }
+            _ => unreachable!("flag membership checked above"),
+        }
+    }
+    if workload.is_some() && (pattern.is_some() || rate.is_some()) {
+        return Err(CliError(
+            "--workload conflicts with --pattern/--rate: pick one traffic form".into(),
+        ));
+    }
+    if let Some(w) = workload {
+        config = config.with_workload(w);
+    } else if pattern.is_some() || rate.is_some() {
+        config = config.with_traffic(
+            pattern.unwrap_or(TrafficPattern::Uniform),
+            rate.unwrap_or(0.10),
+        );
+    }
+    config.routing = config.routing.for_topology(config.kind);
+    // An explicit --faults always overrides the base config's plan:
+    // `--faults 0` clears a plan inherited from --config instead of
+    // silently running a faulted fabric.
+    match faults {
+        Some(0) => config = config.with_faults(FaultPlan::empty()),
+        Some(n) => {
+            // Seeded off the run's own seed, like the sweep engine's
+            // fault axis.
+            let plan =
+                FaultPlan::random_links(&config.topology(), n, config.seed ^ 0xFA17, 0, None);
+            config = config.with_faults(plan);
+        }
+        None => {}
+    }
+    config.validate()?;
+    Ok(RunOptions {
+        config,
+        warmup,
+        measure,
+        drain,
+    })
+}
+
+/// `run`: one classic warmup/measure/drain simulation configured inline
+/// (`--topology torus --size 8x8 --rate 0.12 ...`) instead of through a
+/// config file — the quickest way to put a scenario, mesh or torus, on the
+/// screen.
+///
+/// # Errors
+/// Returns an error for bad flags or an invalid resolved configuration.
+pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_run_args(args)?;
+    let cfg = &opts.config;
+    eprintln!(
+        "run: {}x{} {}, {} routing, {} traffic, {} fault event(s); \
+         {} warmup + {} measure + {} drain cycles",
+        cfg.width,
+        cfg.height,
+        cfg.kind.name(),
+        cfg.routing.name(),
+        match &cfg.traffic {
+            TrafficSpec::Workload(w) => w.label(),
+            TrafficSpec::Trace(_) => "trace".to_string(),
+        },
+        cfg.fault_plan.len(),
+        opts.warmup,
+        opts.measure,
+        opts.drain
+    );
+    let mut sim = Simulator::new(opts.config.clone())?;
+    let run = sim.run_classic(opts.warmup, opts.measure, opts.drain);
+    print_run_summary(&sim, &run);
     Ok(())
 }
 
@@ -736,7 +925,7 @@ pub fn cmd_replay(trace_path: &str, repeat_every: Option<u64>) -> Result<(), Cli
     );
     println!(
         "p95 latency (bucket) : {} cycles",
-        s.latency_percentile(0.95)
+        s.latency_percentile_display(0.95)
     );
     println!("energy               : {:.1} nJ", s.energy.total_pj() / 1e3);
     println!("cycles simulated     : {}", sim.cycle());
@@ -910,6 +1099,136 @@ mod tests {
         assert!(cmd_workload(&strings(&["parse", "ph[oops]"])).is_err());
         assert!(cmd_workload(&strings(&["frobnicate", &label])).is_err());
         assert!(cmd_workload(&strings(&["parse", &label, "extra"])).is_err());
+    }
+
+    #[test]
+    fn sweep_grid_topologies_flag_parses() {
+        let opts = parse_sweep_grid_args(&strings(&[
+            "--topologies",
+            "mesh,torus",
+            "--routings",
+            "xy",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.grid.topologies,
+            vec![TopologyKind::Mesh, TopologyKind::Torus]
+        );
+        // 2 sizes x 2 topologies x (2 patterns x 2 rates) x 1 routing each.
+        assert_eq!(opts.grid.len(), 16);
+        assert!(parse_sweep_grid_args(&strings(&["--topologies", "ring"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--topologies", ""])).is_err());
+        // Old invocations keep the mesh-only default.
+        let opts = parse_sweep_grid_args(&[]).unwrap();
+        assert_eq!(opts.grid.topologies, vec![TopologyKind::Mesh]);
+    }
+
+    #[test]
+    fn run_args_resolve_topology_and_routing() {
+        // Defaults: the stock 8x8 mesh config.
+        let opts = parse_run_args(&[]).unwrap();
+        assert_eq!(opts.config, SimConfig::default());
+        assert_eq!((opts.warmup, opts.measure, opts.drain), (1000, 4000, 4000));
+        // --topology torus maps the default xy routing to torusdor.
+        let opts = parse_run_args(&strings(&["--topology", "torus"])).unwrap();
+        assert_eq!(opts.config.kind, TopologyKind::Torus);
+        assert_eq!(opts.config.routing, RoutingAlgorithm::TorusDor);
+        assert!(opts.config.validate().is_ok());
+        // An adaptive mesh routing maps to the adaptive torus algorithm.
+        let opts = parse_run_args(&strings(&[
+            "--topology",
+            "torus",
+            "--routing",
+            "oddeven",
+            "--size",
+            "4x4",
+            "--rate",
+            "0.12",
+            "--faults",
+            "2",
+            "--seed",
+            "9",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
+            "--drain",
+            "30",
+        ]))
+        .unwrap();
+        assert_eq!(opts.config.routing, RoutingAlgorithm::TorusMinAdaptive);
+        assert_eq!((opts.config.width, opts.config.height), (4, 4));
+        assert_eq!(opts.config.seed, 9);
+        assert_eq!(opts.config.fault_plan.len(), 2);
+        assert!(opts
+            .config
+            .fault_plan
+            .validate(&opts.config.topology())
+            .is_ok());
+        assert_eq!((opts.warmup, opts.measure, opts.drain), (10, 20, 30));
+        // An explicit --faults 0 clears a fault plan inherited from
+        // --config instead of silently running the faulted fabric.
+        let dir = std::env::temp_dir().join("noc_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let faulted_path = dir.join("faulted_base.json");
+        let faulted = SimConfig::default().with_faults(noc_sim::FaultPlan::random_links(
+            &SimConfig::default().topology(),
+            3,
+            1,
+            0,
+            None,
+        ));
+        fs::write(&faulted_path, serde_json::to_string(&faulted).unwrap()).unwrap();
+        let base = faulted_path.to_str().unwrap().to_string();
+        let opts = parse_run_args(&strings(&["--config", &base])).unwrap();
+        assert_eq!(opts.config.fault_plan.len(), 3, "config plan inherited");
+        let opts = parse_run_args(&strings(&["--config", &base, "--faults", "0"])).unwrap();
+        assert!(
+            opts.config.fault_plan.is_empty(),
+            "--faults 0 must clear it"
+        );
+        let opts = parse_run_args(&strings(&["--config", &base, "--faults", "1"])).unwrap();
+        assert_eq!(opts.config.fault_plan.len(), 1, "--faults N must override");
+        // Torus routing on a mesh maps back to its mesh counterpart.
+        let opts = parse_run_args(&strings(&["--routing", "torusmin"])).unwrap();
+        assert_eq!(opts.config.routing, RoutingAlgorithm::OddEven);
+        // Workloads are accepted, and conflict with --pattern/--rate.
+        let opts = parse_run_args(&strings(&["--workload", "ph[uniform:burst0.3x0.05]"])).unwrap();
+        assert!(matches!(opts.config.traffic, TrafficSpec::Workload(_)));
+        assert!(parse_run_args(&strings(&[
+            "--workload",
+            "ph[uniform:bern0.1]",
+            "--rate",
+            "0.2"
+        ]))
+        .is_err());
+        // Bad input is diagnosed.
+        assert!(parse_run_args(&strings(&["--topology", "ring"])).is_err());
+        assert!(parse_run_args(&strings(&["--bogus", "1"])).is_err());
+        assert!(parse_run_args(&strings(&["--rate"])).is_err());
+    }
+
+    #[test]
+    fn run_end_to_end_on_a_faulted_torus() {
+        cmd_run(&strings(&[
+            "--topology",
+            "torus",
+            "--size",
+            "4x4",
+            "--routing",
+            "torusmin",
+            "--rate",
+            "0.08",
+            "--faults",
+            "1",
+            "--warmup",
+            "50",
+            "--measure",
+            "150",
+            "--drain",
+            "150",
+        ]))
+        .expect("faulted torus run completes");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! noc-cli simulate [config.json]        run one warmup/measure/drain simulation
+//! noc-cli run [flags]                   one simulation configured inline
+//!                                       (--topology mesh|torus, --size, ...)
 //! noc-cli sweep <rate0> <rate1> <n>     latency-throughput sweep at n rates
 //! noc-cli sweep-grid [flags]            parallel scenario grid -> one JSON report
 //! noc-cli workload <parse|describe> <l> validate/describe a workload label
@@ -15,7 +17,7 @@
 //! Argument parsing is intentionally dependency-free.
 
 use noc_cli::{
-    cmd_bench, cmd_default_config, cmd_evaluate, cmd_replay, cmd_simulate, cmd_sweep,
+    cmd_bench, cmd_default_config, cmd_evaluate, cmd_replay, cmd_run, cmd_simulate, cmd_sweep,
     cmd_sweep_grid, cmd_train, cmd_workload, CliError,
 };
 use std::process::ExitCode;
@@ -55,16 +57,22 @@ fn main() -> ExitCode {
             None => Err(CliError("replay requires a trace path".into())),
         },
         Some("default-config") => cmd_default_config(),
+        Some("run") => cmd_run(&args[1..]),
         Some("sweep-grid") => cmd_sweep_grid(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: noc-cli <simulate [config.json] | sweep <r0> <r1> <n> | \
+                "usage: noc-cli <simulate [config.json] | run [flags] | \
+                 sweep <r0> <r1> <n> | \
                  sweep-grid [flags] | workload <parse|describe> <label> | bench [flags] | \
                  train <out.json> [episodes] | evaluate <policy.json> | \
                  replay <trace.csv> [period] | default-config>\n\
-                 sweep-grid flags: --sizes 4x4,8x8  --patterns uniform,transpose  \
+                 run flags: --topology mesh|torus  --size 8x8  --routing xy  \
+                 --pattern uniform  --rate 0.10  --workload 'ph[...]'  --faults N  \
+                 --seed N  --warmup N  --measure N  --drain N  --config base.json\n\
+                 sweep-grid flags: --sizes 4x4,8x8  --topologies mesh,torus  \
+                 --patterns uniform,transpose  \
                  --rates 0.05,0.10  --routings xy,oddeven  --levels none,0,3  \
                  --faults 0,1,2  --workloads 'ph[uniform:burst0.3x0.05]'  \
                  --warmup N  --measure N  --drain N  --seed N  \

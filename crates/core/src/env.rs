@@ -173,6 +173,20 @@ impl NocEnv {
                 }
             }
         }
+        // A routing-controlling space must only offer algorithms the
+        // simulator's topology supports — otherwise `apply` would fail mid-
+        // episode the first time the agent picks the bad arm.
+        if let ActionSpace::LevelAndRouting { routings, .. } = &config.action_space {
+            for &r in routings {
+                if !r.supports(config.sim.kind) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "action space offers routing {r:?}, unsupported on the \
+                         {:?} topology (use RoutingAlgorithm::for_topology)",
+                        config.sim.kind
+                    )));
+                }
+            }
+        }
         let region_nodes = (0..regions)
             .map(|r| sim.network().regions().nodes_in(topo, r).len())
             .collect();
@@ -485,6 +499,62 @@ mod tests {
             hi > 4.0 * lo,
             "menu should produce distinct loads: {rates:?}"
         );
+    }
+
+    /// The self-configuration environment runs on tori: episodes reset,
+    /// step, observe, and a routing-controlling action space can switch
+    /// between the torus algorithms mid-episode.
+    #[test]
+    fn env_runs_on_torus() {
+        use noc_sim::{RoutingAlgorithm, TopologyKind};
+        let sim = SimConfig::default()
+            .with_size(4, 4)
+            .with_topology(TopologyKind::Torus)
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .with_traffic(TrafficPattern::Uniform, 0.1)
+            .with_regions(2, 2);
+        let mut env = NocEnv::new(NocEnvConfig {
+            action_space: ActionSpace::LevelAndRouting {
+                num_levels: 4,
+                routings: vec![
+                    RoutingAlgorithm::TorusDor,
+                    RoutingAlgorithm::TorusMinAdaptive,
+                ],
+            },
+            sim: sim.clone(),
+            epoch_cycles: 200,
+            epochs_per_episode: 3,
+            reward: RewardConfig::default(),
+            traffic_menu: vec![],
+            seed: 3,
+        })
+        .unwrap();
+        let s0 = env.reset();
+        assert_eq!(s0.len(), env.state_dim());
+        // Action 3 = level 1, second routing (the adaptive torus algorithm).
+        let st = env.step(3);
+        assert!(st.reward.is_finite());
+        assert_eq!(
+            env.simulator().network().routing(),
+            RoutingAlgorithm::TorusMinAdaptive
+        );
+        assert!(env.last_metrics().unwrap().injected_flits > 0);
+
+        // Mesh-only routings in the action space are rejected up front on a
+        // torus simulator, not mid-episode.
+        let bad = NocEnvConfig {
+            action_space: ActionSpace::LevelAndRouting {
+                num_levels: 4,
+                routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
+            },
+            sim,
+            epoch_cycles: 200,
+            epochs_per_episode: 3,
+            reward: RewardConfig::default(),
+            traffic_menu: vec![],
+            seed: 3,
+        };
+        assert!(NocEnv::new(bad).is_err());
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! The ROADMAP's scale goal needs one command that answers "how does the
 //! NoC behave across *many* operating points?" — this module provides it.
-//! A [`SweepGrid`] is the cartesian product of topology sizes, traffic
-//! points, routing algorithms, (optionally) pinned DVFS levels, and
+//! A [`SweepGrid`] is the cartesian product of grid sizes, topology kinds
+//! (mesh and torus — each routing is mapped to its counterpart on the
+//! other family, so one `routings` axis covers both), traffic points,
+//! routing algorithms, (optionally) pinned DVFS levels, and
 //! link-fault counts (seeded-random permanent faults, so degraded-fabric
 //! operation sweeps alongside everything else). Traffic points come from
 //! two axes: the classic `patterns` × `rates` product (single-phase
@@ -42,7 +44,7 @@
 use crate::par::parallel_map;
 use noc_sim::{
     FaultPlan, RoutingAlgorithm, RunSummary, SimConfig, SimError, SimResult, Simulator,
-    TrafficPattern, WindowMetrics, WorkloadSpec,
+    TopologyKind, TrafficPattern, WindowMetrics, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +60,14 @@ pub struct SweepGrid {
     pub base: SimConfig,
     /// Grid dimensions to sweep, as `(width, height)`.
     pub sizes: Vec<(usize, usize)>,
+    /// Topology kinds to sweep. Non-mesh scenarios carry a `/t:<kind>`
+    /// label segment; every listed routing is mapped to its counterpart on
+    /// each kind via [`RoutingAlgorithm::for_topology`] (deduplicated), so
+    /// one `routings` axis stays meaningful across a mixed mesh-and-torus
+    /// grid. Defaults to `[Mesh]` — the value old serialized grids
+    /// deserialize to, leaving them byte-identical.
+    #[serde(default = "default_topology_axis")]
+    pub topologies: Vec<TopologyKind>,
     /// Traffic patterns to sweep.
     pub patterns: Vec<TrafficPattern>,
     /// Injection rates to sweep, in flits/node/cycle.
@@ -99,6 +109,7 @@ impl Default for SweepGrid {
         SweepGrid {
             base: SimConfig::default(),
             sizes: vec![(4, 4), (8, 8)],
+            topologies: default_topology_axis(),
             patterns: vec![TrafficPattern::Uniform, TrafficPattern::Transpose],
             rates: vec![0.05, 0.10],
             routings: vec![RoutingAlgorithm::Xy],
@@ -116,6 +127,11 @@ impl Default for SweepGrid {
 /// The default fault axis: a single pristine-fabric point.
 fn default_fault_axis() -> Vec<usize> {
     vec![0]
+}
+
+/// The default topology axis: meshes only, as every pre-axis grid was.
+fn default_topology_axis() -> Vec<TopologyKind> {
+    vec![TopologyKind::Mesh]
 }
 
 /// One fully resolved point of the grid.
@@ -237,11 +253,31 @@ impl SweepGrid {
         points
     }
 
+    /// The routing algorithms the grid actually runs on `kind`: every entry
+    /// of `routings` mapped through [`RoutingAlgorithm::for_topology`],
+    /// deduplicated preserving first occurrence (two mesh algorithms may
+    /// share one torus counterpart).
+    fn routings_for(&self, kind: TopologyKind) -> Vec<RoutingAlgorithm> {
+        let mut out = Vec::with_capacity(self.routings.len());
+        for &r in &self.routings {
+            let eff = r.for_topology(kind);
+            if !out.contains(&eff) {
+                out.push(eff);
+            }
+        }
+        out
+    }
+
     /// Number of scenarios the grid expands to.
     pub fn len(&self) -> usize {
+        let routing_points: usize = self
+            .topologies
+            .iter()
+            .map(|&t| self.routings_for(t).len())
+            .sum();
         self.sizes.len()
             * (self.patterns.len() * self.rates.len() + self.workloads.len())
-            * self.routings.len()
+            * routing_points
             * self.levels.len()
             * self.faults.len()
     }
@@ -257,45 +293,53 @@ impl SweepGrid {
         let mut index = 0;
         let traffic_points = self.traffic_points();
         for &(w, h) in &self.sizes {
-            for (traffic_label, workload) in &traffic_points {
-                for &routing in &self.routings {
-                    for &level in &self.levels {
-                        for &faults in &self.faults {
-                            let seed = mix_seed(self.base_seed, index as u64);
-                            let mut config = self
-                                .base
-                                .clone()
-                                .with_size(w, h)
-                                .with_workload(workload.clone())
-                                .with_routing(routing)
-                                .with_seed(seed);
-                            if faults > 0 {
-                                // The fault draw is salted off the
-                                // scenario seed so it is decorrelated
-                                // from traffic yet fully reproducible.
-                                let plan = FaultPlan::random_links(
-                                    &config.topology(),
-                                    faults,
-                                    mix_seed(seed, 0xFA),
-                                    0,
-                                    None,
-                                );
-                                config = config.with_faults(plan);
+            for &kind in &self.topologies {
+                let routings = self.routings_for(kind);
+                for (traffic_label, workload) in &traffic_points {
+                    for &routing in &routings {
+                        for &level in &self.levels {
+                            for &faults in &self.faults {
+                                let seed = mix_seed(self.base_seed, index as u64);
+                                let mut config = self
+                                    .base
+                                    .clone()
+                                    .with_size(w, h)
+                                    .with_topology(kind)
+                                    .with_workload(workload.clone())
+                                    .with_routing(routing)
+                                    .with_seed(seed);
+                                if faults > 0 {
+                                    // The fault draw is salted off the
+                                    // scenario seed so it is decorrelated
+                                    // from traffic yet fully reproducible.
+                                    let plan = FaultPlan::random_links(
+                                        &config.topology(),
+                                        faults,
+                                        mix_seed(seed, 0xFA),
+                                        0,
+                                        None,
+                                    );
+                                    config = config.with_faults(plan);
+                                }
+                                let mut label =
+                                    format!("{w}x{h}/{traffic_label}/{}", routing.name());
+                                if kind != TopologyKind::Mesh {
+                                    label.push_str(&format!("/t:{}", kind.name()));
+                                }
+                                if let Some(l) = level {
+                                    label.push_str(&format!("/L{l}"));
+                                }
+                                if faults > 0 {
+                                    label.push_str(&format!("/f{faults}"));
+                                }
+                                out.push(Scenario {
+                                    index,
+                                    label,
+                                    level,
+                                    config,
+                                });
+                                index += 1;
                             }
-                            let mut label = format!("{w}x{h}/{traffic_label}/{}", routing.name());
-                            if let Some(l) = level {
-                                label.push_str(&format!("/L{l}"));
-                            }
-                            if faults > 0 {
-                                label.push_str(&format!("/f{faults}"));
-                            }
-                            out.push(Scenario {
-                                index,
-                                label,
-                                level,
-                                config,
-                            });
-                            index += 1;
                         }
                     }
                 }
@@ -541,6 +585,68 @@ mod tests {
             noc_sim::TrafficSpec::Workload(bursty)
         );
         assert!(grid.validate().is_ok());
+    }
+
+    #[test]
+    fn topology_axis_expands_and_labels_scenarios() {
+        let grid = SweepGrid {
+            sizes: vec![(4, 4)],
+            topologies: vec![TopologyKind::Mesh, TopologyKind::Torus],
+            patterns: vec![TrafficPattern::Uniform],
+            rates: vec![0.05],
+            routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
+            levels: vec![None],
+            faults: vec![0, 2],
+            ..SweepGrid::default()
+        };
+        assert_eq!(grid.len(), 8, "2 topologies x 2 routings x 2 fault points");
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), grid.len());
+        // Mesh points keep their pre-axis labels; torus points carry the
+        // /t:torus segment and the mapped routing names.
+        assert_eq!(scenarios[0].label, "4x4/uniform/r0.05/xy");
+        assert_eq!(scenarios[2].label, "4x4/uniform/r0.05/oddeven");
+        assert_eq!(scenarios[4].label, "4x4/uniform/r0.05/torusdor/t:torus");
+        assert_eq!(scenarios[5].label, "4x4/uniform/r0.05/torusdor/t:torus/f2");
+        assert_eq!(scenarios[6].label, "4x4/uniform/r0.05/torusmin/t:torus");
+        for s in &scenarios[4..] {
+            assert_eq!(s.config.kind, TopologyKind::Torus);
+        }
+        // Torus fault plans draw from the wrap-around link pool and
+        // validate against the torus.
+        assert_eq!(scenarios[5].config.fault_plan.len(), 2);
+        assert!(grid.validate().is_ok());
+
+        // Two deterministic mesh routings collapse onto one torus
+        // counterpart — the torus side dedups instead of duplicating labels.
+        let grid = SweepGrid {
+            routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::Yx],
+            faults: vec![0],
+            ..grid
+        };
+        assert_eq!(grid.len(), 3, "xy + yx on mesh, torusdor once on torus");
+        let labels: Vec<_> = grid.scenarios().into_iter().map(|s| s.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "4x4/uniform/r0.05/xy",
+                "4x4/uniform/r0.05/yx",
+                "4x4/uniform/r0.05/torusdor/t:torus",
+            ]
+        );
+    }
+
+    #[test]
+    fn legacy_grid_json_defaults_to_the_mesh_axis() {
+        // A serialized pre-axis grid (no `topologies` field) must
+        // deserialize to the mesh-only axis and expand identically.
+        let grid = SweepGrid::default();
+        let json = serde_json::to_string(&grid).unwrap();
+        let stripped = json.replace("\"topologies\":[\"Mesh\"],", "");
+        assert_ne!(json, stripped, "the field must have been present");
+        let back: SweepGrid = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, grid);
+        assert_eq!(back.topologies, vec![TopologyKind::Mesh]);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use noc_selfconf::{ActionSpace, RewardConfig, StateEncoder, SweepGrid};
 use noc_sim::{
-    FaultEvent, FaultPlan, FaultTarget, NodeId, Port, RoutingAlgorithm, SimConfig, TrafficPattern,
-    WindowMetrics,
+    FaultEvent, FaultPlan, FaultTarget, NodeId, Port, RoutingAlgorithm, SimConfig, TopologyKind,
+    TrafficPattern, WindowMetrics,
 };
 use proptest::prelude::*;
 
@@ -134,6 +134,7 @@ proptest! {
         let grid = |plan: FaultPlan| SweepGrid {
             base: SimConfig::default().with_regions(2, 2).with_faults(plan),
             sizes: vec![(4, 4)],
+            topologies: vec![TopologyKind::Mesh],
             patterns: vec![TrafficPattern::Uniform],
             rates: vec![0.08],
             routings: vec![RoutingAlgorithm::OddEven],

@@ -1,13 +1,16 @@
 //! Determinism and equivalence guarantees of the scenario-sweep engine.
 
 use noc_selfconf::{SweepGrid, SweepReport};
-use noc_sim::{InjectionProcess, RoutingAlgorithm, SimConfig, TrafficPattern, WorkloadSpec};
+use noc_sim::{
+    InjectionProcess, RoutingAlgorithm, SimConfig, TopologyKind, TrafficPattern, WorkloadSpec,
+};
 
 /// A fast grid: 8 scenarios on small meshes with short windows.
 fn quick_grid() -> SweepGrid {
     SweepGrid {
         base: SimConfig::default().with_regions(2, 2),
         sizes: vec![(4, 4)],
+        topologies: vec![TopologyKind::Mesh],
         patterns: vec![TrafficPattern::Uniform, TrafficPattern::Transpose],
         rates: vec![0.05, 0.10],
         routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
@@ -106,6 +109,112 @@ fn fault_axis_is_deterministic_across_thread_counts() {
         .all(|s| s.metrics.dropped_packets == 0));
 }
 
+/// The sweep determinism guarantee extends to the topology axis: a grid
+/// mixing mesh and torus points (including faulted tori, whose fault draws
+/// come from the wrap-aware link pool) is byte-identical across reruns and
+/// thread counts.
+#[test]
+fn topology_axis_is_deterministic_across_thread_counts() {
+    let grid = SweepGrid {
+        topologies: vec![TopologyKind::Mesh, TopologyKind::Torus],
+        patterns: vec![TrafficPattern::Uniform],
+        routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],
+        rates: vec![0.08],
+        faults: vec![0, 2],
+        ..quick_grid()
+    };
+    assert_eq!(grid.len(), 8, "2 topologies x 2 routings x 2 fault points");
+    let serial = to_json(&grid.run_serial().expect("valid grid"));
+    let rerun = to_json(&grid.run_serial().expect("valid grid"));
+    assert_eq!(serial, rerun, "topology-axis reruns must be byte-identical");
+    for threads in [1, 3, 8] {
+        let parallel = to_json(&grid.run(threads).expect("valid grid"));
+        assert_eq!(
+            serial, parallel,
+            "topology-axis grid diverged at {threads} threads"
+        );
+    }
+    // The torus points are live and labeled: they ran on the wrap-around
+    // fabric (shorter average distance than the mesh at the same size) and
+    // carry the /t:torus segment with the mapped routing names.
+    let report = grid.run(2).expect("valid grid");
+    let torus: Vec<_> = report
+        .scenarios
+        .iter()
+        .filter(|s| s.label.contains("/t:torus"))
+        .collect();
+    assert_eq!(torus.len(), 4);
+    assert!(torus.iter().any(|s| s.label.contains("/torusdor")));
+    assert!(torus.iter().any(|s| s.label.contains("/torusmin")));
+    assert!(torus
+        .iter()
+        .all(|s| s.metrics.injected_flits > 0 && s.metrics.cycles > 0));
+    let mean_hops = |pred: &dyn Fn(&str) -> bool| {
+        let (sum, n) = report
+            .scenarios
+            .iter()
+            .filter(|s| pred(&s.label) && !s.label.contains("/f"))
+            .fold((0.0, 0), |(a, n), s| (a + s.metrics.avg_hops, n + 1));
+        sum / n as f64
+    };
+    let mesh = mean_hops(&|l: &str| !l.contains("/t:torus"));
+    let torus_hops = mean_hops(&|l: &str| l.contains("/t:torus"));
+    assert!(
+        torus_hops < mesh,
+        "wrap links must shorten paths: torus {torus_hops} vs mesh {mesh}"
+    );
+    // Faulted torus points keep the liveness contract: the fabric was
+    // actually degraded, and everything injected was delivered or counted
+    // dropped within the drain budget — nothing wedged.
+    for s in report.scenarios.iter().filter(|s| s.label.contains("/f2")) {
+        assert!(
+            s.metrics.avg_dead_links > 0.0,
+            "{}: the fault axis must be live",
+            s.label
+        );
+        assert_eq!(
+            s.unfinished_packets, 0,
+            "{}: faulted scenarios must drain, not wedge",
+            s.label
+        );
+    }
+}
+
+/// An all-NaN aggregate (a grid whose every scenario produced zero latency
+/// samples) must survive the JSON round-trip: the NaN-able aggregate fields
+/// are routed through `serde_nan`, rendering `null` instead of leaking a
+/// bare `NaN` token into the report.
+#[test]
+fn nan_aggregate_roundtrips_through_json() {
+    // Rate 0: nothing is ever offered, so every latency figure is NaN and
+    // no scenario wins a latency-based superlative.
+    let grid = SweepGrid {
+        patterns: vec![TrafficPattern::Uniform],
+        rates: vec![0.0],
+        routings: vec![RoutingAlgorithm::Xy],
+        warmup: 50,
+        measure: 100,
+        drain: 50,
+        ..quick_grid()
+    };
+    let report = grid.run(2).expect("valid grid");
+    let agg = &report.aggregate;
+    assert!(agg.avg_packet_latency.is_nan());
+    assert!(agg.min_latency.is_nan());
+    assert!(agg.max_latency.is_nan());
+    assert!(agg.best_edp.is_nan());
+    assert!(agg.best_edp_scenario.is_empty());
+    let json = to_json(&report);
+    assert!(
+        !json.contains("NaN") && !json.contains("nan"),
+        "serialized report must not contain a bare NaN token"
+    );
+    let back: SweepReport = serde_json::from_str(&json).expect("NaN report deserializes");
+    assert!(back.aggregate.best_edp.is_nan());
+    assert!(back.aggregate.avg_packet_latency.is_nan());
+    assert_eq!(to_json(&back), json, "round-trip must be lossless");
+}
+
 /// Golden back-compat pin of the workload refactor: a *legacy* JSON config
 /// (the pre-workload `Stationary {pattern, rate}` form) and the equivalent
 /// single-phase Bernoulli `WorkloadSpec` must produce byte-identical
@@ -142,6 +251,7 @@ fn legacy_stationary_config_is_byte_identical_to_workload_equivalent() {
     let grid = |base: SimConfig| SweepGrid {
         base,
         sizes: vec![(4, 4)],
+        topologies: vec![TopologyKind::Mesh],
         patterns: vec![TrafficPattern::Uniform],
         rates: vec![0.08],
         routings: vec![RoutingAlgorithm::Xy],
@@ -285,6 +395,7 @@ fn optimized_cycle_loop_reproduces_golden_metrics() {
     let grid = SweepGrid {
         base: SimConfig::default(),
         sizes: vec![(4, 4)],
+        topologies: vec![TopologyKind::Mesh],
         patterns: vec![TrafficPattern::Uniform, TrafficPattern::Transpose],
         rates: vec![0.08],
         routings: vec![RoutingAlgorithm::Xy],
@@ -350,6 +461,7 @@ fn faulted_golden_metrics_are_pinned() {
     let grid = SweepGrid {
         base: SimConfig::default().with_faults(plan),
         sizes: vec![(4, 4)],
+        topologies: vec![TopologyKind::Mesh],
         patterns: vec![TrafficPattern::Uniform],
         rates: vec![0.10],
         routings: vec![RoutingAlgorithm::Xy, RoutingAlgorithm::OddEven],

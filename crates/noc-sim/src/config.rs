@@ -80,6 +80,14 @@ impl SimConfig {
         self
     }
 
+    /// Set the topology kind (mesh or torus). The routing algorithm is left
+    /// untouched; callers switching kinds usually pair this with
+    /// [`RoutingAlgorithm::for_topology`].
+    pub fn with_topology(mut self, kind: TopologyKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
     /// Set the traffic to a stationary Bernoulli pattern at `rate`
     /// flits/node/cycle (the legacy pairing).
     pub fn with_traffic(mut self, pattern: TrafficPattern, rate: f64) -> Self {
@@ -259,14 +267,24 @@ mod tests {
 
     #[test]
     fn torus_needs_two_vcs() {
-        let mut c = SimConfig::default()
+        let c = SimConfig::default()
             .with_vcs(1, 4)
-            .with_routing(RoutingAlgorithm::TorusDor);
-        c.kind = TopologyKind::Torus;
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .with_topology(TopologyKind::Torus);
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default().with_routing(RoutingAlgorithm::TorusDor);
-        c.kind = TopologyKind::Torus;
+        let c = SimConfig::default()
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .with_topology(TopologyKind::Torus);
         assert!(c.validate().is_ok());
+        // The adaptive torus algorithm is torus-only too.
+        let c = SimConfig::default()
+            .with_routing(RoutingAlgorithm::TorusMinAdaptive)
+            .with_topology(TopologyKind::Torus);
+        assert!(c.validate().is_ok());
+        assert!(SimConfig::default()
+            .with_routing(RoutingAlgorithm::TorusMinAdaptive)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -114,7 +114,11 @@ impl FaultPlan {
     /// Draw `count` distinct permanent-or-transient link faults uniformly at
     /// random (seeded, deterministic) over the topology's undirected links,
     /// all starting at `start` with the given `duration`. `count` is capped
-    /// at the number of links in the topology.
+    /// at the number of distinct neighbor pairs in the topology. On a ring
+    /// of length two, where a pair of nodes is joined by *two* parallel
+    /// wires (0 -E-> 1 and 1 -E-> 0 are physically distinct), one drawn
+    /// fault takes both down — a fault severs the whole neighbor
+    /// connection, so such a plan may carry more events than `count`.
     ///
     /// # Panics
     /// Panics if `duration == Some(0)` — the same degenerate event
@@ -126,12 +130,22 @@ impl FaultPlan {
         start: u64,
         duration: Option<u64>,
     ) -> Self {
-        // Undirected links, each named once from its west/north endpoint.
+        // The draw pool is the set of *neighbor pairs*, each named once from
+        // its west/north endpoint. On a ring of length two (width-2 or
+        // height-2 torus), both endpoints reach the same peer through the
+        // same-axis port, so without the dedup the 0<->1 connection would
+        // sit in the pool twice and skew the drawn fault count toward those
+        // pairs.
         let mut links: Vec<(NodeId, Port)> = Vec::new();
+        let mut seen: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         for node in topo.nodes() {
             for port in [Port::East, Port::South] {
-                if topo.neighbor(node, port).is_some() {
-                    links.push((node, port));
+                if let Some(peer) = topo.neighbor(node, port) {
+                    let pair = (node.0.min(peer.0), node.0.max(peer.0));
+                    if seen.insert(pair) {
+                        links.push((node, port));
+                    }
                 }
             }
         }
@@ -143,14 +157,27 @@ impl FaultPlan {
             let pick = rng.gen_range(k..links.len());
             links.swap(k, pick);
         }
-        let mut events: Vec<FaultEvent> = links[..count]
-            .iter()
-            .map(|&(node, port)| FaultEvent {
+        let mut events: Vec<FaultEvent> = Vec::with_capacity(count);
+        for &(node, port) in &links[..count] {
+            events.push(FaultEvent {
                 start,
                 duration,
                 target: FaultTarget::Link { node, port },
-            })
-            .collect();
+            });
+            // A two-node ring joins the pair with a second, physically
+            // distinct wire (the peer's same-axis port loops straight
+            // back). Fault it too, so the drawn fault actually severs the
+            // connection instead of leaving the reverse wire carrying all
+            // of that row/column's traffic.
+            let peer = topo.neighbor(node, port).expect("pooled links exist");
+            if peer != node && topo.neighbor(peer, port) == Some(node) {
+                events.push(FaultEvent {
+                    start,
+                    duration,
+                    target: FaultTarget::Link { node: peer, port },
+                });
+            }
+        }
         // Stable order independent of the draw order, so plans are
         // byte-identical for identical (topo, count, seed) inputs. All
         // events share `start`, so `new`'s stable sort preserves it.
@@ -542,6 +569,68 @@ mod tests {
         assert_ne!(a, c, "different seeds draw different plans");
         // Count is capped at the number of links (24 undirected on 4x4).
         assert_eq!(FaultPlan::random_links(&topo, 1_000, 1, 0, None).len(), 24);
+    }
+
+    /// Regression: on rings of length two, both endpoints reach the same
+    /// peer through the same-axis port, and the draw pool used to list that
+    /// neighbor pair twice — a full draw then produced duplicate endpoint
+    /// pairs and an inflated fault count. The fix draws each pair once and
+    /// fails *both* parallel wires, so a drawn fault actually severs the
+    /// connection.
+    #[test]
+    fn random_links_dedups_two_node_rings() {
+        let pair_of = |topo: &Topology, e: &FaultEvent| match e.target {
+            FaultTarget::Link { node, port } => {
+                let peer = topo.neighbor(node, port).expect("drawn links exist");
+                (node.0.min(peer.0), node.0.max(peer.0))
+            }
+            FaultTarget::Router { .. } => unreachable!("random_links draws links"),
+        };
+        // 2x2 torus: four distinct neighbor pairs, each joined by two
+        // parallel wires. A full draw covers every pair exactly once, with
+        // both wires of each pair faulted.
+        let topo = Topology::torus(2, 2);
+        let plan = FaultPlan::random_links(&topo, 1_000, 7, 0, None);
+        let mut pairs: Vec<_> = plan.events().iter().map(|e| pair_of(&topo, e)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 4, "4 distinct neighbor pairs, none repeated");
+        assert_eq!(plan.len(), 8, "both parallel wires of every pair fail");
+        assert!(plan.validate(&topo).is_ok());
+        // A single drawn fault on a 2-ring disconnects the pair entirely:
+        // every directed link between the two endpoints is down.
+        let single = FaultPlan::random_links(&topo, 1, 7, 0, None);
+        assert_eq!(single.len(), 2);
+        let mut ls = LinkState::healthy(4);
+        ls.recompute(&topo, &single, 0);
+        let (a, b) = pair_of(&topo, &single.events()[0]);
+        for port in [Port::North, Port::East, Port::South, Port::West] {
+            for (from, to) in [(a, b), (b, a)] {
+                if topo.neighbor(NodeId(from), port) == Some(NodeId(to)) {
+                    assert!(
+                        !ls.is_link_up(NodeId(from), port),
+                        "wire {from} -{port}-> {to} must be down"
+                    );
+                }
+            }
+        }
+        // Height-2 torus: only the vertical rings degenerate (4 column
+        // pairs, 2 wires each), the width-4 rows contribute their 8
+        // single-wire pairs.
+        let topo = Topology::torus(4, 2);
+        let plan = FaultPlan::random_links(&topo, 1_000, 7, 0, None);
+        let mut pairs: Vec<_> = plan.events().iter().map(|e| pair_of(&topo, e)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 12, "8 row pairs + 4 column pairs");
+        assert_eq!(plan.len(), 8 + 2 * 4);
+        // Meshes have no wrap wires and are unaffected by the dedup.
+        let topo = Topology::mesh(4, 2);
+        assert_eq!(
+            FaultPlan::random_links(&topo, 1_000, 7, 0, None).len(),
+            // 3 east wires per row x 2 rows + 4 south wires x 1 row gap.
+            3 * 2 + 4
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The evaluation substrate for the *Deep Reinforcement Learning for
 //! Self-Configurable NoC* (SOCC 2020) reproduction. Everything is built from
 //! scratch: wormhole switching with virtual channels and credit-based flow
-//! control, seven routing algorithms, classic synthetic traffic patterns,
+//! control, eight routing algorithms, classic synthetic traffic patterns,
 //! per-region DVFS with an event-energy power model, and the warmup /
 //! measure / drain methodology.
 //!
@@ -30,7 +30,8 @@
 //!
 //! * [`topology`] — mesh/torus grids, ports, neighbor wiring.
 //! * [`flit`] — packets and their flit segmentation.
-//! * [`routing`] — XY/YX, three turn models, Odd-Even, torus DOR.
+//! * [`routing`] — XY/YX, three turn models, Odd-Even, torus DOR and
+//!   torus minimal-adaptive.
 //! * [`vc`] / [`arbiter`] / [`router`] — the three-stage VC router pipeline.
 //! * [`traffic`] — composable workloads: phase schedules binding patterns
 //!   to injection processes (Bernoulli, bursty, pulsed), plus traces.

@@ -885,6 +885,60 @@ mod tests {
     }
 
     #[test]
+    fn torus_min_adaptive_drains_all_to_all() {
+        let cfg = small_config()
+            .with_routing(RoutingAlgorithm::TorusMinAdaptive)
+            .with_topology(TopologyKind::Torus);
+        let mut net = Network::new(&cfg).unwrap();
+        let mut stats = StatsCollector::new(net.regions().num_regions());
+        let mut id = 0;
+        for src in 0..16usize {
+            for dst in 0..16usize {
+                if src != dst {
+                    net.offer(vec![packet(id, src, dst, 4, 0)], &mut stats);
+                    id += 1;
+                }
+            }
+        }
+        for _ in 0..8000 {
+            net.step(&mut stats);
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            stats.ejected_packets, id,
+            "adaptive torus must drain all-to-all traffic"
+        );
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn torus_min_adaptive_reroutes_around_a_dead_wrap_link() {
+        // Kill the X wrap wire 3 -E-> 0 (row 0). DOR from 3 to 4=(0,1) needs
+        // it and drops; the adaptive algorithm falls back to its south
+        // candidate and delivers.
+        let base = small_config()
+            .with_topology(TopologyKind::Torus)
+            .with_faults(link_fault(0, None, 3, Port::East));
+        let run = |routing: RoutingAlgorithm| {
+            let cfg = base.clone().with_routing(routing);
+            let mut net = Network::new(&cfg).unwrap();
+            let mut stats = StatsCollector::new(net.regions().num_regions());
+            net.offer(vec![packet(0, 3, 4, 5, 0)], &mut stats);
+            for _ in 0..400 {
+                net.step(&mut stats);
+                if net.in_flight() == 0 && stats.injected_flits == 5 {
+                    break;
+                }
+            }
+            (stats.ejected_packets, stats.dropped_packets)
+        };
+        assert_eq!(run(RoutingAlgorithm::TorusDor), (0, 1));
+        assert_eq!(run(RoutingAlgorithm::TorusMinAdaptive), (1, 0));
+    }
+
+    #[test]
     fn low_vf_level_slows_delivery() {
         let cfg = small_config();
         let run = |level: usize| {

@@ -2,8 +2,9 @@
 //!
 //! Deterministic dimension-ordered routing (XY, YX), three turn-model
 //! algorithms (West-First, North-Last, Negative-First), the Odd-Even
-//! adaptive turn model (Chiu, 2000), and wrap-aware dimension-ordered
-//! routing for tori.
+//! adaptive turn model (Chiu, 2000), and two wrap-aware torus algorithms:
+//! dimension-ordered (`TorusDor`) and minimal-adaptive (`TorusMinAdaptive`),
+//! both layered on the dateline VC partition.
 //!
 //! Conventions: `x` grows east, `y` grows south, so `North` decreases `y`.
 //! All algorithms here are *minimal*: every candidate port reduces the
@@ -35,13 +36,21 @@ pub enum RoutingAlgorithm {
     /// virtual-channel partition for deadlock freedom (handled by the
     /// router's VC allocator).
     TorusDor,
+    /// Minimal-adaptive routing for tori: at every hop the packet may
+    /// advance in either dimension (each dimension's direction is the
+    /// wrap-aware minimal one, ties going east/south like [`TorusDor`]),
+    /// layered on the same dateline VC classes. The adaptivity is what makes
+    /// torus link faults survivable: [`route_live`] has an alternative
+    /// minimal port to fall back on. See DESIGN.md §10 for the
+    /// deadlock-freedom discussion.
+    TorusMinAdaptive,
 }
 
 impl RoutingAlgorithm {
     /// Every algorithm paired with its canonical short name — the single
     /// table behind [`RoutingAlgorithm::name`] and
     /// [`RoutingAlgorithm::from_name`].
-    pub const NAMED: [(&'static str, RoutingAlgorithm); 7] = [
+    pub const NAMED: [(&'static str, RoutingAlgorithm); 8] = [
         ("xy", RoutingAlgorithm::Xy),
         ("yx", RoutingAlgorithm::Yx),
         ("westfirst", RoutingAlgorithm::WestFirst),
@@ -49,6 +58,7 @@ impl RoutingAlgorithm {
         ("negfirst", RoutingAlgorithm::NegativeFirst),
         ("oddeven", RoutingAlgorithm::OddEven),
         ("torusdor", RoutingAlgorithm::TorusDor),
+        ("torusmin", RoutingAlgorithm::TorusMinAdaptive),
     ];
 
     /// The algorithm's canonical short name.
@@ -77,14 +87,47 @@ impl RoutingAlgorithm {
                 | RoutingAlgorithm::NorthLast
                 | RoutingAlgorithm::NegativeFirst
                 | RoutingAlgorithm::OddEven
+                | RoutingAlgorithm::TorusMinAdaptive
         )
     }
 
     /// Whether this algorithm is valid on the given topology.
     pub fn supports(self, kind: TopologyKind) -> bool {
         match self {
-            RoutingAlgorithm::TorusDor => kind == TopologyKind::Torus,
+            RoutingAlgorithm::TorusDor | RoutingAlgorithm::TorusMinAdaptive => {
+                kind == TopologyKind::Torus
+            }
             _ => kind == TopologyKind::Mesh,
+        }
+    }
+
+    /// The closest equivalent of this algorithm on the given topology:
+    /// identity when the algorithm already supports it, otherwise the
+    /// same-family counterpart (deterministic dimension-ordered algorithms
+    /// map to [`RoutingAlgorithm::TorusDor`] / [`RoutingAlgorithm::Xy`],
+    /// adaptive ones to [`RoutingAlgorithm::TorusMinAdaptive`] /
+    /// [`RoutingAlgorithm::OddEven`]). This is how the sweep engine and the
+    /// CLI make one `routings` axis meaningful across a mixed
+    /// mesh-and-torus topology axis.
+    pub fn for_topology(self, kind: TopologyKind) -> RoutingAlgorithm {
+        if self.supports(kind) {
+            return self;
+        }
+        match kind {
+            TopologyKind::Torus => {
+                if self.is_adaptive() {
+                    RoutingAlgorithm::TorusMinAdaptive
+                } else {
+                    RoutingAlgorithm::TorusDor
+                }
+            }
+            TopologyKind::Mesh => {
+                if self.is_adaptive() {
+                    RoutingAlgorithm::OddEven
+                } else {
+                    RoutingAlgorithm::Xy
+                }
+            }
         }
     }
 }
@@ -134,6 +177,7 @@ pub fn route(
         RoutingAlgorithm::NegativeFirst => route_negative_first(c, d),
         RoutingAlgorithm::OddEven => route_odd_even(c, s, d),
         RoutingAlgorithm::TorusDor => route_torus_dor(topo, c, d),
+        RoutingAlgorithm::TorusMinAdaptive => route_torus_min_adaptive(topo, c, d),
     }
 }
 
@@ -283,26 +327,46 @@ fn route_odd_even(c: Coord, s: Coord, d: Coord) -> Vec<Port> {
     out
 }
 
+/// Wrap-aware minimal direction along one ring dimension: `delta` is the
+/// signed mesh offset, `extent` the ring length. `None` when the dimension is
+/// already resolved; ties (an even ring with the destination exactly halfway)
+/// go in the positive (east/south) direction.
+fn ring_direction(delta: isize, extent: isize, pos: Port, neg: Port) -> Option<Port> {
+    if delta == 0 {
+        return None;
+    }
+    let fwd = delta.rem_euclid(extent);
+    Some(if fwd <= extent - fwd { pos } else { neg })
+}
+
 /// Wrap-aware dimension-ordered routing for the torus: route X first, then Y,
 /// choosing the direction with the fewer hops (ties go east/south).
 fn route_torus_dor(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
-    let w = topo.width() as isize;
-    let h = topo.height() as isize;
     let (ex, ey) = offsets(c, d);
-    if ex != 0 {
-        let east_hops = ex.rem_euclid(w);
-        return if east_hops <= w - east_hops {
-            vec![Port::East]
-        } else {
-            vec![Port::West]
-        };
+    match ring_direction(ex, topo.width() as isize, Port::East, Port::West) {
+        Some(p) => vec![p],
+        None => vec![
+            ring_direction(ey, topo.height() as isize, Port::South, Port::North)
+                .expect("cur != dst implies a remaining offset"),
+        ],
     }
-    let south_hops = ey.rem_euclid(h);
-    if south_hops <= h - south_hops {
-        vec![Port::South]
-    } else {
-        vec![Port::North]
+}
+
+/// Minimal-adaptive torus routing: offer the wrap-aware minimal direction of
+/// *every* unresolved dimension (each dimension's direction chosen exactly
+/// like [`route_torus_dor`], ties east/south), so the router can pick by
+/// downstream credit — and [`route_live`] can pick by liveness. Every
+/// candidate reduces the wrap-aware distance by one, so paths stay minimal.
+fn route_torus_min_adaptive(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
+    let (ex, ey) = offsets(c, d);
+    let mut out = Vec::with_capacity(2);
+    if let Some(p) = ring_direction(ex, topo.width() as isize, Port::East, Port::West) {
+        out.push(p);
     }
+    if let Some(p) = ring_direction(ey, topo.height() as isize, Port::South, Port::North) {
+        out.push(p);
+    }
+    out
 }
 
 /// Fault-aware variant of [`route`]: compute the algorithm's candidate
@@ -443,6 +507,154 @@ mod tests {
                 assert_eq!(path.len() - 1, t.distance(src, dst), "{src}->{dst}");
             }
         }
+    }
+
+    #[test]
+    fn torus_min_adaptive_reaches_every_destination_minimally() {
+        // Square and rectangular tori, greedy-first and last-candidate
+        // choices (the latter exercises the adaptive branch).
+        for t in [Topology::torus(4, 4), Topology::torus(5, 3)] {
+            for src in t.nodes() {
+                for dst in t.nodes() {
+                    for pick_last in [false, true] {
+                        let path =
+                            walk_route(RoutingAlgorithm::TorusMinAdaptive, &t, src, dst, |c| {
+                                if pick_last {
+                                    c.len() - 1
+                                } else {
+                                    0
+                                }
+                            });
+                        assert_eq!(path.len() - 1, t.distance(src, dst), "{src}->{dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_min_adaptive_offers_both_dimensions() {
+        let t = Topology::torus(4, 4);
+        // (0,0) -> (2,2): X and Y both unresolved -> two candidates. The X
+        // offset is a tie (2 hops either way), which goes east like DOR.
+        let cands = route(
+            RoutingAlgorithm::TorusMinAdaptive,
+            &t,
+            NodeId(0),
+            NodeId(0),
+            NodeId(10),
+        );
+        assert_eq!(cands, vec![Port::East, Port::South]);
+        // (0,0) -> (3,3): both dimensions minimal via the wrap links.
+        let cands = route(
+            RoutingAlgorithm::TorusMinAdaptive,
+            &t,
+            NodeId(0),
+            NodeId(0),
+            NodeId(15),
+        );
+        assert_eq!(cands, vec![Port::West, Port::North]);
+        // Resolved X: only the Y move remains, exactly like DOR.
+        let cands = route(
+            RoutingAlgorithm::TorusMinAdaptive,
+            &t,
+            NodeId(2),
+            NodeId(0),
+            NodeId(10),
+        );
+        assert_eq!(cands, vec![Port::South]);
+    }
+
+    #[test]
+    fn torus_min_adaptive_candidates_are_productive() {
+        let t = Topology::torus(5, 4);
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                if src == dst {
+                    continue;
+                }
+                for p in route(RoutingAlgorithm::TorusMinAdaptive, &t, src, src, dst) {
+                    let n = t.neighbor(src, p).expect("torus ports always wired");
+                    assert_eq!(
+                        t.distance(n, dst) + 1,
+                        t.distance(src, dst),
+                        "unproductive candidate {p} at {src} toward {dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_min_adaptive_routes_around_a_dead_wrap_link() {
+        use crate::fault::{FaultEvent, FaultPlan, FaultTarget, LinkState};
+        let t = Topology::torus(4, 4);
+        // Kill the X wrap link out of (3,0) east to (0,0).
+        let plan = FaultPlan::new(vec![FaultEvent {
+            start: 0,
+            duration: None,
+            target: FaultTarget::Link {
+                node: NodeId(3),
+                port: Port::East,
+            },
+        }])
+        .unwrap();
+        let mut ls = LinkState::healthy(16);
+        ls.recompute(&t, &plan, 0);
+        // From (3,0) to (0,1): east (wrap) and south both minimal; only
+        // south survives the fault.
+        let cands = route_live(
+            RoutingAlgorithm::TorusMinAdaptive,
+            &t,
+            &ls,
+            NodeId(3),
+            NodeId(3),
+            NodeId(4),
+        );
+        assert_eq!(cands, vec![Port::South]);
+        // DOR has no alternative at the same hop: unroutable.
+        let cands = route_live(
+            RoutingAlgorithm::TorusDor,
+            &t,
+            &ls,
+            NodeId(3),
+            NodeId(3),
+            NodeId(4),
+        );
+        assert!(cands.is_empty(), "DOR cannot sidestep its dead X link");
+    }
+
+    #[test]
+    fn for_topology_maps_each_family() {
+        use crate::topology::TopologyKind::{Mesh, Torus};
+        // Identity when already supported.
+        for (_, alg) in RoutingAlgorithm::NAMED {
+            for kind in [Mesh, Torus] {
+                let eq = alg.for_topology(kind);
+                assert!(eq.supports(kind), "{alg:?} -> {eq:?} must support {kind:?}");
+                if alg.supports(kind) {
+                    assert_eq!(eq, alg);
+                }
+                // The mapping preserves adaptivity.
+                assert_eq!(eq.is_adaptive(), alg.is_adaptive(), "{alg:?} on {kind:?}");
+            }
+        }
+        assert_eq!(
+            RoutingAlgorithm::Xy.for_topology(Torus),
+            RoutingAlgorithm::TorusDor
+        );
+        assert_eq!(
+            RoutingAlgorithm::OddEven.for_topology(Torus),
+            RoutingAlgorithm::TorusMinAdaptive
+        );
+        assert_eq!(
+            RoutingAlgorithm::TorusDor.for_topology(Mesh),
+            RoutingAlgorithm::Xy
+        );
+        assert_eq!(
+            RoutingAlgorithm::TorusMinAdaptive.for_topology(Mesh),
+            RoutingAlgorithm::OddEven
+        );
     }
 
     #[test]
@@ -654,5 +866,6 @@ mod tests {
         assert!(RoutingAlgorithm::OddEven.is_adaptive());
         assert!(RoutingAlgorithm::WestFirst.is_adaptive());
         assert!(!RoutingAlgorithm::TorusDor.is_adaptive());
+        assert!(RoutingAlgorithm::TorusMinAdaptive.is_adaptive());
     }
 }

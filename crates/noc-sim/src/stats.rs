@@ -312,6 +312,14 @@ impl StatsCollector {
 
     /// Approximate latency percentile from the histogram (`p` in `[0, 1]`),
     /// reported as the upper edge of the containing bucket.
+    ///
+    /// When the percentile lands in the open-ended overflow bucket (past
+    /// `LATENCY_BUCKETS`' last edge), the histogram has no upper bound to
+    /// report and the function returns the sentinel `u64::MAX`. Callers
+    /// rendering for humans should use
+    /// [`StatsCollector::latency_percentile_display`], which formats the
+    /// sentinel as a saturated `> <last-bucket>` figure instead of leaking
+    /// `18446744073709551615` into reports.
     pub fn latency_percentile(&self, p: f64) -> u64 {
         let total: u64 = self.latency_hist.iter().sum();
         if total == 0 {
@@ -326,6 +334,16 @@ impl StatsCollector {
             }
         }
         u64::MAX
+    }
+
+    /// Human-readable form of [`StatsCollector::latency_percentile`]: the
+    /// bucket edge in cycles, or `"> <last-bucket>"` when the percentile
+    /// overflows the histogram (the numeric API's `u64::MAX` sentinel).
+    pub fn latency_percentile_display(&self, p: f64) -> String {
+        match self.latency_percentile(p) {
+            u64::MAX => format!("> {}", LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1]),
+            v => v.to_string(),
+        }
     }
 
     /// Take a snapshot of all monotone counters for later diffing.
@@ -556,7 +574,13 @@ mod tests {
         assert_eq!(*s.latency_hist.last().unwrap(), 1);
         assert_eq!(s.latency_percentile(0.30), 8);
         assert_eq!(s.latency_percentile(0.60), 128);
+        // Percentiles past the last bucket return the documented numeric
+        // sentinel; the display form renders it saturated instead.
         assert_eq!(s.latency_percentile(1.0), u64::MAX);
+        assert_eq!(s.latency_percentile_display(1.0), "> 1024");
+        assert_eq!(s.latency_percentile_display(0.30), "8");
+        let empty = StatsCollector::new(1);
+        assert_eq!(empty.latency_percentile_display(0.95), "0");
     }
 
     #[test]

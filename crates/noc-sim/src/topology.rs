@@ -126,6 +126,32 @@ pub enum TopologyKind {
     Torus,
 }
 
+impl TopologyKind {
+    /// Every kind paired with its canonical short name — the single table
+    /// behind [`TopologyKind::name`] and [`TopologyKind::from_name`]. The
+    /// names are the `--topologies` CLI vocabulary and the `/t:<name>` sweep
+    /// label segment.
+    pub const NAMED: [(&'static str, TopologyKind); 2] =
+        [("mesh", TopologyKind::Mesh), ("torus", TopologyKind::Torus)];
+
+    /// The kind's canonical short name.
+    pub fn name(self) -> &'static str {
+        Self::NAMED
+            .iter()
+            .find(|(_, k)| *k == self)
+            .map(|(n, _)| *n)
+            .expect("every kind is in NAMED")
+    }
+
+    /// Look up a kind by its canonical short name.
+    pub fn from_name(name: &str) -> Option<TopologyKind> {
+        Self::NAMED
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, k)| *k)
+    }
+}
+
 /// A rectangular grid topology (mesh or torus).
 ///
 /// ```
@@ -144,6 +170,18 @@ pub struct Topology {
 }
 
 impl Topology {
+    /// Create a topology of the given kind (dispatches to
+    /// [`Topology::mesh`] / [`Topology::torus`]).
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(kind: TopologyKind, width: usize, height: usize) -> Self {
+        match kind {
+            TopologyKind::Mesh => Topology::mesh(width, height),
+            TopologyKind::Torus => Topology::torus(width, height),
+        }
+    }
+
     /// Create a mesh of `width × height` routers.
     ///
     /// # Panics
@@ -364,5 +402,22 @@ mod tests {
         for p in Port::ALL {
             assert_eq!(Port::from_index(p.index()), p);
         }
+    }
+
+    #[test]
+    fn topology_kind_names_roundtrip() {
+        for (name, kind) in TopologyKind::NAMED {
+            assert_eq!(kind.name(), name);
+            assert_eq!(TopologyKind::from_name(name), Some(kind));
+        }
+        assert_eq!(TopologyKind::from_name("ring"), None);
+        assert_eq!(
+            Topology::new(TopologyKind::Torus, 4, 4),
+            Topology::torus(4, 4)
+        );
+        assert_eq!(
+            Topology::new(TopologyKind::Mesh, 5, 3),
+            Topology::mesh(5, 3)
+        );
     }
 }

@@ -126,6 +126,121 @@ fn every_routing_delivers_or_drops_on_8x8() {
     }
 }
 
+/// Every torus-capable routing, healthy and faulted, on both fabric sizes.
+/// The faulted runs kill a *wrap* link — the torus's defining wire — so the
+/// dateline path is exercised, not just the mesh-like interior.
+#[test]
+fn every_torus_routing_delivers_or_drops_with_a_dead_wrap_link() {
+    let torus_routings: Vec<RoutingAlgorithm> = RoutingAlgorithm::NAMED
+        .iter()
+        .map(|&(_, alg)| alg)
+        .filter(|alg| alg.supports(TopologyKind::Torus))
+        .collect();
+    assert!(
+        torus_routings.len() >= 2,
+        "DOR and minimal-adaptive at least"
+    );
+    for (w, rate) in [(4usize, 0.08), (8usize, 0.06)] {
+        // The east wrap wire out of the top-right corner.
+        let wrap = FaultPlan::new(vec![FaultEvent {
+            start: 0,
+            duration: None,
+            target: FaultTarget::Link {
+                node: NodeId(w - 1),
+                port: Port::East,
+            },
+        }])
+        .unwrap();
+        for &alg in &torus_routings {
+            for faulted in [false, true] {
+                let mut cfg = SimConfig::default()
+                    .with_size(w, w)
+                    .with_regions(2, 2)
+                    .with_traffic(TrafficPattern::Uniform, rate)
+                    .with_routing(alg);
+                cfg.kind = TopologyKind::Torus;
+                if faulted {
+                    cfg = cfg.with_faults(wrap.clone());
+                }
+                assert_delivers_or_drops(cfg, &format!("{w}x{w} torus/{alg:?}/faulted={faulted}"));
+            }
+        }
+    }
+}
+
+/// The tentpole acceptance bar: minimal-adaptive torus routing drains
+/// explicit all-to-all traffic on a faulted 8x8 torus — every packet
+/// delivered or counted dropped, nothing wedged, and the adaptive
+/// alternative saves the overwhelming majority of the traffic.
+#[test]
+fn adaptive_torus_drains_all_to_all_on_a_faulted_8x8() {
+    use noc_sim::{Network, Packet, PacketId, StatsCollector};
+    let mut cfg = SimConfig::default()
+        .with_size(8, 8)
+        .with_routing(RoutingAlgorithm::TorusMinAdaptive)
+        .with_packet_len(2);
+    cfg.kind = TopologyKind::Torus;
+    // One wrap link and one interior link die before any traffic moves.
+    cfg = cfg.with_faults(
+        FaultPlan::new(vec![
+            FaultEvent {
+                start: 0,
+                duration: None,
+                target: FaultTarget::Link {
+                    node: NodeId(7),
+                    port: Port::East,
+                },
+            },
+            FaultEvent {
+                start: 0,
+                duration: None,
+                target: FaultTarget::Link {
+                    node: NodeId(27),
+                    port: Port::South,
+                },
+            },
+        ])
+        .unwrap(),
+    );
+    let mut net = Network::new(&cfg).expect("valid faulted torus");
+    let mut stats = StatsCollector::new(net.regions().num_regions());
+    let mut offered = 0u64;
+    for src in 0..64usize {
+        for dst in 0..64usize {
+            if src != dst {
+                net.offer(
+                    vec![Packet {
+                        id: PacketId(offered),
+                        src: NodeId(src),
+                        dst: NodeId(dst),
+                        len_flits: 2,
+                        created_at: 0,
+                    }],
+                    &mut stats,
+                );
+                offered += 1;
+            }
+        }
+    }
+    let mut budget = 60_000u32;
+    while net.in_flight() > 0 {
+        assert!(budget > 0, "faulted torus wedged with flits in flight");
+        net.step(&mut stats);
+        budget -= 1;
+    }
+    assert_eq!(
+        stats.ejected_packets + stats.dropped_packets,
+        offered,
+        "every all-to-all packet must be delivered or counted dropped"
+    );
+    assert!(
+        stats.dropped_packets * 20 < offered,
+        "adaptive routing must save the vast majority: {} of {} dropped",
+        stats.dropped_packets,
+        offered
+    );
+}
+
 /// Deterministic algorithms must actually drop across the dead link (they
 /// cannot reroute), adaptive ones with a minimal alternative must save most
 /// of the traffic. Both end drained either way.
