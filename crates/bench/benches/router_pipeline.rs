@@ -5,6 +5,7 @@ use noc_sim::flit::{Packet, PacketId};
 use noc_sim::power::{EnergyMeter, PowerModel};
 use noc_sim::router::{Router, RouterCtx};
 use noc_sim::routing::RoutingAlgorithm;
+use noc_sim::stats::EnergySink;
 use noc_sim::topology::{NodeId, Port, Topology};
 use std::hint::black_box;
 
@@ -17,7 +18,7 @@ fn loaded_router() -> (Router, Topology, PowerModel) {
         topo: &topo,
         routing: RoutingAlgorithm::Xy,
         power: &power,
-        meter: &mut meter,
+        energy: EnergySink::Meter(&mut meter),
         dynamic_scale: 1.0,
         faults: None,
     };
@@ -60,7 +61,7 @@ fn bench_router_step(c: &mut Criterion) {
                     topo: &topo,
                     routing: RoutingAlgorithm::Xy,
                     power: &power,
-                    meter: &mut meter,
+                    energy: EnergySink::Meter(&mut meter),
                     dynamic_scale: 1.0,
                     faults: None,
                 };
@@ -80,7 +81,7 @@ fn bench_router_step(c: &mut Criterion) {
                     topo: &topo,
                     routing: RoutingAlgorithm::Xy,
                     power: &power,
-                    meter: &mut meter,
+                    energy: EnergySink::Meter(&mut meter),
                     dynamic_scale: 1.0,
                     faults: None,
                 };

@@ -440,6 +440,137 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
         );
     }
 
+    // --- Big fabrics: 16x16 and 32x32 meshes and tori, serial and
+    // partitioned. The serial 16x16 point is the baseline the partitioned
+    // points are compared against (the partition-speedup criterion); the
+    // p4 points exercise the tile pool, boundary exchange, and log-replay
+    // stats commit at the scale where parallelism pays off.
+    {
+        let time_cfg = |cfg: &SimConfig| {
+            timed(config.repeats, || {
+                let mut sim = Simulator::new(cfg.clone()).expect("valid bench config");
+                sim.run(config.sim_warmup);
+                let flits0 = sim.stats().ejected_flits;
+                let t0 = Instant::now();
+                sim.run(config.sim_cycles);
+                let dt = t0.elapsed().as_nanos() as u64;
+                let flits = sim.stats().ejected_flits - flits0;
+                (dt, config.sim_cycles, Some(flits))
+            })
+        };
+
+        let cfg = SimConfig::default()
+            .with_size(16, 16)
+            .with_traffic(TrafficPattern::Uniform, 0.10);
+        let measured = time_cfg(&cfg);
+        push_result(
+            &mut workloads,
+            "sim/16x16/uniform/r0.10",
+            format!(
+                "16x16 mesh, XY routing, uniform traffic at 0.1 flits/node/cycle, \
+                 serial stepping, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        let measured = time_cfg(&cfg.clone().with_partitions(4));
+        push_result(
+            &mut workloads,
+            "sim/16x16/uniform/r0.10/p4",
+            format!(
+                "16x16 mesh, XY routing, uniform traffic at 0.1 flits/node/cycle, \
+                 4 partitions, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        let cfg = SimConfig::default()
+            .with_size(16, 16)
+            .with_topology(TopologyKind::Torus)
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .with_traffic(TrafficPattern::Uniform, 0.10)
+            .with_partitions(4);
+        let measured = time_cfg(&cfg);
+        push_result(
+            &mut workloads,
+            "sim/16x16/torus/uniform/r0.10/p4",
+            format!(
+                "16x16 torus, torus-DOR routing, uniform traffic at 0.1 \
+                 flits/node/cycle, 4 partitions, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        let plan = FaultPlan::random_links(&Topology::mesh(16, 16), 4, 0xB16F, 0, None);
+        let cfg = SimConfig::default()
+            .with_size(16, 16)
+            .with_traffic(TrafficPattern::Uniform, 0.10)
+            .with_routing(RoutingAlgorithm::OddEven)
+            .with_faults(plan)
+            .with_partitions(4);
+        let measured = time_cfg(&cfg);
+        push_result(
+            &mut workloads,
+            "sim/16x16/uniform/r0.10/faults4/p4",
+            format!(
+                "16x16 mesh, odd-even routing, 4 permanent link faults, uniform \
+                 traffic at 0.1 flits/node/cycle, 4 partitions, {} warmup + {} \
+                 timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        let cfg = SimConfig::default()
+            .with_size(32, 32)
+            .with_traffic(TrafficPattern::Uniform, 0.10)
+            .with_partitions(4);
+        let measured = time_cfg(&cfg);
+        push_result(
+            &mut workloads,
+            "sim/32x32/uniform/r0.10/p4",
+            format!(
+                "32x32 mesh, XY routing, uniform traffic at 0.1 flits/node/cycle, \
+                 4 partitions, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        let cfg = SimConfig::default()
+            .with_size(32, 32)
+            .with_topology(TopologyKind::Torus)
+            .with_routing(RoutingAlgorithm::TorusDor)
+            .with_traffic(TrafficPattern::Uniform, 0.10)
+            .with_partitions(4);
+        let measured = time_cfg(&cfg);
+        push_result(
+            &mut workloads,
+            "sim/32x32/torus/uniform/r0.10/p4",
+            format!(
+                "32x32 torus, torus-DOR routing, uniform traffic at 0.1 \
+                 flits/node/cycle, 4 partitions, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+    }
+
     // --- Batched DQN forward/backward (the training inner loop).
     {
         let mut agent = bench_agent();
@@ -759,7 +890,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 13);
+        assert_eq!(report.workloads.len(), 19);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);

@@ -235,7 +235,7 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         serial: false,
         out: None,
     };
-    const VALUE_FLAGS: [&str; 14] = [
+    const VALUE_FLAGS: [&str; 15] = [
         "--sizes",
         "--topologies",
         "--patterns",
@@ -249,6 +249,7 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         "--drain",
         "--seed",
         "--threads",
+        "--partitions",
         "--out",
     ];
     let mut it = args.iter();
@@ -324,6 +325,15 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
                     return Err(CliError("--threads must be at least 1".into()));
                 }
                 opts.threads = Some(n);
+            }
+            "--partitions" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --partitions `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError("--partitions must be at least 1".into()));
+                }
+                opts.grid.partitions = n;
             }
             "--out" => opts.out = Some(value.clone()),
             _ => unreachable!("flag membership checked above"),
@@ -413,7 +423,7 @@ pub struct RunOptions {
 /// Returns a usage error for unknown flags, malformed values, or the
 /// `--workload` vs `--pattern`/`--rate` conflict.
 pub fn parse_run_args(args: &[String]) -> Result<RunOptions, CliError> {
-    const VALUE_FLAGS: [&str; 12] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--config",
         "--topology",
         "--size",
@@ -422,6 +432,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunOptions, CliError> {
         "--rate",
         "--workload",
         "--faults",
+        "--partitions",
         "--seed",
         "--warmup",
         "--measure",
@@ -476,6 +487,15 @@ pub fn parse_run_args(args: &[String]) -> Result<RunOptions, CliError> {
                         .parse()
                         .map_err(|e| CliError(format!("bad --faults `{value}`: {e}")))?,
                 );
+            }
+            "--partitions" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --partitions `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError("--partitions must be at least 1".into()));
+                }
+                config = config.with_partitions(n);
             }
             "--seed" | "--warmup" | "--measure" | "--drain" => {
                 let n: u64 = value
@@ -1004,6 +1024,8 @@ mod tests {
             "9",
             "--threads",
             "3",
+            "--partitions",
+            "4",
         ]))
         .unwrap();
         let g = &opts.grid;
@@ -1024,8 +1046,12 @@ mod tests {
             (100, 400, 300, 9)
         );
         assert_eq!(opts.threads, Some(3));
+        assert_eq!(g.partitions, 4);
         assert!(!opts.serial);
         assert_eq!(g.len(), 2 * 2 * 3 * 2 * 2 * 2);
+        for s in g.scenarios() {
+            assert_eq!(s.config.partitions, 4, "partitions reach every scenario");
+        }
     }
 
     #[test]
@@ -1146,6 +1172,8 @@ mod tests {
             "0.12",
             "--faults",
             "2",
+            "--partitions",
+            "2",
             "--seed",
             "9",
             "--warmup",
@@ -1158,6 +1186,7 @@ mod tests {
         .unwrap();
         assert_eq!(opts.config.routing, RoutingAlgorithm::TorusMinAdaptive);
         assert_eq!((opts.config.width, opts.config.height), (4, 4));
+        assert_eq!(opts.config.partitions, 2);
         assert_eq!(opts.config.seed, 9);
         assert_eq!(opts.config.fault_plan.len(), 2);
         assert!(opts
@@ -1244,6 +1273,8 @@ mod tests {
         assert!(parse_sweep_grid_args(&strings(&["--patterns", "mystery"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--routings", "zigzag"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--threads", "0"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--partitions", "0"])).is_err());
+        assert!(parse_sweep_grid_args(&strings(&["--partitions", "two"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--faults", "one"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--rates"])).is_err());
         assert!(parse_sweep_grid_args(&strings(&["--bogus", "1"])).is_err());

@@ -70,13 +70,14 @@ fn main() -> ExitCode {
                  replay <trace.csv> [period] | default-config>\n\
                  run flags: --topology mesh|torus  --size 8x8  --routing xy  \
                  --pattern uniform  --rate 0.10  --workload 'ph[...]'  --faults N  \
-                 --seed N  --warmup N  --measure N  --drain N  --config base.json\n\
+                 --partitions N  --seed N  --warmup N  --measure N  --drain N  \
+                 --config base.json\n\
                  sweep-grid flags: --sizes 4x4,8x8  --topologies mesh,torus  \
                  --patterns uniform,transpose  \
                  --rates 0.05,0.10  --routings xy,oddeven  --levels none,0,3  \
                  --faults 0,1,2  --workloads 'ph[uniform:burst0.3x0.05]'  \
                  --warmup N  --measure N  --drain N  --seed N  \
-                 --threads N  --serial  --out report.json\n\
+                 --threads N  --partitions N  --serial  --out report.json\n\
                  workload labels: ph[<pattern>:<process>[@cycles]|...] with processes \
                  bern<rate>, burst<rate_on>x<switch>, pulse<rate>x<period>x<on>\n\
                  bench flags: --quick  --repeats N  --out bench.json  \

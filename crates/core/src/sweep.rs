@@ -91,6 +91,14 @@ pub struct SweepGrid {
     /// the grid exactly as before.
     #[serde(default)]
     pub workloads: Vec<WorkloadSpec>,
+    /// Partitions each scenario's `Network::step` runs with (intra-scenario
+    /// parallelism). Not serialized: results are byte-identical for every
+    /// partition count — it is purely a wall-clock knob, like `threads` on
+    /// the report — and keeping it out preserves report byte-identity
+    /// across `--partitions` values. Deserialized grids get the field's
+    /// zero default, which [`SweepGrid::scenarios`] clamps up to serial.
+    #[serde(skip)]
+    pub partitions: usize,
     /// Warmup cycles before the measurement window.
     pub warmup: u64,
     /// Measurement-window cycles.
@@ -116,6 +124,7 @@ impl Default for SweepGrid {
             levels: vec![None],
             faults: default_fault_axis(),
             workloads: Vec::new(),
+            partitions: 1,
             warmup: 500,
             measure: 2000,
             drain: 2000,
@@ -307,6 +316,7 @@ impl SweepGrid {
                                     .with_topology(kind)
                                     .with_workload(workload.clone())
                                     .with_routing(routing)
+                                    .with_partitions(self.partitions.max(1))
                                     .with_seed(seed);
                                 if faults > 0 {
                                     // The fault draw is salted off the
@@ -644,7 +654,12 @@ mod tests {
         let json = serde_json::to_string(&grid).unwrap();
         let stripped = json.replace("\"topologies\":[\"Mesh\"],", "");
         assert_ne!(json, stripped, "the field must have been present");
-        let back: SweepGrid = serde_json::from_str(&stripped).unwrap();
+        let mut back: SweepGrid = serde_json::from_str(&stripped).unwrap();
+        // `partitions` is never serialized (wall-clock knob); deserialized
+        // grids carry the zero placeholder that `scenarios()` clamps to
+        // serial. Normalize it before comparing the semantic fields.
+        assert_eq!(back.partitions, 0);
+        back.partitions = grid.partitions;
         assert_eq!(back, grid);
         assert_eq!(back.topologies, vec![TopologyKind::Mesh]);
     }

@@ -141,6 +141,7 @@ proptest! {
             levels: vec![None],
             faults: vec![0],
             workloads: vec![],
+            partitions: 1,
             warmup: 100,
             measure: 300,
             drain: 300,

@@ -17,6 +17,7 @@ fn quick_grid() -> SweepGrid {
         levels: vec![None],
         faults: vec![0],
         workloads: vec![],
+        partitions: 1,
         warmup: 200,
         measure: 500,
         drain: 500,
@@ -71,6 +72,30 @@ fn thread_count_does_not_change_results() {
         one, many,
         "oversubscribed pools must still be deterministic"
     );
+}
+
+/// Partition count is a pure execution strategy: the same grid swept with
+/// 1, 2, and 4 partitions per scenario produces byte-identical report
+/// bytes. `partitions` never serializes, and partitioned stepping replays
+/// the serial stats order exactly — so the reports cannot differ even in
+/// the last f64 bit. A torus + fault axis rides along to cover the
+/// boundary-exchange and rerouting paths, not just the healthy mesh.
+#[test]
+fn partition_count_does_not_change_report_bytes() {
+    let grid = |partitions: usize| SweepGrid {
+        topologies: vec![TopologyKind::Mesh, TopologyKind::Torus],
+        patterns: vec![TrafficPattern::Uniform],
+        rates: vec![0.10],
+        routings: vec![RoutingAlgorithm::Xy],
+        faults: vec![0, 2],
+        partitions,
+        ..quick_grid()
+    };
+    let one = to_json(&grid(1).run(2).expect("valid grid"));
+    let two = to_json(&grid(2).run(2).expect("valid grid"));
+    let four = to_json(&grid(4).run(2).expect("valid grid"));
+    assert_eq!(one, two, "2 partitions changed the report bytes");
+    assert_eq!(one, four, "4 partitions changed the report bytes");
 }
 
 /// The sweep determinism guarantee extends to faulted scenarios: a grid
@@ -402,6 +427,7 @@ fn optimized_cycle_loop_reproduces_golden_metrics() {
         levels: vec![None],
         faults: vec![0],
         workloads: vec![],
+        partitions: 1,
         warmup: 200,
         measure: 600,
         drain: 600,
@@ -468,6 +494,7 @@ fn faulted_golden_metrics_are_pinned() {
         levels: vec![None],
         faults: vec![0],
         workloads: vec![],
+        partitions: 1,
         warmup: 200,
         measure: 600,
         drain: 600,

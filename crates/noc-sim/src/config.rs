@@ -43,8 +43,19 @@ pub struct SimConfig {
     /// Defaults to the empty plan (a pristine fabric).
     #[serde(default)]
     pub fault_plan: FaultPlan,
+    /// Number of contiguous router-range tiles `Network::step` runs in
+    /// parallel. Defaults to 1 (serial); any value yields byte-identical
+    /// results, so this is purely a wall-clock knob.
+    #[serde(default = "default_partitions")]
+    pub partitions: usize,
     /// RNG seed for traffic generation.
     pub seed: u64,
+}
+
+/// Serde default for [`SimConfig::partitions`]: configs written before the
+/// knob existed (and configs that omit it) mean a serial step.
+fn default_partitions() -> usize {
+    1
 }
 
 impl Default for SimConfig {
@@ -67,6 +78,7 @@ impl Default for SimConfig {
             power: PowerModel::default_32nm(),
             throttles: Vec::new(),
             fault_plan: FaultPlan::empty(),
+            partitions: 1,
             seed: 1,
         }
     }
@@ -128,6 +140,12 @@ impl SimConfig {
     /// Set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the number of parallel step partitions (tiles).
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
         self
     }
 
@@ -201,6 +219,13 @@ impl SimConfig {
             return Err(SimError::InvalidConfig(format!(
                 "invalid region grid {}x{}",
                 self.regions_x, self.regions_y
+            )));
+        }
+        if self.partitions == 0 || self.partitions > self.width * self.height {
+            return Err(SimError::InvalidConfig(format!(
+                "partitions must be in 1..={} (one tile needs at least one router), got {}",
+                self.width * self.height,
+                self.partitions
             )));
         }
         for t in &self.throttles {
@@ -349,5 +374,25 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn partitions_validation() {
+        assert!(SimConfig::default().with_partitions(0).validate().is_err());
+        assert!(SimConfig::default().with_partitions(64).validate().is_ok());
+        assert!(SimConfig::default().with_partitions(65).validate().is_err());
+        assert_eq!(SimConfig::default().partitions, 1);
+    }
+
+    #[test]
+    fn partitions_default_on_old_configs() {
+        // Configs serialized before the knob existed must deserialize to a
+        // serial step, not to an invalid zero.
+        let json = serde_json::to_string(&SimConfig::default()).unwrap();
+        let pruned = json.replace("\"partitions\":1,", "");
+        assert_ne!(json, pruned, "the knob must serialize explicitly");
+        let back: SimConfig = serde_json::from_str(&pruned).unwrap();
+        assert_eq!(back.partitions, 1);
+        assert_eq!(back, SimConfig::default());
     }
 }

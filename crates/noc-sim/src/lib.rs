@@ -69,7 +69,7 @@ pub use network::Network;
 pub use power::{EnergyMeter, PowerEvent, PowerModel};
 pub use routing::RoutingAlgorithm;
 pub use sim::{RunSummary, Simulator};
-pub use stats::{StatsCollector, StatsSnapshot, WindowMetrics};
+pub use stats::{EnergySink, StatsCollector, StatsOp, StatsSnapshot, WindowMetrics};
 pub use topology::{Coord, NodeId, Port, Topology, TopologyKind};
 pub use trace::{PacketTrace, TraceEvent};
 pub use traffic::{

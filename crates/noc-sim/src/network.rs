@@ -4,6 +4,25 @@
 //! Event application is double-buffered: all routers compute their cycle
 //! first, then flit movements and credit returns are applied, so router
 //! evaluation order never matters and links have a one-cycle latency.
+//!
+//! # Partitioned stepping
+//!
+//! The per-node phase of [`Network::step`] is data-parallel: node `i`
+//! mutates only `routers[i]`, `inj[i]`, and `gates[i]`, and every
+//! cross-node effect (flit deliveries, credit returns) is buffered and
+//! applied afterwards — the one-cycle link latency *is* the boundary
+//! exchange. `SimConfig::partitions` splits the fabric into contiguous
+//! node-range tiles stepped concurrently on a persistent thread pool.
+//!
+//! Determinism: tiles never touch the shared [`StatsCollector`]. Each tile
+//! appends the stats mutations it would have applied to a private
+//! [`StatsOp`] log, and a serial commit phase replays the logs in tile
+//! order — which, because tiles are contiguous ascending ranges, is exactly
+//! the serial per-node mutation order (same float-addition order, same
+//! event order). Every partition count, including 1, runs this same
+//! log-and-replay path, so the partition knob cannot perturb results:
+//! reports are byte-identical across `partitions` ∈ {1, 2, 4, ...} (pinned
+//! by the differential tests in `tests/partitions.rs`).
 
 use crate::config::SimConfig;
 use crate::dvfs::{ClockGate, RegionMap, ThrottleEvent, VfTable};
@@ -13,10 +32,13 @@ use crate::flit::{Flit, Packet, PacketId};
 use crate::power::{PowerEvent, PowerModel};
 use crate::router::{Router, RouterCtx, RouterEvent};
 use crate::routing::RoutingAlgorithm;
-use crate::stats::StatsCollector;
+use crate::stats::{EnergySink, StatsCollector, StatsOp};
 use crate::topology::{NodeId, Port, Topology, TopologyKind};
 use crate::vc::OutputVcState;
+use std::cell::UnsafeCell;
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
 
 /// Per-node source queue with credit-tracked access to the router's `Local`
 /// input port.
@@ -133,9 +155,15 @@ pub struct Network {
     /// fault-free simulation pays nothing.
     has_faults: bool,
     cycle: u64,
+    /// Number of contiguous node-range tiles the per-node phase is split
+    /// into (1 = no intra-simulation parallelism).
+    partitions: usize,
+    /// Persistent worker pool driving tiles 1.. when `partitions > 1`
+    /// (tile 0 always runs on the calling thread).
+    pool: Option<TilePool>,
     /// Reusable per-cycle buffers. [`Network::step`] used to allocate fresh
     /// `Vec`s for link deliveries, credit returns, router events, and the
-    /// region-occupancy sample every cycle; hoisting them here removes four
+    /// region-occupancy sample every cycle; hoisting them here removes the
     /// allocations per simulated cycle from the hottest loop in the system.
     scratch: StepScratch,
 }
@@ -144,10 +172,179 @@ pub struct Network {
 /// of every cycle, so only capacity persists).
 #[derive(Debug, Default)]
 struct StepScratch {
-    deliveries: Vec<Delivery>,
-    credits: Vec<CreditReturn>,
-    events: Vec<RouterEvent>,
+    /// One outbox per tile, reused across cycles.
+    outboxes: Vec<TileOutbox>,
     region_occ: Vec<usize>,
+}
+
+/// Everything a tile produces during the per-node phase: buffered cross-node
+/// effects (deliveries, credits) plus the ordered log of stats mutations to
+/// replay serially in the commit phase.
+#[derive(Debug, Default)]
+struct TileOutbox {
+    /// Stats mutations in exact per-node order (see module docs).
+    ops: Vec<StatsOp>,
+    /// Flits leaving this tile's routers (possibly into another tile).
+    deliveries: Vec<Delivery>,
+    /// Credits owed to upstream routers (possibly in another tile).
+    credits: Vec<CreditReturn>,
+    /// Reusable router-event buffer for this tile's step loop.
+    events: Vec<RouterEvent>,
+}
+
+/// Immutable, cross-tile state the per-node phase reads. Everything here is
+/// frozen for the duration of the phase, so sharing it across worker
+/// threads is safe.
+#[derive(Debug)]
+struct TileShared<'a> {
+    topo: &'a Topology,
+    routing: RoutingAlgorithm,
+    power: &'a PowerModel,
+    links_out: &'a [usize],
+    region_by_node: &'a [usize],
+    region_dynamic_scale: &'a [f64],
+    region_leakage_scale: &'a [f64],
+    link_state: &'a LinkState,
+    has_faults: bool,
+    cycle: u64,
+}
+
+/// One tile's disjoint mutable slice of the fabric: routers, source queues,
+/// and clock gates for the contiguous node range starting at `base`.
+#[derive(Debug)]
+struct TileTask<'a> {
+    base: usize,
+    routers: &'a mut [Router],
+    inj: &'a mut [InjectionQueue],
+    gates: &'a mut [ClockGate],
+    out: &'a mut TileOutbox,
+}
+
+/// Shared view of the per-tile task cells handed to the pool closure.
+///
+/// Safety: each worker dereferences only the cell at its own tile index, so
+/// no two threads ever alias the same `TileTask`. The `T: Send` bound makes
+/// the compiler verify the tasks' contents may move across threads.
+struct SyncTasks<'a, T>(&'a [UnsafeCell<T>]);
+unsafe impl<T: Send> Sync for SyncTasks<'_, T> {}
+
+impl<T> SyncTasks<'_, T> {
+    /// Raw pointer to the task at `t`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no two threads dereference the same index
+    /// concurrently (here: worker `t` is the only one touching tile `t`).
+    unsafe fn get(&self, t: usize) -> *mut T {
+        self.0[t].get()
+    }
+}
+
+/// Type-erased pointer to the per-cycle tile closure. The lifetime is erased
+/// so the pointer can live in the pool's shared cell; workers only
+/// dereference it between the start and done barriers of a dispatch, while
+/// the closure is guaranteed alive on the coordinating thread's stack.
+type Job = *const (dyn Fn(usize) + Sync);
+
+/// State shared between the coordinator and the pool workers.
+struct PoolShared {
+    /// Released by the coordinator once `job` is set (or shutdown raised).
+    start: Barrier,
+    /// Crossed by everyone once the dispatched job is finished.
+    done: Barrier,
+    /// The closure to run this dispatch, written only between barriers.
+    job: UnsafeCell<Option<Job>>,
+    /// Raised (before releasing `start`) to terminate the workers.
+    shutdown: AtomicBool,
+}
+
+// Safety: `job` is written only by the coordinator while the workers are
+// parked on `start`, and read only after crossing it; the barriers provide
+// the required happens-before edges. (`Send` is needed because the raw
+// closure pointer makes the type `!Send` by default; the same barrier
+// protocol keeps handing it across threads sound.)
+unsafe impl Sync for PoolShared {}
+unsafe impl Send for PoolShared {}
+
+/// Persistent barrier-synchronized worker pool for the partitioned per-node
+/// phase.
+///
+/// `noc_selfconf::parallel_map` (the sweep-level pool) is not reusable here:
+/// `noc-selfconf` depends on this crate, so reaching for it would create a
+/// dependency cycle — and it spawns fresh threads per call, which at one
+/// dispatch *per simulated cycle* would cost more than the cycle itself.
+/// This pool spawns `partitions - 1` workers once and reuses them; a
+/// dispatch is two barrier crossings.
+struct TilePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TilePool {
+    fn new(partitions: usize) -> Self {
+        debug_assert!(partitions > 1);
+        let shared = Arc::new(PoolShared {
+            start: Barrier::new(partitions),
+            done: Barrier::new(partitions),
+            job: UnsafeCell::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..partitions)
+            .map(|t| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    sh.start.wait();
+                    if sh.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Safety: the coordinator set `job` before releasing the
+                    // start barrier and keeps the closure alive until every
+                    // thread crosses the done barrier.
+                    let job = unsafe { (*sh.job.get()).expect("job set before dispatch") };
+                    (unsafe { &*job })(t);
+                    sh.done.wait();
+                })
+            })
+            .collect();
+        TilePool { shared, workers }
+    }
+
+    /// Run `f(tile)` for every tile index concurrently; tile 0 runs on the
+    /// calling thread. Returns once every tile has finished.
+    fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        // Safety: erasing the lifetime is sound because the pointer is
+        // cleared before this frame (and `f`) can go away — workers finish
+        // with it strictly before the done barrier releases us.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        };
+        unsafe {
+            *self.shared.job.get() = Some(job);
+        }
+        self.shared.start.wait();
+        f(0);
+        self.shared.done.wait();
+        unsafe {
+            *self.shared.job.get() = None;
+        }
+    }
+}
+
+impl Drop for TilePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.start.wait();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TilePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TilePool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
 }
 
 impl Network {
@@ -191,6 +388,8 @@ impl Network {
         let fault_boundaries = fault_plan.boundaries();
         let has_faults = !fault_plan.is_empty();
         let link_state = LinkState::healthy(topo.num_nodes());
+        let partitions = config.partitions;
+        let pool = (partitions > 1).then(|| TilePool::new(partitions));
         Ok(Network {
             topo,
             routing: config.routing,
@@ -213,8 +412,15 @@ impl Network {
             link_state,
             has_faults,
             cycle: 0,
+            partitions,
+            pool,
             scratch: StepScratch::default(),
         })
+    }
+
+    /// Number of tiles the per-node phase is split into.
+    pub fn partitions(&self) -> usize {
+        self.partitions
     }
 
     /// The topology.
@@ -394,10 +600,6 @@ impl Network {
         self.region_dynamic_scale[self.region_by_node[node.0]]
     }
 
-    fn leakage_scale(&self, node: NodeId) -> f64 {
-        self.region_leakage_scale[self.region_by_node[node.0]]
-    }
-
     /// Whether a mesh/torus hop from `from` via `port` crosses a wrap-around
     /// (dateline) link.
     fn crosses_dateline(&self, from: NodeId, port: Port) -> bool {
@@ -415,6 +617,12 @@ impl Network {
     }
 
     /// Advance the network one global clock cycle.
+    ///
+    /// The per-node phase runs tile-by-tile (in parallel when
+    /// `partitions > 1`), logging stats mutations per tile; the commit
+    /// phase then replays those logs and applies deliveries and credits
+    /// serially in tile order. See the module docs for why this makes the
+    /// partition count observationally irrelevant.
     pub fn step(&mut self, stats: &mut StatsCollector) {
         if !self.throttles.is_empty() {
             self.sync_effective_levels();
@@ -422,119 +630,114 @@ impl Network {
         if self.has_faults {
             self.apply_fault_boundaries(stats);
         }
-        // Borrow the reusable per-cycle buffers out of `self` for the cycle
+        // Borrow the reusable per-tile outboxes out of `self` for the cycle
         // (they are drained before being returned, so only their capacity
         // carries over between cycles).
-        let mut deliveries = std::mem::take(&mut self.scratch.deliveries);
-        let mut credits = std::mem::take(&mut self.scratch.credits);
-        let mut events = std::mem::take(&mut self.scratch.events);
-        debug_assert!(deliveries.is_empty() && credits.is_empty() && events.is_empty());
+        let mut outboxes = std::mem::take(&mut self.scratch.outboxes);
+        if outboxes.len() != self.partitions {
+            outboxes.resize_with(self.partitions, TileOutbox::default);
+        }
 
-        for i in 0..self.topo.num_nodes() {
-            let node = NodeId(i);
-            if self.has_faults && !self.link_state.is_router_up(node) {
-                // A dead router does nothing and consumes nothing; traffic
-                // offered at its source queue is unreachable and dropped.
-                self.drop_source_queue(i, stats);
-                continue;
+        {
+            let shared = TileShared {
+                topo: &self.topo,
+                routing: self.routing,
+                power: &self.power,
+                links_out: &self.links_out,
+                region_by_node: &self.region_by_node,
+                region_dynamic_scale: &self.region_dynamic_scale,
+                region_leakage_scale: &self.region_leakage_scale,
+                link_state: &self.link_state,
+                has_faults: self.has_faults,
+                cycle: self.cycle,
+            };
+            // Carve the fabric into disjoint contiguous slices, one per tile.
+            let n = self.topo.num_nodes();
+            let mut tasks: Vec<TileTask<'_>> = Vec::with_capacity(self.partitions);
+            let mut routers = self.routers.as_mut_slice();
+            let mut inj = self.inj.as_mut_slice();
+            let mut gates = self.gates.as_mut_slice();
+            let mut outs = outboxes.as_mut_slice();
+            let mut base = 0usize;
+            for t in 0..self.partitions {
+                let hi = (t + 1) * n / self.partitions;
+                let len = hi - base;
+                let (r, rest) = routers.split_at_mut(len);
+                routers = rest;
+                let (q, rest) = inj.split_at_mut(len);
+                inj = rest;
+                let (g, rest) = gates.split_at_mut(len);
+                gates = rest;
+                let (o, rest) = outs.split_at_mut(1);
+                outs = rest;
+                tasks.push(TileTask {
+                    base,
+                    routers: r,
+                    inj: q,
+                    gates: g,
+                    out: &mut o[0],
+                });
+                base = hi;
             }
-            // Leakage accrues every global cycle regardless of clock gating;
-            // idle routers (empty buffers and source queue) may be power
-            // gated down to a fraction of nominal leakage.
-            let mut leak = self.leakage_scale(node);
-            if self.power.idle_leakage_fraction < 1.0
-                && self.routers[i].occupancy() == 0
-                && self.inj[i].backlog_flits() == 0
-            {
-                leak *= self.power.idle_leakage_fraction;
+            match &self.pool {
+                Some(pool) => {
+                    let cells: Vec<UnsafeCell<TileTask<'_>>> =
+                        tasks.into_iter().map(UnsafeCell::new).collect();
+                    let cells = SyncTasks(&cells);
+                    let shared = &shared;
+                    pool.run(&|t| {
+                        // Safety: tile index t is executed by exactly one
+                        // thread per dispatch, so the cell is unaliased.
+                        let task = unsafe { &mut *cells.get(t) };
+                        step_tile(shared, task);
+                    });
+                }
+                None => {
+                    for task in &mut tasks {
+                        step_tile(&shared, task);
+                    }
+                }
             }
-            stats
-                .energy
-                .record_leakage(&self.power, self.links_out[i], leak);
-            if !self.gates[i].tick() {
-                continue; // clock-gated this cycle
+        }
+
+        // Commit phase (serial). Tiles are contiguous ascending node ranges,
+        // so replaying/applying each outbox in tile order reproduces the
+        // exact serial per-node order of stats mutations, deliveries, and
+        // credits.
+        let n = self.topo.num_nodes();
+        for ob in &mut outboxes {
+            for op in ob.ops.drain(..) {
+                stats.apply(op, &self.power, n, self.cycle);
             }
-            let dynamic_scale = self.dynamic_scale(node);
-            events.clear();
-            {
+        }
+        for ob in &mut outboxes {
+            for mut d in ob.deliveries.drain(..) {
+                if self.crosses_dateline_rev(d.to, d.in_port) {
+                    d.flit.vc_class = 1;
+                }
+                let scale = self.dynamic_scale(d.to);
                 let mut ctx = RouterCtx {
                     topo: &self.topo,
                     routing: self.routing,
                     power: &self.power,
-                    meter: &mut stats.energy,
-                    dynamic_scale,
-                    faults: if self.has_faults {
-                        Some(&self.link_state)
-                    } else {
-                        None
-                    },
+                    energy: EnergySink::Meter(&mut stats.energy),
+                    dynamic_scale: scale,
+                    faults: None,
                 };
-                self.routers[i].step_into(&mut ctx, &mut events);
+                self.routers[d.to.0].accept(d.in_port, d.flit, &mut ctx);
             }
-            for ev in events.drain(..) {
-                match ev {
-                    RouterEvent::Forward { out_port, flit } => {
-                        let to = self
-                            .topo
-                            .neighbor(node, out_port)
-                            .expect("router forwarded off the edge");
-                        debug_assert!(
-                            !self.has_faults || self.link_state.is_link_up(node, out_port),
-                            "delivery scheduled across a dead link"
-                        );
-                        deliveries.push(Delivery {
-                            to,
-                            in_port: out_port.opposite(),
-                            flit,
-                        });
-                        stats.record_forward(i, self.topo.num_nodes());
-                        stats
-                            .energy
-                            .record(&self.power, PowerEvent::LinkTraversal, dynamic_scale);
-                    }
-                    RouterEvent::Eject { flit } => {
-                        stats.record_ejection(&flit, self.cycle);
-                    }
-                    RouterEvent::Credit { in_port, vc } => {
-                        credits.push(CreditReturn {
-                            at: node,
-                            in_port,
-                            vc,
-                        });
-                    }
-                    RouterEvent::Drop { flit } => {
-                        stats.record_drop(&flit);
-                    }
+        }
+        for ob in &mut outboxes {
+            for c in ob.credits.drain(..) {
+                if c.in_port == Port::Local {
+                    self.inj[c.at.0].vc_states[c.vc].credits += 1;
+                } else {
+                    let upstream = self
+                        .topo
+                        .neighbor(c.at, c.in_port)
+                        .expect("credit toward a missing neighbor");
+                    self.routers[upstream.0].return_credit(c.in_port.opposite(), c.vc);
                 }
-            }
-            self.try_inject(node, stats);
-        }
-
-        // Apply buffered effects: link deliveries then credit returns.
-        for mut d in deliveries.drain(..) {
-            if self.crosses_dateline_rev(d.to, d.in_port) {
-                d.flit.vc_class = 1;
-            }
-            let scale = self.dynamic_scale(d.to);
-            let mut ctx = RouterCtx {
-                topo: &self.topo,
-                routing: self.routing,
-                power: &self.power,
-                meter: &mut stats.energy,
-                dynamic_scale: scale,
-                faults: None,
-            };
-            self.routers[d.to.0].accept(d.in_port, d.flit, &mut ctx);
-        }
-        for c in credits.drain(..) {
-            if c.in_port == Port::Local {
-                self.inj[c.at.0].vc_states[c.vc].credits += 1;
-            } else {
-                let upstream = self
-                    .topo
-                    .neighbor(c.at, c.in_port)
-                    .expect("credit toward a missing neighbor");
-                self.routers[upstream.0].return_credit(c.in_port.opposite(), c.vc);
             }
         }
 
@@ -549,9 +752,7 @@ impl Network {
         );
         self.scratch.region_occ = region_occ;
 
-        self.scratch.deliveries = deliveries;
-        self.scratch.credits = credits;
-        self.scratch.events = events;
+        self.scratch.outboxes = outboxes;
         self.cycle += 1;
     }
 
@@ -567,79 +768,6 @@ impl Network {
             .neighbor(to, in_port)
             .expect("delivery from a missing neighbor");
         self.crosses_dateline(from, in_port.opposite())
-    }
-
-    /// Try to move one flit from the node's source queue into the router's
-    /// Local input port, honoring VC ownership and credits.
-    fn try_inject(&mut self, node: NodeId, stats: &mut StatsCollector) {
-        let i = node.0;
-        let region = self.regions.region_of(&self.topo, node);
-        let is_torus = self.topo.kind() == TopologyKind::Torus;
-        let cycle = self.cycle;
-        let scale = self.dynamic_scale(node);
-
-        let injected: Option<(Flit, bool)> = {
-            let q = &mut self.inj[i];
-            if q.current.is_empty() {
-                match q.pop_packet() {
-                    Some(p) => {
-                        q.current = p.to_flits(cycle).into();
-                        q.current_vc = None;
-                    }
-                    None => return,
-                }
-            }
-            let head = q.current.front().expect("checked non-empty");
-            let vc = match q.current_vc {
-                Some(vc) => Some(vc),
-                None => {
-                    debug_assert!(head.is_head(), "mid-packet without an assigned VC");
-                    // Head flit: claim a free local-input VC. Injected packets
-                    // are dateline class 0, so claim from the class-0 range
-                    // on tori.
-                    let limit = if is_torus {
-                        q.vc_states.len() / 2
-                    } else {
-                        q.vc_states.len()
-                    };
-                    match (0..limit).find(|&v| q.vc_states[v].is_free()) {
-                        Some(vc) => {
-                            q.vc_states[vc].owner = Some(head.packet);
-                            q.current_vc = Some(vc);
-                            Some(vc)
-                        }
-                        None => None,
-                    }
-                }
-            };
-            match vc {
-                Some(vc) if q.vc_states[vc].has_credit() => {
-                    let mut flit = q.current.pop_front().expect("checked non-empty");
-                    flit.vc = vc;
-                    q.vc_states[vc].credits -= 1;
-                    let is_tail = flit.is_tail();
-                    if is_tail {
-                        q.vc_states[vc].owner = None;
-                        q.current_vc = None;
-                    }
-                    Some((flit, is_tail))
-                }
-                _ => None,
-            }
-        };
-
-        if let Some((flit, is_tail)) = injected {
-            stats.record_injection(region, is_tail);
-            let mut ctx = RouterCtx {
-                topo: &self.topo,
-                routing: self.routing,
-                power: &self.power,
-                meter: &mut stats.energy,
-                dynamic_scale: scale,
-                faults: None,
-            };
-            self.routers[i].accept(Port::Local, flit, &mut ctx);
-        }
     }
 
     /// Apply every fault boundary reached by the current cycle: rebuild the
@@ -734,23 +862,203 @@ impl Network {
         }
         stats.record_purged(condemned.len() as u64, dropped_flits);
     }
+}
 
-    /// Drop everything waiting at a dead router's source queue: queued
-    /// packets and any mid-injection remnant that never reached the network.
-    fn drop_source_queue(&mut self, i: usize, stats: &mut StatsCollector) {
-        let q = &mut self.inj[i];
-        while let Some(p) = q.pop_packet() {
-            stats.record_source_drop(1, p.len_flits as u64);
+/// Step one tile's node range: the exact serial per-node loop, with all
+/// stats mutations logged to the tile's outbox instead of applied, and all
+/// cross-node effects buffered.
+fn step_tile(shared: &TileShared<'_>, tile: &mut TileTask<'_>) {
+    let mut events = std::mem::take(&mut tile.out.events);
+    for k in 0..tile.routers.len() {
+        let i = tile.base + k;
+        let node = NodeId(i);
+        if shared.has_faults && !shared.link_state.is_router_up(node) {
+            // A dead router does nothing and consumes nothing; traffic
+            // offered at its source queue is unreachable and dropped.
+            drop_source_queue_tile(&mut tile.inj[k], &mut tile.out.ops);
+            continue;
         }
-        if !q.current.is_empty() {
-            // Possible only for a packet that had injected nothing when the
-            // router died (otherwise the boundary purge already cleared it),
-            // so it still counts as a whole dropped packet.
-            stats.record_source_drop(1, q.current.len() as u64);
-            q.current.clear();
-            if let Some(vc) = q.current_vc.take() {
-                q.vc_states[vc].owner = None;
+        // Leakage accrues every global cycle regardless of clock gating;
+        // idle routers (empty buffers and source queue) may be power
+        // gated down to a fraction of nominal leakage.
+        let region = shared.region_by_node[i];
+        let mut leak = shared.region_leakage_scale[region];
+        if shared.power.idle_leakage_fraction < 1.0
+            && tile.routers[k].occupancy() == 0
+            && tile.inj[k].backlog_flits() == 0
+        {
+            leak *= shared.power.idle_leakage_fraction;
+        }
+        tile.out.ops.push(StatsOp::Leakage {
+            links: shared.links_out[i],
+            scale: leak,
+        });
+        if !tile.gates[k].tick() {
+            continue; // clock-gated this cycle
+        }
+        let dynamic_scale = shared.region_dynamic_scale[region];
+        events.clear();
+        {
+            let mut ctx = RouterCtx {
+                topo: shared.topo,
+                routing: shared.routing,
+                power: shared.power,
+                energy: EnergySink::Log(&mut tile.out.ops),
+                dynamic_scale,
+                faults: if shared.has_faults {
+                    Some(shared.link_state)
+                } else {
+                    None
+                },
+            };
+            tile.routers[k].step_into(&mut ctx, &mut events);
+        }
+        for ev in events.drain(..) {
+            match ev {
+                RouterEvent::Forward { out_port, flit } => {
+                    let to = shared
+                        .topo
+                        .neighbor(node, out_port)
+                        .expect("router forwarded off the edge");
+                    debug_assert!(
+                        !shared.has_faults || shared.link_state.is_link_up(node, out_port),
+                        "delivery scheduled across a dead link"
+                    );
+                    tile.out.deliveries.push(Delivery {
+                        to,
+                        in_port: out_port.opposite(),
+                        flit,
+                    });
+                    tile.out.ops.push(StatsOp::Forward { node: i });
+                    tile.out.ops.push(StatsOp::Energy {
+                        event: PowerEvent::LinkTraversal,
+                        scale: dynamic_scale,
+                    });
+                }
+                RouterEvent::Eject { flit } => {
+                    tile.out.ops.push(StatsOp::Eject { flit });
+                }
+                RouterEvent::Credit { in_port, vc } => {
+                    tile.out.credits.push(CreditReturn {
+                        at: node,
+                        in_port,
+                        vc,
+                    });
+                }
+                RouterEvent::Drop { flit } => {
+                    tile.out.ops.push(StatsOp::Drop { flit });
+                }
             }
+        }
+        try_inject_tile(
+            shared,
+            &mut tile.routers[k],
+            &mut tile.inj[k],
+            node,
+            &mut tile.out.ops,
+        );
+    }
+    tile.out.events = events;
+}
+
+/// Try to move one flit from the node's source queue into the router's
+/// Local input port, honoring VC ownership and credits (tile-local variant;
+/// the injection and buffer-write stats land in the op log).
+fn try_inject_tile(
+    shared: &TileShared<'_>,
+    router: &mut Router,
+    q: &mut InjectionQueue,
+    node: NodeId,
+    ops: &mut Vec<StatsOp>,
+) {
+    let region = shared.region_by_node[node.0];
+    let is_torus = shared.topo.kind() == TopologyKind::Torus;
+    let cycle = shared.cycle;
+    let scale = shared.region_dynamic_scale[region];
+
+    let injected: Option<(Flit, bool)> = {
+        if q.current.is_empty() {
+            match q.pop_packet() {
+                Some(p) => {
+                    q.current = p.to_flits(cycle).into();
+                    q.current_vc = None;
+                }
+                None => return,
+            }
+        }
+        let head = q.current.front().expect("checked non-empty");
+        let vc = match q.current_vc {
+            Some(vc) => Some(vc),
+            None => {
+                debug_assert!(head.is_head(), "mid-packet without an assigned VC");
+                // Head flit: claim a free local-input VC. Injected packets
+                // are dateline class 0, so claim from the class-0 range
+                // on tori.
+                let limit = if is_torus {
+                    q.vc_states.len() / 2
+                } else {
+                    q.vc_states.len()
+                };
+                match (0..limit).find(|&v| q.vc_states[v].is_free()) {
+                    Some(vc) => {
+                        q.vc_states[vc].owner = Some(head.packet);
+                        q.current_vc = Some(vc);
+                        Some(vc)
+                    }
+                    None => None,
+                }
+            }
+        };
+        match vc {
+            Some(vc) if q.vc_states[vc].has_credit() => {
+                let mut flit = q.current.pop_front().expect("checked non-empty");
+                flit.vc = vc;
+                q.vc_states[vc].credits -= 1;
+                let is_tail = flit.is_tail();
+                if is_tail {
+                    q.vc_states[vc].owner = None;
+                    q.current_vc = None;
+                }
+                Some((flit, is_tail))
+            }
+            _ => None,
+        }
+    };
+
+    if let Some((flit, is_tail)) = injected {
+        ops.push(StatsOp::Injection { region, is_tail });
+        let mut ctx = RouterCtx {
+            topo: shared.topo,
+            routing: shared.routing,
+            power: shared.power,
+            energy: EnergySink::Log(ops),
+            dynamic_scale: scale,
+            faults: None,
+        };
+        router.accept(Port::Local, flit, &mut ctx);
+    }
+}
+
+/// Drop everything waiting at a dead router's source queue: queued packets
+/// and any mid-injection remnant that never reached the network.
+fn drop_source_queue_tile(q: &mut InjectionQueue, ops: &mut Vec<StatsOp>) {
+    while let Some(p) = q.pop_packet() {
+        ops.push(StatsOp::SourceDrop {
+            packets: 1,
+            flits: p.len_flits as u64,
+        });
+    }
+    if !q.current.is_empty() {
+        // Possible only for a packet that had injected nothing when the
+        // router died (otherwise the boundary purge already cleared it),
+        // so it still counts as a whole dropped packet.
+        ops.push(StatsOp::SourceDrop {
+            packets: 1,
+            flits: q.current.len() as u64,
+        });
+        q.current.clear();
+        if let Some(vc) = q.current_vc.take() {
+            q.vc_states[vc].owner = None;
         }
     }
 }

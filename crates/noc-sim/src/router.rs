@@ -21,8 +21,9 @@
 use crate::arbiter::RoundRobinArbiter;
 use crate::fault::LinkState;
 use crate::flit::{Flit, PacketId};
-use crate::power::{EnergyMeter, PowerEvent, PowerModel};
+use crate::power::{PowerEvent, PowerModel};
 use crate::routing::{route, route_live, RoutingAlgorithm};
+use crate::stats::EnergySink;
 use crate::topology::{NodeId, Port, Topology};
 use crate::vc::{InputVc, OutputVcState};
 use serde::{Deserialize, Serialize};
@@ -68,8 +69,9 @@ pub struct RouterCtx<'a> {
     pub routing: RoutingAlgorithm,
     /// Event-energy model.
     pub power: &'a PowerModel,
-    /// Energy accumulator.
-    pub meter: &'a mut EnergyMeter,
+    /// Energy accumulator — a meter on the serial path, a per-tile
+    /// [`crate::stats::StatsOp`] log inside the partitioned stepper.
+    pub energy: EnergySink<'a>,
     /// Dynamic energy multiplier for this router's current V/F level.
     pub dynamic_scale: f64,
     /// Link/router liveness under the active fault set. `None` means the
@@ -232,7 +234,7 @@ impl Router {
     /// # Panics
     /// Panics if the buffer is full (a flow-control violation).
     pub fn accept(&mut self, port: Port, flit: Flit, ctx: &mut RouterCtx<'_>) {
-        ctx.meter
+        ctx.energy
             .record(ctx.power, PowerEvent::BufferWrite, ctx.dynamic_scale);
         self.inputs[port.index()][flit.vc].buf.push(flit);
         self.occ += 1;
@@ -367,11 +369,11 @@ impl Router {
             if is_tail {
                 ivc.release();
             }
-            ctx.meter
+            ctx.energy
                 .record(ctx.power, PowerEvent::BufferRead, ctx.dynamic_scale);
-            ctx.meter
+            ctx.energy
                 .record(ctx.power, PowerEvent::SwitchArb, ctx.dynamic_scale);
-            ctx.meter
+            ctx.energy
                 .record(ctx.power, PowerEvent::Crossbar, ctx.dynamic_scale);
             if out_port == Port::Local {
                 events.push(RouterEvent::Eject { flit });
@@ -411,7 +413,7 @@ impl Router {
                 if out_port == Port::Local {
                     // Ejection needs no downstream VC; claim slot 0 nominally.
                     self.inputs[ip][vc].out_vc = Some(0);
-                    ctx.meter
+                    ctx.energy
                         .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
                     continue;
                 }
@@ -431,7 +433,7 @@ impl Router {
                     self.outputs[op][ovc].owner = Some(packet);
                     self.inputs[ip][vc].out_vc = Some(ovc);
                     self.va_ptr[op] = self.va_ptr[op].wrapping_add(1);
-                    ctx.meter
+                    ctx.energy
                         .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
                 }
             }
@@ -486,7 +488,7 @@ impl Router {
                 let ivc = &mut self.inputs[ip][vc];
                 ivc.route = Some(chosen);
                 ivc.owner = Some(packet);
-                ctx.meter
+                ctx.energy
                     .record(ctx.power, PowerEvent::RouteCompute, ctx.dynamic_scale);
             }
         }
@@ -587,6 +589,7 @@ impl Router {
 mod tests {
     use super::*;
     use crate::flit::{FlitKind, Packet, PacketId};
+    use crate::power::EnergyMeter;
 
     fn ctx_parts() -> (Topology, PowerModel) {
         (Topology::mesh(4, 4), PowerModel::default_32nm())
@@ -615,7 +618,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
@@ -659,7 +662,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
@@ -699,7 +702,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
@@ -727,7 +730,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
@@ -763,7 +766,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
@@ -795,7 +798,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
@@ -816,7 +819,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
@@ -843,7 +846,7 @@ mod tests {
             topo: &topo,
             routing: RoutingAlgorithm::Xy,
             power: &power,
-            meter: &mut meter,
+            energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
         };
