@@ -18,8 +18,18 @@
 //!   regressions beyond a tolerance — the CI perf gate.
 //!
 //! Wall-clock numbers are inherently machine-dependent; reports record the
-//! median of several repeats to tame scheduler noise, and the CI gate uses a
-//! generous (30 %) tolerance so only genuine regressions trip it.
+//! median of several repeats to tame scheduler noise. The CI gate applies a
+//! **per-workload** tolerance when the baseline carries one (fast workloads
+//! are noisier than slow ones, so a single global knob either lets slow
+//! regressions through or flakes on fast points), falling back to a generous
+//! global (30 %) tolerance otherwise. A baseline workload may additionally
+//! carry an absolute `target_units_per_sec` floor — the candidate fails the
+//! gate outright when it runs below it, regardless of relative deltas, which
+//! is how the "8x8 uniform\@0.10 sustains ≥ 100k cycles/sec" promise is held.
+//!
+//! [`append_trajectory`] distils each gated run to one CSV line (sha, date,
+//! headline cycles/sec) appended to `results/trajectory.csv`, giving a
+//! commit-over-commit perf history that survives artifact expiry.
 
 use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
 use noc_sim::{
@@ -110,6 +120,16 @@ pub struct WorkloadResult {
     pub units_per_sec: f64,
     /// Flits delivered per second (simulator workloads only).
     pub flits_per_sec: Option<f64>,
+    /// Per-workload regression tolerance. Set in curated baselines; when
+    /// present it overrides the global `--tolerance` for this workload in
+    /// [`compare`]. Fresh suite runs leave it unset.
+    #[serde(default)]
+    pub tolerance: Option<f64>,
+    /// Absolute floor on the candidate's `units_per_sec`. Set in curated
+    /// baselines; a candidate below the floor fails the gate even if its
+    /// relative delta is within tolerance. Fresh suite runs leave it unset.
+    #[serde(default)]
+    pub target_units_per_sec: Option<f64>,
 }
 
 /// The serialized artifact: one suite run on one commit.
@@ -198,6 +218,79 @@ pub fn median_iqr(samples: &mut [u64]) -> (u64, u64) {
     (median, q3.saturating_sub(q1))
 }
 
+/// Headline workloads distilled into the trajectory CSV, in column order:
+/// the loaded and idle-heavy points at both tracked fabric sizes.
+pub const TRAJECTORY_WORKLOADS: [&str; 4] = [
+    "sim/8x8/uniform/r0.10",
+    "sim/8x8/uniform/r0.01",
+    "sim/16x16/uniform/r0.10",
+    "sim/16x16/uniform/r0.01",
+];
+
+/// Header line of `trajectory.csv` (no trailing newline).
+pub fn trajectory_header() -> String {
+    let mut out = String::from("sha,date");
+    for name in TRAJECTORY_WORKLOADS {
+        let _ = write!(out, ",{name}");
+    }
+    out
+}
+
+/// One trajectory row for `report` (no trailing newline): commit sha, UTC
+/// date, then cycles/sec for each headline workload (empty cell when the
+/// report lacks the workload, so schema drift stays visible instead of
+/// shifting columns).
+pub fn trajectory_line(report: &BenchReport) -> String {
+    let mut out = format!("{},{}", report.git_sha, utc_date_string());
+    for name in TRAJECTORY_WORKLOADS {
+        match report.workloads.iter().find(|w| w.name == name) {
+            Some(w) => {
+                let _ = write!(out, ",{:.0}", w.units_per_sec);
+            }
+            None => out.push(','),
+        }
+    }
+    out
+}
+
+/// Append `report`'s trajectory row to the CSV at `path`, writing the
+/// header first when the file is missing or empty.
+///
+/// # Errors
+/// Propagates filesystem errors from opening or writing the file.
+pub fn append_trajectory(report: &BenchReport, path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let needs_header = std::fs::metadata(path).map_or(true, |m| m.len() == 0);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if needs_header {
+        writeln!(file, "{}", trajectory_header())?;
+    }
+    writeln!(file, "{}", trajectory_line(report))
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock. Uses the
+/// days-to-civil conversion of Hinnant's date algorithms; no external
+/// time crate needed for a date stamp.
+fn utc_date_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 /// The git commit of the working tree, or `unknown`.
 pub fn detect_git_sha() -> String {
     std::process::Command::new("git")
@@ -253,6 +346,8 @@ fn push_result(
         unit: unit.to_string(),
         units_per_sec: units as f64 / secs,
         flits_per_sec: flits.map(|f| f as f64 / secs),
+        tolerance: None,
+        target_units_per_sec: None,
     });
 }
 
@@ -269,6 +364,10 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
         (8, TrafficPattern::Uniform, 0.10),
         (8, TrafficPattern::Transpose, 0.10),
         (8, TrafficPattern::Uniform, 0.25),
+        // Idle-heavy point: at 0.01 flits/node/cycle most routers are empty
+        // most cycles, so this workload tracks the active-router worklist
+        // (idle routers must cost ~nothing, not a full pipeline walk).
+        (8, TrafficPattern::Uniform, 0.01),
     ];
     for (width, pattern, rate) in sim_points {
         let name = format!("sim/{width}x{width}/{}/r{rate:.2}", pattern.name());
@@ -469,6 +568,26 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
             format!(
                 "16x16 mesh, XY routing, uniform traffic at 0.1 flits/node/cycle, \
                  serial stepping, {} warmup + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        // The large-fabric idle-heavy point: 256 routers at 0.01
+        // flits/node/cycle is where worklist skipping pays the most, since
+        // the active set is a small fraction of the fabric each cycle.
+        let low = SimConfig::default()
+            .with_size(16, 16)
+            .with_traffic(TrafficPattern::Uniform, 0.01);
+        let measured = time_cfg(&low);
+        push_result(
+            &mut workloads,
+            "sim/16x16/uniform/r0.01",
+            format!(
+                "16x16 mesh, XY routing, uniform traffic at 0.01 flits/node/cycle \
+                 (idle-heavy), serial stepping, {} warmup + {} timed cycles",
                 config.sim_warmup, config.sim_cycles
             ),
             "cycles",
@@ -745,14 +864,31 @@ pub struct BenchDelta {
     pub new_median_ns: u64,
     /// `(new - old) / old`; positive means slower.
     pub delta_frac: f64,
-    /// Whether the delta exceeds the comparison tolerance.
+    /// The tolerance this workload was judged against: the baseline's
+    /// per-workload value when present, else the global fallback.
+    pub tolerance: f64,
+    /// Candidate units per second (for target checks and the table).
+    pub new_units_per_sec: f64,
+    /// Absolute `units_per_sec` floor from the baseline, if any.
+    pub target_units_per_sec: Option<f64>,
+    /// Whether the delta exceeds this workload's tolerance.
     pub regression: bool,
+    /// Whether the candidate ran below the absolute target floor.
+    pub missed_target: bool,
+}
+
+impl BenchDelta {
+    /// Whether this workload fails the gate (relative regression or an
+    /// absolute target miss).
+    pub fn failed(&self) -> bool {
+        self.regression || self.missed_target
+    }
 }
 
 /// Outcome of diffing two reports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Comparison {
-    /// Tolerance the comparison used.
+    /// Global fallback tolerance (workloads without a baseline override).
     pub tolerance: f64,
     /// Per-workload deltas, in baseline order.
     pub deltas: Vec<BenchDelta>,
@@ -764,49 +900,86 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Number of gate failures (regressions + dropped workloads).
+    /// Number of gate failures (regressions, target misses, and dropped
+    /// workloads).
     pub fn failures(&self) -> usize {
-        self.deltas.iter().filter(|d| d.regression).count() + self.missing_in_new.len()
+        self.deltas.iter().filter(|d| d.failed()).count() + self.missing_in_new.len()
     }
 
-    /// Render the delta table plus a verdict line.
+    /// Names of the workloads that breached their own budget (relative
+    /// tolerance or absolute target), in baseline order.
+    pub fn breached(&self) -> Vec<&str> {
+        self.deltas
+            .iter()
+            .filter(|d| d.failed())
+            .map(|d| d.name.as_str())
+            .collect()
+    }
+
+    /// Render the delta table plus a verdict line. Every row shows the
+    /// tolerance that judged it; failing rows say *which* budget broke
+    /// (relative slowdown vs absolute target), and the trailing summary
+    /// names every breaching workload so CI logs are self-explanatory.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<28} {:>12} {:>12} {:>9}  verdict",
-            "workload", "old median", "new median", "delta"
+            "{:<34} {:>12} {:>12} {:>9} {:>6}  verdict",
+            "workload", "old median", "new median", "delta", "tol"
         );
         for d in &self.deltas {
+            let verdict = if d.regression && d.missed_target {
+                "REGRESSION+TARGET".to_string()
+            } else if d.regression {
+                "REGRESSION".to_string()
+            } else if d.missed_target {
+                format!(
+                    "MISSED TARGET ({:.0} < {:.0} {}/s)",
+                    d.new_units_per_sec,
+                    d.target_units_per_sec.unwrap_or(0.0),
+                    "units"
+                )
+            } else {
+                "ok".to_string()
+            };
             let _ = writeln!(
                 out,
-                "{:<28} {:>12} {:>12} {:>+8.1}%  {}",
+                "{:<34} {:>12} {:>12} {:>+8.1}% {:>5.0}%  {}",
                 d.name,
                 fmt_ns(d.old_median_ns),
                 fmt_ns(d.new_median_ns),
                 d.delta_frac * 100.0,
-                if d.regression { "REGRESSION" } else { "ok" },
+                d.tolerance * 100.0,
+                verdict,
             );
         }
         for name in &self.missing_in_new {
-            let _ = writeln!(out, "{name:<28} MISSING from candidate report");
+            let _ = writeln!(out, "{name:<34} MISSING from candidate report");
         }
         for name in &self.missing_in_old {
-            let _ = writeln!(out, "{name:<28} new workload (no baseline)");
+            let _ = writeln!(out, "{name:<34} new workload (no baseline)");
         }
         let _ = writeln!(
             out,
-            "{} workload(s) compared, {} failure(s) at {:.0}% tolerance",
+            "{} workload(s) compared, {} failure(s) \
+             ({:.0}% fallback tolerance, per-workload overrides applied)",
             self.deltas.len(),
             self.failures(),
             self.tolerance * 100.0
         );
+        let breached = self.breached();
+        if !breached.is_empty() {
+            let _ = writeln!(out, "breached budget: {}", breached.join(", "));
+        }
         out
     }
 }
 
 /// Diff `new` against the `old` baseline: a workload regresses when its
-/// median wall-clock grew by more than `tolerance` (fractional).
+/// median wall-clock grew by more than its tolerance (the baseline
+/// workload's own `tolerance` when present, else the global `tolerance`
+/// fallback), and fails outright when the baseline sets a
+/// `target_units_per_sec` floor the candidate runs below.
 ///
 /// # Errors
 /// Returns an error when the schema versions or suite budgets differ —
@@ -834,12 +1007,18 @@ pub fn compare(old: &BenchReport, new: &BenchReport, tolerance: f64) -> Result<C
             Some(nw) => {
                 let delta_frac =
                     (nw.median_ns as f64 - ow.median_ns as f64) / (ow.median_ns as f64).max(1.0);
+                let tol = ow.tolerance.unwrap_or(tolerance);
+                let target = ow.target_units_per_sec;
                 deltas.push(BenchDelta {
                     name: ow.name.clone(),
                     old_median_ns: ow.median_ns,
                     new_median_ns: nw.median_ns,
                     delta_frac,
-                    regression: delta_frac > tolerance,
+                    tolerance: tol,
+                    new_units_per_sec: nw.units_per_sec,
+                    target_units_per_sec: target,
+                    regression: delta_frac > tol,
+                    missed_target: target.is_some_and(|t| nw.units_per_sec < t),
                 });
             }
             None => missing_in_new.push(ow.name.clone()),
@@ -890,7 +1069,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 19);
+        assert_eq!(report.workloads.len(), 21);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);
@@ -956,6 +1135,87 @@ mod tests {
         let cmp = compare(&new, &old, DEFAULT_TOLERANCE).unwrap();
         assert_eq!(cmp.failures(), 0);
         assert_eq!(cmp.missing_in_old, vec![dropped.name]);
+    }
+
+    #[test]
+    fn per_workload_tolerance_overrides_the_global_fallback() {
+        let old = run_suite(tiny_config(), "tiny", "old".into());
+        let mut new = old.clone();
+        for w in &mut new.workloads {
+            w.median_ns = w.median_ns * 3 / 2; // +50%: above 30%, below 80%
+        }
+        // Globally this is a regression everywhere...
+        let cmp = compare(&old, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), old.workloads.len());
+        // ...but a baseline that grants workload 0 an 80% budget exempts
+        // exactly that workload, and the delta records which tolerance
+        // actually judged it.
+        let mut curated = old.clone();
+        curated.workloads[0].tolerance = Some(0.80);
+        let cmp = compare(&curated, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), old.workloads.len() - 1);
+        assert!(!cmp.deltas[0].regression);
+        assert_eq!(cmp.deltas[0].tolerance, 0.80);
+        assert_eq!(cmp.deltas[1].tolerance, DEFAULT_TOLERANCE);
+        // The summary names every breaching workload — and not the exempt one.
+        let table = cmp.render_table();
+        assert!(table.contains("breached budget:"));
+        assert!(!cmp.breached().contains(&cmp.deltas[0].name.as_str()));
+    }
+
+    #[test]
+    fn absolute_target_floors_fail_independently_of_deltas() {
+        let old = run_suite(tiny_config(), "tiny", "old".into());
+        let new = old.clone();
+        // Identical medians: zero delta everywhere. An unreachable floor on
+        // workload 0 must still fail the gate and name the workload.
+        let mut curated = old.clone();
+        curated.workloads[0].target_units_per_sec = Some(f64::INFINITY);
+        let cmp = compare(&curated, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), 1);
+        assert!(cmp.deltas[0].missed_target && !cmp.deltas[0].regression);
+        assert_eq!(cmp.breached(), vec![cmp.deltas[0].name.as_str()]);
+        assert!(cmp.render_table().contains("MISSED TARGET"));
+        // A floor the candidate clears is not a failure.
+        let mut curated = old.clone();
+        curated.workloads[0].target_units_per_sec = Some(0.0);
+        let cmp = compare(&curated, &new, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(cmp.failures(), 0);
+    }
+
+    #[test]
+    fn trajectory_rows_track_the_headline_workloads() {
+        let report = run_suite(tiny_config(), "tiny", "abc123".into());
+        let header = trajectory_header();
+        assert!(header.starts_with("sha,date"));
+        for name in TRAJECTORY_WORKLOADS {
+            assert!(header.contains(name), "header lacks {name}");
+        }
+        let line = trajectory_line(&report);
+        assert!(line.starts_with("abc123,"));
+        assert_eq!(
+            line.matches(',').count(),
+            header.matches(',').count(),
+            "row/header column mismatch"
+        );
+        // Every headline workload exists in the suite, so no cell is empty.
+        assert!(!line.contains(",,") && !line.ends_with(','));
+        // The date cell is YYYY-MM-DD.
+        let date = line.split(',').nth(1).unwrap();
+        assert_eq!(date.len(), 10, "bad date stamp {date}");
+        assert!(date.as_bytes()[4] == b'-' && date.as_bytes()[7] == b'-');
+
+        let dir = std::env::temp_dir().join(format!("traj-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trajectory.csv");
+        append_trajectory(&report, &path).unwrap();
+        append_trajectory(&report, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header once, then one row per append");
+        assert_eq!(lines[0], header);
+        assert_eq!(lines[1], lines[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

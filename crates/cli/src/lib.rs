@@ -665,6 +665,9 @@ pub struct BenchOptions {
     pub tolerance: f64,
     /// Git SHA to stamp into the report (default: auto-detected).
     pub sha: Option<String>,
+    /// Append a one-line summary (sha, date, headline cycles/sec) to this
+    /// CSV after the run — the committed perf-history file.
+    pub trajectory: Option<String>,
     /// Suite budget override (tests use tiny budgets; not CLI-reachable).
     pub suite: Option<noc_bench::report::BenchSuiteConfig>,
 }
@@ -682,15 +685,17 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchOptions, CliError> {
         against: None,
         tolerance: noc_bench::report::DEFAULT_TOLERANCE,
         sha: None,
+        trajectory: None,
         suite: None,
     };
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--repeats",
         "--out",
         "--compare",
         "--against",
         "--tolerance",
         "--sha",
+        "--trajectory",
     ];
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -730,6 +735,7 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchOptions, CliError> {
                 opts.tolerance = t;
             }
             "--sha" => opts.sha = Some(value.clone()),
+            "--trajectory" => opts.trajectory = Some(value.clone()),
             _ => unreachable!("flag membership checked above"),
         }
     }
@@ -786,16 +792,24 @@ pub fn run_bench(opts: &BenchOptions) -> Result<(), CliError> {
         }
     };
 
+    if let Some(path) = &opts.trajectory {
+        noc_bench::report::append_trajectory(&new_report, std::path::Path::new(path))
+            .map_err(|e| CliError(format!("cannot append trajectory to `{path}`: {e}")))?;
+        eprintln!("bench: trajectory row appended to {path}");
+    }
+
     if let Some(baseline_path) = &opts.compare {
         let baseline = load_bench_report(baseline_path)?;
         let cmp = compare(&baseline, &new_report, opts.tolerance).map_err(CliError)?;
         println!("{}", cmp.render_table());
         let failures = cmp.failures();
         if failures > 0 {
+            let mut broke: Vec<String> = cmp.breached().iter().map(|s| s.to_string()).collect();
+            broke.extend(cmp.missing_in_new.iter().map(|n| format!("{n} (missing)")));
             return Err(CliError(format!(
                 "bench: {failures} perf failure(s) vs {baseline_path} \
-                 (>{:.0}% median slowdown or dropped workload)",
-                opts.tolerance * 100.0
+                 (budget breached by: {})",
+                broke.join(", ")
             )));
         }
         eprintln!("bench: no regressions vs {baseline_path}");
@@ -1385,6 +1399,7 @@ mod tests {
             against: Some(base_str.clone()),
             tolerance: 0.3,
             sha: None,
+            trajectory: None,
             suite: None,
         };
         run_bench(&opts).expect("self-comparison must pass the gate");
@@ -1405,8 +1420,10 @@ mod tests {
         assert!(err.0.contains("perf failure"), "unexpected error: {err}");
 
         // Running the (tiny) suite and gating against the fresh baseline
-        // exercises the run+write+compare path end to end.
+        // exercises the run+write+compare path end to end, and --trajectory
+        // appends the one-line perf-history row.
         let out = dir.join("bench_fresh.json");
+        let traj = dir.join("trajectory.csv");
         let opts = BenchOptions {
             quick: true,
             repeats: None,
@@ -1415,6 +1432,7 @@ mod tests {
             against: None,
             tolerance: 0.3,
             sha: Some("testsha".into()),
+            trajectory: Some(traj.to_str().unwrap().to_string()),
             suite: Some(tiny),
         };
         run_bench(&opts).expect("suite run must succeed");
@@ -1422,6 +1440,10 @@ mod tests {
             serde_json::from_str(&fs::read_to_string(&out).unwrap()).unwrap();
         assert_eq!(written.git_sha, "testsha");
         assert_eq!(written.workloads.len(), report.workloads.len());
+        let traj_text = fs::read_to_string(&traj).unwrap();
+        let mut lines = traj_text.lines();
+        assert!(lines.next().unwrap().starts_with("sha,date"));
+        assert!(lines.next().unwrap().starts_with("testsha,"));
 
         assert!(load_bench_report("/nonexistent/bench.json").is_err());
     }

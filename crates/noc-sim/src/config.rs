@@ -192,6 +192,13 @@ impl SimConfig {
                 "VC count and depth must be positive".into(),
             ));
         }
+        if self.num_vcs > 12 {
+            // The SoA fabric packs the flattened (port, vc) occupancy into a
+            // 64-bit mask per router: 5 ports × 12 VCs = 60 bits.
+            return Err(SimError::InvalidConfig(
+                "at most 12 VCs per port are supported".into(),
+            ));
+        }
         if self.packet_len == 0 {
             return Err(SimError::InvalidConfig(
                 "packet length must be positive".into(),

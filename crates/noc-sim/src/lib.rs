@@ -33,6 +33,8 @@
 //! * [`routing`] — XY/YX, three turn models, Odd-Even, torus DOR and
 //!   torus minimal-adaptive.
 //! * [`vc`] / [`arbiter`] / [`router`] — the three-stage VC router pipeline.
+//! * [`soa`] — the flat structure-of-arrays fabric state the pipeline runs
+//!   on; partition tiles are contiguous slices of it.
 //! * [`traffic`] — composable workloads: phase schedules binding patterns
 //!   to injection processes (Bernoulli, bursty, pulsed), plus traces.
 //! * [`dvfs`] / [`power`] — V/F levels, regions, clock gating, event energy.
@@ -54,6 +56,7 @@ pub mod power;
 pub mod router;
 pub mod routing;
 pub mod sim;
+pub mod soa;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -69,6 +72,7 @@ pub use network::Network;
 pub use power::{EnergyMeter, PowerEvent, PowerModel};
 pub use routing::RoutingAlgorithm;
 pub use sim::{RunSummary, Simulator};
+pub use soa::{FabricState, FabricTile};
 pub use stats::{EnergySink, StatsCollector, StatsOp, StatsSnapshot, WindowMetrics};
 pub use topology::{Coord, NodeId, Port, Topology, TopologyKind};
 pub use trace::{PacketTrace, TraceEvent};

@@ -8,11 +8,13 @@
 //! # Partitioned stepping
 //!
 //! The per-node phase of [`Network::step`] is data-parallel: node `i`
-//! mutates only `routers[i]`, `inj[i]`, and `gates[i]`, and every
+//! mutates only its own fabric slice, `inj[i]`, and `gates[i]`, and every
 //! cross-node effect (flit deliveries, credit returns) is buffered and
 //! applied afterwards — the one-cycle link latency *is* the boundary
-//! exchange. `SimConfig::partitions` splits the fabric into contiguous
-//! node-range tiles stepped concurrently on a persistent thread pool.
+//! exchange. Router state lives in the flat structure-of-arrays
+//! [`FabricState`], so `SimConfig::partitions` splits the fabric into
+//! contiguous node-range tiles — literal contiguous slices of every state
+//! array — stepped concurrently on a persistent thread pool.
 //!
 //! Determinism: tiles never touch the shared [`StatsCollector`]. Each tile
 //! appends the stats mutations it would have applied to a private
@@ -23,6 +25,23 @@
 //! log-and-replay path, so the partition knob cannot perturb results:
 //! reports are byte-identical across `partitions` ∈ {1, 2, 4, ...} (pinned
 //! by the differential tests in `tests/partitions.rs`).
+//!
+//! # Active-router worklist
+//!
+//! The per-node loop skips routers that are provably inert this cycle: no
+//! buffered flits and no source-queue backlog. Such a node's entire serial
+//! effect is one leakage record and (possibly) a clock-gate phase advance —
+//! it cannot inject, route, or move anything. Skipped nodes are coalesced
+//! into [`StatsOp::IdleLeakageRun`] ops that the commit phase expands into
+//! the exact per-node leakage records of a full walk, and gate ticks are
+//! elided only while every gate provably sits at its zero-phase fixpoint
+//! (nominal frequency since reset — the `gates_pristine` flag), so reports
+//! stay byte-identical. A delivery, injection, or fault event lands a node
+//! back in the active set no later than the cycle it must act on it:
+//! deliveries and offered packets raise `occ`/backlog at commit time, and
+//! dead routers are handled before the idle test. A forced step-everyone
+//! mode ([`Network::set_step_all`]) drives the differential tests that pin
+//! the equivalence.
 
 use crate::config::SimConfig;
 use crate::dvfs::{ClockGate, RegionMap, ThrottleEvent, VfTable};
@@ -30,8 +49,9 @@ use crate::error::{SimError, SimResult};
 use crate::fault::{FaultPlan, LinkState};
 use crate::flit::{Flit, Packet, PacketId};
 use crate::power::{PowerEvent, PowerModel};
-use crate::router::{Router, RouterCtx, RouterEvent};
+use crate::router::{RouterCtx, RouterEvent};
 use crate::routing::RoutingAlgorithm;
+use crate::soa::{FabricState, FabricTile};
 use crate::stats::{EnergySink, StatsCollector, StatsOp};
 use crate::topology::{NodeId, Port, Topology, TopologyKind};
 use crate::vc::OutputVcState;
@@ -120,7 +140,8 @@ struct CreditReturn {
 pub struct Network {
     topo: Topology,
     routing: RoutingAlgorithm,
-    routers: Vec<Router>,
+    /// All router pipeline state, structure-of-arrays (see [`crate::soa`]).
+    fabric: FabricState,
     inj: Vec<InjectionQueue>,
     gates: Vec<ClockGate>,
     power: PowerModel,
@@ -155,6 +176,18 @@ pub struct Network {
     /// fault-free simulation pays nothing.
     has_faults: bool,
     cycle: u64,
+    /// Worklist kill switch: when true, every router is stepped every cycle
+    /// even if provably inert. Test-only escape hatch — the differential
+    /// harness pins worklist runs byte-identical to step-everyone runs.
+    step_all: bool,
+    /// True while every clock gate still sits at its initial zero-phase
+    /// nominal-frequency fixpoint (`tick()` returns true and leaves the
+    /// phase at exactly 0.0), which lets the worklist skip idle routers'
+    /// gate ticks without perturbing state. Cleared permanently the first
+    /// time any gate's frequency changes: post-change phases are
+    /// float-rounding-sensitive, so from then on every gate ticks every
+    /// cycle whether or not its router is stepped.
+    gates_pristine: bool,
     /// Number of contiguous node-range tiles the per-node phase is split
     /// into (1 = no intra-simulation parallelism).
     partitions: usize,
@@ -207,14 +240,20 @@ struct TileShared<'a> {
     link_state: &'a LinkState,
     has_faults: bool,
     cycle: u64,
+    /// Forced step-everyone mode (worklist disabled).
+    step_all: bool,
+    /// Whether idle routers may skip their clock-gate tick (see
+    /// `Network::gates_pristine`).
+    gates_pristine: bool,
 }
 
-/// One tile's disjoint mutable slice of the fabric: routers, source queues,
-/// and clock gates for the contiguous node range starting at `base`.
+/// One tile's disjoint mutable slice of the fabric: the SoA router-state
+/// slices, source queues, and clock gates for the contiguous node range
+/// starting at `base`.
 #[derive(Debug)]
 struct TileTask<'a> {
     base: usize,
-    routers: &'a mut [Router],
+    fabric: FabricTile<'a>,
     inj: &'a mut [InjectionQueue],
     gates: &'a mut [ClockGate],
     out: &'a mut TileOutbox,
@@ -356,10 +395,12 @@ impl Network {
         config.validate()?;
         let topo = config.topology();
         let vc_partition = config.kind == TopologyKind::Torus;
-        let routers = topo
-            .nodes()
-            .map(|n| Router::new(n, config.num_vcs, config.vc_depth, vc_partition))
-            .collect();
+        let fabric = FabricState::new(
+            topo.num_nodes(),
+            config.num_vcs,
+            config.vc_depth,
+            vc_partition,
+        );
         let inj = topo
             .nodes()
             .map(|_| InjectionQueue::new(config.num_vcs, config.vc_depth))
@@ -390,10 +431,11 @@ impl Network {
         let link_state = LinkState::healthy(topo.num_nodes());
         let partitions = config.partitions;
         let pool = (partitions > 1).then(|| TilePool::new(partitions));
+        let gates_pristine = max_vf.freq_scale == 1.0;
         Ok(Network {
             topo,
             routing: config.routing,
-            routers,
+            fabric,
             inj,
             gates,
             power: config.power,
@@ -412,6 +454,8 @@ impl Network {
             link_state,
             has_faults,
             cycle: 0,
+            step_all: false,
+            gates_pristine,
             partitions,
             pool,
             scratch: StepScratch::default(),
@@ -421,6 +465,14 @@ impl Network {
     /// Number of tiles the per-node phase is split into.
     pub fn partitions(&self) -> usize {
         self.partitions
+    }
+
+    /// Force the per-node loop to step every router every cycle, disabling
+    /// the active-router worklist. Results must not change — the worklist
+    /// is a pure strength reduction — and the differential tests hold both
+    /// modes byte-identical. Test instrumentation, not a tuning knob.
+    pub fn set_step_all(&mut self, step_all: bool) {
+        self.step_all = step_all;
     }
 
     /// The topology.
@@ -515,6 +567,9 @@ impl Network {
                         self.gates[node].set_freq_scale(vf.freq_scale);
                     }
                 }
+                // Gate phases may leave the zero fixpoint from here on:
+                // idle routers must tick their gates every cycle.
+                self.gates_pristine = false;
             }
         }
     }
@@ -557,7 +612,9 @@ impl Network {
 
     /// Total flits buffered inside routers.
     pub fn occupancy(&self) -> usize {
-        self.routers.iter().map(|r| r.occupancy()).sum()
+        (0..self.topo.num_nodes())
+            .map(|i| self.fabric.occupancy(i))
+            .sum()
     }
 
     /// Buffered flits per region.
@@ -572,16 +629,19 @@ impl Network {
     fn region_occupancy_into(&self, out: &mut Vec<usize>) {
         out.clear();
         out.resize(self.regions.num_regions(), 0);
-        for (i, r) in self.routers.iter().enumerate() {
-            out[self.region_by_node[i]] += r.occupancy();
+        // `FabricState::occupancy` recounts against the buffers in debug
+        // builds, so this per-cycle sample keeps the O(1) counters honest.
+        for i in 0..self.topo.num_nodes() {
+            out[self.region_by_node[i]] += self.fabric.occupancy(i);
         }
     }
 
     /// Total buffer capacity per region (for normalizing occupancy).
     pub fn region_capacity(&self) -> Vec<usize> {
         let mut out = vec![0usize; self.regions.num_regions()];
-        for r in &self.routers {
-            out[self.regions.region_of(&self.topo, r.id())] += r.buffer_capacity();
+        let cap = self.fabric.buffer_capacity();
+        for n in self.topo.nodes() {
+            out[self.regions.region_of(&self.topo, n)] += cap;
         }
         out
     }
@@ -594,26 +654,6 @@ impl Network {
     /// Flits anywhere in the system (source queues + router buffers).
     pub fn in_flight(&self) -> usize {
         self.backlog() + self.occupancy()
-    }
-
-    fn dynamic_scale(&self, node: NodeId) -> f64 {
-        self.region_dynamic_scale[self.region_by_node[node.0]]
-    }
-
-    /// Whether a mesh/torus hop from `from` via `port` crosses a wrap-around
-    /// (dateline) link.
-    fn crosses_dateline(&self, from: NodeId, port: Port) -> bool {
-        if self.topo.kind() != TopologyKind::Torus {
-            return false;
-        }
-        let c = self.topo.coord(from);
-        match port {
-            Port::East => c.x == self.topo.width() - 1,
-            Port::West => c.x == 0,
-            Port::South => c.y == self.topo.height() - 1,
-            Port::North => c.y == 0,
-            Port::Local => false,
-        }
     }
 
     /// Advance the network one global clock cycle.
@@ -650,20 +690,23 @@ impl Network {
                 link_state: &self.link_state,
                 has_faults: self.has_faults,
                 cycle: self.cycle,
+                step_all: self.step_all,
+                gates_pristine: self.gates_pristine,
             };
             // Carve the fabric into disjoint contiguous slices, one per tile.
             let n = self.topo.num_nodes();
+            let mut bounds = Vec::with_capacity(self.partitions + 1);
+            bounds.push(0);
+            for t in 0..self.partitions {
+                bounds.push((t + 1) * n / self.partitions);
+            }
             let mut tasks: Vec<TileTask<'_>> = Vec::with_capacity(self.partitions);
-            let mut routers = self.routers.as_mut_slice();
             let mut inj = self.inj.as_mut_slice();
             let mut gates = self.gates.as_mut_slice();
             let mut outs = outboxes.as_mut_slice();
-            let mut base = 0usize;
-            for t in 0..self.partitions {
-                let hi = (t + 1) * n / self.partitions;
-                let len = hi - base;
-                let (r, rest) = routers.split_at_mut(len);
-                routers = rest;
+            for (t, fabric) in self.fabric.split_tiles(&bounds).into_iter().enumerate() {
+                let base = bounds[t];
+                let len = bounds[t + 1] - base;
                 let (q, rest) = inj.split_at_mut(len);
                 inj = rest;
                 let (g, rest) = gates.split_at_mut(len);
@@ -672,12 +715,11 @@ impl Network {
                 outs = rest;
                 tasks.push(TileTask {
                     base,
-                    routers: r,
+                    fabric,
                     inj: q,
                     gates: g,
                     out: &mut o[0],
                 });
-                base = hi;
             }
             match &self.pool {
                 Some(pool) => {
@@ -707,36 +749,56 @@ impl Network {
         let n = self.topo.num_nodes();
         for ob in &mut outboxes {
             for op in ob.ops.drain(..) {
-                stats.apply(op, &self.power, n, self.cycle);
-            }
-        }
-        for ob in &mut outboxes {
-            for mut d in ob.deliveries.drain(..) {
-                if self.crosses_dateline_rev(d.to, d.in_port) {
-                    d.flit.vc_class = 1;
+                match op {
+                    // Expand a coalesced idle run into the exact per-node
+                    // leakage records a full walk would have produced: same
+                    // calls, same order, same floats. Idle means zero
+                    // occupancy and backlog, so the serial gating condition
+                    // reduces to the fraction check.
+                    StatsOp::IdleLeakageRun { from, to } => {
+                        for i in from..to {
+                            let mut leak = self.region_leakage_scale[self.region_by_node[i]];
+                            if self.power.idle_leakage_fraction < 1.0 {
+                                leak *= self.power.idle_leakage_fraction;
+                            }
+                            stats
+                                .energy
+                                .record_leakage(&self.power, self.links_out[i], leak);
+                        }
+                    }
+                    op => stats.apply(op, &self.power, n, self.cycle),
                 }
-                let scale = self.dynamic_scale(d.to);
-                let mut ctx = RouterCtx {
-                    topo: &self.topo,
-                    routing: self.routing,
-                    power: &self.power,
-                    energy: EnergySink::Meter(&mut stats.energy),
-                    dynamic_scale: scale,
-                    faults: None,
-                };
-                self.routers[d.to.0].accept(d.in_port, d.flit, &mut ctx);
             }
         }
-        for ob in &mut outboxes {
-            for c in ob.credits.drain(..) {
-                if c.in_port == Port::Local {
-                    self.inj[c.at.0].vc_states[c.vc].credits += 1;
-                } else {
-                    let upstream = self
-                        .topo
-                        .neighbor(c.at, c.in_port)
-                        .expect("credit toward a missing neighbor");
-                    self.routers[upstream.0].return_credit(c.in_port.opposite(), c.vc);
+        {
+            let mut tile = self.fabric.tile();
+            for ob in &mut outboxes {
+                for mut d in ob.deliveries.drain(..) {
+                    if crosses_dateline_rev(&self.topo, d.to, d.in_port) {
+                        d.flit.vc_class = 1;
+                    }
+                    let mut ctx = RouterCtx {
+                        topo: &self.topo,
+                        routing: self.routing,
+                        power: &self.power,
+                        energy: EnergySink::Meter(&mut stats.energy),
+                        dynamic_scale: self.region_dynamic_scale[self.region_by_node[d.to.0]],
+                        faults: None,
+                    };
+                    tile.accept(d.to.0, d.in_port, d.flit, &mut ctx);
+                }
+            }
+            for ob in &mut outboxes {
+                for c in ob.credits.drain(..) {
+                    if c.in_port == Port::Local {
+                        self.inj[c.at.0].vc_states[c.vc].credits += 1;
+                    } else {
+                        let upstream = self
+                            .topo
+                            .neighbor(c.at, c.in_port)
+                            .expect("credit toward a missing neighbor");
+                        tile.return_credit(upstream.0, c.in_port.opposite(), c.vc);
+                    }
                 }
             }
         }
@@ -754,20 +816,6 @@ impl Network {
 
         self.scratch.outboxes = outboxes;
         self.cycle += 1;
-    }
-
-    /// Dateline check phrased from the receiving side: the delivery into
-    /// `to` on `in_port` crossed a wrap link iff the sender-side check holds
-    /// for the reverse hop.
-    fn crosses_dateline_rev(&self, to: NodeId, in_port: Port) -> bool {
-        if self.topo.kind() != TopologyKind::Torus {
-            return false;
-        }
-        let from = self
-            .topo
-            .neighbor(to, in_port)
-            .expect("delivery from a missing neighbor");
-        self.crosses_dateline(from, in_port.opposite())
     }
 
     /// Apply every fault boundary reached by the current cycle: rebuild the
@@ -805,7 +853,7 @@ impl Network {
         for i in 0..n {
             let node = NodeId(i);
             if !self.link_state.is_router_up(node) {
-                self.routers[i].condemn_all(&mut condemned);
+                self.fabric.condemn_all(i, &mut condemned);
                 if let Some(f) = self.inj[i].current.front() {
                     // Mid-injection at a dying router: the whole packet goes.
                     condemned.insert(f.packet);
@@ -815,7 +863,7 @@ impl Network {
                     if self.topo.neighbor(node, port).is_some()
                         && !self.link_state.is_link_up(node, port)
                     {
-                        self.routers[i].condemn_output_owners(port, &mut condemned);
+                        self.fabric.condemn_output_owners(i, port, &mut condemned);
                     }
                 }
             }
@@ -825,20 +873,27 @@ impl Network {
         // restore), and clear uncommitted routes into dead links.
         let mut restored: Vec<(usize, Port, usize)> = Vec::new();
         let mut dropped_flits = 0u64;
-        for i in 0..n {
-            let node = NodeId(i);
+        {
             let link_state = &self.link_state;
-            dropped_flits += self.routers[i].purge_and_reroute(
-                &condemned,
-                |p| !link_state.is_link_up(node, p),
-                |in_port, vc| restored.push((i, in_port, vc)),
-            );
+            let mut tile = self.fabric.tile();
+            for i in 0..n {
+                let node = NodeId(i);
+                dropped_flits += tile.purge_and_reroute(
+                    i,
+                    &condemned,
+                    |p| !link_state.is_link_up(node, p),
+                    |in_port, vc| restored.push((i, in_port, vc)),
+                );
+            }
         }
-        for (node, in_port, vc) in restored {
-            if in_port == Port::Local {
-                self.inj[node].vc_states[vc].credits += 1;
-            } else if let Some(up) = self.topo.neighbor(NodeId(node), in_port) {
-                self.routers[up.0].return_credit(in_port.opposite(), vc);
+        {
+            let mut tile = self.fabric.tile();
+            for (node, in_port, vc) in restored {
+                if in_port == Port::Local {
+                    self.inj[node].vc_states[vc].credits += 1;
+                } else if let Some(up) = self.topo.neighbor(NodeId(node), in_port) {
+                    tile.return_credit(up.0, in_port.opposite(), vc);
+                }
             }
         }
 
@@ -864,29 +919,95 @@ impl Network {
     }
 }
 
+/// Whether a mesh/torus hop from `from` via `port` crosses a wrap-around
+/// (dateline) link.
+fn crosses_dateline(topo: &Topology, from: NodeId, port: Port) -> bool {
+    if topo.kind() != TopologyKind::Torus {
+        return false;
+    }
+    let c = topo.coord(from);
+    match port {
+        Port::East => c.x == topo.width() - 1,
+        Port::West => c.x == 0,
+        Port::South => c.y == topo.height() - 1,
+        Port::North => c.y == 0,
+        Port::Local => false,
+    }
+}
+
+/// Dateline check phrased from the receiving side: the delivery into `to` on
+/// `in_port` crossed a wrap link iff the sender-side check holds for the
+/// reverse hop.
+fn crosses_dateline_rev(topo: &Topology, to: NodeId, in_port: Port) -> bool {
+    if topo.kind() != TopologyKind::Torus {
+        return false;
+    }
+    let from = topo
+        .neighbor(to, in_port)
+        .expect("delivery from a missing neighbor");
+    crosses_dateline(topo, from, in_port.opposite())
+}
+
+/// Close the pending idle run, if any, by logging its coalesced leakage op.
+/// Must be called before logging any other node's op (ops replay in log
+/// order, and the run's leakage must land exactly where a full walk would
+/// have put it) and at the end of the tile.
+#[inline]
+fn flush_idle_run(run: &mut Option<(usize, usize)>, ops: &mut Vec<StatsOp>) {
+    if let Some((from, to)) = run.take() {
+        ops.push(StatsOp::IdleLeakageRun { from, to });
+    }
+}
+
 /// Step one tile's node range: the exact serial per-node loop, with all
 /// stats mutations logged to the tile's outbox instead of applied, and all
 /// cross-node effects buffered.
+///
+/// Nodes with no buffered flits and no source backlog are skipped (the
+/// active-router worklist): such a node's pipeline and injection stages are
+/// provably no-ops, so its whole serial effect is one leakage record —
+/// coalesced into an [`StatsOp::IdleLeakageRun`] — plus a clock-gate tick,
+/// elided only while the gates are pristine (see `Network::gates_pristine`).
+/// Occupancy and backlog are stable during the phase (deliveries and
+/// credits commit afterwards; packets are offered before the step), so the
+/// idle test over start-of-cycle values is exact.
 fn step_tile(shared: &TileShared<'_>, tile: &mut TileTask<'_>) {
     let mut events = std::mem::take(&mut tile.out.events);
-    for k in 0..tile.routers.len() {
+    let mut idle_run: Option<(usize, usize)> = None;
+    for k in 0..tile.inj.len() {
         let i = tile.base + k;
         let node = NodeId(i);
         if shared.has_faults && !shared.link_state.is_router_up(node) {
             // A dead router does nothing and consumes nothing; traffic
             // offered at its source queue is unreachable and dropped.
+            flush_idle_run(&mut idle_run, &mut tile.out.ops);
             drop_source_queue_tile(&mut tile.inj[k], &mut tile.out.ops);
             continue;
         }
+        let idle = tile.fabric.occupancy(k) == 0 && tile.inj[k].backlog_flits() == 0;
+        if idle && !shared.step_all {
+            // Worklist skip: log the leakage as part of a coalesced run and
+            // keep the gate phase exact. Nothing else a full walk does for
+            // an idle node has any effect.
+            match &mut idle_run {
+                Some((_, to)) if *to == i => *to = i + 1,
+                _ => {
+                    flush_idle_run(&mut idle_run, &mut tile.out.ops);
+                    idle_run = Some((i, i + 1));
+                }
+            }
+            if !shared.gates_pristine {
+                tile.gates[k].tick();
+            }
+            continue;
+        }
+        flush_idle_run(&mut idle_run, &mut tile.out.ops);
         // Leakage accrues every global cycle regardless of clock gating;
         // idle routers (empty buffers and source queue) may be power
         // gated down to a fraction of nominal leakage.
         let region = shared.region_by_node[i];
         let mut leak = shared.region_leakage_scale[region];
-        if shared.power.idle_leakage_fraction < 1.0
-            && tile.routers[k].occupancy() == 0
-            && tile.inj[k].backlog_flits() == 0
-        {
+        if shared.power.idle_leakage_fraction < 1.0 && idle {
             leak *= shared.power.idle_leakage_fraction;
         }
         tile.out.ops.push(StatsOp::Leakage {
@@ -911,7 +1032,7 @@ fn step_tile(shared: &TileShared<'_>, tile: &mut TileTask<'_>) {
                     None
                 },
             };
-            tile.routers[k].step_into(&mut ctx, &mut events);
+            tile.fabric.step_node(k, node, &mut ctx, &mut events);
         }
         for ev in events.drain(..) {
             match ev {
@@ -952,12 +1073,14 @@ fn step_tile(shared: &TileShared<'_>, tile: &mut TileTask<'_>) {
         }
         try_inject_tile(
             shared,
-            &mut tile.routers[k],
+            &mut tile.fabric,
+            k,
             &mut tile.inj[k],
             node,
             &mut tile.out.ops,
         );
     }
+    flush_idle_run(&mut idle_run, &mut tile.out.ops);
     tile.out.events = events;
 }
 
@@ -966,7 +1089,8 @@ fn step_tile(shared: &TileShared<'_>, tile: &mut TileTask<'_>) {
 /// the injection and buffer-write stats land in the op log).
 fn try_inject_tile(
     shared: &TileShared<'_>,
-    router: &mut Router,
+    fabric: &mut FabricTile<'_>,
+    k: usize,
     q: &mut InjectionQueue,
     node: NodeId,
     ops: &mut Vec<StatsOp>,
@@ -1035,7 +1159,7 @@ fn try_inject_tile(
             dynamic_scale: scale,
             faults: None,
         };
-        router.accept(Port::Local, flit, &mut ctx);
+        fabric.accept(k, Port::Local, flit, &mut ctx);
     }
 }
 

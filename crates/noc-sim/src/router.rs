@@ -17,17 +17,22 @@
 //! Flow control is credit-based: the router keeps, per output port and VC,
 //! the number of free slots in the downstream buffer and the packet that owns
 //! the VC; the network layer returns credits as downstream buffers drain.
+//!
+//! The pipeline stages themselves are implemented against the flat
+//! structure-of-arrays fabric state in [`crate::soa`] — the network holds one
+//! [`crate::soa::FabricState`] for every router and steps contiguous tile
+//! slices of it. This module keeps the event/context types and [`Router`], a
+//! single-router convenience wrapper (a one-router fabric) used by unit tests
+//! and microbenchmarks that exercise the pipeline in isolation.
 
-use crate::arbiter::RoundRobinArbiter;
 use crate::fault::LinkState;
 use crate::flit::{Flit, PacketId};
-use crate::power::{PowerEvent, PowerModel};
-use crate::routing::{route, route_live, RoutingAlgorithm};
+use crate::power::PowerModel;
+use crate::routing::RoutingAlgorithm;
+use crate::soa::FabricState;
 use crate::stats::EnergySink;
 use crate::topology::{NodeId, Port, Topology};
-use crate::vc::{InputVc, OutputVcState};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// Effects of one router cycle, applied by the network layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,76 +85,13 @@ pub struct RouterCtx<'a> {
     pub faults: Option<&'a LinkState>,
 }
 
-/// A single wormhole VC router.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// A single wormhole VC router: a one-router [`FabricState`] plus its node
+/// id. The network layer steps the fabric directly; this wrapper exists for
+/// tests and benches that drive one router's pipeline in isolation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Router {
     id: NodeId,
-    num_vcs: usize,
-    vc_depth: usize,
-    /// When true, VC allocation partitions VCs into two dateline classes
-    /// (tori). Requires `num_vcs >= 2`.
-    vc_partition: bool,
-    /// Input VC state, `[port][vc]`.
-    inputs: Vec<Vec<InputVc>>,
-    /// Upstream view of downstream VC state, `[port][vc]`. The `Local`
-    /// output (ejection) is modeled with infinite credits.
-    outputs: Vec<Vec<OutputVcState>>,
-    /// Switch arbiter per output port, over flattened `(in_port, vc)`.
-    sw_arb: Vec<RoundRobinArbiter>,
-    /// Rotation pointer per output port for fair VC allocation.
-    va_ptr: Vec<usize>,
-    /// Scratch request vector for switch allocation, kept across cycles so
-    /// the hot loop never allocates. Always left empty between cycles, so it
-    /// is invisible to `PartialEq` and serialization.
-    #[serde(skip)]
-    sw_requests: Vec<bool>,
-    /// Buffered-flit count, maintained on accept/pop so [`Router::occupancy`]
-    /// is O(1) — the cycle loop samples it several times per router per
-    /// cycle. Derivable state: deserialization rebuilds it from the buffers
-    /// (see the manual `Deserialize` impl) rather than trusting the wire.
-    #[serde(skip)]
-    occ: usize,
-}
-
-// Deserialization is written by hand (over a derive-backed shadow struct)
-// so the occupancy counter is always recomputed from the deserialized
-// buffers. Trusting a stored counter — or defaulting it to zero for
-// snapshots that predate the field — would desynchronize it from the
-// buffers and stall the router: `step_into` short-circuits on
-// `occupancy() == 0`.
-impl<'de> serde::Deserialize<'de> for Router {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        #[derive(Deserialize)]
-        struct Shadow {
-            id: NodeId,
-            num_vcs: usize,
-            vc_depth: usize,
-            vc_partition: bool,
-            inputs: Vec<Vec<InputVc>>,
-            outputs: Vec<Vec<OutputVcState>>,
-            sw_arb: Vec<RoundRobinArbiter>,
-            va_ptr: Vec<usize>,
-        }
-        let s = Shadow::deserialize(d)?;
-        let occ = s
-            .inputs
-            .iter()
-            .flatten()
-            .map(|vc| vc.buf.len())
-            .sum::<usize>();
-        Ok(Router {
-            id: s.id,
-            num_vcs: s.num_vcs,
-            vc_depth: s.vc_depth,
-            vc_partition: s.vc_partition,
-            inputs: s.inputs,
-            outputs: s.outputs,
-            sw_arb: s.sw_arb,
-            va_ptr: s.va_ptr,
-            sw_requests: Vec::new(),
-            occ,
-        })
-    }
+    f: FabricState,
 }
 
 impl Router {
@@ -159,32 +101,9 @@ impl Router {
     /// Panics if `num_vcs == 0`, `vc_depth == 0`, or `vc_partition` is set
     /// with fewer than two VCs.
     pub fn new(id: NodeId, num_vcs: usize, vc_depth: usize, vc_partition: bool) -> Self {
-        assert!(num_vcs > 0, "router needs at least one VC");
-        assert!(vc_depth > 0, "VC depth must be positive");
-        assert!(
-            !vc_partition || num_vcs >= 2,
-            "VC partitioning requires >= 2 VCs"
-        );
-        let inputs = (0..Port::COUNT)
-            .map(|_| (0..num_vcs).map(|_| InputVc::new(vc_depth)).collect())
-            .collect();
-        let outputs = (0..Port::COUNT)
-            .map(|_| (0..num_vcs).map(|_| OutputVcState::new(vc_depth)).collect())
-            .collect();
-        let sw_arb = (0..Port::COUNT)
-            .map(|_| RoundRobinArbiter::new(Port::COUNT * num_vcs))
-            .collect();
         Router {
             id,
-            num_vcs,
-            vc_depth,
-            vc_partition,
-            inputs,
-            outputs,
-            sw_arb,
-            va_ptr: vec![0; Port::COUNT],
-            sw_requests: Vec::new(),
-            occ: 0,
+            f: FabricState::new(1, num_vcs, vc_depth, vc_partition),
         }
     }
 
@@ -195,37 +114,28 @@ impl Router {
 
     /// Number of virtual channels per port.
     pub fn num_vcs(&self) -> usize {
-        self.num_vcs
+        self.f.num_vcs()
     }
 
     /// Buffer depth per VC, in flits.
     pub fn vc_depth(&self) -> usize {
-        self.vc_depth
+        self.f.vc_depth()
     }
 
     /// Total flits currently buffered across all input VCs.
     pub fn occupancy(&self) -> usize {
-        debug_assert_eq!(
-            self.occ,
-            self.inputs
-                .iter()
-                .flatten()
-                .map(|vc| vc.buf.len())
-                .sum::<usize>(),
-            "occupancy counter out of sync with the buffers"
-        );
-        self.occ
+        self.f.occupancy(0)
     }
 
     /// Total buffering capacity across all input VCs.
     pub fn buffer_capacity(&self) -> usize {
-        Port::COUNT * self.num_vcs * self.vc_depth
+        self.f.buffer_capacity()
     }
 
     /// Whether input VC `(port, vc)` can accept a flit right now. Used by
     /// the network layer to double-check flow control in debug builds.
     pub fn can_accept(&self, port: Port, vc: usize) -> bool {
-        !self.inputs[port.index()][vc].buf.is_full()
+        self.f.can_accept(0, port, vc)
     }
 
     /// Deposit a flit arriving on `port` into its VC buffer. Called by the
@@ -234,38 +144,33 @@ impl Router {
     /// # Panics
     /// Panics if the buffer is full (a flow-control violation).
     pub fn accept(&mut self, port: Port, flit: Flit, ctx: &mut RouterCtx<'_>) {
-        ctx.energy
-            .record(ctx.power, PowerEvent::BufferWrite, ctx.dynamic_scale);
-        self.inputs[port.index()][flit.vc].buf.push(flit);
-        self.occ += 1;
+        self.f.tile().accept(0, port, flit, ctx);
     }
 
     /// Return one credit for output `(port, vc)` (downstream buffer drained
     /// a flit).
     pub fn return_credit(&mut self, port: Port, vc: usize) {
-        let s = &mut self.outputs[port.index()][vc];
-        debug_assert!(s.credits < self.vc_depth, "credit overflow on {port}/{vc}");
-        s.credits += 1;
+        self.f.tile().return_credit(0, port, vc);
     }
 
     /// Free slots the upstream view holds for output `(port, vc)`.
     pub fn credits(&self, port: Port, vc: usize) -> usize {
-        self.outputs[port.index()][vc].credits
+        self.f.credits(0, port, vc)
     }
 
-    /// The VC indices a flit may claim at the next hop, honoring the dateline
-    /// partition on tori.
-    fn allowed_vcs(&self, flit: &Flit) -> std::ops::Range<usize> {
-        if self.vc_partition {
-            let half = self.num_vcs / 2;
-            if flit.vc_class == 0 {
-                0..half
-            } else {
-                half..self.num_vcs
-            }
-        } else {
-            0..self.num_vcs
-        }
+    /// Packet owning downstream VC `(port, vc)`, if any (test observability).
+    pub fn output_owner(&self, port: Port, vc: usize) -> Option<PacketId> {
+        self.f.output_owner(0, port, vc)
+    }
+
+    /// Route lock on input VC `(port, vc)`, if any (test observability).
+    pub fn input_route(&self, port: Port, vc: usize) -> Option<Port> {
+        self.f.input_route(0, port, vc)
+    }
+
+    /// Downstream VC granted to input VC `(port, vc)` (test observability).
+    pub fn input_out_vc(&self, port: Port, vc: usize) -> Option<usize> {
+        self.f.input_out_vc(0, port, vc)
     }
 
     /// Execute one active cycle: SA/ST, then VA, then RC. Returns the events
@@ -277,311 +182,10 @@ impl Router {
     }
 
     /// Allocation-free variant of [`Router::step`]: appends this cycle's
-    /// events to a caller-owned buffer. The network layer's cycle loop calls
-    /// this with one scratch buffer reused across all routers and cycles.
+    /// events to a caller-owned buffer.
     pub fn step_into(&mut self, ctx: &mut RouterCtx<'_>, events: &mut Vec<RouterEvent>) {
-        if self.occupancy() == 0 {
-            return; // idle router: nothing to route, allocate, or move
-        }
-        if ctx.faults.is_some() {
-            self.drain_dropped(events);
-        }
-        self.switch_allocation(ctx, events);
-        self.vc_allocation(ctx);
-        self.route_computation(ctx);
-    }
-
-    /// Discard buffered flits of packets marked `dropping` (unroutable under
-    /// the active fault set), returning a credit per discarded flit so the
-    /// upstream sender keeps feeding the remainder of the packet. The tail
-    /// flit releases the VC.
-    fn drain_dropped(&mut self, events: &mut Vec<RouterEvent>) {
-        for ip in 0..Port::COUNT {
-            for vc in 0..self.num_vcs {
-                let ivc = &mut self.inputs[ip][vc];
-                if !ivc.dropping {
-                    continue;
-                }
-                let mut removed = 0;
-                while let Some(flit) = ivc.buf.pop() {
-                    removed += 1;
-                    let is_tail = flit.is_tail();
-                    events.push(RouterEvent::Drop { flit });
-                    events.push(RouterEvent::Credit {
-                        in_port: Port::from_index(ip),
-                        vc,
-                    });
-                    if is_tail {
-                        ivc.release();
-                        break;
-                    }
-                }
-                self.occ -= removed;
-            }
-        }
-    }
-
-    /// SA/ST: one flit per output port per cycle, one per input port per
-    /// cycle, round-robin among eligible input VCs.
-    fn switch_allocation(&mut self, ctx: &mut RouterCtx<'_>, events: &mut Vec<RouterEvent>) {
-        let v = self.num_vcs;
-        let mut input_port_used = [false; Port::COUNT];
-        // One reusable request vector over flattened (in_port, vc), borrowed
-        // from the router's scratch storage (allocates on the first active
-        // cycle only).
-        let mut requests = std::mem::take(&mut self.sw_requests);
-        requests.resize(Port::COUNT * v, false);
-        for out_port in Port::ALL {
-            let op = out_port.index();
-            requests.fill(false);
-            for in_port in Port::ALL {
-                let ip = in_port.index();
-                if input_port_used[ip] {
-                    continue;
-                }
-                for vc in 0..v {
-                    let ivc = &self.inputs[ip][vc];
-                    if !ivc.ready_for_switch() || ivc.route != Some(out_port) {
-                        continue;
-                    }
-                    let has_credit = if out_port == Port::Local {
-                        true // ejection sinks flits unconditionally
-                    } else {
-                        let ovc = ivc.out_vc.expect("ready_for_switch implies out_vc");
-                        self.outputs[op][ovc].has_credit()
-                    };
-                    if has_credit {
-                        requests[ip * v + vc] = true;
-                    }
-                }
-            }
-            let Some(win) = self.sw_arb[op].grant(&requests) else {
-                continue;
-            };
-            let (ip, vc) = (win / v, win % v);
-            input_port_used[ip] = true;
-            let in_port = Port::from_index(ip);
-            let ivc = &mut self.inputs[ip][vc];
-            let out_vc = ivc.out_vc.expect("granted VC has out_vc");
-            let mut flit = ivc.buf.pop().expect("granted VC has a flit");
-            self.occ -= 1;
-            let is_tail = flit.is_tail();
-            if is_tail {
-                ivc.release();
-            }
-            ctx.energy
-                .record(ctx.power, PowerEvent::BufferRead, ctx.dynamic_scale);
-            ctx.energy
-                .record(ctx.power, PowerEvent::SwitchArb, ctx.dynamic_scale);
-            ctx.energy
-                .record(ctx.power, PowerEvent::Crossbar, ctx.dynamic_scale);
-            if out_port == Port::Local {
-                events.push(RouterEvent::Eject { flit });
-            } else {
-                debug_assert!(
-                    ctx.faults.is_none_or(|ls| ls.is_link_up(self.id, out_port)),
-                    "SA forwarded into a dead link (boundary purge missed a route)"
-                );
-                flit.vc = out_vc;
-                flit.hops += 1;
-                let st = &mut self.outputs[op][out_vc];
-                debug_assert!(st.credits > 0, "SA granted without credit");
-                st.credits -= 1;
-                if is_tail {
-                    st.owner = None;
-                }
-                events.push(RouterEvent::Forward { out_port, flit });
-            }
-            events.push(RouterEvent::Credit { in_port, vc });
-        }
-        // Return the scratch vector empty so it never affects equality or
-        // serialization.
-        requests.clear();
-        self.sw_requests = requests;
-    }
-
-    /// VA: head flits holding a route claim a free downstream VC.
-    fn vc_allocation(&mut self, ctx: &mut RouterCtx<'_>) {
-        let v = self.num_vcs;
-        for ip in 0..Port::COUNT {
-            for vc in 0..v {
-                if !self.inputs[ip][vc].awaiting_vc_alloc() {
-                    continue;
-                }
-                let out_port = self.inputs[ip][vc].route.expect("awaiting implies route");
-                let op = out_port.index();
-                if out_port == Port::Local {
-                    // Ejection needs no downstream VC; claim slot 0 nominally.
-                    self.inputs[ip][vc].out_vc = Some(0);
-                    ctx.energy
-                        .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
-                    continue;
-                }
-                let flit = self.inputs[ip][vc]
-                    .buf
-                    .front()
-                    .expect("awaiting implies flit");
-                debug_assert!(flit.is_head(), "VA on a non-head flit");
-                let range = self.allowed_vcs(flit);
-                let packet = flit.packet;
-                let span = range.len();
-                let start = self.va_ptr[op] % span.max(1);
-                let granted = (0..span)
-                    .map(|off| range.start + (start + off) % span)
-                    .find(|&ovc| self.outputs[op][ovc].is_free());
-                if let Some(ovc) = granted {
-                    self.outputs[op][ovc].owner = Some(packet);
-                    self.inputs[ip][vc].out_vc = Some(ovc);
-                    self.va_ptr[op] = self.va_ptr[op].wrapping_add(1);
-                    ctx.energy
-                        .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
-                }
-            }
-        }
-    }
-
-    /// RC: compute output-port candidates for head flits; adaptive
-    /// algorithms pick the candidate whose free VCs hold the most credits.
-    /// Under an active fault set, dead output links are excluded; a packet
-    /// with no live candidate is marked for dropping instead of wedging.
-    fn route_computation(&mut self, ctx: &mut RouterCtx<'_>) {
-        for ip in 0..Port::COUNT {
-            for vc in 0..self.num_vcs {
-                let ivc = &self.inputs[ip][vc];
-                if ivc.dropping || ivc.route.is_some() || ivc.buf.is_empty() {
-                    continue;
-                }
-                let flit = ivc.buf.front().expect("checked non-empty");
-                debug_assert!(
-                    flit.is_head(),
-                    "non-head flit at front of an unrouted VC: flow-control bug"
-                );
-                let packet = flit.packet;
-                let cands = match ctx.faults {
-                    Some(ls) => route_live(ctx.routing, ctx.topo, ls, self.id, flit.src, flit.dst),
-                    None => route(ctx.routing, ctx.topo, self.id, flit.src, flit.dst),
-                };
-                if cands.is_empty() {
-                    // Every minimal permitted direction is dead: the packet
-                    // is unroutable. Discard it (drain stage) rather than
-                    // letting it wedge the network.
-                    let ivc = &mut self.inputs[ip][vc];
-                    ivc.dropping = true;
-                    ivc.owner = Some(packet);
-                    continue;
-                }
-                let chosen = if cands.len() == 1 {
-                    cands[0]
-                } else {
-                    let range = self.allowed_vcs(flit);
-                    *cands
-                        .iter()
-                        .max_by_key(|p| {
-                            self.outputs[p.index()][range.clone()]
-                                .iter()
-                                .filter(|s| s.is_free())
-                                .map(|s| s.credits)
-                                .sum::<usize>()
-                        })
-                        .expect("route returned no candidates")
-                };
-                let ivc = &mut self.inputs[ip][vc];
-                ivc.route = Some(chosen);
-                ivc.owner = Some(packet);
-                ctx.energy
-                    .record(ctx.power, PowerEvent::RouteCompute, ctx.dynamic_scale);
-            }
-        }
-    }
-
-    /// Record the owners of this router's output VCs on `port` (packets
-    /// mid-transmission across that link) into `out`. Fault handling calls
-    /// this for every newly dead outgoing link: those packets are severed
-    /// and must be condemned network-wide.
-    pub(crate) fn condemn_output_owners(&self, port: Port, out: &mut BTreeSet<PacketId>) {
-        for ovc in &self.outputs[port.index()] {
-            if let Some(pid) = ovc.owner {
-                out.insert(pid);
-            }
-        }
-    }
-
-    /// Record every packet with a flit buffered here or holding one of this
-    /// router's output claims into `out` — used when the router itself dies.
-    pub(crate) fn condemn_all(&self, out: &mut BTreeSet<PacketId>) {
-        for port_vcs in &self.inputs {
-            for ivc in port_vcs {
-                for flit in ivc.buf.iter() {
-                    out.insert(flit.packet);
-                }
-            }
-        }
-        for port_vcs in &self.outputs {
-            for ovc in port_vcs {
-                if let Some(pid) = ovc.owner {
-                    out.insert(pid);
-                }
-            }
-        }
-    }
-
-    /// Purge condemned packets and clear routes into dead links.
-    ///
-    /// * Flits of condemned packets are removed from every input VC;
-    ///   `credit(in_port, vc)` is invoked once per removed flit so the
-    ///   network can restore the upstream sender's credit.
-    /// * Input VCs owned by a condemned packet are released, dropping the
-    ///   downstream output-VC claim they held.
-    /// * Routes that point into a dead link but have not yet claimed a
-    ///   downstream VC are cleared so RC can re-route the packet around the
-    ///   fault next cycle.
-    ///
-    /// Returns the number of flits removed.
-    pub(crate) fn purge_and_reroute(
-        &mut self,
-        condemned: &BTreeSet<PacketId>,
-        dead: impl Fn(Port) -> bool,
-        mut credit: impl FnMut(Port, usize),
-    ) -> u64 {
-        let mut removed = 0u64;
-        for ip in 0..Port::COUNT {
-            let in_port = Port::from_index(ip);
-            for vc in 0..self.num_vcs {
-                if !condemned.is_empty() {
-                    let ivc = &mut self.inputs[ip][vc];
-                    let mut purged = 0;
-                    for pid in condemned {
-                        purged += ivc.purge_packet(*pid);
-                    }
-                    for _ in 0..purged {
-                        credit(in_port, vc);
-                    }
-                    removed += purged as u64;
-                    let owner_condemned = ivc.owner.is_some_and(|o| condemned.contains(&o));
-                    if owner_condemned {
-                        let claim = match (ivc.route, ivc.out_vc) {
-                            (Some(route), Some(out_vc)) if route != Port::Local => {
-                                Some((route, out_vc))
-                            }
-                            _ => None,
-                        };
-                        ivc.release();
-                        if let Some((route, out_vc)) = claim {
-                            self.outputs[route.index()][out_vc].owner = None;
-                        }
-                    }
-                }
-                let ivc = &mut self.inputs[ip][vc];
-                if let Some(route) = ivc.route {
-                    if route != Port::Local && dead(route) && ivc.out_vc.is_none() {
-                        // Not yet committed downstream: let RC re-route.
-                        ivc.route = None;
-                    }
-                }
-            }
-        }
-        self.occ -= removed as usize;
-        removed
+        let id = self.id;
+        self.f.tile().step_node(0, id, ctx, events);
     }
 }
 
@@ -785,8 +389,8 @@ mod tests {
         }
         assert_eq!(tails, 1);
         // After the tail left, the output VC is free for a new packet.
-        assert!(r.outputs[Port::East.index()][0].is_free());
-        assert!(r.inputs[Port::Local.index()][0].route.is_none());
+        assert!(r.output_owner(Port::East, 0).is_none());
+        assert!(r.input_route(Port::Local, 0).is_none());
     }
 
     #[test]
@@ -828,9 +432,7 @@ mod tests {
         r.accept(Port::Local, flit, &mut ctx);
         r.step(&mut ctx); // RC
         r.step(&mut ctx); // VA
-        let out_vc = r.inputs[Port::Local.index()][0]
-            .out_vc
-            .expect("VC allocated");
+        let out_vc = r.input_out_vc(Port::Local, 0).expect("VC allocated");
         assert!(
             out_vc >= 2,
             "class-1 flit must use the upper VC half, got {out_vc}"

@@ -141,10 +141,81 @@ fn offsets(cur: Coord, dst: Coord) -> (isize, isize) {
     )
 }
 
+/// Stack-allocated candidate list returned by [`route`] and [`route_live`].
+///
+/// Minimal 2-D routing offers at most one productive direction per
+/// dimension, so two slots always suffice (the `cur == dst` case is the
+/// `Local` singleton). Dereferences to `&[Port]`, so it reads like the
+/// `Vec<Port>` it replaces — without the per-call heap allocation that
+/// made route computation the hottest allocator site in the cycle core.
+#[derive(Debug, Clone, Copy, Eq)]
+pub struct Candidates {
+    ports: [Port; 2],
+    len: u8,
+}
+
+impl Candidates {
+    const fn new() -> Self {
+        Candidates {
+            ports: [Port::Local; 2],
+            len: 0,
+        }
+    }
+
+    const fn one(p: Port) -> Self {
+        Candidates {
+            ports: [p, Port::Local],
+            len: 1,
+        }
+    }
+
+    fn push(&mut self, p: Port) {
+        self.ports[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    fn retain(&mut self, keep: impl Fn(Port) -> bool) {
+        let mut kept = Candidates::new();
+        for &p in self.iter() {
+            if keep(p) {
+                kept.push(p);
+            }
+        }
+        *self = kept;
+    }
+}
+
+impl std::ops::Deref for Candidates {
+    type Target = [Port];
+    fn deref(&self) -> &[Port] {
+        &self.ports[..self.len as usize]
+    }
+}
+
+impl IntoIterator for Candidates {
+    type Item = Port;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Port, 2>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ports.into_iter().take(self.len as usize)
+    }
+}
+
+impl PartialEq for Candidates {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<Vec<Port>> for Candidates {
+    fn eq(&self, other: &Vec<Port>) -> bool {
+        **self == other[..]
+    }
+}
+
 /// Compute the set of candidate output ports for a flit currently at `cur`,
 /// heading to `dst`, having entered the network at `src`.
 ///
-/// Returns `vec![Port::Local]` when `cur == dst`. Otherwise, every returned
+/// Returns the `Local` singleton when `cur == dst`. Otherwise, every returned
 /// port is a productive (distance-reducing) direction permitted by the
 /// algorithm; the list is never empty.
 ///
@@ -157,14 +228,14 @@ pub fn route(
     cur: NodeId,
     src: NodeId,
     dst: NodeId,
-) -> Vec<Port> {
+) -> Candidates {
     assert!(
         alg.supports(topo.kind()),
         "routing algorithm {alg:?} does not support topology {:?}",
         topo.kind()
     );
     if cur == dst {
-        return vec![Port::Local];
+        return Candidates::one(Port::Local);
     }
     let c = topo.coord(cur);
     let d = topo.coord(dst);
@@ -197,33 +268,33 @@ fn y_port(ey: isize) -> Port {
     }
 }
 
-fn route_xy(c: Coord, d: Coord) -> Vec<Port> {
+fn route_xy(c: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
     if ex != 0 {
-        vec![x_port(ex)]
+        Candidates::one(x_port(ex))
     } else {
-        vec![y_port(ey)]
+        Candidates::one(y_port(ey))
     }
 }
 
-fn route_yx(c: Coord, d: Coord) -> Vec<Port> {
+fn route_yx(c: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
     if ey != 0 {
-        vec![y_port(ey)]
+        Candidates::one(y_port(ey))
     } else {
-        vec![x_port(ex)]
+        Candidates::one(x_port(ex))
     }
 }
 
 /// West-First: a packet whose destination lies to the west must take all its
 /// west hops first (no turning into west later). Once no west hops remain,
 /// route adaptively among the minimal productive directions.
-fn route_west_first(c: Coord, d: Coord) -> Vec<Port> {
+fn route_west_first(c: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
     if ex < 0 {
-        return vec![Port::West];
+        return Candidates::one(Port::West);
     }
-    let mut out = Vec::with_capacity(2);
+    let mut out = Candidates::new();
     if ex > 0 {
         out.push(Port::East);
     }
@@ -236,9 +307,9 @@ fn route_west_first(c: Coord, d: Coord) -> Vec<Port> {
 /// North-Last: northward hops (decreasing `y`) may only be taken once no
 /// other productive direction remains, because no turn out of north is
 /// permitted.
-fn route_north_last(c: Coord, d: Coord) -> Vec<Port> {
+fn route_north_last(c: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
-    let mut out = Vec::with_capacity(2);
+    let mut out = Candidates::new();
     if ex != 0 {
         out.push(x_port(ex));
     }
@@ -255,9 +326,9 @@ fn route_north_last(c: Coord, d: Coord) -> Vec<Port> {
 /// Negative-First: hops in negative directions (west = -x, north = -y) must
 /// all be taken before any positive hop, because turns from positive into
 /// negative directions are prohibited.
-fn route_negative_first(c: Coord, d: Coord) -> Vec<Port> {
+fn route_negative_first(c: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
-    let mut neg = Vec::with_capacity(2);
+    let mut neg = Candidates::new();
     if ex < 0 {
         neg.push(Port::West);
     }
@@ -267,7 +338,7 @@ fn route_negative_first(c: Coord, d: Coord) -> Vec<Port> {
     if !neg.is_empty() {
         return neg;
     }
-    let mut pos = Vec::with_capacity(2);
+    let mut pos = Candidates::new();
     if ex > 0 {
         pos.push(Port::East);
     }
@@ -285,9 +356,9 @@ fn route_negative_first(c: Coord, d: Coord) -> Vec<Port> {
 /// * NW/SW turns are forbidden in odd columns — a westbound packet may only
 ///   turn west from north/south in even columns, which manifests here as
 ///   "north/south moves while heading west are only offered in even columns".
-fn route_odd_even(c: Coord, s: Coord, d: Coord) -> Vec<Port> {
+fn route_odd_even(c: Coord, s: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
-    let mut out = Vec::with_capacity(2);
+    let mut out = Candidates::new();
     if ex == 0 {
         // Same column: straight north/south.
         out.push(y_port(ey));
@@ -341,14 +412,14 @@ fn ring_direction(delta: isize, extent: isize, pos: Port, neg: Port) -> Option<P
 
 /// Wrap-aware dimension-ordered routing for the torus: route X first, then Y,
 /// choosing the direction with the fewer hops (ties go east/south).
-fn route_torus_dor(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
+fn route_torus_dor(topo: &Topology, c: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
     match ring_direction(ex, topo.width() as isize, Port::East, Port::West) {
-        Some(p) => vec![p],
-        None => vec![
+        Some(p) => Candidates::one(p),
+        None => Candidates::one(
             ring_direction(ey, topo.height() as isize, Port::South, Port::North)
                 .expect("cur != dst implies a remaining offset"),
-        ],
+        ),
     }
 }
 
@@ -357,9 +428,9 @@ fn route_torus_dor(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
 /// like [`route_torus_dor`], ties east/south), so the router can pick by
 /// downstream credit — and [`route_live`] can pick by liveness. Every
 /// candidate reduces the wrap-aware distance by one, so paths stay minimal.
-fn route_torus_min_adaptive(topo: &Topology, c: Coord, d: Coord) -> Vec<Port> {
+fn route_torus_min_adaptive(topo: &Topology, c: Coord, d: Coord) -> Candidates {
     let (ex, ey) = offsets(c, d);
-    let mut out = Vec::with_capacity(2);
+    let mut out = Candidates::new();
     if let Some(p) = ring_direction(ex, topo.width() as isize, Port::East, Port::West) {
         out.push(p);
     }
@@ -388,9 +459,9 @@ pub fn route_live(
     cur: NodeId,
     src: NodeId,
     dst: NodeId,
-) -> Vec<Port> {
+) -> Candidates {
     let mut cands = route(alg, topo, cur, src, dst);
-    cands.retain(|&p| p == Port::Local || faults.is_link_up(cur, p));
+    cands.retain(|p| p == Port::Local || faults.is_link_up(cur, p));
     cands
 }
 

@@ -72,6 +72,13 @@ impl Simulator {
         &self.network
     }
 
+    /// Force the cycle loop to step every router every cycle, disabling the
+    /// active-router worklist (see [`Network::set_step_all`]). Results must
+    /// be byte-identical either way; the differential tests pin that.
+    pub fn set_step_all(&mut self, step_all: bool) {
+        self.network.set_step_all(step_all);
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &StatsCollector {
         &self.stats

@@ -1,0 +1,796 @@
+//! Structure-of-arrays router state for the whole fabric.
+//!
+//! [`FabricState`] holds every router's pipeline state in flat arrays
+//! indexed by `(router, port, vc)` — flit buffers, route locks, granted
+//! downstream VCs, VC owners, drain flags, downstream credits, and the
+//! arbitration pointers — instead of a `Vec` of boxed per-router structs.
+//! A partition tile (a contiguous node range) is then literally a
+//! contiguous slice of each array: [`FabricState::split_tiles`] carves the
+//! fabric into disjoint [`FabricTile`] views that worker threads step
+//! concurrently without sharing a cache line of mutable state.
+//!
+//! The router pipeline itself (SA/ST, VA, RC — see [`crate::router`]) is
+//! implemented here against the flat layout, with two supporting
+//! structures per router:
+//!
+//! * an O(1) occupancy counter (`occ`), so the cycle loop's
+//!   active-router test is one load, and
+//! * an occupancy bitmask (`occ_mask`) with bit `port * num_vcs + vc` set
+//!   iff that input VC buffers at least one flit. All three pipeline
+//!   stages iterate set bits only, and switch allocation becomes
+//!   branchless two-stage arbitration: stage one builds per-output-port
+//!   request masks in a single pass over the occupied VCs; stage two
+//!   grants with a rotate-free round-robin pick
+//!   (`mask & (!0 << ptr)`, then `trailing_zeros`), which reproduces
+//!   [`crate::arbiter::RoundRobinArbiter`] semantics exactly — first
+//!   asserted index at or after the pointer, else first asserted index,
+//!   pointer advances past the winner.
+//!
+//! Both counters are derivable from the buffers; `debug_assert!` recounts
+//! (exercised by the debug-profile CI job) and the custom `Deserialize`
+//! impl keep them honest. Behavior is byte-identical to the pre-SoA
+//! per-router structs: the stages visit VCs in the same `(port, vc)`
+//! order, record the same energy events in the same order, and emit the
+//! same [`RouterEvent`]s, pinned by the golden and differential tests.
+
+use crate::flit::{Flit, PacketId};
+use crate::power::PowerEvent;
+use crate::router::{RouterCtx, RouterEvent};
+use crate::routing::{route, route_live};
+use crate::topology::{NodeId, Port};
+use crate::vc::VcBuffer;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Flat pipeline state for `routers` routers, one array per field.
+///
+/// Index layout: input-VC and output-VC arrays use
+/// `router * (Port::COUNT * num_vcs) + port * num_vcs + vc`; per-port
+/// arrays use `router * Port::COUNT + port`; per-router arrays use the
+/// router index directly.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FabricState {
+    routers: usize,
+    num_vcs: usize,
+    vc_depth: usize,
+    /// When true, VC allocation partitions VCs into two dateline classes
+    /// (tori). Requires `num_vcs >= 2`.
+    vc_partition: bool,
+    /// Input flit buffers, `(router, port, vc)`.
+    bufs: Vec<VcBuffer>,
+    /// Route lock per input VC: output port assigned by route computation.
+    in_route: Vec<Option<Port>>,
+    /// Downstream VC granted by VC allocation, per input VC.
+    in_out_vc: Vec<Option<u8>>,
+    /// Packet occupying each input VC (recorded at route computation).
+    in_owner: Vec<Option<PacketId>>,
+    /// Drain flag per input VC: the occupying packet is unroutable and its
+    /// flits are discarded as they arrive.
+    in_dropping: Vec<bool>,
+    /// Downstream VC claims, `(router, port, vc)` — the upstream view of
+    /// who owns the VC at the far end of each output.
+    out_owner: Vec<Option<PacketId>>,
+    /// Free downstream buffer slots per output VC (credits).
+    out_credits: Vec<u16>,
+    /// Switch-allocation round-robin pointer per `(router, out_port)`,
+    /// over flattened `(in_port, vc)` requesters.
+    sw_next: Vec<u32>,
+    /// VC-allocation rotation pointer per `(router, out_port)`.
+    va_ptr: Vec<u32>,
+    /// Buffered-flit count per router, maintained on accept/pop so the
+    /// active-router test is O(1). Derivable: deserialization rebuilds it
+    /// from the buffers rather than trusting the wire.
+    #[serde(skip)]
+    occ: Vec<u32>,
+    /// Occupancy bitmask per router: bit `port * num_vcs + vc` set iff
+    /// that input VC is non-empty. Derivable, rebuilt like `occ`.
+    #[serde(skip)]
+    occ_mask: Vec<u64>,
+}
+
+// Deserialization is written by hand (over a derive-backed shadow struct)
+// so the occupancy counter and bitmask are always recomputed from the
+// deserialized buffers. Trusting stored counters — or defaulting them to
+// zero — would desynchronize them from the buffers and stall the
+// pipeline: `step_node` short-circuits on `occ == 0`.
+impl<'de> Deserialize<'de> for FabricState {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Shadow {
+            routers: usize,
+            num_vcs: usize,
+            vc_depth: usize,
+            vc_partition: bool,
+            bufs: Vec<VcBuffer>,
+            in_route: Vec<Option<Port>>,
+            in_out_vc: Vec<Option<u8>>,
+            in_owner: Vec<Option<PacketId>>,
+            in_dropping: Vec<bool>,
+            out_owner: Vec<Option<PacketId>>,
+            out_credits: Vec<u16>,
+            sw_next: Vec<u32>,
+            va_ptr: Vec<u32>,
+        }
+        let s = Shadow::deserialize(d)?;
+        let pv = Port::COUNT * s.num_vcs;
+        let (mut occ, mut occ_mask) = (Vec::new(), Vec::new());
+        for r in 0..s.routers {
+            let chunk = &s.bufs[r * pv..(r + 1) * pv];
+            occ.push(chunk.iter().map(|b| b.len() as u32).sum());
+            let mut mask = 0u64;
+            for (b, buf) in chunk.iter().enumerate() {
+                if !buf.is_empty() {
+                    mask |= 1 << b;
+                }
+            }
+            occ_mask.push(mask);
+        }
+        Ok(FabricState {
+            routers: s.routers,
+            num_vcs: s.num_vcs,
+            vc_depth: s.vc_depth,
+            vc_partition: s.vc_partition,
+            bufs: s.bufs,
+            in_route: s.in_route,
+            in_out_vc: s.in_out_vc,
+            in_owner: s.in_owner,
+            in_dropping: s.in_dropping,
+            out_owner: s.out_owner,
+            out_credits: s.out_credits,
+            sw_next: s.sw_next,
+            va_ptr: s.va_ptr,
+            occ,
+            occ_mask,
+        })
+    }
+}
+
+impl FabricState {
+    /// Idle state for `routers` routers.
+    ///
+    /// # Panics
+    /// Panics if `num_vcs == 0`, `vc_depth == 0`, `vc_partition` is set
+    /// with fewer than two VCs, or the flattened `(port, vc)` index does
+    /// not fit the occupancy bitmask (`Port::COUNT * num_vcs > 64`).
+    pub fn new(routers: usize, num_vcs: usize, vc_depth: usize, vc_partition: bool) -> Self {
+        assert!(num_vcs > 0, "router needs at least one VC");
+        assert!(vc_depth > 0, "VC depth must be positive");
+        assert!(
+            !vc_partition || num_vcs >= 2,
+            "VC partitioning requires >= 2 VCs"
+        );
+        assert!(
+            Port::COUNT * num_vcs <= 64,
+            "flattened (port, vc) state is bitmask-indexed: at most {} VCs",
+            64 / Port::COUNT
+        );
+        let pv = Port::COUNT * num_vcs;
+        FabricState {
+            routers,
+            num_vcs,
+            vc_depth,
+            vc_partition,
+            bufs: (0..routers * pv).map(|_| VcBuffer::new(vc_depth)).collect(),
+            in_route: vec![None; routers * pv],
+            in_out_vc: vec![None; routers * pv],
+            in_owner: vec![None; routers * pv],
+            in_dropping: vec![false; routers * pv],
+            out_owner: vec![None; routers * pv],
+            out_credits: vec![vc_depth as u16; routers * pv],
+            sw_next: vec![0; routers * Port::COUNT],
+            va_ptr: vec![0; routers * Port::COUNT],
+            occ: vec![0; routers],
+            occ_mask: vec![0; routers],
+        }
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers
+    }
+
+    /// Virtual channels per port.
+    pub fn num_vcs(&self) -> usize {
+        self.num_vcs
+    }
+
+    /// Buffer depth per VC, in flits.
+    pub fn vc_depth(&self) -> usize {
+        self.vc_depth
+    }
+
+    #[inline]
+    fn pv(&self) -> usize {
+        Port::COUNT * self.num_vcs
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, port: Port, vc: usize) -> usize {
+        r * self.pv() + port.index() * self.num_vcs + vc
+    }
+
+    /// Flits buffered in router `r`, with a debug recount against the O(1)
+    /// counter and the occupancy bitmask.
+    pub fn occupancy(&self, r: usize) -> usize {
+        let pv = self.pv();
+        debug_assert_eq!(
+            self.occ[r] as usize,
+            self.bufs[r * pv..(r + 1) * pv]
+                .iter()
+                .map(|b| b.len())
+                .sum::<usize>(),
+            "occupancy counter out of sync with the buffers"
+        );
+        debug_assert!(
+            (0..pv).all(
+                |b| (self.occ_mask[r] >> b) & 1 == u64::from(!self.bufs[r * pv + b].is_empty())
+            ),
+            "occupancy bitmask out of sync with the buffers"
+        );
+        self.occ[r] as usize
+    }
+
+    /// Per-router occupancy counters (no recount; the cycle loop's
+    /// active-router scan and region sampling read this directly).
+    pub fn occ_counts(&self) -> &[u32] {
+        &self.occ
+    }
+
+    /// Total buffering capacity per router.
+    pub fn buffer_capacity(&self) -> usize {
+        self.pv() * self.vc_depth
+    }
+
+    /// Whether input VC `(port, vc)` of router `r` can accept a flit.
+    pub fn can_accept(&self, r: usize, port: Port, vc: usize) -> bool {
+        !self.bufs[self.idx(r, port, vc)].is_full()
+    }
+
+    /// Free slots the upstream view holds for output `(port, vc)`.
+    pub fn credits(&self, r: usize, port: Port, vc: usize) -> usize {
+        self.out_credits[self.idx(r, port, vc)] as usize
+    }
+
+    /// Downstream-VC owner for output `(port, vc)` (`None` = free).
+    pub fn output_owner(&self, r: usize, port: Port, vc: usize) -> Option<PacketId> {
+        self.out_owner[self.idx(r, port, vc)]
+    }
+
+    /// Route lock on input VC `(port, vc)`.
+    pub fn input_route(&self, r: usize, port: Port, vc: usize) -> Option<Port> {
+        self.in_route[self.idx(r, port, vc)]
+    }
+
+    /// Downstream VC granted to input VC `(port, vc)`.
+    pub fn input_out_vc(&self, r: usize, port: Port, vc: usize) -> Option<usize> {
+        self.in_out_vc[self.idx(r, port, vc)].map(usize::from)
+    }
+
+    /// Record the owners of router `r`'s output VCs on `port` (packets
+    /// mid-transmission across that link) into `out`. Fault handling calls
+    /// this for every newly dead outgoing link: those packets are severed
+    /// and must be condemned network-wide.
+    pub(crate) fn condemn_output_owners(&self, r: usize, port: Port, out: &mut BTreeSet<PacketId>) {
+        for vc in 0..self.num_vcs {
+            if let Some(pid) = self.out_owner[self.idx(r, port, vc)] {
+                out.insert(pid);
+            }
+        }
+    }
+
+    /// Record every packet with a flit buffered in router `r` or holding
+    /// one of its output claims into `out` — used when the router dies.
+    pub(crate) fn condemn_all(&self, r: usize, out: &mut BTreeSet<PacketId>) {
+        let pv = self.pv();
+        for buf in &self.bufs[r * pv..(r + 1) * pv] {
+            for flit in buf.iter() {
+                out.insert(flit.packet);
+            }
+        }
+        for pid in self.out_owner[r * pv..(r + 1) * pv].iter().flatten() {
+            out.insert(*pid);
+        }
+    }
+
+    /// Mutable view of the whole fabric (the serial phases — commit,
+    /// fault purge, and the single-router [`crate::router::Router`]
+    /// wrapper — go through this).
+    pub fn tile(&mut self) -> FabricTile<'_> {
+        FabricTile {
+            num_vcs: self.num_vcs,
+            pv: Port::COUNT * self.num_vcs,
+            vc_depth: self.vc_depth,
+            vc_partition: self.vc_partition,
+            bufs: &mut self.bufs,
+            in_route: &mut self.in_route,
+            in_out_vc: &mut self.in_out_vc,
+            in_owner: &mut self.in_owner,
+            in_dropping: &mut self.in_dropping,
+            out_owner: &mut self.out_owner,
+            out_credits: &mut self.out_credits,
+            sw_next: &mut self.sw_next,
+            va_ptr: &mut self.va_ptr,
+            occ: &mut self.occ,
+            occ_mask: &mut self.occ_mask,
+        }
+    }
+
+    /// Carve the fabric into disjoint contiguous tiles at the router
+    /// `bounds` (ascending, `bounds[0] == 0`, last == `num_routers`). Each
+    /// [`FabricTile`] owns the slice of every array for its node range, so
+    /// tiles can be stepped concurrently.
+    ///
+    /// # Panics
+    /// Panics if the bounds are not ascending or do not cover the fabric.
+    pub fn split_tiles(&mut self, bounds: &[usize]) -> Vec<FabricTile<'_>> {
+        assert!(
+            bounds.first() == Some(&0) && bounds.last() == Some(&self.routers),
+            "tile bounds must cover the fabric"
+        );
+        let (num_vcs, pv, vc_depth, vc_partition) = (
+            self.num_vcs,
+            Port::COUNT * self.num_vcs,
+            self.vc_depth,
+            self.vc_partition,
+        );
+        let mut out = Vec::with_capacity(bounds.len() - 1);
+        let mut bufs = self.bufs.as_mut_slice();
+        let mut in_route = self.in_route.as_mut_slice();
+        let mut in_out_vc = self.in_out_vc.as_mut_slice();
+        let mut in_owner = self.in_owner.as_mut_slice();
+        let mut in_dropping = self.in_dropping.as_mut_slice();
+        let mut out_owner = self.out_owner.as_mut_slice();
+        let mut out_credits = self.out_credits.as_mut_slice();
+        let mut sw_next = self.sw_next.as_mut_slice();
+        let mut va_ptr = self.va_ptr.as_mut_slice();
+        let mut occ = self.occ.as_mut_slice();
+        let mut occ_mask = self.occ_mask.as_mut_slice();
+        for w in bounds.windows(2) {
+            let rn = w[1] - w[0];
+            macro_rules! take {
+                ($slice:ident, $n:expr) => {{
+                    let (head, rest) = $slice.split_at_mut($n);
+                    $slice = rest;
+                    head
+                }};
+            }
+            out.push(FabricTile {
+                num_vcs,
+                pv,
+                vc_depth,
+                vc_partition,
+                bufs: take!(bufs, rn * pv),
+                in_route: take!(in_route, rn * pv),
+                in_out_vc: take!(in_out_vc, rn * pv),
+                in_owner: take!(in_owner, rn * pv),
+                in_dropping: take!(in_dropping, rn * pv),
+                out_owner: take!(out_owner, rn * pv),
+                out_credits: take!(out_credits, rn * pv),
+                sw_next: take!(sw_next, rn * Port::COUNT),
+                va_ptr: take!(va_ptr, rn * Port::COUNT),
+                occ: take!(occ, rn),
+                occ_mask: take!(occ_mask, rn),
+            });
+        }
+        out
+    }
+}
+
+/// A disjoint mutable view of a contiguous router range — the slice of
+/// every [`FabricState`] array for those routers. Router indices passed to
+/// the methods are tile-local (0-based within the range).
+#[derive(Debug)]
+pub struct FabricTile<'a> {
+    num_vcs: usize,
+    pv: usize,
+    vc_depth: usize,
+    vc_partition: bool,
+    bufs: &'a mut [VcBuffer],
+    in_route: &'a mut [Option<Port>],
+    in_out_vc: &'a mut [Option<u8>],
+    in_owner: &'a mut [Option<PacketId>],
+    in_dropping: &'a mut [bool],
+    out_owner: &'a mut [Option<PacketId>],
+    out_credits: &'a mut [u16],
+    sw_next: &'a mut [u32],
+    va_ptr: &'a mut [u32],
+    occ: &'a mut [u32],
+    occ_mask: &'a mut [u64],
+}
+
+impl FabricTile<'_> {
+    /// Buffered flits in local router `k` (O(1), no recount — the hot
+    /// active-router test).
+    #[inline]
+    pub fn occ_at(&self, k: usize) -> usize {
+        self.occ[k] as usize
+    }
+
+    /// Buffered flits in local router `k`, with the debug recount.
+    pub fn occupancy(&self, k: usize) -> usize {
+        debug_assert_eq!(
+            self.occ[k] as usize,
+            self.bufs[k * self.pv..(k + 1) * self.pv]
+                .iter()
+                .map(|b| b.len())
+                .sum::<usize>(),
+            "occupancy counter out of sync with the buffers"
+        );
+        self.occ[k] as usize
+    }
+
+    /// The VC index range a flit of `vc_class` may claim at the next hop,
+    /// honoring the dateline partition on tori.
+    fn allowed_vcs(&self, vc_class: u8) -> std::ops::Range<usize> {
+        if self.vc_partition {
+            let half = self.num_vcs / 2;
+            if vc_class == 0 {
+                0..half
+            } else {
+                half..self.num_vcs
+            }
+        } else {
+            0..self.num_vcs
+        }
+    }
+
+    /// Clear per-packet state of flat input VC `idx` after the tail flit
+    /// departs (or the packet is dropped/purged).
+    #[inline]
+    fn release(&mut self, idx: usize) {
+        self.in_route[idx] = None;
+        self.in_out_vc[idx] = None;
+        self.in_owner[idx] = None;
+        self.in_dropping[idx] = false;
+    }
+
+    /// Deposit a flit arriving on `port` of local router `k` into its VC
+    /// buffer. Called by the network layer for link deliveries and local
+    /// injections.
+    ///
+    /// # Panics
+    /// Panics if the buffer is full (a flow-control violation).
+    pub fn accept(&mut self, k: usize, port: Port, flit: Flit, ctx: &mut RouterCtx<'_>) {
+        ctx.energy
+            .record(ctx.power, PowerEvent::BufferWrite, ctx.dynamic_scale);
+        let b = port.index() * self.num_vcs + flit.vc;
+        self.bufs[k * self.pv + b].push(flit);
+        self.occ[k] += 1;
+        self.occ_mask[k] |= 1 << b;
+    }
+
+    /// Return one credit for output `(port, vc)` of local router `k`.
+    pub fn return_credit(&mut self, k: usize, port: Port, vc: usize) {
+        let idx = k * self.pv + port.index() * self.num_vcs + vc;
+        debug_assert!(
+            (self.out_credits[idx] as usize) < self.vc_depth,
+            "credit overflow on {port}/{vc}"
+        );
+        self.out_credits[idx] += 1;
+    }
+
+    /// Execute one active cycle of local router `k` (node id `node`):
+    /// SA/ST, then VA, then RC. Appends this cycle's events to the
+    /// caller-owned buffer.
+    pub fn step_node(
+        &mut self,
+        k: usize,
+        node: NodeId,
+        ctx: &mut RouterCtx<'_>,
+        events: &mut Vec<RouterEvent>,
+    ) {
+        if self.occupancy(k) == 0 {
+            return; // idle router: nothing to route, allocate, or move
+        }
+        if ctx.faults.is_some() {
+            self.drain_dropped(k, events);
+        }
+        self.switch_allocation(k, node, ctx, events);
+        self.vc_allocation(k, ctx);
+        self.route_computation(k, node, ctx);
+    }
+
+    /// Discard buffered flits of packets marked `dropping` (unroutable
+    /// under the active fault set), returning a credit per discarded flit
+    /// so the upstream sender keeps feeding the remainder of the packet.
+    /// The tail flit releases the VC.
+    fn drain_dropped(&mut self, k: usize, events: &mut Vec<RouterEvent>) {
+        let v = self.num_vcs;
+        let b0 = k * self.pv;
+        let mut m = self.occ_mask[k];
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let idx = b0 + b;
+            if !self.in_dropping[idx] {
+                continue;
+            }
+            let (ip, vc) = (b / v, b % v);
+            let mut removed = 0u32;
+            while let Some(flit) = self.bufs[idx].pop() {
+                removed += 1;
+                let is_tail = flit.is_tail();
+                events.push(RouterEvent::Drop { flit });
+                events.push(RouterEvent::Credit {
+                    in_port: Port::from_index(ip),
+                    vc,
+                });
+                if is_tail {
+                    self.release(idx);
+                    break;
+                }
+            }
+            self.occ[k] -= removed;
+            if self.bufs[idx].is_empty() {
+                self.occ_mask[k] &= !(1u64 << b);
+            }
+        }
+    }
+
+    /// SA/ST: one flit per output port per cycle, one per input port per
+    /// cycle, round-robin among eligible input VCs. Stage one builds the
+    /// per-output-port request masks in a single pass over the occupied
+    /// VCs; stage two grants each output port with the rotate-free
+    /// round-robin pick and masks out the winner's whole input port.
+    fn switch_allocation(
+        &mut self,
+        k: usize,
+        node: NodeId,
+        ctx: &mut RouterCtx<'_>,
+        events: &mut Vec<RouterEvent>,
+    ) {
+        let v = self.num_vcs;
+        let b0 = k * self.pv;
+        // Stage one: request masks over flattened (in_port, vc), one per
+        // output port. A VC requests iff it is routed, holds a downstream
+        // VC, is non-empty (the occupancy mask), and has a credit (the
+        // Local output sinks ejected flits unconditionally).
+        let mut req = [0u64; Port::COUNT];
+        let mut m = self.occ_mask[k];
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let idx = b0 + b;
+            let (Some(out_port), Some(ovc)) = (self.in_route[idx], self.in_out_vc[idx]) else {
+                continue;
+            };
+            let has_credit = out_port == Port::Local
+                || self.out_credits[b0 + out_port.index() * v + ovc as usize] > 0;
+            if has_credit {
+                req[out_port.index()] |= 1 << b;
+            }
+        }
+        // Stage two: grant per output port in fixed port order. Granting
+        // pops the flit and decrements the credit it consumes, which never
+        // changes another output port's request set, so the masks stay
+        // valid across the loop with only the used-input clearing.
+        let n = self.pv as u32;
+        let vc_bits = (1u64 << v) - 1;
+        let mut used_inputs = 0u64;
+        for out_port in Port::ALL {
+            let op = out_port.index();
+            let reqs = req[op] & !used_inputs;
+            if reqs == 0 {
+                continue; // no grant: the round-robin pointer holds
+            }
+            let ptr = self.sw_next[k * Port::COUNT + op];
+            // First asserted index at or after the pointer, else first
+            // asserted index — exactly RoundRobinArbiter::grant.
+            let hi = reqs & (u64::MAX << ptr);
+            let win = if hi != 0 {
+                hi.trailing_zeros()
+            } else {
+                reqs.trailing_zeros()
+            };
+            self.sw_next[k * Port::COUNT + op] = (win + 1) % n;
+            let b = win as usize;
+            let (ip, vc) = (b / v, b % v);
+            used_inputs |= vc_bits << (ip * v);
+            let in_port = Port::from_index(ip);
+            let idx = b0 + b;
+            let out_vc = self.in_out_vc[idx].expect("granted VC has out_vc") as usize;
+            let mut flit = self.bufs[idx].pop().expect("granted VC has a flit");
+            self.occ[k] -= 1;
+            if self.bufs[idx].is_empty() {
+                self.occ_mask[k] &= !(1u64 << b);
+            }
+            let is_tail = flit.is_tail();
+            if is_tail {
+                self.release(idx);
+            }
+            ctx.energy
+                .record(ctx.power, PowerEvent::BufferRead, ctx.dynamic_scale);
+            ctx.energy
+                .record(ctx.power, PowerEvent::SwitchArb, ctx.dynamic_scale);
+            ctx.energy
+                .record(ctx.power, PowerEvent::Crossbar, ctx.dynamic_scale);
+            if out_port == Port::Local {
+                events.push(RouterEvent::Eject { flit });
+            } else {
+                debug_assert!(
+                    ctx.faults.is_none_or(|ls| ls.is_link_up(node, out_port)),
+                    "SA forwarded into a dead link (boundary purge missed a route)"
+                );
+                flit.vc = out_vc;
+                flit.hops += 1;
+                let oidx = b0 + op * v + out_vc;
+                debug_assert!(self.out_credits[oidx] > 0, "SA granted without credit");
+                self.out_credits[oidx] -= 1;
+                if is_tail {
+                    self.out_owner[oidx] = None;
+                }
+                events.push(RouterEvent::Forward { out_port, flit });
+            }
+            events.push(RouterEvent::Credit { in_port, vc });
+        }
+    }
+
+    /// VA: head flits holding a route claim a free downstream VC.
+    fn vc_allocation(&mut self, k: usize, ctx: &mut RouterCtx<'_>) {
+        let v = self.num_vcs;
+        let b0 = k * self.pv;
+        let mut m = self.occ_mask[k];
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let idx = b0 + b;
+            let Some(out_port) = self.in_route[idx] else {
+                continue;
+            };
+            if self.in_out_vc[idx].is_some() {
+                continue;
+            }
+            let op = out_port.index();
+            if out_port == Port::Local {
+                // Ejection needs no downstream VC; claim slot 0 nominally.
+                self.in_out_vc[idx] = Some(0);
+                ctx.energy
+                    .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
+                continue;
+            }
+            let flit = self.bufs[idx].front().expect("awaiting implies flit");
+            debug_assert!(flit.is_head(), "VA on a non-head flit");
+            let (packet, vc_class) = (flit.packet, flit.vc_class);
+            let range = self.allowed_vcs(vc_class);
+            let span = range.len();
+            let start = (self.va_ptr[k * Port::COUNT + op] as usize) % span.max(1);
+            let granted = (0..span)
+                .map(|off| range.start + (start + off) % span)
+                .find(|&ovc| self.out_owner[b0 + op * v + ovc].is_none());
+            if let Some(ovc) = granted {
+                self.out_owner[b0 + op * v + ovc] = Some(packet);
+                self.in_out_vc[idx] = Some(ovc as u8);
+                let ptr = &mut self.va_ptr[k * Port::COUNT + op];
+                *ptr = ptr.wrapping_add(1);
+                ctx.energy
+                    .record(ctx.power, PowerEvent::VcAlloc, ctx.dynamic_scale);
+            }
+        }
+    }
+
+    /// RC: compute output-port candidates for head flits; adaptive
+    /// algorithms pick the candidate whose free VCs hold the most credits.
+    /// Under an active fault set, dead output links are excluded; a packet
+    /// with no live candidate is marked for dropping instead of wedging.
+    fn route_computation(&mut self, k: usize, node: NodeId, ctx: &mut RouterCtx<'_>) {
+        let v = self.num_vcs;
+        let b0 = k * self.pv;
+        let mut m = self.occ_mask[k];
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let idx = b0 + b;
+            if self.in_dropping[idx] || self.in_route[idx].is_some() {
+                continue;
+            }
+            let flit = self.bufs[idx].front().expect("occupied VC has a flit");
+            debug_assert!(
+                flit.is_head(),
+                "non-head flit at front of an unrouted VC: flow-control bug"
+            );
+            let (packet, src, dst, vc_class) = (flit.packet, flit.src, flit.dst, flit.vc_class);
+            let cands = match ctx.faults {
+                Some(ls) => route_live(ctx.routing, ctx.topo, ls, node, src, dst),
+                None => route(ctx.routing, ctx.topo, node, src, dst),
+            };
+            if cands.is_empty() {
+                // Every minimal permitted direction is dead: the packet
+                // is unroutable. Discard it (drain stage) rather than
+                // letting it wedge the network.
+                self.in_dropping[idx] = true;
+                self.in_owner[idx] = Some(packet);
+                continue;
+            }
+            let chosen = if cands.len() == 1 {
+                cands[0]
+            } else {
+                let range = self.allowed_vcs(vc_class);
+                *cands
+                    .iter()
+                    .max_by_key(|p| {
+                        let ob = b0 + p.index() * v;
+                        range
+                            .clone()
+                            .filter(|&ovc| self.out_owner[ob + ovc].is_none())
+                            .map(|ovc| self.out_credits[ob + ovc] as usize)
+                            .sum::<usize>()
+                    })
+                    .expect("route returned no candidates")
+            };
+            self.in_route[idx] = Some(chosen);
+            self.in_owner[idx] = Some(packet);
+            ctx.energy
+                .record(ctx.power, PowerEvent::RouteCompute, ctx.dynamic_scale);
+        }
+    }
+
+    /// Purge condemned packets from local router `k` and clear routes into
+    /// dead links.
+    ///
+    /// * Flits of condemned packets are removed from every input VC;
+    ///   `credit(in_port, vc)` is invoked once per removed flit so the
+    ///   network can restore the upstream sender's credit.
+    /// * Input VCs owned by a condemned packet are released, dropping the
+    ///   downstream output-VC claim they held.
+    /// * Routes that point into a dead link but have not yet claimed a
+    ///   downstream VC are cleared so RC can re-route the packet around
+    ///   the fault next cycle.
+    ///
+    /// Returns the number of flits removed.
+    pub fn purge_and_reroute(
+        &mut self,
+        k: usize,
+        condemned: &BTreeSet<PacketId>,
+        dead: impl Fn(Port) -> bool,
+        mut credit: impl FnMut(Port, usize),
+    ) -> u64 {
+        let v = self.num_vcs;
+        let b0 = k * self.pv;
+        let mut removed = 0u64;
+        for ip in 0..Port::COUNT {
+            let in_port = Port::from_index(ip);
+            for vc in 0..v {
+                let idx = b0 + ip * v + vc;
+                if !condemned.is_empty() {
+                    let mut purged = 0;
+                    for pid in condemned {
+                        purged += self.bufs[idx].purge_packet(*pid);
+                    }
+                    for _ in 0..purged {
+                        credit(in_port, vc);
+                    }
+                    removed += purged as u64;
+                    let owner_condemned =
+                        self.in_owner[idx].is_some_and(|o| condemned.contains(&o));
+                    if owner_condemned {
+                        let claim = match (self.in_route[idx], self.in_out_vc[idx]) {
+                            (Some(route), Some(out_vc)) if route != Port::Local => {
+                                Some((route, out_vc as usize))
+                            }
+                            _ => None,
+                        };
+                        self.release(idx);
+                        if let Some((route, out_vc)) = claim {
+                            self.out_owner[b0 + route.index() * v + out_vc] = None;
+                        }
+                    }
+                }
+                if let Some(route) = self.in_route[idx] {
+                    if route != Port::Local && dead(route) && self.in_out_vc[idx].is_none() {
+                        // Not yet committed downstream: let RC re-route.
+                        self.in_route[idx] = None;
+                    }
+                }
+            }
+        }
+        self.occ[k] -= removed as u32;
+        let mut mask = 0u64;
+        for b in 0..self.pv {
+            if !self.bufs[b0 + b].is_empty() {
+                mask |= 1 << b;
+            }
+        }
+        self.occ_mask[k] = mask;
+        removed
+    }
+}

@@ -91,6 +91,18 @@ pub enum StatsOp {
         /// Dropped flits (including never-injected ones).
         flits: u64,
     },
+    /// A run of consecutive idle routers, nodes `from..to`, each owing one
+    /// cycle of leakage. The worklist stepper coalesces skipped routers into
+    /// runs (two words instead of one `Leakage` op per idle node); the
+    /// commit phase expands the run itself — it needs each node's region
+    /// leakage scale and link count, which only the network layer holds — so
+    /// this op never reaches [`StatsCollector::apply`].
+    IdleLeakageRun {
+        /// First node of the run (inclusive).
+        from: usize,
+        /// One past the last node of the run.
+        to: usize,
+    },
 }
 
 /// Where a router records its energy events: straight into an
@@ -445,6 +457,9 @@ impl StatsCollector {
             StatsOp::Drop { flit } => self.record_drop(&flit),
             StatsOp::Injection { region, is_tail } => self.record_injection(region, is_tail),
             StatsOp::SourceDrop { packets, flits } => self.record_source_drop(packets, flits),
+            StatsOp::IdleLeakageRun { .. } => {
+                unreachable!("idle-leakage runs are expanded by the network commit phase")
+            }
         }
     }
 

@@ -73,6 +73,15 @@ impl VcBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &Flit> {
         self.fifo.iter()
     }
+
+    /// Remove every flit of `packet`, in order, returning how many were
+    /// removed. Fault handling uses this to purge condemned packets; normal
+    /// operation never removes flits out of FIFO order.
+    pub fn purge_packet(&mut self, packet: PacketId) -> usize {
+        let before = self.fifo.len();
+        self.fifo.retain(|f| f.packet != packet);
+        before - self.fifo.len()
+    }
 }
 
 /// One input virtual channel: its buffer plus the per-packet routing state
@@ -133,9 +142,7 @@ impl InputVc {
     /// how many were removed. Fault handling uses this to purge condemned
     /// packets; normal operation never removes flits out of FIFO order.
     pub fn purge_packet(&mut self, packet: PacketId) -> usize {
-        let before = self.buf.fifo.len();
-        self.buf.fifo.retain(|f| f.packet != packet);
-        before - self.buf.fifo.len()
+        self.buf.purge_packet(packet)
     }
 }
 
