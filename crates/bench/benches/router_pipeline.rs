@@ -7,6 +7,7 @@ use noc_sim::router::{Router, RouterCtx};
 use noc_sim::routing::RoutingAlgorithm;
 use noc_sim::stats::EnergySink;
 use noc_sim::topology::{NodeId, Port, Topology};
+use noc_sim::SwitchArb;
 use std::hint::black_box;
 
 fn loaded_router() -> (Router, Topology, PowerModel) {
@@ -21,6 +22,8 @@ fn loaded_router() -> (Router, Topology, PowerModel) {
         energy: EnergySink::Meter(&mut meter),
         dynamic_scale: 1.0,
         faults: None,
+        arb: SwitchArb::PerFlit,
+        tables: None,
     };
     // Fill several input VCs with traffic crossing the router.
     for (i, (port, dst)) in [
@@ -64,6 +67,8 @@ fn bench_router_step(c: &mut Criterion) {
                     energy: EnergySink::Meter(&mut meter),
                     dynamic_scale: 1.0,
                     faults: None,
+                    arb: SwitchArb::PerFlit,
+                    tables: None,
                 };
                 black_box(r.step(&mut ctx));
             },
@@ -84,6 +89,8 @@ fn bench_router_step(c: &mut Criterion) {
                     energy: EnergySink::Meter(&mut meter),
                     dynamic_scale: 1.0,
                     faults: None,
+                    arb: SwitchArb::PerFlit,
+                    tables: None,
                 };
                 black_box(r.step(&mut ctx));
             },

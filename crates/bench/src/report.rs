@@ -33,8 +33,8 @@
 
 use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
 use noc_sim::{
-    FaultPlan, InjectionProcess, RoutingAlgorithm, SimConfig, Simulator, Topology, TopologyKind,
-    TrafficPattern, WorkloadSpec,
+    FaultPlan, InjectionProcess, RoutingAlgorithm, SimConfig, Simulator, SwitchArb, Topology,
+    TopologyKind, TrafficPattern, WorkloadSpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -690,6 +690,69 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
         );
     }
 
+    // --- Wormhole fabric: long packets under per-packet switch arbitration,
+    // the flow-control path where a head flit holds its output port until
+    // the tail releases it. One healthy 8-flit point, and a table-routed
+    // twin under permanent link faults (k-path table build + fault
+    // recompute + route-hold interplay), so wormhole cost stays visible in
+    // the perf history next to the legacy per-flit workloads.
+    {
+        let time_cfg = |cfg: &SimConfig| {
+            timed(config.repeats, || {
+                let mut sim = Simulator::new(cfg.clone()).expect("valid bench config");
+                sim.run(config.sim_warmup);
+                let flits0 = sim.stats().ejected_flits;
+                let t0 = Instant::now();
+                sim.run(config.sim_cycles);
+                let dt = t0.elapsed().as_nanos() as u64;
+                let flits = sim.stats().ejected_flits - flits0;
+                (dt, config.sim_cycles, Some(flits))
+            })
+        };
+
+        let cfg = SimConfig::default()
+            .with_traffic(TrafficPattern::Uniform, 0.05)
+            .with_packet_len(8)
+            .with_switch_arb(SwitchArb::PerPacket);
+        let measured = time_cfg(&cfg);
+        push_result(
+            &mut workloads,
+            "sim/8x8/uniform/r0.05/len8",
+            format!(
+                "8x8 mesh, XY routing, 8-flit packets under per-packet wormhole \
+                 arbitration, uniform traffic at 0.05 flits/node/cycle, {} warmup \
+                 + {} timed cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+
+        let plan = FaultPlan::random_links(&Topology::mesh(8, 8), 2, 0x7AB1E, 0, None);
+        let cfg = SimConfig::default()
+            .with_traffic(TrafficPattern::Uniform, 0.05)
+            .with_packet_len(8)
+            .with_switch_arb(SwitchArb::PerPacket)
+            .with_routing(RoutingAlgorithm::Table)
+            .with_faults(plan);
+        let measured = time_cfg(&cfg);
+        push_result(
+            &mut workloads,
+            "sim/8x8/uniform/r0.05/len8/table/faults2",
+            format!(
+                "8x8 mesh, table-driven k-path routing with 2 permanent link \
+                 faults, 8-flit packets under per-packet wormhole arbitration, \
+                 uniform traffic at 0.05 flits/node/cycle, {} warmup + {} timed \
+                 cycles",
+                config.sim_warmup, config.sim_cycles
+            ),
+            "cycles",
+            config.repeats,
+            measured,
+        );
+    }
+
     // --- Batched DQN forward/backward (the training inner loop).
     {
         let mut agent = bench_agent();
@@ -1069,7 +1132,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 21);
+        assert_eq!(report.workloads.len(), 23);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);

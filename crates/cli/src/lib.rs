@@ -8,8 +8,8 @@ use noc_selfconf::{
     ThresholdController,
 };
 use noc_sim::{
-    FaultPlan, PacketTrace, RoutingAlgorithm, RunSummary, SimConfig, Simulator, TopologyKind,
-    TrafficPattern, TrafficSpec, WorkloadSpec,
+    FaultPlan, PacketTrace, RoutingAlgorithm, RunSummary, SimConfig, Simulator, SwitchArb,
+    TopologyKind, TrafficPattern, TrafficSpec, WorkloadSpec,
 };
 use rl::{DqnAgent, DqnConfig, Schedule, TrainConfig};
 use serde::{Deserialize, Serialize};
@@ -179,6 +179,10 @@ fn parse_routing(s: &str) -> Result<RoutingAlgorithm, CliError> {
     parse_named(s, "routing", &RoutingAlgorithm::NAMED)
 }
 
+fn parse_arb(s: &str) -> Result<SwitchArb, CliError> {
+    SwitchArb::parse(s).map_err(|e| CliError(e.to_string()))
+}
+
 fn parse_topology(s: &str) -> Result<TopologyKind, CliError> {
     parse_named(s, "topology", &TopologyKind::NAMED)
 }
@@ -235,7 +239,7 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         serial: false,
         out: None,
     };
-    const VALUE_FLAGS: [&str; 15] = [
+    const VALUE_FLAGS: [&str; 16] = [
         "--sizes",
         "--topologies",
         "--patterns",
@@ -244,6 +248,7 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         "--levels",
         "--faults",
         "--workloads",
+        "--arb",
         "--warmup",
         "--measure",
         "--drain",
@@ -305,6 +310,9 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
             }
             "--workloads" => {
                 opts.grid.workloads = parse_list(value, "workloads", parse_workload)?;
+            }
+            "--arb" => {
+                opts.grid.base = opts.grid.base.clone().with_switch_arb(parse_arb(value)?);
             }
             "--warmup" | "--measure" | "--drain" | "--seed" => {
                 let n: u64 = value
@@ -423,7 +431,7 @@ pub struct RunOptions {
 /// Returns a usage error for unknown flags, malformed values, or the
 /// `--workload` vs `--pattern`/`--rate` conflict.
 pub fn parse_run_args(args: &[String]) -> Result<RunOptions, CliError> {
-    const VALUE_FLAGS: [&str; 13] = [
+    const VALUE_FLAGS: [&str; 14] = [
         "--config",
         "--topology",
         "--size",
@@ -431,6 +439,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunOptions, CliError> {
         "--pattern",
         "--rate",
         "--workload",
+        "--arb",
         "--faults",
         "--partitions",
         "--seed",
@@ -481,6 +490,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunOptions, CliError> {
                 );
             }
             "--workload" => workload = Some(parse_workload(value)?),
+            "--arb" => config = config.with_switch_arb(parse_arb(value)?),
             "--faults" => {
                 faults = Some(
                     value
@@ -559,12 +569,13 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_run_args(args)?;
     let cfg = &opts.config;
     eprintln!(
-        "run: {}x{} {}, {} routing, {} traffic, {} fault event(s); \
+        "run: {}x{} {}, {} routing, {} arbitration, {} traffic, {} fault event(s); \
          {} warmup + {} measure + {} drain cycles",
         cfg.width,
         cfg.height,
         cfg.kind.name(),
         cfg.routing.name(),
+        cfg.switch_arb.name(),
         match &cfg.traffic {
             TrafficSpec::Workload(w) => w.label(),
             TrafficSpec::Trace(_) => "trace".to_string(),
@@ -593,8 +604,9 @@ pub fn cmd_workload(args: &[String]) -> Result<(), CliError> {
     let usage = || {
         CliError(
             "usage: noc-cli workload <parse|describe> <label>   (label grammar: \
-             ph[<pattern>:<process>[@cycles]|…], processes: bern<rate>, \
-             burst<rate_on>x<switch>, pulse<rate>x<period>x<on>)"
+             ph[<pattern>:<process>[:<len>][@cycles]|…], processes: bern<rate>, \
+             burst<rate_on>x<switch>, pulse<rate>x<period>x<on>; lengths: \
+             len<flits>, lenU<min>-<max>, lenB<short>-<long>p<pct>)"
                 .into(),
         )
     };
@@ -1107,6 +1119,18 @@ mod tests {
     }
 
     #[test]
+    fn sweep_grid_arb_flag_reaches_every_scenario() {
+        let opts = parse_sweep_grid_args(&strings(&["--arb", "perpacket"])).unwrap();
+        assert_eq!(opts.grid.base.switch_arb, noc_sim::SwitchArb::PerPacket);
+        for s in opts.grid.scenarios() {
+            assert_eq!(s.config.switch_arb, noc_sim::SwitchArb::PerPacket);
+        }
+        let opts = parse_sweep_grid_args(&strings(&[])).unwrap();
+        assert_eq!(opts.grid.base.switch_arb, noc_sim::SwitchArb::PerFlit);
+        assert!(parse_sweep_grid_args(&strings(&["--arb", "storeforward"])).is_err());
+    }
+
+    #[test]
     fn hotspot_patterns_parse_from_the_cli() {
         use noc_sim::NodeId;
         let opts =
@@ -1245,6 +1269,13 @@ mod tests {
             "0.2"
         ]))
         .is_err());
+        // Switch arbitration selects per-packet wormhole grants, defaults to
+        // the legacy per-flit mode, and rejects unknown names.
+        let opts = parse_run_args(&strings(&["--arb", "perpacket"])).unwrap();
+        assert_eq!(opts.config.switch_arb, noc_sim::SwitchArb::PerPacket);
+        let opts = parse_run_args(&strings(&[])).unwrap();
+        assert_eq!(opts.config.switch_arb, noc_sim::SwitchArb::PerFlit);
+        assert!(parse_run_args(&strings(&["--arb", "wormhole"])).is_err());
         // Bad input is diagnosed.
         assert!(parse_run_args(&strings(&["--topology", "ring"])).is_err());
         assert!(parse_run_args(&strings(&["--bogus", "1"])).is_err());

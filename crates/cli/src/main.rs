@@ -69,17 +69,20 @@ fn main() -> ExitCode {
                  train <out.json> [episodes] | evaluate <policy.json> | \
                  replay <trace.csv> [period] | default-config>\n\
                  run flags: --topology mesh|torus  --size 8x8  --routing xy  \
-                 --pattern uniform  --rate 0.10  --workload 'ph[...]'  --faults N  \
+                 --pattern uniform  --rate 0.10  --workload 'ph[...]'  --arb perflit|perpacket  \
+                 --faults N  \
                  --partitions N  --seed N  --warmup N  --measure N  --drain N  \
                  --config base.json\n\
                  sweep-grid flags: --sizes 4x4,8x8  --topologies mesh,torus  \
                  --patterns uniform,transpose  \
                  --rates 0.05,0.10  --routings xy,oddeven  --levels none,0,3  \
                  --faults 0,1,2  --workloads 'ph[uniform:burst0.3x0.05]'  \
+                 --arb perflit|perpacket  \
                  --warmup N  --measure N  --drain N  --seed N  \
                  --threads N  --partitions N  --serial  --out report.json\n\
-                 workload labels: ph[<pattern>:<process>[@cycles]|...] with processes \
-                 bern<rate>, burst<rate_on>x<switch>, pulse<rate>x<period>x<on>\n\
+                 workload labels: ph[<pattern>:<process>[:<len>][@cycles]|...] with processes \
+                 bern<rate>, burst<rate_on>x<switch>, pulse<rate>x<period>x<on> and lengths \
+                 len<flits>, lenU<min>-<max>, lenB<short>-<long>p<pct>\n\
                  bench flags: --quick  --repeats N  --out bench.json  \
                  --compare baseline.json  --against candidate.json  \
                  --tolerance 0.30  --sha SHA"

@@ -353,6 +353,7 @@ mod tests {
             phase_cycles: vec![],
             phase_offered_packets: vec![],
             injected_flits: 0,
+            injected_packets: 0,
             ejected_flits: 0,
             ejected_packets: 0,
             dropped_flits: 0,

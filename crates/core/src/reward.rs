@@ -142,6 +142,7 @@ mod tests {
             phase_cycles: vec![],
             phase_offered_packets: vec![],
             injected_flits: 100,
+            injected_packets: 20,
             ejected_flits: 100,
             ejected_packets: 20,
             dropped_flits: 0,

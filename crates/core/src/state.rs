@@ -164,6 +164,7 @@ mod tests {
             phase_cycles: vec![100],
             phase_offered_packets: vec![32],
             injected_flits: 160,
+            injected_packets: 32,
             ejected_flits: 150,
             ejected_packets: 30,
             dropped_flits: 0,

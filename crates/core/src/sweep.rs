@@ -647,6 +647,38 @@ mod tests {
     }
 
     #[test]
+    fn table_routing_spans_both_topology_families() {
+        // Table routing supports mesh and torus alike, so one `table` entry
+        // on a mixed-topology grid yields one scenario per kind — no
+        // for_topology remapping, no dedup collapse — and the label segment
+        // round-trips through the routing name registry.
+        let grid = SweepGrid {
+            sizes: vec![(4, 4)],
+            topologies: vec![TopologyKind::Mesh, TopologyKind::Torus],
+            patterns: vec![TrafficPattern::Uniform],
+            rates: vec![0.05],
+            routings: vec![RoutingAlgorithm::Table],
+            levels: vec![None],
+            faults: vec![0],
+            ..SweepGrid::default()
+        };
+        assert_eq!(grid.len(), 2);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios[0].label, "4x4/uniform/r0.05/table");
+        assert_eq!(scenarios[1].label, "4x4/uniform/r0.05/table/t:torus");
+        for s in &scenarios {
+            assert_eq!(s.config.routing, RoutingAlgorithm::Table);
+            let name = s.label.split('/').nth(3).unwrap();
+            assert_eq!(
+                RoutingAlgorithm::from_name(name),
+                Some(RoutingAlgorithm::Table),
+                "label segment `{name}` must parse back"
+            );
+        }
+        assert!(grid.validate().is_ok());
+    }
+
+    #[test]
     fn legacy_grid_json_defaults_to_the_mesh_axis() {
         // A serialized pre-axis grid (no `topologies` field) must
         // deserialize to the mesh-only axis and expand identically.

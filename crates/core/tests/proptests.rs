@@ -30,6 +30,7 @@ fn any_metrics(regions: usize) -> impl Strategy<Value = WindowMetrics> {
                     phase_cycles: vec![cycles],
                     phase_offered_packets: vec![injected / 5],
                     injected_flits: injected,
+                    injected_packets: injected / 5,
                     ejected_flits: ejected,
                     ejected_packets: samples,
                     dropped_flits: 0,

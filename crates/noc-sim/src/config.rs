@@ -9,6 +9,49 @@ use crate::topology::{Topology, TopologyKind};
 use crate::traffic::{TrafficPattern, TrafficSpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
+/// Switch-allocation granularity.
+///
+/// `PerFlit` is the historical behavior: every buffered flit competes for
+/// its output port every cycle, so flits of different packets may interleave
+/// on a link (VC ownership still keeps packets apart per VC). `PerPacket`
+/// models true wormhole switch allocation: once a head flit wins an output
+/// port, the port is held for that packet until its tail flit is switched,
+/// exposing head-of-line blocking and long-packet credit dynamics. For
+/// single-flit packets the two modes are byte-identical (every grant is a
+/// head-and-tail, so the hold is acquired and released within one grant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SwitchArb {
+    /// Flit-granular switch allocation (the legacy default).
+    #[default]
+    PerFlit,
+    /// Packet-granular allocation: output ports are held head→tail.
+    PerPacket,
+}
+
+impl SwitchArb {
+    /// Canonical CLI/label name (`perflit` / `perpacket`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchArb::PerFlit => "perflit",
+            SwitchArb::PerPacket => "perpacket",
+        }
+    }
+
+    /// Parse a canonical name (inverse of [`SwitchArb::name`]).
+    ///
+    /// # Errors
+    /// Returns an error for anything but `perflit`/`perpacket`.
+    pub fn parse(s: &str) -> SimResult<SwitchArb> {
+        match s {
+            "perflit" => Ok(SwitchArb::PerFlit),
+            "perpacket" => Ok(SwitchArb::PerPacket),
+            other => Err(SimError::InvalidConfig(format!(
+                "unknown switch arbitration `{other}` (expected perflit|perpacket)"
+            ))),
+        }
+    }
+}
+
 /// Full configuration of a simulation run (Table 1 of the evaluation).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -24,6 +67,10 @@ pub struct SimConfig {
     pub vc_depth: usize,
     /// Packet length in flits.
     pub packet_len: u32,
+    /// Switch-allocation granularity. Defaults to the legacy per-flit mode;
+    /// configs written before the knob existed deserialize to it.
+    #[serde(default)]
+    pub switch_arb: SwitchArb,
     /// Routing algorithm.
     pub routing: RoutingAlgorithm,
     /// Traffic specification.
@@ -70,6 +117,7 @@ impl Default for SimConfig {
             num_vcs: 4,
             vc_depth: 4,
             packet_len: 5,
+            switch_arb: SwitchArb::PerFlit,
             routing: RoutingAlgorithm::Xy,
             traffic: TrafficSpec::stationary(TrafficPattern::Uniform, 0.10),
             vf_table: VfTable::four_level(),
@@ -166,6 +214,12 @@ impl SimConfig {
     /// Set packet length in flits.
     pub fn with_packet_len(mut self, packet_len: u32) -> Self {
         self.packet_len = packet_len;
+        self
+    }
+
+    /// Set the switch-allocation granularity.
+    pub fn with_switch_arb(mut self, switch_arb: SwitchArb) -> Self {
+        self.switch_arb = switch_arb;
         self
     }
 
@@ -389,6 +443,32 @@ mod tests {
         assert!(SimConfig::default().with_partitions(64).validate().is_ok());
         assert!(SimConfig::default().with_partitions(65).validate().is_err());
         assert_eq!(SimConfig::default().partitions, 1);
+    }
+
+    #[test]
+    fn switch_arb_names_round_trip() {
+        for arb in [SwitchArb::PerFlit, SwitchArb::PerPacket] {
+            assert_eq!(SwitchArb::parse(arb.name()).unwrap(), arb);
+        }
+        assert!(SwitchArb::parse("wormhole").is_err());
+        assert_eq!(SwitchArb::default(), SwitchArb::PerFlit);
+    }
+
+    #[test]
+    fn switch_arb_defaults_on_old_configs() {
+        // Configs serialized before the knob existed deserialize to the
+        // legacy per-flit mode.
+        let json = serde_json::to_string(&SimConfig::default()).unwrap();
+        let pruned = json.replace("\"switch_arb\":\"PerFlit\",", "");
+        assert_ne!(json, pruned, "the knob must serialize explicitly");
+        let back: SimConfig = serde_json::from_str(&pruned).unwrap();
+        assert_eq!(back.switch_arb, SwitchArb::PerFlit);
+        assert_eq!(back, SimConfig::default());
+        // And the builder round-trips the wormhole mode.
+        let c = SimConfig::default().with_switch_arb(SwitchArb::PerPacket);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.switch_arb, SwitchArb::PerPacket);
     }
 
     #[test]

@@ -63,19 +63,20 @@ pub mod trace;
 pub mod traffic;
 pub mod vc;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, SwitchArb};
 pub use dvfs::{ClockGate, RegionMap, ThrottleEvent, VfLevel, VfTable};
 pub use error::{SimError, SimResult};
 pub use fault::{FaultEvent, FaultPlan, FaultTarget, LinkState};
 pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use network::Network;
 pub use power::{EnergyMeter, PowerEvent, PowerModel};
-pub use routing::RoutingAlgorithm;
+pub use routing::{RoutingAlgorithm, RoutingTables};
 pub use sim::{RunSummary, Simulator};
 pub use soa::{FabricState, FabricTile};
 pub use stats::{EnergySink, StatsCollector, StatsOp, StatsSnapshot, WindowMetrics};
 pub use topology::{Coord, NodeId, Port, Topology, TopologyKind};
 pub use trace::{PacketTrace, TraceEvent};
 pub use traffic::{
-    InjectionProcess, TrafficGenerator, TrafficPattern, TrafficSpec, WorkloadPhase, WorkloadSpec,
+    InjectionProcess, LengthSpec, TrafficGenerator, TrafficPattern, TrafficSpec, WorkloadPhase,
+    WorkloadSpec,
 };

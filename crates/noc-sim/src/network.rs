@@ -43,14 +43,14 @@
 //! mode ([`Network::set_step_all`]) drives the differential tests that pin
 //! the equivalence.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, SwitchArb};
 use crate::dvfs::{ClockGate, RegionMap, ThrottleEvent, VfTable};
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultPlan, LinkState};
 use crate::flit::{Flit, Packet, PacketId};
 use crate::power::{PowerEvent, PowerModel};
 use crate::router::{RouterCtx, RouterEvent};
-use crate::routing::RoutingAlgorithm;
+use crate::routing::{RoutingAlgorithm, RoutingTables};
 use crate::soa::{FabricState, FabricTile};
 use crate::stats::{EnergySink, StatsCollector, StatsOp};
 use crate::topology::{NodeId, Port, Topology, TopologyKind};
@@ -140,6 +140,11 @@ struct CreditReturn {
 pub struct Network {
     topo: Topology,
     routing: RoutingAlgorithm,
+    /// Switch-allocation granularity (see [`SwitchArb`]).
+    switch_arb: SwitchArb,
+    /// k-path tables, present iff `routing` is [`RoutingAlgorithm::Table`].
+    /// Rebuilt whenever the live-link set changes at a fault boundary.
+    tables: Option<RoutingTables>,
     /// All router pipeline state, structure-of-arrays (see [`crate::soa`]).
     fabric: FabricState,
     inj: Vec<InjectionQueue>,
@@ -232,6 +237,8 @@ struct TileOutbox {
 struct TileShared<'a> {
     topo: &'a Topology,
     routing: RoutingAlgorithm,
+    arb: SwitchArb,
+    tables: Option<&'a RoutingTables>,
     power: &'a PowerModel,
     links_out: &'a [usize],
     region_by_node: &'a [usize],
@@ -432,9 +439,13 @@ impl Network {
         let partitions = config.partitions;
         let pool = (partitions > 1).then(|| TilePool::new(partitions));
         let gates_pristine = max_vf.freq_scale == 1.0;
+        let tables = (config.routing == RoutingAlgorithm::Table)
+            .then(|| RoutingTables::build(&topo, None, RoutingTables::K_DEFAULT));
         Ok(Network {
             topo,
             routing: config.routing,
+            switch_arb: config.switch_arb,
+            tables,
             fabric,
             inj,
             gates,
@@ -511,6 +522,17 @@ impl Network {
     /// Current routing algorithm.
     pub fn routing(&self) -> RoutingAlgorithm {
         self.routing
+    }
+
+    /// Switch-allocation granularity in force.
+    pub fn switch_arb(&self) -> SwitchArb {
+        self.switch_arb
+    }
+
+    /// The k-path tables, present iff table routing is in force (test and
+    /// analysis observability).
+    pub fn routing_tables(&self) -> Option<&RoutingTables> {
+        self.tables.as_ref()
     }
 
     /// Instantaneous link/router liveness under the configured fault plan
@@ -599,6 +621,18 @@ impl Network {
             )));
         }
         self.routing = routing;
+        if routing == RoutingAlgorithm::Table {
+            if self.tables.is_none() {
+                let faults = self.has_faults.then_some(&self.link_state);
+                self.tables = Some(RoutingTables::build(
+                    &self.topo,
+                    faults,
+                    RoutingTables::K_DEFAULT,
+                ));
+            }
+        } else {
+            self.tables = None;
+        }
         Ok(())
     }
 
@@ -682,6 +716,8 @@ impl Network {
             let shared = TileShared {
                 topo: &self.topo,
                 routing: self.routing,
+                arb: self.switch_arb,
+                tables: self.tables.as_ref(),
                 power: &self.power,
                 links_out: &self.links_out,
                 region_by_node: &self.region_by_node,
@@ -784,6 +820,8 @@ impl Network {
                         energy: EnergySink::Meter(&mut stats.energy),
                         dynamic_scale: self.region_dynamic_scale[self.region_by_node[d.to.0]],
                         faults: None,
+                        arb: self.switch_arb,
+                        tables: self.tables.as_ref(),
                     };
                     tile.accept(d.to.0, d.in_port, d.flit, &mut ctx);
                 }
@@ -831,6 +869,16 @@ impl Network {
         if crossed {
             self.link_state
                 .recompute(&self.topo, &self.fault_plan, self.cycle);
+            if self.routing == RoutingAlgorithm::Table {
+                // Rebuild the k-path tables over the new live-link set —
+                // fault onset and heal alike. Packets caught off every new
+                // path become unroutable and are drained, not wedged.
+                self.tables = Some(RoutingTables::build(
+                    &self.topo,
+                    Some(&self.link_state),
+                    RoutingTables::K_DEFAULT,
+                ));
+            }
             self.purge_condemned(stats);
         }
     }
@@ -1031,6 +1079,8 @@ fn step_tile(shared: &TileShared<'_>, tile: &mut TileTask<'_>) {
                 } else {
                     None
                 },
+                arb: shared.arb,
+                tables: shared.tables,
             };
             tile.fabric.step_node(k, node, &mut ctx, &mut events);
         }
@@ -1158,6 +1208,8 @@ fn try_inject_tile(
             energy: EnergySink::Log(ops),
             dynamic_scale: scale,
             faults: None,
+            arb: shared.arb,
+            tables: shared.tables,
         };
         fabric.accept(k, Port::Local, flit, &mut ctx);
     }

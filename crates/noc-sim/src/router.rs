@@ -25,10 +25,11 @@
 //! single-router convenience wrapper (a one-router fabric) used by unit tests
 //! and microbenchmarks that exercise the pipeline in isolation.
 
+use crate::config::SwitchArb;
 use crate::fault::LinkState;
 use crate::flit::{Flit, PacketId};
 use crate::power::PowerModel;
-use crate::routing::RoutingAlgorithm;
+use crate::routing::{RoutingAlgorithm, RoutingTables};
 use crate::soa::FabricState;
 use crate::stats::EnergySink;
 use crate::topology::{NodeId, Port, Topology};
@@ -83,6 +84,13 @@ pub struct RouterCtx<'a> {
     /// simulation runs without a fault plan (the common case) and route
     /// computation skips the liveness filter entirely.
     pub faults: Option<&'a LinkState>,
+    /// Switch-allocation granularity (per-flit legacy vs per-packet
+    /// wormhole holds). See [`SwitchArb`].
+    pub arb: SwitchArb,
+    /// Precomputed k-path tables, required when `routing` is
+    /// [`RoutingAlgorithm::Table`] and ignored otherwise. The network
+    /// rebuilds them whenever the live-link set changes.
+    pub tables: Option<&'a RoutingTables>,
 }
 
 /// A single wormhole VC router: a one-router [`FabricState`] plus its node
@@ -225,6 +233,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         for f in make_flits(0, 1, 3) {
             r.accept(Port::Local, f, &mut ctx);
@@ -269,6 +279,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         let flits = make_flits(0, 1, 1);
         r.accept(Port::Local, flits[0].clone(), &mut ctx);
@@ -309,6 +321,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         let mut flit = make_flits(0, 5, 1).remove(0);
         flit.vc = 1;
@@ -337,6 +351,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         // 5-flit packet; downstream buffer depth 2 and no credit returns.
         for f in make_flits(0, 3, 5).into_iter().take(2) {
@@ -373,6 +389,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         for f in make_flits(0, 1, 2) {
             r.accept(Port::Local, f, &mut ctx);
@@ -405,6 +423,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         assert_eq!(r.occupancy(), 0);
         for f in make_flits(0, 1, 3) {
@@ -426,6 +446,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         let mut flit = make_flits(0, 1, 1).remove(0);
         flit.vc_class = 1;
@@ -451,6 +473,8 @@ mod tests {
             energy: EnergySink::Meter(&mut meter),
             dynamic_scale: 1.0,
             faults: None,
+            arb: SwitchArb::PerFlit,
+            tables: None,
         };
         let f = make_flits(0, 1, 1).remove(0);
         r.accept(Port::Local, f, &mut ctx);

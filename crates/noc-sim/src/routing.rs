@@ -44,13 +44,22 @@ pub enum RoutingAlgorithm {
     /// minimal port to fall back on. See DESIGN.md §10 for the
     /// deadlock-freedom discussion.
     TorusMinAdaptive,
+    /// Table-driven k-shortest-path routing (mesh *and* torus): up to
+    /// [`RoutingTables::K_DEFAULT`] minimal paths are precomputed per
+    /// (src, dst) pair over the currently-live links, a packet's path is
+    /// selected deterministically from its pair, and the network rebuilds
+    /// the tables whenever the live-link set changes. On the mesh the
+    /// enumerated paths obey the West-First turn rule; on the torus they
+    /// stay inside the wrap-aware minimal DAG, deadlock-guarded by the
+    /// dateline VC classes. See DESIGN.md §13.
+    Table,
 }
 
 impl RoutingAlgorithm {
     /// Every algorithm paired with its canonical short name — the single
     /// table behind [`RoutingAlgorithm::name`] and
     /// [`RoutingAlgorithm::from_name`].
-    pub const NAMED: [(&'static str, RoutingAlgorithm); 8] = [
+    pub const NAMED: [(&'static str, RoutingAlgorithm); 9] = [
         ("xy", RoutingAlgorithm::Xy),
         ("yx", RoutingAlgorithm::Yx),
         ("westfirst", RoutingAlgorithm::WestFirst),
@@ -59,6 +68,7 @@ impl RoutingAlgorithm {
         ("oddeven", RoutingAlgorithm::OddEven),
         ("torusdor", RoutingAlgorithm::TorusDor),
         ("torusmin", RoutingAlgorithm::TorusMinAdaptive),
+        ("table", RoutingAlgorithm::Table),
     ];
 
     /// The algorithm's canonical short name.
@@ -97,6 +107,7 @@ impl RoutingAlgorithm {
             RoutingAlgorithm::TorusDor | RoutingAlgorithm::TorusMinAdaptive => {
                 kind == TopologyKind::Torus
             }
+            RoutingAlgorithm::Table => true,
             _ => kind == TopologyKind::Mesh,
         }
     }
@@ -249,6 +260,9 @@ pub fn route(
         RoutingAlgorithm::OddEven => route_odd_even(c, s, d),
         RoutingAlgorithm::TorusDor => route_torus_dor(topo, c, d),
         RoutingAlgorithm::TorusMinAdaptive => route_torus_min_adaptive(topo, c, d),
+        RoutingAlgorithm::Table => {
+            panic!("table routing resolves through RoutingTables::next_hop, not route()")
+        }
     }
 }
 
@@ -463,6 +477,239 @@ pub fn route_live(
     let mut cands = route(alg, topo, cur, src, dst);
     cands.retain(|p| p == Port::Local || faults.is_link_up(cur, p));
     cands
+}
+
+/// Precomputed k-shortest-path tables for [`RoutingAlgorithm::Table`].
+///
+/// For every (src, dst) pair, up to `k` *minimal* paths — stored as output
+/// port sequences from src — are enumerated over the currently-live links.
+/// On the mesh the enumeration is restricted to West-First-legal turn
+/// orders (a westbound pair with vertical hops admits only the all-west-
+/// first order), so the union of turns any table can use is a subset of the
+/// West-First allowed set and the channel-dependence graph stays acyclic.
+/// On the torus the paths are interleavings of the two wrap-aware minimal
+/// directions (the same DAG [`RoutingAlgorithm::TorusMinAdaptive`] routes
+/// in), with deadlock freedom supplied by the dateline VC classes.
+///
+/// A packet's path is selected deterministically by hashing its (src, dst)
+/// pair, so the spreading is reproducible and byte-identical across
+/// partitions and reruns. The network rebuilds the tables whenever the
+/// live-link set changes (fault onset *and* heal); a packet caught mid-
+/// flight off every new path becomes unroutable ([`RoutingTables::next_hop`]
+/// returns `None`) and is drained by the router's drop machinery instead of
+/// wedging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTables {
+    k: usize,
+    nodes: usize,
+    /// `paths[src * nodes + dst]`: up to `k` port sequences, in the
+    /// deterministic x-step-first enumeration order.
+    paths: Vec<Vec<Vec<Port>>>,
+}
+
+impl RoutingTables {
+    /// Default number of paths kept per (src, dst) pair.
+    pub const K_DEFAULT: usize = 4;
+
+    /// Build tables for `topo` over the links live under `faults`
+    /// (`None` = pristine fabric), keeping at most `k` paths per pair.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn build(topo: &Topology, faults: Option<&LinkState>, k: usize) -> Self {
+        assert!(k > 0, "table routing needs at least one path per pair");
+        let nodes = topo.num_nodes();
+        let mut paths = Vec::with_capacity(nodes * nodes);
+        for src in topo.nodes() {
+            for dst in topo.nodes() {
+                if src == dst {
+                    paths.push(Vec::new());
+                } else {
+                    paths.push(live_paths(topo, faults, src, dst, k));
+                }
+            }
+        }
+        RoutingTables { k, nodes, paths }
+    }
+
+    /// Paths kept per pair (the build-time `k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The live minimal paths for (src, dst), as output-port sequences
+    /// from `src`. Empty iff the pair is disconnected under the fault set
+    /// the tables were built for (or `src == dst`).
+    pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Vec<Port>] {
+        &self.paths[src.0 * self.nodes + dst.0]
+    }
+
+    /// The selected path for (src, dst), if any: a deterministic pair-hash
+    /// pick among the live paths.
+    pub fn selected_path(&self, src: NodeId, dst: NodeId) -> Option<&[Port]> {
+        let list = self.paths(src, dst);
+        if list.is_empty() {
+            return None;
+        }
+        Some(&list[(src.0.wrapping_mul(31) ^ dst.0.wrapping_mul(17)) % list.len()])
+    }
+
+    /// The output port a packet (src → dst) takes at `cur`, or `None` if
+    /// the packet is unroutable: its pair has no live path, or `cur` is off
+    /// the selected path (possible after a mid-flight table recompute).
+    /// Returns `Port::Local` at the destination.
+    pub fn next_hop(&self, topo: &Topology, cur: NodeId, src: NodeId, dst: NodeId) -> Option<Port> {
+        if cur == dst {
+            return Some(Port::Local);
+        }
+        let path = self.selected_path(src, dst)?;
+        let mut node = src;
+        for &port in path {
+            if node == cur {
+                return Some(port);
+            }
+            node = topo.neighbor(node, port)?;
+        }
+        None
+    }
+}
+
+/// Table lookup as a [`Candidates`] list: the single selected port, or the
+/// empty set when the packet is unroutable (the router drains it).
+pub fn route_table(
+    tables: &RoutingTables,
+    topo: &Topology,
+    cur: NodeId,
+    src: NodeId,
+    dst: NodeId,
+) -> Candidates {
+    match tables.next_hop(topo, cur, src, dst) {
+        Some(p) => Candidates::one(p),
+        None => Candidates::new(),
+    }
+}
+
+/// Per-dimension minimal direction and hop count for (src → dst): mesh
+/// offsets directly, wrap-aware ring distances on the torus (ties going
+/// east/south exactly like [`route_torus_dor`]).
+fn dim_moves(topo: &Topology, src: NodeId, dst: NodeId) -> ((Port, usize), (Port, usize)) {
+    let (s, d) = (topo.coord(src), topo.coord(dst));
+    let (ex, ey) = offsets(s, d);
+    match topo.kind() {
+        TopologyKind::Mesh => (
+            (x_port(ex), ex.unsigned_abs()),
+            (y_port(ey), ey.unsigned_abs()),
+        ),
+        TopologyKind::Torus => {
+            let ring = |delta: isize, extent: isize, pos, neg| {
+                let fwd = delta.rem_euclid(extent);
+                let hops = fwd.min(extent - fwd) as usize;
+                // At fwd == 0 the direction is irrelevant (zero hops).
+                let dir = if fwd <= extent - fwd { pos } else { neg };
+                (dir, hops)
+            };
+            (
+                ring(ex, topo.width() as isize, Port::East, Port::West),
+                ring(ey, topo.height() as isize, Port::South, Port::North),
+            )
+        }
+    }
+}
+
+/// Enumerate up to `k` live minimal paths src → dst in deterministic
+/// x-step-first DFS order. A dead-state memo over the (remaining-x,
+/// remaining-y) grid keeps the search linear in the grid area even when
+/// faults close off most interleavings.
+fn live_paths(
+    topo: &Topology,
+    faults: Option<&LinkState>,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Vec<Vec<Port>> {
+    let ((xdir, xn), (ydir, yn)) = dim_moves(topo, src, dst);
+    // Mesh West-First legality: once a vertical hop is taken, no west hop
+    // may follow (N→W / S→W turns are the ones West-First forbids), so a
+    // westbound pair admits only the all-west-hops-first order.
+    let west_block = topo.kind() == TopologyKind::Mesh && xdir == Port::West && yn > 0;
+    let mut out = Vec::new();
+    let mut dead = vec![false; (xn + 1) * (yn + 1)];
+    let mut path = Vec::with_capacity(xn + yn);
+    paths_dfs(
+        topo,
+        faults,
+        src,
+        (xdir, ydir),
+        (xn, yn),
+        yn,
+        west_block,
+        k,
+        &mut path,
+        &mut out,
+        &mut dead,
+    );
+    out
+}
+
+/// DFS worker for [`live_paths`]: `rem` holds the remaining hops per
+/// dimension; returns whether any live completion exists below this state.
+#[allow(clippy::too_many_arguments)]
+fn paths_dfs(
+    topo: &Topology,
+    faults: Option<&LinkState>,
+    node: NodeId,
+    dirs: (Port, Port),
+    rem: (usize, usize),
+    yn: usize,
+    west_block: bool,
+    k: usize,
+    path: &mut Vec<Port>,
+    out: &mut Vec<Vec<Port>>,
+    dead: &mut [bool],
+) -> bool {
+    let (rx, ry) = rem;
+    if rx == 0 && ry == 0 {
+        out.push(path.clone());
+        return true;
+    }
+    if dead[rx * (yn + 1) + ry] {
+        return false;
+    }
+    let mut found = false;
+    let try_dir = |dir: Port,
+                   nrem: (usize, usize),
+                   path: &mut Vec<Port>,
+                   out: &mut Vec<Vec<Port>>,
+                   dead: &mut [bool]|
+     -> bool {
+        if out.len() >= k {
+            return false;
+        }
+        if faults.is_some_and(|ls| !ls.is_link_up(node, dir)) {
+            return false;
+        }
+        let Some(next) = topo.neighbor(node, dir) else {
+            return false;
+        };
+        path.push(dir);
+        let ok = paths_dfs(
+            topo, faults, next, dirs, nrem, yn, west_block, k, path, out, dead,
+        );
+        path.pop();
+        ok
+    };
+    if rx > 0 {
+        found |= try_dir(dirs.0, (rx - 1, ry), path, out, dead);
+    }
+    if ry > 0 && !(west_block && rx > 0) {
+        found |= try_dir(dirs.1, (rx, ry - 1), path, out, dead);
+    }
+    // Only a fully-explored failure (not a k-cap cutoff) proves the state
+    // dead for future visits.
+    if !found && out.len() < k {
+        dead[rx * (yn + 1) + ry] = true;
+    }
+    found
 }
 
 /// Walk a packet from `src` to `dst` by repeatedly applying the routing
@@ -938,5 +1185,123 @@ mod tests {
         assert!(RoutingAlgorithm::WestFirst.is_adaptive());
         assert!(!RoutingAlgorithm::TorusDor.is_adaptive());
         assert!(RoutingAlgorithm::TorusMinAdaptive.is_adaptive());
+        assert!(!RoutingAlgorithm::Table.is_adaptive());
+    }
+
+    #[test]
+    fn tables_walk_every_pair_minimally() {
+        for topo in [Topology::mesh(4, 4), Topology::torus(4, 4)] {
+            let tables = RoutingTables::build(&topo, None, RoutingTables::K_DEFAULT);
+            for src in topo.nodes() {
+                for dst in topo.nodes() {
+                    if src == dst {
+                        assert!(tables.paths(src, dst).is_empty());
+                        continue;
+                    }
+                    let dist = topo.distance(src, dst);
+                    let list = tables.paths(src, dst);
+                    assert!(!list.is_empty(), "pristine fabric: {src}->{dst} has paths");
+                    assert!(list.len() <= RoutingTables::K_DEFAULT);
+                    for path in list {
+                        assert_eq!(path.len(), dist, "{src}->{dst} path must be minimal");
+                        let mut node = src;
+                        for &port in path {
+                            node = topo.neighbor(node, port).expect("path on the grid");
+                        }
+                        assert_eq!(node, dst, "{src}->{dst} path must end at dst");
+                    }
+                    // next_hop walks the selected path to the destination.
+                    let mut cur = src;
+                    for _ in 0..dist {
+                        let p = tables.next_hop(&topo, cur, src, dst).expect("on-path hop");
+                        assert_ne!(p, Port::Local);
+                        cur = topo.neighbor(cur, p).unwrap();
+                    }
+                    assert_eq!(cur, dst);
+                    assert_eq!(tables.next_hop(&topo, dst, src, dst), Some(Port::Local));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_tables_use_only_west_first_legal_turns() {
+        let t = Topology::mesh(5, 5);
+        let tables = RoutingTables::build(&t, None, 8);
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                for path in tables.paths(src, dst) {
+                    // West-First forbids N->W and S->W turns: once any
+                    // vertical hop is taken, no west hop may follow.
+                    let first_vertical = path
+                        .iter()
+                        .position(|&p| p == Port::North || p == Port::South);
+                    if let Some(i) = first_vertical {
+                        assert!(
+                            path[i..].iter().all(|&p| p != Port::West),
+                            "{src}->{dst}: west hop after a vertical hop in {path:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_route_around_a_dead_link_and_report_disconnection() {
+        use crate::fault::{FaultEvent, FaultPlan, FaultTarget, LinkState};
+        let t = Topology::mesh(4, 4);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            start: 0,
+            duration: None,
+            target: FaultTarget::Link {
+                node: NodeId(0),
+                port: Port::East,
+            },
+        }])
+        .unwrap();
+        let mut ls = LinkState::healthy(16);
+        ls.recompute(&t, &plan, 0);
+        let tables = RoutingTables::build(&t, Some(&ls), RoutingTables::K_DEFAULT);
+        // (0,0)->(1,0) straight east is dead; the recomputed table has no
+        // West-First-legal minimal detour (south-then-north is non-minimal),
+        // so the pair reads disconnected and the packet drains.
+        assert!(tables.paths(NodeId(0), NodeId(1)).is_empty());
+        assert_eq!(tables.next_hop(&t, NodeId(0), NodeId(0), NodeId(1)), None);
+        // (0,0)->(1,1) still has the south-then-east path.
+        let sel = tables
+            .selected_path(NodeId(0), NodeId(5))
+            .expect("minimal detour survives");
+        assert_eq!(sel, &[Port::South, Port::East]);
+        // Pairs untouched by the fault keep their full path sets.
+        assert!(!tables.paths(NodeId(5), NodeId(10)).is_empty());
+    }
+
+    #[test]
+    fn table_path_selection_is_deterministic_and_spread() {
+        let t = Topology::mesh(8, 8);
+        let a = RoutingTables::build(&t, None, RoutingTables::K_DEFAULT);
+        let b = RoutingTables::build(&t, None, RoutingTables::K_DEFAULT);
+        assert_eq!(a, b, "table builds are deterministic");
+        // The pair hash spreads selections across the path list: among all
+        // pairs with >= 2 paths, more than one list index gets picked.
+        let mut picked = std::collections::HashSet::new();
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                let list = a.paths(src, dst);
+                if list.len() >= 2 {
+                    let sel = a.selected_path(src, dst).unwrap();
+                    picked.insert(list.iter().position(|p| p == sel).unwrap());
+                }
+            }
+        }
+        assert!(picked.len() > 1, "selection must not collapse to index 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn table_build_rejects_k_zero() {
+        let t = Topology::mesh(2, 2);
+        let _ = RoutingTables::build(&t, None, 0);
     }
 }

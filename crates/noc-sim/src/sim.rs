@@ -23,7 +23,8 @@ pub struct RunSummary {
     /// created inside it; the drain phase lets those packets finish).
     pub window: WindowMetrics,
     /// Packets neither delivered nor dropped within the drain budget
-    /// (estimated from the flit imbalance).
+    /// (exact: fully-injected packets minus terminal packets; packets still
+    /// mid-injection in a source queue are not counted).
     pub unfinished_packets: u64,
     /// Whether the run is considered saturated: source backlog kept growing
     /// through the measurement window.
@@ -87,6 +88,19 @@ impl Simulator {
     /// Current global cycle.
     pub fn cycle(&self) -> u64 {
         self.network.cycle()
+    }
+
+    /// Mean packet length in flits of the configured traffic: the workload's
+    /// cycle-weighted [`crate::traffic::LengthSpec`] mean, with the global
+    /// `packet_len` standing in for phases without a length axis (and for
+    /// trace-driven traffic, whose lengths the trace itself carries).
+    fn mean_packet_len(&self) -> f64 {
+        self.config
+            .traffic
+            .workload()
+            .map_or(f64::from(self.config.packet_len), |w| {
+                w.mean_len_flits(self.config.packet_len)
+            })
     }
 
     /// Set one DVFS region's V/F level.
@@ -190,18 +204,21 @@ impl Simulator {
         window.region_occupancy = measured.region_occupancy.clone();
         window.avg_backlog = measured.avg_backlog;
 
-        // Saturation heuristic: backlog grew by more than one packet per node
-        // over the window.
+        // Saturation heuristic: backlog (a flit count) grew by more than one
+        // packet per node over the window, where "one packet" is the
+        // workload's mean length — a `len8` phase is allowed 8x the flit
+        // growth a single-flit one is.
         let growth = backlog_at_end as f64 - backlog_at_start as f64;
-        let saturated = growth > (self.config.packet_len as f64) * nodes as f64;
-        // Dropped flits (fault handling) are terminal, not unfinished. The
-        // drop counter can also cover flits that never injected (dead-source
-        // packets), so saturate rather than underflow.
+        let saturated = growth > self.mean_packet_len() * nodes as f64;
+        // Dropped packets (fault handling) are terminal, not unfinished. The
+        // drop counter can also cover packets that never fully injected
+        // (dead-source or purged mid-injection packets), so saturate rather
+        // than underflow. Packet counters, not flits/packet_len: variable
+        // lengths make the flit quotient meaningless.
         let unfinished = window
-            .injected_flits
-            .saturating_sub(window.ejected_flits)
-            .saturating_sub(window.dropped_flits)
-            / self.config.packet_len as u64;
+            .injected_packets
+            .saturating_sub(window.ejected_packets)
+            .saturating_sub(window.dropped_packets);
         RunSummary {
             window,
             unfinished_packets: unfinished,
@@ -355,6 +372,45 @@ mod tests {
             m.injection_burstiness,
             mb.injection_burstiness
         );
+    }
+
+    #[test]
+    fn variable_length_run_drains_with_exact_packet_accounting() {
+        use crate::traffic::{LengthSpec, WorkloadPhase, WorkloadSpec};
+        // One phase drawing lengths uniformly in 1..=8: the injected flit
+        // count is no multiple of the nominal packet_len, so the old
+        // `flits / packet_len` quotient would misreport unfinished packets.
+        let spec = TrafficSpec::Workload(WorkloadSpec::new(vec![WorkloadPhase::bernoulli(
+            TrafficPattern::Uniform,
+            0.06,
+            0,
+        )
+        .with_length(LengthSpec::Uniform { min: 1, max: 8 })]));
+        let mut s = Simulator::new(
+            SimConfig::default()
+                .with_size(4, 4)
+                .with_regions(2, 2)
+                .with_traffic_spec(spec),
+        )
+        .unwrap();
+        let summary = s.run_classic(500, 2000, 20_000);
+        assert!(!summary.saturated, "0.06 flits/node/cycle is light load");
+        assert_eq!(
+            summary.unfinished_packets, 0,
+            "light load must drain fully under variable lengths"
+        );
+        assert!(summary.window.injected_packets > 0);
+        let st = s.stats();
+        assert_eq!(st.dropped_flits, 0);
+        assert!(st.injected_packets > 0);
+        assert_ne!(
+            st.injected_flits,
+            st.injected_packets * u64::from(s.config().packet_len),
+            "lengths must actually vary (not all equal to packet_len)"
+        );
+        // Exact packet balance after a full drain: every injected packet
+        // either ejected or (here, faultlessly) none dropped.
+        assert_eq!(st.injected_packets, st.ejected_packets);
     }
 
     #[test]

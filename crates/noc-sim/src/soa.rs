@@ -33,10 +33,11 @@
 //! order, record the same energy events in the same order, and emit the
 //! same [`RouterEvent`]s, pinned by the golden and differential tests.
 
+use crate::config::SwitchArb;
 use crate::flit::{Flit, PacketId};
 use crate::power::PowerEvent;
 use crate::router::{RouterCtx, RouterEvent};
-use crate::routing::{route, route_live};
+use crate::routing::{route, route_live, route_table, RoutingAlgorithm};
 use crate::topology::{NodeId, Port};
 use crate::vc::VcBuffer;
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,15 @@ pub struct FabricState {
     /// Switch-allocation round-robin pointer per `(router, out_port)`,
     /// over flattened `(in_port, vc)` requesters.
     sw_next: Vec<u32>,
+    /// Per-packet switch hold per `(router, out_port)`: the flat
+    /// `(in_port, vc)` bit of the input VC whose packet currently owns the
+    /// output port (`u32::MAX` = free). Only written under
+    /// [`SwitchArb::PerPacket`]; acquired by a head-flit grant, released by
+    /// the tail-flit grant, and cleared by fault purges when the holding VC
+    /// is released. Configs serialized before the field existed
+    /// deserialize to all-free.
+    #[serde(default)]
+    sw_hold: Vec<u32>,
     /// VC-allocation rotation pointer per `(router, out_port)`.
     va_ptr: Vec<u32>,
     /// Buffered-flit count per router, maintained on accept/pop so the
@@ -109,6 +119,8 @@ impl<'de> Deserialize<'de> for FabricState {
             out_owner: Vec<Option<PacketId>>,
             out_credits: Vec<u16>,
             sw_next: Vec<u32>,
+            #[serde(default)]
+            sw_hold: Vec<u32>,
             va_ptr: Vec<u32>,
         }
         let s = Shadow::deserialize(d)?;
@@ -125,6 +137,14 @@ impl<'de> Deserialize<'de> for FabricState {
             }
             occ_mask.push(mask);
         }
+        // States serialized before the per-packet hold existed carry no
+        // `sw_hold`; they can only have run per-flit, where every hold is
+        // free.
+        let sw_hold = if s.sw_hold.is_empty() {
+            vec![u32::MAX; s.routers * Port::COUNT]
+        } else {
+            s.sw_hold
+        };
         Ok(FabricState {
             routers: s.routers,
             num_vcs: s.num_vcs,
@@ -138,6 +158,7 @@ impl<'de> Deserialize<'de> for FabricState {
             out_owner: s.out_owner,
             out_credits: s.out_credits,
             sw_next: s.sw_next,
+            sw_hold,
             va_ptr: s.va_ptr,
             occ,
             occ_mask,
@@ -178,6 +199,7 @@ impl FabricState {
             out_owner: vec![None; routers * pv],
             out_credits: vec![vc_depth as u16; routers * pv],
             sw_next: vec![0; routers * Port::COUNT],
+            sw_hold: vec![u32::MAX; routers * Port::COUNT],
             va_ptr: vec![0; routers * Port::COUNT],
             occ: vec![0; routers],
             occ_mask: vec![0; routers],
@@ -309,6 +331,7 @@ impl FabricState {
             out_owner: &mut self.out_owner,
             out_credits: &mut self.out_credits,
             sw_next: &mut self.sw_next,
+            sw_hold: &mut self.sw_hold,
             va_ptr: &mut self.va_ptr,
             occ: &mut self.occ,
             occ_mask: &mut self.occ_mask,
@@ -342,6 +365,7 @@ impl FabricState {
         let mut out_owner = self.out_owner.as_mut_slice();
         let mut out_credits = self.out_credits.as_mut_slice();
         let mut sw_next = self.sw_next.as_mut_slice();
+        let mut sw_hold = self.sw_hold.as_mut_slice();
         let mut va_ptr = self.va_ptr.as_mut_slice();
         let mut occ = self.occ.as_mut_slice();
         let mut occ_mask = self.occ_mask.as_mut_slice();
@@ -367,6 +391,7 @@ impl FabricState {
                 out_owner: take!(out_owner, rn * pv),
                 out_credits: take!(out_credits, rn * pv),
                 sw_next: take!(sw_next, rn * Port::COUNT),
+                sw_hold: take!(sw_hold, rn * Port::COUNT),
                 va_ptr: take!(va_ptr, rn * Port::COUNT),
                 occ: take!(occ, rn),
                 occ_mask: take!(occ_mask, rn),
@@ -393,6 +418,7 @@ pub struct FabricTile<'a> {
     out_owner: &'a mut [Option<PacketId>],
     out_credits: &'a mut [u16],
     sw_next: &'a mut [u32],
+    sw_hold: &'a mut [u32],
     va_ptr: &'a mut [u32],
     occ: &'a mut [u32],
     occ_mask: &'a mut [u64],
@@ -564,12 +590,23 @@ impl FabricTile<'_> {
         // pops the flit and decrements the credit it consumes, which never
         // changes another output port's request set, so the masks stay
         // valid across the loop with only the used-input clearing.
+        let per_packet = ctx.arb == SwitchArb::PerPacket;
         let n = self.pv as u32;
         let vc_bits = (1u64 << v) - 1;
         let mut used_inputs = 0u64;
         for out_port in Port::ALL {
             let op = out_port.index();
-            let reqs = req[op] & !used_inputs;
+            let mut reqs = req[op] & !used_inputs;
+            if per_packet {
+                // A held output port serves only the holding input VC; if
+                // the holder cannot request this cycle (no flit arrived
+                // yet, no credit, its input port already granted), the
+                // port idles — the modeled head-of-line blocking.
+                let hold = self.sw_hold[k * Port::COUNT + op];
+                if hold != u32::MAX {
+                    reqs &= 1 << hold;
+                }
+            }
             if reqs == 0 {
                 continue; // no grant: the round-robin pointer holds
             }
@@ -595,6 +632,13 @@ impl FabricTile<'_> {
                 self.occ_mask[k] &= !(1u64 << b);
             }
             let is_tail = flit.is_tail();
+            if per_packet {
+                // Head (or single-flit) grant acquires the hold, the tail
+                // grant releases it. For single-flit packets the hold is
+                // set and cleared within this one grant, so per-packet
+                // arbitration is byte-identical to per-flit there.
+                self.sw_hold[k * Port::COUNT + op] = if is_tail { u32::MAX } else { win };
+            }
             if is_tail {
                 self.release(idx);
             }
@@ -689,9 +733,19 @@ impl FabricTile<'_> {
                 "non-head flit at front of an unrouted VC: flow-control bug"
             );
             let (packet, src, dst, vc_class) = (flit.packet, flit.src, flit.dst, flit.vc_class);
-            let cands = match ctx.faults {
-                Some(ls) => route_live(ctx.routing, ctx.topo, ls, node, src, dst),
-                None => route(ctx.routing, ctx.topo, node, src, dst),
+            let cands = if ctx.routing == RoutingAlgorithm::Table {
+                // Table paths are enumerated over live links at build time
+                // and rebuilt on every liveness change, so no per-hop
+                // fault filter is needed here.
+                let tables = ctx
+                    .tables
+                    .expect("table routing requires prebuilt RoutingTables");
+                route_table(tables, ctx.topo, node, src, dst)
+            } else {
+                match ctx.faults {
+                    Some(ls) => route_live(ctx.routing, ctx.topo, ls, node, src, dst),
+                    None => route(ctx.routing, ctx.topo, node, src, dst),
+                }
             };
             if cands.is_empty() {
                 // Every minimal permitted direction is dead: the packet
@@ -772,6 +826,15 @@ impl FabricTile<'_> {
                         self.release(idx);
                         if let Some((route, out_vc)) = claim {
                             self.out_owner[b0 + route.index() * v + out_vc] = None;
+                        }
+                        // Under per-packet arbitration the condemned packet
+                        // may hold an output port mid-transmission; free it
+                        // or the port wedges forever.
+                        let b = (ip * v + vc) as u32;
+                        for hold in &mut self.sw_hold[k * Port::COUNT..(k + 1) * Port::COUNT] {
+                            if *hold == b {
+                                *hold = u32::MAX;
+                            }
                         }
                     }
                 }

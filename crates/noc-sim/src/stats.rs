@@ -499,6 +499,11 @@ pub struct WindowMetrics {
     pub phase_offered_packets: Vec<u64>,
     /// Flits injected during the window.
     pub injected_flits: u64,
+    /// Packets fully injected (tail flit left its source queue) during the
+    /// window. With variable packet lengths this is the exact packet count;
+    /// dividing `injected_flits` by a nominal length is not.
+    #[serde(default)]
+    pub injected_packets: u64,
     /// Flits ejected during the window.
     pub ejected_flits: u64,
     /// Packets ejected during the window.
@@ -588,6 +593,7 @@ impl WindowMetrics {
             phase_cycles: diff_grown(&b.phase_cycles, &a.phase_cycles),
             phase_offered_packets: diff_grown(&b.phase_offered_packets, &a.phase_offered_packets),
             injected_flits: injected,
+            injected_packets: b.injected_packets - a.injected_packets,
             ejected_flits: ejected,
             ejected_packets: b.ejected_packets - a.ejected_packets,
             dropped_flits: b.dropped_flits - a.dropped_flits,
@@ -717,6 +723,7 @@ mod tests {
         let w = WindowMetrics::between(&a, &b, 16);
         assert_eq!(w.cycles, 2);
         assert_eq!(w.injected_flits, 3);
+        assert_eq!(w.injected_packets, 3);
         assert_eq!(w.ejected_flits, 1);
         assert_eq!(w.latency_samples, 1);
         assert_eq!(w.avg_packet_latency, 10.0);

@@ -5,8 +5,10 @@
 //! [`TrafficPattern`] (uniform random, transpose, bit-complement,
 //! bit-reverse, shuffle, tornado, neighbor, hotspot) to an
 //! [`InjectionProcess`] (memoryless Bernoulli, two-state bursty on/off, or
-//! periodic pulse) for a number of cycles. Phase schedules repeat
-//! cyclically; a final phase with `cycles == 0` holds forever instead.
+//! periodic pulse) for a number of cycles, optionally with a per-phase
+//! packet-length distribution ([`LengthSpec`]: fixed/uniform/bimodal).
+//! Phase schedules repeat cyclically; a final phase with `cycles == 0`
+//! holds forever instead.
 //!
 //! Every spec has a canonical, round-trippable label (see
 //! [`WorkloadSpec::label`]), e.g.
@@ -383,9 +385,161 @@ impl InjectionProcess {
     }
 }
 
+/// Packet-length distribution of a workload phase.
+///
+/// Labels (the `len…` segment of the phase grammar): `len4` (fixed 4
+/// flits), `lenU1-8` (uniform on 1..=8), `lenB1-8p20` (bimodal: 8-flit
+/// packets 20 % of the time, 1-flit otherwise). A phase without a length
+/// spec uses the generator's global `packet_len` and consumes no extra RNG
+/// draws, so pre-length configs keep their exact packet streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LengthSpec {
+    /// Every packet is exactly `flits` long (no RNG draw).
+    Fixed {
+        /// Packet length in flits.
+        flits: u32,
+    },
+    /// Lengths drawn uniformly from `min..=max` (one draw per packet).
+    Uniform {
+        /// Shortest packet, flits.
+        min: u32,
+        /// Longest packet, flits.
+        max: u32,
+    },
+    /// Two-point mixture: `long` with probability `long_pct`/100, else
+    /// `short` (one draw per packet).
+    Bimodal {
+        /// The common short length, flits.
+        short: u32,
+        /// The rare long length, flits.
+        long: u32,
+        /// Percentage of packets that are `long` (0..=100).
+        long_pct: u32,
+    },
+}
+
+impl LengthSpec {
+    /// A fixed `flits`-flit length.
+    pub fn fixed(flits: u32) -> Self {
+        LengthSpec::Fixed { flits }
+    }
+
+    /// Canonical label, e.g. `len4`, `lenU1-8`, `lenB1-8p20`.
+    pub fn label(&self) -> String {
+        match self {
+            LengthSpec::Fixed { flits } => format!("len{flits}"),
+            LengthSpec::Uniform { min, max } => format!("lenU{min}-{max}"),
+            LengthSpec::Bimodal {
+                short,
+                long,
+                long_pct,
+            } => format!("lenB{short}-{long}p{long_pct}"),
+        }
+    }
+
+    /// Parse a canonical length label (inverse of [`LengthSpec::label`]).
+    ///
+    /// # Errors
+    /// Returns an error for anything but `len<n>`, `lenU<min>-<max>`, or
+    /// `lenB<short>-<long>p<pct>` with in-range parameters.
+    pub fn parse(s: &str) -> SimResult<LengthSpec> {
+        let bad = |why: String| SimError::InvalidConfig(format!("length spec `{s}`: {why}"));
+        let num = |part: &str| -> SimResult<u32> {
+            part.parse()
+                .map_err(|e| bad(format!("bad number `{part}`: {e}")))
+        };
+        let rest = s
+            .strip_prefix("len")
+            .ok_or_else(|| bad("expected len<n>, lenU<min>-<max>, or lenB<s>-<l>p<pct>".into()))?;
+        let spec = if let Some(rest) = rest.strip_prefix('U') {
+            let (min, max) = rest
+                .split_once('-')
+                .ok_or_else(|| bad("uniform form is lenU<min>-<max>".into()))?;
+            LengthSpec::Uniform {
+                min: num(min)?,
+                max: num(max)?,
+            }
+        } else if let Some(rest) = rest.strip_prefix('B') {
+            let (lens, pct) = rest
+                .split_once('p')
+                .ok_or_else(|| bad("bimodal form is lenB<short>-<long>p<pct>".into()))?;
+            let (short, long) = lens
+                .split_once('-')
+                .ok_or_else(|| bad("bimodal form is lenB<short>-<long>p<pct>".into()))?;
+            LengthSpec::Bimodal {
+                short: num(short)?,
+                long: num(long)?,
+                long_pct: num(pct)?,
+            }
+        } else {
+            LengthSpec::Fixed { flits: num(rest)? }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check parameter ranges.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint (positive lengths, ordered
+    /// bounds, percentage within 0..=100).
+    pub fn validate(&self) -> SimResult<()> {
+        let err = |why: String| Err(SimError::InvalidConfig(why));
+        match *self {
+            LengthSpec::Fixed { flits: 0 } => err("packet length must be positive".into()),
+            LengthSpec::Uniform { min, max } if min == 0 || min > max => err(format!(
+                "uniform length range {min}-{max} needs 0 < min <= max"
+            )),
+            LengthSpec::Bimodal {
+                short,
+                long,
+                long_pct,
+            } if short == 0 || short > long || long_pct > 100 => err(format!(
+                "bimodal lengths {short}-{long}p{long_pct} need 0 < short <= long, pct <= 100"
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Expected packet length in flits (for flit-rate normalization).
+    pub fn mean_flits(&self) -> f64 {
+        match *self {
+            LengthSpec::Fixed { flits } => f64::from(flits),
+            LengthSpec::Uniform { min, max } => (f64::from(min) + f64::from(max)) / 2.0,
+            LengthSpec::Bimodal {
+                short,
+                long,
+                long_pct,
+            } => {
+                let p = f64::from(long_pct) / 100.0;
+                f64::from(long) * p + f64::from(short) * (1.0 - p)
+            }
+        }
+    }
+
+    /// Draw one packet length. Fixed specs consume no RNG draws.
+    pub fn draw(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            LengthSpec::Fixed { flits } => flits,
+            LengthSpec::Uniform { min, max } => rng.gen_range(min..=max),
+            LengthSpec::Bimodal {
+                short,
+                long,
+                long_pct,
+            } => {
+                if rng.gen_range(0u32..100) < long_pct {
+                    long
+                } else {
+                    short
+                }
+            }
+        }
+    }
+}
+
 /// One phase of a workload: a destination pattern driven by an injection
 /// process for `cycles` cycles (`0` = hold forever; only valid on the final
-/// phase).
+/// phase), with an optional per-phase packet-length distribution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadPhase {
     /// Destination-selection pattern in force during the phase.
@@ -395,6 +549,11 @@ pub struct WorkloadPhase {
     /// Phase duration in cycles; `0` means the phase holds forever once
     /// reached (the stationary case).
     pub cycles: u64,
+    /// Packet-length distribution; `None` (the default, and what legacy
+    /// serialized phases deserialize to) uses the generator's global
+    /// `packet_len` with byte-identical RNG draw order.
+    #[serde(default)]
+    pub length: Option<LengthSpec>,
 }
 
 impl WorkloadPhase {
@@ -404,6 +563,7 @@ impl WorkloadPhase {
             pattern,
             process,
             cycles,
+            length: None,
         }
     }
 
@@ -412,10 +572,29 @@ impl WorkloadPhase {
         WorkloadPhase::new(pattern, InjectionProcess::Bernoulli { rate }, cycles)
     }
 
-    /// Canonical phase label: `<pattern>:<process>` with `@<cycles>`
-    /// appended for bounded phases.
+    /// The same phase with a packet-length distribution attached.
+    #[must_use]
+    pub fn with_length(mut self, length: LengthSpec) -> Self {
+        self.length = Some(length);
+        self
+    }
+
+    /// Expected packet length in flits, falling back to `default_len` (the
+    /// generator's global `packet_len`) for phases without a length spec.
+    pub fn mean_len_flits(&self, default_len: u32) -> f64 {
+        self.length
+            .as_ref()
+            .map_or(f64::from(default_len), LengthSpec::mean_flits)
+    }
+
+    /// Canonical phase label: `<pattern>:<process>[:<len…>]` with
+    /// `@<cycles>` appended for bounded phases.
     pub fn label(&self) -> String {
         let mut s = format!("{}:{}", self.pattern.name(), self.process.label());
+        if let Some(length) = &self.length {
+            s.push(':');
+            s.push_str(&length.label());
+        }
         if self.cycles > 0 {
             s.push_str(&format!("@{}", self.cycles));
         }
@@ -479,23 +658,31 @@ impl WorkloadSpec {
         for part in inner.split('|') {
             let (pattern, rest) = part.split_once(':').ok_or_else(|| {
                 SimError::InvalidConfig(format!(
-                    "workload phase `{part}`: expected <pattern>:<process>[@cycles]"
+                    "workload phase `{part}`: expected <pattern>:<process>[:len…][@cycles]"
                 ))
             })?;
             let pattern = TrafficPattern::parse(pattern)?;
-            let (process, cycles) = match rest.split_once('@') {
-                Some((process, cycles)) => {
+            let (rest, cycles) = match rest.split_once('@') {
+                Some((rest, cycles)) => {
                     let cycles: u64 = cycles.parse().map_err(|e| {
                         SimError::InvalidConfig(format!(
                             "workload phase `{part}`: bad duration `{cycles}`: {e}"
                         ))
                     })?;
-                    (process, cycles)
+                    (rest, cycles)
                 }
                 None => (rest, 0),
             };
+            // Process labels never contain `:`, so a second colon can only
+            // introduce the optional length segment.
+            let (process, length) = match rest.split_once(':') {
+                Some((process, len)) => (process, Some(LengthSpec::parse(len)?)),
+                None => (rest, None),
+            };
             let process = InjectionProcess::parse(process)?;
-            phases.push(WorkloadPhase::new(pattern, process, cycles));
+            let mut phase = WorkloadPhase::new(pattern, process, cycles);
+            phase.length = length;
+            phases.push(phase);
         }
         let spec = WorkloadSpec::new(phases);
         spec.shape_check()?;
@@ -520,6 +707,9 @@ impl WorkloadSpec {
             }
             p.process.validate()?;
             p.pattern.shape_check()?;
+            if let Some(length) = &p.length {
+                length.validate()?;
+            }
         }
         Ok(())
     }
@@ -573,6 +763,26 @@ impl WorkloadSpec {
                 self.phases
                     .iter()
                     .map(|p| p.process.mean_rate() * p.cycles as f64)
+                    .sum::<f64>()
+                    / total as f64
+            }
+        }
+    }
+
+    /// Long-run mean packet length in flits: cycle-weighted over one
+    /// schedule period (or the terminal hold phase), with `default_len`
+    /// standing in for phases that use the generator's global `packet_len`.
+    pub fn mean_len_flits(&self, default_len: u32) -> f64 {
+        match self.phases.last() {
+            Some(last) if last.cycles == 0 => last.mean_len_flits(default_len),
+            _ => {
+                let total: u64 = self.phases.iter().map(|p| p.cycles).sum();
+                if total == 0 {
+                    return f64::from(default_len);
+                }
+                self.phases
+                    .iter()
+                    .map(|p| p.mean_len_flits(default_len) * p.cycles as f64)
                     .sum::<f64>()
                     / total as f64
             }
@@ -840,7 +1050,11 @@ impl TrafficGenerator {
                 }
             }
         }
-        let plen = *packet_len as f64;
+        // Rates are flits/node/cycle; a phase-level length spec normalizes
+        // by its *mean* so offered flit load stays what the label says. A
+        // phase without one divides by the global `packet_len` — the exact
+        // pre-length expression, preserving byte-identical draw sequences.
+        let plen = phase.mean_len_flits(*packet_len);
         for src in topo.nodes() {
             let inject = match &phase.process {
                 InjectionProcess::Bernoulli { rate } => rng.gen::<f64>() < rate / plen,
@@ -861,11 +1075,18 @@ impl TrafficGenerator {
             if dst == src {
                 continue;
             }
+            // Length draw comes after the destination draw and only for
+            // phases with a spec (Fixed draws nothing), so legacy phases
+            // consume the exact legacy RNG sequence.
+            let len_flits = phase
+                .length
+                .as_ref()
+                .map_or(*packet_len, |spec| spec.draw(rng));
             out.push(Packet {
                 id: PacketId(*next_id),
                 src,
                 dst,
-                len_flits: *packet_len,
+                len_flits,
                 created_at: t,
             });
             *next_id += 1;
@@ -1493,6 +1714,159 @@ mod tests {
         )
         .unwrap();
         assert!(TrafficSpec::Trace(trace).validate(&t).is_err());
+    }
+
+    #[test]
+    fn length_spec_labels_round_trip() {
+        let specs = [
+            LengthSpec::fixed(4),
+            LengthSpec::Uniform { min: 1, max: 8 },
+            LengthSpec::Bimodal {
+                short: 1,
+                long: 8,
+                long_pct: 20,
+            },
+        ];
+        for spec in specs {
+            let label = spec.label();
+            assert_eq!(LengthSpec::parse(&label).unwrap(), spec, "{label}");
+        }
+        assert_eq!(LengthSpec::fixed(4).label(), "len4");
+        assert_eq!(LengthSpec::Uniform { min: 1, max: 8 }.label(), "lenU1-8");
+        assert_eq!(
+            LengthSpec::Bimodal {
+                short: 1,
+                long: 8,
+                long_pct: 20
+            }
+            .label(),
+            "lenB1-8p20"
+        );
+    }
+
+    #[test]
+    fn length_spec_rejects_bad_parameters() {
+        assert!(LengthSpec::parse("len0").is_err());
+        assert!(LengthSpec::parse("lenU0-4").is_err());
+        assert!(LengthSpec::parse("lenU5-2").is_err());
+        assert!(LengthSpec::parse("lenB4-2p10").is_err());
+        assert!(LengthSpec::parse("lenB1-8p120").is_err());
+        assert!(LengthSpec::parse("len").is_err());
+        assert!(LengthSpec::parse("lenU4").is_err());
+        assert!(LengthSpec::parse("lenB1-8").is_err());
+        assert!(LengthSpec::parse("flits4").is_err());
+    }
+
+    #[test]
+    fn length_spec_means_and_draws() {
+        assert_eq!(LengthSpec::fixed(4).mean_flits(), 4.0);
+        assert_eq!(LengthSpec::Uniform { min: 1, max: 8 }.mean_flits(), 4.5);
+        let bimodal = LengthSpec::Bimodal {
+            short: 1,
+            long: 9,
+            long_pct: 25,
+        };
+        assert!((bimodal.mean_flits() - 3.0).abs() < 1e-12);
+
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_eq!(LengthSpec::fixed(4).draw(&mut r), 4);
+        }
+        let mut seen = [false; 9];
+        for _ in 0..500 {
+            let l = LengthSpec::Uniform { min: 1, max: 8 }.draw(&mut r);
+            assert!((1..=8).contains(&l));
+            seen[l as usize] = true;
+        }
+        assert!(seen[1..=8].iter().all(|&s| s), "all lengths drawn");
+        let mut longs = 0;
+        for _ in 0..1000 {
+            match bimodal.draw(&mut r) {
+                9 => longs += 1,
+                1 => {}
+                other => panic!("bimodal drew {other}"),
+            }
+        }
+        assert!((150..400).contains(&longs), "~25% long: {longs}");
+    }
+
+    #[test]
+    fn workload_labels_round_trip_length_segment() {
+        let spec = WorkloadSpec::new(vec![
+            WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.1, 500)
+                .with_length(LengthSpec::fixed(8)),
+            WorkloadPhase::bernoulli(TrafficPattern::Tornado, 0.2, 0).with_length(
+                LengthSpec::Bimodal {
+                    short: 1,
+                    long: 8,
+                    long_pct: 20,
+                },
+            ),
+        ]);
+        let label = spec.label();
+        assert_eq!(
+            label,
+            "ph[uniform:bern0.1:len8@500|tornado:bern0.2:lenB1-8p20]"
+        );
+        assert_eq!(WorkloadSpec::parse(&label).unwrap(), spec);
+        // Bad length segments fail at parse time.
+        assert!(WorkloadSpec::parse("ph[uniform:bern0.1:len0]").is_err());
+        assert!(WorkloadSpec::parse("ph[uniform:bern0.1:bogus]").is_err());
+    }
+
+    #[test]
+    fn lengthed_phases_normalize_packet_rate_by_mean_length() {
+        // Offered *flit* rate should track the process rate regardless of
+        // packet length: len8 packets must be offered 8x more rarely.
+        let t = Topology::mesh(8, 8);
+        let flits = |len: Option<LengthSpec>| {
+            let mut phase = WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.2, 0);
+            if let Some(l) = len {
+                phase = phase.with_length(l);
+            }
+            let spec = TrafficSpec::Workload(WorkloadSpec::new(vec![phase]));
+            let mut g = TrafficGenerator::new(&t, spec, 1, 7).unwrap();
+            let mut flits = 0u64;
+            for c in 0..4000 {
+                flits += g
+                    .tick(&t, c)
+                    .iter()
+                    .map(|p| u64::from(p.len_flits))
+                    .sum::<u64>();
+            }
+            flits as f64 / (4000.0 * 64.0)
+        };
+        let single = flits(None);
+        let long = flits(Some(LengthSpec::fixed(8)));
+        let mixed = flits(Some(LengthSpec::Uniform { min: 1, max: 8 }));
+        for (name, rate) in [("single", single), ("len8", long), ("lenU1-8", mixed)] {
+            assert!(
+                (rate - 0.2).abs() / 0.2 < 0.1,
+                "{name} flit rate {rate} should track offered 0.2"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_length_spec_preserves_rng_stream() {
+        // A `len(packet_len)` fixed spec consumes no RNG draws, so the
+        // packet stream (ids, sources, destinations, timing) is
+        // byte-identical to the legacy no-length-spec configuration.
+        let t = Topology::mesh(4, 4);
+        let run = |len: Option<LengthSpec>| {
+            let mut phase = WorkloadPhase::bernoulli(TrafficPattern::Uniform, 0.3, 0);
+            if let Some(l) = len {
+                phase = phase.with_length(l);
+            }
+            let spec = TrafficSpec::Workload(WorkloadSpec::new(vec![phase]));
+            let mut g = TrafficGenerator::new(&t, spec, 5, 11).unwrap();
+            let mut out = Vec::new();
+            for c in 0..500 {
+                out.extend(g.tick(&t, c));
+            }
+            out
+        };
+        assert_eq!(run(None), run(Some(LengthSpec::fixed(5))));
     }
 
     #[test]
