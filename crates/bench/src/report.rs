@@ -886,6 +886,50 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
         );
     }
 
+    // --- Warm-cache sweep service (the daemon's data path): resolve a
+    // full grid against a pre-warmed in-memory result cache. This times
+    // key derivation + single-flight lookup + result clone + report
+    // assembly with zero simulation, i.e. the marginal cost of a cache-hit
+    // job in `noc-cli serve`.
+    {
+        let grid = SweepGrid {
+            sizes: vec![(4, 4)],
+            patterns: vec![TrafficPattern::Uniform, TrafficPattern::Transpose],
+            rates: vec![0.02, 0.04, 0.06, 0.08],
+            routings: vec![RoutingAlgorithm::Xy],
+            levels: vec![None],
+            warmup: config.sweep_measure / 4,
+            measure: config.sweep_measure,
+            drain: config.sweep_measure,
+            base_seed: 11,
+            ..SweepGrid::default()
+        };
+        let threads = noc_selfconf::default_threads();
+        let scenarios = grid.len() as u64;
+        let cache = noc_selfconf::ResultCache::in_memory();
+        // Warm every key outside the timed region.
+        grid.run_cached(threads, &cache).expect("valid bench grid");
+        let measured = timed(config.repeats, || {
+            let t0 = Instant::now();
+            let report = grid.run_cached(threads, &cache).expect("valid bench grid");
+            let dt = t0.elapsed().as_nanos() as u64;
+            std::hint::black_box(report.aggregate.num_scenarios);
+            (dt, scenarios, None)
+        });
+        push_result(
+            &mut workloads,
+            "serve/cache-hit",
+            format!(
+                "8-scenario 4x4 grid resolved from a warm in-memory result \
+                 cache, {} measure cycles, {threads} threads",
+                config.sweep_measure
+            ),
+            "scenarios",
+            config.repeats,
+            measured,
+        );
+    }
+
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         git_sha,
@@ -1132,7 +1176,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 23);
+        assert_eq!(report.workloads.len(), 24);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);

@@ -3,6 +3,9 @@
 
 #![warn(missing_docs)]
 
+use noc_selfconf::serve::{
+    Daemon, Event, Request, ResultCache, SchedulerConfig, ServeClient, ServeConfig,
+};
 use noc_selfconf::{
     run_controller, train_drl, DrlController, NocEnvConfig, StaticController, SweepGrid,
     ThresholdController,
@@ -226,6 +229,9 @@ pub struct SweepGridOptions {
     pub serial: bool,
     /// Write the JSON report here instead of stdout.
     pub out: Option<String>,
+    /// Content-addressed result cache directory: scenarios already present
+    /// are loaded instead of simulated, fresh ones are stored for next time.
+    pub cache: Option<String>,
 }
 
 /// Parse `sweep-grid` flags into a grid + execution options.
@@ -238,8 +244,9 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         threads: None,
         serial: false,
         out: None,
+        cache: None,
     };
-    const VALUE_FLAGS: [&str; 16] = [
+    const VALUE_FLAGS: [&str; 17] = [
         "--sizes",
         "--topologies",
         "--patterns",
@@ -256,6 +263,7 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
         "--threads",
         "--partitions",
         "--out",
+        "--cache",
     ];
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -344,6 +352,7 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
                 opts.grid.partitions = n;
             }
             "--out" => opts.out = Some(value.clone()),
+            "--cache" => opts.cache = Some(value.clone()),
             _ => unreachable!("flag membership checked above"),
         }
     }
@@ -370,10 +379,22 @@ pub fn parse_sweep_grid_args(args: &[String]) -> Result<SweepGridOptions, CliErr
 pub fn cmd_sweep_grid(args: &[String]) -> Result<(), CliError> {
     let opts = parse_sweep_grid_args(args)?;
     let threads = opts.threads.unwrap_or_else(noc_selfconf::default_threads);
-    let report = if opts.serial {
-        opts.grid.run_serial()?
-    } else {
-        opts.grid.run(threads)?
+    let report = match &opts.cache {
+        Some(dir) => {
+            let cache = ResultCache::open(std::path::Path::new(dir))
+                .map_err(|e| CliError(format!("cannot open cache dir `{dir}`: {e}")))?;
+            let report = opts
+                .grid
+                .run_cached(if opts.serial { 1 } else { threads }, &cache)?;
+            let stats = cache.stats();
+            eprintln!(
+                "sweep-grid: cache {dir}: {} memory / {} disk hit(s), {} computed",
+                stats.memory_hits, stats.disk_hits, stats.computed
+            );
+            report
+        }
+        None if opts.serial => opts.grid.run_serial()?,
+        None => opts.grid.run(threads)?,
     };
     // Human summary on stderr; stdout stays pure JSON for piping.
     eprintln!(
@@ -982,6 +1003,241 @@ pub fn cmd_replay(trace_path: &str, repeat_every: Option<u64>) -> Result<(), Cli
 pub fn cmd_default_config() -> Result<(), CliError> {
     println!("{}", serde_json::to_string_pretty(&SimConfig::default())?);
     Ok(())
+}
+
+/// Default daemon address shared by `serve`, `submit`, and `serve-ctl`.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:4600";
+
+/// Parse `serve` flags into a daemon configuration.
+///
+/// # Errors
+/// Returns a usage error for unknown flags or malformed values.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeConfig, CliError> {
+    let mut config = ServeConfig {
+        addr: DEFAULT_SERVE_ADDR.to_string(),
+        scheduler: SchedulerConfig::default(),
+        cache_dir: None,
+        verbose: true,
+    };
+    const VALUE_FLAGS: [&str; 5] = [
+        "--addr",
+        "--cache",
+        "--threads",
+        "--max-outstanding",
+        "--max-client-outstanding",
+    ];
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !VALUE_FLAGS.contains(&flag.as_str()) {
+            return Err(CliError(format!(
+                "unknown serve flag `{flag}` (expected {})",
+                VALUE_FLAGS.join(", ")
+            )));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--cache" => config.cache_dir = Some(std::path::PathBuf::from(value)),
+            "--threads" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --threads `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError("--threads must be at least 1".into()));
+                }
+                config.scheduler.threads = n;
+            }
+            "--max-outstanding" | "--max-client-outstanding" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad {flag} `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError(format!("{flag} must be at least 1")));
+                }
+                if flag == "--max-outstanding" {
+                    config.scheduler.max_outstanding = n;
+                } else {
+                    config.scheduler.max_client_outstanding = n;
+                }
+            }
+            _ => unreachable!("flag membership checked above"),
+        }
+    }
+    Ok(config)
+}
+
+/// `serve`: run the sweep daemon until a client sends `shutdown`.
+///
+/// Prints the bound address on stdout (one line, then flushes) so scripts
+/// can wait for readiness; lifecycle logs go to stderr.
+///
+/// # Errors
+/// Returns bind errors and unwritable-cache-directory errors (the daemon
+/// refuses to start rather than failing jobs later).
+pub fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let config = parse_serve_args(args)?;
+    let daemon = Daemon::start(config).map_err(|e| CliError(format!("serve: {e}")))?;
+    println!("listening on {}", daemon.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    daemon.wait();
+    Ok(())
+}
+
+/// Parsed `submit` flags: where to send the grid and what to do with it.
+#[derive(Debug)]
+pub struct SubmitOptions {
+    /// Daemon address.
+    pub addr: String,
+    /// Client identity for fair-share scheduling.
+    pub client: String,
+    /// The grid to submit.
+    pub grid: SweepGrid,
+    /// Write the final JSON report here (in addition to the event stream).
+    pub out: Option<String>,
+}
+
+/// Parse `submit` flags: `--addr` / `--client` plus every `sweep-grid`
+/// grid axis flag (`--sizes`, `--rates`, `--out`, ...).
+///
+/// # Errors
+/// Returns a usage error for unknown flags, malformed values, or the
+/// execution flags (`--threads`, `--serial`, `--partitions`, `--cache`)
+/// that do not apply to daemon-side execution.
+pub fn parse_submit_args(args: &[String]) -> Result<SubmitOptions, CliError> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut client = "cli".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" | "--client" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+                if flag == "--addr" {
+                    addr = value.clone();
+                } else {
+                    client = value.clone();
+                }
+            }
+            "--threads" | "--serial" | "--partitions" | "--cache" => {
+                return Err(CliError(format!(
+                    "{flag} does not apply to submit: execution happens on the daemon"
+                )));
+            }
+            _ => rest.push(flag.clone()),
+        }
+    }
+    let opts = parse_sweep_grid_args(&rest)?;
+    Ok(SubmitOptions {
+        addr,
+        client,
+        grid: opts.grid,
+        out: opts.out,
+    })
+}
+
+/// `submit`: send a grid to a running daemon and stream the response.
+///
+/// Every event line the daemon sends is echoed verbatim to stdout — for
+/// one submitted grid the stream is deterministic, which is what the CI
+/// smoke test byte-compares across concurrent clients. With `--out`, the
+/// final report is also written as pretty JSON.
+///
+/// # Errors
+/// Returns connection errors, daemon-side rejections, and job failures
+/// (so the process exits non-zero).
+pub fn cmd_submit(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_submit_args(args)?;
+    let mut conn = ServeClient::connect(&opts.addr)
+        .map_err(|e| CliError(format!("cannot connect to daemon at {}: {e}", opts.addr)))?;
+    conn.send(&Request::Submit {
+        client: opts.client.clone(),
+        grid: Box::new(opts.grid.clone()),
+    })?;
+    loop {
+        let line = conn.recv_line()?;
+        println!("{line}");
+        let event =
+            Event::parse(&line).map_err(|e| CliError(format!("malformed daemon reply: {e}")))?;
+        match event {
+            Event::Accepted { .. } | Event::Result { .. } => {}
+            Event::Done { report, .. } => {
+                eprintln!(
+                    "submit: {} scenarios done ({} saturated)",
+                    report.aggregate.num_scenarios, report.aggregate.saturated_scenarios
+                );
+                if let Some(path) = &opts.out {
+                    fs::write(path, serde_json::to_string_pretty(report.as_ref())?)?;
+                    eprintln!("submit: report written to {path}");
+                }
+                return Ok(());
+            }
+            Event::Canceled { completed, .. } => {
+                return Err(CliError(format!(
+                    "job canceled after {completed} scenario(s)"
+                )));
+            }
+            Event::Failed { message, .. } => {
+                return Err(CliError(format!("job failed: {message}")));
+            }
+            Event::Error { code, message } => {
+                return Err(CliError(format!(
+                    "daemon rejected submit ({}): {message}",
+                    code.name()
+                )));
+            }
+            other => {
+                return Err(CliError(format!(
+                    "unexpected daemon reply: {}",
+                    other.render()
+                )));
+            }
+        }
+    }
+}
+
+/// `serve-ctl`: one-shot control commands against a running daemon
+/// (`ping`, `stats`, `shutdown`). Prints the raw reply line on stdout.
+///
+/// # Errors
+/// Returns connection errors, malformed replies, and daemon-side errors.
+pub fn cmd_serve_ctl(args: &[String]) -> Result<(), CliError> {
+    let usage =
+        || CliError("usage: noc-cli serve-ctl <ping|stats|shutdown> [--addr HOST:PORT]".into());
+    let sub = args.first().ok_or_else(usage)?;
+    let request = match sub.as_str() {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        _ => return Err(usage()),
+    };
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        if flag != "--addr" {
+            return Err(usage());
+        }
+        addr = it
+            .next()
+            .ok_or_else(|| CliError("--addr requires a value".into()))?
+            .clone();
+    }
+    let mut conn = ServeClient::connect(&addr)
+        .map_err(|e| CliError(format!("cannot connect to daemon at {addr}: {e}")))?;
+    conn.send(&request)?;
+    let line = conn.recv_line()?;
+    println!("{line}");
+    match Event::parse(&line).map_err(|e| CliError(format!("malformed daemon reply: {e}")))? {
+        Event::Error { code, message } => Err(CliError(format!(
+            "daemon error ({}): {message}",
+            code.name()
+        ))),
+        _ => Ok(()),
+    }
 }
 
 #[cfg(test)]

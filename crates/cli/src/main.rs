@@ -6,6 +6,9 @@
 //!                                       (--topology mesh|torus, --size, ...)
 //! noc-cli sweep <rate0> <rate1> <n>     latency-throughput sweep at n rates
 //! noc-cli sweep-grid [flags]            parallel scenario grid -> one JSON report
+//! noc-cli serve [flags]                 persistent sweep daemon (TCP, JSON lines)
+//! noc-cli submit [flags]                send a grid to a daemon, stream results
+//! noc-cli serve-ctl <cmd> [--addr A]    ping/stats/shutdown a running daemon
 //! noc-cli workload <parse|describe> <l> validate/describe a workload label
 //! noc-cli bench [flags]                 timed perf suite -> BENCH_<sha>.json
 //! noc-cli train <out.json> [episodes]   train a DQN policy and save it
@@ -17,8 +20,8 @@
 //! Argument parsing is intentionally dependency-free.
 
 use noc_cli::{
-    cmd_bench, cmd_default_config, cmd_evaluate, cmd_replay, cmd_run, cmd_simulate, cmd_sweep,
-    cmd_sweep_grid, cmd_train, cmd_workload, CliError,
+    cmd_bench, cmd_default_config, cmd_evaluate, cmd_replay, cmd_run, cmd_serve, cmd_serve_ctl,
+    cmd_simulate, cmd_submit, cmd_sweep, cmd_sweep_grid, cmd_train, cmd_workload, CliError,
 };
 use std::process::ExitCode;
 
@@ -59,13 +62,18 @@ fn main() -> ExitCode {
         Some("default-config") => cmd_default_config(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep-grid") => cmd_sweep_grid(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("serve-ctl") => cmd_serve_ctl(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
                 "usage: noc-cli <simulate [config.json] | run [flags] | \
                  sweep <r0> <r1> <n> | \
-                 sweep-grid [flags] | workload <parse|describe> <label> | bench [flags] | \
+                 sweep-grid [flags] | serve [flags] | submit [flags] | \
+                 serve-ctl <ping|stats|shutdown> [--addr A] | \
+                 workload <parse|describe> <label> | bench [flags] | \
                  train <out.json> [episodes] | evaluate <policy.json> | \
                  replay <trace.csv> [period] | default-config>\n\
                  run flags: --topology mesh|torus  --size 8x8  --routing xy  \
@@ -79,7 +87,12 @@ fn main() -> ExitCode {
                  --faults 0,1,2  --workloads 'ph[uniform:burst0.3x0.05]'  \
                  --arb perflit|perpacket  \
                  --warmup N  --measure N  --drain N  --seed N  \
-                 --threads N  --partitions N  --serial  --out report.json\n\
+                 --threads N  --partitions N  --serial  --out report.json  \
+                 --cache results/cache\n\
+                 serve flags: --addr 127.0.0.1:4600  --cache results/cache  --threads N  \
+                 --max-outstanding N  --max-client-outstanding N\n\
+                 submit flags: --addr 127.0.0.1:4600  --client NAME  \
+                 plus the sweep-grid axis flags (--sizes, --rates, ..., --out)\n\
                  workload labels: ph[<pattern>:<process>[:<len>][@cycles]|...] with processes \
                  bern<rate>, burst<rate_on>x<switch>, pulse<rate>x<period>x<on> and lengths \
                  len<flits>, lenU<min>-<max>, lenB<short>-<long>p<pct>\n\

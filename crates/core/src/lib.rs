@@ -15,6 +15,9 @@
 //! * [`sweep`] — the parallel scenario-sweep engine: cartesian grids of
 //!   configurations fanned out over a thread pool into one deterministic
 //!   aggregated report.
+//! * [`serve`] — sweep-as-a-service: a persistent TCP daemon with a
+//!   content-addressed result cache, single-flight deduplication, and
+//!   admission-controlled fair-share scheduling.
 //!
 //! ```no_run
 //! use noc_selfconf::{train_drl, NocEnvConfig};
@@ -39,6 +42,7 @@ pub mod controller;
 pub mod env;
 pub mod par;
 pub mod reward;
+pub mod serve;
 pub mod state;
 pub mod sweep;
 pub mod training;
@@ -51,6 +55,7 @@ pub use controller::{
 pub use env::{standard_traffic_menu, NocEnv, NocEnvConfig};
 pub use par::{default_threads, parallel_map};
 pub use reward::RewardConfig;
+pub use serve::{Daemon, ResultCache, ServeClient, ServeConfig};
 pub use state::StateEncoder;
 pub use sweep::{Scenario, ScenarioResult, SweepAggregate, SweepGrid, SweepReport};
 pub use training::{

@@ -1,0 +1,30 @@
+//! Sweep-as-a-service: a persistent daemon over the sweep engine.
+//!
+//! One-shot `noc-cli sweep-grid` pays full simulation cost for every
+//! scenario on every invocation. This module turns the sweep engine into a
+//! long-lived service so repeated work is never recomputed:
+//!
+//! * [`cache`] — content-addressed result cache with single-flight
+//!   deduplication (also usable standalone via `sweep-grid --cache`);
+//! * [`protocol`] — the line-delimited JSON wire protocol;
+//! * [`scheduler`] — admission-controlled fair-share scheduling over a
+//!   persistent worker pool;
+//! * [`daemon`] — the `std::net` TCP daemon and the blocking client.
+//!
+//! The whole stack leans on one invariant, pinned since PR 1: a scenario's
+//! result bytes are a pure function of its label, config, and window
+//! budgets. That is what makes a cache hit indistinguishable from a fresh
+//! run, and what lets two concurrent clients submitting the same grid
+//! receive byte-identical response streams while only one simulation runs.
+
+pub mod cache;
+pub mod daemon;
+pub mod protocol;
+pub mod scheduler;
+
+pub use cache::{
+    scenario_cache_key, CacheKey, CacheOutcome, CacheStats, ResultCache, CACHE_SCHEMA_VERSION,
+};
+pub use daemon::{Daemon, ServeClient, ServeConfig};
+pub use protocol::{ErrorCode, Event, Request, SchedulerStats};
+pub use scheduler::{JobId, Scheduler, SchedulerConfig};

@@ -1,0 +1,542 @@
+//! Admission-controlled, fair-share job scheduler for the sweep daemon.
+//!
+//! The scheduler owns a pool of worker threads (the daemon-side analogue of
+//! [`crate::par::parallel_map`]'s per-call pool — persistent here, because
+//! the daemon is long-lived) and dispatches work at *scenario* granularity,
+//! round-robin across clients with FIFO order within each client. One
+//! client's 64x64 grid therefore interleaves with — instead of starving —
+//! everyone else's two-scenario probes.
+//!
+//! **Admission control** happens at submit time: a job is rejected up front
+//! (`queue_full` / `client_quota`) when its scenario count would push the
+//! global or per-client outstanding-scenario total past the configured
+//! bounds. Rejection is cheap and explicit; nothing is silently queued
+//! forever.
+//!
+//! **Ordering.** Scenarios complete in whatever order the pool and the
+//! cache produce, but events are *emitted* in grid order: a finished result
+//! is held until every earlier index has been sent. Together with
+//! connection-scoped job ids this makes a job's response stream a pure
+//! function of the submitted grid — the byte-identity the `serve-smoke` CI
+//! job pins across concurrent clients. All event sends happen under the
+//! scheduler lock, which serializes them per connection channel.
+//!
+//! **Cleanup invariant.** Every admitted scenario is accounted for exactly
+//! once: emitted, discarded by cancel/failure, or dropped undispatched.
+//! Cancels (explicit or via disconnect) immediately release undispatched
+//! reservations and discard in-flight results as they land, so a vanished
+//! client can never leak pool slots or quota.
+
+use crate::serve::cache::{scenario_cache_key, ResultCache};
+use crate::serve::protocol::{ErrorCode, Event, SchedulerStats};
+use crate::sweep::{Scenario, ScenarioResult, SweepGrid};
+use noc_sim::SimResult;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Scheduler-internal job identifier (monotone across all connections; the
+/// connection-scoped ids clients see are mapped by the connection layer).
+pub type JobId = u64;
+
+/// Tuning knobs for [`Scheduler::start`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads (0 = [`crate::par::default_threads`]).
+    pub threads: usize,
+    /// Global outstanding-scenario bound; submits past it are rejected
+    /// with [`ErrorCode::QueueFull`].
+    pub max_outstanding: u64,
+    /// Per-client outstanding-scenario bound; submits past it are rejected
+    /// with [`ErrorCode::ClientQuota`].
+    pub max_client_outstanding: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: 0,
+            max_outstanding: 65_536,
+            max_client_outstanding: 16_384,
+        }
+    }
+}
+
+/// One admitted job's bookkeeping.
+struct JobState {
+    client: String,
+    conn_job: u64,
+    tx: Sender<Event>,
+    grid: Arc<SweepGrid>,
+    scenarios: Arc<Vec<Scenario>>,
+    /// Next undispatched scenario index (== len when fully dispatched or
+    /// truncated by cancel/failure).
+    next: usize,
+    /// Scenarios currently executing on workers.
+    dispatched: usize,
+    /// Results sent to the client so far (in-order emission cursor).
+    emitted: usize,
+    /// Completion slots, indexed by scenario index.
+    results: Vec<Option<ScenarioResult>>,
+    canceled: bool,
+    failed: Option<String>,
+}
+
+impl JobState {
+    fn total(&self) -> usize {
+        self.results.len()
+    }
+
+    fn terminal_pending(&self) -> bool {
+        self.canceled || self.failed.is_some()
+    }
+}
+
+#[derive(Default)]
+struct SchedState {
+    jobs: HashMap<JobId, JobState>,
+    /// FIFO of queued jobs per client.
+    client_queues: HashMap<String, VecDeque<JobId>>,
+    /// Round-robin rotation of clients with queued jobs.
+    rr: VecDeque<String>,
+    /// Outstanding (admitted, unfinished) scenarios per client.
+    client_outstanding: HashMap<String, u64>,
+    outstanding: u64,
+    next_job_id: JobId,
+    shutdown: bool,
+}
+
+/// A dispatched unit of work: one scenario of one job.
+struct WorkItem {
+    job: JobId,
+    index: usize,
+    grid: Arc<SweepGrid>,
+    scenarios: Arc<Vec<Scenario>>,
+}
+
+/// The daemon's scheduler: persistent worker pool + fair-share queue +
+/// shared result cache. All methods take `&self`; share behind an `Arc`.
+pub struct Scheduler {
+    cache: Arc<ResultCache>,
+    state: Mutex<SchedState>,
+    work_cv: Condvar,
+    threads: usize,
+    max_outstanding: u64,
+    max_client_outstanding: u64,
+    sim_runs: AtomicU64,
+    finished_jobs: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("threads", &self.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Spawn the worker pool and return the shared scheduler handle.
+    pub fn start(config: SchedulerConfig, cache: Arc<ResultCache>) -> Arc<Scheduler> {
+        let threads = if config.threads == 0 {
+            crate::par::default_threads()
+        } else {
+            config.threads
+        };
+        let scheduler = Arc::new(Scheduler {
+            cache,
+            state: Mutex::new(SchedState::default()),
+            work_cv: Condvar::new(),
+            threads,
+            max_outstanding: config.max_outstanding,
+            max_client_outstanding: config.max_client_outstanding,
+            sim_runs: AtomicU64::new(0),
+            finished_jobs: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = scheduler.workers.lock().expect("worker list poisoned");
+        for i in 0..threads {
+            let sched = Arc::clone(&scheduler);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("noc-serve-worker-{i}"))
+                    .spawn(move || sched.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(workers);
+        scheduler
+    }
+
+    /// The shared result cache.
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// Worker-pool size.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot the scheduler counters.
+    pub fn stats(&self) -> SchedulerStats {
+        let state = self.state.lock().expect("scheduler state poisoned");
+        SchedulerStats {
+            outstanding_scenarios: state.outstanding,
+            active_jobs: state.jobs.len() as u64,
+            finished_jobs: self.finished_jobs.load(Ordering::Relaxed),
+            sim_runs: self.sim_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Validate, admit, and enqueue a job. On success the `accepted` event
+    /// has already been queued on `tx` (under the scheduler lock, so it
+    /// precedes every result event) and the returned [`JobId`] names the
+    /// job for [`Scheduler::status`] / [`Scheduler::cancel`].
+    ///
+    /// # Errors
+    /// Returns the structured rejection to send as an `error` event:
+    /// invalid or empty grids, shutdown in progress, or an admission bound.
+    pub fn submit(
+        &self,
+        client: &str,
+        conn_job: u64,
+        grid: SweepGrid,
+        tx: &Sender<Event>,
+    ) -> Result<JobId, (ErrorCode, String)> {
+        let scenarios = grid.scenarios();
+        if scenarios.is_empty() {
+            return Err((
+                ErrorCode::InvalidGrid,
+                "grid expands to zero scenarios".to_string(),
+            ));
+        }
+        grid.validate_scenarios(&scenarios)
+            .map_err(|e| (ErrorCode::InvalidGrid, e.to_string()))?;
+        let n = scenarios.len() as u64;
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        if state.shutdown {
+            return Err((
+                ErrorCode::ShuttingDown,
+                "daemon is shutting down".to_string(),
+            ));
+        }
+        if state.outstanding + n > self.max_outstanding {
+            return Err((
+                ErrorCode::QueueFull,
+                format!(
+                    "global queue full: {} outstanding + {n} submitted > {} allowed",
+                    state.outstanding, self.max_outstanding
+                ),
+            ));
+        }
+        let client_out = state.client_outstanding.get(client).copied().unwrap_or(0);
+        if client_out + n > self.max_client_outstanding {
+            return Err((
+                ErrorCode::ClientQuota,
+                format!(
+                    "client quota full: {client_out} outstanding + {n} submitted > {} allowed",
+                    self.max_client_outstanding
+                ),
+            ));
+        }
+        state.next_job_id += 1;
+        let id = state.next_job_id;
+        state.outstanding += n;
+        *state
+            .client_outstanding
+            .entry(client.to_string())
+            .or_insert(0) += n;
+        let job = JobState {
+            client: client.to_string(),
+            conn_job,
+            tx: tx.clone(),
+            grid: Arc::new(grid),
+            scenarios: Arc::new(scenarios),
+            next: 0,
+            dispatched: 0,
+            emitted: 0,
+            results: (0..n as usize).map(|_| None).collect(),
+            canceled: false,
+            failed: None,
+        };
+        // Queue the accepted event before workers can see the job — the
+        // lock orders it ahead of every result on this channel.
+        let _ = tx.send(Event::Accepted {
+            job: conn_job,
+            scenarios: n,
+        });
+        state.jobs.insert(id, job);
+        if !state.client_queues.contains_key(client) {
+            state.rr.push_back(client.to_string());
+            state
+                .client_queues
+                .insert(client.to_string(), VecDeque::new());
+        }
+        state
+            .client_queues
+            .get_mut(client)
+            .expect("inserted above")
+            .push_back(id);
+        drop(state);
+        self.work_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Query a job's progress. `None` when the job is unknown or already
+    /// terminal.
+    pub fn status(&self, id: JobId) -> Option<(String, u64, u64)> {
+        let state = self.state.lock().expect("scheduler state poisoned");
+        let job = state.jobs.get(&id)?;
+        let phase = if job.terminal_pending() {
+            "canceling"
+        } else if job.next == 0 && job.dispatched == 0 {
+            "queued"
+        } else {
+            "running"
+        };
+        Some((phase.to_string(), job.emitted as u64, job.total() as u64))
+    }
+
+    /// Cancel a job: undispatched scenarios are dropped (reservations freed
+    /// immediately), in-flight results are discarded as they land, and the
+    /// terminal `canceled` event carries the count already streamed.
+    /// Returns `false` when the job is unknown or already terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        let Some(job) = state.jobs.get(&id) else {
+            return false;
+        };
+        if job.terminal_pending() {
+            return true; // already canceling; idempotent
+        }
+        self.cancel_locked(&mut state, id, None);
+        true
+    }
+
+    /// Cancel every listed job without expecting the client to read the
+    /// terminal events (its connection is gone; sends fail silently).
+    pub fn disconnect(&self, jobs: &[JobId]) {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        for &id in jobs {
+            let still_active = state.jobs.get(&id).is_some_and(|j| !j.terminal_pending());
+            if still_active {
+                self.cancel_locked(&mut state, id, None);
+            }
+        }
+    }
+
+    /// Stop admitting jobs and let workers drain the queue, then exit.
+    pub fn begin_shutdown(&self) {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.work_cv.notify_all();
+    }
+
+    /// Join the worker pool (after [`Scheduler::begin_shutdown`]).
+    pub fn join(&self) {
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Mark a job canceled or failed: truncate its undispatched tail, free
+    /// those reservations, and finalize immediately when nothing is in
+    /// flight. Caller holds the state lock and has checked the job exists
+    /// and is not already terminal-pending.
+    fn cancel_locked(&self, state: &mut SchedState, id: JobId, failure: Option<String>) {
+        let job = state.jobs.get_mut(&id).expect("checked by caller");
+        let undispatched = (job.total() - job.next) as u64;
+        job.next = job.total();
+        match failure {
+            Some(message) => job.failed = Some(message),
+            None => job.canceled = true,
+        }
+        let client = job.client.clone();
+        let idle = job.dispatched == 0;
+        state.outstanding -= undispatched;
+        release_client(&mut state.client_outstanding, &client, undispatched);
+        if idle {
+            self.finalize(state, id);
+        }
+    }
+
+    /// Send a job's terminal event and drop its bookkeeping. Caller holds
+    /// the state lock; the job must have nothing dispatched.
+    fn finalize(&self, state: &mut SchedState, id: JobId) {
+        let job = state.jobs.remove(&id).expect("finalize of unknown job");
+        debug_assert_eq!(job.dispatched, 0);
+        let event = if let Some(message) = job.failed {
+            Event::Failed {
+                job: job.conn_job,
+                message,
+            }
+        } else if job.canceled {
+            Event::Canceled {
+                job: job.conn_job,
+                completed: job.emitted as u64,
+            }
+        } else {
+            let results: Vec<ScenarioResult> = job
+                .results
+                .into_iter()
+                .map(|r| r.expect("complete job has every result"))
+                .collect();
+            let report = job.grid.report_from_results(results, self.threads);
+            Event::Done {
+                job: job.conn_job,
+                report: Box::new(report),
+            }
+        };
+        let _ = job.tx.send(event);
+        self.finished_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pick the next scenario to run: rotate across clients, FIFO within a
+    /// client, one scenario per turn. Caller holds the state lock.
+    fn pick(state: &mut SchedState) -> Option<WorkItem> {
+        for _ in 0..state.rr.len() {
+            let client = state.rr.pop_front().expect("rr length checked");
+            let queue = state
+                .client_queues
+                .get_mut(&client)
+                .expect("rr client has a queue");
+            // Drop finished/truncated jobs off the front of the FIFO.
+            while let Some(&front) = queue.front() {
+                let exhausted = state.jobs.get(&front).is_none_or(|j| j.next >= j.total());
+                if exhausted {
+                    queue.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let Some(&front) = queue.front() else {
+                state.client_queues.remove(&client);
+                continue; // client rotated out until its next submit
+            };
+            let job = state.jobs.get_mut(&front).expect("front job exists");
+            let index = job.next;
+            job.next += 1;
+            job.dispatched += 1;
+            let item = WorkItem {
+                job: front,
+                index,
+                grid: Arc::clone(&job.grid),
+                scenarios: Arc::clone(&job.scenarios),
+            };
+            state.rr.push_back(client);
+            return Some(item);
+        }
+        None
+    }
+
+    fn worker_loop(self: Arc<Scheduler>) {
+        loop {
+            let item = {
+                let mut state = self.state.lock().expect("scheduler state poisoned");
+                loop {
+                    if let Some(item) = Self::pick(&mut state) {
+                        break Some(item);
+                    }
+                    if state.shutdown {
+                        break None;
+                    }
+                    state = self.work_cv.wait(state).expect("scheduler state poisoned");
+                }
+            };
+            let Some(item) = item else {
+                return;
+            };
+            let scenario = &item.scenarios[item.index];
+            let key = scenario_cache_key(
+                scenario,
+                item.grid.warmup,
+                item.grid.measure,
+                item.grid.drain,
+            );
+            let outcome = self
+                .cache
+                .get_or_compute(&key, || {
+                    self.sim_runs.fetch_add(1, Ordering::Relaxed);
+                    item.grid.run_scenario(scenario)
+                })
+                .map(|(result, _)| result);
+            self.complete(item.job, item.index, outcome);
+        }
+    }
+
+    /// Record one finished scenario: stream every newly in-order result,
+    /// then finalize the job if this was its last outstanding piece.
+    fn complete(&self, id: JobId, index: usize, outcome: SimResult<ScenarioResult>) {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        {
+            // The job must still exist: it is only removed when nothing is
+            // dispatched, and this scenario was.
+            let job = state.jobs.get_mut(&id).expect("job with dispatched work");
+            job.dispatched -= 1;
+            let client = job.client.clone();
+            state.outstanding -= 1;
+            release_client(&mut state.client_outstanding, &client, 1);
+        }
+        match outcome {
+            Ok(result) => {
+                let job = state.jobs.get_mut(&id).expect("job with dispatched work");
+                if !job.terminal_pending() {
+                    job.results[index] = Some(result);
+                    while job.emitted < job.total() && job.results[job.emitted].is_some() {
+                        let event = Event::Result {
+                            job: job.conn_job,
+                            index: job.emitted as u64,
+                            result: Box::new(
+                                job.results[job.emitted].clone().expect("checked is_some"),
+                            ),
+                        };
+                        let _ = job.tx.send(event);
+                        job.emitted += 1;
+                    }
+                }
+                // Canceled/failed jobs discard the result (the cache keeps
+                // it, so nothing is wasted).
+            }
+            Err(e) => {
+                let already_terminal = state
+                    .jobs
+                    .get(&id)
+                    .expect("job with dispatched work")
+                    .terminal_pending();
+                if !already_terminal {
+                    self.cancel_locked(&mut state, id, Some(e.to_string()));
+                    // cancel_locked finalizes only when idle; the
+                    // dispatched count was already decremented above, so a
+                    // lone failure finalizes right here.
+                    return;
+                }
+            }
+        }
+        let job = state.jobs.get(&id).expect("job with dispatched work");
+        let finished = job.emitted == job.total() && job.dispatched == 0;
+        let terminal_ready = job.terminal_pending() && job.dispatched == 0;
+        if finished || terminal_ready {
+            self.finalize(&mut state, id);
+        }
+    }
+}
+
+/// Decrement a client's outstanding count, dropping the entry at zero.
+fn release_client(outstanding: &mut HashMap<String, u64>, client: &str, n: u64) {
+    if n == 0 {
+        return;
+    }
+    if let Some(count) = outstanding.get_mut(client) {
+        *count = count.saturating_sub(n);
+        if *count == 0 {
+            outstanding.remove(client);
+        }
+    }
+}

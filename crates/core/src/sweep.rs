@@ -368,7 +368,7 @@ impl SweepGrid {
         self.validate_scenarios(&self.scenarios())
     }
 
-    fn validate_scenarios(&self, scenarios: &[Scenario]) -> SimResult<()> {
+    pub(crate) fn validate_scenarios(&self, scenarios: &[Scenario]) -> SimResult<()> {
         let num_levels = self.base.vf_table.num_levels();
         for scenario in scenarios {
             scenario.config.validate().map_err(|e| {
@@ -391,7 +391,15 @@ impl SweepGrid {
     }
 
     /// Run one scenario to completion.
-    fn run_scenario(&self, scenario: &Scenario) -> SimResult<ScenarioResult> {
+    ///
+    /// Public so the serve layer can execute scenarios individually (each
+    /// one behind its own cache-key lookup) while reusing the exact
+    /// simulation path the batch runners take — the cached and uncached
+    /// worlds stay byte-identical by construction.
+    ///
+    /// # Errors
+    /// Returns the scenario's configuration error, if any.
+    pub fn run_scenario(&self, scenario: &Scenario) -> SimResult<ScenarioResult> {
         let mut sim = Simulator::new(scenario.config.clone())?;
         if let Some(level) = scenario.level {
             sim.set_all_levels(level)?;
@@ -439,6 +447,48 @@ impl SweepGrid {
         let results: SimResult<Vec<ScenarioResult>> =
             scenarios.iter().map(|s| self.run_scenario(s)).collect();
         Ok(self.report(results?, 1))
+    }
+
+    /// Run the whole grid through `cache`, computing only the scenarios the
+    /// cache cannot resolve, on `threads` OS threads.
+    ///
+    /// The report is byte-identical to [`SweepGrid::run`] on the same grid:
+    /// cached results are the bytes a fresh run would have produced (the
+    /// determinism contract), and the grid provenance embedded in the
+    /// report is this grid's, not the one that populated the cache.
+    ///
+    /// # Errors
+    /// Returns the first (in grid order) scenario configuration error.
+    pub fn run_cached(
+        &self,
+        threads: usize,
+        cache: &crate::serve::ResultCache,
+    ) -> SimResult<SweepReport> {
+        let scenarios = self.scenarios();
+        self.validate_scenarios(&scenarios)?;
+        let results: SimResult<Vec<ScenarioResult>> = parallel_map(scenarios.len(), threads, |i| {
+            let scenario = &scenarios[i];
+            let key =
+                crate::serve::scenario_cache_key(scenario, self.warmup, self.measure, self.drain);
+            cache
+                .get_or_compute(&key, || self.run_scenario(scenario))
+                .map(|(result, _)| result)
+        })
+        .into_iter()
+        .collect();
+        Ok(self.report(results?, threads.clamp(1, scenarios.len().max(1))))
+    }
+
+    /// Assemble a [`SweepReport`] from per-scenario results gathered
+    /// elsewhere (the serve scheduler streams scenarios individually, then
+    /// folds them through this to get the same report bytes a batch run
+    /// emits). `scenarios` must be in grid order.
+    pub fn report_from_results(
+        &self,
+        scenarios: Vec<ScenarioResult>,
+        threads: usize,
+    ) -> SweepReport {
+        self.report(scenarios, threads)
     }
 
     fn report(&self, scenarios: Vec<ScenarioResult>, threads: usize) -> SweepReport {
