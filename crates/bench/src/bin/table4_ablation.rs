@@ -106,7 +106,7 @@ fn main() {
             / quarter as f64;
         for (wname, pattern, rate) in &eval_workloads {
             let cfg = sim.clone().with_traffic(pattern.clone(), *rate);
-            let mut controller = artifact.controller();
+            let mut controller = artifact.drl_controller().expect("cached policy deploys");
             let run = run_controller(&cfg, &mut controller, eval_epochs, epoch_cycles)
                 .expect("valid configuration");
             rows.push(vec![

@@ -54,8 +54,14 @@ fn main() {
         let cfg = sim.clone().with_traffic(pattern.clone(), *rate);
         let mut entries: Vec<(String, Box<dyn noc_selfconf::Controller>)> = vec![
             ("static-max".into(), Box::new(StaticController::max())),
-            ("drl-dvfs".into(), Box::new(dvfs_only.controller())),
-            ("drl-joint".into(), Box::new(joint.controller())),
+            (
+                "drl-dvfs".into(),
+                dvfs_only.controller().expect("cached policy deploys"),
+            ),
+            (
+                "drl-joint".into(),
+                joint.controller().expect("cached policy deploys"),
+            ),
         ];
         for (label, controller) in entries.iter_mut() {
             let run = run_controller(&cfg, controller.as_mut(), epochs, epoch_cycles)

@@ -9,13 +9,11 @@
 
 pub mod report;
 
-use noc_selfconf::{
-    ActionSpace, DrlController, NocEnvConfig, StateEncoder, TabularController, TrainedPolicy,
-};
-use rl::{DqnAgent, DqnConfig, EpisodeStats, TabularConfig, TabularQ, TrainConfig};
+use noc_selfconf::{NocEnvConfig, PolicyArtifact};
+use rl::{DqnConfig, TabularConfig, TrainConfig};
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Scale of an experiment run. `EXPT_SCALE=quick` shrinks every budget so
 /// integration tests and smoke runs finish in seconds; the default `full`
@@ -118,133 +116,103 @@ pub fn fmt(v: f64) -> String {
 /// (the workspace's shared pool primitive, re-exported from the core crate).
 pub use noc_selfconf::{default_threads, parallel_map};
 
-/// A cached trained-DQN artifact (policy weights + everything needed to
-/// rebuild the controller).
-#[derive(Debug, Serialize, Deserialize)]
-pub struct PolicyArtifact {
-    /// The DQN configuration the agent was built with.
-    pub dqn: DqnConfig,
-    /// Serialized online network.
-    pub policy_json: String,
-    /// The state encoder used in training.
-    pub encoder: StateEncoder,
-    /// The action space used in training.
-    pub action_space: ActionSpace,
-    /// The training curve (episode returns).
-    pub curve: Vec<EpisodeStats>,
+/// Whether a cached artifact at `path` can satisfy a request whose training
+/// configuration hashes to `expected`. Artifacts whose hash differs — or
+/// legacy artifacts, which carry no hash — are misses: returning them would
+/// silently hand the caller a policy trained under a *different*
+/// configuration (the old cache's stale-artifact bug).
+fn cache_hit(path: &Path, expected: &str, kind: &str) -> Option<PolicyArtifact> {
+    if std::env::var("EXPT_RETRAIN").is_ok() {
+        return None;
+    }
+    let artifact = PolicyArtifact::load(path).ok()?;
+    if artifact.kind_name() != kind {
+        return None;
+    }
+    if artifact.config_hash != expected {
+        eprintln!(
+            "cached policy {} was trained under a different configuration; retraining",
+            path.display()
+        );
+        return None;
+    }
+    eprintln!("loaded cached policy {}", path.display());
+    Some(artifact)
 }
 
-impl PolicyArtifact {
-    /// Capture a trained policy.
-    pub fn from_policy(policy: &TrainedPolicy) -> Self {
-        PolicyArtifact {
-            dqn: policy.agent.config().clone(),
-            policy_json: policy.agent.policy_to_json().expect("policy serializes"),
-            encoder: policy.encoder.clone(),
-            action_space: policy.action_space.clone(),
-            curve: policy.curve.clone(),
-        }
+/// Train a DQN policy, caching the artifact at `<dir>/<key>.json`. The
+/// cache is keyed on the configuration hash: an artifact trained under a
+/// different environment/hyper-parameter/budget combination (or a pre-zoo
+/// legacy artifact, which records no hash) is a miss and gets retrained.
+/// `EXPT_RETRAIN` forces a miss.
+pub fn train_or_load_in(
+    dir: &Path,
+    key: &str,
+    env_cfg: NocEnvConfig,
+    dqn: DqnConfig,
+    train: TrainConfig,
+) -> PolicyArtifact {
+    let path = dir.join(format!("{key}.json"));
+    let expected = noc_selfconf::dqn_config_hash(&env_cfg, &dqn, &train);
+    if let Some(artifact) = cache_hit(&path, &expected, "dqn") {
+        return artifact;
     }
-
-    /// Rebuild a deployable controller.
-    pub fn controller(&self) -> DrlController {
-        let mut agent = DqnAgent::new(self.dqn.clone());
-        agent
-            .policy_from_json(&self.policy_json)
-            .expect("stored policy loads");
-        DrlController::new(agent, self.encoder.clone(), self.action_space.clone())
-    }
+    eprintln!("training policy `{key}` ({} episodes)...", train.episodes);
+    let t0 = std::time::Instant::now();
+    let policy = noc_selfconf::train_drl(env_cfg.clone(), dqn, train.clone())
+        .expect("training configuration");
+    eprintln!(
+        "trained `{key}` in {:.1?} ({} steps)",
+        t0.elapsed(),
+        policy.agent.train_steps()
+    );
+    let artifact = PolicyArtifact::from_dqn(&policy, env_cfg, train).expect("policy serializes");
+    artifact.save(&path).expect("artifact must be writable");
+    artifact
 }
 
-/// Train a DQN policy (or load it from `results/<key>.json` if present and
-/// `EXPT_RETRAIN` is unset). Returns the artifact.
+/// [`train_or_load_in`] against the shared `results/` directory.
 pub fn train_or_load(
     key: &str,
     env_cfg: NocEnvConfig,
     dqn: DqnConfig,
     train: TrainConfig,
 ) -> PolicyArtifact {
-    let path = results_dir().join(format!("{key}.json"));
-    if std::env::var("EXPT_RETRAIN").is_err() {
-        if let Ok(bytes) = fs::read(&path) {
-            if let Ok(artifact) = serde_json::from_slice::<PolicyArtifact>(&bytes) {
-                eprintln!("loaded cached policy {}", path.display());
-                return artifact;
-            }
-        }
+    train_or_load_in(&results_dir(), key, env_cfg, dqn, train)
+}
+
+/// Train the tabular baseline, caching at `<dir>/<key>.json` with the same
+/// config-hash keying as [`train_or_load_in`].
+pub fn train_or_load_tabular_in(
+    dir: &Path,
+    key: &str,
+    env_cfg: NocEnvConfig,
+    tab: TabularConfig,
+    train: TrainConfig,
+) -> PolicyArtifact {
+    let path = dir.join(format!("{key}.json"));
+    let expected = noc_selfconf::tabular_config_hash(&env_cfg, &tab, &train);
+    if let Some(artifact) = cache_hit(&path, &expected, "tabular") {
+        return artifact;
     }
-    eprintln!("training policy `{key}` ({} episodes)...", train.episodes);
-    let t0 = std::time::Instant::now();
-    let policy = noc_selfconf::train_drl(env_cfg, dqn, train).expect("training configuration");
-    eprintln!(
-        "trained `{key}` in {:.1?} ({} steps)",
-        t0.elapsed(),
-        policy.agent.train_steps()
-    );
-    let artifact = PolicyArtifact::from_policy(&policy);
-    fs::write(
-        &path,
-        serde_json::to_vec(&artifact).expect("artifact serializes"),
-    )
-    .expect("artifact must be writable");
+    eprintln!("training tabular `{key}` ({} episodes)...", train.episodes);
+    let (agent, curve, encoder, action_space) =
+        noc_selfconf::train_tabular(env_cfg.clone(), tab, train.clone())
+            .expect("training configuration");
+    let artifact =
+        PolicyArtifact::from_tabular(agent, curve, encoder, action_space, env_cfg, train);
+    artifact.save(&path).expect("artifact must be writable");
     artifact
 }
 
-/// A cached tabular-Q artifact.
-#[derive(Debug, Serialize, Deserialize)]
-pub struct TabularArtifact {
-    /// The trained agent (table included).
-    pub agent: TabularQ,
-    /// The state encoder used in training.
-    pub encoder: StateEncoder,
-    /// The action space used in training.
-    pub action_space: ActionSpace,
-    /// The training curve.
-    pub curve: Vec<EpisodeStats>,
-}
-
-impl TabularArtifact {
-    /// Rebuild a deployable controller.
-    pub fn controller(&self) -> TabularController {
-        TabularController::new(
-            self.agent.clone(),
-            self.encoder.clone(),
-            self.action_space.clone(),
-        )
-    }
-}
-
-/// Train the tabular baseline (or load from cache, as [`train_or_load`]).
+/// [`train_or_load_tabular_in`] against the shared `results/` directory.
 pub fn train_or_load_tabular(
     key: &str,
     env_cfg: NocEnvConfig,
     tab: TabularConfig,
     train: TrainConfig,
-) -> TabularArtifact {
-    let path = results_dir().join(format!("{key}.json"));
-    if std::env::var("EXPT_RETRAIN").is_err() {
-        if let Ok(bytes) = fs::read(&path) {
-            if let Ok(artifact) = serde_json::from_slice::<TabularArtifact>(&bytes) {
-                eprintln!("loaded cached tabular policy {}", path.display());
-                return artifact;
-            }
-        }
-    }
-    eprintln!("training tabular `{key}` ({} episodes)...", train.episodes);
-    let (agent, curve, encoder, action_space) =
-        noc_selfconf::train_tabular(env_cfg, tab, train).expect("training configuration");
-    let artifact = TabularArtifact {
-        agent,
-        encoder,
-        action_space,
-        curve,
-    };
-    fs::write(
-        &path,
-        serde_json::to_vec(&artifact).expect("artifact serializes"),
-    )
-    .expect("artifact must be writable");
-    artifact
+) -> PolicyArtifact {
+    train_or_load_tabular_in(&results_dir(), key, env_cfg, tab, train)
 }
 
 /// Standard experiment configurations shared by the binaries.
@@ -304,22 +272,10 @@ pub mod configs {
         ]))
     }
 
-    /// The environment configuration used to train the deployed policies.
+    /// The environment configuration used to train the deployed policies
+    /// (the paper-style environment over the given fabric).
     pub fn train_env(sim: SimConfig, seed: u64) -> NocEnvConfig {
-        let regions = sim.regions_x * sim.regions_y;
-        let levels = sim.vf_table.num_levels();
-        NocEnvConfig {
-            action_space: ActionSpace::PerRegionDelta {
-                num_regions: regions,
-                num_levels: levels,
-            },
-            sim,
-            epoch_cycles: 500,
-            epochs_per_episode: 40,
-            reward: noc_selfconf::RewardConfig::default(),
-            traffic_menu: noc_selfconf::standard_traffic_menu(),
-            seed,
-        }
+        NocEnvConfig::for_sim(sim, seed)
     }
 
     /// The DQN hyper-parameters of Table 2.
@@ -382,6 +338,54 @@ mod tests {
         let s = print_table("T", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         assert!(s.contains("| a | b |"));
         assert!(s.contains("| 1 | 2 |"));
+    }
+
+    /// Regression for the stale-cache bug: the old cache returned whatever
+    /// artifact sat under the key, even when the requested training
+    /// configuration had changed. The cache is now keyed on the config
+    /// hash, so a changed configuration under the same key must retrain.
+    #[test]
+    fn policy_cache_misses_on_config_change() {
+        let dir = std::env::temp_dir().join(format!("noc_bench_cache_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let env = configs::train_env(configs::mesh4(), 3);
+        let dqn = DqnConfig {
+            hidden: vec![8],
+            batch_size: 8,
+            min_replay: 8,
+            ..configs::dqn_default(3)
+        };
+        let train = TrainConfig {
+            episodes: 1,
+            max_steps: 2,
+            ..configs::train_budget(Scale::Quick, 3)
+        };
+        let a = train_or_load_in(&dir, "cache_probe", env.clone(), dqn.clone(), train.clone());
+        // Same configuration: the second call is a cache hit with identical
+        // bytes (or an identical deterministic retrain under EXPT_RETRAIN).
+        let b = train_or_load_in(&dir, "cache_probe", env.clone(), dqn.clone(), train.clone());
+        assert_eq!(a.to_json(), b.to_json());
+        // Changed configuration under the SAME key: the cached artifact
+        // must not be returned.
+        let mut env2 = env.clone();
+        env2.epoch_cycles += 1;
+        let c = train_or_load_in(&dir, "cache_probe", env2.clone(), dqn, train.clone());
+        assert_ne!(a.config_hash, c.config_hash);
+        assert_eq!(
+            c.provenance
+                .as_ref()
+                .expect("fresh artifact has provenance")
+                .env
+                .epoch_cycles,
+            env2.epoch_cycles
+        );
+        // The tabular path shares the keying: a DQN artifact under a
+        // tabular key is a kind mismatch, not a hit.
+        let t =
+            train_or_load_tabular_in(&dir, "cache_probe", env2, configs::tabular_default(), train);
+        assert_eq!(t.kind_name(), "tabular");
+        let _ = fs::remove_dir_all(&dir);
     }
 }
 
@@ -453,14 +457,14 @@ pub mod comparison {
                 "tabular-q",
                 Box::new({
                     let tab = tab.clone();
-                    move || Box::new(tab.controller()) as Box<dyn Controller>
+                    move || tab.controller().expect("cached policy deploys")
                 }),
             ),
             (
                 "drl",
                 Box::new({
                     let drl = drl.clone();
-                    move || Box::new(drl.controller()) as Box<dyn Controller>
+                    move || drl.controller().expect("cached policy deploys")
                 }),
             ),
         ]

@@ -31,7 +31,7 @@
 //! headline cycles/sec) appended to `results/trajectory.csv`, giving a
 //! commit-over-commit perf history that survives artifact expiry.
 
-use noc_selfconf::{ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
+use noc_selfconf::{zoo, ActionSpace, NocEnv, NocEnvConfig, RewardConfig, SweepGrid};
 use noc_sim::{
     FaultPlan, InjectionProcess, RoutingAlgorithm, SimConfig, Simulator, SwitchArb, Topology,
     TopologyKind, TrafficPattern, WorkloadSpec,
@@ -930,6 +930,77 @@ pub fn run_suite(config: BenchSuiteConfig, mode: &str, git_sha: String) -> Bench
         );
     }
 
+    // --- Tournament evaluator (policy deserialization + controller runs
+    // over the generalization matrix). Two micro-budget policies are
+    // trained outside the timed region; the timed body scores the full
+    // 2-policy x 2-family matrix, i.e. the per-cell cost of
+    // `noc-cli tournament`.
+    {
+        let base = SimConfig::default().with_size(4, 4).with_regions(2, 2);
+        let grid = zoo::ZooGrid {
+            base: base.clone(),
+            variants: vec![zoo::DqnVariant {
+                name: "bench".into(),
+                dqn: DqnConfig {
+                    hidden: vec![16],
+                    batch_size: 8,
+                    min_replay: 8,
+                    ..DqnConfig::default()
+                },
+            }],
+            families: vec![
+                zoo::ScenarioFamily::parse("mesh/uniform/r0.1").expect("family parses"),
+                zoo::ScenarioFamily::parse("torus/uniform/r0.1/f1").expect("family parses"),
+            ],
+            train: rl::TrainConfig {
+                episodes: 1,
+                max_steps: 4,
+                ..rl::TrainConfig::default()
+            },
+            epoch_cycles: 100,
+            epochs_per_episode: 4,
+            base_seed: 17,
+        };
+        let policies: Vec<(String, zoo::PolicyArtifact)> = (0..grid.len())
+            .map(|i| {
+                (
+                    format!("bench{i}"),
+                    zoo::train_member(&grid, i).expect("bench policy trains"),
+                )
+            })
+            .collect();
+        let tournament = zoo::TournamentConfig {
+            base,
+            families: grid.families.clone(),
+            epochs: config.env_epochs,
+            epoch_cycles: 200,
+            reward: RewardConfig::default(),
+            base_seed: 17,
+        };
+        let threads = noc_selfconf::default_threads();
+        let cells = (policies.len() * tournament.families.len()) as u64;
+        let measured = timed(config.repeats, || {
+            let t0 = Instant::now();
+            let report = zoo::tournament_matrix(&policies, &tournament, threads)
+                .expect("bench tournament runs");
+            let dt = t0.elapsed().as_nanos() as u64;
+            std::hint::black_box(report.cells.len());
+            (dt, cells, None)
+        });
+        push_result(
+            &mut workloads,
+            "zoo/tournament/2x2",
+            format!(
+                "2 policies x 2 families on a 4x4 fabric, {} epochs x 200 \
+                 cycles per cell, {threads} threads",
+                config.env_epochs
+            ),
+            "cells",
+            config.repeats,
+            measured,
+        );
+    }
+
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         git_sha,
@@ -1176,7 +1247,7 @@ mod tests {
         let report = run_suite(tiny_config(), "tiny", "deadbeef".into());
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(report.file_name(), "BENCH_deadbeef.json");
-        assert_eq!(report.workloads.len(), 24);
+        assert_eq!(report.workloads.len(), 25);
         for w in &report.workloads {
             assert!(w.median_ns > 0, "{} must take time", w.name);
             assert!(w.units_per_sec > 0.0, "{} must have a rate", w.name);

@@ -6,19 +6,19 @@
 use noc_selfconf::serve::{
     Daemon, Event, Request, ResultCache, SchedulerConfig, ServeClient, ServeConfig,
 };
+use noc_selfconf::zoo;
 use noc_selfconf::{
-    run_controller, train_drl, DrlController, NocEnvConfig, StaticController, SweepGrid,
-    ThresholdController,
+    run_controller, train_drl, NocEnvConfig, StaticController, SweepGrid, ThresholdController,
 };
 use noc_sim::{
     FaultPlan, PacketTrace, RoutingAlgorithm, RunSummary, SimConfig, Simulator, SwitchArb,
     TopologyKind, TrafficPattern, TrafficSpec, WorkloadSpec,
 };
-use rl::{DqnAgent, DqnConfig, Schedule, TrainConfig};
-use serde::{Deserialize, Serialize};
+use rl::{DqnConfig, Schedule, TrainConfig};
 use std::error::Error;
 use std::fmt;
 use std::fs;
+use std::path::Path;
 
 /// CLI-level error (message only; causes are rendered into it).
 #[derive(Debug)]
@@ -46,6 +46,12 @@ impl From<std::io::Error> for CliError {
 
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<zoo::ZooError> for CliError {
+    fn from(e: zoo::ZooError) -> Self {
         CliError(e.to_string())
     }
 }
@@ -856,37 +862,122 @@ pub fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     run_bench(&parse_bench_args(args)?)
 }
 
-/// What `train` persists: the agent's network plus deployment metadata.
-#[derive(Debug, Serialize, Deserialize)]
-pub struct SavedPolicy {
-    /// DQN configuration (architecture).
-    pub dqn: DqnConfig,
-    /// Serialized weights.
-    pub policy_json: String,
-    /// State encoder for deployment.
-    pub encoder: noc_selfconf::StateEncoder,
-    /// Action space for deployment.
-    pub action_space: noc_selfconf::ActionSpace,
+/// Parse `train` arguments: `<out.json>` plus training flags, with every
+/// remaining `--flag value` pair handed to the `run` scenario parser.
+///
+/// # Errors
+/// Returns a usage error for missing/extra positionals or bad values.
+pub fn parse_train_args(args: &[String]) -> Result<TrainOptions, CliError> {
+    let usage = || {
+        CliError(
+            "usage: noc-cli train <out.json> [episodes] [--episodes N] [--max-steps N] \
+             [run scenario flags: --topology --size --pattern --rate --workload --faults \
+             --seed --config ...]"
+                .into(),
+        )
+    };
+    let mut positionals: Vec<String> = Vec::new();
+    let mut episodes: Option<usize> = None;
+    let mut max_steps: usize = 40;
+    let mut run_flags: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--episodes" | "--max-steps" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("{arg} requires a value")))?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad {arg} `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError(format!("{arg} must be at least 1")));
+                }
+                if arg == "--episodes" {
+                    episodes = Some(n);
+                } else {
+                    max_steps = n;
+                }
+            }
+            flag if flag.starts_with("--") => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+                run_flags.push(flag.to_string());
+                run_flags.push(value.clone());
+            }
+            _ => positionals.push(arg.clone()),
+        }
+    }
+    if positionals.is_empty() || positionals.len() > 2 {
+        return Err(usage());
+    }
+    let out_path = positionals[0].clone();
+    if let Some(legacy) = positionals.get(1) {
+        // Pre-zoo grammar: `train <out.json> <episodes>`.
+        let n: usize = legacy
+            .parse()
+            .map_err(|e| CliError(format!("bad episode count `{legacy}`: {e}")))?;
+        if episodes.is_some() {
+            return Err(CliError(
+                "episode count given both positionally and via --episodes".into(),
+            ));
+        }
+        episodes = Some(n);
+    }
+    let episodes = episodes.unwrap_or(60).max(1);
+    let run = parse_run_args(&run_flags)?;
+    Ok(TrainOptions {
+        out_path,
+        episodes,
+        max_steps,
+        run,
+    })
 }
 
-/// `train`: train a DQN self-configuration policy and save it as JSON.
-pub fn cmd_train(out_path: &str, episodes: usize) -> Result<(), CliError> {
-    let env_cfg = NocEnvConfig::default();
-    eprintln!("training on the default 8x8 environment for {episodes} episodes...");
-    let policy = train_drl(
-        env_cfg,
-        DqnConfig::default(),
-        TrainConfig {
-            episodes,
-            max_steps: 40,
-            epsilon: Schedule::Linear {
-                start: 1.0,
-                end: 0.05,
-                steps: (episodes as u64) * 25,
-            },
-            train_per_step: 1,
-            seed: 7,
+/// Resolved `train` arguments.
+#[derive(Debug)]
+pub struct TrainOptions {
+    /// Artifact output path.
+    pub out_path: String,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Environment steps per episode.
+    pub max_steps: usize,
+    /// The training scenario (fabric, traffic, faults, seed).
+    pub run: RunOptions,
+}
+
+/// `train`: train a DQN self-configuration policy on an arbitrary scenario
+/// (same flags as `run`) and save it as a versioned zoo artifact. The seed
+/// comes from the scenario (`--seed`), so two invocations with the same
+/// flags produce byte-identical artifacts.
+pub fn cmd_train(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_train_args(args)?;
+    let seed = opts.run.config.seed;
+    let episodes = opts.episodes;
+    let env_cfg = NocEnvConfig::for_sim(opts.run.config.clone(), seed);
+    let train = TrainConfig {
+        episodes,
+        max_steps: opts.max_steps,
+        epsilon: Schedule::Linear {
+            start: 1.0,
+            end: 0.05,
+            steps: ((episodes * opts.max_steps) as u64 * 5 / 8).max(1),
         },
+        train_per_step: 1,
+        seed,
+    };
+    eprintln!(
+        "training on the {}x{} {} environment (seed {seed}) for {episodes} episodes...",
+        env_cfg.sim.width,
+        env_cfg.sim.height,
+        env_cfg.sim.kind.name()
+    );
+    let policy = train_drl(
+        env_cfg.clone(),
+        DqnConfig::default().with_seed(seed),
+        train.clone(),
     )?;
     let quarter = (policy.curve.len() / 4).max(1);
     let late: f64 = policy.curve[policy.curve.len() - quarter..]
@@ -895,39 +986,42 @@ pub fn cmd_train(out_path: &str, episodes: usize) -> Result<(), CliError> {
         .sum::<f64>()
         / quarter as f64;
     eprintln!("final mean episode return: {late:.2}");
-    let saved = SavedPolicy {
-        dqn: policy.agent.config().clone(),
-        policy_json: policy
-            .agent
-            .policy_to_json()
-            .map_err(|e| CliError(e.to_string()))?,
-        encoder: policy.encoder,
-        action_space: policy.action_space,
-    };
-    fs::write(out_path, serde_json::to_string(&saved)?)?;
-    println!("saved policy to {out_path}");
+    let artifact = zoo::PolicyArtifact::from_dqn(&policy, env_cfg, train)?;
+    artifact.save(Path::new(&opts.out_path))?;
+    println!(
+        "saved policy to {} (config hash {})",
+        opts.out_path, artifact.config_hash
+    );
     Ok(())
 }
 
 /// `evaluate`: run a saved policy against the baselines on the default mesh.
+/// Accepts zoo artifacts and all legacy policy shapes; every load is
+/// validated by the zoo layer before a controller is built.
 pub fn cmd_evaluate(policy_path: &str) -> Result<(), CliError> {
-    let saved: SavedPolicy = serde_json::from_str(&fs::read_to_string(policy_path)?)?;
+    let artifact = zoo::PolicyArtifact::load(Path::new(policy_path))?;
+    eprintln!(
+        "loaded {} policy from {policy_path}{}",
+        artifact.kind_name(),
+        if artifact.config_hash.is_empty() {
+            " (legacy artifact, no provenance)".to_string()
+        } else {
+            format!(" (config hash {})", artifact.config_hash)
+        }
+    );
+    let cfg = SimConfig::default().with_traffic(TrafficPattern::Uniform, 0.12);
     // Reject stale artifacts cleanly: a policy trained against an older
-    // observation layout (e.g. before the fault-degradation feature) has a
-    // network whose input width no longer matches the encoder.
-    if saved.dqn.state_dim != saved.encoder.state_dim() {
+    // observation layout (or a different region grid) observes a different
+    // number of features than this fabric produces.
+    let probe_env = noc_selfconf::NocEnv::new(NocEnvConfig::for_sim(cfg.clone(), 0))?;
+    let expected = probe_env.encoder().state_dim();
+    if artifact.encoder.state_dim() != expected {
         return Err(CliError(format!(
-            "policy `{policy_path}` is incompatible: its network takes {} inputs but the \
-             saved encoder now produces {} features — retrain with `noc-cli train`",
-            saved.dqn.state_dim,
-            saved.encoder.state_dim()
+            "policy `{policy_path}` is incompatible: it observes {} features but this \
+             fabric produces {expected} — retrain with `noc-cli train`",
+            artifact.encoder.state_dim()
         )));
     }
-    let mut agent = DqnAgent::new(saved.dqn);
-    agent
-        .policy_from_json(&saved.policy_json)
-        .map_err(|e| CliError(e.to_string()))?;
-    let cfg = SimConfig::default().with_traffic(TrafficPattern::Uniform, 0.12);
     let probe = Simulator::new(cfg.clone())?;
     let caps = probe.network().region_capacity();
     let nodes = probe.network().topology().num_nodes();
@@ -935,7 +1029,7 @@ pub fn cmd_evaluate(policy_path: &str) -> Result<(), CliError> {
         Box::new(StaticController::max()),
         Box::new(StaticController::min()),
         Box::new(ThresholdController::new(caps, nodes)),
-        Box::new(DrlController::new(agent, saved.encoder, saved.action_space)),
+        artifact.controller()?,
     ];
     println!(
         "{:>12} {:>10} {:>12} {:>12} {:>10}",
@@ -951,6 +1045,220 @@ pub fn cmd_evaluate(policy_path: &str) -> Result<(), CliError> {
             run.aggregate.edp / 1e6,
             run.aggregate.mean_level
         );
+    }
+    Ok(())
+}
+
+/// One positional argument, the zoo-specific `(flag, value)` pairs, and the
+/// leftover run flags, in that order.
+type ZooArgs<'a> = (String, Vec<(&'a str, &'a str)>, Vec<String>);
+
+/// Split `args` into zoo-specific `(flag, value)` pairs and leftover run
+/// flags (which configure the base fabric and the master seed).
+fn split_zoo_flags<'a>(
+    args: &'a [String],
+    zoo_flags: &[&str],
+    positional_name: &str,
+) -> Result<ZooArgs<'a>, CliError> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    let mut run_flags: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("{arg} requires a value")))?;
+            if zoo_flags.contains(&arg.as_str()) {
+                pairs.push((arg.as_str(), value.as_str()));
+            } else {
+                run_flags.push(arg.clone());
+                run_flags.push(value.clone());
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    if positionals.len() != 1 {
+        return Err(CliError(format!(
+            "expected exactly one positional argument: {positional_name}"
+        )));
+    }
+    Ok((positionals.remove(0), pairs, run_flags))
+}
+
+fn parse_families(spec: &str) -> Result<Vec<zoo::ScenarioFamily>, CliError> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| zoo::ScenarioFamily::parse(s).map_err(CliError::from))
+        .collect()
+}
+
+/// `train-grid`: train a population of DQN variants × scenario families
+/// into a zoo directory. Parallel over members, yet the artifacts and
+/// manifest are byte-identical for every `--threads` value (SplitMix64
+/// per-member seeds off the master `--seed`).
+pub fn cmd_train_grid(args: &[String]) -> Result<(), CliError> {
+    const ZOO_FLAGS: [&str; 6] = [
+        "--variants",
+        "--families",
+        "--episodes",
+        "--max-steps",
+        "--epochs-per-episode",
+        "--threads",
+    ];
+    let (out_dir, pairs, run_flags) = split_zoo_flags(args, &ZOO_FLAGS, "<zoo-dir>")?;
+    let run = parse_run_args(&run_flags)?;
+    let mut variants: Vec<zoo::DqnVariant> = ["default", "small"]
+        .iter()
+        .map(|n| zoo::dqn_variant(n).expect("built-in variant"))
+        .collect();
+    let mut families = vec![
+        zoo::ScenarioFamily::parse("mesh/uniform/r0.1")?,
+        zoo::ScenarioFamily::parse("torus/uniform/r0.1/f2")?,
+    ];
+    let mut episodes = 20usize;
+    let mut max_steps = 40usize;
+    let mut epochs_per_episode = 40usize;
+    let mut threads = noc_selfconf::default_threads();
+    for (flag, value) in pairs {
+        match flag {
+            "--variants" => {
+                variants = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        zoo::dqn_variant(name).ok_or_else(|| {
+                            CliError(format!(
+                                "unknown DQN variant `{name}` (expected one of: {})",
+                                zoo::DQN_VARIANT_NAMES.join(", ")
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--families" => families = parse_families(value)?,
+            _ => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad {flag} `{value}`: {e}")))?;
+                if n == 0 {
+                    return Err(CliError(format!("{flag} must be at least 1")));
+                }
+                match flag {
+                    "--episodes" => episodes = n,
+                    "--max-steps" => max_steps = n,
+                    "--epochs-per-episode" => epochs_per_episode = n,
+                    _ => threads = n,
+                }
+            }
+        }
+    }
+    let base_seed = run.config.seed;
+    let grid = zoo::ZooGrid {
+        base: run.config,
+        variants,
+        families,
+        train: TrainConfig {
+            episodes,
+            max_steps,
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: ((episodes * max_steps) as u64 * 5 / 8).max(1),
+            },
+            train_per_step: 1,
+            seed: base_seed, // overwritten per member
+        },
+        epoch_cycles: 500,
+        epochs_per_episode,
+        base_seed,
+    };
+    eprintln!(
+        "train-grid: {} variants x {} families = {} members on {threads} threads \
+         (seed {base_seed})",
+        grid.variants.len(),
+        grid.families.len(),
+        grid.len()
+    );
+    let manifest = zoo::train_grid(&grid, Path::new(&out_dir), threads)?;
+    for member in &manifest.members {
+        println!(
+            "{}  seed={}  hash={}",
+            member.name, member.seed, member.config_hash
+        );
+    }
+    println!(
+        "trained {} policies into {out_dir} (manifest.json written)",
+        manifest.members.len()
+    );
+    Ok(())
+}
+
+/// `tournament`: score every policy in a zoo directory against every
+/// scenario family and print the generalization matrix. The report is
+/// deterministic and byte-identical for every `--threads` value.
+pub fn cmd_tournament(args: &[String]) -> Result<(), CliError> {
+    const ZOO_FLAGS: [&str; 4] = ["--families", "--epochs", "--threads", "--out"];
+    let (zoo_dir, pairs, run_flags) = split_zoo_flags(args, &ZOO_FLAGS, "<zoo-dir>")?;
+    let run = parse_run_args(&run_flags)?;
+    let mut config = zoo::TournamentConfig {
+        base: run.config,
+        ..zoo::TournamentConfig::default()
+    };
+    config.base_seed = config.base.seed;
+    let mut threads = noc_selfconf::default_threads();
+    let mut out: Option<String> = None;
+    for (flag, value) in pairs {
+        match flag {
+            "--families" => config.families = parse_families(value)?,
+            "--epochs" => {
+                config.epochs = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --epochs `{value}`: {e}")))?;
+            }
+            "--threads" => {
+                threads = value
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --threads `{value}`: {e}")))?;
+                if threads == 0 {
+                    return Err(CliError("--threads must be at least 1".into()));
+                }
+            }
+            _ => out = Some(value.to_string()),
+        }
+    }
+    let report = zoo::run_tournament(Path::new(&zoo_dir), &config, threads)?;
+    println!(
+        "tournament: {} policies x {} families (seed {})",
+        report.policies.len(),
+        report.config.families.len(),
+        report.config.base_seed
+    );
+    println!(
+        "\n{:<44} {:>10} {:>10} {:>10}",
+        "cell", "score", "latency", "mean lvl"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:<44} {:>10.3} {:>10.1} {:>10.2}",
+            format!("{} @ {}", cell.policy, cell.family),
+            cell.score,
+            cell.aggregate.avg_latency,
+            cell.aggregate.mean_level
+        );
+    }
+    println!("\nbest policy per family:");
+    for best in &report.best_by_family {
+        println!("{:<36} {} ({:.3})", best.family, best.policy, best.score);
+    }
+    println!("\nmean score per policy (generalization):");
+    for mean in &report.mean_score_by_policy {
+        println!("{:<44} {:.3}", mean.policy, mean.mean_score);
+    }
+    if let Some(path) = out {
+        fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+        println!("\nwrote {path}");
     }
     Ok(())
 }
@@ -1775,21 +2083,54 @@ mod tests {
             },
         )
         .unwrap();
-        let saved = SavedPolicy {
-            dqn: policy.agent.config().clone(),
-            policy_json: policy.agent.policy_to_json().unwrap(),
-            encoder: policy.encoder,
-            action_space: policy.action_space,
-        };
-        fs::write(&path, serde_json::to_string(&saved).unwrap()).unwrap();
-        // Reload and rebuild the controller.
-        let loaded: SavedPolicy =
-            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
-        let mut agent = DqnAgent::new(loaded.dqn);
-        agent.policy_from_json(&loaded.policy_json).unwrap();
-        let mut controller = DrlController::new(agent, loaded.encoder, loaded.action_space);
+        let artifact = zoo::PolicyArtifact::from_dqn(
+            &policy,
+            NocEnvConfig::for_sim(SimConfig::default().with_size(4, 4).with_regions(2, 2), 0),
+            TrainConfig::default(),
+        )
+        .unwrap();
+        artifact.save(&path).unwrap();
+        // Reload through the single checked zoo path and rebuild the
+        // controller.
+        let loaded = zoo::PolicyArtifact::load(&path).unwrap();
+        let mut controller = loaded.controller().unwrap();
         let cfg = SimConfig::default().with_size(4, 4).with_regions(2, 2);
-        let run = run_controller(&cfg, &mut controller, 3, 100).unwrap();
+        let run = run_controller(&cfg, controller.as_mut(), 3, 100).unwrap();
         assert_eq!(run.epochs.len(), 3);
+    }
+
+    #[test]
+    fn train_args_parse_scenario_flags_and_legacy_positional() {
+        let opts = parse_train_args(&strings(&["out.json"])).unwrap();
+        assert_eq!(opts.episodes, 60);
+        assert_eq!(opts.max_steps, 40);
+        // Legacy positional episode count still works.
+        let opts = parse_train_args(&strings(&["out.json", "25"])).unwrap();
+        assert_eq!(opts.episodes, 25);
+        // Both forms at once conflict.
+        assert!(parse_train_args(&strings(&["out.json", "25", "--episodes", "30"])).is_err());
+        // Scenario flags flow through the run parser; --seed lands in the
+        // config (and thus drives training).
+        let opts = parse_train_args(&strings(&[
+            "out.json",
+            "--episodes",
+            "5",
+            "--max-steps",
+            "7",
+            "--size",
+            "4x4",
+            "--topology",
+            "torus",
+            "--seed",
+            "123",
+        ]))
+        .unwrap();
+        assert_eq!(opts.episodes, 5);
+        assert_eq!(opts.max_steps, 7);
+        assert_eq!(opts.run.config.width, 4);
+        assert_eq!(opts.run.config.kind, TopologyKind::Torus);
+        assert_eq!(opts.run.config.seed, 123);
+        assert!(parse_train_args(&strings(&["out.json", "--rate", "oops"])).is_err());
+        assert!(parse_train_args(&[]).is_err());
     }
 }

@@ -11,7 +11,9 @@
 //! noc-cli serve-ctl <cmd> [--addr A]    ping/stats/shutdown a running daemon
 //! noc-cli workload <parse|describe> <l> validate/describe a workload label
 //! noc-cli bench [flags]                 timed perf suite -> BENCH_<sha>.json
-//! noc-cli train <out.json> [episodes]   train a DQN policy and save it
+//! noc-cli train <out.json> [flags]      train a DQN policy on any scenario
+//! noc-cli train-grid <dir> [flags]      train a population into a zoo dir
+//! noc-cli tournament <dir> [flags]      score every zoo policy x family
 //! noc-cli evaluate <policy.json>        run a saved policy vs the baselines
 //! noc-cli replay <trace.csv> [period]   replay a packet trace (CSV)
 //! noc-cli default-config                print the default SimConfig as JSON
@@ -21,7 +23,8 @@
 
 use noc_cli::{
     cmd_bench, cmd_default_config, cmd_evaluate, cmd_replay, cmd_run, cmd_serve, cmd_serve_ctl,
-    cmd_simulate, cmd_submit, cmd_sweep, cmd_sweep_grid, cmd_train, cmd_workload, CliError,
+    cmd_simulate, cmd_submit, cmd_sweep, cmd_sweep_grid, cmd_tournament, cmd_train, cmd_train_grid,
+    cmd_workload, CliError,
 };
 use std::process::ExitCode;
 
@@ -41,13 +44,9 @@ fn main() -> ExitCode {
                 (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
             }
         }
-        Some("train") => match args.get(1) {
-            Some(out) => {
-                let episodes = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60usize);
-                cmd_train(out, episodes)
-            }
-            None => Err(CliError("train requires an output path".into())),
-        },
+        Some("train") => cmd_train(&args[1..]),
+        Some("train-grid") => cmd_train_grid(&args[1..]),
+        Some("tournament") => cmd_tournament(&args[1..]),
         Some("evaluate") => match args.get(1) {
             Some(path) => cmd_evaluate(path),
             None => Err(CliError("evaluate requires a policy path".into())),
@@ -74,7 +73,8 @@ fn main() -> ExitCode {
                  sweep-grid [flags] | serve [flags] | submit [flags] | \
                  serve-ctl <ping|stats|shutdown> [--addr A] | \
                  workload <parse|describe> <label> | bench [flags] | \
-                 train <out.json> [episodes] | evaluate <policy.json> | \
+                 train <out.json> [episodes] [flags] | train-grid <dir> [flags] | \
+                 tournament <dir> [flags] | evaluate <policy.json> | \
                  replay <trace.csv> [period] | default-config>\n\
                  run flags: --topology mesh|torus  --size 8x8  --routing xy  \
                  --pattern uniform  --rate 0.10  --workload 'ph[...]'  --arb perflit|perpacket  \
@@ -98,7 +98,15 @@ fn main() -> ExitCode {
                  len<flits>, lenU<min>-<max>, lenB<short>-<long>p<pct>\n\
                  bench flags: --quick  --repeats N  --out bench.json  \
                  --compare baseline.json  --against candidate.json  \
-                 --tolerance 0.30  --sha SHA"
+                 --tolerance 0.30  --sha SHA\n\
+                 train flags: --episodes N  --max-steps N  plus the run scenario flags \
+                 (--topology, --size, --pattern, --rate, --workload, --faults, --seed, ...)\n\
+                 train-grid flags: --variants default,small,wide,deep,nstep3,single  \
+                 --families mesh/uniform/r0.1,torus/ph[uniform:burst0.3x0.05]/f2  \
+                 --episodes N  --max-steps N  --epochs-per-episode N  --threads N  \
+                 plus run flags for the base fabric (--size, --seed, ...)\n\
+                 tournament flags: --families <as train-grid>  --epochs N  --threads N  \
+                 --out report.json  plus run flags for the base fabric"
             );
             return ExitCode::from(2);
         }

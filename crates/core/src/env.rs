@@ -62,6 +62,30 @@ impl Default for NocEnvConfig {
     }
 }
 
+impl NocEnvConfig {
+    /// The paper-style training environment for an arbitrary fabric: action
+    /// space and observation layout are derived from `sim` (per-region delta
+    /// actions over its region grid and VF table), with the standard traffic
+    /// menu and the default reward. This is the one construction every
+    /// training entry point (CLI `train`, bench policy cache, `train_grid`)
+    /// shares, so a policy trained anywhere deploys anywhere the fabric
+    /// shape matches.
+    pub fn for_sim(sim: SimConfig, seed: u64) -> Self {
+        NocEnvConfig {
+            action_space: ActionSpace::PerRegionDelta {
+                num_regions: sim.regions_x * sim.regions_y,
+                num_levels: sim.vf_table.num_levels(),
+            },
+            sim,
+            epoch_cycles: 500,
+            epochs_per_episode: 40,
+            reward: RewardConfig::default(),
+            traffic_menu: standard_traffic_menu(),
+            seed,
+        }
+    }
+}
+
 /// The traffic menu used by the paper-style training runs: three patterns ×
 /// three rates (Bernoulli), a bursty on/off workload, and one phase-changing
 /// workload with a bursty regime — so the policy sees workload shifts and

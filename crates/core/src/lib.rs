@@ -18,6 +18,9 @@
 //! * [`serve`] — sweep-as-a-service: a persistent TCP daemon with a
 //!   content-addressed result cache, single-flight deduplication, and
 //!   admission-controlled fair-share scheduling.
+//! * [`zoo`] — the policy zoo: one versioned artifact format for trained
+//!   policies (legacy shapes still load), population training over variant ×
+//!   scenario grids, and the tournament generalization matrix.
 //!
 //! ```no_run
 //! use noc_selfconf::{train_drl, NocEnvConfig};
@@ -46,6 +49,7 @@ pub mod serve;
 pub mod state;
 pub mod sweep;
 pub mod training;
+pub mod zoo;
 
 pub use action::ActionSpace;
 pub use controller::{
@@ -61,4 +65,8 @@ pub use sweep::{Scenario, ScenarioResult, SweepAggregate, SweepGrid, SweepReport
 pub use training::{
     aggregate_run, run_controller, train_drl, train_tabular, ControllerRun, RunAggregate,
     TrainedPolicy,
+};
+pub use zoo::{
+    dqn_config_hash, load_zoo, tabular_config_hash, tournament_matrix, train_grid, PolicyArtifact,
+    PolicyKind, ScenarioFamily, TournamentConfig, TournamentReport, ZooError, ZooGrid, ZooManifest,
 };

@@ -65,7 +65,7 @@ impl std::fmt::Display for CacheKey {
 
 /// 64-bit FNV-1a over `bytes`, seeded with `h` (two different seeds give
 /// the two independent halves of the 128-bit key).
-fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);

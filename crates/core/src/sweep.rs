@@ -230,7 +230,7 @@ pub struct SweepReport {
 
 /// SplitMix64 finalizer: decorrelates per-scenario seeds drawn from
 /// consecutive indices.
-fn mix_seed(base: u64, index: u64) -> u64 {
+pub(crate) fn mix_seed(base: u64, index: u64) -> u64 {
     let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -1,0 +1,1398 @@
+//! The policy zoo: one versioned on-disk format for trained policies, plus
+//! population training and the tournament generalization matrix.
+//!
+//! Before this module, the workspace persisted trained policies in three
+//! divergent ad-hoc JSON shapes (the CLI's `SavedPolicy`, the bench
+//! harness's `PolicyArtifact` and `TabularArtifact`), with the
+//! encoder/state-dim compatibility check implemented in only one of the
+//! three load paths. [`PolicyArtifact`] replaces all of them:
+//!
+//! * **Versioned**: a `schema_version` field gates evolution; the three
+//!   legacy shapes are still accepted by [`PolicyArtifact::parse`] and
+//!   migrated in memory (provenance unknown, hash empty).
+//! * **Self-describing**: the policy kind (DQN weights or tabular Q-table),
+//!   the [`StateEncoder`] and [`ActionSpace`] it was trained with, the full
+//!   training provenance ([`NocEnvConfig`], [`TrainConfig`], seed, learning
+//!   curve), and a content hash of the configuration that produced it
+//!   (git-sha-agnostic, same double-FNV idiom as the serve result cache).
+//! * **Checked on every load**: [`PolicyArtifact::load`] validates the
+//!   policy dimensions against the stored encoder/action space and returns
+//!   a structured [`ZooError`] instead of letting a controller constructor
+//!   panic downstream.
+//!
+//! On top of the unified artifact, [`train_grid`] fans a population of DQN
+//! variants × scenario families over the workspace worker pool with
+//! SplitMix64 per-member seeds — artifacts are byte-identical across thread
+//! counts and reruns, the same contract the sweep engine honors — and
+//! [`tournament_matrix`] scores every zoo policy against every scenario
+//! family into one deterministic [`TournamentReport`]: the generalization
+//! matrix the paper never measured.
+
+use crate::action::ActionSpace;
+use crate::controller::{Controller, DrlController, TabularController};
+use crate::env::{NocEnv, NocEnvConfig};
+use crate::par::parallel_map;
+use crate::reward::RewardConfig;
+use crate::serve::cache::fnv1a64;
+use crate::state::StateEncoder;
+use crate::sweep::mix_seed;
+use crate::training::{run_controller, train_drl, RunAggregate, TrainedPolicy};
+use noc_sim::{FaultPlan, SimConfig, SimError, TopologyKind, TrafficPattern, WorkloadSpec};
+use rl::{DqnAgent, DqnConfig, EpisodeStats, TabularConfig, TabularQ, TrainConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Version of the artifact, manifest, and tournament-report schemas.
+pub const ZOO_SCHEMA_VERSION: u32 = 1;
+
+/// Result alias for zoo operations.
+pub type ZooResult<T> = Result<T, ZooError>;
+
+/// Structured errors of the zoo layer.
+#[derive(Debug)]
+pub enum ZooError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error.
+        message: String,
+    },
+    /// JSON did not match any supported artifact shape, or a spec string
+    /// was malformed.
+    Parse {
+        /// What was being parsed.
+        context: String,
+        /// Why it failed.
+        message: String,
+    },
+    /// The artifact carries a schema version this build does not support.
+    SchemaVersion {
+        /// The version found in the artifact.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The policy's dimensions do not match its encoder/action space (or
+    /// the fabric it is being deployed against).
+    Incompatible {
+        /// The policy's name (or `"artifact"` when unnamed).
+        policy: String,
+        /// The mismatched dimension.
+        field: &'static str,
+        /// The value the deployment target expects.
+        expected: usize,
+        /// The value the policy carries.
+        found: usize,
+    },
+    /// The artifact holds a different policy kind than the caller asked for.
+    WrongKind {
+        /// The kind the caller needs.
+        expected: &'static str,
+        /// The kind the artifact holds.
+        found: &'static str,
+    },
+    /// Training or evaluation failed inside the simulator.
+    Sim(SimError),
+}
+
+impl fmt::Display for ZooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZooError::Io { path, message } => write!(f, "zoo io error at `{path}`: {message}"),
+            ZooError::Parse { context, message } => write!(f, "cannot parse {context}: {message}"),
+            ZooError::SchemaVersion { found, supported } => write!(
+                f,
+                "unsupported policy artifact schema version {found} (this build supports \
+                 {supported})"
+            ),
+            ZooError::Incompatible {
+                policy,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "policy `{policy}` is incompatible: {field} is {found} but the target expects \
+                 {expected}; retrain with `noc-cli train` (or `train-grid`) against the current \
+                 fabric"
+            ),
+            ZooError::WrongKind { expected, found } => {
+                write!(f, "artifact holds a {found} policy, expected {expected}")
+            }
+            ZooError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZooError {}
+
+impl From<SimError> for ZooError {
+    fn from(e: SimError) -> Self {
+        ZooError::Sim(e)
+    }
+}
+
+/// The serialized policy itself: what kind of function approximator the
+/// artifact holds, and its weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// A trained DQN: hyper-parameters plus the serialized online network.
+    Dqn {
+        /// The DQN configuration the agent was built with.
+        dqn: DqnConfig,
+        /// The serialized online network (JSON, [`DqnAgent::policy_to_json`]).
+        policy_json: String,
+    },
+    /// A trained tabular Q-learning baseline (table included; entries are
+    /// serialized in sorted key order, so the artifact is deterministic).
+    Tabular {
+        /// The trained agent.
+        agent: TabularQ,
+    },
+}
+
+/// Where a policy came from: the exact configuration that trained it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainProvenance {
+    /// The training environment.
+    pub env: NocEnvConfig,
+    /// The training budget and exploration schedule.
+    pub train: TrainConfig,
+    /// The master seed of the run.
+    pub seed: u64,
+}
+
+/// One trained policy, in the single versioned on-disk format every
+/// train/evaluate/bench path shares.
+///
+/// Legacy artifacts (the pre-zoo `SavedPolicy` / bench `PolicyArtifact` /
+/// bench `TabularArtifact` JSON shapes) still load through
+/// [`PolicyArtifact::parse`]; they migrate with `provenance: None` and an
+/// empty `config_hash`, which any config-hash-keyed cache treats as a miss.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyArtifact {
+    /// Schema version ([`ZOO_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The policy itself.
+    pub kind: PolicyKind,
+    /// The state encoder used in training (reuse it at deployment).
+    pub encoder: StateEncoder,
+    /// The action space used in training.
+    pub action_space: ActionSpace,
+    /// Training provenance; `None` for artifacts migrated from legacy
+    /// shapes, which recorded none.
+    #[serde(default)]
+    pub provenance: Option<TrainProvenance>,
+    /// Per-episode learning curve.
+    #[serde(default)]
+    pub curve: Vec<EpisodeStats>,
+    /// Content hash of the configuration that trained this policy
+    /// ([`dqn_config_hash`] / [`tabular_config_hash`]); empty for migrated
+    /// legacy artifacts.
+    #[serde(default)]
+    pub config_hash: String,
+}
+
+/// The pre-zoo DQN artifact shape: covers both the CLI's `SavedPolicy`
+/// (no curve) and the bench harness's `PolicyArtifact` (with curve).
+#[derive(Deserialize)]
+struct LegacyDqn {
+    dqn: DqnConfig,
+    policy_json: String,
+    encoder: StateEncoder,
+    action_space: ActionSpace,
+    #[serde(default)]
+    curve: Vec<EpisodeStats>,
+}
+
+/// The pre-zoo bench `TabularArtifact` shape.
+#[derive(Deserialize)]
+struct LegacyTabular {
+    agent: TabularQ,
+    encoder: StateEncoder,
+    action_space: ActionSpace,
+    #[serde(default)]
+    curve: Vec<EpisodeStats>,
+}
+
+fn hash_hex(text: &str) -> String {
+    let bytes = text.as_bytes();
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(bytes, 0xCBF2_9CE4_8422_2325),
+        fnv1a64(bytes, 0x6C62_272E_07BB_0142)
+    )
+}
+
+fn config_hash_over(
+    kind: &str,
+    env: &NocEnvConfig,
+    policy_cfg_json: &str,
+    train: &TrainConfig,
+) -> String {
+    let env_json = serde_json::to_string(env).expect("env config serializes");
+    let train_json = serde_json::to_string(train).expect("train config serializes");
+    hash_hex(&format!(
+        "zoo-v{ZOO_SCHEMA_VERSION}\nkind={kind}\n{env_json}\n{policy_cfg_json}\n{train_json}"
+    ))
+}
+
+/// Content hash of a DQN training configuration: environment, DQN
+/// hyper-parameters, and training budget, under the zoo schema version.
+///
+/// `state_dim`/`num_actions` are normalized out of the DQN config before
+/// hashing — they are derived from the environment (which is hashed), so the
+/// hash of a config written *before* training equals the hash stored in the
+/// artifact *after* [`train_drl`] overwrote the dimensions.
+pub fn dqn_config_hash(env: &NocEnvConfig, dqn: &DqnConfig, train: &TrainConfig) -> String {
+    let mut d = dqn.clone();
+    d.state_dim = 0;
+    d.num_actions = 0;
+    let dqn_json = serde_json::to_string(&d).expect("dqn config serializes");
+    config_hash_over("dqn", env, &dqn_json, train)
+}
+
+/// Content hash of a tabular training configuration (see
+/// [`dqn_config_hash`] for the dimension normalization).
+pub fn tabular_config_hash(env: &NocEnvConfig, tab: &TabularConfig, train: &TrainConfig) -> String {
+    let mut t = tab.clone();
+    t.state_dim = 0;
+    t.num_actions = 0;
+    let tab_json = serde_json::to_string(&t).expect("tabular config serializes");
+    config_hash_over("tabular", env, &tab_json, train)
+}
+
+impl PolicyArtifact {
+    /// Capture a freshly trained DQN policy with full provenance.
+    ///
+    /// # Errors
+    /// Returns [`ZooError::Parse`] if the network weights fail to serialize.
+    pub fn from_dqn(
+        policy: &TrainedPolicy,
+        env: NocEnvConfig,
+        train: TrainConfig,
+    ) -> ZooResult<Self> {
+        let policy_json = policy.agent.policy_to_json().map_err(|e| ZooError::Parse {
+            context: "DQN weights".into(),
+            message: e.to_string(),
+        })?;
+        let dqn = policy.agent.config().clone();
+        let config_hash = dqn_config_hash(&env, &dqn, &train);
+        let seed = train.seed;
+        Ok(PolicyArtifact {
+            schema_version: ZOO_SCHEMA_VERSION,
+            kind: PolicyKind::Dqn { dqn, policy_json },
+            encoder: policy.encoder.clone(),
+            action_space: policy.action_space.clone(),
+            provenance: Some(TrainProvenance { env, train, seed }),
+            curve: policy.curve.clone(),
+            config_hash,
+        })
+    }
+
+    /// Capture a freshly trained tabular policy with full provenance.
+    pub fn from_tabular(
+        agent: TabularQ,
+        curve: Vec<EpisodeStats>,
+        encoder: StateEncoder,
+        action_space: ActionSpace,
+        env: NocEnvConfig,
+        train: TrainConfig,
+    ) -> Self {
+        let config_hash = tabular_config_hash(&env, agent.config(), &train);
+        let seed = train.seed;
+        PolicyArtifact {
+            schema_version: ZOO_SCHEMA_VERSION,
+            kind: PolicyKind::Tabular { agent },
+            encoder,
+            action_space,
+            provenance: Some(TrainProvenance { env, train, seed }),
+            curve,
+            config_hash,
+        }
+    }
+
+    /// Short name of the policy kind: `"dqn"` or `"tabular"`.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            PolicyKind::Dqn { .. } => "dqn",
+            PolicyKind::Tabular { .. } => "tabular",
+        }
+    }
+
+    /// Parse an artifact from JSON, accepting the versioned shape and all
+    /// three legacy shapes (CLI `SavedPolicy`, bench `PolicyArtifact`,
+    /// bench `TabularArtifact`). Legacy artifacts migrate with
+    /// `provenance: None` and an empty `config_hash`.
+    ///
+    /// This only parses; call [`PolicyArtifact::validate`] (or use
+    /// [`PolicyArtifact::load`], which does both) before deploying.
+    ///
+    /// # Errors
+    /// Returns [`ZooError::Parse`] if the JSON matches none of the shapes.
+    pub fn parse(json: &str) -> ZooResult<Self> {
+        // The versioned shape is the only one with a `schema_version` key;
+        // probing for it first keeps error messages for malformed *new*
+        // artifacts precise instead of reporting three failed fallbacks.
+        if json.contains("\"schema_version\"") {
+            return serde_json::from_str::<PolicyArtifact>(json).map_err(|e| ZooError::Parse {
+                context: "versioned policy artifact".into(),
+                message: e.to_string(),
+            });
+        }
+        if let Ok(legacy) = serde_json::from_str::<LegacyTabular>(json) {
+            return Ok(PolicyArtifact {
+                schema_version: ZOO_SCHEMA_VERSION,
+                kind: PolicyKind::Tabular {
+                    agent: legacy.agent,
+                },
+                encoder: legacy.encoder,
+                action_space: legacy.action_space,
+                provenance: None,
+                curve: legacy.curve,
+                config_hash: String::new(),
+            });
+        }
+        if let Ok(legacy) = serde_json::from_str::<LegacyDqn>(json) {
+            return Ok(PolicyArtifact {
+                schema_version: ZOO_SCHEMA_VERSION,
+                kind: PolicyKind::Dqn {
+                    dqn: legacy.dqn,
+                    policy_json: legacy.policy_json,
+                },
+                encoder: legacy.encoder,
+                action_space: legacy.action_space,
+                provenance: None,
+                curve: legacy.curve,
+                config_hash: String::new(),
+            });
+        }
+        Err(ZooError::Parse {
+            context: "policy artifact".into(),
+            message: "JSON matches neither the versioned zoo shape nor any legacy shape \
+                      (SavedPolicy / PolicyArtifact / TabularArtifact)"
+                .into(),
+        })
+    }
+
+    /// Check the artifact is deployable: supported schema version, and the
+    /// policy's dimensions match the stored encoder and action space. Every
+    /// load path runs this — it is *the* compatibility check the legacy
+    /// formats implemented zero or one times.
+    ///
+    /// # Errors
+    /// [`ZooError::SchemaVersion`] or [`ZooError::Incompatible`].
+    pub fn validate(&self) -> ZooResult<()> {
+        if self.schema_version != ZOO_SCHEMA_VERSION {
+            return Err(ZooError::SchemaVersion {
+                found: self.schema_version,
+                supported: ZOO_SCHEMA_VERSION,
+            });
+        }
+        let (state_dim, num_actions) = match &self.kind {
+            PolicyKind::Dqn { dqn, .. } => (dqn.state_dim, dqn.num_actions),
+            PolicyKind::Tabular { agent } => (agent.config().state_dim, agent.config().num_actions),
+        };
+        if state_dim != self.encoder.state_dim() {
+            return Err(ZooError::Incompatible {
+                policy: "artifact".into(),
+                field: "state_dim",
+                expected: self.encoder.state_dim(),
+                found: state_dim,
+            });
+        }
+        if num_actions != self.action_space.num_actions() {
+            return Err(ZooError::Incompatible {
+                policy: "artifact".into(),
+                field: "num_actions",
+                expected: self.action_space.num_actions(),
+                found: num_actions,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serialize to the canonical (pretty, field-ordered) JSON form. The
+    /// output is a pure function of the artifact's contents — the byte-level
+    /// determinism `train_grid` promises rests on this.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serializes")
+    }
+
+    /// Write the artifact to `path` (creating parent directories).
+    ///
+    /// # Errors
+    /// Returns [`ZooError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> ZooResult<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(|e| ZooError::Io {
+                    path: parent.display().to_string(),
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        fs::write(path, self.to_json()).map_err(|e| ZooError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Load an artifact from `path`: read, parse (versioned or legacy), and
+    /// validate. This is the single entry point every consumer (CLI
+    /// evaluate, bench policy cache, tournament) goes through.
+    ///
+    /// # Errors
+    /// [`ZooError::Io`], [`ZooError::Parse`], [`ZooError::SchemaVersion`],
+    /// or [`ZooError::Incompatible`].
+    pub fn load(path: &Path) -> ZooResult<Self> {
+        let text = fs::read_to_string(path).map_err(|e| ZooError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let artifact = Self::parse(&text).map_err(|e| match e {
+            ZooError::Parse { context, message } => ZooError::Parse {
+                context: format!("{context} at `{}`", path.display()),
+                message,
+            },
+            other => other,
+        })?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Rebuild a deployable controller of whatever kind the artifact holds.
+    ///
+    /// # Errors
+    /// Validation errors (see [`PolicyArtifact::validate`]), or
+    /// [`ZooError::Parse`] if stored DQN weights fail to deserialize.
+    pub fn controller(&self) -> ZooResult<Box<dyn Controller>> {
+        self.validate()?;
+        match &self.kind {
+            PolicyKind::Dqn { .. } => Ok(Box::new(self.build_drl()?)),
+            PolicyKind::Tabular { agent } => Ok(Box::new(TabularController::new(
+                agent.clone(),
+                self.encoder.clone(),
+                self.action_space.clone(),
+            ))),
+        }
+    }
+
+    /// Rebuild the DQN controller (typed).
+    ///
+    /// # Errors
+    /// [`ZooError::WrongKind`] for tabular artifacts, else as
+    /// [`PolicyArtifact::controller`].
+    pub fn drl_controller(&self) -> ZooResult<DrlController> {
+        self.validate()?;
+        match &self.kind {
+            PolicyKind::Dqn { .. } => self.build_drl(),
+            PolicyKind::Tabular { .. } => Err(ZooError::WrongKind {
+                expected: "dqn",
+                found: "tabular",
+            }),
+        }
+    }
+
+    /// Rebuild the tabular controller (typed).
+    ///
+    /// # Errors
+    /// [`ZooError::WrongKind`] for DQN artifacts, else as
+    /// [`PolicyArtifact::controller`].
+    pub fn tabular_controller(&self) -> ZooResult<TabularController> {
+        self.validate()?;
+        match &self.kind {
+            PolicyKind::Tabular { agent } => Ok(TabularController::new(
+                agent.clone(),
+                self.encoder.clone(),
+                self.action_space.clone(),
+            )),
+            PolicyKind::Dqn { .. } => Err(ZooError::WrongKind {
+                expected: "tabular",
+                found: "dqn",
+            }),
+        }
+    }
+
+    fn build_drl(&self) -> ZooResult<DrlController> {
+        let PolicyKind::Dqn { dqn, policy_json } = &self.kind else {
+            unreachable!("checked by callers");
+        };
+        let mut agent = DqnAgent::new(dqn.clone());
+        agent
+            .policy_from_json(policy_json)
+            .map_err(|e| ZooError::Parse {
+                context: "stored DQN weights".into(),
+                message: e.to_string(),
+            })?;
+        Ok(DrlController::new(
+            agent,
+            self.encoder.clone(),
+            self.action_space.clone(),
+        ))
+    }
+}
+
+/// A scenario family: one (topology, workload, fault level) cell of the
+/// training/evaluation axes. Parsed from the spec grammar
+/// `<topology>/<pattern>/r<rate>[/f<n>]` or `<topology>/ph[…][/f<n>]`
+/// (the same pattern/workload vocabulary as `sweep-grid`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioFamily {
+    /// Canonical name: `<topology>/<workload label>/f<n>`.
+    pub name: String,
+    /// Fabric topology.
+    pub topology: TopologyKind,
+    /// Traffic workload (canonical workload grammar).
+    pub workload: WorkloadSpec,
+    /// Number of random link faults (0 = healthy fabric).
+    pub faults: usize,
+}
+
+impl ScenarioFamily {
+    /// Parse a family spec (see the type docs for the grammar).
+    ///
+    /// # Errors
+    /// Returns [`ZooError::Parse`] describing the malformed segment.
+    pub fn parse(spec: &str) -> ZooResult<Self> {
+        let err = |message: String| ZooError::Parse {
+            context: format!("scenario family `{spec}`"),
+            message,
+        };
+        let tokens: Vec<&str> = spec.split('/').collect();
+        if tokens.len() < 2 {
+            return Err(err(
+                "expected <topology>/<pattern>/r<rate>[/fN] or <topology>/ph[...][/fN]".into(),
+            ));
+        }
+        let topology = TopologyKind::from_name(tokens[0]).ok_or_else(|| {
+            err(format!(
+                "unknown topology `{}` (expected one of: {})",
+                tokens[0],
+                TopologyKind::NAMED
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let mut rest = &tokens[1..];
+        let mut faults = 0usize;
+        if rest.len() > 1 {
+            if let Some(n) = rest
+                .last()
+                .and_then(|t| t.strip_prefix('f'))
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                faults = n;
+                rest = &rest[..rest.len() - 1];
+            }
+        }
+        let workload = match rest {
+            [label] if label.starts_with("ph[") => {
+                WorkloadSpec::parse(label).map_err(|e| err(e.to_string()))?
+            }
+            [pattern, rate] if rate.starts_with('r') => {
+                let pattern = TrafficPattern::parse(pattern).map_err(|e| err(e.to_string()))?;
+                let rate: f64 = rate[1..]
+                    .parse()
+                    .map_err(|e| err(format!("bad rate `{}`: {e}", &rate[1..])))?;
+                WorkloadSpec::bernoulli(pattern, rate)
+            }
+            _ => {
+                return Err(err(
+                    "expected <pattern>/r<rate> or a ph[...] workload label after the topology"
+                        .into(),
+                ))
+            }
+        };
+        Ok(ScenarioFamily {
+            name: format!("{}/{}/f{}", topology.name(), workload.label(), faults),
+            topology,
+            workload,
+            faults,
+        })
+    }
+
+    /// Instantiate the family on a base simulator configuration: topology,
+    /// workload, and seed applied; routing coerced to a topology-legal
+    /// algorithm; faults drawn off the scenario seed with the same salt the
+    /// sweep engine uses, so the draw is decorrelated from traffic yet
+    /// fully reproducible.
+    pub fn apply(&self, base: &SimConfig, seed: u64) -> SimConfig {
+        let mut config = base
+            .clone()
+            .with_topology(self.topology)
+            .with_workload(self.workload.clone())
+            .with_seed(seed);
+        config.routing = config.routing.for_topology(self.topology);
+        if self.faults > 0 {
+            let plan = FaultPlan::random_links(
+                &config.topology(),
+                self.faults,
+                mix_seed(seed, 0xFA),
+                0,
+                None,
+            );
+            config = config.with_faults(plan);
+        } else {
+            config = config.with_faults(FaultPlan::empty());
+        }
+        config
+    }
+}
+
+/// A named DQN hyper-parameter variant of the population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DqnVariant {
+    /// Catalog name.
+    pub name: String,
+    /// The hyper-parameters (dimensions are overwritten per environment).
+    pub dqn: DqnConfig,
+}
+
+/// Names of the built-in DQN variants [`dqn_variant`] resolves.
+pub const DQN_VARIANT_NAMES: [&str; 6] = ["default", "small", "wide", "deep", "nstep3", "single"];
+
+/// Look up a built-in DQN variant by name ([`DQN_VARIANT_NAMES`]).
+pub fn dqn_variant(name: &str) -> Option<DqnVariant> {
+    let dqn = match name {
+        "default" => DqnConfig::default(),
+        "small" => DqnConfig {
+            hidden: vec![32],
+            ..DqnConfig::default()
+        },
+        "wide" => DqnConfig {
+            hidden: vec![128, 64],
+            ..DqnConfig::default()
+        },
+        "deep" => DqnConfig {
+            hidden: vec![64, 64, 64],
+            ..DqnConfig::default()
+        },
+        "nstep3" => DqnConfig {
+            n_step: 3,
+            ..DqnConfig::default()
+        },
+        "single" => DqnConfig {
+            double: false,
+            ..DqnConfig::default()
+        },
+        _ => return None,
+    };
+    Some(DqnVariant {
+        name: name.to_string(),
+        dqn,
+    })
+}
+
+/// A population-training grid: DQN variants × scenario families, trained
+/// member-by-member with SplitMix64 per-member seeds off `base_seed` —
+/// byte-identical artifacts at every thread count, same contract as the
+/// sweep engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooGrid {
+    /// Base simulator configuration every family starts from.
+    pub base: SimConfig,
+    /// The population's DQN hyper-parameter variants.
+    pub variants: Vec<DqnVariant>,
+    /// The training scenario families.
+    pub families: Vec<ScenarioFamily>,
+    /// Training budget (its `seed` is overwritten per member).
+    pub train: TrainConfig,
+    /// Cycles per control epoch of the training environment.
+    pub epoch_cycles: u64,
+    /// Control epochs per training episode.
+    pub epochs_per_episode: usize,
+    /// Master seed; member seeds are `mix_seed(base_seed, index)`.
+    pub base_seed: u64,
+}
+
+/// One member of a [`ZooGrid`] population (variant-major order).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooMember {
+    /// Grid index (variant-major, family-fastest).
+    pub index: usize,
+    /// Unique member name: `<variant>__<sanitized family>`.
+    pub name: String,
+    /// Variant name.
+    pub variant: String,
+    /// Canonical family name.
+    pub family: String,
+    /// The member's SplitMix64 seed.
+    pub seed: u64,
+}
+
+/// Make a member/family name safe for a filename (slashes, brackets, and
+/// other separators become `-`; the result is deterministic).
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+impl ZooGrid {
+    /// Number of members (variants × families).
+    pub fn len(&self) -> usize {
+        self.variants.len() * self.families.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the population in deterministic variant-major order, with
+    /// each member's seed fixed by its index.
+    pub fn members(&self) -> Vec<ZooMember> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut index = 0usize;
+        for variant in &self.variants {
+            for family in &self.families {
+                out.push(ZooMember {
+                    index,
+                    name: format!("{}__{}", variant.name, sanitize_name(&family.name)),
+                    variant: variant.name.clone(),
+                    family: family.name.clone(),
+                    seed: mix_seed(self.base_seed, index as u64),
+                });
+                index += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Train one member of the population. The member's seed drives the
+/// environment, the agent initialization, and the exploration schedule, so
+/// the resulting artifact is a pure function of (grid, index).
+///
+/// # Errors
+/// Returns [`ZooError::Parse`] for an out-of-range index, or training
+/// errors.
+pub fn train_member(grid: &ZooGrid, index: usize) -> ZooResult<PolicyArtifact> {
+    if index >= grid.len() {
+        return Err(ZooError::Parse {
+            context: "zoo grid member".into(),
+            message: format!(
+                "index {index} out of range (grid has {} members)",
+                grid.len()
+            ),
+        });
+    }
+    let nf = grid.families.len();
+    let variant = &grid.variants[index / nf];
+    let family = &grid.families[index % nf];
+    let seed = mix_seed(grid.base_seed, index as u64);
+    let sim = family.apply(&grid.base, seed);
+    let mut env = NocEnvConfig::for_sim(sim, seed);
+    env.epoch_cycles = grid.epoch_cycles;
+    env.epochs_per_episode = grid.epochs_per_episode;
+    let mut dqn = variant.dqn.clone();
+    dqn.seed = seed;
+    let mut train = grid.train.clone();
+    train.seed = seed;
+    let policy = train_drl(env.clone(), dqn, train.clone())?;
+    PolicyArtifact::from_dqn(&policy, env, train)
+}
+
+/// The zoo directory's index: every member, its file, and its config hash,
+/// in grid order. Written as `manifest.json` next to the artifacts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooManifest {
+    /// Schema version ([`ZOO_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The grid's master seed.
+    pub base_seed: u64,
+    /// Members in grid order.
+    pub members: Vec<ZooManifestEntry>,
+}
+
+/// One [`ZooManifest`] row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooManifestEntry {
+    /// Member name.
+    pub name: String,
+    /// Artifact filename (relative to the zoo directory).
+    pub file: String,
+    /// Variant name.
+    pub variant: String,
+    /// Canonical family name.
+    pub family: String,
+    /// The member's seed.
+    pub seed: u64,
+    /// The artifact's config hash.
+    pub config_hash: String,
+}
+
+/// Train the whole population on `threads` OS threads and write one
+/// artifact per member (plus `manifest.json`) into `out_dir`.
+///
+/// Artifacts and manifest are byte-identical for every `threads` value and
+/// across reruns: members are trained into index slots via the shared
+/// worker pool and written in grid order.
+///
+/// # Errors
+/// Returns the first (in grid order) member's training error, or an
+/// [`ZooError::Io`] on filesystem failure.
+pub fn train_grid(grid: &ZooGrid, out_dir: &Path, threads: usize) -> ZooResult<ZooManifest> {
+    let members = grid.members();
+    if members.is_empty() {
+        return Err(ZooError::Parse {
+            context: "zoo grid".into(),
+            message: "empty population: need at least one variant and one family".into(),
+        });
+    }
+    let mut names: Vec<&str> = members.iter().map(|m| m.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != members.len() {
+        return Err(ZooError::Parse {
+            context: "zoo grid".into(),
+            message: "duplicate member names (repeated variant or family)".into(),
+        });
+    }
+    let trained = parallel_map(members.len(), threads, |i| {
+        train_member(grid, i).map(|a| (a.to_json(), a.config_hash.clone()))
+    });
+    fs::create_dir_all(out_dir).map_err(|e| ZooError::Io {
+        path: out_dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut entries = Vec::with_capacity(members.len());
+    for (member, result) in members.into_iter().zip(trained) {
+        let (json, config_hash) = result?;
+        let file = format!("{}.json", member.name);
+        let path = out_dir.join(&file);
+        fs::write(&path, json).map_err(|e| ZooError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        entries.push(ZooManifestEntry {
+            name: member.name,
+            file,
+            variant: member.variant,
+            family: member.family,
+            seed: member.seed,
+            config_hash,
+        });
+    }
+    let manifest = ZooManifest {
+        schema_version: ZOO_SCHEMA_VERSION,
+        base_seed: grid.base_seed,
+        members: entries,
+    };
+    let manifest_path = out_dir.join("manifest.json");
+    fs::write(
+        &manifest_path,
+        serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
+    )
+    .map_err(|e| ZooError::Io {
+        path: manifest_path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(manifest)
+}
+
+/// Load every policy in a zoo directory, in deterministic order: manifest
+/// order when `manifest.json` exists (a `train_grid` output), else sorted
+/// filename order over `*.json`. Every artifact is validated on load.
+///
+/// # Errors
+/// I/O, parse, or validation errors; an empty directory is an error.
+pub fn load_zoo(dir: &Path) -> ZooResult<Vec<(String, PolicyArtifact)>> {
+    let manifest_path = dir.join("manifest.json");
+    let mut out = Vec::new();
+    if manifest_path.exists() {
+        let text = fs::read_to_string(&manifest_path).map_err(|e| ZooError::Io {
+            path: manifest_path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let manifest: ZooManifest = serde_json::from_str(&text).map_err(|e| ZooError::Parse {
+            context: format!("zoo manifest at `{}`", manifest_path.display()),
+            message: e.to_string(),
+        })?;
+        if manifest.schema_version != ZOO_SCHEMA_VERSION {
+            return Err(ZooError::SchemaVersion {
+                found: manifest.schema_version,
+                supported: ZOO_SCHEMA_VERSION,
+            });
+        }
+        for entry in &manifest.members {
+            out.push((
+                entry.name.clone(),
+                PolicyArtifact::load(&dir.join(&entry.file))?,
+            ));
+        }
+    } else {
+        let read = fs::read_dir(dir).map_err(|e| ZooError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut files: Vec<String> = Vec::new();
+        for dirent in read {
+            let dirent = dirent.map_err(|e| ZooError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".json") && name != "manifest.json" {
+                files.push(name);
+            }
+        }
+        files.sort_unstable();
+        for file in files {
+            let name = file.trim_end_matches(".json").to_string();
+            out.push((name, PolicyArtifact::load(&dir.join(&file))?));
+        }
+    }
+    if out.is_empty() {
+        return Err(ZooError::Parse {
+            context: format!("zoo directory `{}`", dir.display()),
+            message: "no policy artifacts found".into(),
+        });
+    }
+    Ok(out)
+}
+
+/// The default tournament axes: mesh/torus × Bernoulli-uniform/bursty ×
+/// healthy/2-fault — 2 topologies × 2 workloads × 2 fault levels.
+pub fn default_tournament_families() -> Vec<ScenarioFamily> {
+    let mut out = Vec::new();
+    for topology in ["mesh", "torus"] {
+        for traffic in ["uniform/r0.1", "ph[uniform:burst0.3x0.05]"] {
+            for faults in [0usize, 2] {
+                out.push(
+                    ScenarioFamily::parse(&format!("{topology}/{traffic}/f{faults}"))
+                        .expect("built-in family specs parse"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Configuration of a tournament: which scenario families every policy is
+/// scored against, and the shared evaluation budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TournamentConfig {
+    /// Base simulator configuration (fabric size, regions, VF table).
+    pub base: SimConfig,
+    /// The evaluation axes.
+    pub families: Vec<ScenarioFamily>,
+    /// Control epochs per cell.
+    pub epochs: usize,
+    /// Cycles per control epoch.
+    pub epoch_cycles: u64,
+    /// Reward used for scoring (shared across policies, so scores are
+    /// comparable even when policies trained under different rewards).
+    pub reward: RewardConfig,
+    /// Master seed; cell seeds are `mix_seed(base_seed, cell index)`.
+    pub base_seed: u64,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            base: SimConfig::default(),
+            families: default_tournament_families(),
+            epochs: 12,
+            epoch_cycles: 500,
+            reward: RewardConfig::default(),
+            base_seed: 0x70A2,
+        }
+    }
+}
+
+/// One cell of the generalization matrix: one policy on one family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TournamentCell {
+    /// Policy name.
+    pub policy: String,
+    /// Canonical family name.
+    pub family: String,
+    /// The cell's simulation seed.
+    pub seed: u64,
+    /// Mean per-epoch reward under the tournament's reward config.
+    pub score: f64,
+    /// Aggregate run metrics (latency, energy, throughput, mean level).
+    pub aggregate: RunAggregate,
+}
+
+/// The best policy of one family column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyBest {
+    /// Canonical family name.
+    pub family: String,
+    /// The winning policy.
+    pub policy: String,
+    /// Its score on this family.
+    pub score: f64,
+}
+
+/// One policy's mean score across every family (the generalization
+/// summary).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyMeanScore {
+    /// Policy name.
+    pub policy: String,
+    /// Mean score over all families.
+    pub mean_score: f64,
+}
+
+/// The tournament generalization matrix: every policy × every family, with
+/// per-family winners and per-policy means. Deterministic: cell seeds are
+/// fixed by cell index, cells are computed into index slots, and nothing in
+/// the report depends on the thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TournamentReport {
+    /// Schema version ([`ZOO_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The tournament configuration (axes, budget, seed).
+    pub config: TournamentConfig,
+    /// Policy names, row order.
+    pub policies: Vec<String>,
+    /// Cells in row-major (policy-major, family-fastest) order.
+    pub cells: Vec<TournamentCell>,
+    /// Per-family winners.
+    pub best_by_family: Vec<FamilyBest>,
+    /// Per-policy mean scores.
+    pub mean_score_by_policy: Vec<PolicyMeanScore>,
+}
+
+/// Score every policy against every scenario family on `threads` OS
+/// threads. The report is byte-identical for every `threads` value.
+///
+/// Every policy is validated, and its observation dimension checked against
+/// the tournament fabric, before any cell runs — a policy trained on a
+/// different region grid fails fast with a structured error naming it.
+///
+/// # Errors
+/// Validation/compatibility errors, or the first (in cell order)
+/// simulation error.
+pub fn tournament_matrix(
+    policies: &[(String, PolicyArtifact)],
+    config: &TournamentConfig,
+    threads: usize,
+) -> ZooResult<TournamentReport> {
+    if policies.is_empty() {
+        return Err(ZooError::Parse {
+            context: "tournament".into(),
+            message: "no policies to score".into(),
+        });
+    }
+    if config.families.is_empty() {
+        return Err(ZooError::Parse {
+            context: "tournament".into(),
+            message: "no scenario families to score against".into(),
+        });
+    }
+    // The observation layout depends only on the base fabric's region grid
+    // (families vary topology/workload/faults, never regions), so one probe
+    // environment yields the expected dimensions for every cell.
+    let probe = NocEnv::new(NocEnvConfig::for_sim(config.base.clone(), 0))?;
+    let expected_dim = probe.encoder().state_dim();
+    for (name, artifact) in policies {
+        artifact.validate().map_err(|e| match e {
+            ZooError::Incompatible {
+                field,
+                expected,
+                found,
+                ..
+            } => ZooError::Incompatible {
+                policy: name.clone(),
+                field,
+                expected,
+                found,
+            },
+            other => other,
+        })?;
+        if artifact.encoder.state_dim() != expected_dim {
+            return Err(ZooError::Incompatible {
+                policy: name.clone(),
+                field: "state_dim",
+                expected: expected_dim,
+                found: artifact.encoder.state_dim(),
+            });
+        }
+    }
+    let nf = config.families.len();
+    let n = policies.len() * nf;
+    let cells: ZooResult<Vec<TournamentCell>> = parallel_map(n, threads, |index| {
+        let (p, f) = (index / nf, index % nf);
+        let family = &config.families[f];
+        let seed = mix_seed(config.base_seed, index as u64);
+        let sim = family.apply(&config.base, seed);
+        let mut controller = policies[p].1.controller()?;
+        let run = run_controller(
+            &sim,
+            controller.as_mut(),
+            config.epochs,
+            config.epoch_cycles,
+        )?;
+        let nodes = sim.width * sim.height;
+        let score = if run.epochs.is_empty() {
+            0.0
+        } else {
+            run.epochs
+                .iter()
+                .map(|m| config.reward.compute(m, nodes))
+                .sum::<f64>()
+                / run.epochs.len() as f64
+        };
+        Ok(TournamentCell {
+            policy: policies[p].0.clone(),
+            family: family.name.clone(),
+            seed,
+            score,
+            aggregate: run.aggregate,
+        })
+    })
+    .into_iter()
+    .collect();
+    let cells = cells?;
+    let mut best_by_family = Vec::with_capacity(nf);
+    for (f, family) in config.families.iter().enumerate() {
+        let mut best: Option<&TournamentCell> = None;
+        for p in 0..policies.len() {
+            let cell = &cells[p * nf + f];
+            let better = match best {
+                None => true,
+                Some(b) => cell.score > b.score,
+            };
+            if better {
+                best = Some(cell);
+            }
+        }
+        let best = best.expect("at least one policy");
+        best_by_family.push(FamilyBest {
+            family: family.name.clone(),
+            policy: best.policy.clone(),
+            score: best.score,
+        });
+    }
+    let mean_score_by_policy = policies
+        .iter()
+        .enumerate()
+        .map(|(p, (name, _))| PolicyMeanScore {
+            policy: name.clone(),
+            mean_score: cells[p * nf..(p + 1) * nf]
+                .iter()
+                .map(|c| c.score)
+                .sum::<f64>()
+                / nf as f64,
+        })
+        .collect();
+    Ok(TournamentReport {
+        schema_version: ZOO_SCHEMA_VERSION,
+        config: config.clone(),
+        policies: policies.iter().map(|(n, _)| n.clone()).collect(),
+        cells,
+        best_by_family,
+        mean_score_by_policy,
+    })
+}
+
+/// Load a zoo directory and run the tournament over it (see
+/// [`load_zoo`] and [`tournament_matrix`]).
+///
+/// # Errors
+/// As [`load_zoo`] and [`tournament_matrix`].
+pub fn run_tournament(
+    zoo_dir: &Path,
+    config: &TournamentConfig,
+    threads: usize,
+) -> ZooResult<TournamentReport> {
+    let policies = load_zoo(zoo_dir)?;
+    tournament_matrix(&policies, config, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let env = NocEnvConfig::for_sim(SimConfig::default().with_size(4, 4).with_regions(2, 2), 3);
+        let dqn = DqnConfig::default();
+        let train = TrainConfig::default();
+        let h = dqn_config_hash(&env, &dqn, &train);
+        assert_eq!(h.len(), 32, "two 64-bit hex words");
+        assert_eq!(h, dqn_config_hash(&env, &dqn, &train), "deterministic");
+        // Dimension normalization: a pre-training config (dims unset)
+        // hashes the same as the post-training one (dims overwritten).
+        let mut with_dims = dqn.clone();
+        with_dims.state_dim = 17;
+        with_dims.num_actions = 11;
+        assert_eq!(h, dqn_config_hash(&env, &with_dims, &train));
+        // Every real axis moves the hash.
+        let mut env2 = env.clone();
+        env2.epoch_cycles += 1;
+        assert_ne!(h, dqn_config_hash(&env2, &dqn, &train));
+        let dqn2 = DqnConfig {
+            gamma: 0.9,
+            ..dqn.clone()
+        };
+        assert_ne!(h, dqn_config_hash(&env, &dqn2, &train));
+        let mut train2 = train.clone();
+        train2.episodes += 1;
+        assert_ne!(h, dqn_config_hash(&env, &dqn, &train2));
+        // The tabular hash of the same env/train never collides with the
+        // DQN hash (kind is part of the hashed text).
+        assert_ne!(
+            h,
+            tabular_config_hash(&env, &TabularConfig::default(), &train)
+        );
+    }
+
+    #[test]
+    fn family_specs_parse_and_canonicalize() {
+        let f = ScenarioFamily::parse("mesh/uniform/r0.1").unwrap();
+        assert_eq!(f.topology, TopologyKind::Mesh);
+        assert_eq!(f.faults, 0);
+        assert_eq!(f.name, "mesh/ph[uniform:bern0.1]/f0");
+        let f = ScenarioFamily::parse("torus/transpose/r0.05/f2").unwrap();
+        assert_eq!(f.topology, TopologyKind::Torus);
+        assert_eq!(f.faults, 2);
+        let f = ScenarioFamily::parse("torus/ph[uniform:burst0.3x0.05]/f1").unwrap();
+        assert_eq!(f.faults, 1);
+        assert_eq!(f.name, "torus/ph[uniform:burst0.3x0.05]/f1");
+        // The canonical name re-parses to the same family.
+        let again = ScenarioFamily::parse(&f.name).unwrap();
+        assert_eq!(f, again);
+        assert!(ScenarioFamily::parse("ring/uniform/r0.1").is_err());
+        assert!(ScenarioFamily::parse("mesh").is_err());
+        assert!(ScenarioFamily::parse("mesh/uniform/q0.1").is_err());
+    }
+
+    #[test]
+    fn family_apply_sets_topology_routing_faults_seed() {
+        let family = ScenarioFamily::parse("torus/uniform/r0.1/f2").unwrap();
+        let sim = family.apply(&SimConfig::default(), 99);
+        assert_eq!(sim.kind, TopologyKind::Torus);
+        assert_eq!(sim.seed, 99);
+        assert_eq!(sim.fault_plan.events().len(), 2);
+        // Routing was coerced to a torus-legal algorithm.
+        assert_eq!(sim.routing, sim.routing.for_topology(TopologyKind::Torus));
+        // Same seed, same plan (reproducible); different seed, fresh draw.
+        let again = family.apply(&SimConfig::default(), 99);
+        assert_eq!(sim.fault_plan, again.fault_plan);
+    }
+
+    #[test]
+    fn grid_members_are_ordered_named_and_seeded() {
+        let grid = ZooGrid {
+            base: SimConfig::default().with_size(4, 4).with_regions(2, 2),
+            variants: vec![
+                dqn_variant("default").unwrap(),
+                dqn_variant("small").unwrap(),
+            ],
+            families: vec![
+                ScenarioFamily::parse("mesh/uniform/r0.1").unwrap(),
+                ScenarioFamily::parse("torus/uniform/r0.1/f2").unwrap(),
+            ],
+            train: TrainConfig::default(),
+            epoch_cycles: 100,
+            epochs_per_episode: 2,
+            base_seed: 42,
+        };
+        let members = grid.members();
+        assert_eq!(members.len(), 4);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(members[0].name, "default__mesh-ph-uniform-bern0.1--f0");
+        assert_eq!(members[1].variant, "default");
+        assert_eq!(members[2].variant, "small");
+        let mut seeds: Vec<u64> = members.iter().map(|m| m.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "member seeds must not collide");
+        // Member expansion is a pure function of the grid.
+        let again = grid.members();
+        for (a, b) in members.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn variant_catalog_resolves_all_names() {
+        for name in DQN_VARIANT_NAMES {
+            let v = dqn_variant(name).expect("catalog name resolves");
+            assert_eq!(v.name, name);
+        }
+        assert!(dqn_variant("nope").is_none());
+    }
+
+    #[test]
+    fn typed_controller_accessors_enforce_kind() {
+        let env = NocEnvConfig::for_sim(SimConfig::default().with_size(4, 4).with_regions(2, 2), 1);
+        let (agent, curve, encoder, action_space) = crate::training::train_tabular(
+            env.clone(),
+            TabularConfig {
+                bins: 3,
+                ..TabularConfig::default()
+            },
+            TrainConfig {
+                episodes: 1,
+                max_steps: 2,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        let artifact = PolicyArtifact::from_tabular(
+            agent,
+            curve,
+            encoder,
+            action_space,
+            env,
+            TrainConfig::default(),
+        );
+        assert_eq!(artifact.kind_name(), "tabular");
+        assert!(artifact.tabular_controller().is_ok());
+        assert!(matches!(
+            artifact.drl_controller(),
+            Err(ZooError::WrongKind { .. })
+        ));
+        assert!(artifact.controller().is_ok());
+        assert!(!artifact.config_hash.is_empty());
+    }
+
+    #[test]
+    fn unsupported_schema_version_is_rejected() {
+        let env = NocEnvConfig::for_sim(SimConfig::default().with_size(4, 4).with_regions(2, 2), 1);
+        let policy = train_drl(
+            env.clone(),
+            DqnConfig {
+                hidden: vec![8],
+                batch_size: 8,
+                min_replay: 8,
+                ..DqnConfig::default()
+            },
+            TrainConfig {
+                episodes: 1,
+                max_steps: 2,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        let mut artifact = PolicyArtifact::from_dqn(&policy, env, TrainConfig::default()).unwrap();
+        artifact.schema_version = 99;
+        assert!(matches!(
+            artifact.validate(),
+            Err(ZooError::SchemaVersion { found: 99, .. })
+        ));
+        // A future-versioned artifact on disk is rejected by parse+validate
+        // (the round trip preserves the version).
+        let reparsed = PolicyArtifact::parse(&artifact.to_json()).unwrap();
+        assert!(reparsed.validate().is_err());
+    }
+}

@@ -1,0 +1,480 @@
+//! Integration tests of the policy zoo: legacy-shape migration, artifact
+//! round-trip fidelity, structured compatibility errors on every load path,
+//! and byte-identical population training / tournament reports across
+//! thread counts.
+
+use noc_selfconf::zoo::{
+    self, dqn_variant, load_zoo, tournament_matrix, train_grid, PolicyArtifact, PolicyKind,
+    ScenarioFamily, TournamentConfig, ZooError, ZooGrid,
+};
+use noc_selfconf::{train_drl, ActionSpace, NocEnvConfig, StateEncoder};
+use noc_sim::SimConfig;
+use proptest::prelude::*;
+use rl::{DqnAgent, DqnConfig, TabularConfig, TabularQ, TrainConfig, Transition};
+use std::path::PathBuf;
+
+/// Fresh temp dir per test (same idiom as the serve tests).
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("noc_zoo_test_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The 4x4 / 2x2-region fabric every test trains against.
+fn small_sim() -> SimConfig {
+    SimConfig::default().with_size(4, 4).with_regions(2, 2)
+}
+
+/// The encoder/action-space pair matching [`small_sim`]'s region grid:
+/// 3 features x 4 regions + 5 globals = 17 inputs, 2x4+3 = 11 actions.
+fn small_deployment() -> (StateEncoder, ActionSpace) {
+    (
+        StateEncoder::new(vec![320; 4], vec![4; 4], 4, 16),
+        ActionSpace::PerRegionDelta {
+            num_regions: 4,
+            num_levels: 4,
+        },
+    )
+}
+
+fn tiny_dqn(seed: u64) -> DqnConfig {
+    DqnConfig {
+        hidden: vec![8],
+        batch_size: 2,
+        min_replay: 2,
+        ..DqnConfig::default().with_seed(seed)
+    }
+}
+
+fn tiny_train(seed: u64) -> TrainConfig {
+    TrainConfig {
+        episodes: 1,
+        max_steps: 2,
+        seed,
+        ..TrainConfig::default()
+    }
+}
+
+fn tiny_grid(base_seed: u64) -> ZooGrid {
+    let mut variant = dqn_variant("default").unwrap();
+    variant.dqn = tiny_dqn(0);
+    ZooGrid {
+        base: small_sim(),
+        variants: vec![variant],
+        families: vec![
+            ScenarioFamily::parse("mesh/uniform/r0.1").unwrap(),
+            ScenarioFamily::parse("torus/uniform/r0.1/f1").unwrap(),
+        ],
+        train: tiny_train(0),
+        epoch_cycles: 60,
+        epochs_per_episode: 2,
+        base_seed,
+    }
+}
+
+/// Deterministic pseudo-random feature generator (no RNG dependency).
+fn feature_stream(mut state: u64) -> impl FnMut() -> f32 {
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 40) & 0xFFFF) as f32 / 65536.0
+    }
+}
+
+fn probe_states(seed: u64, dim: usize) -> Vec<Vec<f32>> {
+    let mut next = feature_stream(seed);
+    (0..16)
+        .map(|_| (0..dim).map(|_| next()).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Legacy-shape fixtures: the three pre-zoo JSON formats must keep loading.
+// ---------------------------------------------------------------------------
+
+/// The CLI's pre-zoo `SavedPolicy` shape (no curve).
+#[test]
+fn legacy_saved_policy_shape_loads() {
+    let (encoder, action_space) = small_deployment();
+    let agent = DqnAgent::new(tiny_dqn(5).with_dims(17, 11));
+    let json = format!(
+        r#"{{"dqn": {}, "policy_json": {}, "encoder": {}, "action_space": {}}}"#,
+        serde_json::to_string(agent.config()).unwrap(),
+        serde_json::to_string(&agent.policy_to_json().unwrap()).unwrap(),
+        serde_json::to_string(&encoder).unwrap(),
+        serde_json::to_string(&action_space).unwrap(),
+    );
+    let artifact = PolicyArtifact::parse(&json).unwrap();
+    assert_eq!(artifact.kind_name(), "dqn");
+    assert!(artifact.provenance.is_none());
+    assert!(artifact.config_hash.is_empty());
+    assert!(artifact.curve.is_empty());
+    artifact.validate().unwrap();
+    // The migrated artifact deploys, and its greedy policy matches the
+    // source agent exactly.
+    let PolicyKind::Dqn { policy_json, .. } = &artifact.kind else {
+        panic!("expected a DQN artifact");
+    };
+    let mut reloaded = DqnAgent::new(tiny_dqn(99).with_dims(17, 11));
+    reloaded.policy_from_json(policy_json).unwrap();
+    for state in probe_states(5, 17) {
+        assert_eq!(reloaded.greedy_action(&state), agent.greedy_action(&state));
+    }
+    assert!(artifact.drl_controller().is_ok());
+}
+
+/// The bench harness's pre-zoo `PolicyArtifact` shape (with curve).
+#[test]
+fn legacy_bench_dqn_shape_loads() {
+    let env = NocEnvConfig::for_sim(small_sim(), 3);
+    let policy = train_drl(env, tiny_dqn(3), tiny_train(3)).unwrap();
+    let json = format!(
+        r#"{{"dqn": {}, "policy_json": {}, "encoder": {}, "action_space": {}, "curve": {}}}"#,
+        serde_json::to_string(policy.agent.config()).unwrap(),
+        serde_json::to_string(&policy.agent.policy_to_json().unwrap()).unwrap(),
+        serde_json::to_string(&policy.encoder).unwrap(),
+        serde_json::to_string(&policy.action_space).unwrap(),
+        serde_json::to_string(&policy.curve).unwrap(),
+    );
+    let artifact = PolicyArtifact::parse(&json).unwrap();
+    assert_eq!(artifact.kind_name(), "dqn");
+    assert_eq!(artifact.curve.len(), policy.curve.len());
+    assert!(artifact.provenance.is_none());
+    artifact.validate().unwrap();
+    assert!(artifact.controller().is_ok());
+}
+
+/// The bench harness's pre-zoo `TabularArtifact` shape.
+#[test]
+fn legacy_tabular_shape_loads() {
+    let (encoder, action_space) = small_deployment();
+    let mut agent = TabularQ::new(TabularConfig {
+        state_dim: 17,
+        num_actions: 11,
+        bins: 3,
+        ..TabularConfig::default()
+    });
+    let mut next = feature_stream(7);
+    for i in 0..40 {
+        let state: Vec<f32> = (0..17).map(|_| next()).collect();
+        let next_state: Vec<f32> = (0..17).map(|_| next()).collect();
+        agent.update(&Transition {
+            state,
+            action: i % 11,
+            reward: next() - 0.5,
+            next_state,
+            done: i % 10 == 0,
+        });
+    }
+    let json = format!(
+        r#"{{"agent": {}, "encoder": {}, "action_space": {}, "curve": []}}"#,
+        serde_json::to_string(&agent).unwrap(),
+        serde_json::to_string(&encoder).unwrap(),
+        serde_json::to_string(&action_space).unwrap(),
+    );
+    let artifact = PolicyArtifact::parse(&json).unwrap();
+    assert_eq!(artifact.kind_name(), "tabular");
+    assert!(artifact.provenance.is_none());
+    artifact.validate().unwrap();
+    let PolicyKind::Tabular { agent: migrated } = &artifact.kind else {
+        panic!("expected a tabular artifact");
+    };
+    assert_eq!(migrated.num_states(), agent.num_states());
+    for state in probe_states(7, 17) {
+        assert_eq!(migrated.greedy_action(&state), agent.greedy_action(&state));
+    }
+    assert!(artifact.tabular_controller().is_ok());
+}
+
+#[test]
+fn garbage_json_is_a_parse_error() {
+    assert!(matches!(
+        PolicyArtifact::parse(r#"{"what": 1}"#),
+        Err(ZooError::Parse { .. })
+    ));
+    assert!(PolicyArtifact::parse("not json").is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Wrong-dimension artifacts are rejected with a structured error on every
+// load path: versioned file, legacy file, and zoo-directory loads.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wrong_state_dim_rejected_on_every_load_path() {
+    let dir = temp_dir("wrong_dim");
+    let env = NocEnvConfig::for_sim(small_sim(), 11);
+    let policy = train_drl(env.clone(), tiny_dqn(11), tiny_train(11)).unwrap();
+    let mut artifact = PolicyArtifact::from_dqn(&policy, env, tiny_train(11)).unwrap();
+
+    // Versioned shape with a network/encoder mismatch.
+    match &mut artifact.kind {
+        PolicyKind::Dqn { dqn, .. } => dqn.state_dim += 1,
+        PolicyKind::Tabular { .. } => unreachable!(),
+    }
+    let path = dir.join("bad_versioned.json");
+    artifact.save(&path).unwrap();
+    match PolicyArtifact::load(&path) {
+        Err(ZooError::Incompatible {
+            field,
+            expected,
+            found,
+            ..
+        }) => {
+            assert_eq!(field, "state_dim");
+            assert_eq!(found, expected + 1);
+        }
+        other => panic!("expected a structured incompatibility, got {other:?}"),
+    }
+    // The error message tells the user how to recover.
+    let message = PolicyArtifact::load(&path).unwrap_err().to_string();
+    assert!(message.contains("retrain"), "unhelpful error: {message}");
+
+    // Legacy shape with the same mismatch (the path `cmd_evaluate` used to
+    // guard by hand).
+    let (encoder, action_space) = small_deployment();
+    let agent = DqnAgent::new(tiny_dqn(5).with_dims(16, 11)); // encoder makes 17
+    let legacy = format!(
+        r#"{{"dqn": {}, "policy_json": {}, "encoder": {}, "action_space": {}}}"#,
+        serde_json::to_string(agent.config()).unwrap(),
+        serde_json::to_string(&agent.policy_to_json().unwrap()).unwrap(),
+        serde_json::to_string(&encoder).unwrap(),
+        serde_json::to_string(&action_space).unwrap(),
+    );
+    let legacy_path = dir.join("bad_legacy.json");
+    std::fs::write(&legacy_path, legacy).unwrap();
+    assert!(matches!(
+        PolicyArtifact::load(&legacy_path),
+        Err(ZooError::Incompatible {
+            field: "state_dim",
+            ..
+        })
+    ));
+
+    // A zoo-directory load hits the same validation (no manifest, so the
+    // sorted-filename path is exercised too).
+    assert!(load_zoo(&dir).is_err());
+
+    // Wrong action count is the other structured axis.
+    let mut bad_actions = PolicyArtifact::from_dqn(
+        &policy,
+        NocEnvConfig::for_sim(small_sim(), 11),
+        tiny_train(11),
+    )
+    .unwrap();
+    match &mut bad_actions.kind {
+        PolicyKind::Dqn { dqn, .. } => dqn.num_actions += 2,
+        PolicyKind::Tabular { .. } => unreachable!(),
+    }
+    assert!(matches!(
+        bad_actions.validate(),
+        Err(ZooError::Incompatible {
+            field: "num_actions",
+            ..
+        })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Property: save -> load -> greedy rollout is byte- and action-identical.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dqn_artifact_roundtrip_preserves_policy(seed in any::<u64>()) {
+        let (encoder, action_space) = small_deployment();
+        let agent = DqnAgent::new(tiny_dqn(seed).with_dims(17, 11));
+        let artifact = PolicyArtifact {
+            schema_version: zoo::ZOO_SCHEMA_VERSION,
+            kind: PolicyKind::Dqn {
+                dqn: agent.config().clone(),
+                policy_json: agent.policy_to_json().unwrap(),
+            },
+            encoder,
+            action_space,
+            provenance: None,
+            curve: vec![],
+            config_hash: String::new(),
+        };
+        // Serialization is canonical: parse(to_json) -> identical bytes.
+        let json = artifact.to_json();
+        let reparsed = PolicyArtifact::parse(&json).unwrap();
+        prop_assert_eq!(&reparsed.to_json(), &json);
+        // The reloaded network plays the exact same greedy policy.
+        let PolicyKind::Dqn { policy_json, dqn } = &reparsed.kind else {
+            panic!("kind preserved");
+        };
+        let mut reloaded = DqnAgent::new(dqn.clone());
+        reloaded.policy_from_json(policy_json).unwrap();
+        for state in probe_states(seed ^ 0xABCD, 17) {
+            prop_assert_eq!(reloaded.greedy_action(&state), agent.greedy_action(&state));
+            prop_assert_eq!(reloaded.q_values(&state), agent.q_values(&state));
+        }
+    }
+
+    #[test]
+    fn tabular_artifact_roundtrip_preserves_policy(seed in any::<u64>()) {
+        let (encoder, action_space) = small_deployment();
+        let mut agent = TabularQ::new(TabularConfig {
+            state_dim: 17,
+            num_actions: 11,
+            bins: 3,
+            ..TabularConfig::default()
+        });
+        let mut next = feature_stream(seed);
+        for i in 0..30 {
+            let state: Vec<f32> = (0..17).map(|_| next()).collect();
+            let next_state: Vec<f32> = (0..17).map(|_| next()).collect();
+            agent.update(&Transition {
+                state,
+                action: i % 11,
+                reward: next() - 0.5,
+                next_state,
+                done: i % 7 == 0,
+            });
+        }
+        let artifact = PolicyArtifact::from_tabular(
+            agent.clone(),
+            vec![],
+            encoder,
+            action_space,
+            NocEnvConfig::for_sim(small_sim(), seed),
+            tiny_train(seed),
+        );
+        let json = artifact.to_json();
+        let reparsed = PolicyArtifact::parse(&json).unwrap();
+        // Canonical bytes (the sorted table serialization makes this hold
+        // regardless of HashMap iteration order).
+        prop_assert_eq!(&reparsed.to_json(), &json);
+        let PolicyKind::Tabular { agent: reloaded } = &reparsed.kind else {
+            panic!("kind preserved");
+        };
+        for state in probe_states(seed ^ 0x1234, 17) {
+            prop_assert_eq!(reloaded.greedy_action(&state), agent.greedy_action(&state));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Population training and the tournament: byte-identical across thread
+// counts and reruns.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn train_grid_is_byte_identical_across_thread_counts() {
+    let dir1 = temp_dir("grid_t1");
+    let dir4 = temp_dir("grid_t4");
+    let grid = tiny_grid(42);
+    let m1 = train_grid(&grid, &dir1, 1).unwrap();
+    let m4 = train_grid(&grid, &dir4, 4).unwrap();
+    assert_eq!(m1.members.len(), 2);
+    assert_eq!(
+        serde_json::to_string(&m1).unwrap(),
+        serde_json::to_string(&m4).unwrap()
+    );
+    for entry in &m1.members {
+        let b1 = std::fs::read(dir1.join(&entry.file)).unwrap();
+        let b4 = std::fs::read(dir4.join(&entry.file)).unwrap();
+        assert_eq!(
+            b1, b4,
+            "artifact {} differs across thread counts",
+            entry.name
+        );
+        assert!(!entry.config_hash.is_empty());
+    }
+    let manifest1 = std::fs::read(dir1.join("manifest.json")).unwrap();
+    let manifest4 = std::fs::read(dir4.join("manifest.json")).unwrap();
+    assert_eq!(manifest1, manifest4);
+
+    // Every artifact reloads through the validated path, in manifest order.
+    let policies = load_zoo(&dir1).unwrap();
+    assert_eq!(policies.len(), 2);
+    for ((name, artifact), entry) in policies.iter().zip(&m1.members) {
+        assert_eq!(name, &entry.name);
+        assert_eq!(artifact.config_hash, entry.config_hash);
+        assert!(artifact.provenance.is_some());
+    }
+    // Without the manifest, the sorted-filename fallback finds the same
+    // artifacts.
+    std::fs::remove_file(dir1.join("manifest.json")).unwrap();
+    let mut by_file = load_zoo(&dir1).unwrap();
+    by_file.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(by_file.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn tournament_report_is_deterministic_across_thread_counts() {
+    let dir = temp_dir("tournament");
+    let grid = tiny_grid(7);
+    train_grid(&grid, &dir, 2).unwrap();
+    let policies = load_zoo(&dir).unwrap();
+    let config = TournamentConfig {
+        base: small_sim(),
+        families: vec![
+            ScenarioFamily::parse("mesh/uniform/r0.1").unwrap(),
+            ScenarioFamily::parse("torus/ph[uniform:burst0.3x0.05]/f1").unwrap(),
+        ],
+        epochs: 2,
+        epoch_cycles: 60,
+        ..TournamentConfig::default()
+    };
+    let r1 = tournament_matrix(&policies, &config, 1).unwrap();
+    let r3 = tournament_matrix(&policies, &config, 3).unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&r1).unwrap(),
+        serde_json::to_string_pretty(&r3).unwrap()
+    );
+    assert_eq!(r1.cells.len(), policies.len() * config.families.len());
+    assert_eq!(r1.best_by_family.len(), config.families.len());
+    assert_eq!(r1.mean_score_by_policy.len(), policies.len());
+    // Cell scores are finite and the winners really are per-column maxima.
+    for cell in &r1.cells {
+        assert!(
+            cell.score.is_finite(),
+            "cell {}/{} has a NaN score",
+            cell.policy,
+            cell.family
+        );
+    }
+    for best in &r1.best_by_family {
+        let column_max = r1
+            .cells
+            .iter()
+            .filter(|c| c.family == best.family)
+            .map(|c| c.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(best.score, column_max);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tournament_rejects_policies_from_a_different_fabric() {
+    // A policy trained on a 2x2-region grid cannot enter a tournament on an
+    // 8x8 fabric with 2x2 regions of *different* node count? Regions match,
+    // so use a 4x4-region fabric where the observation really is wider.
+    let env = NocEnvConfig::for_sim(small_sim(), 9);
+    let policy = train_drl(env.clone(), tiny_dqn(9), tiny_train(9)).unwrap();
+    let artifact = PolicyArtifact::from_dqn(&policy, env, tiny_train(9)).unwrap();
+    let config = TournamentConfig {
+        base: SimConfig::default().with_regions(4, 4), // 8x8, 16 regions
+        families: vec![ScenarioFamily::parse("mesh/uniform/r0.1").unwrap()],
+        epochs: 1,
+        epoch_cycles: 60,
+        ..TournamentConfig::default()
+    };
+    match tournament_matrix(&[("small-fabric".into(), artifact)], &config, 1) {
+        Err(ZooError::Incompatible { policy, field, .. }) => {
+            assert_eq!(policy, "small-fabric");
+            assert_eq!(field, "state_dim");
+        }
+        other => panic!("expected a structured incompatibility, got {other:?}"),
+    }
+}

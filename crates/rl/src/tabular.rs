@@ -62,7 +62,11 @@ mod table_serde {
         table: &HashMap<Vec<u16>, Vec<f64>>,
         ser: S,
     ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<(&Vec<u16>, &Vec<f64>)> = table.iter().collect();
+        // Sorted by key so the serialized form is a pure function of the
+        // table's contents, not of `HashMap` iteration order — trained
+        // artifacts must be byte-identical across runs.
+        let mut entries: Vec<(&Vec<u16>, &Vec<f64>)> = table.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
         entries.serialize(ser)
     }
 
